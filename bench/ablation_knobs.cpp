@@ -1,0 +1,151 @@
+// Ablations over the design choices DESIGN.md §5 calls out. Each sweep
+// regenerates a (smaller) world with one knob changed and reruns the full
+// pipeline, isolating the causal claim behind a paper finding:
+//
+//  A. third-party cache placement -> CDN-served RPKI coverage
+//     (§4.2: "CDN servers placed in third party networks benefit from
+//      RPKI deployment that these networks perform" — at 0% placement the
+//      CDN line must collapse to ~0).
+//  B. ROA maxLength misconfiguration -> invalid announcement rate
+//     (§4.1: invalids are misconfiguration, so the rate must track the
+//      knob while coverage stays flat).
+//  C. CNAME-chain classifier threshold -> precision/recall vs ground truth
+//     (§4.3: the >=2-hop heuristic is chosen as a conservative
+//      under-estimate; threshold 1 over-counts, 3 under-counts).
+//
+// RIPKI_ABLATION_DOMAINS overrides the per-run scale (default 40,000).
+#include "common.hpp"
+
+namespace {
+
+using namespace ripki;
+
+web::EcosystemConfig ablation_config() {
+  web::EcosystemConfig config;
+  config.domain_count = bench::env_u64("RIPKI_ABLATION_DOMAINS", 40'000);
+  config.seed = bench::env_u64("RIPKI_SEED", 42);
+  return config;
+}
+
+core::Dataset run(const web::EcosystemConfig& config,
+                  std::unique_ptr<web::Ecosystem>* eco_out = nullptr) {
+  auto eco = web::Ecosystem::generate(config);
+  core::MeasurementPipeline pipeline(*eco, core::PipelineConfig{});
+  core::Dataset dataset = pipeline.run();
+  if (eco_out != nullptr) *eco_out = std::move(eco);
+  return dataset;
+}
+
+void ablation_third_party() {
+  std::cout << "== Ablation A: third-party cache placement vs CDN RPKI coverage ==\n";
+  util::TextTable table({"placement scale", "CDN coverage", "non-CDN coverage",
+                         "web/CDN ratio"});
+  const core::ChainCdnClassifier chain;
+  for (const double scale : {0.0, 0.5, 1.0, 2.5}) {
+    web::EcosystemConfig config = ablation_config();
+    config.cdn_third_party_scale = scale;
+    const auto dataset = run(config);
+    const auto summary = core::reports::figure6_summary(dataset, chain);
+    const double ratio = summary.cdn_mean_coverage > 0
+                             ? summary.all_mean_coverage / summary.cdn_mean_coverage
+                             : 0.0;
+    char label[32];
+    std::snprintf(label, sizeof label, "%.1fx placement", scale);
+    table.add_row({label, bench::fmt_pct(summary.cdn_mean_coverage),
+                   bench::fmt_pct(summary.non_cdn_mean_coverage),
+                   summary.cdn_mean_coverage > 0
+                       ? std::to_string(static_cast<int>(ratio + 0.5)) + "x"
+                       : "-"});
+  }
+  table.print(std::cout);
+  std::cout << "(expected: CDN coverage scales with third-party placement and\n"
+               " collapses to ~0 without it — every RPKI-protected CDN asset is\n"
+               " protected by the eyeball network hosting the cache, §4.2)\n\n";
+}
+
+void ablation_maxlen() {
+  std::cout << "== Ablation B: ROA maxLength misconfiguration vs invalid rate ==\n";
+  util::TextTable table({"misconfig prob", "invalid", "covered"});
+  for (const double p : {0.0, 0.12, 0.24, 0.5}) {
+    web::EcosystemConfig config = ablation_config();
+    config.roa_maxlen_misconfig_probability = p;
+    config.wrong_origin_fraction = 0.0;  // isolate the maxLength mechanism
+    const auto dataset = run(config);
+    const auto summary = core::reports::figure4_summary(dataset);
+    char label[16];
+    std::snprintf(label, sizeof label, "%.2f", p);
+    table.add_row({label, bench::fmt_pct(summary.mean_invalid, 3),
+                   bench::fmt_pct(summary.mean_coverage)});
+  }
+  table.print(std::cout);
+  std::cout << "(expected: invalid rate rises with the knob, coverage stays flat —\n"
+               " the paper's invalids are misconfiguration, not hijacks)\n\n";
+}
+
+void ablation_chain_threshold() {
+  std::cout << "== Ablation C: CNAME-chain threshold vs classification quality ==\n";
+  std::unique_ptr<web::Ecosystem> eco;
+  const auto dataset = run(ablation_config(), &eco);
+  util::TextTable table({"min CNAME hops", "precision", "recall", "CDN share seen"});
+  for (const int threshold : {1, 2, 3}) {
+    const core::ChainCdnClassifier chain(threshold);
+    std::uint64_t tp = 0;
+    std::uint64_t fp = 0;
+    std::uint64_t fn = 0;
+    std::uint64_t flagged = 0;
+    for (std::size_t i = 0; i < dataset.records.size(); ++i) {
+      const bool predicted = chain.is_cdn(dataset.records[i]);
+      const bool truth = eco->domain_uses_cdn(i);
+      flagged += predicted ? 1 : 0;
+      if (predicted && truth) ++tp;
+      if (predicted && !truth) ++fp;
+      if (!predicted && truth) ++fn;
+    }
+    const double precision = tp + fp == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+    const double recall = tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
+    table.add_row({std::to_string(threshold), bench::fmt_pct(precision),
+                   bench::fmt_pct(recall),
+                   bench::fmt_pct(static_cast<double>(flagged) /
+                                  static_cast<double>(dataset.records.size()))});
+  }
+  table.print(std::cout);
+  std::cout << "(expected: threshold 2 — the paper's choice — keeps precision\n"
+               " near 100% at the cost of recall: a conservative under-estimate)\n";
+}
+
+void ablation_bin_width() {
+  std::cout << "\n== Ablation D: rank bin width vs trend stability ==\n";
+  std::cout << "(the paper: \"we apply a binning of 10k domains in all graphs, "
+               "after experimenting with different bin sizes\")\n";
+  const auto dataset = run(ablation_config());
+  util::TextTable table(
+      {"bin width", "bins", "first-bin coverage", "last-bin coverage", "trend"});
+  for (const std::uint64_t width : {2'000u, 10'000u, 50'000u, 250'000u}) {
+    const auto rows = core::reports::figure4_rpki_by_rank(dataset, width);
+    // Compare the first and last non-empty bins.
+    const core::reports::RpkiByRankRow* first = nullptr;
+    const core::reports::RpkiByRankRow* last = nullptr;
+    for (const auto& row : rows) {
+      if (row.domains == 0) continue;
+      if (first == nullptr) first = &row;
+      last = &row;
+    }
+    if (first == nullptr || last == nullptr || first == last) continue;
+    table.add_row({std::to_string(width), std::to_string(rows.size()),
+                   bench::fmt_pct(first->covered), bench::fmt_pct(last->covered),
+                   first->covered < last->covered ? "first < last" : "REVERSED"});
+  }
+  table.print(std::cout);
+  std::cout << "(expected: the popularity skew is visible at every bin width —\n"
+               " the 10k choice is presentation, not the source of the trend)\n";
+}
+
+}  // namespace
+
+int main() {
+  ablation_third_party();
+  ablation_maxlen();
+  ablation_chain_threshold();
+  ablation_bin_width();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Shared scaffolding for the per-figure benchmark harnesses.
+//
+// Every harness regenerates one table/figure of the paper's evaluation
+// over the synthetic ecosystem. Scale is controlled by environment
+// variables so the default run stays laptop-friendly while the flagship
+// configuration reproduces the full 1M-domain rank axis:
+//
+//   RIPKI_DOMAINS  number of sampled domains   (default 200,000)
+//   RIPKI_SEED     world seed                  (default 42)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/classifiers.hpp"
+#include "core/pipeline.hpp"
+#include "core/reports.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace ripki::bench {
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  std::uint64_t parsed = 0;
+  return util::parse_u64(value, parsed) && parsed > 0 ? parsed : fallback;
+}
+
+inline web::EcosystemConfig bench_config() {
+  web::EcosystemConfig config;
+  config.domain_count = env_u64("RIPKI_DOMAINS", 200'000);
+  config.seed = env_u64("RIPKI_SEED", 42);
+  return config;
+}
+
+struct BenchWorld {
+  std::unique_ptr<web::Ecosystem> ecosystem;
+  std::unique_ptr<core::MeasurementPipeline> pipeline;
+  core::Dataset dataset;
+};
+
+/// Generates the world and runs the measurement pipeline, with progress
+/// notes on stderr (stdout carries only the artifact tables).
+inline BenchWorld run_pipeline(const char* banner) {
+  BenchWorld world;
+  const auto config = bench_config();
+  std::cerr << banner << ": generating ecosystem ("
+            << util::format_count(config.domain_count) << " domains, seed "
+            << config.seed << ")...\n";
+  world.ecosystem = web::Ecosystem::generate(config);
+  std::cerr << banner << ": running measurement pipeline...\n";
+  world.pipeline = std::make_unique<core::MeasurementPipeline>(
+      *world.ecosystem, core::PipelineConfig{});
+  world.dataset = world.pipeline->run();
+  return world;
+}
+
+inline std::string fmt_pct(double fraction, int decimals = 2) {
+  return util::format_percent(fraction, decimals);
+}
+
+inline std::string fmt_range(std::uint64_t lo, std::uint64_t hi) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%6llu-%-7llu",
+                static_cast<unsigned long long>(lo),
+                static_cast<unsigned long long>(hi));
+  return buf;
+}
+
+}  // namespace ripki::bench

@@ -1,0 +1,56 @@
+// Figure 5: "Popularity of CDNs — comparison of CDN detection heuristics
+// for 1M Alexa domains" — per 10k-rank bin, the fraction of domains
+// classified as CDN-served by (a) the paper's CNAME-chain heuristic
+// (>= 2 indirections) and (b) the HTTPArchive-style pattern classifier
+// (CNAME suffix matching, first 300k ranks, different vantage).
+//
+// Paper claims: both curves fall with rank (popular sites use CDNs more);
+// the chain heuristic is a conservative under-estimate of HTTPArchive.
+#include "common.hpp"
+
+int main() {
+  using namespace ripki;
+  const auto world = bench::run_pipeline("fig5");
+
+  const core::ChainCdnClassifier chain;
+  const core::PatternCdnClassifier pattern;  // 300k-rank coverage, like HTTPArchive
+  const auto rows =
+      core::reports::figure5_cdn_share(world.dataset, chain, pattern);
+
+  std::cout << "== Figure 5: CDN-served share of domains by Alexa rank ==\n";
+  util::TextTable table(
+      {"rank bin", "domains", "CNAME-chain heuristic", "pattern (HTTPArchive)"});
+  for (const auto& row : rows) {
+    if (row.domains == 0) continue;
+    table.add_row({bench::fmt_range(row.rank_lo, row.rank_hi),
+                   std::to_string(row.domains), bench::fmt_pct(row.chain_fraction),
+                   row.pattern_fraction.has_value()
+                       ? bench::fmt_pct(*row.pattern_fraction)
+                       : std::string("-")});
+  }
+  table.print(std::cout);
+
+  double chain_top = 0;
+  double chain_tail = 0;
+  std::size_t top_bins = 0;
+  std::size_t tail_bins = 0;
+  for (const auto& row : rows) {
+    if (row.domains == 0) continue;
+    if (row.rank_hi <= 100'000) {
+      chain_top += row.chain_fraction;
+      ++top_bins;
+    }
+    if (row.rank_lo > 900'000) {
+      chain_tail += row.chain_fraction;
+      ++tail_bins;
+    }
+  }
+  if (top_bins > 0 && tail_bins > 0) {
+    std::cout << "\nchain-detected CDN share, first 100k: "
+              << bench::fmt_pct(chain_top / static_cast<double>(top_bins))
+              << ", last 100k: "
+              << bench::fmt_pct(chain_tail / static_cast<double>(tail_bins))
+              << "   (paper: clearly falling with rank)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Future work (paper §7): "we will compare RPKI deployment with the
+// adoption of other core protocols such as DNSSEC."
+//
+// Per 10k-rank bin: fraction of domains whose zone publishes a DNSKEY
+// (DNSSEC signed), fraction with at least one RPKI-covered prefix-AS pair,
+// and the intersection — showing whether the two protection layers are
+// deployed by the same operators or independently.
+#include "common.hpp"
+
+int main() {
+  using namespace ripki;
+  const auto world = bench::run_pipeline("future_dnssec");
+
+  const auto rows = core::reports::dnssec_vs_rpki(world.dataset);
+
+  std::cout << "== Future work: DNSSEC vs RPKI adoption by Alexa rank ==\n";
+  util::TextTable table(
+      {"rank bin", "domains", "DNSSEC signed", "RPKI covered", "both layers"});
+  for (const auto& row : rows) {
+    if (row.domains == 0) continue;
+    table.add_row({bench::fmt_range(row.rank_lo, row.rank_hi),
+                   std::to_string(row.domains),
+                   bench::fmt_pct(row.dnssec_fraction),
+                   bench::fmt_pct(row.rpki_fraction),
+                   bench::fmt_pct(row.both_fraction, 3)});
+  }
+  table.print(std::cout);
+
+  const auto summary = core::reports::dnssec_summary(world.dataset);
+  std::cout << "\nDNSSEC-signed domains:     " << bench::fmt_pct(summary.dnssec_rate)
+            << "\n";
+  std::cout << "RPKI-covered domains:      " << bench::fmt_pct(summary.rpki_rate)
+            << "\n";
+  std::cout << "protected at both layers:  " << bench::fmt_pct(summary.both_rate, 3)
+            << "\n";
+  std::cout << "correlation ratio:         " << summary.correlation_ratio
+            << "  (1.0 = the two deployments are independent)\n";
+  return 0;
+}

@@ -1,0 +1,111 @@
+// ROA wizard: generates and signs the missing ROAs for one domain's
+// hosting footprint, then re-validates — and demonstrates the §5.2
+// deployment pitfall: "as soon as at least one ROA for an IP prefix
+// exists, ALL valid origin ASes for this IP prefix need to be assigned in
+// the RPKI before route updates are processed."
+//
+// Scenario: a website's prefix is legitimately originated by two ASes
+// (the owner plus a DoS-mitigation backup). The wizard first issues a ROA
+// for only the primary origin — the backup's announcement flips from
+// not-found to INVALID (worse than before, for that path). Issuing the
+// second ROA repairs it. This is also why operators fear RPKI reveals
+// business relations: both ROAs are now public.
+#include <iostream>
+
+#include "rpki/origin_validation.hpp"
+#include "rpki/repository.hpp"
+#include "rpki/validator.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ripki;
+
+void show_states(const char* stage, const rpki::VrpIndex& index,
+                 const net::Prefix& prefix, net::Asn primary, net::Asn backup) {
+  util::TextTable table({"announcement", "origin", "RFC 6811 state"});
+  table.add_row({prefix.to_string(), primary.to_string(),
+                 rpki::to_string(index.validate(prefix, primary))});
+  table.add_row({prefix.to_string(), backup.to_string(),
+                 rpki::to_string(index.validate(prefix, backup))});
+  std::cout << stage << "\n";
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const rpki::Timestamp now = rpki::kDefaultNow;
+  util::Prng prng(7);
+
+  const auto prefix = net::Prefix::parse("62.210.16.0/20").value();
+  const net::Asn primary(64496);  // the website's hoster
+  const net::Asn backup(64497);   // DoS-mitigation provider announcing as backup
+
+  auto anchor = rpki::make_trust_anchor(
+      "RIPE", rpki::ResourceSet({net::Prefix::parse("62.0.0.0/8").value()}),
+      rpki::ValidityWindow{now - 365 * rpki::kSecondsPerDay,
+                           now + 365 * rpki::kSecondsPerDay},
+      prng);
+
+  std::cout << "Website footprint: " << prefix.to_string()
+            << ", legitimately originated by " << primary.to_string()
+            << " (hoster) and " << backup.to_string() << " (DDoS backup)\n\n";
+
+  const rpki::RepositoryValidator validator(now);
+
+  // --- Stage 0: no ROAs at all.
+  {
+    rpki::RepositoryBuilder builder(anchor, now, prng);
+    (void)builder.add_ca("Website Hosting Ltd", rpki::ResourceSet({prefix}));
+    rpki::ValidationReport report;
+    validator.validate_into(builder.build(), report);
+    show_states("Stage 0 - no ROAs published (unprotected but unbroken):",
+                rpki::VrpIndex(report.vrps), prefix, primary, backup);
+  }
+
+  // --- Stage 1: the wizard issues a ROA for the primary origin only.
+  {
+    rpki::RepositoryBuilder builder(anchor, now, prng);
+    const auto ca = builder.add_ca("Website Hosting Ltd",
+                                   rpki::ResourceSet({prefix}));
+    rpki::RoaContent roa;
+    roa.asn = primary;
+    roa.prefixes = {rpki::RoaPrefix{prefix, 20}};
+    builder.add_roa(ca, roa);
+    rpki::ValidationReport report;
+    validator.validate_into(builder.build(), report);
+    show_states(
+        "Stage 1 - ROA for the primary origin only (the Section 5.2 pitfall: "
+        "the backup path is now INVALID and RPKI-validating routers drop it):",
+        rpki::VrpIndex(report.vrps), prefix, primary, backup);
+  }
+
+  // --- Stage 2: ROAs for every legitimate origin.
+  {
+    rpki::RepositoryBuilder builder(anchor, now, prng);
+    const auto ca = builder.add_ca("Website Hosting Ltd",
+                                   rpki::ResourceSet({prefix}));
+    rpki::RoaContent roa_primary;
+    roa_primary.asn = primary;
+    roa_primary.prefixes = {rpki::RoaPrefix{prefix, 20}};
+    builder.add_roa(ca, roa_primary);
+    rpki::RoaContent roa_backup;
+    roa_backup.asn = backup;
+    roa_backup.prefixes = {rpki::RoaPrefix{prefix, 20}};
+    builder.add_roa(ca, roa_backup);
+    rpki::ValidationReport report;
+    validator.validate_into(builder.build(), report);
+    show_states("Stage 2 - ROAs for BOTH origins (fully protected):",
+                rpki::VrpIndex(report.vrps), prefix, primary, backup);
+
+    std::cout << "Note: the repository now publicly documents the business\n"
+                 "relation between "
+              << primary.to_string() << " and " << backup.to_string()
+              << " IN ADVANCE of any backup event - the §5.2 disclosure\n"
+                 "concern operators raised with the authors.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "bgp/as_path.hpp"
+
+namespace ripki::bgp {
+
+AsPath::AsPath(std::vector<PathSegment> segments) : segments_(std::move(segments)) {}
+
+AsPath AsPath::sequence(std::initializer_list<std::uint32_t> asns) {
+  PathSegment segment;
+  segment.type = SegmentType::kAsSequence;
+  for (std::uint32_t asn : asns) segment.asns.emplace_back(asn);
+  return AsPath({std::move(segment)});
+}
+
+AsPath AsPath::sequence(const std::vector<net::Asn>& asns) {
+  PathSegment segment;
+  segment.type = SegmentType::kAsSequence;
+  segment.asns = asns;
+  return AsPath({std::move(segment)});
+}
+
+std::size_t AsPath::hop_count() const {
+  std::size_t n = 0;
+  for (const auto& segment : segments_) n += segment.asns.size();
+  return n;
+}
+
+std::optional<net::Asn> AsPath::origin() const {
+  if (segments_.empty()) return std::nullopt;
+  const PathSegment& last = segments_.back();
+  if (last.type != SegmentType::kAsSequence || last.asns.empty()) return std::nullopt;
+  return last.asns.back();
+}
+
+bool AsPath::contains_as_set() const {
+  for (const auto& segment : segments_) {
+    if (segment.type == SegmentType::kAsSet) return true;
+  }
+  return false;
+}
+
+AsPath AsPath::prepended(net::Asn asn) const {
+  AsPath out = *this;
+  if (out.segments_.empty() || out.segments_.front().type != SegmentType::kAsSequence) {
+    PathSegment segment;
+    segment.type = SegmentType::kAsSequence;
+    segment.asns = {asn};
+    out.segments_.insert(out.segments_.begin(), std::move(segment));
+  } else {
+    out.segments_.front().asns.insert(out.segments_.front().asns.begin(), asn);
+  }
+  return out;
+}
+
+std::string AsPath::to_string() const {
+  std::string out;
+  for (const auto& segment : segments_) {
+    if (!out.empty()) out += " ";
+    if (segment.type == SegmentType::kAsSet) {
+      out += "{";
+      for (std::size_t i = 0; i < segment.asns.size(); ++i) {
+        if (i != 0) out += ",";
+        out += std::to_string(segment.asns[i].value());
+      }
+      out += "}";
+    } else {
+      for (std::size_t i = 0; i < segment.asns.size(); ++i) {
+        if (i != 0) out += " ";
+        out += std::to_string(segment.asns[i].value());
+      }
+    }
+  }
+  return out;
+}
+
+void AsPath::encode_into(util::ByteWriter& writer) const {
+  for (const auto& segment : segments_) {
+    writer.put_u8(static_cast<std::uint8_t>(segment.type));
+    writer.put_u8(static_cast<std::uint8_t>(segment.asns.size()));
+    for (const net::Asn& asn : segment.asns) writer.put_u32(asn.value());
+  }
+}
+
+util::Result<AsPath> AsPath::decode(std::span<const std::uint8_t> payload) {
+  util::ByteReader reader(payload);
+  std::vector<PathSegment> segments;
+  while (!reader.at_end()) {
+    RIPKI_TRY_ASSIGN(type_raw, reader.u8());
+    if (type_raw != static_cast<std::uint8_t>(SegmentType::kAsSet) &&
+        type_raw != static_cast<std::uint8_t>(SegmentType::kAsSequence)) {
+      return util::Err("as_path: unknown segment type");
+    }
+    RIPKI_TRY_ASSIGN(count, reader.u8());
+    PathSegment segment;
+    segment.type = static_cast<SegmentType>(type_raw);
+    for (std::uint8_t i = 0; i < count; ++i) {
+      RIPKI_TRY_ASSIGN(asn, reader.u32());
+      segment.asns.emplace_back(asn);
+    }
+    segments.push_back(std::move(segment));
+  }
+  return AsPath(std::move(segments));
+}
+
+}  // namespace ripki::bgp

@@ -1,0 +1,75 @@
+// BGP AS_PATH attribute (RFC 4271 §4.3, 4-octet ASNs per RFC 6793).
+//
+// Paths are sequences of segments; each segment is an AS_SEQUENCE or an
+// AS_SET (aggregation residue). The paper's methodology derives the origin
+// AS from "the right most ASN in the AS path" and *excludes* entries whose
+// origin position is an AS_SET, "as this leads to an ambiguity of the
+// attribute" (deprecated by RFC 6472 with RPKI deployment).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/asn.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace ripki::bgp {
+
+enum class SegmentType : std::uint8_t {
+  kAsSet = 1,
+  kAsSequence = 2,
+};
+
+struct PathSegment {
+  SegmentType type = SegmentType::kAsSequence;
+  std::vector<net::Asn> asns;
+
+  bool operator==(const PathSegment&) const = default;
+};
+
+class AsPath {
+ public:
+  AsPath() = default;
+  explicit AsPath(std::vector<PathSegment> segments);
+
+  /// Convenience: a pure AS_SEQUENCE path, first element = neighbor,
+  /// last element = origin.
+  static AsPath sequence(std::initializer_list<std::uint32_t> asns);
+  static AsPath sequence(const std::vector<net::Asn>& asns);
+
+  const std::vector<PathSegment>& segments() const { return segments_; }
+  bool empty() const { return segments_.empty(); }
+
+  /// Total number of ASNs across all segments.
+  std::size_t hop_count() const;
+
+  /// The origin AS: right-most ASN of the final AS_SEQUENCE segment.
+  /// nullopt when the path ends in an AS_SET (ambiguous origin) or is empty.
+  std::optional<net::Asn> origin() const;
+
+  /// True when any segment is an AS_SET (such table entries are excluded
+  /// from the study per the methodology).
+  bool contains_as_set() const;
+
+  /// Prepends `asn` as a new first hop (what a BGP speaker does when
+  /// propagating an announcement).
+  AsPath prepended(net::Asn asn) const;
+
+  /// "3320 1299 {64512,64513}" display form.
+  std::string to_string() const;
+
+  /// BGP wire encoding of the attribute value (AS4 octets).
+  void encode_into(util::ByteWriter& writer) const;
+  static util::Result<AsPath> decode(std::span<const std::uint8_t> payload);
+
+  bool operator==(const AsPath&) const = default;
+
+ private:
+  std::vector<PathSegment> segments_;
+};
+
+}  // namespace ripki::bgp

@@ -1,0 +1,30 @@
+#include "bgp/collector.hpp"
+
+#include <cassert>
+
+namespace ripki::bgp {
+
+RouteCollector::RouteCollector(std::uint32_t bgp_id, std::string view_name)
+    : bgp_id_(bgp_id), view_name_(std::move(view_name)) {}
+
+std::uint16_t RouteCollector::add_peer(const PeerEntry& peer) {
+  rib_.add_peer(peer);
+  return static_cast<std::uint16_t>(rib_.peers().size() - 1);
+}
+
+void RouteCollector::announce(std::uint16_t peer_index, const net::Prefix& prefix,
+                              AsPath as_path, std::uint32_t originated_at) {
+  assert(peer_index < rib_.peers().size());
+  RibEntry entry;
+  entry.prefix = prefix;
+  entry.as_path = std::move(as_path);
+  entry.peer_index = peer_index;
+  entry.originated_at = originated_at;
+  rib_.add(std::move(entry));
+}
+
+util::Bytes RouteCollector::dump_mrt(std::uint32_t timestamp) const {
+  return mrt::write_table_dump(rib_, bgp_id_, view_name_, timestamp);
+}
+
+}  // namespace ripki::bgp

@@ -1,0 +1,36 @@
+// Route collector simulation: the RIPE-RIS-style vantage that assembles a
+// multi-peer BGP table and exports it as an MRT TABLE_DUMP_V2 file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bgp/mrt.hpp"
+#include "bgp/rib.hpp"
+
+namespace ripki::bgp {
+
+class RouteCollector {
+ public:
+  RouteCollector(std::uint32_t bgp_id, std::string view_name);
+
+  /// Registers a peering session; returns the peer index used in RIB
+  /// entries.
+  std::uint16_t add_peer(const PeerEntry& peer);
+
+  /// Records an announcement observed from peer `peer_index`.
+  void announce(std::uint16_t peer_index, const net::Prefix& prefix,
+                AsPath as_path, std::uint32_t originated_at);
+
+  const Rib& rib() const { return rib_; }
+
+  /// MRT TABLE_DUMP_V2 snapshot of the current table.
+  util::Bytes dump_mrt(std::uint32_t timestamp) const;
+
+ private:
+  std::uint32_t bgp_id_;
+  std::string view_name_;
+  Rib rib_;
+};
+
+}  // namespace ripki::bgp

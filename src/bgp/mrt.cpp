@@ -1,0 +1,255 @@
+#include "bgp/mrt.hpp"
+
+#include <cassert>
+
+namespace ripki::bgp::mrt {
+
+namespace {
+
+// BGP path attribute type codes (RFC 4271 §5.1).
+constexpr std::uint8_t kAttrOrigin = 1;
+constexpr std::uint8_t kAttrAsPath = 2;
+constexpr std::uint8_t kAttrNextHop = 3;
+constexpr std::uint8_t kFlagTransitive = 0x40;
+constexpr std::uint8_t kFlagExtendedLength = 0x10;
+
+void write_attribute(util::ByteWriter& w, std::uint8_t type,
+                     std::span<const std::uint8_t> value) {
+  const bool extended = value.size() > 255;
+  w.put_u8(static_cast<std::uint8_t>(kFlagTransitive |
+                                     (extended ? kFlagExtendedLength : 0)));
+  w.put_u8(type);
+  if (extended) {
+    w.put_u16(static_cast<std::uint16_t>(value.size()));
+  } else {
+    w.put_u8(static_cast<std::uint8_t>(value.size()));
+  }
+  w.put_bytes(value);
+}
+
+util::Bytes encode_attributes(const RibEntry& entry) {
+  util::ByteWriter attrs;
+  // ORIGIN: IGP.
+  const std::uint8_t origin_value = 0;
+  write_attribute(attrs, kAttrOrigin, std::span<const std::uint8_t>(&origin_value, 1));
+  // AS_PATH.
+  util::ByteWriter path;
+  entry.as_path.encode_into(path);
+  write_attribute(attrs, kAttrAsPath, path.bytes());
+  // NEXT_HOP (IPv4 only; IPv6 would use MP_REACH_NLRI).
+  if (entry.prefix.is_v4()) {
+    const std::uint8_t hop[4] = {192, 0, 2, 1};
+    write_attribute(attrs, kAttrNextHop, std::span<const std::uint8_t>(hop, 4));
+  }
+  return std::move(attrs).take();
+}
+
+/// Extracts the AS_PATH from a BGP attribute blob, skipping everything else.
+util::Result<AsPath> parse_as_path_from_attributes(
+    std::span<const std::uint8_t> attrs, std::uint64_t* skipped) {
+  util::ByteReader reader(attrs);
+  std::optional<AsPath> path;
+  while (!reader.at_end()) {
+    RIPKI_TRY_ASSIGN(flags, reader.u8());
+    RIPKI_TRY_ASSIGN(type, reader.u8());
+    std::size_t length = 0;
+    if ((flags & kFlagExtendedLength) != 0) {
+      RIPKI_TRY_ASSIGN(len16, reader.u16());
+      length = len16;
+    } else {
+      RIPKI_TRY_ASSIGN(len8, reader.u8());
+      length = len8;
+    }
+    RIPKI_TRY_ASSIGN(value, reader.view(length));
+    if (type == kAttrAsPath) {
+      RIPKI_TRY_ASSIGN(decoded, AsPath::decode(value));
+      path = std::move(decoded);
+    } else if (skipped != nullptr) {
+      ++*skipped;
+    }
+  }
+  if (!path.has_value()) return util::Err("mrt: rib entry missing AS_PATH");
+  return *path;
+}
+
+std::size_t prefix_byte_count(int length) {
+  return static_cast<std::size_t>((length + 7) / 8);
+}
+
+}  // namespace
+
+void write_record(util::ByteWriter& writer, const Record& record) {
+  writer.put_u32(record.timestamp);
+  writer.put_u16(record.type);
+  writer.put_u16(record.subtype);
+  writer.put_u32(static_cast<std::uint32_t>(record.body.size()));
+  writer.put_bytes(record.body);
+}
+
+util::Result<Record> read_record(util::ByteReader& reader) {
+  Record record;
+  RIPKI_TRY_ASSIGN(timestamp, reader.u32());
+  record.timestamp = timestamp;
+  RIPKI_TRY_ASSIGN(type, reader.u16());
+  record.type = type;
+  RIPKI_TRY_ASSIGN(subtype, reader.u16());
+  record.subtype = subtype;
+  RIPKI_TRY_ASSIGN(length, reader.u32());
+  RIPKI_TRY_ASSIGN(body, reader.bytes(length));
+  record.body = std::move(body);
+  return record;
+}
+
+util::Bytes write_table_dump(const Rib& rib, std::uint32_t collector_bgp_id,
+                             const std::string& view_name, std::uint32_t timestamp) {
+  util::ByteWriter out;
+
+  // PEER_INDEX_TABLE.
+  {
+    util::ByteWriter body;
+    body.put_u32(collector_bgp_id);
+    body.put_u16(static_cast<std::uint16_t>(view_name.size()));
+    body.put_string(view_name);
+    body.put_u16(static_cast<std::uint16_t>(rib.peers().size()));
+    for (const auto& peer : rib.peers()) {
+      const bool v6 = peer.address.is_v6();
+      // Bit 0: address family; bit 1: 4-byte AS number.
+      body.put_u8(static_cast<std::uint8_t>((v6 ? 0x01 : 0x00) | 0x02));
+      body.put_u32(peer.bgp_id);
+      body.put_bytes(std::span<const std::uint8_t>(peer.address.bytes().data(),
+                                                   v6 ? 16 : 4));
+      body.put_u32(peer.asn.value());
+    }
+    write_record(out, Record{timestamp, kTypeTableDumpV2, kSubtypePeerIndexTable,
+                             std::move(body).take()});
+  }
+
+  // One RIB record per prefix.
+  std::uint32_t sequence = 0;
+  rib.visit([&](const net::Prefix& prefix, const std::vector<RibEntry>& entries) {
+    util::ByteWriter body;
+    body.put_u32(sequence++);
+    body.put_u8(static_cast<std::uint8_t>(prefix.length()));
+    body.put_bytes(std::span<const std::uint8_t>(prefix.address().bytes().data(),
+                                                 prefix_byte_count(prefix.length())));
+    body.put_u16(static_cast<std::uint16_t>(entries.size()));
+    for (const auto& entry : entries) {
+      body.put_u16(entry.peer_index);
+      body.put_u32(entry.originated_at);
+      const util::Bytes attrs = encode_attributes(entry);
+      body.put_u16(static_cast<std::uint16_t>(attrs.size()));
+      body.put_bytes(attrs);
+    }
+    write_record(out, Record{timestamp, kTypeTableDumpV2,
+                             prefix.is_v4() ? kSubtypeRibIpv4Unicast
+                                            : kSubtypeRibIpv6Unicast,
+                             std::move(body).take()});
+  });
+
+  return std::move(out).take();
+}
+
+util::Result<Rib> read_table_dump(std::span<const std::uint8_t> data,
+                                  ParseStats* stats) {
+  util::ByteReader reader(data);
+  Rib rib;
+  bool saw_peer_index = false;
+
+  while (!reader.at_end()) {
+    RIPKI_TRY_ASSIGN(record, read_record(reader));
+    if (stats != nullptr) ++stats->records;
+    if (record.type != kTypeTableDumpV2) continue;  // tolerate foreign records
+
+    util::ByteReader body(record.body);
+    if (record.subtype == kSubtypePeerIndexTable) {
+      if (saw_peer_index) return util::Err("mrt: duplicate PEER_INDEX_TABLE");
+      saw_peer_index = true;
+      RIPKI_TRY_ASSIGN(collector_id, body.u32());
+      (void)collector_id;
+      RIPKI_TRY_ASSIGN(name_len, body.u16());
+      RIPKI_TRY_ASSIGN(view_name, body.string(name_len));
+      (void)view_name;
+      RIPKI_TRY_ASSIGN(peer_count, body.u16());
+      for (std::uint16_t i = 0; i < peer_count; ++i) {
+        RIPKI_TRY_ASSIGN(peer_type, body.u8());
+        const bool v6 = (peer_type & 0x01) != 0;
+        const bool as4 = (peer_type & 0x02) != 0;
+        PeerEntry peer;
+        RIPKI_TRY_ASSIGN(bgp_id, body.u32());
+        peer.bgp_id = bgp_id;
+        RIPKI_TRY_ASSIGN(addr_bytes, body.bytes(v6 ? 16 : 4));
+        if (v6) {
+          std::array<std::uint8_t, 16> raw{};
+          std::copy(addr_bytes.begin(), addr_bytes.end(), raw.begin());
+          peer.address = net::IpAddress::v6(raw);
+        } else {
+          peer.address = net::IpAddress::v4(addr_bytes[0], addr_bytes[1],
+                                            addr_bytes[2], addr_bytes[3]);
+        }
+        if (as4) {
+          RIPKI_TRY_ASSIGN(asn, body.u32());
+          peer.asn = net::Asn(asn);
+        } else {
+          RIPKI_TRY_ASSIGN(asn, body.u16());
+          peer.asn = net::Asn(asn);
+        }
+        rib.add_peer(peer);
+      }
+      continue;
+    }
+
+    if (record.subtype != kSubtypeRibIpv4Unicast &&
+        record.subtype != kSubtypeRibIpv6Unicast) {
+      continue;  // unhandled subtype
+    }
+    if (!saw_peer_index)
+      return util::Err("mrt: RIB record before PEER_INDEX_TABLE");
+
+    const bool v4 = record.subtype == kSubtypeRibIpv4Unicast;
+    RIPKI_TRY_ASSIGN(sequence, body.u32());
+    (void)sequence;
+    RIPKI_TRY_ASSIGN(prefix_len, body.u8());
+    const int max_len = v4 ? 32 : 128;
+    if (prefix_len > max_len) return util::Err("mrt: bad prefix length");
+    RIPKI_TRY_ASSIGN(prefix_bytes, body.bytes(prefix_byte_count(prefix_len)));
+
+    net::IpAddress addr;
+    if (v4) {
+      std::uint8_t raw[4] = {0, 0, 0, 0};
+      std::copy(prefix_bytes.begin(), prefix_bytes.end(), raw);
+      addr = net::IpAddress::v4(raw[0], raw[1], raw[2], raw[3]);
+    } else {
+      std::array<std::uint8_t, 16> raw{};
+      std::copy(prefix_bytes.begin(), prefix_bytes.end(), raw.begin());
+      addr = net::IpAddress::v6(raw);
+    }
+    const net::Prefix prefix(addr, prefix_len);
+
+    RIPKI_TRY_ASSIGN(entry_count, body.u16());
+    for (std::uint16_t i = 0; i < entry_count; ++i) {
+      RibEntry entry;
+      entry.prefix = prefix;
+      RIPKI_TRY_ASSIGN(peer_index, body.u16());
+      entry.peer_index = peer_index;
+      if (entry.peer_index >= rib.peers().size())
+        return util::Err("mrt: rib entry references unknown peer");
+      RIPKI_TRY_ASSIGN(originated, body.u32());
+      entry.originated_at = originated;
+      RIPKI_TRY_ASSIGN(attr_len, body.u16());
+      RIPKI_TRY_ASSIGN(attrs, body.view(attr_len));
+      std::uint64_t skipped = 0;
+      RIPKI_TRY_ASSIGN(path, parse_as_path_from_attributes(attrs, &skipped));
+      if (stats != nullptr) {
+        stats->skipped_attributes += skipped;
+        ++stats->rib_entries;
+      }
+      entry.as_path = std::move(path);
+      rib.add(std::move(entry));
+    }
+    if (!body.at_end()) return util::Err("mrt: trailing bytes in RIB record");
+  }
+
+  return rib;
+}
+
+}  // namespace ripki::bgp::mrt

@@ -1,0 +1,43 @@
+#include "bgp/rib.hpp"
+
+namespace ripki::bgp {
+
+void Rib::add(RibEntry entry) {
+  if (auto* existing = trie_.find_exact(entry.prefix)) {
+    existing->push_back(std::move(entry));
+  } else {
+    const net::Prefix prefix = entry.prefix;
+    trie_.insert(prefix, std::vector<RibEntry>{std::move(entry)});
+  }
+  ++entry_count_;
+}
+
+const std::vector<RibEntry>* Rib::entries_for(const net::Prefix& prefix) const {
+  return trie_.find_exact(prefix);
+}
+
+std::vector<Rib::CoveringResult> Rib::covering(const net::IpAddress& addr) const {
+  std::vector<CoveringResult> out;
+  for (const auto& match : trie_.covering(addr)) {
+    out.push_back({match.prefix, match.value});
+  }
+  return out;
+}
+
+std::set<net::Asn> Rib::origins_for(const net::Prefix& prefix) const {
+  std::set<net::Asn> out;
+  if (const auto* entries = entries_for(prefix)) {
+    for (const auto& entry : *entries) {
+      if (entry.as_path.contains_as_set()) continue;  // RFC 6472 exclusion
+      if (const auto origin = entry.origin()) out.insert(*origin);
+    }
+  }
+  return out;
+}
+
+void Rib::visit(const std::function<void(const net::Prefix&,
+                                         const std::vector<RibEntry>&)>& fn) const {
+  trie_.visit(fn);
+}
+
+}  // namespace ripki::bgp

@@ -1,0 +1,75 @@
+// Routing Information Base: the collector-view BGP table the measurement
+// consumes (the stand-in for "dumps of the active tables of the RIPE RIS
+// route servers", methodology step 3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "bgp/as_path.hpp"
+#include "net/prefix.hpp"
+#include "trie/prefix_trie.hpp"
+
+namespace ripki::bgp {
+
+/// One table entry as seen from one collector peer.
+struct RibEntry {
+  net::Prefix prefix;
+  AsPath as_path;
+  std::uint16_t peer_index = 0;
+  std::uint32_t originated_at = 0;  // seconds since epoch
+
+  /// Origin AS (right-most ASN); nullopt when the path ends in an AS_SET.
+  std::optional<net::Asn> origin() const { return as_path.origin(); }
+
+  bool operator==(const RibEntry&) const = default;
+};
+
+/// Identity of a collector peer (PEER_INDEX_TABLE row).
+struct PeerEntry {
+  std::uint32_t bgp_id = 0;
+  net::IpAddress address;
+  net::Asn asn;
+
+  bool operator==(const PeerEntry&) const = default;
+};
+
+class Rib {
+ public:
+  void add_peer(const PeerEntry& peer) { peers_.push_back(peer); }
+  const std::vector<PeerEntry>& peers() const { return peers_; }
+
+  void add(RibEntry entry);
+
+  /// All entries stored for exactly `prefix`.
+  const std::vector<RibEntry>* entries_for(const net::Prefix& prefix) const;
+
+  /// All (covering prefix, entries) pairs for `addr`, shortest prefix
+  /// first — methodology step 3 extracts *all* covering prefixes.
+  struct CoveringResult {
+    net::Prefix prefix;
+    const std::vector<RibEntry>* entries;
+  };
+  std::vector<CoveringResult> covering(const net::IpAddress& addr) const;
+
+  /// Distinct origin ASes announced for `prefix` across all peers,
+  /// excluding AS_SET-terminated paths.
+  std::set<net::Asn> origins_for(const net::Prefix& prefix) const;
+
+  /// Visits every (prefix, entries) pair.
+  void visit(const std::function<void(const net::Prefix&,
+                                      const std::vector<RibEntry>&)>& fn) const;
+
+  std::size_t prefix_count() const { return trie_.size(); }
+  std::size_t entry_count() const { return entry_count_; }
+
+ private:
+  trie::PrefixTrie<std::vector<RibEntry>> trie_;
+  std::vector<PeerEntry> peers_;
+  std::size_t entry_count_ = 0;
+};
+
+}  // namespace ripki::bgp

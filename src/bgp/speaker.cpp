@@ -1,0 +1,83 @@
+#include "bgp/speaker.hpp"
+
+#include <algorithm>
+
+namespace ripki::bgp {
+
+const char* to_string(PolicyAction action) {
+  switch (action) {
+    case PolicyAction::kAccepted: return "accepted";
+    case PolicyAction::kAcceptedNotFound: return "accepted (rpki not-found)";
+    case PolicyAction::kRejectedInvalid: return "rejected (rpki invalid)";
+    case PolicyAction::kRejectedMalformed: return "rejected (malformed)";
+    case PolicyAction::kWithdrawn: return "withdrawn";
+  }
+  return "unknown";
+}
+
+PolicyAction BgpSpeaker::process(const RouteUpdate& update) {
+  ++counters_.updates;
+
+  if (update.withdraw) {
+    if (auto* routes = loc_rib_.find_exact(update.prefix)) {
+      routes->clear();
+    }
+    ++counters_.withdrawals;
+    return PolicyAction::kWithdrawn;
+  }
+
+  const auto origin = update.as_path.origin();
+  if (!origin.has_value()) {
+    ++counters_.rejected_malformed;
+    return PolicyAction::kRejectedMalformed;
+  }
+
+  rpki::OriginValidity validity = rpki::OriginValidity::kNotFound;
+  if (vrp_index_ != nullptr) {
+    validity = vrp_index_->validate(update.prefix, *origin);
+    if (validity == rpki::OriginValidity::kInvalid) {
+      ++counters_.rejected_invalid;
+      return PolicyAction::kRejectedInvalid;
+    }
+  }
+
+  StoredRoute route{update.as_path, validity};
+  if (auto* routes = loc_rib_.find_exact(update.prefix)) {
+    routes->push_back(std::move(route));
+  } else {
+    loc_rib_.insert(update.prefix, std::vector<StoredRoute>{std::move(route)});
+  }
+  ++counters_.accepted;
+  return validity == rpki::OriginValidity::kValid ? PolicyAction::kAccepted
+                                                  : PolicyAction::kAcceptedNotFound;
+}
+
+std::optional<BgpSpeaker::SelectedRoute> BgpSpeaker::best_route(
+    const net::IpAddress& dst) const {
+  const auto matches = loc_rib_.covering(dst);
+  // Longest prefix first; skip prefixes whose routes were all withdrawn.
+  for (auto it = matches.rbegin(); it != matches.rend(); ++it) {
+    const auto& routes = *it->value;
+    if (routes.empty()) continue;
+    const StoredRoute* best = nullptr;
+    for (const auto& route : routes) {
+      if (best == nullptr) {
+        best = &route;
+        continue;
+      }
+      const std::size_t a = route.as_path.hop_count();
+      const std::size_t b = best->as_path.hop_count();
+      if (a < b) {
+        best = &route;
+      } else if (a == b) {
+        const auto oa = route.as_path.origin();
+        const auto ob = best->as_path.origin();
+        if (oa && ob && oa->value() < ob->value()) best = &route;
+      }
+    }
+    return SelectedRoute{it->prefix, best->as_path, best->validity};
+  }
+  return std::nullopt;
+}
+
+}  // namespace ripki::bgp

@@ -1,0 +1,84 @@
+// A minimal BGP speaker with optional RPKI route origin validation.
+//
+// Models the router in the paper's attacker scenario: it receives route
+// updates (including a hijacker's bogus announcement), applies RFC 6811
+// validation against a VRP index when enabled, and selects best paths by
+// longest prefix match + shortest AS path. Drives examples/hijack_demo.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/as_path.hpp"
+#include "net/prefix.hpp"
+#include "rpki/origin_validation.hpp"
+#include "trie/prefix_trie.hpp"
+
+namespace ripki::bgp {
+
+/// Simplified BGP UPDATE: one prefix announced (or withdrawn) with a path.
+struct RouteUpdate {
+  net::Prefix prefix;
+  AsPath as_path;   // ignored for withdrawals
+  bool withdraw = false;
+};
+
+enum class PolicyAction : std::uint8_t {
+  kAccepted,
+  kAcceptedNotFound,   // accepted; RPKI state not-found
+  kRejectedInvalid,    // dropped by origin validation
+  kRejectedMalformed,  // e.g. empty AS path on an announcement
+  kWithdrawn,
+};
+
+const char* to_string(PolicyAction action);
+
+class BgpSpeaker {
+ public:
+  explicit BgpSpeaker(net::Asn self) : self_(self) {}
+
+  net::Asn self() const { return self_; }
+
+  /// Enables RFC 6811 origin validation with drop-invalid policy.
+  /// `index` is borrowed and must outlive the speaker (a router holds the
+  /// RTR client's table the same way).
+  void enable_origin_validation(const rpki::VrpIndex* index) { vrp_index_ = index; }
+  void disable_origin_validation() { vrp_index_ = nullptr; }
+  bool validating() const { return vrp_index_ != nullptr; }
+
+  PolicyAction process(const RouteUpdate& update);
+
+  struct SelectedRoute {
+    net::Prefix prefix;
+    AsPath as_path;
+    rpki::OriginValidity validity = rpki::OriginValidity::kNotFound;
+  };
+
+  /// Best route toward `dst`: longest-prefix match, then shortest AS path
+  /// (ties broken by lowest origin ASN). nullopt = unreachable.
+  std::optional<SelectedRoute> best_route(const net::IpAddress& dst) const;
+
+  struct Counters {
+    std::uint64_t updates = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected_invalid = 0;
+    std::uint64_t rejected_malformed = 0;
+    std::uint64_t withdrawals = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  struct StoredRoute {
+    AsPath as_path;
+    rpki::OriginValidity validity;
+  };
+
+  net::Asn self_;
+  const rpki::VrpIndex* vrp_index_ = nullptr;
+  trie::PrefixTrie<std::vector<StoredRoute>> loc_rib_;
+  Counters counters_;
+};
+
+}  // namespace ripki::bgp

@@ -1,0 +1,240 @@
+#include "bgp/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace ripki::bgp {
+
+namespace {
+
+Relationship invert(Relationship rel) {
+  switch (rel) {
+    case Relationship::kCustomer: return Relationship::kProvider;
+    case Relationship::kProvider: return Relationship::kCustomer;
+    case Relationship::kPeer: return Relationship::kPeer;
+  }
+  return Relationship::kPeer;
+}
+
+/// Preference class of a route by how it was learned (lower is better).
+int preference_class(Relationship learned_from) {
+  switch (learned_from) {
+    case Relationship::kCustomer: return 0;
+    case Relationship::kPeer: return 1;
+    case Relationship::kProvider: return 2;
+  }
+  return 3;
+}
+
+}  // namespace
+
+void AsTopology::add_link(std::uint32_t a, std::uint32_t b, Relationship a_to_b) {
+  for (const auto& link : links_[a]) {
+    if (link.neighbor == b) return;  // keep the first relationship
+  }
+  links_[a].push_back(Link{b, a_to_b});
+  links_[b].push_back(Link{a, invert(a_to_b)});
+}
+
+AsTopology AsTopology::generate(const TopologyConfig& config) {
+  AsTopology topology;
+  util::Prng prng(config.seed);
+
+  const std::size_t total = static_cast<std::size_t>(config.tier1_count) +
+                            static_cast<std::size_t>(config.transit_count) +
+                            static_cast<std::size_t>(config.edge_count);
+  topology.tier1_count_ = static_cast<std::size_t>(config.tier1_count);
+  topology.transit_count_ = static_cast<std::size_t>(config.transit_count);
+  topology.links_.resize(total);
+  topology.asns_.reserve(total);
+  std::uint32_t next_asn = 100;
+  for (std::size_t i = 0; i < total; ++i) {
+    next_asn += 1 + static_cast<std::uint32_t>(prng.uniform(5));
+    topology.asns_.emplace_back(next_asn);
+  }
+
+  // Tier-1 full peering clique.
+  for (int a = 0; a < config.tier1_count; ++a) {
+    for (int b = a + 1; b < config.tier1_count; ++b) {
+      topology.add_link(static_cast<std::uint32_t>(a), static_cast<std::uint32_t>(b),
+                        Relationship::kPeer);
+    }
+  }
+
+  // Transit ASes buy from 2-3 tier-1s and sometimes peer with each other.
+  const auto transit_base = static_cast<std::uint32_t>(config.tier1_count);
+  for (int t = 0; t < config.transit_count; ++t) {
+    const std::uint32_t transit = transit_base + static_cast<std::uint32_t>(t);
+    const int providers = 2 + static_cast<int>(prng.uniform(2));
+    for (int p = 0; p < providers; ++p) {
+      const auto tier1 =
+          static_cast<std::uint32_t>(prng.uniform(
+              static_cast<std::uint64_t>(config.tier1_count)));
+      topology.add_link(tier1, transit, Relationship::kCustomer);
+    }
+  }
+  for (int a = 0; a < config.transit_count; ++a) {
+    for (int b = a + 1; b < config.transit_count; ++b) {
+      if (prng.bernoulli(config.transit_peering_probability)) {
+        topology.add_link(transit_base + static_cast<std::uint32_t>(a),
+                          transit_base + static_cast<std::uint32_t>(b),
+                          Relationship::kPeer);
+      }
+    }
+  }
+
+  // Edge (stub) ASes buy from 1-3 transits.
+  const std::uint32_t edge_base =
+      transit_base + static_cast<std::uint32_t>(config.transit_count);
+  for (int e = 0; e < config.edge_count; ++e) {
+    const std::uint32_t edge = edge_base + static_cast<std::uint32_t>(e);
+    const int providers = 1 + static_cast<int>(prng.uniform(3));
+    for (int p = 0; p < providers; ++p) {
+      const auto transit = transit_base + static_cast<std::uint32_t>(prng.uniform(
+                               static_cast<std::uint64_t>(config.transit_count)));
+      topology.add_link(transit, edge, Relationship::kCustomer);
+    }
+  }
+  return topology;
+}
+
+double PropagationSim::HijackOutcome::polluted_fraction() const {
+  const std::size_t total = polluted + protected_count + disconnected;
+  return total == 0 ? 0.0
+                    : static_cast<double>(polluted) / static_cast<double>(total);
+}
+
+PropagationSim::PropagationSim(const AsTopology& topology,
+                               const rpki::VrpIndex* index)
+    : topology_(topology), vrp_index_(index) {}
+
+void PropagationSim::set_validators(std::vector<bool> validating) {
+  assert(validating.size() == topology_.as_count());
+  validating_ = std::move(validating);
+}
+
+std::vector<PropagationSim::RouteEntry> PropagationSim::propagate(
+    const Announcement& announcement) const {
+  const std::size_t n = topology_.as_count();
+
+  struct State {
+    bool has_route = false;
+    int pref_class = 4;
+    AsPath path;
+    std::uint32_t learned_via = 0;
+  };
+  std::vector<State> states(n);
+
+  const auto validates = [&](std::size_t index) {
+    return vrp_index_ != nullptr && !validating_.empty() && validating_[index];
+  };
+  const auto route_invalid = [&](const net::Prefix& prefix, const AsPath& path) {
+    const auto origin = path.origin();
+    if (!origin.has_value()) return true;
+    return vrp_index_->validate(prefix, *origin) == rpki::OriginValidity::kInvalid;
+  };
+
+  // The origin's own announcement. Stored paths exclude the storing AS's
+  // own ASN (it is prepended on export, as in BGP), so the origin starts
+  // with an empty path. A validating origin does not suppress its own
+  // route; drop-invalid applies to *received* updates.
+  states[announcement.origin_index].has_route = true;
+  states[announcement.origin_index].pref_class = -1;  // own route beats all
+
+  std::deque<std::uint32_t> worklist = {announcement.origin_index};
+  std::vector<bool> queued(n, false);
+  queued[announcement.origin_index] = true;
+
+  while (!worklist.empty()) {
+    const std::uint32_t sender = worklist.front();
+    worklist.pop_front();
+    queued[sender] = false;
+    const State& route = states[sender];
+    if (!route.has_route) continue;
+
+    for (const auto& link : topology_.links(sender)) {
+      // Gao-Rexford export: own and customer-learned routes go everywhere;
+      // peer/provider-learned routes go to customers only.
+      const bool to_customer = link.relationship == Relationship::kCustomer;
+      if (route.pref_class >= 1 && !to_customer) continue;
+
+      const std::uint32_t receiver = link.neighbor;
+      // The sender prepends its own ASN on export.
+      const AsPath candidate_path = route.path.prepended(topology_.asn_of(sender));
+
+      // Loop prevention: the receiver's ASN must not be in the path.
+      bool loop = false;
+      for (const auto& segment : candidate_path.segments()) {
+        for (const auto asn : segment.asns) {
+          if (asn == topology_.asn_of(receiver)) {
+            loop = true;
+            break;
+          }
+        }
+        if (loop) break;
+      }
+      if (loop) continue;
+
+      // Relationship from the receiver's perspective.
+      const Relationship learned_from = invert(link.relationship);
+      const int pref = preference_class(learned_from);
+
+      State& current = states[receiver];
+      const std::size_t cand_hops = candidate_path.hop_count();
+      const bool better =
+          !current.has_route || pref < current.pref_class ||
+          (pref == current.pref_class &&
+           (cand_hops < current.path.hop_count() ||
+            (cand_hops == current.path.hop_count() && sender < current.learned_via)));
+      if (!better) continue;
+
+      // RPKI drop-invalid policy at validating receivers.
+      if (validates(receiver) && route_invalid(announcement.prefix, candidate_path))
+        continue;
+
+      current.has_route = true;
+      current.pref_class = pref;
+      current.path = candidate_path;
+      current.learned_via = sender;
+      if (!queued[receiver]) {
+        queued[receiver] = true;
+        worklist.push_back(receiver);
+      }
+    }
+  }
+
+  std::vector<RouteEntry> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!states[i].has_route) continue;
+    out[i].reachable = true;
+    out[i].path = states[i].path;
+  }
+  return out;
+}
+
+PropagationSim::HijackOutcome PropagationSim::simulate_hijack(
+    const Announcement& legitimate, const Announcement& hijack) const {
+  assert(hijack.prefix.length() >= legitimate.prefix.length() &&
+         legitimate.prefix.contains(hijack.prefix));
+
+  const auto legit_routes = propagate(legitimate);
+  const auto hijack_routes = propagate(hijack);
+
+  HijackOutcome outcome;
+  for (std::size_t i = 0; i < topology_.as_count(); ++i) {
+    if (i == legitimate.origin_index || i == hijack.origin_index) continue;
+    // Longest-prefix match: any route for the hijacked (more specific or
+    // equal) prefix wins over the legitimate covering route.
+    if (hijack_routes[i].reachable) {
+      ++outcome.polluted;
+    } else if (legit_routes[i].reachable) {
+      ++outcome.protected_count;
+    } else {
+      ++outcome.disconnected;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace ripki::bgp

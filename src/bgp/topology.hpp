@@ -1,0 +1,118 @@
+// Inter-domain topology and policy-based route propagation.
+//
+// Supports the §5 discussion of the paper (deployment incentives) with the
+// partial-deployment experiment of the secure-routing literature the paper
+// cites ([9] Gill et al., [17] Lychev et al.): generate a
+// customer/provider/peer AS graph, propagate a legitimate announcement and
+// a more-specific hijack under Gao-Rexford export policies, and measure
+// how many ASes route toward the hijacker as a function of which ASes
+// perform RPKI origin validation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bgp/as_path.hpp"
+#include "net/prefix.hpp"
+#include "rpki/origin_validation.hpp"
+#include "util/prng.hpp"
+
+namespace ripki::bgp {
+
+/// Relationship of a link, from the perspective of the AS holding it.
+enum class Relationship : std::uint8_t {
+  kCustomer,  // the neighbor is my customer (I provide transit)
+  kProvider,  // the neighbor is my provider
+  kPeer,      // settlement-free peer
+};
+
+struct TopologyConfig {
+  std::uint64_t seed = 1;
+  int tier1_count = 10;     // full peering clique at the top
+  int transit_count = 150;  // regional transit: customers of 2-3 tier-1s
+  int edge_count = 2'000;   // stubs: customers of 1-3 transits
+  /// Probability that two random transit ASes peer.
+  double transit_peering_probability = 0.02;
+};
+
+class AsTopology {
+ public:
+  struct Link {
+    std::uint32_t neighbor;  // AS index
+    Relationship relationship;
+  };
+
+  static AsTopology generate(const TopologyConfig& config);
+
+  std::size_t as_count() const { return links_.size(); }
+  net::Asn asn_of(std::size_t index) const { return asns_[index]; }
+  const std::vector<Link>& links(std::size_t index) const { return links_[index]; }
+
+  std::size_t tier1_count() const { return tier1_count_; }
+  std::size_t transit_count() const { return transit_count_; }
+
+  /// True when `index` is a stub (edge) AS.
+  bool is_edge(std::size_t index) const {
+    return index >= tier1_count_ + transit_count_;
+  }
+
+ private:
+  void add_link(std::uint32_t a, std::uint32_t b, Relationship a_to_b);
+
+  std::vector<net::Asn> asns_;
+  std::vector<std::vector<Link>> links_;
+  std::size_t tier1_count_ = 0;
+  std::size_t transit_count_ = 0;
+};
+
+/// One announcement injected into the graph.
+struct Announcement {
+  net::Prefix prefix;
+  std::uint32_t origin_index = 0;  // AS injecting it
+};
+
+/// Policy-based propagation of announcements to a routing fixpoint.
+///
+/// Selection: customer-learned > peer-learned > provider-learned routes,
+/// then shortest AS path, then lowest neighbor index (deterministic).
+/// Export (Gao-Rexford): customer routes to everyone; peer/provider routes
+/// to customers only. Origins export their own prefix to everyone.
+class PropagationSim {
+ public:
+  /// `index` may be null (no origin validation anywhere).
+  PropagationSim(const AsTopology& topology, const rpki::VrpIndex* index);
+
+  /// Marks the set of ASes that perform RPKI origin validation with a
+  /// drop-invalid policy.
+  void set_validators(std::vector<bool> validating);
+
+  struct RouteEntry {
+    bool reachable = false;
+    AsPath path;  // first hop = neighbor, last = origin
+  };
+
+  /// Propagates one announcement; result[i] is AS i's best route.
+  std::vector<RouteEntry> propagate(const Announcement& announcement) const;
+
+  /// The §2.3 attack: a legitimate announcement and a (more-specific or
+  /// equal) hijack of it propagate independently; an AS is polluted when
+  /// longest-prefix-match forwarding at that AS sends traffic for the
+  /// hijacked prefix toward the attacker.
+  struct HijackOutcome {
+    std::size_t polluted = 0;     // ASes forwarding to the hijacker
+    std::size_t protected_count = 0;  // ASes still reaching the victim
+    std::size_t disconnected = 0;     // ASes with no route at all
+    double polluted_fraction() const;
+  };
+
+  HijackOutcome simulate_hijack(const Announcement& legitimate,
+                                const Announcement& hijack) const;
+
+ private:
+  const AsTopology& topology_;
+  const rpki::VrpIndex* vrp_index_;
+  std::vector<bool> validating_;
+};
+
+}  // namespace ripki::bgp

@@ -1,0 +1,173 @@
+#include "bgp/update.hpp"
+
+namespace ripki::bgp {
+
+namespace {
+
+constexpr std::uint8_t kAttrOrigin = 1;
+constexpr std::uint8_t kAttrAsPath = 2;
+constexpr std::uint8_t kAttrNextHop = 3;
+constexpr std::uint8_t kFlagTransitive = 0x40;
+constexpr std::uint8_t kFlagExtendedLength = 0x10;
+
+std::size_t prefix_byte_count(int length) {
+  return static_cast<std::size_t>((length + 7) / 8);
+}
+
+/// <length u8> <prefix bits, padded to octets> (RFC 4271 §4.3).
+void write_prefix_field(util::ByteWriter& w, const net::Prefix& prefix) {
+  w.put_u8(static_cast<std::uint8_t>(prefix.length()));
+  w.put_bytes(std::span<const std::uint8_t>(prefix.address().bytes().data(),
+                                            prefix_byte_count(prefix.length())));
+}
+
+util::Result<net::Prefix> read_prefix_field(util::ByteReader& reader) {
+  RIPKI_TRY_ASSIGN(length, reader.u8());
+  if (length > 32) return util::Err("bgp update: bad prefix length");
+  RIPKI_TRY_ASSIGN(bytes, reader.bytes(prefix_byte_count(length)));
+  std::uint8_t raw[4] = {0, 0, 0, 0};
+  std::copy(bytes.begin(), bytes.end(), raw);
+  return net::Prefix(net::IpAddress::v4(raw[0], raw[1], raw[2], raw[3]), length);
+}
+
+void write_attribute(util::ByteWriter& w, std::uint8_t type,
+                     std::span<const std::uint8_t> value) {
+  const bool extended = value.size() > 255;
+  w.put_u8(static_cast<std::uint8_t>(kFlagTransitive |
+                                     (extended ? kFlagExtendedLength : 0)));
+  w.put_u8(type);
+  if (extended) {
+    w.put_u16(static_cast<std::uint16_t>(value.size()));
+  } else {
+    w.put_u8(static_cast<std::uint8_t>(value.size()));
+  }
+  w.put_bytes(value);
+}
+
+}  // namespace
+
+util::Result<util::Bytes> encode_update(const UpdateMessage& update) {
+  // Body first, then wrap with the header.
+  util::ByteWriter withdrawn;
+  for (const auto& prefix : update.withdrawn) {
+    if (!prefix.is_v4()) return util::Err("bgp update: IPv6 withdrawal unsupported");
+    write_prefix_field(withdrawn, prefix);
+  }
+
+  util::ByteWriter attrs;
+  if (!update.nlri.empty()) {
+    write_attribute(attrs, kAttrOrigin,
+                    std::span<const std::uint8_t>(&update.origin_attr, 1));
+    util::ByteWriter path;
+    update.as_path.encode_into(path);
+    write_attribute(attrs, kAttrAsPath, path.bytes());
+    if (!update.next_hop.is_v4())
+      return util::Err("bgp update: IPv6 next hop unsupported");
+    write_attribute(
+        attrs, kAttrNextHop,
+        std::span<const std::uint8_t>(update.next_hop.bytes().data(), 4));
+  }
+
+  util::ByteWriter body;
+  body.put_u16(static_cast<std::uint16_t>(withdrawn.size()));
+  body.put_bytes(withdrawn.bytes());
+  body.put_u16(static_cast<std::uint16_t>(attrs.size()));
+  body.put_bytes(attrs.bytes());
+  for (const auto& prefix : update.nlri) {
+    if (!prefix.is_v4()) return util::Err("bgp update: IPv6 NLRI unsupported");
+    write_prefix_field(body, prefix);
+  }
+
+  const std::size_t total = kBgpHeaderSize + body.size();
+  if (total > kBgpMaxMessageSize)
+    return util::Err("bgp update: message exceeds 4096 bytes");
+
+  util::ByteWriter out;
+  for (int i = 0; i < 16; ++i) out.put_u8(0xFF);  // marker
+  out.put_u16(static_cast<std::uint16_t>(total));
+  out.put_u8(kBgpMessageTypeUpdate);
+  out.put_bytes(body.bytes());
+  return std::move(out).take();
+}
+
+util::Result<UpdateMessage> decode_update(util::ByteReader& reader) {
+  for (int i = 0; i < 16; ++i) {
+    RIPKI_TRY_ASSIGN(marker, reader.u8());
+    if (marker != 0xFF) return util::Err("bgp update: bad marker");
+  }
+  RIPKI_TRY_ASSIGN(total, reader.u16());
+  if (total < kBgpHeaderSize || total > kBgpMaxMessageSize)
+    return util::Err("bgp update: bad message length");
+  RIPKI_TRY_ASSIGN(type, reader.u8());
+  if (type != kBgpMessageTypeUpdate) return util::Err("bgp update: not an UPDATE");
+
+  const std::size_t body_len = total - kBgpHeaderSize;
+  if (reader.remaining() < body_len) return util::Err("bgp update: truncated body");
+  const std::size_t body_end = reader.position() + body_len;
+
+  UpdateMessage update;
+
+  RIPKI_TRY_ASSIGN(withdrawn_len, reader.u16());
+  const std::size_t withdrawn_end = reader.position() + withdrawn_len;
+  if (withdrawn_end > body_end)
+    return util::Err("bgp update: withdrawn block overflows body");
+  while (reader.position() < withdrawn_end) {
+    RIPKI_TRY_ASSIGN(prefix, read_prefix_field(reader));
+    update.withdrawn.push_back(prefix);
+  }
+  if (reader.position() != withdrawn_end)
+    return util::Err("bgp update: withdrawn block misaligned");
+
+  RIPKI_TRY_ASSIGN(attrs_len, reader.u16());
+  const std::size_t attrs_end = reader.position() + attrs_len;
+  if (attrs_end > body_end)
+    return util::Err("bgp update: attribute block overflows body");
+  bool saw_as_path = false;
+  while (reader.position() < attrs_end) {
+    RIPKI_TRY_ASSIGN(flags, reader.u8());
+    RIPKI_TRY_ASSIGN(attr_type, reader.u8());
+    std::size_t length = 0;
+    if ((flags & kFlagExtendedLength) != 0) {
+      RIPKI_TRY_ASSIGN(len16, reader.u16());
+      length = len16;
+    } else {
+      RIPKI_TRY_ASSIGN(len8, reader.u8());
+      length = len8;
+    }
+    if (reader.position() + length > attrs_end)
+      return util::Err("bgp update: attribute overflows block");
+    RIPKI_TRY_ASSIGN(value, reader.view(length));
+    switch (attr_type) {
+      case kAttrOrigin: {
+        if (value.size() != 1) return util::Err("bgp update: bad ORIGIN length");
+        update.origin_attr = value[0];
+        break;
+      }
+      case kAttrAsPath: {
+        RIPKI_TRY_ASSIGN(path, AsPath::decode(value));
+        update.as_path = std::move(path);
+        saw_as_path = true;
+        break;
+      }
+      case kAttrNextHop: {
+        if (value.size() != 4) return util::Err("bgp update: bad NEXT_HOP length");
+        update.next_hop = net::IpAddress::v4(value[0], value[1], value[2], value[3]);
+        break;
+      }
+      default:
+        break;  // unknown attributes are skipped
+    }
+  }
+
+  while (reader.position() < body_end) {
+    RIPKI_TRY_ASSIGN(prefix, read_prefix_field(reader));
+    update.nlri.push_back(prefix);
+  }
+  if (reader.position() != body_end)
+    return util::Err("bgp update: NLRI misaligned");
+  if (!update.nlri.empty() && !saw_as_path)
+    return util::Err("bgp update: announcement missing AS_PATH");
+  return update;
+}
+
+}  // namespace ripki::bgp

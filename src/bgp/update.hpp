@@ -1,0 +1,46 @@
+// BGP UPDATE message wire codec (RFC 4271 §4.3, 4-octet ASNs).
+//
+// Layout: the 19-byte BGP header (16 marker bytes of 0xFF, length, type),
+// withdrawn-routes block, path-attributes block (ORIGIN/AS_PATH/NEXT_HOP),
+// and NLRI. IPv4 only, as in the protocol's base message (IPv6 NLRI would
+// ride in MP_REACH_NLRI). Used by the hijack/propagation experiments so
+// route churn crosses a real wire format.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/as_path.hpp"
+#include "net/ip.hpp"
+#include "net/prefix.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace ripki::bgp {
+
+inline constexpr std::uint8_t kBgpMessageTypeUpdate = 2;
+inline constexpr std::size_t kBgpHeaderSize = 19;
+inline constexpr std::size_t kBgpMaxMessageSize = 4096;
+
+/// A decoded UPDATE: withdrawals plus (possibly several) announced NLRI
+/// sharing one set of path attributes.
+struct UpdateMessage {
+  std::vector<net::Prefix> withdrawn;
+  /// Attributes (meaningful only when `nlri` is non-empty).
+  AsPath as_path;
+  net::IpAddress next_hop = net::IpAddress::v4(0);
+  std::uint8_t origin_attr = 0;  // IGP
+  std::vector<net::Prefix> nlri;
+
+  bool operator==(const UpdateMessage&) const = default;
+};
+
+/// Serialises one UPDATE (with header). Fails when the encoding would
+/// exceed the 4096-byte BGP message limit.
+util::Result<util::Bytes> encode_update(const UpdateMessage& update);
+
+/// Decodes one UPDATE from the front of `reader` (header + body); strict
+/// about marker bytes, lengths, and prefix field bounds.
+util::Result<UpdateMessage> decode_update(util::ByteReader& reader);
+
+}  // namespace ripki::bgp

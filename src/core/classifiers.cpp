@@ -1,0 +1,82 @@
+#include "core/classifiers.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/strings.hpp"
+
+namespace ripki::core {
+
+PatternCdnClassifier::PatternCdnClassifier(std::uint64_t max_rank)
+    : max_rank_(max_rank) {
+  for (const auto& profile : web::paper_cdn_profiles()) {
+    for (const auto& suffix : profile.cname_suffixes) {
+      suffixes_.push_back("." + suffix);
+    }
+  }
+}
+
+bool PatternCdnClassifier::is_cdn(const VariantResult& variant) const {
+  if (variant.terminal_cname.empty()) return false;
+  for (const auto& suffix : suffixes_) {
+    if (util::ends_with(variant.terminal_cname, suffix)) return true;
+  }
+  return false;
+}
+
+CdnAsDirectory::CdnAsDirectory(const web::AsRegistry& registry)
+    : registry_(registry) {
+  for (const auto& profile : web::paper_cdn_profiles()) {
+    spotted_.emplace_back(profile.name, registry.search_holders(profile.keyword));
+  }
+}
+
+std::vector<CdnAsDirectory::CensusEntry> CdnAsDirectory::census(
+    const rpki::VrpSet& vrps) const {
+  std::vector<CensusEntry> out;
+  for (const auto& [name, ases] : spotted_) {
+    CensusEntry entry;
+    entry.cdn = name;
+    entry.ases = ases;
+    std::unordered_set<std::uint32_t> as_set;
+    for (const auto& asn : ases) as_set.insert(asn.value());
+    std::unordered_set<std::uint32_t> with_roas;
+    for (const auto& vrp : vrps) {
+      if (as_set.count(vrp.asn.value()) != 0) {
+        entry.rpki_entries.push_back(vrp);
+        with_roas.insert(vrp.asn.value());
+      }
+    }
+    for (const std::uint32_t asn : with_roas) {
+      entry.roa_origin_ases.emplace_back(asn);
+    }
+    std::sort(entry.roa_origin_ases.begin(), entry.roa_origin_ases.end());
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::size_t CdnAsDirectory::total_cdn_ases() const {
+  std::size_t n = 0;
+  for (const auto& [name, ases] : spotted_) n += ases.size();
+  return n;
+}
+
+double CdnAsDirectory::category_penetration(const web::AsRegistry& registry,
+                                            web::AsCategory category,
+                                            const rpki::VrpSet& vrps) {
+  std::unordered_set<std::uint32_t> asns_with_vrps;
+  for (const auto& vrp : vrps) asns_with_vrps.insert(vrp.asn.value());
+
+  std::size_t total = 0;
+  std::size_t with_entries = 0;
+  for (const auto& record : registry.all()) {
+    if (record.category != category) continue;
+    ++total;
+    if (asns_with_vrps.count(record.asn.value()) != 0) ++with_entries;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(with_entries) / static_cast<double>(total);
+}
+
+}  // namespace ripki::core

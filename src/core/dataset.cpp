@@ -1,0 +1,23 @@
+#include "core/dataset.hpp"
+
+namespace ripki::core {
+
+double VariantResult::coverage() const {
+  if (pairs.empty()) return 0.0;
+  std::size_t covered = 0;
+  for (const auto& pair : pairs) {
+    if (pair.rpki_covered()) ++covered;
+  }
+  return static_cast<double>(covered) / static_cast<double>(pairs.size());
+}
+
+double VariantResult::fraction(rpki::OriginValidity validity) const {
+  if (pairs.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const auto& pair : pairs) {
+    if (pair.validity == validity) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(pairs.size());
+}
+
+}  // namespace ripki::core

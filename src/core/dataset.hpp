@@ -1,0 +1,85 @@
+// The pipeline's output data model: one record per Alexa-style domain,
+// annotated with the resolved hosting footprint and RPKI validation
+// outcome of every (prefix, origin AS) pair — "a comprehensive list of all
+// Alexa websites that (i) can be resolved ... (ii) mapped to an IP prefix
+// AS pair ... (iii) annotated with RPKI origin validation outcome" (§3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/asn.hpp"
+#include "net/prefix.hpp"
+#include "rpki/origin_validation.hpp"
+
+namespace ripki::core {
+
+/// One (covering prefix, origin AS) pair with its RFC 6811 outcome.
+struct PrefixAsPair {
+  net::Prefix prefix;
+  net::Asn origin;
+  rpki::OriginValidity validity = rpki::OriginValidity::kNotFound;
+
+  /// "Covered by the RPKI" in the paper's sense: a ROA exists for the
+  /// prefix, whether the announcement validates or not.
+  bool rpki_covered() const { return validity != rpki::OriginValidity::kNotFound; }
+
+  bool operator==(const PrefixAsPair&) const = default;
+};
+
+/// Measurement result for one name variant (www.<d> or <d>).
+struct VariantResult {
+  bool resolved = false;            // usable addresses after filtering
+  std::uint16_t address_count = 0;  // addresses kept
+  std::uint16_t special_purpose_excluded = 0;
+  std::uint16_t unrouted_addresses = 0;  // no covering BGP prefix
+  std::uint8_t cname_hops = 0;           // CNAME indirections observed
+  /// Final CNAME target (empty when resolved directly); feeds the
+  /// HTTPArchive-style pattern classifier.
+  std::string terminal_cname;
+  /// Deduplicated prefix-AS pairs with validation outcome.
+  std::vector<PrefixAsPair> pairs;
+
+  /// Fraction of pairs covered by the RPKI — the per-domain "coverage
+  /// probability" of §4 ("e.g. 3/5 or 60% RPKI coverage of foo.bar").
+  double coverage() const;
+  double fraction(rpki::OriginValidity validity) const;
+};
+
+struct DomainRecord {
+  std::uint32_t rank = 0;
+  std::string name;  // apex
+  bool excluded_dns = false;  // every answer was special-purpose garbage
+  /// Zone publishes a DNSKEY (the DNSSEC-adoption probe of the paper's
+  /// future-work comparison).
+  bool dnssec_signed = false;
+  VariantResult www;
+  VariantResult apex;
+
+  /// The variant the per-domain analyses use (www when it resolved,
+  /// mirroring the paper's headline www dataset).
+  const VariantResult& primary() const { return www.resolved ? www : apex; }
+};
+
+struct PipelineCounters {
+  std::uint64_t domains_total = 0;
+  std::uint64_t domains_excluded_dns = 0;
+  std::uint64_t dns_queries = 0;
+  std::uint64_t addresses_www = 0;
+  std::uint64_t addresses_apex = 0;
+  std::uint64_t special_purpose_excluded = 0;
+  std::uint64_t unrouted_addresses = 0;
+  std::uint64_t pairs_www = 0;
+  std::uint64_t pairs_apex = 0;
+  std::uint64_t as_set_entries_excluded = 0;
+  std::uint64_t dnssec_signed_domains = 0;
+};
+
+struct Dataset {
+  std::vector<DomainRecord> records;
+  PipelineCounters counters;
+  std::uint64_t rank_space = 0;  // rank axis upper bound (Alexa: 1M)
+};
+
+}  // namespace ripki::core

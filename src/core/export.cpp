@@ -1,0 +1,82 @@
+#include "core/export.hpp"
+
+#include "util/table.hpp"
+
+namespace ripki::core {
+
+namespace {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+void export_domains_csv(const Dataset& dataset, std::ostream& os) {
+  os << "rank,domain,excluded_dns,dnssec_signed,"
+        "www_resolved,www_addresses,www_cname_hops,www_terminal_cname,"
+        "www_pairs,www_coverage,www_valid,www_invalid,"
+        "apex_resolved,apex_addresses,apex_cname_hops,apex_pairs,"
+        "apex_coverage\n";
+  for (const auto& record : dataset.records) {
+    os << record.rank << ',' << csv_escape(record.name) << ','
+       << (record.excluded_dns ? 1 : 0) << ',' << (record.dnssec_signed ? 1 : 0)
+       << ',' << (record.www.resolved ? 1 : 0)
+       << ',' << record.www.address_count << ','
+       << static_cast<int>(record.www.cname_hops) << ','
+       << csv_escape(record.www.terminal_cname) << ',' << record.www.pairs.size()
+       << ',' << fmt(record.www.coverage()) << ','
+       << fmt(record.www.fraction(rpki::OriginValidity::kValid)) << ','
+       << fmt(record.www.fraction(rpki::OriginValidity::kInvalid)) << ','
+       << (record.apex.resolved ? 1 : 0) << ',' << record.apex.address_count << ','
+       << static_cast<int>(record.apex.cname_hops) << ','
+       << record.apex.pairs.size() << ',' << fmt(record.apex.coverage()) << '\n';
+  }
+}
+
+void export_pairs_csv(const Dataset& dataset, std::ostream& os) {
+  os << "rank,domain,variant,prefix,origin_asn,validity\n";
+  for (const auto& record : dataset.records) {
+    const auto emit = [&](const char* variant, const VariantResult& v) {
+      for (const auto& pair : v.pairs) {
+        os << record.rank << ',' << csv_escape(record.name) << ',' << variant
+           << ',' << pair.prefix.to_string() << ',' << pair.origin.value() << ','
+           << rpki::to_string(pair.validity) << '\n';
+      }
+    };
+    emit("www", record.www);
+    emit("apex", record.apex);
+  }
+}
+
+void export_counters_csv(const Dataset& dataset, std::ostream& os) {
+  const auto& c = dataset.counters;
+  os << "key,value\n";
+  os << "domains_total," << c.domains_total << '\n';
+  os << "domains_excluded_dns," << c.domains_excluded_dns << '\n';
+  os << "dns_queries," << c.dns_queries << '\n';
+  os << "addresses_www," << c.addresses_www << '\n';
+  os << "addresses_apex," << c.addresses_apex << '\n';
+  os << "special_purpose_excluded," << c.special_purpose_excluded << '\n';
+  os << "unrouted_addresses," << c.unrouted_addresses << '\n';
+  os << "pairs_www," << c.pairs_www << '\n';
+  os << "pairs_apex," << c.pairs_apex << '\n';
+  os << "as_set_entries_excluded," << c.as_set_entries_excluded << '\n';
+  os << "dnssec_signed_domains," << c.dnssec_signed_domains << '\n';
+  os << "rank_space," << dataset.rank_space << '\n';
+}
+
+}  // namespace ripki::core

@@ -1,0 +1,23 @@
+// Dataset export — the paper commits that "all data will be made
+// available"; these writers emit the annotated per-domain dataset and the
+// per-pair validation outcomes as CSV for downstream analysis/plotting.
+#pragma once
+
+#include <ostream>
+
+#include "core/dataset.hpp"
+
+namespace ripki::core {
+
+/// One row per domain: rank, name, per-variant resolution stats, CNAME
+/// evidence, and RPKI coverage probabilities.
+void export_domains_csv(const Dataset& dataset, std::ostream& os);
+
+/// One row per (domain, variant, prefix, origin) pair with its RFC 6811
+/// outcome — the full annotated list of methodology step (iii).
+void export_pairs_csv(const Dataset& dataset, std::ostream& os);
+
+/// Pipeline counters as key,value rows.
+void export_counters_csv(const Dataset& dataset, std::ostream& os);
+
+}  // namespace ripki::core

@@ -1,0 +1,186 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "net/special.hpp"
+#include "rpki/rrdp.hpp"
+#include "rtr/cache.hpp"
+
+namespace ripki::core {
+
+MeasurementPipeline::MeasurementPipeline(const web::Ecosystem& ecosystem,
+                                         PipelineConfig config)
+    : ecosystem_(ecosystem), config_(config) {
+  if (config_.now == 0) config_.now = ecosystem.config().now;
+}
+
+void MeasurementPipeline::prepare_rib() {
+  // Consume the collector table the way the paper consumes RIS: through
+  // the serialised MRT dump, not via in-process shortcuts.
+  const util::Bytes dump = ecosystem_.mrt_dump();
+  auto rib = bgp::mrt::read_table_dump(dump, &mrt_stats_);
+  assert(rib.ok() && "ecosystem MRT dump must parse");
+  rib_ = std::move(rib).value();
+}
+
+void MeasurementPipeline::prepare_vrps() {
+  const rpki::RepositoryValidator validator(config_.now);
+  if (config_.use_rrdp) {
+    // Full relying-party collection: mirror every repository over RRDP,
+    // reassemble the fetched objects, and bootstrap trust from the TALs.
+    std::vector<rpki::Repository> fetched;
+    for (const auto& repo : ecosystem_.repositories()) {
+      rpki::RrdpServer server("session-" + rpki::repository_base_uri(repo), repo);
+      rpki::RrdpClient client;
+      const auto synced = client.sync(server);
+      assert(synced.ok() && "RRDP sync against in-process server must succeed");
+      (void)synced;
+      auto assembled = client.assemble();
+      assert(assembled.ok() && "RRDP-mirrored repository must reassemble");
+      fetched.push_back(std::move(assembled).value());
+    }
+    const auto tals = ecosystem_.tals();
+    report_ = validator.validate(fetched, tals);
+  } else {
+    report_ = validator.validate(ecosystem_.repositories());
+  }
+
+  if (config_.use_rtr) {
+    // Ship the validated set to the "router" over RFC 6810.
+    rtr::CacheServer cache(/*session_id=*/0x5157, report_.vrps);
+    rtr::RouterClient client;
+    const auto synced = client.sync(cache);
+    assert(synced.ok() && "RTR sync against in-process cache must succeed");
+    (void)synced;
+    vrp_index_ = client.build_index();
+  } else {
+    vrp_index_ = rpki::VrpIndex(report_.vrps);
+  }
+}
+
+VariantResult MeasurementPipeline::measure_variant(dns::StubResolver& resolver,
+                                                   const dns::DnsName& name,
+                                                   PipelineCounters& counters) {
+  VariantResult result;
+
+  // Step 2: resolve A/AAAA with CNAME chasing.
+  auto resolution = resolver.resolve_all(name);
+  if (!resolution.ok()) return result;  // treated as unresolvable
+  const dns::Resolution& res = resolution.value();
+  result.cname_hops = static_cast<std::uint8_t>(
+      std::min<std::size_t>(res.cname_hops(), 255));
+  if (res.cname_hops() > 0) result.terminal_cname = res.chain.back().to_string();
+  if (res.rcode != dns::Rcode::kNoError) return result;
+
+  // Filter IANA special-purpose answers.
+  std::vector<net::IpAddress> addresses;
+  for (const auto& addr : res.addresses) {
+    if (net::is_special_purpose(addr)) {
+      ++result.special_purpose_excluded;
+      ++counters.special_purpose_excluded;
+      continue;
+    }
+    addresses.push_back(addr);
+  }
+  if (addresses.empty()) return result;
+  result.resolved = true;
+  result.address_count = static_cast<std::uint16_t>(
+      std::min<std::size_t>(addresses.size(), UINT16_MAX));
+
+  // Step 3: all covering prefixes and their origin ASes.
+  std::vector<PrefixAsPair> pairs;
+  for (const auto& addr : addresses) {
+    const auto covering = rib_.covering(addr);
+    if (covering.empty()) {
+      ++result.unrouted_addresses;
+      ++counters.unrouted_addresses;
+      continue;
+    }
+    for (const auto& match : covering) {
+      for (const auto& entry : *match.entries) {
+        if (entry.as_path.contains_as_set()) {
+          ++counters.as_set_entries_excluded;
+          continue;
+        }
+        const auto origin = entry.origin();
+        if (!origin.has_value()) continue;
+        pairs.push_back(PrefixAsPair{match.prefix, *origin});
+      }
+    }
+  }
+
+  // Deduplicate (a domain with several addresses in one prefix yields the
+  // pair once) and run step 4 on each unique pair.
+  std::sort(pairs.begin(), pairs.end(),
+            [](const PrefixAsPair& a, const PrefixAsPair& b) {
+              if (a.prefix != b.prefix) return a.prefix < b.prefix;
+              return a.origin < b.origin;
+            });
+  pairs.erase(std::unique(pairs.begin(), pairs.end(),
+                          [](const PrefixAsPair& a, const PrefixAsPair& b) {
+                            return a.prefix == b.prefix && a.origin == b.origin;
+                          }),
+              pairs.end());
+  for (auto& pair : pairs) {
+    pair.validity = vrp_index_.validate(pair.prefix, pair.origin);
+  }
+  result.pairs = std::move(pairs);
+  return result;
+}
+
+Dataset MeasurementPipeline::run() {
+  prepare_rib();
+  prepare_vrps();
+
+  dns::AuthoritativeServer server(&ecosystem_.zone_source(config_.vantage));
+  dns::StubResolver resolver(&server);
+
+  Dataset dataset;
+  dataset.rank_space = ecosystem_.config().rank_space;
+
+  std::size_t count = ecosystem_.domain_count();
+  if (config_.max_domains != 0) count = std::min(count, config_.max_domains);
+  dataset.records.reserve(count);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const web::DomainPlan& plan = ecosystem_.plan(i);
+    DomainRecord record;
+    record.rank = plan.rank;
+    record.name = plan.name;
+
+    auto apex_name = dns::DnsName::parse(plan.name);
+    assert(apex_name.ok());
+    const dns::DnsName www_name = apex_name.value().prepended("www");
+
+    record.www = measure_variant(resolver, www_name, dataset.counters);
+    record.apex = measure_variant(resolver, apex_name.value(), dataset.counters);
+    record.excluded_dns = !record.www.resolved && !record.apex.resolved;
+
+    // DNSSEC adoption probe (future-work comparison): does the zone apex
+    // publish a DNSKEY?
+    if (auto dnskey = resolver.query(apex_name.value(), dns::RecordType::kDnskey);
+        dnskey.ok()) {
+      for (const auto& rr : dnskey.value().answers) {
+        if (rr.type == dns::RecordType::kDnskey) {
+          record.dnssec_signed = true;
+          ++dataset.counters.dnssec_signed_domains;
+          break;
+        }
+      }
+    }
+
+    ++dataset.counters.domains_total;
+    if (record.excluded_dns) ++dataset.counters.domains_excluded_dns;
+    dataset.counters.addresses_www += record.www.address_count;
+    dataset.counters.addresses_apex += record.apex.address_count;
+    dataset.counters.pairs_www += record.www.pairs.size();
+    dataset.counters.pairs_apex += record.apex.pairs.size();
+
+    dataset.records.push_back(std::move(record));
+  }
+  dataset.counters.dns_queries = resolver.queries_sent();
+  return dataset;
+}
+
+}  // namespace ripki::core

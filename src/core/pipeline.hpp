@@ -1,0 +1,76 @@
+// The paper's four-step measurement pipeline (Figure 2's toolchain):
+//
+//   (1) select domains      — the ecosystem's Alexa-style ranking
+//   (2) domains -> IPs      — A/AAAA/CNAME via the DNS substrate, both
+//                             www.<d> and <d>; IANA special-purpose
+//                             addresses discarded
+//   (3) IPs -> prefix/ASN   — all covering prefixes from a RIS-style MRT
+//                             table dump; origin = right-most ASN of the
+//                             AS path; AS_SET entries excluded (RFC 6472)
+//   (4) RPKI validation     — ROAs of the five trust anchors validated
+//                             cryptographically, then every prefix-AS pair
+//                             classified per RFC 6811
+#pragma once
+
+#include <memory>
+
+#include "bgp/mrt.hpp"
+#include "core/dataset.hpp"
+#include "dns/resolver.hpp"
+#include "rpki/validator.hpp"
+#include "rtr/client.hpp"
+#include "web/ecosystem.hpp"
+
+namespace ripki::core {
+
+struct PipelineConfig {
+  web::Vantage vantage = web::Vantage::kBerlin;
+
+  /// When true, VRPs reach origin validation through a full RTR protocol
+  /// session (cache server + router client) instead of being indexed
+  /// directly — the router-deployment code path.
+  bool use_rtr = false;
+
+  /// When true, the five repositories are mirrored over RRDP (RFC 8182
+  /// notification/snapshot documents) and trust is bootstrapped from the
+  /// RIR TALs (RFC 7730) before validation — the full relying-party
+  /// collection path instead of in-process repository access.
+  bool use_rrdp = false;
+
+  /// Validation instant; defaults to the ecosystem's `now`.
+  rpki::Timestamp now = 0;
+
+  /// Optionally restrict to the first N domains (0 = all).
+  std::size_t max_domains = 0;
+};
+
+class MeasurementPipeline {
+ public:
+  MeasurementPipeline(const web::Ecosystem& ecosystem, PipelineConfig config);
+
+  /// Runs all four steps and returns the annotated dataset.
+  Dataset run();
+
+  /// Artifacts (valid after run()):
+  const rpki::ValidationReport& validation_report() const { return report_; }
+  const rpki::VrpIndex& vrp_index() const { return vrp_index_; }
+  const bgp::Rib& rib() const { return rib_; }
+  const bgp::mrt::ParseStats& mrt_stats() const { return mrt_stats_; }
+
+ private:
+  void prepare_rib();
+  void prepare_vrps();
+  VariantResult measure_variant(dns::StubResolver& resolver,
+                                const dns::DnsName& name,
+                                PipelineCounters& counters);
+
+  const web::Ecosystem& ecosystem_;
+  PipelineConfig config_;
+
+  bgp::Rib rib_;
+  bgp::mrt::ParseStats mrt_stats_;
+  rpki::ValidationReport report_;
+  rpki::VrpIndex vrp_index_;
+};
+
+}  // namespace ripki::core

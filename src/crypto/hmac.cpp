@@ -1,0 +1,45 @@
+#include "crypto/hmac.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace ripki::crypto {
+
+Digest hmac_sha256(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> message) {
+  constexpr std::size_t kBlock = 64;
+  std::array<std::uint8_t, kBlock> key_block{};
+  if (key.size() > kBlock) {
+    const Digest d = sha256(key);
+    std::memcpy(key_block.data(), d.data(), d.size());
+  } else {
+    std::memcpy(key_block.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, kBlock> ipad;
+  std::array<std::uint8_t, kBlock> opad;
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(std::span<const std::uint8_t>(ipad.data(), ipad.size()));
+  inner.update(message);
+  const Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(std::span<const std::uint8_t>(opad.data(), opad.size()));
+  outer.update(std::span<const std::uint8_t>(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+Digest hmac_sha256(std::string_view key, std::string_view message) {
+  return hmac_sha256(
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(key.data()),
+                                    key.size()),
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(message.data()),
+                                    message.size()));
+}
+
+}  // namespace ripki::crypto

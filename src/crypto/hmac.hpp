@@ -1,0 +1,17 @@
+// HMAC-SHA-256 (RFC 2104). Used for keyed integrity tags in tests and for
+// deterministic per-object randomness derivation in the ecosystem generator.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "crypto/sha256.hpp"
+
+namespace ripki::crypto {
+
+Digest hmac_sha256(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> message);
+
+Digest hmac_sha256(std::string_view key, std::string_view message);
+
+}  // namespace ripki::crypto

@@ -1,0 +1,80 @@
+#include "crypto/rsa.hpp"
+
+#include <cassert>
+
+#include "util/prng.hpp"
+
+namespace ripki::crypto {
+
+namespace {
+
+constexpr std::uint64_t kPublicExponent = 65537;
+
+U256 digest_mod_n(std::span<const std::uint8_t> message, const U256& n) {
+  const Digest d = sha256(message);
+  return U256::mod(U256::from_bytes_be(d.data(), d.size()), n);
+}
+
+}  // namespace
+
+Digest PublicKey::key_id() const {
+  Sha256 h;
+  const auto nb = n.to_bytes_be();
+  const auto eb = e.to_bytes_be();
+  h.update(std::span<const std::uint8_t>(nb.data(), nb.size()));
+  h.update(std::span<const std::uint8_t>(eb.data(), eb.size()));
+  return h.finish();
+}
+
+KeyPair generate_keypair(util::Prng& prng) {
+  for (;;) {
+    const U256 p = generate_prime(prng, 128);
+    const U256 q = generate_prime(prng, 128);
+    if (p == q) continue;
+    // The product of two 128-bit primes always fits in 256 bits; shift-add
+    // multiplication keeps it exact without exposing a 512-bit type.
+    U256 n;
+    for (int i = p.bit_length() - 1; i >= 0; --i) {
+      n = n.shl1();
+      if (p.bit(i)) n = n.add(q);
+    }
+    const U256 phi = n.sub(p).sub(q).add(U256(1));  // (p-1)(q-1)
+    const U256 e(kPublicExponent);
+    if (U256::gcd(e, phi) != U256(1)) continue;
+    U256 d;
+    if (!U256::modinv(e, phi, d)) continue;
+    return KeyPair{PublicKey{n, e}, PrivateKey{n, d}};
+  }
+}
+
+Signature sign(const PrivateKey& key, std::span<const std::uint8_t> message) {
+  const U256 m = digest_mod_n(message, key.n);
+  const U256 s = U256::modexp(m, key.d, key.n);
+  return s.to_bytes_be();
+}
+
+bool verify(const PublicKey& key, std::span<const std::uint8_t> message,
+            const Signature& signature) {
+  if (key.n.is_zero()) return false;
+  const U256 s = U256::from_bytes_be(signature.data(), signature.size());
+  if (s >= key.n) return false;
+  const U256 recovered = U256::modexp(s, key.e, key.n);
+  return recovered == digest_mod_n(message, key.n);
+}
+
+std::array<std::uint8_t, 64> encode_public_key(const PublicKey& key) {
+  std::array<std::uint8_t, 64> out{};
+  const auto nb = key.n.to_bytes_be();
+  const auto eb = key.e.to_bytes_be();
+  std::copy(nb.begin(), nb.end(), out.begin());
+  std::copy(eb.begin(), eb.end(), out.begin() + 32);
+  return out;
+}
+
+PublicKey decode_public_key(std::span<const std::uint8_t> bytes) {
+  assert(bytes.size() >= 64);
+  return PublicKey{U256::from_bytes_be(bytes.data(), 32),
+                   U256::from_bytes_be(bytes.data() + 32, 32)};
+}
+
+}  // namespace ripki::crypto

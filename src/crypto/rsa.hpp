@@ -1,0 +1,62 @@
+// Toy RSA over 256-bit moduli.
+//
+// The real RPKI signs objects with >=2048-bit RSA inside X.509; this
+// simulation replaces the key size, NOT the logic: key generation
+// (Miller-Rabin primes, modular inverse), hash-then-sign, and public
+// verification all follow the textbook scheme, so every code path of
+// certificate-chain validation is genuinely exercised. 256-bit RSA is
+// trivially factorable — do not reuse outside the simulation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "crypto/sha256.hpp"
+#include "crypto/uint256.hpp"
+
+namespace ripki::util {
+class Prng;
+}
+
+namespace ripki::crypto {
+
+using Signature = std::array<std::uint8_t, 32>;
+
+struct PublicKey {
+  U256 n;  // modulus
+  U256 e;  // public exponent (65537)
+
+  /// Subject-key-identifier analog: SHA-256 over (n || e).
+  Digest key_id() const;
+
+  bool operator==(const PublicKey& other) const {
+    return n == other.n && e == other.e;
+  }
+};
+
+struct PrivateKey {
+  U256 n;
+  U256 d;  // private exponent
+};
+
+struct KeyPair {
+  PublicKey pub;
+  PrivateKey priv;
+};
+
+/// Generates a fresh keypair from two random 128-bit primes.
+KeyPair generate_keypair(util::Prng& prng);
+
+/// Signs SHA-256(message): s = H(m)^d mod n.
+Signature sign(const PrivateKey& key, std::span<const std::uint8_t> message);
+
+/// Verifies s^e mod n == H(m) mod n.
+bool verify(const PublicKey& key, std::span<const std::uint8_t> message,
+            const Signature& signature);
+
+/// Serialised public key (n || e as 32-byte big-endian each).
+std::array<std::uint8_t, 64> encode_public_key(const PublicKey& key);
+PublicKey decode_public_key(std::span<const std::uint8_t> bytes);
+
+}  // namespace ripki::crypto

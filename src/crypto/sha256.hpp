@@ -1,0 +1,44 @@
+// SHA-256 (FIPS 180-4), implemented from scratch so the repository has no
+// external crypto dependency. Used for object digests, key identifiers,
+// manifests, and the toy RSA signature scheme.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace ripki::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view data);
+
+  /// Finalises and returns the digest. The hasher must not be used again
+  /// afterwards (reconstruct for a new message).
+  Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// One-shot convenience.
+Digest sha256(std::span<const std::uint8_t> data);
+Digest sha256(std::string_view data);
+
+/// Lowercase hex of a digest.
+std::string digest_hex(const Digest& d);
+
+}  // namespace ripki::crypto

@@ -1,0 +1,398 @@
+#include "crypto/uint256.hpp"
+
+#include <cassert>
+
+#include "util/prng.hpp"
+#include "util/strings.hpp"
+
+namespace ripki::crypto {
+
+namespace {
+
+/// 512-bit intermediate used only for full products before reduction.
+struct U512 {
+  std::array<std::uint64_t, 8> limbs{};  // little-endian
+
+  bool bit(int i) const {
+    return ((limbs[static_cast<std::size_t>(i / 64)] >> (i % 64)) & 1) != 0;
+  }
+};
+
+U512 full_mul(const U256& a, const U256& b) {
+  U512 out;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const __uint128_t cur =
+          static_cast<__uint128_t>(a.limb(i)) * b.limb(j) +
+          out.limbs[static_cast<std::size_t>(i + j)] + carry;
+      out.limbs[static_cast<std::size_t>(i + j)] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    out.limbs[static_cast<std::size_t>(i + 4)] += carry;
+  }
+  return out;
+}
+
+/// Binary long division: a (512-bit) mod m (256-bit, non-zero).
+U256 mod512(const U512& a, const U256& m) {
+  assert(!m.is_zero());
+  U256 rem;
+  for (int i = 511; i >= 0; --i) {
+    // rem < m before the shift, so 2*rem + bit < 2m; one conditional
+    // subtraction restores rem < m. The transient top-bit carry is
+    // handled by wrapping arithmetic: if the shift carried out of bit
+    // 255, the true value is rem + 2^256 >= m, so we always subtract.
+    const bool carry = rem.bit(255);
+    rem = rem.shl1();
+    if (a.bit(i)) rem = rem.add(U256(1));
+    if (carry || rem >= m) rem = rem.sub(m);
+  }
+  return rem;
+}
+
+/// Montgomery (CIOS) machinery for odd moduli; the RSA hot path. With a
+/// 256-bit odd modulus, montmul costs ~32 wide multiplies instead of the
+/// 512-iteration bit loop of mod512.
+struct MontgomeryContext {
+  U256 n;
+  std::uint64_t n0inv;  // -n^{-1} mod 2^64
+  U256 r_mod_n;         // R mod n, R = 2^256
+  U256 r2_mod_n;        // R^2 mod n
+
+  explicit MontgomeryContext(const U256& modulus) : n(modulus) {
+    // Newton iteration for the inverse of n mod 2^64 (n odd).
+    const std::uint64_t x = n.limb(0);
+    std::uint64_t inv = x;
+    for (int i = 0; i < 6; ++i) inv *= 2 - x * inv;
+    n0inv = ~inv + 1;  // -inv mod 2^64
+
+    // R mod n via one slow reduction of 2^256 (as a 512-bit value).
+    U512 r;
+    // 2^256 == limb 4 set to 1.
+    r.limbs[4] = 1;
+    r_mod_n = mod512(r, n);
+    r2_mod_n = U256::mulmod(r_mod_n, r_mod_n, n);  // generic path, once
+  }
+
+  /// Returns a*b*R^{-1} mod n for a, b < n.
+  U256 mul(const U256& a, const U256& b) const {
+    std::uint64_t t[6] = {0, 0, 0, 0, 0, 0};
+    for (int i = 0; i < 4; ++i) {
+      // t += a[i] * b
+      std::uint64_t carry = 0;
+      for (int j = 0; j < 4; ++j) {
+        const __uint128_t cur =
+            static_cast<__uint128_t>(a.limb(i)) * b.limb(j) + t[j] + carry;
+        t[j] = static_cast<std::uint64_t>(cur);
+        carry = static_cast<std::uint64_t>(cur >> 64);
+      }
+      __uint128_t cur = static_cast<__uint128_t>(t[4]) + carry;
+      t[4] = static_cast<std::uint64_t>(cur);
+      t[5] += static_cast<std::uint64_t>(cur >> 64);
+
+      // m = t[0] * n0inv mod 2^64; t += m*n; then shift one limb right.
+      const std::uint64_t m = t[0] * n0inv;
+      carry = 0;
+      for (int j = 0; j < 4; ++j) {
+        const __uint128_t c =
+            static_cast<__uint128_t>(m) * n.limb(j) + t[j] + carry;
+        t[j] = static_cast<std::uint64_t>(c);
+        carry = static_cast<std::uint64_t>(c >> 64);
+      }
+      cur = static_cast<__uint128_t>(t[4]) + carry;
+      t[4] = static_cast<std::uint64_t>(cur);
+      t[5] += static_cast<std::uint64_t>(cur >> 64);
+
+      for (int j = 0; j < 5; ++j) t[j] = t[j + 1];
+      t[5] = 0;
+    }
+    // After the limb shifts the value sits in t[0..4] with t[4] <= 1 and
+    // total < 2n; one conditional subtraction (wrapping when t[4] is set)
+    // normalises into [0, n).
+    U256 out(t[3], t[2], t[1], t[0]);
+    if (t[4] != 0 || out >= n) out = out.sub(n);
+    return out;
+  }
+};
+
+}  // namespace
+
+U256 U256::from_bytes_be(const std::uint8_t* data, std::size_t len) {
+  assert(len <= 32);
+  U256 out;
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::size_t bit_pos = (len - 1 - i) * 8;
+    out.limbs_[bit_pos / 64] |= static_cast<std::uint64_t>(data[i]) << (bit_pos % 64);
+  }
+  return out;
+}
+
+std::array<std::uint8_t, 32> U256::to_bytes_be() const {
+  std::array<std::uint8_t, 32> out{};
+  for (int i = 0; i < 32; ++i) {
+    const int bit_pos = (31 - i) * 8;
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(limbs_[static_cast<std::size_t>(bit_pos / 64)] >>
+                                  (bit_pos % 64));
+  }
+  return out;
+}
+
+std::string U256::to_hex() const {
+  const auto bytes = to_bytes_be();
+  return util::to_hex(bytes.data(), bytes.size());
+}
+
+bool U256::is_zero() const {
+  return (limbs_[0] | limbs_[1] | limbs_[2] | limbs_[3]) == 0;
+}
+
+int U256::bit_length() const {
+  for (int i = 3; i >= 0; --i) {
+    if (limbs_[static_cast<std::size_t>(i)] != 0) {
+      return i * 64 + 64 - __builtin_clzll(limbs_[static_cast<std::size_t>(i)]);
+    }
+  }
+  return 0;
+}
+
+bool U256::bit(int i) const {
+  assert(i >= 0 && i < 256);
+  return ((limbs_[static_cast<std::size_t>(i / 64)] >> (i % 64)) & 1) != 0;
+}
+
+int U256::compare(const U256& other) const {
+  for (int i = 3; i >= 0; --i) {
+    const auto a = limbs_[static_cast<std::size_t>(i)];
+    const auto b = other.limbs_[static_cast<std::size_t>(i)];
+    if (a != b) return a < b ? -1 : 1;
+  }
+  return 0;
+}
+
+U256 U256::add(const U256& other) const {
+  U256 out;
+  unsigned __int128 carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const unsigned __int128 sum =
+        static_cast<unsigned __int128>(limbs_[i]) + other.limbs_[i] + carry;
+    out.limbs_[i] = static_cast<std::uint64_t>(sum);
+    carry = sum >> 64;
+  }
+  return out;
+}
+
+U256 U256::sub(const U256& other) const {
+  U256 out;
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::uint64_t a = limbs_[i];
+    const std::uint64_t b = other.limbs_[i];
+    const std::uint64_t diff = a - b - borrow;
+    borrow = (a < b + borrow || (b == UINT64_MAX && borrow != 0)) ? 1 : 0;
+    out.limbs_[i] = diff;
+  }
+  return out;
+}
+
+U256 U256::shl1() const {
+  U256 out;
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    out.limbs_[i] = (limbs_[i] << 1) | carry;
+    carry = limbs_[i] >> 63;
+  }
+  return out;
+}
+
+U256 U256::shr1() const {
+  U256 out;
+  std::uint64_t carry = 0;
+  for (int i = 3; i >= 0; --i) {
+    const auto idx = static_cast<std::size_t>(i);
+    out.limbs_[idx] = (limbs_[idx] >> 1) | (carry << 63);
+    carry = limbs_[idx] & 1;
+  }
+  return out;
+}
+
+U256 U256::mulmod(const U256& a, const U256& b, const U256& mod) {
+  return mod512(full_mul(a, b), mod);
+}
+
+U256 U256::mod(const U256& a, const U256& m) {
+  U256 rem;
+  divmod(a, m, &rem);
+  return rem;
+}
+
+U256 U256::divmod(const U256& a, const U256& d, U256* rem_out) {
+  assert(!d.is_zero());
+  U256 quotient;
+  U256 rem;
+  for (int i = 255; i >= 0; --i) {
+    rem = rem.shl1();
+    if (a.bit(i)) rem = rem.add(U256(1));
+    if (rem >= d) {
+      rem = rem.sub(d);
+      quotient.limbs_[static_cast<std::size_t>(i / 64)] |= 1ULL << (i % 64);
+    }
+  }
+  if (rem_out != nullptr) *rem_out = rem;
+  return quotient;
+}
+
+U256 U256::modexp(const U256& base, const U256& exp, const U256& m) {
+  assert(!m.is_zero());
+  if (m.is_odd() && m > U256(1)) {
+    // Montgomery ladder: ~100x faster than the generic bit-division path.
+    const MontgomeryContext ctx(m);
+    const U256 b0 = mod(base, m);
+    U256 b = ctx.mul(b0, ctx.r2_mod_n);  // to Montgomery domain
+    U256 result = ctx.r_mod_n;           // 1 in Montgomery domain
+    const int bits = exp.bit_length();
+    for (int i = 0; i < bits; ++i) {
+      if (exp.bit(i)) result = ctx.mul(result, b);
+      b = ctx.mul(b, b);
+    }
+    return ctx.mul(result, U256(1));  // back to the plain domain
+  }
+  U256 result = mod(U256(1), m);
+  U256 b = mod(base, m);
+  const int bits = exp.bit_length();
+  for (int i = 0; i < bits; ++i) {
+    if (exp.bit(i)) result = mulmod(result, b, m);
+    b = mulmod(b, b, m);
+  }
+  return result;
+}
+
+U256 U256::gcd(U256 a, U256 b) {
+  while (!b.is_zero()) {
+    U256 r = mod(a, b);
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+bool U256::modinv(const U256& a, const U256& m, U256& out) {
+  assert(!m.is_zero());
+  // Extended Euclid with Bezout coefficients kept reduced mod m; avoids
+  // signed bignums by representing "t0 - q*t1" in the residue ring.
+  U256 r0 = m;
+  U256 r1 = mod(a, m);
+  U256 t0(0);
+  U256 t1(1);
+  while (!r1.is_zero()) {
+    U256 rem;
+    const U256 q = divmod(r0, r1, &rem);
+    const U256 qt1 = mulmod(q, t1, m);
+    const U256 t2 = t0 >= qt1 ? t0.sub(qt1) : m.sub(qt1.sub(t0));
+    r0 = r1;
+    r1 = rem;
+    t0 = t1;
+    t1 = t2;
+  }
+  if (r0 != U256(1)) return false;
+  out = t0;
+  return true;
+}
+
+U256 U256::random_below(util::Prng& prng, const U256& bound) {
+  assert(!bound.is_zero());
+  const int bits = bound.bit_length();
+  for (;;) {
+    U256 candidate;
+    for (int i = 0; i < (bits + 63) / 64; ++i)
+      candidate.limbs_[static_cast<std::size_t>(i)] = prng.next_u64();
+    // Mask to the bound's bit width, then reject out-of-range draws.
+    const int top_limb = (bits - 1) / 64;
+    const int top_bits = bits - top_limb * 64;
+    if (top_bits < 64) {
+      candidate.limbs_[static_cast<std::size_t>(top_limb)] &=
+          (1ULL << top_bits) - 1;
+    }
+    for (int i = top_limb + 1; i < 4; ++i)
+      candidate.limbs_[static_cast<std::size_t>(i)] = 0;
+    if (candidate < bound) return candidate;
+  }
+}
+
+U256 U256::random_bits(util::Prng& prng, int bits) {
+  assert(bits >= 2 && bits <= 256);
+  U256 out;
+  for (int i = 0; i < (bits + 63) / 64; ++i)
+    out.limbs_[static_cast<std::size_t>(i)] = prng.next_u64();
+  const int top_limb = (bits - 1) / 64;
+  const int top_bits = bits - top_limb * 64;
+  if (top_bits < 64) {
+    out.limbs_[static_cast<std::size_t>(top_limb)] &= (1ULL << top_bits) - 1;
+  }
+  for (int i = top_limb + 1; i < 4; ++i) out.limbs_[static_cast<std::size_t>(i)] = 0;
+  out.limbs_[static_cast<std::size_t>(top_limb)] |= 1ULL << ((bits - 1) % 64);
+  return out;
+}
+
+bool is_probable_prime(const U256& n, util::Prng& prng, int rounds) {
+  static constexpr std::uint64_t kSmallPrimes[] = {
+      2,  3,  5,  7,  11, 13, 17, 19, 23, 29, 31, 37, 41,
+      43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97};
+  if (n < U256(2)) return false;
+  for (std::uint64_t p : kSmallPrimes) {
+    const U256 pv(p);
+    if (n == pv) return true;
+    if (U256::mod(n, pv).is_zero()) return false;
+  }
+
+  // Write n - 1 = d * 2^r.
+  const U256 n_minus_1 = n.sub(U256(1));
+  U256 d = n_minus_1;
+  int r = 0;
+  while (!d.is_odd()) {
+    d = d.shr1();
+    ++r;
+  }
+
+  // All witness arithmetic stays in the Montgomery domain (n is odd here:
+  // even n was rejected by the small-prime sieve).
+  const MontgomeryContext ctx(n);
+  const U256 one_mont = ctx.r_mod_n;
+  const U256 nm1_mont = ctx.mul(n_minus_1, ctx.r2_mod_n);
+  const int d_bits = d.bit_length();
+
+  for (int round = 0; round < rounds; ++round) {
+    // Base in [2, n-2].
+    const U256 a = U256::random_below(prng, n.sub(U256(3))).add(U256(2));
+    // x = a^d mod n, in Montgomery form.
+    U256 b = ctx.mul(a, ctx.r2_mod_n);
+    U256 x = one_mont;
+    for (int i = 0; i < d_bits; ++i) {
+      if (d.bit(i)) x = ctx.mul(x, b);
+      b = ctx.mul(b, b);
+    }
+    if (x == one_mont || x == nm1_mont) continue;
+    bool composite = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = ctx.mul(x, x);
+      if (x == nm1_mont) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+U256 generate_prime(util::Prng& prng, int bits) {
+  assert(bits >= 8 && bits <= 256);
+  for (;;) {
+    U256 candidate = U256::random_bits(prng, bits);
+    if (!candidate.is_odd()) candidate = candidate.add(U256(1));
+    if (is_probable_prime(candidate, prng)) return candidate;
+  }
+}
+
+}  // namespace ripki::crypto

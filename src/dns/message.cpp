@@ -1,0 +1,334 @@
+#include "dns/message.hpp"
+
+#include <cassert>
+
+namespace ripki::dns {
+
+const char* to_string(RecordType type) {
+  switch (type) {
+    case RecordType::kA: return "A";
+    case RecordType::kNs: return "NS";
+    case RecordType::kCname: return "CNAME";
+    case RecordType::kSoa: return "SOA";
+    case RecordType::kTxt: return "TXT";
+    case RecordType::kDnskey: return "DNSKEY";
+    case RecordType::kAaaa: return "AAAA";
+  }
+  return "?";
+}
+
+ResourceRecord ResourceRecord::a(DnsName name, net::IpAddress addr, std::uint32_t ttl) {
+  assert(addr.is_v4());
+  return ResourceRecord{std::move(name), RecordType::kA, ttl, addr};
+}
+
+ResourceRecord ResourceRecord::aaaa(DnsName name, net::IpAddress addr,
+                                    std::uint32_t ttl) {
+  assert(addr.is_v6());
+  return ResourceRecord{std::move(name), RecordType::kAaaa, ttl, addr};
+}
+
+ResourceRecord ResourceRecord::cname(DnsName name, DnsName target, std::uint32_t ttl) {
+  return ResourceRecord{std::move(name), RecordType::kCname, ttl, std::move(target)};
+}
+
+Message Message::query(std::uint16_t id, DnsName name, RecordType type) {
+  Message m;
+  m.id = id;
+  m.questions.push_back(Question{std::move(name), type});
+  return m;
+}
+
+namespace {
+
+constexpr std::uint16_t kClassIn = 1;
+constexpr std::uint8_t kPointerMask = 0xC0;
+
+/// Compression dictionary: dotted-suffix -> message offset.
+using NameOffsets = std::unordered_map<std::string, std::size_t>;
+
+void write_name(util::ByteWriter& w, const DnsName& name, NameOffsets& offsets) {
+  const auto& labels = name.labels();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    // Dotted representation of the remaining suffix.
+    std::string suffix;
+    for (std::size_t j = i; j < labels.size(); ++j) {
+      if (j != i) suffix += '.';
+      suffix += labels[j];
+    }
+    const auto it = offsets.find(suffix);
+    if (it != offsets.end() && it->second < 0x3FFF) {
+      w.put_u16(static_cast<std::uint16_t>(0xC000 | it->second));
+      return;
+    }
+    if (w.size() < 0x3FFF) offsets.emplace(std::move(suffix), w.size());
+    w.put_u8(static_cast<std::uint8_t>(labels[i].size()));
+    w.put_string(labels[i]);
+  }
+  w.put_u8(0);  // root
+}
+
+util::Result<DnsName> read_name(std::span<const std::uint8_t> data, std::size_t& pos) {
+  std::vector<std::string> labels;
+  std::size_t cursor = pos;
+  bool jumped = false;
+  // Forward progress guard: every compression pointer must point strictly
+  // before the previous jump target (or the name start), which bounds the
+  // walk and rejects loops.
+  std::size_t min_offset = pos;
+  std::size_t total = 0;
+
+  for (;;) {
+    if (cursor >= data.size()) return util::Err("dns: name runs past message");
+    const std::uint8_t len = data[cursor];
+    if ((len & kPointerMask) == kPointerMask) {
+      if (cursor + 1 >= data.size()) return util::Err("dns: truncated pointer");
+      const std::size_t target =
+          (static_cast<std::size_t>(len & 0x3F) << 8) | data[cursor + 1];
+      if (target >= min_offset) return util::Err("dns: non-decreasing pointer");
+      if (!jumped) {
+        pos = cursor + 2;
+        jumped = true;
+      }
+      min_offset = target;
+      cursor = target;
+      continue;
+    }
+    if ((len & kPointerMask) != 0) return util::Err("dns: reserved label type");
+    if (len == 0) {
+      if (!jumped) pos = cursor + 1;
+      return DnsName::from_labels(std::move(labels));
+    }
+    if (cursor + 1 + len > data.size()) return util::Err("dns: truncated label");
+    total += len + 1;
+    if (total > 255) return util::Err("dns: name exceeds 255 octets");
+    labels.emplace_back(reinterpret_cast<const char*>(data.data() + cursor + 1), len);
+    cursor += 1 + len;
+  }
+}
+
+void write_record(util::ByteWriter& w, const ResourceRecord& rr, NameOffsets& offsets) {
+  write_name(w, rr.name, offsets);
+  w.put_u16(static_cast<std::uint16_t>(rr.type));
+  w.put_u16(kClassIn);
+  w.put_u32(rr.ttl);
+  const std::size_t rdlength_at = w.size();
+  w.put_u16(0);  // back-patched
+  const std::size_t rdata_start = w.size();
+
+  switch (rr.type) {
+    case RecordType::kA: {
+      const auto& addr = std::get<net::IpAddress>(rr.rdata);
+      w.put_bytes(std::span<const std::uint8_t>(addr.bytes().data(), 4));
+      break;
+    }
+    case RecordType::kAaaa: {
+      const auto& addr = std::get<net::IpAddress>(rr.rdata);
+      w.put_bytes(std::span<const std::uint8_t>(addr.bytes().data(), 16));
+      break;
+    }
+    case RecordType::kCname:
+    case RecordType::kNs:
+      write_name(w, std::get<DnsName>(rr.rdata), offsets);
+      break;
+    case RecordType::kSoa: {
+      const auto& soa = std::get<SoaData>(rr.rdata);
+      write_name(w, soa.mname, offsets);
+      write_name(w, soa.rname, offsets);
+      w.put_u32(soa.serial);
+      w.put_u32(soa.refresh);
+      w.put_u32(soa.retry);
+      w.put_u32(soa.expire);
+      w.put_u32(soa.minimum);
+      break;
+    }
+    case RecordType::kTxt: {
+      const auto& text = std::get<std::string>(rr.rdata);
+      const std::size_t n = std::min<std::size_t>(text.size(), 255);
+      w.put_u8(static_cast<std::uint8_t>(n));
+      w.put_string(std::string_view(text).substr(0, n));
+      break;
+    }
+    case RecordType::kDnskey: {
+      const auto& key = std::get<DnskeyData>(rr.rdata);
+      w.put_u16(key.flags);
+      w.put_u8(key.protocol);
+      w.put_u8(key.algorithm);
+      w.put_string(key.public_key);
+      break;
+    }
+  }
+  w.patch_u16(rdlength_at, static_cast<std::uint16_t>(w.size() - rdata_start));
+}
+
+util::Result<ResourceRecord> read_record(std::span<const std::uint8_t> data,
+                                         std::size_t& pos) {
+  ResourceRecord rr;
+  RIPKI_TRY_ASSIGN(name, read_name(data, pos));
+  rr.name = std::move(name);
+
+  util::ByteReader reader(data);
+  if (auto r = reader.seek(pos); !r.ok()) return r.error();
+  RIPKI_TRY_ASSIGN(type_raw, reader.u16());
+  RIPKI_TRY_ASSIGN(klass, reader.u16());
+  if (klass != kClassIn) return util::Err("dns: unsupported class");
+  RIPKI_TRY_ASSIGN(ttl, reader.u32());
+  rr.ttl = ttl;
+  RIPKI_TRY_ASSIGN(rdlength, reader.u16());
+  if (reader.remaining() < rdlength) return util::Err("dns: truncated rdata");
+  const std::size_t rdata_start = reader.position();
+  const std::size_t rdata_end = rdata_start + rdlength;
+
+  rr.type = static_cast<RecordType>(type_raw);
+  switch (rr.type) {
+    case RecordType::kA: {
+      if (rdlength != 4) return util::Err("dns: bad A rdata length");
+      RIPKI_TRY_ASSIGN(raw, reader.bytes(4));
+      rr.rdata = net::IpAddress::v4(raw[0], raw[1], raw[2], raw[3]);
+      break;
+    }
+    case RecordType::kAaaa: {
+      if (rdlength != 16) return util::Err("dns: bad AAAA rdata length");
+      RIPKI_TRY_ASSIGN(raw, reader.bytes(16));
+      std::array<std::uint8_t, 16> addr{};
+      std::copy(raw.begin(), raw.end(), addr.begin());
+      rr.rdata = net::IpAddress::v6(addr);
+      break;
+    }
+    case RecordType::kCname:
+    case RecordType::kNs: {
+      std::size_t name_pos = rdata_start;
+      RIPKI_TRY_ASSIGN(target, read_name(data, name_pos));
+      if (name_pos != rdata_end) return util::Err("dns: bad name rdata length");
+      rr.rdata = std::move(target);
+      break;
+    }
+    case RecordType::kSoa: {
+      std::size_t soa_pos = rdata_start;
+      SoaData soa;
+      RIPKI_TRY_ASSIGN(mname, read_name(data, soa_pos));
+      soa.mname = std::move(mname);
+      RIPKI_TRY_ASSIGN(rname, read_name(data, soa_pos));
+      soa.rname = std::move(rname);
+      util::ByteReader ints(data);
+      if (auto r = ints.seek(soa_pos); !r.ok()) return r.error();
+      RIPKI_TRY_ASSIGN(serial, ints.u32());
+      soa.serial = serial;
+      RIPKI_TRY_ASSIGN(refresh, ints.u32());
+      soa.refresh = refresh;
+      RIPKI_TRY_ASSIGN(retry, ints.u32());
+      soa.retry = retry;
+      RIPKI_TRY_ASSIGN(expire, ints.u32());
+      soa.expire = expire;
+      RIPKI_TRY_ASSIGN(minimum, ints.u32());
+      soa.minimum = minimum;
+      if (ints.position() != rdata_end) return util::Err("dns: bad SOA rdata length");
+      rr.rdata = std::move(soa);
+      break;
+    }
+    case RecordType::kTxt: {
+      RIPKI_TRY_ASSIGN(len, reader.u8());
+      if (1 + static_cast<std::size_t>(len) != rdlength)
+        return util::Err("dns: bad TXT rdata length");
+      RIPKI_TRY_ASSIGN(text, reader.string(len));
+      rr.rdata = std::move(text);
+      break;
+    }
+    case RecordType::kDnskey: {
+      if (rdlength < 4) return util::Err("dns: bad DNSKEY rdata length");
+      DnskeyData key;
+      RIPKI_TRY_ASSIGN(flags, reader.u16());
+      key.flags = flags;
+      RIPKI_TRY_ASSIGN(protocol, reader.u8());
+      key.protocol = protocol;
+      RIPKI_TRY_ASSIGN(algorithm, reader.u8());
+      key.algorithm = algorithm;
+      RIPKI_TRY_ASSIGN(blob, reader.string(rdlength - 4));
+      key.public_key = std::move(blob);
+      rr.rdata = std::move(key);
+      break;
+    }
+    default:
+      return util::Err("dns: unsupported record type " + std::to_string(type_raw));
+  }
+
+  pos = rdata_end;
+  return rr;
+}
+
+}  // namespace
+
+util::Bytes encode(const Message& message) {
+  util::ByteWriter w;
+  NameOffsets offsets;
+
+  w.put_u16(message.id);
+  std::uint16_t flags = 0;
+  if (message.is_response) flags |= 0x8000;
+  if (message.authoritative) flags |= 0x0400;
+  if (message.truncated) flags |= 0x0200;
+  if (message.recursion_desired) flags |= 0x0100;
+  if (message.recursion_available) flags |= 0x0080;
+  flags |= static_cast<std::uint16_t>(message.rcode);
+  w.put_u16(flags);
+  w.put_u16(static_cast<std::uint16_t>(message.questions.size()));
+  w.put_u16(static_cast<std::uint16_t>(message.answers.size()));
+  w.put_u16(static_cast<std::uint16_t>(message.authority.size()));
+  w.put_u16(static_cast<std::uint16_t>(message.additional.size()));
+
+  for (const auto& q : message.questions) {
+    write_name(w, q.name, offsets);
+    w.put_u16(static_cast<std::uint16_t>(q.type));
+    w.put_u16(kClassIn);
+  }
+  for (const auto& rr : message.answers) write_record(w, rr, offsets);
+  for (const auto& rr : message.authority) write_record(w, rr, offsets);
+  for (const auto& rr : message.additional) write_record(w, rr, offsets);
+  return std::move(w).take();
+}
+
+util::Result<Message> decode(std::span<const std::uint8_t> data) {
+  util::ByteReader reader(data);
+  Message m;
+  RIPKI_TRY_ASSIGN(id, reader.u16());
+  m.id = id;
+  RIPKI_TRY_ASSIGN(flags, reader.u16());
+  m.is_response = (flags & 0x8000) != 0;
+  m.authoritative = (flags & 0x0400) != 0;
+  m.truncated = (flags & 0x0200) != 0;
+  m.recursion_desired = (flags & 0x0100) != 0;
+  m.recursion_available = (flags & 0x0080) != 0;
+  m.rcode = static_cast<Rcode>(flags & 0x000F);
+  RIPKI_TRY_ASSIGN(qdcount, reader.u16());
+  RIPKI_TRY_ASSIGN(ancount, reader.u16());
+  RIPKI_TRY_ASSIGN(nscount, reader.u16());
+  RIPKI_TRY_ASSIGN(arcount, reader.u16());
+
+  std::size_t pos = reader.position();
+  for (std::uint16_t i = 0; i < qdcount; ++i) {
+    RIPKI_TRY_ASSIGN(name, read_name(data, pos));
+    util::ByteReader qr(data);
+    if (auto r = qr.seek(pos); !r.ok()) return r.error();
+    RIPKI_TRY_ASSIGN(type_raw, qr.u16());
+    RIPKI_TRY_ASSIGN(klass, qr.u16());
+    if (klass != kClassIn) return util::Err("dns: unsupported question class");
+    pos = qr.position();
+    m.questions.push_back(Question{std::move(name), static_cast<RecordType>(type_raw)});
+  }
+  for (std::uint16_t i = 0; i < ancount; ++i) {
+    RIPKI_TRY_ASSIGN(rr, read_record(data, pos));
+    m.answers.push_back(std::move(rr));
+  }
+  for (std::uint16_t i = 0; i < nscount; ++i) {
+    RIPKI_TRY_ASSIGN(rr, read_record(data, pos));
+    m.authority.push_back(std::move(rr));
+  }
+  for (std::uint16_t i = 0; i < arcount; ++i) {
+    RIPKI_TRY_ASSIGN(rr, read_record(data, pos));
+    m.additional.push_back(std::move(rr));
+  }
+  if (pos != data.size()) return util::Err("dns: trailing bytes in message");
+  return m;
+}
+
+}  // namespace ripki::dns

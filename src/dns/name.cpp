@@ -1,0 +1,62 @@
+#include "dns/name.hpp"
+
+#include "util/strings.hpp"
+
+namespace ripki::dns {
+
+util::Result<DnsName> DnsName::parse(std::string_view text) {
+  DnsName name;
+  if (text.empty() || text == ".") return name;
+  if (text.back() == '.') text.remove_suffix(1);
+
+  std::size_t total = 1;  // root length byte
+  for (const auto& raw : util::split(text, '.')) {
+    if (raw.empty()) return util::Err("dns name: empty label");
+    if (raw.size() > 63) return util::Err("dns name: label exceeds 63 octets");
+    total += raw.size() + 1;
+    name.labels_.push_back(util::to_lower(raw));
+  }
+  if (total > 255) return util::Err("dns name: exceeds 255 octets");
+  return name;
+}
+
+DnsName DnsName::from_labels(std::vector<std::string> labels) {
+  DnsName name;
+  name.labels_ = std::move(labels);
+  for (auto& label : name.labels_) label = util::to_lower(label);
+  return name;
+}
+
+std::string DnsName::to_string() const {
+  return util::join(labels_, ".");
+}
+
+DnsName DnsName::prepended(std::string_view label) const {
+  DnsName out;
+  out.labels_.reserve(labels_.size() + 1);
+  out.labels_.push_back(util::to_lower(label));
+  out.labels_.insert(out.labels_.end(), labels_.begin(), labels_.end());
+  return out;
+}
+
+bool DnsName::ends_with(const DnsName& suffix) const {
+  if (suffix.labels_.size() > labels_.size()) return false;
+  return std::equal(suffix.labels_.rbegin(), suffix.labels_.rend(), labels_.rbegin());
+}
+
+std::size_t DnsName::encoded_size() const {
+  std::size_t total = 1;  // root byte
+  for (const auto& label : labels_) total += label.size() + 1;
+  return total;
+}
+
+std::size_t DnsNameHash::operator()(const DnsName& name) const {
+  std::size_t h = 1469598103934665603ULL;
+  for (const auto& label : name.labels()) {
+    for (char c : label) h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+    h = (h ^ 0x2E) * 1099511628211ULL;  // label separator
+  }
+  return h;
+}
+
+}  // namespace ripki::dns

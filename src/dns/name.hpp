@@ -1,0 +1,53 @@
+// DNS domain names: ordered label sequences, case-insensitive (stored
+// lowercase), max 255 octets / 63 per label (RFC 1035 §2.3.4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace ripki::dns {
+
+class DnsName {
+ public:
+  DnsName() = default;  // the root name
+
+  /// Parses dotted notation ("www.Example.COM" -> www.example.com).
+  /// A trailing dot is accepted; empty labels elsewhere are rejected.
+  static util::Result<DnsName> parse(std::string_view text);
+
+  /// Builds from labels (already validated).
+  static DnsName from_labels(std::vector<std::string> labels);
+
+  const std::vector<std::string>& labels() const { return labels_; }
+  bool is_root() const { return labels_.empty(); }
+  std::size_t label_count() const { return labels_.size(); }
+
+  /// Dotted presentation without trailing dot ("" for the root).
+  std::string to_string() const;
+
+  /// "www" + example.com -> www.example.com.
+  DnsName prepended(std::string_view label) const;
+
+  /// True when this name equals `suffix` or ends with it
+  /// (a495.g.akamai.net ends_with akamai.net).
+  bool ends_with(const DnsName& suffix) const;
+
+  /// Total encoded length in octets (labels + length bytes + root byte).
+  std::size_t encoded_size() const;
+
+  bool operator==(const DnsName&) const = default;
+  auto operator<=>(const DnsName&) const = default;
+
+ private:
+  std::vector<std::string> labels_;
+};
+
+struct DnsNameHash {
+  std::size_t operator()(const DnsName& name) const;
+};
+
+}  // namespace ripki::dns

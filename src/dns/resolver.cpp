@@ -1,0 +1,84 @@
+#include "dns/resolver.hpp"
+
+#include <algorithm>
+
+namespace ripki::dns {
+
+util::Result<Resolution> StubResolver::resolve(const DnsName& name, RecordType type) {
+  Resolution result;
+  DnsName current = name;
+  result.chain.push_back(current);
+
+  for (std::size_t depth = 0; depth <= kMaxChainDepth; ++depth) {
+    const Message query = Message::query(next_id_++, current, type);
+    ++queries_sent_;
+    // UDP first; a TC response triggers a TCP retry (RFC 1035 §4.2.1).
+    util::Bytes response_bytes = server_->handle_datagram(encode(query));
+    RIPKI_TRY_ASSIGN(first, decode(response_bytes));
+    Message response = std::move(first);
+    if (response.truncated) {
+      ++tcp_retries_;
+      ++queries_sent_;
+      response_bytes = server_->handle_stream(encode(query));
+      RIPKI_TRY_ASSIGN(full, decode(response_bytes));
+      response = std::move(full);
+    }
+
+    if (response.id != query.id) return util::Err("resolver: response id mismatch");
+    if (!response.is_response) return util::Err("resolver: answer not a response");
+    if (response.rcode != Rcode::kNoError) {
+      result.rcode = response.rcode;
+      return result;
+    }
+
+    const DnsName* next_target = nullptr;
+    for (const auto& rr : response.answers) {
+      if (rr.name != current) continue;
+      if (rr.type == type) {
+        result.addresses.push_back(std::get<net::IpAddress>(rr.rdata));
+      } else if (rr.type == RecordType::kCname) {
+        next_target = &std::get<DnsName>(rr.rdata);
+      }
+    }
+    if (!result.addresses.empty() || next_target == nullptr) return result;
+
+    // Follow the alias; a name repeating in the chain is a loop.
+    if (std::find(result.chain.begin(), result.chain.end(), *next_target) !=
+        result.chain.end()) {
+      return util::Err("resolver: CNAME loop at " + next_target->to_string());
+    }
+    current = *next_target;
+    result.chain.push_back(current);
+  }
+  return util::Err("resolver: CNAME chain exceeds depth limit");
+}
+
+util::Result<Message> StubResolver::query(const DnsName& name, RecordType type) {
+  const Message message = Message::query(next_id_++, name, type);
+  ++queries_sent_;
+  const util::Bytes response_bytes = server_->handle_bytes(encode(message));
+  RIPKI_TRY_ASSIGN(response, decode(response_bytes));
+  if (response.id != message.id) return util::Err("resolver: response id mismatch");
+  return response;
+}
+
+util::Result<Resolution> StubResolver::resolve_all(const DnsName& name) {
+  RIPKI_TRY_ASSIGN(v4, resolve(name, RecordType::kA));
+  RIPKI_TRY_ASSIGN(v6, resolve(name, RecordType::kAaaa));
+
+  Resolution merged = v4.chain.size() >= v6.chain.size() ? v4 : v6;
+  const Resolution& other = v4.chain.size() >= v6.chain.size() ? v6 : v4;
+  merged.addresses.insert(merged.addresses.end(), other.addresses.begin(),
+                          other.addresses.end());
+  // NXDOMAIN only if both lookups failed to produce data.
+  if (v4.rcode == Rcode::kNoError || v6.rcode == Rcode::kNoError) {
+    merged.rcode = Rcode::kNoError;
+    if (merged.addresses.empty() && v4.rcode != Rcode::kNoError)
+      merged.rcode = v4.rcode;
+    if (merged.addresses.empty() && v6.rcode != Rcode::kNoError)
+      merged.rcode = v6.rcode;
+  }
+  return merged;
+}
+
+}  // namespace ripki::dns

@@ -1,0 +1,59 @@
+// Stub resolver with CNAME chasing — the measurement's step-2 client
+// ("using Google DNS, we collect all A, AAAA, and CNAME records").
+//
+// Every lookup goes through wire bytes against an AuthoritativeServer, and
+// CNAME chains are followed hop by hop with loop and depth protection.
+// The full chain is preserved: the CDN classifier of §4.3 counts the
+// number of CNAME indirections per domain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/server.hpp"
+
+namespace ripki::dns {
+
+/// Result of resolving one (name, address family) pair.
+struct Resolution {
+  /// CNAME chain in traversal order, starting at the queried name
+  /// (www.huffingtonpost.com -> ...edgesuite.net -> a495.g.akamai.net).
+  std::vector<DnsName> chain;
+  std::vector<net::IpAddress> addresses;
+  Rcode rcode = Rcode::kNoError;
+
+  /// Number of CNAME indirections (chain hops past the original name).
+  std::size_t cname_hops() const { return chain.empty() ? 0 : chain.size() - 1; }
+};
+
+class StubResolver {
+ public:
+  static constexpr std::size_t kMaxChainDepth = 16;
+
+  /// `server` is borrowed; it is the recursive vantage being queried.
+  explicit StubResolver(const AuthoritativeServer* server) : server_(server) {}
+
+  /// Resolves A (v4) or AAAA (v6) records for `name`, chasing CNAMEs.
+  util::Result<Resolution> resolve(const DnsName& name, RecordType type);
+
+  /// Resolves both A and AAAA; merges addresses, keeps the longer chain.
+  util::Result<Resolution> resolve_all(const DnsName& name);
+
+  /// One raw query/response exchange without CNAME chasing — used for
+  /// non-address record types (e.g. the DNSKEY probe of the DNSSEC
+  /// adoption study).
+  util::Result<Message> query(const DnsName& name, RecordType type);
+
+  std::uint64_t queries_sent() const { return queries_sent_; }
+  /// Truncated-UDP responses retried over TCP.
+  std::uint64_t tcp_retries() const { return tcp_retries_; }
+
+ private:
+  const AuthoritativeServer* server_;
+  std::uint64_t queries_sent_ = 0;
+  std::uint64_t tcp_retries_ = 0;
+  std::uint16_t next_id_ = 1;
+};
+
+}  // namespace ripki::dns

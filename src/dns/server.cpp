@@ -1,0 +1,90 @@
+#include "dns/server.hpp"
+
+namespace ripki::dns {
+
+Message AuthoritativeServer::handle(const Message& query) const {
+  ++stats_.queries;
+  Message response;
+  response.id = query.id;
+  response.is_response = true;
+  response.authoritative = true;
+  response.recursion_desired = query.recursion_desired;
+  response.questions = query.questions;
+
+  if (query.questions.size() != 1) {
+    response.rcode = Rcode::kFormErr;
+    ++stats_.formerr;
+    return response;
+  }
+  const Question& q = query.questions.front();
+
+  // Direct records for the requested type.
+  auto records = zones_->lookup(q.name, q.type);
+  if (!records.empty()) {
+    response.answers = std::move(records);
+    return response;
+  }
+
+  // Alias: include the CNAME and let the resolver follow it.
+  if (q.type != RecordType::kCname) {
+    auto cnames = zones_->lookup(q.name, RecordType::kCname);
+    if (!cnames.empty()) {
+      response.answers = std::move(cnames);
+      return response;
+    }
+  }
+
+  if (!zones_->name_exists(q.name)) {
+    response.rcode = Rcode::kNxDomain;
+    ++stats_.nxdomain;
+  }
+  // Name exists but no data of this type: NOERROR with empty answer.
+  return response;
+}
+
+util::Bytes AuthoritativeServer::handle_stream(
+    std::span<const std::uint8_t> query_bytes) const {
+  auto query = decode(query_bytes);
+  if (!query.ok()) {
+    ++stats_.queries;
+    ++stats_.formerr;
+    Message response;
+    response.is_response = true;
+    response.rcode = Rcode::kFormErr;
+    return encode(response);
+  }
+  return encode(handle(query.value()));
+}
+
+util::Bytes AuthoritativeServer::handle_bytes(
+    std::span<const std::uint8_t> query_bytes) const {
+  return handle_stream(query_bytes);
+}
+
+util::Bytes AuthoritativeServer::handle_datagram(
+    std::span<const std::uint8_t> query_bytes) const {
+  auto query = decode(query_bytes);
+  if (!query.ok()) {
+    ++stats_.queries;
+    ++stats_.formerr;
+    Message response;
+    response.is_response = true;
+    response.rcode = Rcode::kFormErr;
+    return encode(response);
+  }
+  Message response = handle(query.value());
+  util::Bytes wire = encode(response);
+  if (wire.size() > kUdpPayloadLimit) {
+    // Truncate: drop the answer sections, flag TC, let the client retry
+    // over TCP.
+    response.answers.clear();
+    response.authority.clear();
+    response.additional.clear();
+    response.truncated = true;
+    ++stats_.truncated;
+    wire = encode(response);
+  }
+  return wire;
+}
+
+}  // namespace ripki::dns

@@ -1,0 +1,48 @@
+// Authoritative DNS server over a ZoneSource: answers one-question
+// queries, adding the CNAME record when the owner name is an alias
+// (leaving the chase to the resolver, as authoritative servers that do
+// not host the target zone must).
+#pragma once
+
+#include "dns/zone.hpp"
+
+namespace ripki::dns {
+
+class AuthoritativeServer {
+ public:
+  /// Classic DNS-over-UDP payload ceiling (RFC 1035 §4.2.1).
+  static constexpr std::size_t kUdpPayloadLimit = 512;
+
+  /// `zones` is borrowed and must outlive the server.
+  explicit AuthoritativeServer(const ZoneSource* zones) : zones_(zones) {}
+
+  /// Full wire path: decode query bytes, answer, encode response bytes.
+  /// Malformed queries yield a FORMERR response (never a crash).
+  /// Equivalent to handle_stream (no size limit).
+  util::Bytes handle_bytes(std::span<const std::uint8_t> query_bytes) const;
+
+  /// UDP path: responses larger than kUdpPayloadLimit are truncated — the
+  /// answer section is emptied and TC is set, telling the client to retry
+  /// over TCP (RFC 1035 §4.2.1 / RFC 2181 §9).
+  util::Bytes handle_datagram(std::span<const std::uint8_t> query_bytes) const;
+
+  /// TCP path: never truncates.
+  util::Bytes handle_stream(std::span<const std::uint8_t> query_bytes) const;
+
+  /// Protocol-level handler.
+  Message handle(const Message& query) const;
+
+  struct Stats {
+    std::uint64_t queries = 0;
+    std::uint64_t nxdomain = 0;
+    std::uint64_t formerr = 0;
+    std::uint64_t truncated = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  const ZoneSource* zones_;
+  mutable Stats stats_;
+};
+
+}  // namespace ripki::dns

@@ -1,0 +1,48 @@
+// Zone data sources for the authoritative server.
+//
+// ZoneSource is an interface so record data can either live in memory
+// (tests, small examples) or be synthesised on demand by the ecosystem
+// generator (1M-domain experiments without 1M-domain memory footprints).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "dns/message.hpp"
+
+namespace ripki::dns {
+
+class ZoneSource {
+ public:
+  virtual ~ZoneSource() = default;
+
+  /// Records of exactly (name, type). CNAME indirection is NOT resolved
+  /// here; the server adds the CNAME record and resolvers chase it.
+  virtual std::vector<ResourceRecord> lookup(const DnsName& name,
+                                             RecordType type) const = 0;
+
+  /// True when any record exists for `name` (drives NXDOMAIN vs NOERROR
+  /// with an empty answer section).
+  virtual bool name_exists(const DnsName& name) const = 0;
+};
+
+/// Simple in-memory record store.
+class InMemoryZoneDb final : public ZoneSource {
+ public:
+  void add(ResourceRecord record);
+
+  std::vector<ResourceRecord> lookup(const DnsName& name,
+                                     RecordType type) const override;
+  bool name_exists(const DnsName& name) const override;
+
+  std::size_t record_count() const { return record_count_; }
+
+ private:
+  struct TypeMap {
+    std::unordered_map<std::uint16_t, std::vector<ResourceRecord>> by_type;
+  };
+  std::unordered_map<DnsName, TypeMap, DnsNameHash> names_;
+  std::size_t record_count_ = 0;
+};
+
+}  // namespace ripki::dns

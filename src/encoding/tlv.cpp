@@ -1,0 +1,133 @@
+#include "encoding/tlv.hpp"
+
+#include <cassert>
+
+namespace ripki::encoding {
+
+namespace {
+
+void write_header(util::ByteWriter& w, Tag tag, std::uint32_t length) {
+  w.put_u16(tag);
+  w.put_u32(length);
+}
+
+}  // namespace
+
+void TlvWriter::add_u8(Tag tag, std::uint8_t v) {
+  write_header(writer_, tag, 1);
+  writer_.put_u8(v);
+}
+
+void TlvWriter::add_u16(Tag tag, std::uint16_t v) {
+  write_header(writer_, tag, 2);
+  writer_.put_u16(v);
+}
+
+void TlvWriter::add_u32(Tag tag, std::uint32_t v) {
+  write_header(writer_, tag, 4);
+  writer_.put_u32(v);
+}
+
+void TlvWriter::add_u64(Tag tag, std::uint64_t v) {
+  write_header(writer_, tag, 8);
+  writer_.put_u64(v);
+}
+
+void TlvWriter::add_bytes(Tag tag, std::span<const std::uint8_t> bytes) {
+  write_header(writer_, tag, static_cast<std::uint32_t>(bytes.size()));
+  writer_.put_bytes(bytes);
+}
+
+void TlvWriter::add_string(Tag tag, std::string_view s) {
+  write_header(writer_, tag, static_cast<std::uint32_t>(s.size()));
+  writer_.put_string(s);
+}
+
+void TlvWriter::begin(Tag tag) {
+  writer_.put_u16(tag);
+  open_length_offsets_.push_back(writer_.size());
+  writer_.put_u32(0);  // back-patched by end()
+}
+
+void TlvWriter::end() {
+  assert(!open_length_offsets_.empty() && "TlvWriter::end without begin");
+  const std::size_t offset = open_length_offsets_.back();
+  open_length_offsets_.pop_back();
+  const std::size_t payload = writer_.size() - offset - 4;
+  writer_.patch_u32(offset, static_cast<std::uint32_t>(payload));
+}
+
+util::Bytes TlvWriter::take() && {
+  assert(open_length_offsets_.empty() && "TlvWriter::take with open container");
+  return std::move(writer_).take();
+}
+
+util::Result<std::uint8_t> TlvElement::as_u8() const {
+  if (value.size() != 1) return util::Err("tlv: element is not a u8");
+  return value[0];
+}
+
+util::Result<std::uint16_t> TlvElement::as_u16() const {
+  if (value.size() != 2) return util::Err("tlv: element is not a u16");
+  return static_cast<std::uint16_t>((value[0] << 8) | value[1]);
+}
+
+util::Result<std::uint32_t> TlvElement::as_u32() const {
+  if (value.size() != 4) return util::Err("tlv: element is not a u32");
+  std::uint32_t v = 0;
+  for (auto b : value) v = (v << 8) | b;
+  return v;
+}
+
+util::Result<std::uint64_t> TlvElement::as_u64() const {
+  if (value.size() != 8) return util::Err("tlv: element is not a u64");
+  std::uint64_t v = 0;
+  for (auto b : value) v = (v << 8) | b;
+  return v;
+}
+
+util::Bytes TlvElement::as_bytes() const { return {value.begin(), value.end()}; }
+
+std::string TlvElement::as_string() const {
+  return std::string(reinterpret_cast<const char*>(value.data()), value.size());
+}
+
+util::Result<TlvMap> TlvMap::parse(std::span<const std::uint8_t> data) {
+  TlvMap map;
+  util::ByteReader reader(data);
+  while (!reader.at_end()) {
+    auto tag = reader.u16();
+    if (!tag.ok()) return util::Err("tlv: truncated tag");
+    auto length = reader.u32();
+    if (!length.ok()) return util::Err("tlv: truncated length");
+    auto value = reader.view(length.value());
+    if (!value.ok())
+      return util::Err("tlv: value truncated (tag " + std::to_string(tag.value()) + ")");
+    map.elements_.push_back(TlvElement{tag.value(), value.value()});
+  }
+  return map;
+}
+
+const TlvElement* TlvMap::find(Tag tag) const {
+  for (const auto& element : elements_) {
+    if (element.tag == tag) return &element;
+  }
+  return nullptr;
+}
+
+std::vector<const TlvElement*> TlvMap::find_all(Tag tag) const {
+  std::vector<const TlvElement*> out;
+  for (const auto& element : elements_) {
+    if (element.tag == tag) out.push_back(&element);
+  }
+  return out;
+}
+
+util::Result<TlvElement> TlvMap::require(Tag tag) const {
+  const TlvElement* element = find(tag);
+  if (element == nullptr)
+    return util::Err("tlv: missing required tag " + std::to_string(tag));
+  return *element;
+}
+
+}  // namespace ripki::encoding

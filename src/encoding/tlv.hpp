@@ -1,0 +1,80 @@
+// TLV codec: the serialisation used by RPKI objects in this library.
+//
+// Real RPKI objects are DER-encoded ASN.1 wrapped in CMS; this module is
+// the structural stand-in: definite-length tag/length/value with nesting,
+// strict decoding (no trailing garbage, no truncated elements), and typed
+// accessors. Every certificate, ROA, CRL and manifest round-trips through
+// it, so signature digests are computed over real wire bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace ripki::encoding {
+
+using Tag = std::uint16_t;
+
+/// Serialises a sequence of (possibly nested) TLV elements.
+/// Wire form per element: tag (u16 BE), length (u32 BE), value bytes.
+class TlvWriter {
+ public:
+  void add_u8(Tag tag, std::uint8_t v);
+  void add_u16(Tag tag, std::uint16_t v);
+  void add_u32(Tag tag, std::uint32_t v);
+  void add_u64(Tag tag, std::uint64_t v);
+  void add_bytes(Tag tag, std::span<const std::uint8_t> bytes);
+  void add_string(Tag tag, std::string_view s);
+
+  /// Opens a container element; children written until the matching end()
+  /// become its value. Containers nest arbitrarily.
+  void begin(Tag tag);
+  void end();
+
+  /// Finishes the encoding. All containers must be closed.
+  util::Bytes take() &&;
+
+ private:
+  util::ByteWriter writer_;
+  std::vector<std::size_t> open_length_offsets_;
+};
+
+/// One decoded element: its tag and a view of its value bytes.
+struct TlvElement {
+  Tag tag = 0;
+  std::span<const std::uint8_t> value;
+
+  util::Result<std::uint8_t> as_u8() const;
+  util::Result<std::uint16_t> as_u16() const;
+  util::Result<std::uint32_t> as_u32() const;
+  util::Result<std::uint64_t> as_u64() const;
+  util::Bytes as_bytes() const;
+  std::string as_string() const;
+};
+
+/// Strictly decodes the children of a TLV byte range into an ordered list.
+/// Fails on truncation or trailing bytes. Views alias the input buffer.
+class TlvMap {
+ public:
+  static util::Result<TlvMap> parse(std::span<const std::uint8_t> data);
+
+  const std::vector<TlvElement>& elements() const { return elements_; }
+
+  /// First element with `tag`, or nullptr.
+  const TlvElement* find(Tag tag) const;
+  /// All elements with `tag`, in order.
+  std::vector<const TlvElement*> find_all(Tag tag) const;
+  /// First element with `tag`, or a decode error naming the tag.
+  util::Result<TlvElement> require(Tag tag) const;
+
+ private:
+  std::vector<TlvElement> elements_;
+};
+
+}  // namespace ripki::encoding

@@ -1,0 +1,33 @@
+// Autonomous System Number strong type (32-bit, RFC 6793).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ripki::net {
+
+class Asn {
+ public:
+  constexpr Asn() = default;
+  constexpr explicit Asn(std::uint32_t value) : value_(value) {}
+
+  constexpr std::uint32_t value() const { return value_; }
+
+  /// Canonical "AS64512" notation.
+  std::string to_string() const { return "AS" + std::to_string(value_); }
+
+  auto operator<=>(const Asn& other) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+struct AsnHash {
+  std::size_t operator()(const Asn& asn) const {
+    return std::hash<std::uint32_t>{}(asn.value());
+  }
+};
+
+}  // namespace ripki::net

@@ -1,0 +1,54 @@
+// CIDR prefix value type. Prefixes are stored canonically: all bits past
+// the prefix length are zero, which makes equality and hashing meaningful.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/ip.hpp"
+#include "util/result.hpp"
+
+namespace ripki::net {
+
+class Prefix {
+ public:
+  Prefix() = default;
+
+  /// Builds a canonical prefix; host bits of `addr` are masked away.
+  Prefix(const IpAddress& addr, int length);
+
+  /// Parses "a.b.c.d/len" or "<v6>/len"; rejects out-of-range lengths.
+  static util::Result<Prefix> parse(std::string_view text);
+
+  const IpAddress& address() const { return address_; }
+  int length() const { return length_; }
+  Family family() const { return address_.family(); }
+  bool is_v4() const { return address_.is_v4(); }
+
+  /// True when `addr` falls inside this prefix (same family required).
+  bool contains(const IpAddress& addr) const;
+
+  /// True when `other` is equal to or more specific than this prefix.
+  bool contains(const Prefix& other) const;
+
+  /// True when the two prefixes share any address.
+  bool overlaps(const Prefix& other) const;
+
+  std::string to_string() const;
+
+  auto operator<=>(const Prefix& other) const = default;
+
+ private:
+  IpAddress address_;
+  int length_ = 0;
+};
+
+struct PrefixHash {
+  std::size_t operator()(const Prefix& p) const {
+    return IpAddressHash{}(p.address()) * 31 + static_cast<std::size_t>(p.length());
+  }
+};
+
+}  // namespace ripki::net

@@ -1,0 +1,74 @@
+#include "net/special.hpp"
+
+namespace ripki::net {
+
+namespace {
+
+std::vector<SpecialPurposeBlock> build_v4() {
+  auto mk = [](std::string_view text, std::string_view name) {
+    auto p = Prefix::parse(text);
+    return SpecialPurposeBlock{p.value(), name};
+  };
+  return {
+      mk("0.0.0.0/8", "this host on this network"),
+      mk("10.0.0.0/8", "private-use (RFC 1918)"),
+      mk("100.64.0.0/10", "shared address space (RFC 6598)"),
+      mk("127.0.0.0/8", "loopback"),
+      mk("169.254.0.0/16", "link local"),
+      mk("172.16.0.0/12", "private-use (RFC 1918)"),
+      mk("192.0.0.0/24", "IETF protocol assignments"),
+      mk("192.0.2.0/24", "TEST-NET-1"),
+      mk("192.88.99.0/24", "6to4 relay anycast (deprecated)"),
+      mk("192.168.0.0/16", "private-use (RFC 1918)"),
+      mk("198.18.0.0/15", "benchmarking"),
+      mk("198.51.100.0/24", "TEST-NET-2"),
+      mk("203.0.113.0/24", "TEST-NET-3"),
+      mk("224.0.0.0/4", "multicast"),
+      mk("240.0.0.0/4", "reserved (incl. limited broadcast)"),
+  };
+}
+
+std::vector<SpecialPurposeBlock> build_v6() {
+  auto mk = [](std::string_view text, std::string_view name) {
+    auto p = Prefix::parse(text);
+    return SpecialPurposeBlock{p.value(), name};
+  };
+  return {
+      mk("::/128", "unspecified"),
+      mk("::1/128", "loopback"),
+      mk("::ffff:0:0/96", "IPv4-mapped"),
+      mk("100::/64", "discard-only"),
+      mk("2001::/23", "IETF protocol assignments"),
+      mk("2001:db8::/32", "documentation"),
+      mk("2002::/16", "6to4"),
+      mk("fc00::/7", "unique-local"),
+      mk("fe80::/10", "link-local unicast"),
+      mk("ff00::/8", "multicast"),
+  };
+}
+
+}  // namespace
+
+const std::vector<SpecialPurposeBlock>& special_purpose_v4() {
+  static const std::vector<SpecialPurposeBlock> blocks = build_v4();
+  return blocks;
+}
+
+const std::vector<SpecialPurposeBlock>& special_purpose_v6() {
+  static const std::vector<SpecialPurposeBlock> blocks = build_v6();
+  return blocks;
+}
+
+bool is_special_purpose(const IpAddress& addr) {
+  return !special_purpose_name(addr).empty();
+}
+
+std::string_view special_purpose_name(const IpAddress& addr) {
+  const auto& blocks = addr.is_v4() ? special_purpose_v4() : special_purpose_v6();
+  for (const auto& block : blocks) {
+    if (block.prefix.contains(addr)) return block.name;
+  }
+  return {};
+}
+
+}  // namespace ripki::net

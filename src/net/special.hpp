@@ -1,0 +1,34 @@
+// IANA special-purpose address registries (RFC 6890 and successors).
+//
+// Step (2) of the paper's methodology discards DNS answers pointing at
+// special-purpose addresses ("we exclude all invalid DNS answers, i.e. all
+// special-purpose IPv4 and IPv6 addresses reserved by the IANA").
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "net/ip.hpp"
+#include "net/prefix.hpp"
+
+namespace ripki::net {
+
+struct SpecialPurposeBlock {
+  Prefix prefix;
+  std::string_view name;
+};
+
+/// The IPv4 special-purpose registry (loopback, RFC 1918, TEST-NETs, ...).
+const std::vector<SpecialPurposeBlock>& special_purpose_v4();
+
+/// The IPv6 special-purpose registry (loopback, ULA, link-local, doc, ...).
+const std::vector<SpecialPurposeBlock>& special_purpose_v6();
+
+/// True when `addr` falls inside any special-purpose block and must be
+/// excluded from the measurement as an invalid DNS answer.
+bool is_special_purpose(const IpAddress& addr);
+
+/// Name of the covering registry entry, or empty when globally routable.
+std::string_view special_purpose_name(const IpAddress& addr);
+
+}  // namespace ripki::net

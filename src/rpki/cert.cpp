@@ -1,0 +1,135 @@
+#include "rpki/cert.hpp"
+
+#include "rpki/tags.hpp"
+
+namespace ripki::rpki {
+
+namespace {
+
+void encode_tbs_into(encoding::TlvWriter& writer, const CertificateData& data) {
+  writer.begin(tags::kCertTbs);
+  writer.add_u64(tags::kCertSerial, data.serial);
+  writer.add_string(tags::kCertSubject, data.subject);
+  writer.add_string(tags::kCertIssuer, data.issuer);
+  writer.add_u8(tags::kCertIsCa, data.is_ca ? 1 : 0);
+  const auto key_bytes = crypto::encode_public_key(data.public_key);
+  writer.add_bytes(tags::kCertPublicKey,
+                   std::span<const std::uint8_t>(key_bytes.data(), key_bytes.size()));
+  writer.add_u64(tags::kCertNotBefore,
+                 static_cast<std::uint64_t>(data.validity.not_before));
+  writer.add_u64(tags::kCertNotAfter,
+                 static_cast<std::uint64_t>(data.validity.not_after));
+  writer.add_bytes(tags::kCertAki,
+                   std::span<const std::uint8_t>(data.authority_key_id.data(),
+                                                 data.authority_key_id.size()));
+  data.resources.encode_into(writer);
+  writer.end();
+}
+
+util::Result<CertificateData> decode_tbs(std::span<const std::uint8_t> payload) {
+  RIPKI_TRY_ASSIGN(map, encoding::TlvMap::parse(payload));
+  CertificateData data;
+
+  RIPKI_TRY_ASSIGN(serial_el, map.require(tags::kCertSerial));
+  RIPKI_TRY_ASSIGN(serial, serial_el.as_u64());
+  data.serial = serial;
+
+  RIPKI_TRY_ASSIGN(subject_el, map.require(tags::kCertSubject));
+  data.subject = subject_el.as_string();
+  RIPKI_TRY_ASSIGN(issuer_el, map.require(tags::kCertIssuer));
+  data.issuer = issuer_el.as_string();
+
+  RIPKI_TRY_ASSIGN(is_ca_el, map.require(tags::kCertIsCa));
+  RIPKI_TRY_ASSIGN(is_ca, is_ca_el.as_u8());
+  data.is_ca = is_ca != 0;
+
+  RIPKI_TRY_ASSIGN(key_el, map.require(tags::kCertPublicKey));
+  if (key_el.value.size() != 64) return util::Err("cert: bad public key size");
+  data.public_key = crypto::decode_public_key(key_el.value);
+
+  RIPKI_TRY_ASSIGN(nb_el, map.require(tags::kCertNotBefore));
+  RIPKI_TRY_ASSIGN(nb, nb_el.as_u64());
+  data.validity.not_before = static_cast<Timestamp>(nb);
+  RIPKI_TRY_ASSIGN(na_el, map.require(tags::kCertNotAfter));
+  RIPKI_TRY_ASSIGN(na, na_el.as_u64());
+  data.validity.not_after = static_cast<Timestamp>(na);
+
+  RIPKI_TRY_ASSIGN(aki_el, map.require(tags::kCertAki));
+  if (aki_el.value.size() != data.authority_key_id.size())
+    return util::Err("cert: bad authority key id size");
+  std::copy(aki_el.value.begin(), aki_el.value.end(), data.authority_key_id.begin());
+
+  RIPKI_TRY_ASSIGN(res_el, map.require(tags::kResourceSet));
+  RIPKI_TRY_ASSIGN(resources, ResourceSet::decode(res_el.value));
+  data.resources = std::move(resources);
+
+  return data;
+}
+
+}  // namespace
+
+Certificate Certificate::issue(CertificateData data, const crypto::PublicKey& issuer_pub,
+                               const crypto::PrivateKey& issuer_priv) {
+  Certificate cert;
+  data.authority_key_id = issuer_pub.key_id();
+  cert.data_ = std::move(data);
+  const util::Bytes tbs = cert.encode_tbs();
+  cert.signature_ = crypto::sign(issuer_priv, tbs);
+  return cert;
+}
+
+Certificate Certificate::self_sign(CertificateData data,
+                                   const crypto::PrivateKey& priv) {
+  Certificate cert;
+  data.authority_key_id = data.public_key.key_id();  // self-issued
+  cert.data_ = std::move(data);
+  const util::Bytes tbs = cert.encode_tbs();
+  cert.signature_ = crypto::sign(priv, tbs);
+  return cert;
+}
+
+bool Certificate::verify_signature(const crypto::PublicKey& issuer_key) const {
+  const util::Bytes tbs = encode_tbs();
+  return crypto::verify(issuer_key, tbs, signature_);
+}
+
+util::Bytes Certificate::encode_tbs() const {
+  encoding::TlvWriter writer;
+  encode_tbs_into(writer, data_);
+  return std::move(writer).take();
+}
+
+void Certificate::encode_into(encoding::TlvWriter& writer) const {
+  writer.begin(tags::kCertificate);
+  encode_tbs_into(writer, data_);
+  writer.add_bytes(tags::kCertSignature,
+                   std::span<const std::uint8_t>(signature_.data(), signature_.size()));
+  writer.end();
+}
+
+util::Bytes Certificate::encode() const {
+  encoding::TlvWriter writer;
+  encode_into(writer);
+  return std::move(writer).take();
+}
+
+util::Result<Certificate> Certificate::decode(std::span<const std::uint8_t> payload) {
+  RIPKI_TRY_ASSIGN(map, encoding::TlvMap::parse(payload));
+  RIPKI_TRY_ASSIGN(outer, map.require(tags::kCertificate));
+  return decode_from(outer);
+}
+
+util::Result<Certificate> Certificate::decode_from(const encoding::TlvElement& element) {
+  RIPKI_TRY_ASSIGN(map, encoding::TlvMap::parse(element.value));
+  RIPKI_TRY_ASSIGN(tbs_el, map.require(tags::kCertTbs));
+  RIPKI_TRY_ASSIGN(data, decode_tbs(tbs_el.value));
+  RIPKI_TRY_ASSIGN(sig_el, map.require(tags::kCertSignature));
+  Certificate cert;
+  cert.data_ = std::move(data);
+  if (sig_el.value.size() != cert.signature_.size())
+    return util::Err("cert: bad signature size");
+  std::copy(sig_el.value.begin(), sig_el.value.end(), cert.signature_.begin());
+  return cert;
+}
+
+}  // namespace ripki::rpki

@@ -1,0 +1,72 @@
+// RPKI resource certificates (RFC 6487 analog).
+//
+// Three roles appear in the hierarchy, all sharing this type:
+//   * trust-anchor certificates: self-signed, hold an RIR's address space,
+//   * CA certificates: issued by a TA (or another CA) to a resource holder,
+//   * end-entity (EE) certificates: issued by a CA, embedded in one signed
+//     object (ROA), never a CA themselves.
+// Signatures cover the TLV "to-be-signed" bytes, exactly like X.509 signs
+// the DER TBSCertificate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/rsa.hpp"
+#include "encoding/tlv.hpp"
+#include "rpki/resources.hpp"
+#include "rpki/time.hpp"
+#include "util/result.hpp"
+
+namespace ripki::rpki {
+
+struct CertificateData {
+  std::uint64_t serial = 0;
+  std::string subject;
+  std::string issuer;
+  bool is_ca = false;
+  crypto::PublicKey public_key;
+  /// Key identifier of the issuing key (all-zero for self-signed roots).
+  crypto::Digest authority_key_id{};
+  ResourceSet resources;
+  ValidityWindow validity;
+};
+
+class Certificate {
+ public:
+  Certificate() = default;
+
+  /// Issues a certificate: fills the authority key id from `issuer_pub`
+  /// and signs the TBS bytes with `issuer_priv`.
+  static Certificate issue(CertificateData data, const crypto::PublicKey& issuer_pub,
+                           const crypto::PrivateKey& issuer_priv);
+
+  /// Issues a self-signed (trust anchor) certificate.
+  static Certificate self_sign(CertificateData data,
+                               const crypto::PrivateKey& priv);
+
+  const CertificateData& data() const { return data_; }
+  const crypto::Signature& signature() const { return signature_; }
+
+  /// Subject key identifier: hash of the certified public key.
+  crypto::Digest subject_key_id() const { return data_.public_key.key_id(); }
+
+  /// Verifies the signature against the claimed issuer key.
+  bool verify_signature(const crypto::PublicKey& issuer_key) const;
+
+  /// To-be-signed TLV bytes (everything but the signature).
+  util::Bytes encode_tbs() const;
+  /// Full encoding (TBS + signature), for repositories and manifests.
+  util::Bytes encode() const;
+  static util::Result<Certificate> decode(std::span<const std::uint8_t> payload);
+
+  /// Appends this certificate under tags::kCertificate to `writer`.
+  void encode_into(encoding::TlvWriter& writer) const;
+  static util::Result<Certificate> decode_from(const encoding::TlvElement& element);
+
+ private:
+  CertificateData data_;
+  crypto::Signature signature_{};
+};
+
+}  // namespace ripki::rpki

@@ -1,0 +1,98 @@
+#include "rpki/crl.hpp"
+
+#include <algorithm>
+
+#include "rpki/tags.hpp"
+
+namespace ripki::rpki {
+
+namespace {
+
+void encode_tbs_into(encoding::TlvWriter& writer, const CrlData& data) {
+  writer.begin(tags::kCrlTbs);
+  writer.add_string(tags::kCrlIssuer, data.issuer);
+  writer.add_u64(tags::kCrlThisUpdate, static_cast<std::uint64_t>(data.this_update));
+  writer.add_u64(tags::kCrlNextUpdate, static_cast<std::uint64_t>(data.next_update));
+  for (std::uint64_t serial : data.revoked_serials) {
+    writer.add_u64(tags::kCrlRevokedSerial, serial);
+  }
+  writer.end();
+}
+
+}  // namespace
+
+Crl Crl::create(CrlData data, const crypto::PrivateKey& issuer_priv) {
+  Crl crl;
+  std::sort(data.revoked_serials.begin(), data.revoked_serials.end());
+  crl.data_ = std::move(data);
+  crl.signature_ = crypto::sign(issuer_priv, crl.encode_tbs());
+  return crl;
+}
+
+bool Crl::is_revoked(std::uint64_t serial) const {
+  return std::binary_search(data_.revoked_serials.begin(), data_.revoked_serials.end(),
+                            serial);
+}
+
+bool Crl::is_current(Timestamp now) const {
+  return now >= data_.this_update && now <= data_.next_update;
+}
+
+bool Crl::verify_signature(const crypto::PublicKey& issuer_key) const {
+  return crypto::verify(issuer_key, encode_tbs(), signature_);
+}
+
+util::Bytes Crl::encode_tbs() const {
+  encoding::TlvWriter writer;
+  encode_tbs_into(writer, data_);
+  return std::move(writer).take();
+}
+
+void Crl::encode_into(encoding::TlvWriter& writer) const {
+  writer.begin(tags::kCrl);
+  encode_tbs_into(writer, data_);
+  writer.add_bytes(tags::kCrlSignature,
+                   std::span<const std::uint8_t>(signature_.data(), signature_.size()));
+  writer.end();
+}
+
+util::Bytes Crl::encode() const {
+  encoding::TlvWriter writer;
+  encode_into(writer);
+  return std::move(writer).take();
+}
+
+util::Result<Crl> Crl::decode(std::span<const std::uint8_t> payload) {
+  RIPKI_TRY_ASSIGN(map, encoding::TlvMap::parse(payload));
+  RIPKI_TRY_ASSIGN(outer, map.require(tags::kCrl));
+  return decode_from(outer);
+}
+
+util::Result<Crl> Crl::decode_from(const encoding::TlvElement& element) {
+  RIPKI_TRY_ASSIGN(map, encoding::TlvMap::parse(element.value));
+  RIPKI_TRY_ASSIGN(tbs_el, map.require(tags::kCrlTbs));
+  RIPKI_TRY_ASSIGN(tbs_map, encoding::TlvMap::parse(tbs_el.value));
+
+  Crl crl;
+  RIPKI_TRY_ASSIGN(issuer_el, tbs_map.require(tags::kCrlIssuer));
+  crl.data_.issuer = issuer_el.as_string();
+  RIPKI_TRY_ASSIGN(this_el, tbs_map.require(tags::kCrlThisUpdate));
+  RIPKI_TRY_ASSIGN(this_update, this_el.as_u64());
+  crl.data_.this_update = static_cast<Timestamp>(this_update);
+  RIPKI_TRY_ASSIGN(next_el, tbs_map.require(tags::kCrlNextUpdate));
+  RIPKI_TRY_ASSIGN(next_update, next_el.as_u64());
+  crl.data_.next_update = static_cast<Timestamp>(next_update);
+  for (const auto* serial_el : tbs_map.find_all(tags::kCrlRevokedSerial)) {
+    RIPKI_TRY_ASSIGN(serial, serial_el->as_u64());
+    crl.data_.revoked_serials.push_back(serial);
+  }
+  std::sort(crl.data_.revoked_serials.begin(), crl.data_.revoked_serials.end());
+
+  RIPKI_TRY_ASSIGN(sig_el, map.require(tags::kCrlSignature));
+  if (sig_el.value.size() != crl.signature_.size())
+    return util::Err("crl: bad signature size");
+  std::copy(sig_el.value.begin(), sig_el.value.end(), crl.signature_.begin());
+  return crl;
+}
+
+}  // namespace ripki::rpki

@@ -1,0 +1,47 @@
+// Certificate revocation lists (RFC 6487 §5 analog): each CA publishes
+// one CRL naming the serial numbers of certificates it has revoked.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/rsa.hpp"
+#include "encoding/tlv.hpp"
+#include "rpki/time.hpp"
+#include "util/result.hpp"
+
+namespace ripki::rpki {
+
+struct CrlData {
+  std::string issuer;
+  Timestamp this_update = 0;
+  Timestamp next_update = 0;
+  std::vector<std::uint64_t> revoked_serials;
+};
+
+class Crl {
+ public:
+  Crl() = default;
+
+  static Crl create(CrlData data, const crypto::PrivateKey& issuer_priv);
+
+  const CrlData& data() const { return data_; }
+  bool is_revoked(std::uint64_t serial) const;
+  /// A CRL is stale when `now` is past next_update.
+  bool is_current(Timestamp now) const;
+
+  bool verify_signature(const crypto::PublicKey& issuer_key) const;
+
+  util::Bytes encode_tbs() const;
+  util::Bytes encode() const;
+  void encode_into(encoding::TlvWriter& writer) const;
+  static util::Result<Crl> decode_from(const encoding::TlvElement& element);
+  static util::Result<Crl> decode(std::span<const std::uint8_t> payload);
+
+ private:
+  CrlData data_;
+  crypto::Signature signature_{};
+};
+
+}  // namespace ripki::rpki

@@ -1,0 +1,114 @@
+#include "rpki/manifest.hpp"
+
+#include "rpki/tags.hpp"
+
+namespace ripki::rpki {
+
+namespace {
+
+void encode_tbs_into(encoding::TlvWriter& writer, const ManifestData& data) {
+  writer.begin(tags::kManifestTbs);
+  writer.add_string(tags::kManifestIssuer, data.issuer);
+  writer.add_u64(tags::kManifestNumber, data.manifest_number);
+  writer.add_u64(tags::kManifestThisUpdate,
+                 static_cast<std::uint64_t>(data.this_update));
+  writer.add_u64(tags::kManifestNextUpdate,
+                 static_cast<std::uint64_t>(data.next_update));
+  for (const auto& entry : data.entries) {
+    writer.begin(tags::kManifestEntry);
+    writer.add_string(tags::kManifestEntryName, entry.file_name);
+    writer.add_bytes(tags::kManifestEntryHash,
+                     std::span<const std::uint8_t>(entry.hash.data(), entry.hash.size()));
+    writer.end();
+  }
+  writer.end();
+}
+
+}  // namespace
+
+Manifest Manifest::create(ManifestData data, const crypto::PrivateKey& issuer_priv) {
+  Manifest manifest;
+  manifest.data_ = std::move(data);
+  manifest.signature_ = crypto::sign(issuer_priv, manifest.encode_tbs());
+  return manifest;
+}
+
+const ManifestEntry* Manifest::find(const std::string& file_name) const {
+  for (const auto& entry : data_.entries) {
+    if (entry.file_name == file_name) return &entry;
+  }
+  return nullptr;
+}
+
+bool Manifest::is_current(Timestamp now) const {
+  return now >= data_.this_update && now <= data_.next_update;
+}
+
+bool Manifest::verify_signature(const crypto::PublicKey& issuer_key) const {
+  return crypto::verify(issuer_key, encode_tbs(), signature_);
+}
+
+util::Bytes Manifest::encode_tbs() const {
+  encoding::TlvWriter writer;
+  encode_tbs_into(writer, data_);
+  return std::move(writer).take();
+}
+
+void Manifest::encode_into(encoding::TlvWriter& writer) const {
+  writer.begin(tags::kManifest);
+  encode_tbs_into(writer, data_);
+  writer.add_bytes(tags::kManifestSignature,
+                   std::span<const std::uint8_t>(signature_.data(), signature_.size()));
+  writer.end();
+}
+
+util::Bytes Manifest::encode() const {
+  encoding::TlvWriter writer;
+  encode_into(writer);
+  return std::move(writer).take();
+}
+
+util::Result<Manifest> Manifest::decode(std::span<const std::uint8_t> payload) {
+  RIPKI_TRY_ASSIGN(map, encoding::TlvMap::parse(payload));
+  RIPKI_TRY_ASSIGN(outer, map.require(tags::kManifest));
+  return decode_from(outer);
+}
+
+util::Result<Manifest> Manifest::decode_from(const encoding::TlvElement& element) {
+  RIPKI_TRY_ASSIGN(map, encoding::TlvMap::parse(element.value));
+  RIPKI_TRY_ASSIGN(tbs_el, map.require(tags::kManifestTbs));
+  RIPKI_TRY_ASSIGN(tbs_map, encoding::TlvMap::parse(tbs_el.value));
+
+  Manifest manifest;
+  RIPKI_TRY_ASSIGN(issuer_el, tbs_map.require(tags::kManifestIssuer));
+  manifest.data_.issuer = issuer_el.as_string();
+  RIPKI_TRY_ASSIGN(number_el, tbs_map.require(tags::kManifestNumber));
+  RIPKI_TRY_ASSIGN(number, number_el.as_u64());
+  manifest.data_.manifest_number = number;
+  RIPKI_TRY_ASSIGN(this_el, tbs_map.require(tags::kManifestThisUpdate));
+  RIPKI_TRY_ASSIGN(this_update, this_el.as_u64());
+  manifest.data_.this_update = static_cast<Timestamp>(this_update);
+  RIPKI_TRY_ASSIGN(next_el, tbs_map.require(tags::kManifestNextUpdate));
+  RIPKI_TRY_ASSIGN(next_update, next_el.as_u64());
+  manifest.data_.next_update = static_cast<Timestamp>(next_update);
+
+  for (const auto* entry_el : tbs_map.find_all(tags::kManifestEntry)) {
+    RIPKI_TRY_ASSIGN(entry_map, encoding::TlvMap::parse(entry_el->value));
+    ManifestEntry entry;
+    RIPKI_TRY_ASSIGN(name_el, entry_map.require(tags::kManifestEntryName));
+    entry.file_name = name_el.as_string();
+    RIPKI_TRY_ASSIGN(hash_el, entry_map.require(tags::kManifestEntryHash));
+    if (hash_el.value.size() != entry.hash.size())
+      return util::Err("manifest: bad entry hash size");
+    std::copy(hash_el.value.begin(), hash_el.value.end(), entry.hash.begin());
+    manifest.data_.entries.push_back(std::move(entry));
+  }
+
+  RIPKI_TRY_ASSIGN(sig_el, map.require(tags::kManifestSignature));
+  if (sig_el.value.size() != manifest.signature_.size())
+    return util::Err("manifest: bad signature size");
+  std::copy(sig_el.value.begin(), sig_el.value.end(), manifest.signature_.begin());
+  return manifest;
+}
+
+}  // namespace ripki::rpki

@@ -1,0 +1,60 @@
+// Publication-point manifests (RFC 6486 analog): a signed listing of every
+// object a CA currently publishes together with its SHA-256 hash, so a
+// relying party can detect withheld or substituted repository objects.
+//
+// Simplification vs. RFC 6486: the manifest is signed directly with the
+// CA key rather than through a dedicated one-shot EE certificate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/rsa.hpp"
+#include "encoding/tlv.hpp"
+#include "rpki/time.hpp"
+#include "util/result.hpp"
+
+namespace ripki::rpki {
+
+struct ManifestEntry {
+  std::string file_name;
+  crypto::Digest hash{};
+
+  bool operator==(const ManifestEntry& other) const = default;
+};
+
+struct ManifestData {
+  std::string issuer;
+  std::uint64_t manifest_number = 0;
+  Timestamp this_update = 0;
+  Timestamp next_update = 0;
+  std::vector<ManifestEntry> entries;
+};
+
+class Manifest {
+ public:
+  Manifest() = default;
+
+  static Manifest create(ManifestData data, const crypto::PrivateKey& issuer_priv);
+
+  const ManifestData& data() const { return data_; }
+
+  /// Finds the hash registered for `file_name`, or nullptr.
+  const ManifestEntry* find(const std::string& file_name) const;
+
+  bool is_current(Timestamp now) const;
+  bool verify_signature(const crypto::PublicKey& issuer_key) const;
+
+  util::Bytes encode_tbs() const;
+  util::Bytes encode() const;
+  void encode_into(encoding::TlvWriter& writer) const;
+  static util::Result<Manifest> decode(std::span<const std::uint8_t> payload);
+  static util::Result<Manifest> decode_from(const encoding::TlvElement& element);
+
+ private:
+  ManifestData data_;
+  crypto::Signature signature_{};
+};
+
+}  // namespace ripki::rpki

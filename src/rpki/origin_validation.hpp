@@ -1,0 +1,52 @@
+// BGP prefix origin validation (RFC 6811).
+//
+// Given the validated VRP set, classifies a (route prefix, origin AS)
+// pair as Valid, Invalid, or NotFound — the three states the paper
+// reports per web-server prefix in Figure 4.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rpki/vrp.hpp"
+#include "trie/prefix_trie.hpp"
+
+namespace ripki::rpki {
+
+enum class OriginValidity : std::uint8_t {
+  kValid,     // a covering VRP authorizes (origin, length)
+  kInvalid,   // covering VRPs exist but none authorizes the route
+  kNotFound,  // no VRP covers the announced prefix
+};
+
+const char* to_string(OriginValidity validity);
+
+/// Indexes a VRP set for covering-prefix queries; immutable after build.
+class VrpIndex {
+ public:
+  VrpIndex() = default;
+  explicit VrpIndex(const VrpSet& vrps);
+
+  void add(const Vrp& vrp);
+
+  /// RFC 6811 route origin validation:
+  ///   covered   := VRPs whose prefix covers `route`
+  ///   Valid     := any covered VRP has vrp.asn == origin (origin != AS0)
+  ///                and route.length() <= vrp.max_length
+  ///   Invalid   := covered non-empty, none matches
+  ///   NotFound  := covered empty
+  OriginValidity validate(const net::Prefix& route, net::Asn origin) const;
+
+  /// True when at least one VRP covers `route` (i.e. the prefix appears in
+  /// the RPKI at all — the paper's notion of an "RPKI-covered" prefix,
+  /// "either correctly or incorrectly announced").
+  bool covered(const net::Prefix& route) const;
+
+  std::size_t size() const { return size_; }
+
+ private:
+  trie::PrefixTrie<std::vector<Vrp>> trie_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ripki::rpki

@@ -1,0 +1,139 @@
+#include "rpki/publication.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "util/strings.hpp"
+
+namespace ripki::rpki {
+
+namespace {
+
+std::string host_label(const Repository& repo) {
+  // "RIPE trust anchor" -> "ripe".
+  const auto parts = util::split(repo.ta_cert.data().subject, ' ');
+  return parts.empty() ? "unknown" : util::to_lower(parts.front());
+}
+
+}  // namespace
+
+std::string repository_base_uri(const Repository& repo) {
+  return "rsync://rpki." + host_label(repo) + ".example/repo";
+}
+
+std::vector<PublishedObject> publish_repository(const Repository& repo) {
+  std::vector<PublishedObject> out;
+  const std::string base = repository_base_uri(repo);
+
+  out.push_back({base + "/ta.cer", repo.ta_cert.encode()});
+  out.push_back({base + "/ta.crl", repo.ta_crl.encode()});
+
+  for (std::size_t p = 0; p < repo.points.size(); ++p) {
+    const auto& point = repo.points[p];
+    const std::string dir = base + "/" + std::to_string(p);
+    out.push_back({dir + "/ca.cer", point.ca_cert.encode()});
+    out.push_back({dir + "/revoked.crl", point.crl.encode()});
+    out.push_back({dir + "/manifest.mft", point.manifest.encode()});
+    for (std::size_t i = 0; i < point.roas.size(); ++i) {
+      out.push_back({dir + "/" + point.roas[i].file_name(i),
+                     point.roas[i].encode()});
+    }
+  }
+  return out;
+}
+
+util::Result<Repository> assemble_repository(
+    const std::vector<PublishedObject>& objects) {
+  Repository repo;
+  bool saw_ta_cert = false;
+  bool saw_ta_crl = false;
+
+  struct PendingPoint {
+    std::optional<Certificate> ca_cert;
+    std::optional<Crl> crl;
+    std::optional<Manifest> manifest;
+    std::map<std::size_t, Roa> roas;  // file index -> object
+  };
+  std::map<std::size_t, PendingPoint> points;
+
+  for (const auto& object : objects) {
+    const auto marker = object.uri.find("/repo/");
+    if (marker == std::string::npos)
+      return util::Err("publication: URI outside a repository: " + object.uri);
+    const std::string path = object.uri.substr(marker + 6);
+
+    if (path == "ta.cer") {
+      RIPKI_TRY_ASSIGN(cert, Certificate::decode(object.data));
+      repo.ta_cert = std::move(cert);
+      saw_ta_cert = true;
+      continue;
+    }
+    if (path == "ta.crl") {
+      RIPKI_TRY_ASSIGN(crl, Crl::decode(object.data));
+      repo.ta_crl = std::move(crl);
+      saw_ta_crl = true;
+      continue;
+    }
+
+    const auto slash = path.find('/');
+    if (slash == std::string::npos)
+      return util::Err("publication: stray object " + path);
+    std::uint64_t point_index = 0;
+    if (!util::parse_u64(path.substr(0, slash), point_index))
+      return util::Err("publication: bad publication point in " + path);
+    const std::string file = path.substr(slash + 1);
+    PendingPoint& point = points[point_index];
+
+    if (file == "ca.cer") {
+      RIPKI_TRY_ASSIGN(cert, Certificate::decode(object.data));
+      point.ca_cert = std::move(cert);
+    } else if (file == "revoked.crl") {
+      RIPKI_TRY_ASSIGN(crl, Crl::decode(object.data));
+      point.crl = std::move(crl);
+    } else if (file == "manifest.mft") {
+      RIPKI_TRY_ASSIGN(manifest, Manifest::decode(object.data));
+      point.manifest = std::move(manifest);
+    } else if (util::ends_with(file, ".roa")) {
+      // roa-AS<asn>-<index>.roa: recover the file index so manifest file
+      // names keep matching after reassembly.
+      const auto dash = file.rfind('-');
+      if (dash == std::string::npos)
+        return util::Err("publication: malformed ROA name " + file);
+      std::uint64_t index = 0;
+      const std::string index_text = file.substr(dash + 1, file.size() - dash - 5);
+      if (!util::parse_u64(index_text, index))
+        return util::Err("publication: bad ROA index in " + file);
+      RIPKI_TRY_ASSIGN(roa, Roa::decode(object.data));
+      point.roas.emplace(static_cast<std::size_t>(index), std::move(roa));
+    } else {
+      return util::Err("publication: unknown object type " + file);
+    }
+  }
+
+  if (!saw_ta_cert) return util::Err("publication: missing ta.cer");
+  if (!saw_ta_crl) return util::Err("publication: missing ta.crl");
+
+  for (auto& [index, pending] : points) {
+    if (!pending.ca_cert) return util::Err("publication: point missing ca.cer");
+    if (!pending.crl) return util::Err("publication: point missing revoked.crl");
+    if (!pending.manifest)
+      return util::Err("publication: point missing manifest.mft");
+    CaPublicationPoint point;
+    point.ca_cert = std::move(*pending.ca_cert);
+    point.crl = std::move(*pending.crl);
+    point.manifest = std::move(*pending.manifest);
+    // ROA indices must be dense: the manifest lists file_name(i) per slot.
+    std::size_t expected = 0;
+    for (auto& [roa_index, roa] : pending.roas) {
+      if (roa_index != expected)
+        return util::Err("publication: non-contiguous ROA indices");
+      point.roas.push_back(std::move(roa));
+      ++expected;
+    }
+    repo.points.push_back(std::move(point));
+  }
+  return repo;
+}
+
+}  // namespace ripki::rpki

@@ -1,0 +1,95 @@
+#include "rpki/resources.hpp"
+
+#include <algorithm>
+
+#include "rpki/tags.hpp"
+
+namespace ripki::rpki {
+
+ResourceSet::ResourceSet(std::vector<net::Prefix> prefixes)
+    : prefixes_(std::move(prefixes)) {
+  std::sort(prefixes_.begin(), prefixes_.end());
+  prefixes_.erase(std::unique(prefixes_.begin(), prefixes_.end()), prefixes_.end());
+}
+
+void ResourceSet::add(const net::Prefix& prefix) {
+  const auto it = std::lower_bound(prefixes_.begin(), prefixes_.end(), prefix);
+  if (it != prefixes_.end() && *it == prefix) return;
+  prefixes_.insert(it, prefix);
+}
+
+bool ResourceSet::contains(const net::Prefix& p) const {
+  return std::any_of(prefixes_.begin(), prefixes_.end(),
+                     [&](const net::Prefix& mine) { return mine.contains(p); });
+}
+
+bool ResourceSet::contains(const ResourceSet& other) const {
+  return std::all_of(other.prefixes_.begin(), other.prefixes_.end(),
+                     [&](const net::Prefix& theirs) { return contains(theirs); });
+}
+
+std::string ResourceSet::to_string() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < prefixes_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += prefixes_[i].to_string();
+  }
+  out += "}";
+  return out;
+}
+
+void encode_prefix(encoding::TlvWriter& writer, encoding::Tag tag,
+                   const net::Prefix& prefix) {
+  writer.begin(tag);
+  writer.add_u8(tags::kPrefixFamily, prefix.is_v4() ? 4 : 6);
+  const std::size_t nbytes = prefix.is_v4() ? 4 : 16;
+  writer.add_bytes(tags::kPrefixBytes,
+                   std::span<const std::uint8_t>(prefix.address().bytes().data(), nbytes));
+  writer.add_u8(tags::kPrefixLength, static_cast<std::uint8_t>(prefix.length()));
+  writer.end();
+}
+
+util::Result<net::Prefix> decode_prefix(std::span<const std::uint8_t> payload) {
+  RIPKI_TRY_ASSIGN(map, encoding::TlvMap::parse(payload));
+  RIPKI_TRY_ASSIGN(family_el, map.require(tags::kPrefixFamily));
+  RIPKI_TRY_ASSIGN(family, family_el.as_u8());
+  RIPKI_TRY_ASSIGN(bytes_el, map.require(tags::kPrefixBytes));
+  RIPKI_TRY_ASSIGN(len_el, map.require(tags::kPrefixLength));
+  RIPKI_TRY_ASSIGN(len, len_el.as_u8());
+
+  net::IpAddress addr;
+  if (family == 4) {
+    if (bytes_el.value.size() != 4) return util::Err("prefix: bad v4 byte count");
+    addr = net::IpAddress::v4(bytes_el.value[0], bytes_el.value[1], bytes_el.value[2],
+                              bytes_el.value[3]);
+  } else if (family == 6) {
+    if (bytes_el.value.size() != 16) return util::Err("prefix: bad v6 byte count");
+    std::array<std::uint8_t, 16> raw{};
+    std::copy(bytes_el.value.begin(), bytes_el.value.end(), raw.begin());
+    addr = net::IpAddress::v6(raw);
+  } else {
+    return util::Err("prefix: unknown family");
+  }
+  if (len > addr.width()) return util::Err("prefix: length exceeds width");
+  return net::Prefix(addr, len);
+}
+
+void ResourceSet::encode_into(encoding::TlvWriter& writer) const {
+  writer.begin(tags::kResourceSet);
+  for (const auto& prefix : prefixes_) {
+    encode_prefix(writer, tags::kResourcePrefix, prefix);
+  }
+  writer.end();
+}
+
+util::Result<ResourceSet> ResourceSet::decode(std::span<const std::uint8_t> payload) {
+  RIPKI_TRY_ASSIGN(map, encoding::TlvMap::parse(payload));
+  std::vector<net::Prefix> prefixes;
+  for (const auto* element : map.find_all(tags::kResourcePrefix)) {
+    RIPKI_TRY_ASSIGN(prefix, decode_prefix(element->value));
+    prefixes.push_back(prefix);
+  }
+  return ResourceSet(std::move(prefixes));
+}
+
+}  // namespace ripki::rpki

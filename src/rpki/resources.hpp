@@ -1,0 +1,50 @@
+// Internet number resource sets (RFC 3779 style): the prefix holdings a
+// certificate attests. Resource containment is the check that prevents a
+// child CA from certifying address space its parent never delegated.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "encoding/tlv.hpp"
+#include "net/prefix.hpp"
+#include "util/result.hpp"
+
+namespace ripki::rpki {
+
+class ResourceSet {
+ public:
+  ResourceSet() = default;
+  explicit ResourceSet(std::vector<net::Prefix> prefixes);
+
+  void add(const net::Prefix& prefix);
+
+  bool empty() const { return prefixes_.empty(); }
+  std::size_t size() const { return prefixes_.size(); }
+  const std::vector<net::Prefix>& prefixes() const { return prefixes_; }
+
+  /// True when some member prefix covers `p`.
+  bool contains(const net::Prefix& p) const;
+
+  /// True when every member of `other` is covered here (certificate
+  /// resource containment).
+  bool contains(const ResourceSet& other) const;
+
+  std::string to_string() const;
+
+  /// TLV encoding under tags::kResourceSet.
+  void encode_into(encoding::TlvWriter& writer) const;
+  static util::Result<ResourceSet> decode(std::span<const std::uint8_t> payload);
+
+  bool operator==(const ResourceSet& other) const = default;
+
+ private:
+  std::vector<net::Prefix> prefixes_;
+};
+
+/// Shared prefix encoding helpers used by resources and ROAs.
+void encode_prefix(encoding::TlvWriter& writer, encoding::Tag tag,
+                   const net::Prefix& prefix);
+util::Result<net::Prefix> decode_prefix(std::span<const std::uint8_t> payload);
+
+}  // namespace ripki::rpki

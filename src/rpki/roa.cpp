@@ -1,0 +1,121 @@
+#include "rpki/roa.hpp"
+
+#include "rpki/tags.hpp"
+
+namespace ripki::rpki {
+
+namespace {
+
+void encode_content_into(encoding::TlvWriter& writer, const RoaContent& content) {
+  writer.begin(tags::kRoaContent);
+  writer.add_u32(tags::kRoaAsn, content.asn.value());
+  for (const auto& rp : content.prefixes) {
+    writer.begin(tags::kRoaPrefixEntry);
+    encode_prefix(writer, tags::kRoaPrefix, rp.prefix);
+    writer.add_u8(tags::kRoaMaxLength, rp.max_length);
+    writer.end();
+  }
+  writer.end();
+}
+
+util::Result<RoaContent> decode_content(std::span<const std::uint8_t> payload) {
+  RIPKI_TRY_ASSIGN(map, encoding::TlvMap::parse(payload));
+  RoaContent content;
+  RIPKI_TRY_ASSIGN(asn_el, map.require(tags::kRoaAsn));
+  RIPKI_TRY_ASSIGN(asn, asn_el.as_u32());
+  content.asn = net::Asn(asn);
+  for (const auto* entry : map.find_all(tags::kRoaPrefixEntry)) {
+    RIPKI_TRY_ASSIGN(entry_map, encoding::TlvMap::parse(entry->value));
+    RIPKI_TRY_ASSIGN(prefix_el, entry_map.require(tags::kRoaPrefix));
+    RIPKI_TRY_ASSIGN(prefix, decode_prefix(prefix_el.value));
+    RIPKI_TRY_ASSIGN(maxlen_el, entry_map.require(tags::kRoaMaxLength));
+    RIPKI_TRY_ASSIGN(maxlen, maxlen_el.as_u8());
+    content.prefixes.push_back(RoaPrefix{prefix, maxlen});
+  }
+  return content;
+}
+
+}  // namespace
+
+Roa Roa::create(RoaContent content, const std::string& ca_subject,
+                const crypto::PublicKey& ca_pub, const crypto::PrivateKey& ca_priv,
+                crypto::KeyPair ee_keys, std::uint64_t ee_serial,
+                ValidityWindow validity) {
+  Roa roa;
+  roa.content_ = std::move(content);
+
+  CertificateData ee;
+  ee.serial = ee_serial;
+  ee.subject = ca_subject + " EE for " + roa.content_.asn.to_string();
+  ee.issuer = ca_subject;
+  ee.is_ca = false;
+  ee.public_key = ee_keys.pub;
+  for (const auto& rp : roa.content_.prefixes) ee.resources.add(rp.prefix);
+  ee.validity = validity;
+  roa.ee_cert_ = Certificate::issue(std::move(ee), ca_pub, ca_priv);
+
+  const util::Bytes content_bytes = roa.encode_content();
+  roa.signature_ = crypto::sign(ee_keys.priv, content_bytes);
+  return roa;
+}
+
+bool Roa::verify_content_signature() const {
+  const util::Bytes content_bytes = encode_content();
+  return crypto::verify(ee_cert_.data().public_key, content_bytes, signature_);
+}
+
+std::string Roa::file_name(std::uint64_t index) const {
+  return "roa-" + content_.asn.to_string() + "-" + std::to_string(index) + ".roa";
+}
+
+util::Bytes Roa::encode_content() const {
+  encoding::TlvWriter writer;
+  encode_content_into(writer, content_);
+  return std::move(writer).take();
+}
+
+void Roa::encode_into(encoding::TlvWriter& writer) const {
+  writer.begin(tags::kRoa);
+  encode_content_into(writer, content_);
+  writer.begin(tags::kRoaEeCert);
+  ee_cert_.encode_into(writer);
+  writer.end();
+  writer.add_bytes(tags::kRoaSignature,
+                   std::span<const std::uint8_t>(signature_.data(), signature_.size()));
+  writer.end();
+}
+
+util::Bytes Roa::encode() const {
+  encoding::TlvWriter writer;
+  encode_into(writer);
+  return std::move(writer).take();
+}
+
+util::Result<Roa> Roa::decode(std::span<const std::uint8_t> payload) {
+  RIPKI_TRY_ASSIGN(map, encoding::TlvMap::parse(payload));
+  RIPKI_TRY_ASSIGN(outer, map.require(tags::kRoa));
+  return decode_from(outer);
+}
+
+util::Result<Roa> Roa::decode_from(const encoding::TlvElement& element) {
+  RIPKI_TRY_ASSIGN(map, encoding::TlvMap::parse(element.value));
+  Roa roa;
+
+  RIPKI_TRY_ASSIGN(content_el, map.require(tags::kRoaContent));
+  RIPKI_TRY_ASSIGN(content, decode_content(content_el.value));
+  roa.content_ = std::move(content);
+
+  RIPKI_TRY_ASSIGN(ee_wrap, map.require(tags::kRoaEeCert));
+  RIPKI_TRY_ASSIGN(ee_map, encoding::TlvMap::parse(ee_wrap.value));
+  RIPKI_TRY_ASSIGN(cert_el, ee_map.require(tags::kCertificate));
+  RIPKI_TRY_ASSIGN(ee_cert, Certificate::decode_from(cert_el));
+  roa.ee_cert_ = std::move(ee_cert);
+
+  RIPKI_TRY_ASSIGN(sig_el, map.require(tags::kRoaSignature));
+  if (sig_el.value.size() != roa.signature_.size())
+    return util::Err("roa: bad signature size");
+  std::copy(sig_el.value.begin(), sig_el.value.end(), roa.signature_.begin());
+  return roa;
+}
+
+}  // namespace ripki::rpki

@@ -1,0 +1,67 @@
+// Route Origin Authorizations (RFC 6482 analog).
+//
+// A ROA binds one origin ASN to a set of prefixes (each with an optional
+// maxLength). Like the real object profile it embeds a one-shot end-entity
+// certificate issued by the holder's CA; the ROA content is signed with
+// the EE key. The EE certificate's resources must cover the ROA prefixes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/asn.hpp"
+#include "rpki/cert.hpp"
+
+namespace ripki::rpki {
+
+struct RoaPrefix {
+  net::Prefix prefix;
+  /// Longest announcement the holder authorizes; >= prefix.length().
+  std::uint8_t max_length = 0;
+
+  bool operator==(const RoaPrefix& other) const = default;
+};
+
+struct RoaContent {
+  net::Asn asn;
+  std::vector<RoaPrefix> prefixes;
+
+  bool operator==(const RoaContent& other) const = default;
+};
+
+class Roa {
+ public:
+  Roa() = default;
+
+  /// Creates a signed ROA: issues the embedded EE certificate with
+  /// `ca_priv` and signs the content with the fresh EE key.
+  static Roa create(RoaContent content, const std::string& ca_subject,
+                    const crypto::PublicKey& ca_pub, const crypto::PrivateKey& ca_priv,
+                    crypto::KeyPair ee_keys, std::uint64_t ee_serial,
+                    ValidityWindow validity);
+
+  const RoaContent& content() const { return content_; }
+  const Certificate& ee_cert() const { return ee_cert_; }
+  const crypto::Signature& signature() const { return signature_; }
+
+  /// Verifies the content signature against the embedded EE key.
+  /// (EE certificate chain checks live in RepositoryValidator.)
+  bool verify_content_signature() const;
+
+  /// Stable repository file name, e.g. "roa-AS65001-17.roa".
+  std::string file_name(std::uint64_t index) const;
+
+  util::Bytes encode_content() const;
+  util::Bytes encode() const;
+  static util::Result<Roa> decode(std::span<const std::uint8_t> payload);
+  void encode_into(encoding::TlvWriter& writer) const;
+  static util::Result<Roa> decode_from(const encoding::TlvElement& element);
+
+ private:
+  RoaContent content_;
+  Certificate ee_cert_;
+  crypto::Signature signature_{};
+};
+
+}  // namespace ripki::rpki

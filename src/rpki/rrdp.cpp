@@ -1,0 +1,279 @@
+#include "rpki/rrdp.hpp"
+
+#include <algorithm>
+
+#include "crypto/sha256.hpp"
+#include "encoding/xml.hpp"
+#include "util/strings.hpp"
+
+namespace ripki::rpki {
+
+namespace {
+
+constexpr const char* kRrdpNs = "http://www.ripe.net/rpki/rrdp";
+
+std::string hash_hex(std::string_view document) {
+  const auto digest = crypto::sha256(document);
+  return crypto::digest_hex(digest);
+}
+
+/// base64 text possibly wrapped/indented by the XML pretty-printer.
+util::Result<util::Bytes> decode_object_text(const std::string& text) {
+  std::string compact;
+  compact.reserve(text.size());
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) compact.push_back(c);
+  }
+  return base64_decode(compact);
+}
+
+encoding::XmlElement publish_element(const std::string& uri,
+                                     const util::Bytes& data) {
+  encoding::XmlElement publish;
+  publish.name = "publish";
+  publish.attributes.emplace_back("uri", uri);
+  publish.text = base64_encode(data);
+  return publish;
+}
+
+}  // namespace
+
+RrdpServer::RrdpServer(std::string session_id, const Repository& initial,
+                       std::size_t delta_window)
+    : session_id_(std::move(session_id)), delta_window_(delta_window) {
+  for (auto& object : publish_repository(initial)) {
+    objects_.emplace(object.uri, std::move(object.data));
+  }
+}
+
+void RrdpServer::update(const Repository& next) {
+  std::map<std::string, util::Bytes> new_objects;
+  for (auto& object : publish_repository(next)) {
+    new_objects.emplace(object.uri, std::move(object.data));
+  }
+
+  Delta delta;
+  delta.serial = serial_ + 1;
+  for (const auto& [uri, data] : new_objects) {
+    const auto it = objects_.find(uri);
+    if (it == objects_.end() || it->second != data) {
+      delta.publishes.push_back({uri, data});
+    }
+  }
+  for (const auto& [uri, data] : objects_) {
+    if (new_objects.find(uri) == new_objects.end()) {
+      delta.withdraw_uris.push_back(uri);
+      delta.withdraw_hashes.push_back(crypto::sha256(data));
+    }
+  }
+
+  objects_ = std::move(new_objects);
+  ++serial_;
+  deltas_.push_back(std::move(delta));
+  while (deltas_.size() > delta_window_) deltas_.pop_front();
+}
+
+std::string RrdpServer::document_uri(const char* kind, std::uint64_t serial) const {
+  return "https://rrdp.example/" + session_id_ + "/" + std::to_string(serial) +
+         "/" + kind + ".xml";
+}
+
+std::string RrdpServer::snapshot_xml() const {
+  encoding::XmlElement snapshot;
+  snapshot.name = "snapshot";
+  snapshot.attributes.emplace_back("xmlns", kRrdpNs);
+  snapshot.attributes.emplace_back("version", "1");
+  snapshot.attributes.emplace_back("session_id", session_id_);
+  snapshot.attributes.emplace_back("serial", std::to_string(serial_));
+  for (const auto& [uri, data] : objects_) {
+    snapshot.children.push_back(publish_element(uri, data));
+  }
+  return encoding::xml_encode(snapshot);
+}
+
+std::string RrdpServer::delta_xml(std::uint64_t serial) const {
+  for (const auto& delta : deltas_) {
+    if (delta.serial != serial) continue;
+    encoding::XmlElement root;
+    root.name = "delta";
+    root.attributes.emplace_back("xmlns", kRrdpNs);
+    root.attributes.emplace_back("version", "1");
+    root.attributes.emplace_back("session_id", session_id_);
+    root.attributes.emplace_back("serial", std::to_string(serial));
+    for (const auto& object : delta.publishes) {
+      root.children.push_back(publish_element(object.uri, object.data));
+    }
+    for (std::size_t i = 0; i < delta.withdraw_uris.size(); ++i) {
+      encoding::XmlElement withdraw;
+      withdraw.name = "withdraw";
+      withdraw.attributes.emplace_back("uri", delta.withdraw_uris[i]);
+      withdraw.attributes.emplace_back(
+          "hash", crypto::digest_hex(delta.withdraw_hashes[i]));
+      root.children.push_back(std::move(withdraw));
+    }
+    return encoding::xml_encode(root);
+  }
+  return {};
+}
+
+std::string RrdpServer::notification_xml() const {
+  encoding::XmlElement notification;
+  notification.name = "notification";
+  notification.attributes.emplace_back("xmlns", kRrdpNs);
+  notification.attributes.emplace_back("version", "1");
+  notification.attributes.emplace_back("session_id", session_id_);
+  notification.attributes.emplace_back("serial", std::to_string(serial_));
+
+  encoding::XmlElement snapshot;
+  snapshot.name = "snapshot";
+  snapshot.attributes.emplace_back("uri", document_uri("snapshot", serial_));
+  snapshot.attributes.emplace_back("hash", hash_hex(snapshot_xml()));
+  notification.children.push_back(std::move(snapshot));
+
+  for (const auto& delta : deltas_) {
+    encoding::XmlElement element;
+    element.name = "delta";
+    element.attributes.emplace_back("serial", std::to_string(delta.serial));
+    element.attributes.emplace_back("uri", document_uri("delta", delta.serial));
+    element.attributes.emplace_back("hash", hash_hex(delta_xml(delta.serial)));
+    notification.children.push_back(std::move(element));
+  }
+  return encoding::xml_encode(notification);
+}
+
+std::string RrdpServer::fetch(const std::string& uri) const {
+  if (uri == document_uri("snapshot", serial_)) return snapshot_xml();
+  for (const auto& delta : deltas_) {
+    if (uri == document_uri("delta", delta.serial)) return delta_xml(delta.serial);
+  }
+  return {};
+}
+
+// --- client -----------------------------------------------------------------
+
+util::Result<void> RrdpClient::apply_snapshot(const std::string& xml_text) {
+  RIPKI_TRY_ASSIGN(root, encoding::xml_parse(xml_text));
+  if (root.name != "snapshot") return util::Err("rrdp: expected snapshot document");
+  objects_.clear();
+  for (const auto* publish : root.children_named("publish")) {
+    const std::string* uri = publish->attribute("uri");
+    if (uri == nullptr) return util::Err("rrdp: publish without uri");
+    RIPKI_TRY_ASSIGN(data, decode_object_text(publish->text));
+    objects_[*uri] = std::move(data);
+    ++stats_.objects_published;
+  }
+  ++stats_.snapshots_fetched;
+  return {};
+}
+
+util::Result<void> RrdpClient::apply_delta(const std::string& xml_text) {
+  RIPKI_TRY_ASSIGN(root, encoding::xml_parse(xml_text));
+  if (root.name != "delta") return util::Err("rrdp: expected delta document");
+  for (const auto& child : root.children) {
+    if (child.name == "publish") {
+      const std::string* uri = child.attribute("uri");
+      if (uri == nullptr) return util::Err("rrdp: publish without uri");
+      RIPKI_TRY_ASSIGN(data, decode_object_text(child.text));
+      objects_[*uri] = std::move(data);
+      ++stats_.objects_published;
+    } else if (child.name == "withdraw") {
+      const std::string* uri = child.attribute("uri");
+      const std::string* hash = child.attribute("hash");
+      if (uri == nullptr || hash == nullptr)
+        return util::Err("rrdp: withdraw without uri/hash");
+      const auto it = objects_.find(*uri);
+      if (it == objects_.end())
+        return util::Err("rrdp: withdraw of unknown object " + *uri);
+      // The withdraw hash must match the object being removed (RFC 8182 §3.5).
+      if (crypto::digest_hex(crypto::sha256(it->second)) != *hash)
+        return util::Err("rrdp: withdraw hash mismatch for " + *uri);
+      objects_.erase(it);
+      ++stats_.objects_withdrawn;
+    } else {
+      return util::Err("rrdp: unknown delta element " + child.name);
+    }
+  }
+  ++stats_.deltas_applied;
+  return {};
+}
+
+util::Result<void> RrdpClient::sync(const RrdpServer& server) {
+  RIPKI_TRY_ASSIGN(notification, encoding::xml_parse(server.notification_xml()));
+  if (notification.name != "notification")
+    return util::Err("rrdp: expected notification document");
+  const std::string* session = notification.attribute("session_id");
+  const std::string* serial_text = notification.attribute("serial");
+  if (session == nullptr || serial_text == nullptr)
+    return util::Err("rrdp: notification missing session/serial");
+  std::uint64_t target_serial = 0;
+  if (!util::parse_u64(*serial_text, target_serial))
+    return util::Err("rrdp: bad notification serial");
+
+  const auto fetch_verified =
+      [&](const encoding::XmlElement& ref) -> util::Result<std::string> {
+    const std::string* uri = ref.attribute("uri");
+    const std::string* hash = ref.attribute("hash");
+    if (uri == nullptr || hash == nullptr)
+      return util::Err("rrdp: document reference missing uri/hash");
+    std::string document = server.fetch(*uri);
+    if (document.empty()) return util::Err("rrdp: fetch failed for " + *uri);
+    if (hash_hex(document) != *hash)
+      return util::Err("rrdp: document hash mismatch for " + *uri);
+    return document;
+  };
+
+  const bool same_session = synchronized_ && session_id_ == *session;
+  if (same_session && serial_ == target_serial) return {};  // already current
+
+  // Collect the delta chain (serial_, target]; fall back to the snapshot
+  // when the session changed or the chain has gaps.
+  std::vector<const encoding::XmlElement*> chain;
+  bool chain_complete = same_session;
+  if (same_session) {
+    for (std::uint64_t s = serial_ + 1; s <= target_serial; ++s) {
+      const encoding::XmlElement* found = nullptr;
+      for (const auto* delta : notification.children_named("delta")) {
+        const std::string* delta_serial = delta->attribute("serial");
+        if (delta_serial != nullptr && *delta_serial == std::to_string(s)) {
+          found = delta;
+          break;
+        }
+      }
+      if (found == nullptr) {
+        chain_complete = false;
+        break;
+      }
+      chain.push_back(found);
+    }
+  }
+
+  if (chain_complete) {
+    for (const auto* delta : chain) {
+      RIPKI_TRY_ASSIGN(document, fetch_verified(*delta));
+      if (auto r = apply_delta(document); !r.ok()) return r;
+    }
+  } else {
+    const encoding::XmlElement* snapshot = notification.child("snapshot");
+    if (snapshot == nullptr) return util::Err("rrdp: notification missing snapshot");
+    RIPKI_TRY_ASSIGN(document, fetch_verified(*snapshot));
+    if (auto r = apply_snapshot(document); !r.ok()) return r;
+  }
+
+  session_id_ = *session;
+  serial_ = target_serial;
+  synchronized_ = true;
+  return {};
+}
+
+std::vector<PublishedObject> RrdpClient::objects() const {
+  std::vector<PublishedObject> out;
+  out.reserve(objects_.size());
+  for (const auto& [uri, data] : objects_) out.push_back({uri, data});
+  return out;
+}
+
+util::Result<Repository> RrdpClient::assemble() const {
+  return assemble_repository(objects());
+}
+
+}  // namespace ripki::rpki

@@ -1,0 +1,65 @@
+// TLV tag registry for every RPKI object encoding in this library.
+// Tags are grouped by object in disjoint hundreds so a misplaced element
+// fails decoding loudly instead of being misinterpreted.
+#pragma once
+
+#include "encoding/tlv.hpp"
+
+namespace ripki::rpki::tags {
+
+using encoding::Tag;
+
+// Resource sets.
+inline constexpr Tag kResourceSet = 100;
+inline constexpr Tag kResourcePrefix = 101;
+
+// Certificates.
+inline constexpr Tag kCertificate = 200;
+inline constexpr Tag kCertTbs = 201;
+inline constexpr Tag kCertSerial = 202;
+inline constexpr Tag kCertSubject = 203;
+inline constexpr Tag kCertIssuer = 204;
+inline constexpr Tag kCertIsCa = 205;
+inline constexpr Tag kCertPublicKey = 206;
+inline constexpr Tag kCertNotBefore = 207;
+inline constexpr Tag kCertNotAfter = 208;
+inline constexpr Tag kCertAki = 209;  // authority key identifier
+inline constexpr Tag kCertSignature = 210;
+
+// ROAs.
+inline constexpr Tag kRoa = 300;
+inline constexpr Tag kRoaContent = 301;
+inline constexpr Tag kRoaAsn = 302;
+inline constexpr Tag kRoaPrefix = 303;
+inline constexpr Tag kRoaMaxLength = 304;
+inline constexpr Tag kRoaEeCert = 305;
+inline constexpr Tag kRoaSignature = 306;
+inline constexpr Tag kRoaPrefixEntry = 307;
+
+// CRLs.
+inline constexpr Tag kCrl = 400;
+inline constexpr Tag kCrlTbs = 401;
+inline constexpr Tag kCrlIssuer = 402;
+inline constexpr Tag kCrlThisUpdate = 403;
+inline constexpr Tag kCrlNextUpdate = 404;
+inline constexpr Tag kCrlRevokedSerial = 405;
+inline constexpr Tag kCrlSignature = 406;
+
+// Manifests.
+inline constexpr Tag kManifest = 500;
+inline constexpr Tag kManifestTbs = 501;
+inline constexpr Tag kManifestIssuer = 502;
+inline constexpr Tag kManifestNumber = 503;
+inline constexpr Tag kManifestEntry = 504;
+inline constexpr Tag kManifestEntryName = 505;
+inline constexpr Tag kManifestEntryHash = 506;
+inline constexpr Tag kManifestSignature = 507;
+inline constexpr Tag kManifestThisUpdate = 508;
+inline constexpr Tag kManifestNextUpdate = 509;
+
+// Shared primitives.
+inline constexpr Tag kPrefixFamily = 900;
+inline constexpr Tag kPrefixBytes = 901;
+inline constexpr Tag kPrefixLength = 902;
+
+}  // namespace ripki::rpki::tags

@@ -1,0 +1,115 @@
+#include "rpki/tal.hpp"
+
+#include "util/strings.hpp"
+
+namespace ripki::rpki {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int decode_digit(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+
+}  // namespace
+
+std::string base64_encode(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  for (std::size_t i = 0; i < data.size(); i += 3) {
+    const std::uint32_t b0 = data[i];
+    const std::uint32_t b1 = i + 1 < data.size() ? data[i + 1] : 0;
+    const std::uint32_t b2 = i + 2 < data.size() ? data[i + 2] : 0;
+    const std::uint32_t triple = (b0 << 16) | (b1 << 8) | b2;
+    out.push_back(kAlphabet[(triple >> 18) & 0x3F]);
+    out.push_back(kAlphabet[(triple >> 12) & 0x3F]);
+    out.push_back(i + 1 < data.size() ? kAlphabet[(triple >> 6) & 0x3F] : '=');
+    out.push_back(i + 2 < data.size() ? kAlphabet[triple & 0x3F] : '=');
+  }
+  return out;
+}
+
+util::Result<util::Bytes> base64_decode(std::string_view text) {
+  if (text.size() % 4 != 0) return util::Err("base64: length not a multiple of 4");
+  util::Bytes out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int digits[4];
+    int pad = 0;
+    for (int k = 0; k < 4; ++k) {
+      const char c = text[i + static_cast<std::size_t>(k)];
+      if (c == '=') {
+        // Padding only in the last two positions of the final quartet.
+        if (i + 4 != text.size() || k < 2) return util::Err("base64: stray padding");
+        digits[k] = 0;
+        ++pad;
+      } else {
+        if (pad > 0) return util::Err("base64: data after padding");
+        digits[k] = decode_digit(c);
+        if (digits[k] < 0) return util::Err("base64: bad character");
+      }
+    }
+    const std::uint32_t triple =
+        (static_cast<std::uint32_t>(digits[0]) << 18) |
+        (static_cast<std::uint32_t>(digits[1]) << 12) |
+        (static_cast<std::uint32_t>(digits[2]) << 6) |
+        static_cast<std::uint32_t>(digits[3]);
+    out.push_back(static_cast<std::uint8_t>(triple >> 16));
+    if (pad < 2) out.push_back(static_cast<std::uint8_t>(triple >> 8));
+    if (pad < 1) out.push_back(static_cast<std::uint8_t>(triple));
+  }
+  return out;
+}
+
+std::string encode_tal(const TrustAnchorLocator& tal) {
+  const auto key = crypto::encode_public_key(tal.public_key);
+  return tal.uri + "\n" +
+         base64_encode(std::span<const std::uint8_t>(key.data(), key.size())) + "\n";
+}
+
+util::Result<TrustAnchorLocator> parse_tal(std::string_view text) {
+  std::string uri;
+  std::string key_b64;
+  for (const auto& raw : util::split(text, '\n')) {
+    const auto line = util::trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    if (uri.empty()) {
+      uri = std::string(line);
+    } else {
+      key_b64 += std::string(line);  // the key may wrap across lines
+    }
+  }
+  if (uri.empty()) return util::Err("tal: missing URI line");
+  if (uri.find("://") == std::string::npos) return util::Err("tal: URI lacks scheme");
+  if (key_b64.empty()) return util::Err("tal: missing public key");
+
+  RIPKI_TRY_ASSIGN(key_bytes, base64_decode(key_b64));
+  if (key_bytes.size() != 64) return util::Err("tal: bad public key size");
+
+  TrustAnchorLocator tal;
+  tal.uri = std::move(uri);
+  tal.public_key = crypto::decode_public_key(key_bytes);
+  return tal;
+}
+
+TrustAnchorLocator tal_for(const TrustAnchor& anchor) {
+  TrustAnchorLocator tal;
+  tal.uri = "rsync://rpki." + util::to_lower(anchor.name) + ".example/ta/" +
+            util::to_lower(anchor.name) + ".cer";
+  tal.public_key = anchor.keys.pub;
+  return tal;
+}
+
+bool ta_matches_tal(const Certificate& ta_cert, const TrustAnchorLocator& tal) {
+  return ta_cert.data().public_key == tal.public_key &&
+         ta_cert.verify_signature(tal.public_key);
+}
+
+}  // namespace ripki::rpki

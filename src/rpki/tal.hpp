@@ -1,0 +1,51 @@
+// Trust Anchor Locators (RFC 7730 analog).
+//
+// A relying party is configured with one TAL per RIR: a tiny text file
+// naming where the trust-anchor certificate lives and the public key it
+// must carry. Validation then starts from the TAL, not from a blindly
+// trusted certificate — the missing bootstrap step between "five RIR
+// repositories" and "validated ROA set".
+//
+// Format (one field per line, '#' comments allowed):
+//   rsync://<host>/<path>.cer
+//   <base64 of the 64-byte public key encoding>
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "crypto/rsa.hpp"
+#include "rpki/repository.hpp"
+#include "util/result.hpp"
+
+namespace ripki::rpki {
+
+struct TrustAnchorLocator {
+  std::string uri;            // publication point of the TA certificate
+  crypto::PublicKey public_key;
+
+  bool operator==(const TrustAnchorLocator& other) const {
+    return uri == other.uri && public_key == other.public_key;
+  }
+};
+
+/// Renders the two-line TAL text form.
+std::string encode_tal(const TrustAnchorLocator& tal);
+
+/// Parses TAL text; tolerates comments and blank lines, rejects missing
+/// fields, malformed base64, and bad key sizes.
+util::Result<TrustAnchorLocator> parse_tal(std::string_view text);
+
+/// Builds the TAL for a generated trust anchor.
+TrustAnchorLocator tal_for(const TrustAnchor& anchor);
+
+/// The bootstrap check a relying party performs before walking a
+/// repository: the self-signed TA certificate's subject key must match the
+/// locally configured TAL key (and the self-signature must verify).
+bool ta_matches_tal(const Certificate& ta_cert, const TrustAnchorLocator& tal);
+
+/// Standalone base64 codec (RFC 4648, with padding) used by the TAL format.
+std::string base64_encode(std::span<const std::uint8_t> data);
+util::Result<util::Bytes> base64_decode(std::string_view text);
+
+}  // namespace ripki::rpki

@@ -1,0 +1,28 @@
+// Simulation time model. Library code never reads the wall clock: validity
+// checks take an explicit timestamp so experiments are reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace ripki::rpki {
+
+/// Seconds since the Unix epoch (simulated).
+using Timestamp = std::int64_t;
+
+constexpr Timestamp kSecondsPerDay = 86'400;
+
+/// The instant all bundled experiments evaluate at: 2015-06-01T00:00:00Z,
+/// the measurement window of the paper.
+constexpr Timestamp kDefaultNow = 1'433'116'800;
+
+/// A certificate/ROA validity interval [not_before, not_after].
+struct ValidityWindow {
+  Timestamp not_before = 0;
+  Timestamp not_after = 0;
+
+  bool contains(Timestamp t) const { return t >= not_before && t <= not_after; }
+
+  bool operator==(const ValidityWindow& other) const = default;
+};
+
+}  // namespace ripki::rpki

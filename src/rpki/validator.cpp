@@ -1,0 +1,203 @@
+#include "rpki/validator.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace ripki::rpki {
+
+const char* to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kBadSignature: return "bad-signature";
+    case RejectReason::kExpired: return "expired";
+    case RejectReason::kRevoked: return "revoked";
+    case RejectReason::kResourceOverclaim: return "resource-overclaim";
+    case RejectReason::kNotInManifest: return "not-in-manifest";
+    case RejectReason::kManifestMismatch: return "manifest-hash-mismatch";
+    case RejectReason::kStaleCrl: return "stale-crl";
+    case RejectReason::kStaleManifest: return "stale-manifest";
+    case RejectReason::kNotACa: return "not-a-ca";
+    case RejectReason::kNoMatchingTal: return "no-matching-tal";
+  }
+  return "unknown";
+}
+
+std::uint64_t ValidationReport::rejected_for(RejectReason reason) const {
+  std::uint64_t n = 0;
+  for (const auto& obj : rejected) {
+    if (obj.reason == reason) ++n;
+  }
+  return n;
+}
+
+void RepositoryValidator::validate_point(const Repository& repo,
+                                         const CaPublicationPoint& point,
+                                         ValidationReport& report) const {
+  const auto& ca = point.ca_cert;
+  const auto reject_ca = [&](RejectReason reason) {
+    ++report.cas_rejected;
+    report.rejected.push_back({"CA " + ca.data().subject, reason});
+    // All ROAs below an invalid CA are unusable; count them as collateral.
+    report.roas_rejected += point.roas.size();
+  };
+
+  // --- CA certificate ---
+  if (!ca.verify_signature(repo.ta_cert.data().public_key)) {
+    reject_ca(RejectReason::kBadSignature);
+    return;
+  }
+  if (!ca.data().validity.contains(now_)) {
+    reject_ca(RejectReason::kExpired);
+    return;
+  }
+  if (!ca.data().is_ca) {
+    reject_ca(RejectReason::kNotACa);
+    return;
+  }
+  if (repo.ta_crl.is_revoked(ca.data().serial)) {
+    reject_ca(RejectReason::kRevoked);
+    return;
+  }
+  if (!repo.ta_cert.data().resources.contains(ca.data().resources)) {
+    reject_ca(RejectReason::kResourceOverclaim);
+    return;
+  }
+  ++report.cas_accepted;
+
+  // --- publication point CRL and manifest ---
+  const bool crl_ok = point.crl.verify_signature(ca.data().public_key) &&
+                      point.crl.is_current(now_);
+  if (!crl_ok) {
+    report.rejected.push_back({"CRL of " + ca.data().subject, RejectReason::kStaleCrl});
+  }
+  const bool manifest_ok = point.manifest.verify_signature(ca.data().public_key) &&
+                           point.manifest.is_current(now_);
+  if (!manifest_ok) {
+    report.rejected.push_back(
+        {"manifest of " + ca.data().subject, RejectReason::kStaleManifest});
+  }
+
+  // --- ROAs ---
+  for (std::size_t i = 0; i < point.roas.size(); ++i) {
+    const Roa& roa = point.roas[i];
+    const auto reject = [&](RejectReason reason) {
+      ++report.roas_rejected;
+      report.rejected.push_back(
+          {"ROA " + roa.content().asn.to_string() + " under " + ca.data().subject,
+           reason});
+    };
+
+    // Manifest completeness: an object missing from a valid manifest (or
+    // whose hash differs) is treated as withheld/substituted.
+    if (manifest_ok) {
+      const ManifestEntry* entry = point.manifest.find(roa.file_name(i));
+      if (entry == nullptr) {
+        reject(RejectReason::kNotInManifest);
+        continue;
+      }
+      if (entry->hash != crypto::sha256(roa.encode())) {
+        reject(RejectReason::kManifestMismatch);
+        continue;
+      }
+    }
+
+    const Certificate& ee = roa.ee_cert();
+    if (!ee.verify_signature(ca.data().public_key)) {
+      reject(RejectReason::kBadSignature);
+      continue;
+    }
+    if (!ee.data().validity.contains(now_)) {
+      reject(RejectReason::kExpired);
+      continue;
+    }
+    if (crl_ok && point.crl.is_revoked(ee.data().serial)) {
+      reject(RejectReason::kRevoked);
+      continue;
+    }
+    if (!ca.data().resources.contains(ee.data().resources)) {
+      reject(RejectReason::kResourceOverclaim);
+      continue;
+    }
+    bool prefixes_ok = true;
+    for (const auto& rp : roa.content().prefixes) {
+      if (!ee.data().resources.contains(rp.prefix) ||
+          rp.max_length < rp.prefix.length() ||
+          rp.max_length > rp.prefix.address().width()) {
+        prefixes_ok = false;
+        break;
+      }
+    }
+    if (!prefixes_ok) {
+      reject(RejectReason::kResourceOverclaim);
+      continue;
+    }
+    if (!roa.verify_content_signature()) {
+      reject(RejectReason::kBadSignature);
+      continue;
+    }
+
+    ++report.roas_accepted;
+    for (const auto& rp : roa.content().prefixes) {
+      report.vrps.push_back(Vrp{rp.prefix, rp.max_length, roa.content().asn});
+    }
+  }
+}
+
+void RepositoryValidator::validate_into(const Repository& repo,
+                                        ValidationReport& report) const {
+  ++report.tas_processed;
+
+  // Trust anchor: self-signed, current, and a CA.
+  const auto& ta = repo.ta_cert;
+  if (!ta.verify_signature(ta.data().public_key)) {
+    report.rejected.push_back({"TA " + ta.data().subject, RejectReason::kBadSignature});
+    return;
+  }
+  if (!ta.data().validity.contains(now_)) {
+    report.rejected.push_back({"TA " + ta.data().subject, RejectReason::kExpired});
+    return;
+  }
+  if (!ta.data().is_ca) {
+    report.rejected.push_back({"TA " + ta.data().subject, RejectReason::kNotACa});
+    return;
+  }
+  const bool ta_crl_ok = repo.ta_crl.verify_signature(ta.data().public_key) &&
+                         repo.ta_crl.is_current(now_);
+  if (!ta_crl_ok) {
+    report.rejected.push_back(
+        {"CRL of TA " + ta.data().subject, RejectReason::kStaleCrl});
+  }
+
+  for (const auto& point : repo.points) {
+    validate_point(repo, point, report);
+  }
+}
+
+ValidationReport RepositoryValidator::validate(std::span<const Repository> repos) const {
+  ValidationReport report;
+  for (const auto& repo : repos) validate_into(repo, report);
+  return report;
+}
+
+ValidationReport RepositoryValidator::validate(
+    std::span<const Repository> repos,
+    std::span<const TrustAnchorLocator> tals) const {
+  ValidationReport report;
+  for (const auto& repo : repos) {
+    bool trusted = false;
+    for (const auto& tal : tals) {
+      if (ta_matches_tal(repo.ta_cert, tal)) {
+        trusted = true;
+        break;
+      }
+    }
+    if (!trusted) {
+      ++report.tas_processed;
+      report.rejected.push_back({"TA " + repo.ta_cert.data().subject,
+                                 RejectReason::kNoMatchingTal});
+      continue;
+    }
+    validate_into(repo, report);
+  }
+  return report;
+}
+
+}  // namespace ripki::rpki

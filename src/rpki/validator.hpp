@@ -1,0 +1,87 @@
+// Relying-party repository validation: the chain walk a validator such as
+// RTRlib's cache, the RIPE validator or Routinator performs (methodology
+// step 4: "ROA data of all trust anchors are collected and validated; only
+// cryptographically correct ROAs are further used").
+//
+// Checks applied, in order, per object:
+//   trust anchor : self-signature, validity window, CA bit
+//   CA cert      : signature by TA, validity window, not revoked (TA CRL),
+//                  CA bit, resource containment in the TA allocation
+//   CRL/manifest : signature by owning key, currency window
+//   ROA          : listed in the CA manifest with matching hash, EE cert
+//                  signature/validity/revocation, EE resource containment,
+//                  ROA prefixes within EE resources, content signature
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rpki/repository.hpp"
+#include "rpki/tal.hpp"
+#include "rpki/vrp.hpp"
+
+namespace ripki::rpki {
+
+/// Why an object was rejected; tallied per reason for diagnostics.
+enum class RejectReason : std::uint8_t {
+  kBadSignature,
+  kExpired,
+  kRevoked,
+  kResourceOverclaim,
+  kNotInManifest,
+  kManifestMismatch,
+  kStaleCrl,
+  kStaleManifest,
+  kNotACa,
+  kNoMatchingTal,  // TA certificate matches no configured trust anchor locator
+};
+
+const char* to_string(RejectReason reason);
+
+struct RejectedObject {
+  std::string description;
+  RejectReason reason;
+};
+
+struct ValidationReport {
+  VrpSet vrps;
+  std::vector<RejectedObject> rejected;
+
+  std::uint64_t tas_processed = 0;
+  std::uint64_t cas_accepted = 0;
+  std::uint64_t cas_rejected = 0;
+  std::uint64_t roas_accepted = 0;
+  std::uint64_t roas_rejected = 0;
+
+  std::uint64_t rejected_for(RejectReason reason) const;
+};
+
+class RepositoryValidator {
+ public:
+  /// `now` is the validation instant for every validity-window check.
+  explicit RepositoryValidator(Timestamp now) : now_(now) {}
+
+  /// Validates one repository rooted at its embedded trust anchor
+  /// certificate and appends the surviving VRPs to `report`.
+  void validate_into(const Repository& repo, ValidationReport& report) const;
+
+  /// Validates all repositories (the paper's five RIR trust anchors).
+  ValidationReport validate(std::span<const Repository> repos) const;
+
+  /// TAL-bootstrapped validation (RFC 7730): a repository is only walked
+  /// when its trust-anchor certificate carries a key configured in one of
+  /// the relying party's locators and its self-signature verifies under
+  /// that key.
+  ValidationReport validate(std::span<const Repository> repos,
+                            std::span<const TrustAnchorLocator> tals) const;
+
+ private:
+  void validate_point(const Repository& repo, const CaPublicationPoint& point,
+                      ValidationReport& report) const;
+
+  Timestamp now_;
+};
+
+}  // namespace ripki::rpki

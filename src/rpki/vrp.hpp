@@ -1,0 +1,31 @@
+// Validated ROA Payloads: the (prefix, maxLength, origin ASN) triples that
+// survive cryptographic repository validation. This is the data a relying
+// party ships to routers (via the RTR protocol) for origin validation.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/asn.hpp"
+#include "net/prefix.hpp"
+
+namespace ripki::rpki {
+
+struct Vrp {
+  net::Prefix prefix;
+  std::uint8_t max_length = 0;
+  net::Asn asn;
+
+  std::string to_string() const {
+    return prefix.to_string() + "-" + std::to_string(max_length) + " => " +
+           asn.to_string();
+  }
+
+  auto operator<=>(const Vrp& other) const = default;
+};
+
+using VrpSet = std::vector<Vrp>;
+
+}  // namespace ripki::rpki

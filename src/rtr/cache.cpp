@@ -1,0 +1,119 @@
+#include "rtr/cache.hpp"
+
+#include <algorithm>
+
+namespace ripki::rtr {
+
+CacheServer::CacheServer(std::uint16_t session_id, rpki::VrpSet initial,
+                         std::size_t history_limit, std::uint8_t max_version)
+    : session_id_(session_id),
+      current_(initial.begin(), initial.end()),
+      history_limit_(history_limit),
+      max_version_(max_version) {}
+
+SerialNotify CacheServer::update(const rpki::VrpSet& new_set) {
+  const std::set<rpki::Vrp> next(new_set.begin(), new_set.end());
+
+  Delta delta;
+  delta.serial = serial_ + 1;
+  std::set_difference(next.begin(), next.end(), current_.begin(), current_.end(),
+                      std::back_inserter(delta.announced));
+  std::set_difference(current_.begin(), current_.end(), next.begin(), next.end(),
+                      std::back_inserter(delta.withdrawn));
+
+  current_ = next;
+  ++serial_;
+  history_.push_back(std::move(delta));
+  while (history_.size() > history_limit_) history_.pop_front();
+  return SerialNotify{session_id_, serial_};
+}
+
+std::vector<Pdu> CacheServer::full_response(std::uint8_t version) const {
+  std::vector<Pdu> out;
+  out.emplace_back(CacheResponse{session_id_});
+  for (const auto& vrp : current_) {
+    out.emplace_back(PrefixPdu::from_vrp(vrp, /*announce=*/true));
+  }
+  if (version >= kVersion1) {
+    for (const auto& key : router_keys_) out.emplace_back(key);
+  }
+  out.emplace_back(EndOfData{session_id_, serial_});
+  return out;
+}
+
+std::vector<Pdu> CacheServer::delta_response(std::uint32_t from_serial) const {
+  // A router already at the current serial gets an empty (but well-formed)
+  // response ending in End Of Data.
+  if (from_serial == serial_) {
+    return {Pdu{CacheResponse{session_id_}}, Pdu{EndOfData{session_id_, serial_}}};
+  }
+  // Collect deltas (from_serial, serial_]; if any is missing, the router
+  // is too far behind: answer Cache Reset (RFC 6810 §6.3).
+  std::vector<const Delta*> needed;
+  for (const auto& delta : history_) {
+    if (delta.serial > from_serial) needed.push_back(&delta);
+  }
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(serial_) - from_serial;
+  if (from_serial > serial_ || needed.size() != expected) {
+    return {Pdu{CacheReset{}}};
+  }
+
+  std::vector<Pdu> out;
+  out.emplace_back(CacheResponse{session_id_});
+  for (const Delta* delta : needed) {
+    for (const auto& vrp : delta->withdrawn)
+      out.emplace_back(PrefixPdu::from_vrp(vrp, /*announce=*/false));
+    for (const auto& vrp : delta->announced)
+      out.emplace_back(PrefixPdu::from_vrp(vrp, /*announce=*/true));
+  }
+  out.emplace_back(EndOfData{session_id_, serial_});
+  return out;
+}
+
+std::vector<Pdu> CacheServer::handle(const Pdu& query, std::uint8_t version) const {
+  if (std::holds_alternative<ResetQuery>(query)) {
+    return full_response(version);
+  }
+  if (const auto* sq = std::get_if<SerialQuery>(&query)) {
+    // A serial query against a different session means the router's state
+    // belongs to another cache lifetime: force a resync.
+    if (sq->session_id != session_id_) return {Pdu{CacheReset{}}};
+    return delta_response(sq->serial);
+  }
+  return {Pdu{ErrorReport{ErrorCode::kInvalidRequest, encode(query),
+                          "cache: unsupported query pdu"}}};
+}
+
+util::Bytes CacheServer::handle_bytes(std::span<const std::uint8_t> request) {
+  util::ByteReader reader(request);
+  std::uint8_t query_version = 0;
+  auto query = decode(reader, &query_version);
+  std::vector<Pdu> response;
+  std::uint8_t response_version = std::min(query_version, max_version_);
+  if (!query.ok()) {
+    // A version beyond anything we can parse is reported at OUR highest
+    // version so a newer router can downgrade (RFC 8210 §7).
+    response_version = max_version_;
+    const bool version_problem =
+        query.error().message.find("unsupported version") != std::string::npos;
+    response = {Pdu{ErrorReport{version_problem ? ErrorCode::kUnsupportedVersion
+                                                : ErrorCode::kCorruptData,
+                                util::Bytes(request.begin(), request.end()),
+                                query.error().message}}};
+  } else if (query_version > max_version_) {
+    response = {Pdu{ErrorReport{ErrorCode::kUnsupportedVersion,
+                                util::Bytes(request.begin(), request.end()),
+                                "cache: version above maximum"}}};
+  } else {
+    response = handle(query.value(), response_version);
+  }
+  util::ByteWriter out;
+  for (const auto& pdu : response) {
+    const auto bytes = encode(pdu, response_version);
+    out.put_bytes(bytes);
+  }
+  return std::move(out).take();
+}
+
+}  // namespace ripki::rtr

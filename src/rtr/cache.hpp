@@ -1,0 +1,68 @@
+// RTR cache server: the validated-cache side of RFC 6810 (what RTRlib,
+// Routinator or the RIPE validator expose to routers).
+//
+// The cache holds the current VRP set plus a bounded history of per-serial
+// deltas so routers can sync incrementally with Serial Query; when a
+// requested serial has aged out of the history the cache answers with
+// Cache Reset, forcing the router into a full Reset Query resync.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "rtr/pdu.hpp"
+
+namespace ripki::rtr {
+
+class CacheServer {
+ public:
+  /// `history_limit`: number of serial deltas retained for incremental
+  /// sync; `max_version`: highest RTR protocol version served (RFC 8210 §7
+  /// negotiation: the cache answers at the router's version when it can,
+  /// and with an Unsupported-Version error otherwise).
+  CacheServer(std::uint16_t session_id, rpki::VrpSet initial,
+              std::size_t history_limit = 16,
+              std::uint8_t max_version = kMaxSupportedVersion);
+
+  std::uint16_t session_id() const { return session_id_; }
+  std::uint32_t serial() const { return serial_; }
+  std::uint8_t max_version() const { return max_version_; }
+  const std::set<rpki::Vrp>& current() const { return current_; }
+
+  /// Registers BGPsec router key material (served in v1 full responses).
+  void add_router_key(RouterKey key) { router_keys_.push_back(std::move(key)); }
+
+  /// Installs a new validated set; computes the delta and bumps the serial.
+  /// Returns the Serial Notify PDU the cache would push to its routers.
+  SerialNotify update(const rpki::VrpSet& new_set);
+
+  /// Handles one router query (wire bytes in, wire bytes out), exactly as a
+  /// cache process would on its TCP socket. Malformed input yields an
+  /// encoded Error Report.
+  util::Bytes handle_bytes(std::span<const std::uint8_t> request);
+
+  /// Protocol-level handler for a decoded query at a wire version.
+  std::vector<Pdu> handle(const Pdu& query, std::uint8_t version) const;
+
+ private:
+  struct Delta {
+    std::uint32_t serial;  // serial after applying this delta
+    std::vector<rpki::Vrp> announced;
+    std::vector<rpki::Vrp> withdrawn;
+  };
+
+  std::vector<Pdu> full_response(std::uint8_t version) const;
+  std::vector<Pdu> delta_response(std::uint32_t from_serial) const;
+
+  std::uint16_t session_id_;
+  std::uint32_t serial_ = 0;
+  std::set<rpki::Vrp> current_;
+  std::deque<Delta> history_;
+  std::size_t history_limit_;
+  std::uint8_t max_version_;
+  std::vector<RouterKey> router_keys_;
+};
+
+}  // namespace ripki::rtr

@@ -1,0 +1,128 @@
+#include "rtr/client.hpp"
+
+namespace ripki::rtr {
+
+util::Result<void> RouterClient::apply(const PrefixPdu& pdu) {
+  const rpki::Vrp vrp = pdu.to_vrp();
+  if (pdu.announce) {
+    // RFC 6810 §5.5: a duplicate announcement is a protocol error, but we
+    // tolerate it during a full reset where state was just cleared.
+    vrps_.insert(vrp);
+    ++stats_.announcements;
+  } else {
+    const auto it = vrps_.find(vrp);
+    if (it == vrps_.end())
+      return util::Err("rtr client: withdrawal of unknown record " + vrp.to_string());
+    vrps_.erase(it);
+    ++stats_.withdrawals;
+  }
+  return {};
+}
+
+util::Result<void> RouterClient::run_query(CacheServer& cache, const Pdu& query,
+                                           bool* needs_reset,
+                                           bool* needs_downgrade) {
+  *needs_reset = false;
+  *needs_downgrade = false;
+  const util::Bytes request = encode(query, version_);
+  const util::Bytes response = cache.handle_bytes(request);
+  std::uint8_t response_version = version_;
+  RIPKI_TRY_ASSIGN(pdus, decode_stream(response, &response_version));
+
+  bool in_response = false;
+  for (const Pdu& pdu : pdus) {
+    ++stats_.pdus_received;
+    if (const auto* cr = std::get_if<CacheResponse>(&pdu)) {
+      in_response = true;
+      session_id_ = cr->session_id;
+      continue;
+    }
+    if (std::holds_alternative<CacheReset>(pdu)) {
+      ++stats_.cache_resets_seen;
+      *needs_reset = true;
+      return {};
+    }
+    if (const auto* err = std::get_if<ErrorReport>(&pdu)) {
+      if ((err->code == ErrorCode::kUnsupportedVersion ||
+           err->code == ErrorCode::kUnexpectedProtocolVersion) &&
+          version_ > kVersion0) {
+        // RFC 8210 §7: retry the session at the cache's (lower) version.
+        version_ = std::min<std::uint8_t>(response_version,
+                                          static_cast<std::uint8_t>(version_ - 1));
+        ++stats_.version_downgrades;
+        *needs_downgrade = true;
+        return {};
+      }
+      return util::Err("rtr client: cache error report: " + err->text);
+    }
+    if (const auto* key = std::get_if<RouterKey>(&pdu)) {
+      if (!in_response)
+        return util::Err("rtr client: router key outside cache response");
+      ++stats_.router_keys_received;
+      router_keys_.push_back(*key);
+      continue;
+    }
+    if (const auto* prefix = std::get_if<PrefixPdu>(&pdu)) {
+      if (!in_response)
+        return util::Err("rtr client: prefix pdu outside cache response");
+      if (auto r = apply(*prefix); !r.ok()) return r;
+      continue;
+    }
+    if (const auto* eod = std::get_if<EndOfData>(&pdu)) {
+      if (!in_response)
+        return util::Err("rtr client: end of data outside cache response");
+      serial_ = eod->serial;
+      if (response_version >= kVersion1) {
+        refresh_interval_ = eod->refresh_interval;
+        expire_interval_ = eod->expire_interval;
+      }
+      synchronized_ = true;
+      return {};
+    }
+    return util::Err("rtr client: unexpected pdu " + to_string(pdu));
+  }
+  return util::Err("rtr client: response missing end of data");
+}
+
+util::Result<void> RouterClient::reset_sync(CacheServer& cache) {
+  // At most one downgrade retry per version step.
+  for (int attempt = 0; attempt <= kMaxSupportedVersion; ++attempt) {
+    vrps_.clear();
+    router_keys_.clear();
+    synchronized_ = false;
+    ++stats_.resets;
+    bool needs_reset = false;
+    bool needs_downgrade = false;
+    if (auto r = run_query(cache, Pdu{ResetQuery{}}, &needs_reset, &needs_downgrade);
+        !r.ok()) {
+      return r;
+    }
+    if (needs_downgrade) continue;
+    if (needs_reset)
+      return util::Err("rtr client: cache reset in reply to reset query");
+    return {};
+  }
+  return util::Err("rtr client: version negotiation failed");
+}
+
+util::Result<void> RouterClient::sync(CacheServer& cache) {
+  if (!synchronized_) return reset_sync(cache);
+  ++stats_.serial_syncs;
+  bool needs_reset = false;
+  bool needs_downgrade = false;
+  if (auto r = run_query(cache, Pdu{SerialQuery{session_id_, serial_}}, &needs_reset,
+                         &needs_downgrade);
+      !r.ok()) {
+    return r;
+  }
+  if (needs_reset || needs_downgrade) return reset_sync(cache);
+  return {};
+}
+
+rpki::VrpIndex RouterClient::build_index() const {
+  rpki::VrpIndex index;
+  for (const auto& vrp : vrps_) index.add(vrp);
+  return index;
+}
+
+}  // namespace ripki::rtr

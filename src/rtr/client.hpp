@@ -1,0 +1,75 @@
+// RTR router client: the router side of RFC 6810 (RTRlib's role inside a
+// BGP speaker). Maintains a shadow of the cache's VRP set via reset and
+// incremental serial synchronisation — always over encoded wire bytes, so
+// both codec directions are exercised on every sync.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "rpki/origin_validation.hpp"
+#include "rtr/cache.hpp"
+
+namespace ripki::rtr {
+
+class RouterClient {
+ public:
+  struct SyncStats {
+    std::uint64_t resets = 0;
+    std::uint64_t serial_syncs = 0;
+    std::uint64_t pdus_received = 0;
+    std::uint64_t announcements = 0;
+    std::uint64_t withdrawals = 0;
+    std::uint64_t cache_resets_seen = 0;
+    std::uint64_t version_downgrades = 0;
+    std::uint64_t router_keys_received = 0;
+  };
+
+  /// `preferred_version`: the highest RTR version the router speaks; the
+  /// client downgrades automatically when the cache reports
+  /// Unsupported-Version (RFC 8210 §7).
+  explicit RouterClient(std::uint8_t preferred_version = kMaxSupportedVersion)
+      : version_(preferred_version) {}
+
+  /// Full resynchronisation (Reset Query). Replaces local state.
+  util::Result<void> reset_sync(CacheServer& cache);
+
+  /// Incremental sync (Serial Query). Falls back to a reset when the cache
+  /// answers Cache Reset; first-ever sync is always a reset.
+  util::Result<void> sync(CacheServer& cache);
+
+  bool synchronized() const { return synchronized_; }
+  std::uint32_t serial() const { return serial_; }
+  std::uint16_t session_id() const { return session_id_; }
+  /// The negotiated wire version.
+  std::uint8_t version() const { return version_; }
+  /// v1 timing parameters from the last End of Data (defaults before then).
+  std::uint32_t refresh_interval() const { return refresh_interval_; }
+  std::uint32_t expire_interval() const { return expire_interval_; }
+  const std::set<rpki::Vrp>& vrps() const { return vrps_; }
+  /// BGPsec router keys received over a v1 session.
+  const std::vector<RouterKey>& router_keys() const { return router_keys_; }
+  const SyncStats& stats() const { return stats_; }
+
+  /// Builds an origin-validation index from the current VRP shadow — what
+  /// the router's BGP decision process consults per update.
+  rpki::VrpIndex build_index() const;
+
+ private:
+  util::Result<void> run_query(CacheServer& cache, const Pdu& query,
+                               bool* needs_reset, bool* needs_downgrade);
+  util::Result<void> apply(const PrefixPdu& pdu);
+
+  bool synchronized_ = false;
+  std::uint8_t version_ = kMaxSupportedVersion;
+  std::uint16_t session_id_ = 0;
+  std::uint32_t serial_ = 0;
+  std::uint32_t refresh_interval_ = 3600;
+  std::uint32_t expire_interval_ = 7200;
+  std::set<rpki::Vrp> vrps_;
+  std::vector<RouterKey> router_keys_;
+  SyncStats stats_;
+};
+
+}  // namespace ripki::rtr

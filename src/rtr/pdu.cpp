@@ -1,0 +1,262 @@
+#include "rtr/pdu.hpp"
+
+#include <cassert>
+
+namespace ripki::rtr {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 8;
+
+/// Writes the common header; `session_or_zero` fills bytes 2-3.
+void write_header(util::ByteWriter& w, std::uint8_t version, PduType type,
+                  std::uint16_t session_or_zero, std::uint32_t total_length) {
+  w.put_u8(version);
+  w.put_u8(static_cast<std::uint8_t>(type));
+  w.put_u16(session_or_zero);
+  w.put_u32(total_length);
+}
+
+}  // namespace
+
+util::Bytes encode(const Pdu& pdu, std::uint8_t version) {
+  assert(version <= kMaxSupportedVersion);
+  util::ByteWriter w;
+  std::visit(
+      [&w, version](const auto& p) {
+        const auto write_hdr = [&](PduType type, std::uint16_t session_or_zero,
+                                   std::uint32_t total_length) {
+          write_header(w, version, type, session_or_zero, total_length);
+        };
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, SerialNotify>) {
+          write_hdr(PduType::kSerialNotify, p.session_id, 12);
+          w.put_u32(p.serial);
+        } else if constexpr (std::is_same_v<T, SerialQuery>) {
+          write_hdr(PduType::kSerialQuery, p.session_id, 12);
+          w.put_u32(p.serial);
+        } else if constexpr (std::is_same_v<T, ResetQuery>) {
+          write_hdr(PduType::kResetQuery, 0, 8);
+        } else if constexpr (std::is_same_v<T, CacheResponse>) {
+          write_hdr(PduType::kCacheResponse, p.session_id, 8);
+        } else if constexpr (std::is_same_v<T, PrefixPdu>) {
+          const bool v4 = p.prefix.is_v4();
+          const std::uint32_t length = v4 ? 20 : 32;
+          write_hdr(v4 ? PduType::kIpv4Prefix : PduType::kIpv6Prefix, 0, length);
+          w.put_u8(p.announce ? 1 : 0);  // flags
+          w.put_u8(static_cast<std::uint8_t>(p.prefix.length()));
+          w.put_u8(p.max_length);
+          w.put_u8(0);  // zero
+          const auto& bytes = p.prefix.address().bytes();
+          w.put_bytes(std::span<const std::uint8_t>(bytes.data(), v4 ? 4 : 16));
+          w.put_u32(p.asn.value());
+        } else if constexpr (std::is_same_v<T, EndOfData>) {
+          // Version 1 appends the refresh/retry/expire intervals (§5.8).
+          write_hdr(PduType::kEndOfData, p.session_id,
+                    version >= kVersion1 ? 24 : 12);
+          w.put_u32(p.serial);
+          if (version >= kVersion1) {
+            w.put_u32(p.refresh_interval);
+            w.put_u32(p.retry_interval);
+            w.put_u32(p.expire_interval);
+          }
+        } else if constexpr (std::is_same_v<T, CacheReset>) {
+          write_hdr(PduType::kCacheReset, 0, 8);
+        } else if constexpr (std::is_same_v<T, RouterKey>) {
+          assert(version >= kVersion1 && "Router Key PDU requires version 1");
+          const auto total = static_cast<std::uint32_t>(
+              8 + p.subject_key_identifier.size() + 4 +
+              p.subject_public_key_info.size());
+          // Flags ride in the high byte of the session field (§5.10).
+          write_hdr(PduType::kRouterKey,
+                    static_cast<std::uint16_t>((p.announce ? 0x0100 : 0x0000)),
+                    total);
+          w.put_bytes(std::span<const std::uint8_t>(
+              p.subject_key_identifier.data(), p.subject_key_identifier.size()));
+          w.put_u32(p.asn.value());
+          w.put_bytes(p.subject_public_key_info);
+        } else if constexpr (std::is_same_v<T, ErrorReport>) {
+          const auto total = static_cast<std::uint32_t>(
+              kHeaderSize + 4 + p.erroneous_pdu.size() + 4 + p.text.size());
+          write_hdr(PduType::kErrorReport, static_cast<std::uint16_t>(p.code),
+                    total);
+          w.put_u32(static_cast<std::uint32_t>(p.erroneous_pdu.size()));
+          w.put_bytes(p.erroneous_pdu);
+          w.put_u32(static_cast<std::uint32_t>(p.text.size()));
+          w.put_string(p.text);
+        }
+      },
+      pdu);
+  return std::move(w).take();
+}
+
+util::Result<Pdu> decode(util::ByteReader& reader, std::uint8_t* version_out) {
+  RIPKI_TRY_ASSIGN(version, reader.u8());
+  if (version > kMaxSupportedVersion) return util::Err("rtr: unsupported version");
+  if (version_out != nullptr) *version_out = version;
+  RIPKI_TRY_ASSIGN(type_raw, reader.u8());
+  RIPKI_TRY_ASSIGN(session_or_zero, reader.u16());
+  RIPKI_TRY_ASSIGN(total_length, reader.u32());
+  if (total_length < kHeaderSize) return util::Err("rtr: length below header size");
+  const std::size_t body_len = total_length - kHeaderSize;
+  if (reader.remaining() < body_len) return util::Err("rtr: truncated body");
+
+  switch (static_cast<PduType>(type_raw)) {
+    case PduType::kSerialNotify: {
+      if (body_len != 4) return util::Err("rtr: bad serial notify length");
+      RIPKI_TRY_ASSIGN(serial, reader.u32());
+      return Pdu{SerialNotify{session_or_zero, serial}};
+    }
+    case PduType::kSerialQuery: {
+      if (body_len != 4) return util::Err("rtr: bad serial query length");
+      RIPKI_TRY_ASSIGN(serial, reader.u32());
+      return Pdu{SerialQuery{session_or_zero, serial}};
+    }
+    case PduType::kResetQuery: {
+      if (body_len != 0) return util::Err("rtr: bad reset query length");
+      return Pdu{ResetQuery{}};
+    }
+    case PduType::kCacheResponse: {
+      if (body_len != 0) return util::Err("rtr: bad cache response length");
+      return Pdu{CacheResponse{session_or_zero}};
+    }
+    case PduType::kIpv4Prefix:
+    case PduType::kIpv6Prefix: {
+      const bool v4 = static_cast<PduType>(type_raw) == PduType::kIpv4Prefix;
+      const std::size_t addr_len = v4 ? 4 : 16;
+      if (body_len != 8 + addr_len) return util::Err("rtr: bad prefix pdu length");
+      RIPKI_TRY_ASSIGN(flags, reader.u8());
+      RIPKI_TRY_ASSIGN(prefix_len, reader.u8());
+      RIPKI_TRY_ASSIGN(max_len, reader.u8());
+      RIPKI_TRY_ASSIGN(zero, reader.u8());
+      (void)zero;
+      RIPKI_TRY_ASSIGN(addr_bytes, reader.bytes(addr_len));
+      RIPKI_TRY_ASSIGN(asn, reader.u32());
+
+      net::IpAddress addr;
+      if (v4) {
+        addr = net::IpAddress::v4(addr_bytes[0], addr_bytes[1], addr_bytes[2],
+                                  addr_bytes[3]);
+      } else {
+        std::array<std::uint8_t, 16> raw{};
+        std::copy(addr_bytes.begin(), addr_bytes.end(), raw.begin());
+        addr = net::IpAddress::v6(raw);
+      }
+      if (prefix_len > addr.width()) return util::Err("rtr: bad prefix length");
+      if (max_len > addr.width() || max_len < prefix_len)
+        return util::Err("rtr: bad max length");
+      return Pdu{PrefixPdu{(flags & 1) != 0, net::Prefix(addr, prefix_len), max_len,
+                           net::Asn(asn)}};
+    }
+    case PduType::kEndOfData: {
+      EndOfData eod;
+      eod.session_id = session_or_zero;
+      if (version >= kVersion1) {
+        if (body_len != 16) return util::Err("rtr: bad v1 end of data length");
+        RIPKI_TRY_ASSIGN(serial, reader.u32());
+        eod.serial = serial;
+        RIPKI_TRY_ASSIGN(refresh, reader.u32());
+        eod.refresh_interval = refresh;
+        RIPKI_TRY_ASSIGN(retry, reader.u32());
+        eod.retry_interval = retry;
+        RIPKI_TRY_ASSIGN(expire, reader.u32());
+        eod.expire_interval = expire;
+      } else {
+        if (body_len != 4) return util::Err("rtr: bad end of data length");
+        RIPKI_TRY_ASSIGN(serial, reader.u32());
+        eod.serial = serial;
+      }
+      return Pdu{eod};
+    }
+    case PduType::kCacheReset: {
+      if (body_len != 0) return util::Err("rtr: bad cache reset length");
+      return Pdu{CacheReset{}};
+    }
+    case PduType::kRouterKey: {
+      if (version < kVersion1)
+        return util::Err("rtr: router key pdu requires version 1");
+      if (body_len < 24) return util::Err("rtr: bad router key length");
+      RouterKey key;
+      key.announce = (session_or_zero & 0x0100) != 0;
+      RIPKI_TRY_ASSIGN(ski, reader.bytes(20));
+      std::copy(ski.begin(), ski.end(), key.subject_key_identifier.begin());
+      RIPKI_TRY_ASSIGN(asn, reader.u32());
+      key.asn = net::Asn(asn);
+      RIPKI_TRY_ASSIGN(spki, reader.bytes(body_len - 24));
+      key.subject_public_key_info = std::move(spki);
+      return Pdu{key};
+    }
+    case PduType::kErrorReport: {
+      if (body_len < 8) return util::Err("rtr: bad error report length");
+      RIPKI_TRY_ASSIGN(pdu_len, reader.u32());
+      if (body_len < 8 + pdu_len) return util::Err("rtr: error report pdu overflow");
+      RIPKI_TRY_ASSIGN(bad_pdu, reader.bytes(pdu_len));
+      RIPKI_TRY_ASSIGN(text_len, reader.u32());
+      if (body_len != 8 + pdu_len + text_len)
+        return util::Err("rtr: error report length mismatch");
+      RIPKI_TRY_ASSIGN(text, reader.string(text_len));
+      return Pdu{ErrorReport{static_cast<ErrorCode>(session_or_zero),
+                             std::move(bad_pdu), std::move(text)}};
+    }
+    default:
+      return util::Err("rtr: unknown pdu type " + std::to_string(type_raw));
+  }
+}
+
+util::Result<std::vector<Pdu>> decode_stream(std::span<const std::uint8_t> data,
+                                             std::uint8_t* version_out) {
+  util::ByteReader reader(data);
+  std::vector<Pdu> out;
+  std::uint8_t stream_version = 0;
+  bool first = true;
+  while (!reader.at_end()) {
+    std::uint8_t version = 0;
+    RIPKI_TRY_ASSIGN(pdu, decode(reader, &version));
+    if (first) {
+      stream_version = version;
+      first = false;
+    } else if (version != stream_version) {
+      return util::Err("rtr: mixed protocol versions in stream");
+    }
+    out.push_back(std::move(pdu));
+  }
+  if (version_out != nullptr) *version_out = stream_version;
+  return out;
+}
+
+std::string to_string(const Pdu& pdu) {
+  return std::visit(
+      [](const auto& p) -> std::string {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, SerialNotify>) {
+          return "SerialNotify(session=" + std::to_string(p.session_id) +
+                 ", serial=" + std::to_string(p.serial) + ")";
+        } else if constexpr (std::is_same_v<T, SerialQuery>) {
+          return "SerialQuery(session=" + std::to_string(p.session_id) +
+                 ", serial=" + std::to_string(p.serial) + ")";
+        } else if constexpr (std::is_same_v<T, ResetQuery>) {
+          return "ResetQuery";
+        } else if constexpr (std::is_same_v<T, CacheResponse>) {
+          return "CacheResponse(session=" + std::to_string(p.session_id) + ")";
+        } else if constexpr (std::is_same_v<T, PrefixPdu>) {
+          return std::string(p.announce ? "Announce" : "Withdraw") + "(" +
+                 p.prefix.to_string() + "-" + std::to_string(p.max_length) + " " +
+                 p.asn.to_string() + ")";
+        } else if constexpr (std::is_same_v<T, EndOfData>) {
+          return "EndOfData(session=" + std::to_string(p.session_id) +
+                 ", serial=" + std::to_string(p.serial) + ")";
+        } else if constexpr (std::is_same_v<T, CacheReset>) {
+          return "CacheReset";
+        } else if constexpr (std::is_same_v<T, RouterKey>) {
+          return std::string("RouterKey(") + (p.announce ? "announce" : "withdraw") +
+                 " " + p.asn.to_string() + ")";
+        } else {
+          return "ErrorReport(code=" +
+                 std::to_string(static_cast<std::uint16_t>(p.code)) + ", '" + p.text +
+                 "')";
+        }
+      },
+      pdu);
+}
+
+}  // namespace ripki::rtr

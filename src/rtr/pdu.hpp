@@ -1,0 +1,142 @@
+// RPKI-to-Router protocol PDUs (RFC 6810 version 0, RFC 8210 version 1).
+//
+// This is how validated ROA payloads reach routers in deployment (the
+// paper's RPKI-enabled routers; cf. RTRlib). Wire format per RFC 6810 §5 /
+// RFC 8210 §5: an 8-byte header (version, type, session/zero, total
+// length) followed by the type-specific body. Version 1 adds Router Key
+// PDUs (BGPsec) and refresh/retry/expire timing in End of Data; version
+// negotiation (§7 of RFC 8210) is handled by the cache/client pair.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "net/asn.hpp"
+#include "net/prefix.hpp"
+#include "rpki/vrp.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace ripki::rtr {
+
+inline constexpr std::uint8_t kVersion0 = 0;  // RFC 6810
+inline constexpr std::uint8_t kVersion1 = 1;  // RFC 8210
+inline constexpr std::uint8_t kMaxSupportedVersion = kVersion1;
+
+enum class PduType : std::uint8_t {
+  kSerialNotify = 0,
+  kSerialQuery = 1,
+  kResetQuery = 2,
+  kCacheResponse = 3,
+  kIpv4Prefix = 4,
+  kIpv6Prefix = 6,
+  kEndOfData = 7,
+  kCacheReset = 8,
+  kRouterKey = 9,  // version 1 only
+  kErrorReport = 10,
+};
+
+enum class ErrorCode : std::uint16_t {
+  kCorruptData = 0,
+  kInternalError = 1,
+  kNoDataAvailable = 2,
+  kInvalidRequest = 3,
+  kUnsupportedVersion = 4,
+  kUnsupportedPduType = 5,
+  kWithdrawalOfUnknownRecord = 6,
+  kDuplicateAnnouncement = 7,
+  kUnexpectedProtocolVersion = 8,  // version 1 (RFC 8210 §12)
+};
+
+struct SerialNotify {
+  std::uint16_t session_id = 0;
+  std::uint32_t serial = 0;
+  bool operator==(const SerialNotify&) const = default;
+};
+
+struct SerialQuery {
+  std::uint16_t session_id = 0;
+  std::uint32_t serial = 0;
+  bool operator==(const SerialQuery&) const = default;
+};
+
+struct ResetQuery {
+  bool operator==(const ResetQuery&) const = default;
+};
+
+struct CacheResponse {
+  std::uint16_t session_id = 0;
+  bool operator==(const CacheResponse&) const = default;
+};
+
+/// IPv4/IPv6 Prefix PDU; `announce` maps to the flags bit 0.
+struct PrefixPdu {
+  bool announce = true;
+  net::Prefix prefix;
+  std::uint8_t max_length = 0;
+  net::Asn asn;
+
+  rpki::Vrp to_vrp() const { return rpki::Vrp{prefix, max_length, asn}; }
+  static PrefixPdu from_vrp(const rpki::Vrp& vrp, bool announce) {
+    return PrefixPdu{announce, vrp.prefix, vrp.max_length, vrp.asn};
+  }
+  bool operator==(const PrefixPdu&) const = default;
+};
+
+struct EndOfData {
+  std::uint16_t session_id = 0;
+  std::uint32_t serial = 0;
+  // Version 1 timing parameters (RFC 8210 §5.8); ignored on the v0 wire.
+  std::uint32_t refresh_interval = 3600;
+  std::uint32_t retry_interval = 600;
+  std::uint32_t expire_interval = 7200;
+  bool operator==(const EndOfData&) const = default;
+};
+
+/// Router Key PDU (RFC 8210 §5.10): BGPsec router key material. Version 1.
+struct RouterKey {
+  bool announce = true;
+  std::array<std::uint8_t, 20> subject_key_identifier{};
+  net::Asn asn;
+  util::Bytes subject_public_key_info;
+  bool operator==(const RouterKey&) const = default;
+};
+
+struct CacheReset {
+  bool operator==(const CacheReset&) const = default;
+};
+
+struct ErrorReport {
+  ErrorCode code = ErrorCode::kInternalError;
+  util::Bytes erroneous_pdu;
+  std::string text;
+  bool operator==(const ErrorReport&) const = default;
+};
+
+using Pdu = std::variant<SerialNotify, SerialQuery, ResetQuery, CacheResponse,
+                         PrefixPdu, EndOfData, CacheReset, RouterKey, ErrorReport>;
+
+/// Wire encoding of one PDU at the given protocol version.
+/// Version-1-only PDUs (RouterKey) must not be encoded at version 0.
+util::Bytes encode(const Pdu& pdu, std::uint8_t version = kVersion0);
+
+/// Decodes exactly one PDU from the front of `reader`. Fails (without a
+/// defined cursor position) on truncation, unsupported version, unknown
+/// type, or a version-1-only PDU at version 0. When `version_out` is
+/// non-null it receives the PDU's wire version.
+util::Result<Pdu> decode(util::ByteReader& reader,
+                         std::uint8_t* version_out = nullptr);
+
+/// Decodes a back-to-back PDU stream; fails on the first malformed PDU or
+/// on mixed versions within one stream. `version_out` (optional) receives
+/// the stream's version.
+util::Result<std::vector<Pdu>> decode_stream(std::span<const std::uint8_t> data,
+                                             std::uint8_t* version_out = nullptr);
+
+/// Human-readable PDU summary for logs/tests.
+std::string to_string(const Pdu& pdu);
+
+}  // namespace ripki::rtr

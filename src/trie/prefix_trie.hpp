@@ -1,0 +1,163 @@
+// Compressed binary (patricia) trie keyed by IP prefixes.
+//
+// This is the lookup structure behind both halves of the pipeline's data
+// plane: mapping resolved IP addresses to the covering BGP prefixes
+// (methodology step 3) and finding covering ROAs during RFC 6811 origin
+// validation (step 4). IPv4 and IPv6 keys live in separate sub-tries.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/ip.hpp"
+#include "net/prefix.hpp"
+
+namespace ripki::trie {
+
+template <typename V>
+class PrefixTrie {
+ public:
+  struct Match {
+    net::Prefix prefix;
+    const V* value;
+  };
+
+  PrefixTrie() = default;
+
+  /// Inserts or replaces the value stored at `prefix`.
+  /// Returns a reference to the stored value.
+  V& insert(const net::Prefix& prefix, V value) {
+    Node* node = insert_node(root_for(prefix.family()), prefix);
+    if (!node->value.has_value()) ++size_;
+    node->value = std::move(value);
+    return *node->value;
+  }
+
+  /// Returns the value stored exactly at `prefix`, if any.
+  const V* find_exact(const net::Prefix& prefix) const {
+    const Node* node = root_of(prefix.family());
+    while (node != nullptr) {
+      const int cpl = common_prefix_length(node->key, prefix);
+      if (cpl < node->key.length()) return nullptr;
+      if (node->key.length() == prefix.length())
+        return node->value.has_value() ? &*node->value : nullptr;
+      node = child_of(node, prefix.address().bit(node->key.length()));
+    }
+    return nullptr;
+  }
+
+  V* find_exact(const net::Prefix& prefix) {
+    return const_cast<V*>(std::as_const(*this).find_exact(prefix));
+  }
+
+  /// All stored prefixes that cover `addr`, shortest first.
+  std::vector<Match> covering(const net::IpAddress& addr) const {
+    return covering(net::Prefix(addr, addr.width()));
+  }
+
+  /// All stored prefixes equal to or less specific than `target`,
+  /// shortest first ("all covering prefixes" of methodology step 3).
+  std::vector<Match> covering(const net::Prefix& target) const {
+    std::vector<Match> out;
+    const Node* node = root_of(target.family());
+    while (node != nullptr && node->key.length() <= target.length()) {
+      if (common_prefix_length(node->key, target) < node->key.length()) break;
+      if (node->value.has_value()) out.push_back({node->key, &*node->value});
+      if (node->key.length() == target.length()) break;
+      node = child_of(node, target.address().bit(node->key.length()));
+    }
+    return out;
+  }
+
+  /// Longest-prefix match for `addr`, or nullopt when nothing covers it.
+  std::optional<Match> longest_match(const net::IpAddress& addr) const {
+    auto all = covering(addr);
+    if (all.empty()) return std::nullopt;
+    return all.back();
+  }
+
+  /// Visits every (prefix, value) pair in bit order.
+  void visit(const std::function<void(const net::Prefix&, const V&)>& fn) const {
+    visit_node(v4_root_.get(), fn);
+    visit_node(v6_root_.get(), fn);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    v4_root_.reset();
+    v6_root_.reset();
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    explicit Node(net::Prefix k) : key(k) {}
+    net::Prefix key;
+    std::optional<V> value;
+    std::unique_ptr<Node> child[2];
+  };
+
+  /// Number of identical leading bits, capped at the shorter length.
+  static int common_prefix_length(const net::Prefix& a, const net::Prefix& b) {
+    const int limit = std::min(a.length(), b.length());
+    for (int i = 0; i < limit; ++i) {
+      if (a.address().bit(i) != b.address().bit(i)) return i;
+    }
+    return limit;
+  }
+
+  std::unique_ptr<Node>& root_for(net::Family family) {
+    return family == net::Family::kIpv4 ? v4_root_ : v6_root_;
+  }
+
+  const Node* root_of(net::Family family) const {
+    return family == net::Family::kIpv4 ? v4_root_.get() : v6_root_.get();
+  }
+
+  static const Node* child_of(const Node* node, bool bit) {
+    return node->child[bit ? 1 : 0].get();
+  }
+
+  Node* insert_node(std::unique_ptr<Node>& slot, const net::Prefix& prefix) {
+    if (!slot) {
+      slot = std::make_unique<Node>(prefix);
+      return slot.get();
+    }
+    const int cpl = common_prefix_length(slot->key, prefix);
+    if (cpl == slot->key.length() && cpl == prefix.length()) return slot.get();
+    if (cpl == slot->key.length()) {
+      // `prefix` is strictly more specific than this node: descend.
+      return insert_node(slot->child[prefix.address().bit(cpl) ? 1 : 0], prefix);
+    }
+    // Keys diverge before the end of the node's label: split at cpl.
+    auto split = std::make_unique<Node>(net::Prefix(slot->key.address(), cpl));
+    std::unique_ptr<Node> old = std::move(slot);
+    const bool old_bit = old->key.address().bit(cpl);
+    split->child[old_bit ? 1 : 0] = std::move(old);
+    slot = std::move(split);
+    if (cpl == prefix.length()) return slot.get();
+    return insert_node(slot->child[prefix.address().bit(cpl) ? 1 : 0], prefix);
+  }
+
+  void visit_node(const Node* node,
+                  const std::function<void(const net::Prefix&, const V&)>& fn) const {
+    if (node == nullptr) return;
+    if (node->value.has_value()) fn(node->key, *node->value);
+    visit_node(node->child[0].get(), fn);
+    visit_node(node->child[1].get(), fn);
+  }
+
+  std::unique_ptr<Node> v4_root_;
+  std::unique_ptr<Node> v6_root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ripki::trie

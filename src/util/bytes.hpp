@@ -1,0 +1,71 @@
+// Bounds-checked big-endian byte buffer I/O, used by every wire codec in
+// the library (MRT, DNS, RTR, TLV). Readers never throw on truncated or
+// malformed input; they report failure through Result.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace ripki::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Serialises primitives in network byte order into a growable buffer.
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_bytes(std::span<const std::uint8_t> bytes);
+  void put_string(std::string_view s);
+
+  /// Overwrites a previously written big-endian u16/u32 at `offset`;
+  /// used for back-patching length fields.
+  void patch_u16(std::size_t offset, std::uint16_t v);
+  void patch_u32(std::size_t offset, std::uint32_t v);
+
+  std::size_t size() const { return buf_.size(); }
+  const Bytes& bytes() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Deserialises primitives in network byte order from a fixed view.
+/// All reads are bounds-checked; failure leaves the cursor untouched.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool at_end() const { return remaining() == 0; }
+
+  Result<std::uint8_t> u8();
+  Result<std::uint16_t> u16();
+  Result<std::uint32_t> u32();
+  Result<std::uint64_t> u64();
+  /// Copies out `n` bytes.
+  Result<Bytes> bytes(std::size_t n);
+  /// Zero-copy view of the next `n` bytes (valid while the backing span is).
+  Result<std::span<const std::uint8_t>> view(std::size_t n);
+  Result<std::string> string(std::size_t n);
+
+  /// Skips `n` bytes (error when fewer remain).
+  Result<void> skip(std::size_t n);
+  /// Moves the cursor to an absolute offset within the buffer.
+  Result<void> seek(std::size_t offset);
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ripki::util

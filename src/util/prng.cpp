@@ -1,0 +1,129 @@
+#include "util/prng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ripki::util {
+
+namespace {
+
+std::uint64_t splitmix64_next(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+std::uint64_t mix64(std::uint64_t x) {
+  std::uint64_t s = x;
+  return splitmix64_next(s);
+}
+
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2)));
+}
+
+Prng::Prng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64_next(s);
+}
+
+std::uint64_t Prng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Prng::uniform(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless method with rejection for exact uniformity.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Prng::uniform_range(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Prng::uniform01() {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Prng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::uint64_t Prng::zipf(std::uint64_t n, double s) {
+  assert(n >= 1);
+  // Rejection-inversion sampling (Hörmann & Derflinger) for bounded Zipf.
+  if (n == 1) return 1;
+  const double sm1 = 1.0 - s;
+  auto h = [&](double x) {
+    // Integral of x^-s: handles s == 1 via log.
+    return std::abs(sm1) < 1e-12 ? std::log(x) : std::pow(x, sm1) / sm1;
+  };
+  auto h_inv = [&](double y) {
+    return std::abs(sm1) < 1e-12 ? std::exp(y) : std::pow(y * sm1, 1.0 / sm1);
+  };
+  const double hx0 = h(0.5) - 1.0;
+  const double hn = h(static_cast<double>(n) + 0.5);
+  for (;;) {
+    const double u = hx0 + uniform01() * (hn - hx0);
+    const double x = h_inv(u);
+    auto k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    const double kd = static_cast<double>(k);
+    if (u >= h(kd + 0.5) - std::pow(kd, -s)) return k;
+  }
+}
+
+std::uint64_t Prng::geometric_at_least_one(double mean) {
+  if (mean <= 1.0) return 1;
+  // Geometric with success probability 1/mean, shifted to start at 1.
+  const double p = 1.0 / mean;
+  const double u = uniform01();
+  const double draw = std::log1p(-u) / std::log1p(-p);
+  auto k = static_cast<std::uint64_t>(draw) + 1;
+  return k == 0 ? 1 : k;
+}
+
+std::vector<std::size_t> Prng::permutation(std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = index(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+Prng Prng::split() { return Prng(next_u64()); }
+
+}  // namespace ripki::util

@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// All randomness in the library flows through Prng instances seeded
+// explicitly by the caller, so every experiment is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ripki::util {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 256-bit state.
+/// Deterministic across platforms (no std::mt19937 distribution skew).
+class Prng {
+ public:
+  /// Seeds the full 256-bit state from a 64-bit seed via splitmix64.
+  explicit Prng(std::uint64_t seed);
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses rejection
+  /// sampling (Lemire) to avoid modulo bias.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Zipf-distributed rank in [1, n] with exponent s (via rejection
+  /// inversion; exact for the bounded Zipf distribution).
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+  /// Geometric-ish small count >= 1 with mean approximately `mean`.
+  std::uint64_t geometric_at_least_one(double mean);
+
+  /// Picks a uniformly random element index of a non-empty container size.
+  std::size_t index(std::size_t size) { return static_cast<std::size_t>(uniform(size)); }
+
+  /// Fisher-Yates shuffle of an index permutation [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Derives an independent child generator; stream-splits deterministically.
+  Prng split();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// Stateless 64-bit mix (splitmix64 finaliser). Useful for hashing
+/// (domain, purpose) pairs into stable per-object seeds.
+std::uint64_t mix64(std::uint64_t x);
+
+/// Combines two 64-bit values into one well-mixed value.
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b);
+
+}  // namespace ripki::util

@@ -1,0 +1,84 @@
+// Result<T>: lightweight expected-style error handling for recoverable
+// failures (malformed wire input, bad text, lookup misses). Network-facing
+// parsers in this library never throw on bad input; they return Result.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ripki::util {
+
+/// A recoverable error: a human-readable message describing what went wrong.
+struct Error {
+  std::string message;
+};
+
+/// Builds an Error in place; use as `return Err("short tag: detail")`.
+inline Error Err(std::string message) { return Error{std::move(message)}; }
+
+/// Holds either a value of type T or an Error. Accessing the wrong
+/// alternative is a programming error (asserted), not a runtime condition.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const Error& error() const& {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  /// Returns the contained value or `fallback` when this holds an error.
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result specialisation for operations with no payload.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)), has_error_(true) {}  // NOLINT
+
+  bool ok() const { return !has_error_; }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(has_error_);
+    return error_;
+  }
+
+ private:
+  Error error_;
+  bool has_error_ = false;
+};
+
+/// Propagates an error from expression `expr` (a Result) out of the calling
+/// function; on success binds the value to `var`.
+#define RIPKI_TRY_ASSIGN(var, expr)                         \
+  auto var##_result = (expr);                               \
+  if (!var##_result.ok()) return var##_result.error();      \
+  auto var = std::move(var##_result).value()
+
+}  // namespace ripki::util

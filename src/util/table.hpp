@@ -1,0 +1,29 @@
+// Plain-text table printer used by the benchmark harnesses to emit the
+// paper's tables/figure series in aligned, diff-friendly form, plus a CSV
+// mirror for downstream plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ripki::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Writes the table with column alignment and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Writes the same data as CSV (RFC 4180-style quoting).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ripki::util

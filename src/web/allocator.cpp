@@ -1,0 +1,61 @@
+#include "web/allocator.hpp"
+
+#include <cassert>
+
+namespace ripki::web {
+
+namespace {
+
+/// Finest allocation grain: /24 for IPv4 pools, /48 for IPv6 pools.
+int grain_for(const net::Prefix& pool) { return pool.is_v4() ? 24 : 48; }
+
+/// Writes `value` into the address bits [from, to) of `bytes` (MSB-first).
+void set_bits(std::array<std::uint8_t, 16>& bytes, int from, int to,
+              std::uint64_t value) {
+  for (int bit = to - 1; bit >= from; --bit) {
+    const bool set = (value & 1) != 0;
+    value >>= 1;
+    const auto byte_index = static_cast<std::size_t>(bit / 8);
+    const int shift = 7 - bit % 8;
+    if (set) {
+      bytes[byte_index] |= static_cast<std::uint8_t>(1u << shift);
+    } else {
+      bytes[byte_index] &= static_cast<std::uint8_t>(~(1u << shift));
+    }
+  }
+}
+
+}  // namespace
+
+PrefixAllocator::PrefixAllocator(const net::Prefix& pool)
+    : pool_(pool), grain_length_(grain_for(pool)) {
+  assert(pool.length() <= grain_length_);
+  capacity_ = 1ULL << (grain_length_ - pool.length());
+}
+
+util::Result<net::Prefix> PrefixAllocator::allocate(int length) {
+  if (length < pool_.length())
+    return util::Err("allocator: request shorter than pool");
+  if (length > grain_length_)
+    return util::Err("allocator: request finer than allocation grain");
+
+  const std::uint64_t grains = 1ULL << (grain_length_ - length);
+  // Align the cursor to the block size.
+  const std::uint64_t aligned = (cursor_ + grains - 1) / grains * grains;
+  if (aligned + grains > capacity_) return util::Err("allocator: pool exhausted");
+  cursor_ = aligned + grains;
+
+  auto bytes = pool_.address().bytes();
+  set_bits(bytes, pool_.length(), grain_length_, aligned);
+  const net::IpAddress addr = pool_.is_v4()
+                                  ? net::IpAddress::v4(bytes[0], bytes[1], bytes[2],
+                                                       bytes[3])
+                                  : net::IpAddress::v6(bytes);
+  return net::Prefix(addr, length);
+}
+
+double PrefixAllocator::utilisation() const {
+  return static_cast<double>(cursor_) / static_cast<double>(capacity_);
+}
+
+}  // namespace ripki::web

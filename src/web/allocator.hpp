@@ -1,0 +1,35 @@
+// Sequential CIDR carving from an RIR address pool: hands out aligned,
+// non-overlapping prefixes of requested lengths, the way registries
+// allocate address space to members.
+#pragma once
+
+#include <cstdint>
+
+#include "net/prefix.hpp"
+
+namespace ripki::web {
+
+class PrefixAllocator {
+ public:
+  /// `pool` is the total space to carve (e.g. an RIR /8 or /12).
+  explicit PrefixAllocator(const net::Prefix& pool);
+
+  /// Allocates the next free, aligned prefix of `length` bits.
+  /// `length` must be >= pool length. Fails when the pool is exhausted.
+  util::Result<net::Prefix> allocate(int length);
+
+  /// Fraction of the pool already allocated, in [0, 1].
+  double utilisation() const;
+
+  const net::Prefix& pool() const { return pool_; }
+
+ private:
+  net::Prefix pool_;
+  /// Allocation cursor in units of the smallest grain (2^-kGrainBits of
+  /// the address space past the pool prefix).
+  std::uint64_t cursor_ = 0;
+  int grain_length_;       // the finest prefix length we hand out
+  std::uint64_t capacity_;  // pool size in grains
+};
+
+}  // namespace ripki::web

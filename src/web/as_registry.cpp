@@ -1,0 +1,50 @@
+#include "web/as_registry.hpp"
+
+#include <cassert>
+
+#include "util/strings.hpp"
+
+namespace ripki::web {
+
+const char* to_string(AsCategory category) {
+  switch (category) {
+    case AsCategory::kTier1: return "tier1";
+    case AsCategory::kTransit: return "transit";
+    case AsCategory::kIsp: return "isp";
+    case AsCategory::kHoster: return "hoster";
+    case AsCategory::kCdn: return "cdn";
+    case AsCategory::kEnterprise: return "enterprise";
+  }
+  return "unknown";
+}
+
+std::size_t AsRegistry::add(AsRecord record) {
+  const auto [it, inserted] = by_asn_.emplace(record.asn.value(), records_.size());
+  assert(inserted && "duplicate ASN in registry");
+  (void)it;
+  records_.push_back(std::move(record));
+  return records_.size() - 1;
+}
+
+const AsRecord* AsRegistry::find(net::Asn asn) const {
+  const auto it = by_asn_.find(asn.value());
+  return it == by_asn_.end() ? nullptr : &records_[it->second];
+}
+
+std::vector<net::Asn> AsRegistry::search_holders(std::string_view keyword) const {
+  std::vector<net::Asn> out;
+  for (const auto& record : records_) {
+    if (util::icontains(record.holder, keyword)) out.push_back(record.asn);
+  }
+  return out;
+}
+
+std::size_t AsRegistry::count_in(AsCategory category) const {
+  std::size_t n = 0;
+  for (const auto& record : records_) {
+    if (record.category == category) ++n;
+  }
+  return n;
+}
+
+}  // namespace ripki::web

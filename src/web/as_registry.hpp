@@ -1,0 +1,58 @@
+// Registry of autonomous systems with holder strings and operator
+// categories — the stand-in for "common AS assignment lists" on which the
+// paper performs keyword spotting to find CDN-operated ASes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "net/asn.hpp"
+
+namespace ripki::web {
+
+enum class AsCategory : std::uint8_t {
+  kTier1,
+  kTransit,
+  kIsp,        // eyeball access networks
+  kHoster,     // web hosting providers
+  kCdn,
+  kEnterprise, // self-hosting organisations
+};
+
+const char* to_string(AsCategory category);
+
+struct AsRecord {
+  net::Asn asn;
+  std::string holder;  // e.g. "AKAMAI-AS7 Akamai International B.V."
+  AsCategory category = AsCategory::kEnterprise;
+  std::uint8_t rir_index = 0;  // 0..4 -> the five RIR trust anchors
+};
+
+class AsRegistry {
+ public:
+  /// Adds a record; ASNs must be unique. Returns the record's index.
+  std::size_t add(AsRecord record);
+
+  const std::vector<AsRecord>& all() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  const AsRecord& at(std::size_t index) const { return records_.at(index); }
+
+  const AsRecord* find(net::Asn asn) const;
+
+  /// Case-insensitive keyword search over holder strings — the paper's
+  /// "keyword spotting on common AS assignment lists" (a lower bound).
+  std::vector<net::Asn> search_holders(std::string_view keyword) const;
+
+  /// Count of ASes in `category`.
+  std::size_t count_in(AsCategory category) const;
+
+ private:
+  std::vector<AsRecord> records_;
+  std::unordered_map<std::uint32_t, std::size_t> by_asn_;
+};
+
+}  // namespace ripki::web

@@ -1,0 +1,69 @@
+#include "web/cdn.hpp"
+
+#include <cassert>
+
+namespace ripki::web {
+
+namespace {
+
+std::vector<CdnProfile> build_profiles() {
+  // Suffix zones use the reserved "example" TLD: this is simulation
+  // namespace, not the CDNs' real domains.
+  std::vector<CdnProfile> profiles = {
+      {"Akamai", "akamai", 36,
+       {"edgesuite.example", "g.akamai.example"}, 0.10, 3.0, false},
+      {"Amazon", "amazon", 20,
+       {"cloudfront-cdn.example"}, 0.04, 2.2, false},
+      {"Cdnetworks", "cdnetworks", 10,
+       {"gccdn.example", "panthercdn.example"}, 0.05, 0.5, false},
+      {"Chinacache", "chinacache", 8,
+       {"ccgslb.example"}, 0.05, 0.4, false},
+      {"Chinanet", "chinanet", 25,
+       {"chinanetcenter.example"}, 0.05, 0.8, false},
+      {"Cloudflare", "cloudflare", 8,
+       {"cdn.cloudflare-dns.example"}, 0.02, 1.8, false},
+      {"Cotendo", "cotendo", 4,
+       {"cotcdn.example"}, 0.05, 0.2, false},
+      {"Edgecast", "edgecast", 8,
+       {"adn.edgecastcdn.example"}, 0.06, 0.8, false},
+      {"Highwinds", "highwinds", 8,
+       {"hwcdn.example"}, 0.06, 0.4, false},
+      {"Instart", "instart", 4,
+       {"insnw.example"}, 0.05, 0.2, false},
+      {"Internap", "internap", 41,
+       {"internapcdn.example"}, 0.07, 0.6, true},
+      {"Limelight", "limelight", 12,
+       {"vo.llnwd.example"}, 0.05, 0.9, false},
+      {"Mirrorimage", "mirrorimage", 4,
+       {"instacontent.example"}, 0.05, 0.2, false},
+      {"Netdna", "netdna", 4,
+       {"netdna-cdn.example"}, 0.05, 0.4, false},
+      {"Simplecdn", "simplecdn", 3,
+       {"simplecdn.example"}, 0.05, 0.1, false},
+      {"Yottaa", "yottaa", 4,
+       {"yottaa-edge.example"}, 0.05, 0.1, false},
+  };
+
+  int total = 0;
+  for (const auto& p : profiles) total += p.as_count;
+  assert(total == 199 && "CDN AS census must match the paper's 199");
+  return profiles;
+}
+
+}  // namespace
+
+const std::vector<CdnProfile>& paper_cdn_profiles() {
+  static const std::vector<CdnProfile> profiles = build_profiles();
+  return profiles;
+}
+
+std::size_t internap_profile_index() {
+  const auto& profiles = paper_cdn_profiles();
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    if (profiles[i].name == "Internap") return i;
+  }
+  assert(false && "Internap missing from CDN profiles");
+  return 0;
+}
+
+}  // namespace ripki::web

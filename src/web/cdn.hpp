@@ -1,0 +1,43 @@
+// Profiles of the 16 CDNs whose RPKI engagement §4.2 of the paper audits:
+// Akamai, Amazon, Cdnetworks, Chinacache, Chinanet, Cloudflare, Cotendo,
+// Edgecast, Highwinds, Instart, Internap, Limelight, Mirrorimage, Netdna,
+// Simplecdn, Yottaa. AS counts sum to the paper's 199 keyword-spotted CDN
+// ASes, with Internap operating "at least 41".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ripki::web {
+
+struct CdnProfile {
+  std::string name;     // display + AS-holder keyword ("Akamai")
+  std::string keyword;  // lowercase keyword used for AS keyword spotting
+  int as_count = 0;     // number of ASes the CDN operates
+
+  /// CNAME suffix zones of this CDN, in chain order; the terminal suffix
+  /// hosts the edge A/AAAA records (e.g. Akamai's edgesuite.net ->
+  /// g.akamai.net chain).
+  std::vector<std::string> cname_suffixes;
+
+  /// Probability that an edge cache sits in a third-party (eyeball ISP)
+  /// network rather than the CDN's own AS — §4.2's "inherit RPKI support
+  /// from the third party network".
+  double third_party_cache_fraction = 0.08;
+
+  /// Relative likelihood a CDN-using website picks this CDN.
+  double market_share = 1.0;
+
+  /// Only Internap has any RPKI entries in the paper: 4 prefixes tied to
+  /// 3 origin ASes.
+  bool issues_roas = false;
+};
+
+/// The 16 paper CDNs with calibrated parameters (as_count sums to 199).
+const std::vector<CdnProfile>& paper_cdn_profiles();
+
+/// Index of Internap in paper_cdn_profiles().
+std::size_t internap_profile_index();
+
+}  // namespace ripki::web

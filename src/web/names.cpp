@@ -1,0 +1,61 @@
+#include "web/names.hpp"
+
+#include <array>
+
+#include "util/prng.hpp"
+
+namespace ripki::web {
+
+namespace {
+
+// Word pools chosen to avoid every CDN keyword (akamai, amazon, internap,
+// chinanet, ... never appear as substrings).
+constexpr std::array<const char*, 24> kFirst = {
+    "lunar", "amber", "cedar",  "delta", "ember",  "frost",  "glade", "harbor",
+    "iris",  "jade",  "kestrel", "lotus", "maple",  "nimbus", "onyx",  "pine",
+    "quartz", "river", "sable",  "tidal", "umbra",  "violet", "willow", "zephyr"};
+
+constexpr std::array<const char*, 20> kSecond = {
+    "forge", "field", "works", "press", "byte",  "grid",  "node", "port",
+    "wave",  "peak",  "link",  "hub",   "stack", "cloud", "page", "mart",
+    "cast",  "desk",  "lane",  "vault"};
+
+constexpr std::array<const char*, 8> kTld = {
+    "com-web", "net-web", "org-web", "de-web",
+    "uk-web",  "io-web",  "ru-web",  "jp-web"};
+
+}  // namespace
+
+std::string domain_name_for_rank(std::uint64_t seed, std::uint64_t rank) {
+  const std::uint64_t h = util::hash_combine(seed, util::mix64(rank));
+  std::string out = kFirst[h % kFirst.size()];
+  out += kSecond[(h >> 8) % kSecond.size()];
+  out += std::to_string(rank);
+  out += '.';
+  out += kTld[(h >> 16) % kTld.size()];
+  return out;
+}
+
+std::string holder_name(std::uint64_t seed, std::uint64_t index,
+                        const char* prefix_tag, const char* suffix_word) {
+  const std::uint64_t h =
+      util::hash_combine(seed, util::hash_combine(0x5EED, util::mix64(index)));
+  std::string word = kFirst[h % kFirst.size()];
+  word += kSecond[(h >> 10) % kSecond.size()];
+  std::string upper = word;
+  for (char& c : upper) c = static_cast<char>(c - 'a' + 'A');
+
+  std::string out = prefix_tag;
+  out += '-';
+  out += upper;
+  out += '-';
+  out += std::to_string(index);
+  out += ' ';
+  word[0] = static_cast<char>(word[0] - 'a' + 'A');
+  out += word;
+  out += ' ';
+  out += suffix_word;
+  return out;
+}
+
+}  // namespace ripki::web

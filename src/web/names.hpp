@@ -1,0 +1,21 @@
+// Deterministic synthetic naming for domains and AS holders.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ripki::web {
+
+/// Synthesises a unique website domain for a popularity rank, e.g.
+/// "lunarforge481.example-web". Deterministic in (seed, rank).
+std::string domain_name_for_rank(std::uint64_t seed, std::uint64_t rank);
+
+/// Synthesises an ISP/hoster/enterprise holder string, e.g.
+/// "NET-AMBERPEAK-17 Amberpeak Communications". The word pool is disjoint
+/// from every CDN keyword so keyword spotting has no false positives by
+/// construction of the generator (the paper calls its own spotting a
+/// lower bound for the same reason).
+std::string holder_name(std::uint64_t seed, std::uint64_t index,
+                        const char* prefix_tag, const char* suffix_word);
+
+}  // namespace ripki::web

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "encoding/tlv.hpp"
+
+namespace ripki::encoding {
+namespace {
+
+TEST(Tlv, PrimitiveRoundTrip) {
+  TlvWriter w;
+  w.add_u8(1, 0xAB);
+  w.add_u16(2, 0x1234);
+  w.add_u32(3, 0xDEADBEEF);
+  w.add_u64(4, 0x1122334455667788ULL);
+  w.add_string(5, "hello");
+  const auto bytes = std::move(w).take();
+
+  auto map = TlvMap::parse(bytes);
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map.value().elements().size(), 5u);
+  EXPECT_EQ(map.value().require(1).value().as_u8().value(), 0xAB);
+  EXPECT_EQ(map.value().require(2).value().as_u16().value(), 0x1234);
+  EXPECT_EQ(map.value().require(3).value().as_u32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(map.value().require(4).value().as_u64().value(), 0x1122334455667788ULL);
+  EXPECT_EQ(map.value().require(5).value().as_string(), "hello");
+}
+
+TEST(Tlv, NestedContainers) {
+  TlvWriter w;
+  w.begin(10);
+  w.add_u8(11, 1);
+  w.begin(12);
+  w.add_u8(13, 2);
+  w.end();
+  w.end();
+  w.add_u8(14, 3);
+  const auto bytes = std::move(w).take();
+
+  auto outer = TlvMap::parse(bytes);
+  ASSERT_TRUE(outer.ok());
+  ASSERT_EQ(outer.value().elements().size(), 2u);
+
+  const auto container = outer.value().require(10);
+  ASSERT_TRUE(container.ok());
+  auto inner = TlvMap::parse(container.value().value);
+  ASSERT_TRUE(inner.ok());
+  EXPECT_EQ(inner.value().require(11).value().as_u8().value(), 1);
+
+  const auto deeper = inner.value().require(12);
+  ASSERT_TRUE(deeper.ok());
+  auto deepest = TlvMap::parse(deeper.value().value);
+  ASSERT_TRUE(deepest.ok());
+  EXPECT_EQ(deepest.value().require(13).value().as_u8().value(), 2);
+}
+
+TEST(Tlv, EmptyInputIsEmptyMap) {
+  auto map = TlvMap::parse({});
+  ASSERT_TRUE(map.ok());
+  EXPECT_TRUE(map.value().elements().size() == 0);
+}
+
+TEST(Tlv, ZeroLengthValue) {
+  TlvWriter w;
+  w.add_bytes(7, {});
+  const auto bytes = std::move(w).take();
+  auto map = TlvMap::parse(bytes);
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map.value().require(7).value().value.size(), 0u);
+}
+
+TEST(Tlv, TruncatedTagFails) {
+  const util::Bytes bytes = {0x00};
+  EXPECT_FALSE(TlvMap::parse(bytes).ok());
+}
+
+TEST(Tlv, TruncatedLengthFails) {
+  const util::Bytes bytes = {0x00, 0x01, 0x00};
+  EXPECT_FALSE(TlvMap::parse(bytes).ok());
+}
+
+TEST(Tlv, TruncatedValueFails) {
+  TlvWriter w;
+  w.add_u32(1, 42);
+  auto bytes = std::move(w).take();
+  bytes.pop_back();
+  EXPECT_FALSE(TlvMap::parse(bytes).ok());
+}
+
+TEST(Tlv, OverlongLengthFails) {
+  // Claim 100 bytes of value with only 1 present.
+  const util::Bytes bytes = {0x00, 0x01, 0x00, 0x00, 0x00, 0x64, 0xAA};
+  EXPECT_FALSE(TlvMap::parse(bytes).ok());
+}
+
+TEST(Tlv, TypedAccessorsEnforceWidth) {
+  TlvWriter w;
+  w.add_u16(1, 7);
+  const auto bytes = std::move(w).take();
+  auto map = TlvMap::parse(bytes);
+  ASSERT_TRUE(map.ok());
+  const auto element = map.value().require(1).value();
+  EXPECT_FALSE(element.as_u8().ok());
+  EXPECT_TRUE(element.as_u16().ok());
+  EXPECT_FALSE(element.as_u32().ok());
+  EXPECT_FALSE(element.as_u64().ok());
+}
+
+TEST(Tlv, FindAllPreservesOrder) {
+  TlvWriter w;
+  w.add_u8(5, 1);
+  w.add_u8(6, 99);
+  w.add_u8(5, 2);
+  w.add_u8(5, 3);
+  const auto bytes = std::move(w).take();
+  auto map = TlvMap::parse(bytes);
+  ASSERT_TRUE(map.ok());
+  const auto all = map.value().find_all(5);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0]->as_u8().value(), 1);
+  EXPECT_EQ(all[1]->as_u8().value(), 2);
+  EXPECT_EQ(all[2]->as_u8().value(), 3);
+}
+
+TEST(Tlv, RequireMissingTagFails) {
+  TlvWriter w;
+  w.add_u8(1, 0);
+  const auto bytes = std::move(w).take();
+  auto map = TlvMap::parse(bytes);
+  ASSERT_TRUE(map.ok());
+  const auto missing = map.value().require(99);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_NE(missing.error().message.find("99"), std::string::npos);
+}
+
+TEST(Tlv, FindReturnsFirstOccurrence) {
+  TlvWriter w;
+  w.add_u8(5, 1);
+  w.add_u8(5, 2);
+  const auto bytes = std::move(w).take();
+  auto map = TlvMap::parse(bytes);
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map.value().find(5)->as_u8().value(), 1);
+  EXPECT_EQ(map.value().find(6), nullptr);
+}
+
+TEST(Tlv, LargePayloadRoundTrip) {
+  util::Bytes big(70'000, 0x5A);
+  TlvWriter w;
+  w.add_bytes(1, big);
+  const auto bytes = std::move(w).take();
+  auto map = TlvMap::parse(bytes);
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map.value().require(1).value().value.size(), big.size());
+}
+
+}  // namespace
+}  // namespace ripki::encoding

@@ -1,0 +1,228 @@
+// Tests for the extension features: the DNSSEC adoption probe (paper §7
+// future work), dataset CSV export, and the ablation knobs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/export.hpp"
+#include "core/pipeline.hpp"
+#include "core/reports.hpp"
+#include "dns/resolver.hpp"
+#include "dns/server.hpp"
+#include "web/ecosystem.hpp"
+
+namespace ripki {
+namespace {
+
+// --- DNSKEY record codec ------------------------------------------------------
+
+TEST(Dnskey, MessageRoundTrip) {
+  dns::Message m;
+  m.id = 5;
+  m.is_response = true;
+  const auto name = dns::DnsName::parse("signed.example").value();
+  dns::DnskeyData key;
+  key.flags = 257;  // KSK
+  key.algorithm = 13;
+  key.public_key = "\x01\x02\x03\xff";
+  m.answers.push_back(
+      dns::ResourceRecord{name, dns::RecordType::kDnskey, 3600, key});
+
+  const auto decoded = dns::decode(dns::encode(m));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  ASSERT_EQ(decoded.value().answers.size(), 1u);
+  const auto& rr = decoded.value().answers[0];
+  EXPECT_EQ(rr.type, dns::RecordType::kDnskey);
+  EXPECT_EQ(std::get<dns::DnskeyData>(rr.rdata), key);
+}
+
+TEST(Dnskey, RejectsTruncatedRdata) {
+  dns::Message m;
+  m.id = 5;
+  m.is_response = true;
+  const auto name = dns::DnsName::parse("signed.example").value();
+  m.answers.push_back(dns::ResourceRecord{name, dns::RecordType::kDnskey, 3600,
+                                          dns::DnskeyData{}});
+  auto bytes = dns::encode(m);
+  bytes.pop_back();  // eat into the rdata
+  EXPECT_FALSE(dns::decode(bytes).ok());
+}
+
+// --- ecosystem + pipeline DNSSEC integration ------------------------------------
+
+web::EcosystemConfig small_config() {
+  web::EcosystemConfig config;
+  config.domain_count = 6'000;
+  config.isp_count = 300;
+  config.hoster_count = 80;
+  config.enterprise_count = 300;
+  config.transit_count = 40;
+  // Crank DNSSEC up so a small sample gives stable counts.
+  config.dnssec_top = 0.15;
+  config.dnssec_tail = 0.30;
+  return config;
+}
+
+class ExtensionsPipeline : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eco_ = web::Ecosystem::generate(small_config()).release();
+    core::MeasurementPipeline pipeline(*eco_, core::PipelineConfig{});
+    dataset_ = new core::Dataset(pipeline.run());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete eco_;
+    dataset_ = nullptr;
+    eco_ = nullptr;
+  }
+  static web::Ecosystem* eco_;
+  static core::Dataset* dataset_;
+};
+
+web::Ecosystem* ExtensionsPipeline::eco_ = nullptr;
+core::Dataset* ExtensionsPipeline::dataset_ = nullptr;
+
+TEST_F(ExtensionsPipeline, DnssecProbeMatchesGroundTruth) {
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < dataset_->records.size(); ++i) {
+    const bool truth = eco_->plan(i).dnssec_signed && !eco_->plan(i).invalid_dns;
+    const bool probed = dataset_->records[i].dnssec_signed;
+    if (truth != probed) ++mismatches;
+  }
+  // invalid_dns domains may or may not answer DNSKEY; everything else must
+  // agree exactly.
+  EXPECT_LT(mismatches, dataset_->records.size() / 200);
+  EXPECT_GT(dataset_->counters.dnssec_signed_domains,
+            dataset_->records.size() / 10);
+}
+
+TEST_F(ExtensionsPipeline, DnssecReportRatesAreConsistent) {
+  const auto summary = core::reports::dnssec_summary(*dataset_);
+  EXPECT_GT(summary.dnssec_rate, 0.10);
+  EXPECT_LT(summary.dnssec_rate, 0.40);
+  EXPECT_GT(summary.rpki_rate, 0.0);
+  EXPECT_LE(summary.both_rate, summary.dnssec_rate);
+  EXPECT_LE(summary.both_rate, summary.rpki_rate);
+
+  const auto rows = core::reports::dnssec_vs_rpki(*dataset_, 250'000);
+  ASSERT_EQ(rows.size(), 4u);
+  double weighted = 0.0;
+  std::uint64_t total = 0;
+  for (const auto& row : rows) {
+    weighted += row.dnssec_fraction * static_cast<double>(row.domains);
+    total += row.domains;
+    EXPECT_LE(row.both_fraction, row.dnssec_fraction + 1e-12);
+  }
+  EXPECT_NEAR(weighted / static_cast<double>(total), summary.dnssec_rate, 1e-9);
+}
+
+TEST_F(ExtensionsPipeline, DnssecAdoptionRisesTowardTail) {
+  const auto rows = core::reports::dnssec_vs_rpki(*dataset_, 500'000);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_LT(rows[0].dnssec_fraction, rows[1].dnssec_fraction);
+}
+
+// --- CSV export ----------------------------------------------------------------
+
+TEST_F(ExtensionsPipeline, DomainsCsvHasHeaderAndAllRows) {
+  std::ostringstream os;
+  core::export_domains_csv(*dataset_, os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.rfind("rank,domain,excluded_dns,dnssec_signed,", 0), 0u);
+  const auto lines = static_cast<std::size_t>(
+      std::count(out.begin(), out.end(), '\n'));
+  EXPECT_EQ(lines, dataset_->records.size() + 1);  // header + rows
+}
+
+TEST_F(ExtensionsPipeline, PairsCsvMatchesPairCount) {
+  std::ostringstream os;
+  core::export_pairs_csv(*dataset_, os);
+  const std::string out = os.str();
+  const auto lines = static_cast<std::size_t>(
+      std::count(out.begin(), out.end(), '\n'));
+  EXPECT_EQ(lines,
+            1 + dataset_->counters.pairs_www + dataset_->counters.pairs_apex);
+  EXPECT_NE(out.find("www,"), std::string::npos);
+  EXPECT_NE(out.find("apex,"), std::string::npos);
+  EXPECT_NE(out.find("not-found"), std::string::npos);
+}
+
+TEST_F(ExtensionsPipeline, CountersCsvRoundTripsKeyNumbers) {
+  std::ostringstream os;
+  core::export_counters_csv(*dataset_, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("domains_total," +
+                     std::to_string(dataset_->counters.domains_total)),
+            std::string::npos);
+  EXPECT_NE(out.find("dnssec_signed_domains,"), std::string::npos);
+}
+
+TEST(ExportCsv, EscapesSpecialCharacters) {
+  core::Dataset dataset;
+  dataset.rank_space = 10;
+  core::DomainRecord record;
+  record.rank = 1;
+  record.name = "we\"ird,name.example";
+  dataset.records.push_back(record);
+  std::ostringstream os;
+  core::export_domains_csv(dataset, os);
+  EXPECT_NE(os.str().find("\"we\"\"ird,name.example\""), std::string::npos);
+}
+
+// --- ablation knobs ---------------------------------------------------------------
+
+TEST(AblationKnobs, ZeroThirdPartyPlacementKillsCdnInheritance) {
+  auto config = small_config();
+  config.cdn_third_party_scale = 0.0;
+  const auto eco = web::Ecosystem::generate(config);
+  // Every CDN-variant server must sit in a CDN-category AS.
+  std::size_t cdn_servers = 0;
+  for (std::size_t i = 0; i < eco->domain_count(); ++i) {
+    const auto& plan = eco->plan(i);
+    if (plan.cdn_id == web::kNoCdn || !plan.www.on_cdn) continue;
+    for (std::uint8_t s = 0; s < plan.www.server_count; ++s) {
+      const auto& prefix = eco->prefixes()[plan.www.prefix_ids[s]];
+      EXPECT_EQ(eco->registry().at(prefix.owner_as).category,
+                web::AsCategory::kCdn);
+      ++cdn_servers;
+    }
+  }
+  EXPECT_GT(cdn_servers, 0u);
+}
+
+TEST(AblationKnobs, ZeroMisconfigYieldsNoMaxlenInvalids) {
+  auto config = small_config();
+  config.roa_maxlen_misconfig_probability = 0.0;
+  config.wrong_origin_fraction = 0.0;
+  const auto eco = web::Ecosystem::generate(config);
+  core::MeasurementPipeline pipeline(*eco, core::PipelineConfig{});
+  const auto dataset = pipeline.run();
+  const auto summary = core::reports::figure4_summary(dataset);
+  EXPECT_DOUBLE_EQ(summary.mean_invalid, 0.0);
+  EXPECT_GT(summary.mean_coverage, 0.0);
+}
+
+TEST(AblationKnobs, SingleCnameAliasesDoNotTriggerChainHeuristic) {
+  auto config = small_config();
+  config.single_cname_alias_fraction = 0.5;
+  config.cdn_share_top = 0.0;
+  config.cdn_share_tail = 0.0;  // no CDNs at all
+  config.hoster_chain_fraction = 0.0;
+  const auto eco = web::Ecosystem::generate(config);
+  core::MeasurementPipeline pipeline(*eco, core::PipelineConfig{});
+  const auto dataset = pipeline.run();
+
+  const core::ChainCdnClassifier chain;
+  std::size_t single = 0;
+  std::size_t flagged = 0;
+  for (const auto& record : dataset.records) {
+    if (record.www.cname_hops == 1) ++single;
+    if (chain.is_cdn(record)) ++flagged;
+  }
+  EXPECT_GT(single, dataset.records.size() / 4);  // aliases are common
+  EXPECT_EQ(flagged, 0u);                         // none fool the heuristic
+}
+
+}  // namespace
+}  // namespace ripki

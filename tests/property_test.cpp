@@ -1,0 +1,256 @@
+// Parameterized property sweeps across the substrates: each test states an
+// invariant and drives it over randomized or exhaustive input families.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bgp/speaker.hpp"
+#include "crypto/rsa.hpp"
+#include "dns/resolver.hpp"
+#include "dns/server.hpp"
+#include "rpki/origin_validation.hpp"
+#include "rpki/validator.hpp"
+#include "trie/prefix_trie.hpp"
+#include "util/prng.hpp"
+
+namespace ripki {
+namespace {
+
+net::Prefix P(const std::string& text) { return net::Prefix::parse(text).value(); }
+
+// --- SHA-256 block-boundary sweep ------------------------------------------------
+
+class ShaBoundary : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShaBoundary, IncrementalEqualsOneShotAroundBlockEdges) {
+  const std::size_t length = GetParam();
+  std::string input(length, '\0');
+  for (std::size_t i = 0; i < length; ++i) {
+    input[i] = static_cast<char>('a' + i % 26);
+  }
+  const auto expected = crypto::sha256(input);
+  for (std::size_t split = 0; split <= length; split += 7) {
+    crypto::Sha256 hasher;
+    hasher.update(std::string_view(input).substr(0, split));
+    hasher.update(std::string_view(input).substr(split));
+    EXPECT_EQ(hasher.finish(), expected) << "len=" << length << " split=" << split;
+  }
+}
+
+// 55/56/64 straddle the padding boundary; 119/128 the two-block boundary.
+INSTANTIATE_TEST_SUITE_P(BlockEdges, ShaBoundary,
+                         ::testing::Values(0, 1, 54, 55, 56, 57, 63, 64, 65, 119,
+                                           127, 128, 129, 1000));
+
+// --- RSA seed sweep ----------------------------------------------------------------
+
+class RsaSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RsaSweep, SignVerifyAndCrossKeyRejection) {
+  util::Prng prng(GetParam());
+  const auto keys = crypto::generate_keypair(prng);
+  const auto other = crypto::generate_keypair(prng);
+
+  for (int i = 0; i < 4; ++i) {
+    util::Bytes message(32 + static_cast<std::size_t>(i) * 17);
+    for (auto& b : message) b = static_cast<std::uint8_t>(prng.next_u64());
+
+    const auto sig = crypto::sign(keys.priv, message);
+    EXPECT_TRUE(crypto::verify(keys.pub, message, sig));
+    EXPECT_FALSE(crypto::verify(other.pub, message, sig));
+
+    auto tampered = message;
+    tampered[prng.index(tampered.size())] ^= 0x01;
+    EXPECT_FALSE(crypto::verify(keys.pub, tampered, sig));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RsaSweep, ::testing::Values(101, 202, 303));
+
+// --- IPv6 trie property vs brute force ----------------------------------------------
+
+class TrieV6Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieV6Property, CoveringAgreesWithBruteForce) {
+  util::Prng prng(GetParam());
+  trie::PrefixTrie<int> trie;
+  std::vector<net::Prefix> stored;
+
+  const auto random_v6 = [&]() {
+    std::array<std::uint8_t, 16> bytes{};
+    // Cluster in 2a00::/12 so prefixes actually nest.
+    bytes[0] = 0x2a;
+    bytes[1] = static_cast<std::uint8_t>(prng.uniform(4));
+    for (std::size_t i = 2; i < 8; ++i) {
+      bytes[i] = static_cast<std::uint8_t>(prng.uniform(4));
+    }
+    return net::IpAddress::v6(bytes);
+  };
+
+  for (int i = 0; i < 200; ++i) {
+    const int length = 12 + static_cast<int>(prng.uniform(45));
+    const net::Prefix prefix(random_v6(), length);
+    if (trie.find_exact(prefix) == nullptr) {
+      stored.push_back(prefix);
+      trie.insert(prefix, i);
+    }
+  }
+
+  for (int i = 0; i < 300; ++i) {
+    const auto addr = random_v6();
+    std::vector<net::Prefix> expected;
+    for (const auto& prefix : stored) {
+      if (prefix.contains(addr)) expected.push_back(prefix);
+    }
+    std::sort(expected.begin(), expected.end(),
+              [](const net::Prefix& a, const net::Prefix& b) {
+                return a.length() < b.length();
+              });
+    const auto matches = trie.covering(addr);
+    ASSERT_EQ(matches.size(), expected.size());
+    for (std::size_t m = 0; m < matches.size(); ++m) {
+      EXPECT_EQ(matches[m].prefix, expected[m]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieV6Property, ::testing::Values(7, 8, 9, 10));
+
+// --- RFC 6811 vs brute force ----------------------------------------------------------
+
+class OriginValidationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OriginValidationProperty, IndexAgreesWithLinearScan) {
+  util::Prng prng(GetParam());
+  rpki::VrpSet vrps;
+  for (int i = 0; i < 400; ++i) {
+    const int length = 8 + static_cast<int>(prng.uniform(17));  // 8..24
+    const net::Prefix prefix(
+        net::IpAddress::v4(static_cast<std::uint32_t>(prng.next_u64())), length);
+    vrps.push_back(rpki::Vrp{
+        prefix,
+        static_cast<std::uint8_t>(length + static_cast<int>(prng.uniform(
+                                               static_cast<std::uint64_t>(33 - length)))),
+        net::Asn(static_cast<std::uint32_t>(64000 + prng.uniform(40)))});
+  }
+  const rpki::VrpIndex index(vrps);
+
+  const auto brute_force = [&](const net::Prefix& route, net::Asn origin) {
+    bool covered = false;
+    for (const auto& vrp : vrps) {
+      if (!vrp.prefix.contains(route)) continue;
+      covered = true;
+      if (origin.value() != 0 && vrp.asn == origin &&
+          route.length() <= static_cast<int>(vrp.max_length)) {
+        return rpki::OriginValidity::kValid;
+      }
+    }
+    return covered ? rpki::OriginValidity::kInvalid
+                   : rpki::OriginValidity::kNotFound;
+  };
+
+  for (int i = 0; i < 600; ++i) {
+    const int length = 8 + static_cast<int>(prng.uniform(21));
+    const net::Prefix route(
+        net::IpAddress::v4(static_cast<std::uint32_t>(prng.next_u64())), length);
+    const net::Asn origin(static_cast<std::uint32_t>(64000 + prng.uniform(42)));
+    EXPECT_EQ(index.validate(route, origin), brute_force(route, origin))
+        << route.to_string() << " from " << origin.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OriginValidationProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+// --- validator bookkeeping invariant ---------------------------------------------------
+
+TEST(ValidatorInvariant, AcceptedPlusRejectedEqualsPublished) {
+  util::Prng prng(55);
+  auto anchor = rpki::make_trust_anchor(
+      "RIPE", rpki::ResourceSet({P("62.0.0.0/8")}),
+      rpki::ValidityWindow{rpki::kDefaultNow - 10 * rpki::kSecondsPerDay,
+                           rpki::kDefaultNow + 100 * rpki::kSecondsPerDay},
+      prng);
+  rpki::RepositoryBuilder builder(anchor, rpki::kDefaultNow, prng);
+  const auto good = builder.add_ca("Good Org", rpki::ResourceSet({P("62.1.0.0/16")}));
+  const auto bad = builder.add_ca("Bad Org", rpki::ResourceSet({P("62.2.0.0/16")}));
+
+  rpki::RoaContent content;
+  content.asn = net::Asn(64512);
+  content.prefixes = {rpki::RoaPrefix{P("62.1.0.0/16"), 16}};
+  builder.add_roa(good, content);
+  builder.add_expired_roa(good, content);
+  rpki::RoaContent bad_content;
+  bad_content.asn = net::Asn(64513);
+  bad_content.prefixes = {rpki::RoaPrefix{P("62.2.0.0/16"), 16}};
+  builder.add_roa(bad, bad_content);
+  builder.add_tampered_roa(bad, bad_content);
+  builder.revoke_ca(bad);
+  const auto repo = builder.build();
+
+  rpki::ValidationReport report;
+  rpki::RepositoryValidator(rpki::kDefaultNow).validate_into(repo, report);
+
+  EXPECT_EQ(report.cas_accepted + report.cas_rejected, repo.points.size());
+  EXPECT_EQ(report.roas_accepted + report.roas_rejected, repo.total_roas());
+  EXPECT_EQ(report.roas_accepted, 1u);  // only the good, current ROA
+  EXPECT_EQ(report.vrps.size(), 1u);
+}
+
+// --- speaker policy toggling -------------------------------------------------------------
+
+TEST(SpeakerPolicy, ValidationCanBeTurnedOnAndOff) {
+  rpki::VrpIndex index;
+  index.add(rpki::Vrp{P("10.10.0.0/16"), 16, net::Asn(65010)});
+  bgp::BgpSpeaker speaker(net::Asn(64500));
+
+  const bgp::RouteUpdate hijack{P("10.10.0.0/16"), bgp::AsPath::sequence({666})};
+  EXPECT_EQ(speaker.process(hijack), bgp::PolicyAction::kAcceptedNotFound);
+
+  speaker.enable_origin_validation(&index);
+  EXPECT_TRUE(speaker.validating());
+  EXPECT_EQ(speaker.process(hijack), bgp::PolicyAction::kRejectedInvalid);
+
+  speaker.disable_origin_validation();
+  EXPECT_EQ(speaker.process(hijack), bgp::PolicyAction::kAcceptedNotFound);
+  EXPECT_EQ(speaker.counters().rejected_invalid, 1u);
+  EXPECT_EQ(speaker.counters().updates, 3u);
+}
+
+// --- resolver chain depth limit -------------------------------------------------------------
+
+TEST(ResolverLimits, RejectsOverlongCnameChains) {
+  dns::InMemoryZoneDb zones;
+  const auto name_of = [](int i) {
+    return dns::DnsName::parse("hop" + std::to_string(i) + ".example").value();
+  };
+  for (int i = 0; i < 25; ++i) {
+    zones.add(dns::ResourceRecord::cname(name_of(i), name_of(i + 1)));
+  }
+  zones.add(dns::ResourceRecord::a(name_of(25),
+                                   net::IpAddress::v4(192, 0, 2, 1)));
+  const dns::AuthoritativeServer server(&zones);
+  dns::StubResolver resolver(&server);
+
+  auto result = resolver.resolve(name_of(0), dns::RecordType::kA);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("depth"), std::string::npos);
+
+  // A chain just inside the limit resolves.
+  auto near_limit = resolver.resolve(name_of(10), dns::RecordType::kA);
+  ASSERT_TRUE(near_limit.ok()) << near_limit.error().message;
+  EXPECT_EQ(near_limit.value().addresses.size(), 1u);
+  EXPECT_EQ(near_limit.value().cname_hops(), 15u);
+}
+
+// --- dns name sizes ---------------------------------------------------------------------------
+
+TEST(DnsNameSize, EncodedSizeMatchesWireFormat) {
+  const auto name = dns::DnsName::parse("www.example.com").value();
+  // 3 "www" + 7 "example" + 3 "com" + 3 length bytes + root byte.
+  EXPECT_EQ(name.encoded_size(), 17u);
+  EXPECT_EQ(dns::DnsName().encoded_size(), 1u);
+}
+
+}  // namespace
+}  // namespace ripki

@@ -1,0 +1,195 @@
+// Decoder robustness: every wire parser in the library is fed thousands of
+// randomly mutated (bit-flipped, truncated, extended) versions of valid
+// messages. The property under test: parsers either succeed or return an
+// error — never crash, hang, or read out of bounds (run under ASan to get
+// the full value of this suite).
+#include <gtest/gtest.h>
+
+#include "bgp/mrt.hpp"
+#include "bgp/update.hpp"
+#include "dns/message.hpp"
+#include "encoding/tlv.hpp"
+#include "rpki/cert.hpp"
+#include "rpki/repository.hpp"
+#include "rpki/roa.hpp"
+#include "rpki/tal.hpp"
+#include "rtr/pdu.hpp"
+#include "util/prng.hpp"
+
+namespace ripki {
+namespace {
+
+/// Applies one random mutation: bit flip, truncation, extension, or a
+/// splice of random bytes.
+util::Bytes mutate(const util::Bytes& original, util::Prng& prng) {
+  util::Bytes out = original;
+  switch (prng.uniform(4)) {
+    case 0: {  // bit flip(s)
+      if (out.empty()) break;
+      const int flips = 1 + static_cast<int>(prng.uniform(4));
+      for (int i = 0; i < flips; ++i) {
+        out[prng.index(out.size())] ^=
+            static_cast<std::uint8_t>(1u << prng.uniform(8));
+      }
+      break;
+    }
+    case 1: {  // truncate
+      if (out.empty()) break;
+      out.resize(prng.index(out.size()));
+      break;
+    }
+    case 2: {  // extend with junk
+      const std::size_t extra = 1 + prng.index(16);
+      for (std::size_t i = 0; i < extra; ++i) {
+        out.push_back(static_cast<std::uint8_t>(prng.next_u64()));
+      }
+      break;
+    }
+    default: {  // overwrite a random window
+      if (out.empty()) break;
+      const std::size_t start = prng.index(out.size());
+      const std::size_t len = std::min(out.size() - start, 1 + prng.index(8));
+      for (std::size_t i = 0; i < len; ++i) {
+        out[start + i] = static_cast<std::uint8_t>(prng.next_u64());
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+class Robustness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Robustness, TlvNeverCrashes) {
+  util::Prng prng(GetParam());
+  encoding::TlvWriter w;
+  w.begin(10);
+  w.add_u32(11, 42);
+  w.add_string(12, "payload");
+  w.end();
+  w.add_u64(13, 7);
+  const auto valid = std::move(w).take();
+
+  for (int i = 0; i < 2'000; ++i) {
+    const auto mutated = mutate(valid, prng);
+    auto result = encoding::TlvMap::parse(mutated);
+    if (result.ok()) {
+      // Walk whatever decoded to force accessor paths too.
+      for (const auto& element : result.value().elements()) {
+        (void)element.as_u8();
+        (void)element.as_u32();
+        (void)element.as_string();
+      }
+    }
+  }
+}
+
+TEST_P(Robustness, CertificateAndRoaNeverCrash) {
+  util::Prng prng(GetParam());
+  auto anchor = rpki::make_trust_anchor(
+      "RIPE", rpki::ResourceSet({net::Prefix::parse("62.0.0.0/8").value()}),
+      rpki::ValidityWindow{0, 4'000'000'000LL}, prng);
+  rpki::RepositoryBuilder builder(anchor, rpki::kDefaultNow, prng);
+  const auto ca = builder.add_ca(
+      "Org", rpki::ResourceSet({net::Prefix::parse("62.1.0.0/16").value()}));
+  rpki::RoaContent content;
+  content.asn = net::Asn(64512);
+  content.prefixes = {
+      rpki::RoaPrefix{net::Prefix::parse("62.1.0.0/16").value(), 20}};
+  builder.add_roa(ca, content);
+  const auto repo = builder.build();
+
+  const auto cert_bytes = repo.points[0].ca_cert.encode();
+  const auto roa_bytes = repo.points[0].roas[0].encode();
+
+  for (int i = 0; i < 1'000; ++i) {
+    (void)rpki::Certificate::decode(mutate(cert_bytes, prng));
+    (void)rpki::Roa::decode(mutate(roa_bytes, prng));
+  }
+}
+
+TEST_P(Robustness, MrtNeverCrashes) {
+  util::Prng prng(GetParam());
+  bgp::Rib rib;
+  rib.add_peer(bgp::PeerEntry{1, net::IpAddress::v4(192, 0, 2, 1), net::Asn(3320)});
+  rib.add(bgp::RibEntry{net::Prefix::parse("10.0.0.0/8").value(),
+                        bgp::AsPath::sequence({3320, 100}), 0, 0});
+  rib.add(bgp::RibEntry{net::Prefix::parse("2a00::/24").value(),
+                        bgp::AsPath::sequence({3320, 200}), 0, 0});
+  const auto valid = bgp::mrt::write_table_dump(rib, 1, "fuzz", 0);
+
+  for (int i = 0; i < 1'000; ++i) {
+    (void)bgp::mrt::read_table_dump(mutate(valid, prng));
+  }
+}
+
+TEST_P(Robustness, DnsMessageNeverCrashes) {
+  util::Prng prng(GetParam());
+  dns::Message m;
+  m.id = 7;
+  m.is_response = true;
+  const auto name = dns::DnsName::parse("www.fuzz-target.example").value();
+  m.questions.push_back(dns::Question{name, dns::RecordType::kA});
+  m.answers.push_back(dns::ResourceRecord::cname(
+      name, dns::DnsName::parse("edge.cdn.example").value()));
+  m.answers.push_back(dns::ResourceRecord::a(
+      dns::DnsName::parse("edge.cdn.example").value(),
+      net::IpAddress::v4(192, 0, 2, 7)));
+  const auto valid = dns::encode(m);
+
+  for (int i = 0; i < 2'000; ++i) {
+    (void)dns::decode(mutate(valid, prng));
+  }
+}
+
+TEST_P(Robustness, RtrStreamNeverCrashes) {
+  util::Prng prng(GetParam());
+  util::ByteWriter w;
+  w.put_bytes(rtr::encode(rtr::Pdu{rtr::CacheResponse{3}}, rtr::kVersion1));
+  w.put_bytes(rtr::encode(
+      rtr::Pdu{rtr::PrefixPdu{true, net::Prefix::parse("10.0.0.0/8").value(), 16,
+                              net::Asn(5)}},
+      rtr::kVersion1));
+  w.put_bytes(rtr::encode(rtr::Pdu{rtr::EndOfData{3, 9}}, rtr::kVersion1));
+  const auto valid = w.bytes();
+
+  for (int i = 0; i < 2'000; ++i) {
+    (void)rtr::decode_stream(mutate(valid, prng));
+  }
+}
+
+TEST_P(Robustness, BgpUpdateNeverCrashes) {
+  util::Prng prng(GetParam());
+  bgp::UpdateMessage update;
+  update.as_path = bgp::AsPath::sequence({3320, 1299, 15169});
+  update.next_hop = net::IpAddress::v4(192, 0, 2, 1);
+  update.nlri = {net::Prefix::parse("208.65.152.0/22").value()};
+  update.withdrawn = {net::Prefix::parse("10.0.0.0/8").value()};
+  const auto valid = bgp::encode_update(update).value();
+
+  for (int i = 0; i < 2'000; ++i) {
+    const auto mutated = mutate(valid, prng);
+    util::ByteReader reader(mutated);
+    (void)bgp::decode_update(reader);
+  }
+}
+
+TEST_P(Robustness, TalParserNeverCrashes) {
+  util::Prng prng(GetParam());
+  const std::string valid =
+      "rsync://rpki.ripe.example/ta/ripe.cer\n"
+      "QUJDREVGR0hJSktMTU5PUFFSU1RVVldYWVphYmNkZWZnaGlqa2xtbm9wcXJzdHV2d3h5"
+      "ekFCQ0RFRkdISUpLTE1OT1A=\n";
+  for (int i = 0; i < 2'000; ++i) {
+    util::Bytes bytes(valid.begin(), valid.end());
+    const auto mutated = mutate(bytes, prng);
+    (void)rpki::parse_tal(
+        std::string_view(reinterpret_cast<const char*>(mutated.data()),
+                         mutated.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Robustness, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace ripki

@@ -1,0 +1,607 @@
+#include <gtest/gtest.h>
+
+#include "rpki/cert.hpp"
+#include "rpki/crl.hpp"
+#include "rpki/manifest.hpp"
+#include "rpki/origin_validation.hpp"
+#include "rpki/repository.hpp"
+#include "rpki/resources.hpp"
+#include "rpki/roa.hpp"
+#include "rpki/tal.hpp"
+#include "rpki/validator.hpp"
+#include "util/prng.hpp"
+
+namespace ripki::rpki {
+namespace {
+
+net::Prefix P(const std::string& text) {
+  auto p = net::Prefix::parse(text);
+  EXPECT_TRUE(p.ok()) << text;
+  return p.value();
+}
+
+constexpr Timestamp kNow = kDefaultNow;
+const ValidityWindow kWindow{kNow - 30 * kSecondsPerDay, kNow + 30 * kSecondsPerDay};
+
+// --- ResourceSet -------------------------------------------------------------
+
+TEST(ResourceSet, ContainmentSemantics) {
+  ResourceSet parent({P("10.0.0.0/8"), P("2a00::/12")});
+  EXPECT_TRUE(parent.contains(P("10.5.0.0/16")));
+  EXPECT_TRUE(parent.contains(P("10.0.0.0/8")));
+  EXPECT_FALSE(parent.contains(P("11.0.0.0/8")));
+  EXPECT_TRUE(parent.contains(P("2a00:1450::/32")));
+  EXPECT_FALSE(parent.contains(P("2c00::/16")));
+
+  ResourceSet child({P("10.1.0.0/16"), P("10.2.0.0/16")});
+  EXPECT_TRUE(parent.contains(child));
+  child.add(P("192.168.0.0/24"));
+  EXPECT_FALSE(parent.contains(child));
+}
+
+TEST(ResourceSet, DeduplicatesAndSorts) {
+  ResourceSet set;
+  set.add(P("10.0.0.0/8"));
+  set.add(P("10.0.0.0/8"));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(ResourceSet, EmptySetContainsEmptySet) {
+  ResourceSet empty;
+  EXPECT_TRUE(empty.contains(ResourceSet{}));
+  EXPECT_FALSE(empty.contains(P("10.0.0.0/8")));
+}
+
+TEST(ResourceSet, TlvRoundTrip) {
+  ResourceSet set({P("10.0.0.0/8"), P("192.168.2.0/24"), P("2a00:1450::/32")});
+  encoding::TlvWriter writer;
+  set.encode_into(writer);
+  const auto bytes = std::move(writer).take();
+
+  auto map = encoding::TlvMap::parse(bytes);
+  ASSERT_TRUE(map.ok());
+  auto decoded = ResourceSet::decode(map.value().elements().front().value);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), set);
+}
+
+// --- Certificates --------------------------------------------------------------
+
+class CertFixture : public ::testing::Test {
+ protected:
+  CertFixture() : prng_(99) {
+    anchor_ = make_trust_anchor("RIPE", ResourceSet({P("62.0.0.0/8")}), kWindow,
+                                prng_);
+  }
+
+  Certificate issue_ca(const std::string& subject, ResourceSet resources,
+                       crypto::KeyPair& keys_out) {
+    keys_out = crypto::generate_keypair(prng_);
+    CertificateData data;
+    data.serial = 42;
+    data.subject = subject;
+    data.issuer = anchor_.cert.data().subject;
+    data.is_ca = true;
+    data.public_key = keys_out.pub;
+    data.resources = std::move(resources);
+    data.validity = kWindow;
+    return Certificate::issue(std::move(data), anchor_.keys.pub, anchor_.keys.priv);
+  }
+
+  util::Prng prng_;
+  TrustAnchor anchor_;
+};
+
+TEST_F(CertFixture, TrustAnchorSelfSignatureVerifies) {
+  EXPECT_TRUE(anchor_.cert.verify_signature(anchor_.cert.data().public_key));
+  EXPECT_TRUE(anchor_.cert.data().is_ca);
+  EXPECT_EQ(anchor_.cert.data().authority_key_id, anchor_.keys.pub.key_id());
+}
+
+TEST_F(CertFixture, IssuedCertVerifiesAgainstIssuerOnly) {
+  crypto::KeyPair ca_keys;
+  const Certificate cert = issue_ca("Example Org", ResourceSet({P("62.1.0.0/16")}),
+                                    ca_keys);
+  EXPECT_TRUE(cert.verify_signature(anchor_.keys.pub));
+  EXPECT_FALSE(cert.verify_signature(ca_keys.pub));
+  EXPECT_EQ(cert.data().authority_key_id, anchor_.keys.pub.key_id());
+}
+
+TEST_F(CertFixture, EncodingRoundTrip) {
+  crypto::KeyPair ca_keys;
+  const Certificate cert = issue_ca("Example Org", ResourceSet({P("62.1.0.0/16")}),
+                                    ca_keys);
+  const auto bytes = cert.encode();
+  auto decoded = Certificate::decode(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().data().subject, "Example Org");
+  EXPECT_EQ(decoded.value().data().serial, 42u);
+  EXPECT_EQ(decoded.value().data().resources, cert.data().resources);
+  EXPECT_TRUE(decoded.value().verify_signature(anchor_.keys.pub));
+}
+
+TEST_F(CertFixture, TamperedEncodingFailsVerification) {
+  crypto::KeyPair ca_keys;
+  const Certificate cert = issue_ca("Example Org", ResourceSet({P("62.1.0.0/16")}),
+                                    ca_keys);
+  auto bytes = cert.encode();
+  // Flip one byte inside the subject string.
+  const std::string needle = "Example Org";
+  for (std::size_t i = 0; i + needle.size() < bytes.size(); ++i) {
+    if (std::equal(needle.begin(), needle.end(), bytes.begin() + i)) {
+      bytes[i] ^= 0x20;
+      break;
+    }
+  }
+  auto decoded = Certificate::decode(bytes);
+  ASSERT_TRUE(decoded.ok());  // structurally fine
+  EXPECT_FALSE(decoded.value().verify_signature(anchor_.keys.pub));
+}
+
+TEST_F(CertFixture, DecodeRejectsGarbage) {
+  const util::Bytes garbage = {1, 2, 3, 4, 5};
+  EXPECT_FALSE(Certificate::decode(garbage).ok());
+}
+
+// --- ROA -------------------------------------------------------------------------
+
+TEST_F(CertFixture, RoaSignatureAndRoundTrip) {
+  crypto::KeyPair ca_keys;
+  const Certificate ca = issue_ca("Holder", ResourceSet({P("62.1.0.0/16")}), ca_keys);
+  (void)ca;
+
+  RoaContent content;
+  content.asn = net::Asn(64512);
+  content.prefixes = {RoaPrefix{P("62.1.0.0/16"), 20},
+                      RoaPrefix{P("62.1.128.0/17"), 17}};
+  const Roa roa = Roa::create(content, "Holder", ca_keys.pub, ca_keys.priv,
+                              crypto::generate_keypair(prng_), 77, kWindow);
+
+  EXPECT_TRUE(roa.verify_content_signature());
+  EXPECT_TRUE(roa.ee_cert().verify_signature(ca_keys.pub));
+  EXPECT_FALSE(roa.ee_cert().data().is_ca);
+
+  const auto bytes = roa.encode();
+  auto decoded = Roa::decode(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().content(), content);
+  EXPECT_TRUE(decoded.value().verify_content_signature());
+}
+
+TEST_F(CertFixture, RoaEeResourcesCoverPrefixes) {
+  crypto::KeyPair ca_keys;
+  issue_ca("Holder", ResourceSet({P("62.1.0.0/16")}), ca_keys);
+  RoaContent content;
+  content.asn = net::Asn(64512);
+  content.prefixes = {RoaPrefix{P("62.1.4.0/24"), 24}};
+  const Roa roa = Roa::create(content, "Holder", ca_keys.pub, ca_keys.priv,
+                              crypto::generate_keypair(prng_), 78, kWindow);
+  EXPECT_TRUE(roa.ee_cert().data().resources.contains(P("62.1.4.0/24")));
+}
+
+// --- CRL ---------------------------------------------------------------------------
+
+TEST_F(CertFixture, CrlRevocationAndSignature) {
+  CrlData data;
+  data.issuer = "Holder";
+  data.this_update = kNow - kSecondsPerDay;
+  data.next_update = kNow + kSecondsPerDay;
+  data.revoked_serials = {5, 3, 9};
+  const Crl crl = Crl::create(data, anchor_.keys.priv);
+
+  EXPECT_TRUE(crl.verify_signature(anchor_.keys.pub));
+  EXPECT_TRUE(crl.is_current(kNow));
+  EXPECT_FALSE(crl.is_current(kNow + 2 * kSecondsPerDay));
+  EXPECT_TRUE(crl.is_revoked(3));
+  EXPECT_TRUE(crl.is_revoked(9));
+  EXPECT_FALSE(crl.is_revoked(4));
+
+  const auto bytes = crl.encode();
+  auto decoded = Crl::decode(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().is_revoked(5));
+  EXPECT_TRUE(decoded.value().verify_signature(anchor_.keys.pub));
+}
+
+// --- Manifest ------------------------------------------------------------------------
+
+TEST_F(CertFixture, ManifestFindAndSignature) {
+  ManifestData data;
+  data.issuer = "Holder";
+  data.manifest_number = 3;
+  data.this_update = kNow - kSecondsPerDay;
+  data.next_update = kNow + kSecondsPerDay;
+  data.entries = {ManifestEntry{"roa-AS1-0.roa", crypto::sha256("x")},
+                  ManifestEntry{"roa-AS2-1.roa", crypto::sha256("y")}};
+  const Manifest manifest = Manifest::create(data, anchor_.keys.priv);
+
+  EXPECT_TRUE(manifest.verify_signature(anchor_.keys.pub));
+  EXPECT_TRUE(manifest.is_current(kNow));
+  ASSERT_NE(manifest.find("roa-AS1-0.roa"), nullptr);
+  EXPECT_EQ(manifest.find("roa-AS1-0.roa")->hash, crypto::sha256("x"));
+  EXPECT_EQ(manifest.find("missing.roa"), nullptr);
+}
+
+// --- RepositoryValidator ---------------------------------------------------------------
+
+class ValidatorFixture : public ::testing::Test {
+ protected:
+  ValidatorFixture() : prng_(7) {
+    anchor_ = make_trust_anchor(
+        "RIPE", ResourceSet({P("62.0.0.0/8"), P("2a00::/12")}), kWindow, prng_);
+  }
+
+  RoaContent simple_content(std::uint32_t asn, const std::string& prefix,
+                            std::uint8_t maxlen) {
+    RoaContent content;
+    content.asn = net::Asn(asn);
+    content.prefixes = {RoaPrefix{P(prefix), maxlen}};
+    return content;
+  }
+
+  util::Prng prng_;
+  TrustAnchor anchor_;
+};
+
+TEST_F(ValidatorFixture, AcceptsWellFormedRepository) {
+  RepositoryBuilder builder(anchor_, kNow, prng_);
+  const auto ca = builder.add_ca("Org A", ResourceSet({P("62.1.0.0/16")}));
+  builder.add_roa(ca, simple_content(64512, "62.1.0.0/16", 20));
+  const Repository repo = builder.build();
+
+  const RepositoryValidator validator(kNow);
+  ValidationReport report;
+  validator.validate_into(repo, report);
+
+  EXPECT_EQ(report.cas_accepted, 1u);
+  EXPECT_EQ(report.roas_accepted, 1u);
+  EXPECT_EQ(report.roas_rejected, 0u);
+  ASSERT_EQ(report.vrps.size(), 1u);
+  EXPECT_EQ(report.vrps[0].prefix, P("62.1.0.0/16"));
+  EXPECT_EQ(report.vrps[0].max_length, 20);
+  EXPECT_EQ(report.vrps[0].asn, net::Asn(64512));
+}
+
+TEST_F(ValidatorFixture, RejectsTamperedRoa) {
+  RepositoryBuilder builder(anchor_, kNow, prng_);
+  const auto ca = builder.add_ca("Org A", ResourceSet({P("62.1.0.0/16")}));
+  builder.add_tampered_roa(ca, simple_content(64512, "62.1.0.0/16", 16));
+  const Repository repo = builder.build();
+
+  ValidationReport report;
+  RepositoryValidator(kNow).validate_into(repo, report);
+  EXPECT_EQ(report.roas_accepted, 0u);
+  // The corrupted object is caught by the manifest hash check (the hash was
+  // computed before corruption would be the other design; here the manifest
+  // carries the corrupted object's hash, so the content signature is what
+  // fails).
+  EXPECT_EQ(report.roas_rejected, 1u);
+  EXPECT_GE(report.rejected_for(RejectReason::kBadSignature), 1u);
+  EXPECT_TRUE(report.vrps.empty());
+}
+
+TEST_F(ValidatorFixture, RejectsExpiredRoa) {
+  RepositoryBuilder builder(anchor_, kNow, prng_);
+  const auto ca = builder.add_ca("Org A", ResourceSet({P("62.1.0.0/16")}));
+  builder.add_expired_roa(ca, simple_content(64512, "62.1.0.0/16", 16));
+  const Repository repo = builder.build();
+
+  ValidationReport report;
+  RepositoryValidator(kNow).validate_into(repo, report);
+  EXPECT_EQ(report.roas_accepted, 0u);
+  EXPECT_EQ(report.rejected_for(RejectReason::kExpired), 1u);
+}
+
+TEST_F(ValidatorFixture, RejectsRevokedRoa) {
+  RepositoryBuilder builder(anchor_, kNow, prng_);
+  const auto ca = builder.add_ca("Org A", ResourceSet({P("62.1.0.0/16")}));
+  builder.add_roa(ca, simple_content(64512, "62.1.0.0/16", 16));
+  builder.revoke_roa(ca, 0);
+  const Repository repo = builder.build();
+
+  ValidationReport report;
+  RepositoryValidator(kNow).validate_into(repo, report);
+  EXPECT_EQ(report.roas_accepted, 0u);
+  EXPECT_EQ(report.rejected_for(RejectReason::kRevoked), 1u);
+}
+
+TEST_F(ValidatorFixture, RejectsRevokedCaAndItsRoas) {
+  RepositoryBuilder builder(anchor_, kNow, prng_);
+  const auto ca = builder.add_ca("Org A", ResourceSet({P("62.1.0.0/16")}));
+  builder.add_roa(ca, simple_content(64512, "62.1.0.0/16", 16));
+  builder.revoke_ca(ca);
+  const Repository repo = builder.build();
+
+  ValidationReport report;
+  RepositoryValidator(kNow).validate_into(repo, report);
+  EXPECT_EQ(report.cas_accepted, 0u);
+  EXPECT_EQ(report.cas_rejected, 1u);
+  EXPECT_EQ(report.roas_accepted, 0u);
+  EXPECT_EQ(report.rejected_for(RejectReason::kRevoked), 1u);
+  EXPECT_TRUE(report.vrps.empty());
+}
+
+TEST_F(ValidatorFixture, RejectsResourceOverclaimingCa) {
+  RepositoryBuilder builder(anchor_, kNow, prng_);
+  // 193/8 is not delegated by this trust anchor.
+  const auto ca =
+      builder.add_overclaiming_ca("Rogue Org", ResourceSet({P("193.0.0.0/8")}));
+  builder.add_roa(ca, simple_content(64999, "193.0.0.0/8", 8));
+  const Repository repo = builder.build();
+
+  ValidationReport report;
+  RepositoryValidator(kNow).validate_into(repo, report);
+  EXPECT_EQ(report.cas_accepted, 0u);
+  EXPECT_EQ(report.rejected_for(RejectReason::kResourceOverclaim), 1u);
+  EXPECT_TRUE(report.vrps.empty());
+}
+
+TEST_F(ValidatorFixture, RejectsRoaHiddenFromManifest) {
+  RepositoryBuilder builder(anchor_, kNow, prng_);
+  const auto ca = builder.add_ca("Org A", ResourceSet({P("62.1.0.0/16")}));
+  builder.add_roa(ca, simple_content(64512, "62.1.0.0/16", 16));
+  builder.add_roa(ca, simple_content(64512, "62.1.0.0/17", 17));
+  builder.hide_from_manifest(ca, 1);
+  const Repository repo = builder.build();
+
+  ValidationReport report;
+  RepositoryValidator(kNow).validate_into(repo, report);
+  EXPECT_EQ(report.roas_accepted, 1u);
+  EXPECT_EQ(report.rejected_for(RejectReason::kNotInManifest), 1u);
+}
+
+TEST_F(ValidatorFixture, MultiTrustAnchorAggregation) {
+  util::Prng prng2(8);
+  TrustAnchor arin =
+      make_trust_anchor("ARIN", ResourceSet({P("23.0.0.0/8")}), kWindow, prng2);
+
+  RepositoryBuilder b1(anchor_, kNow, prng_);
+  const auto ca1 = b1.add_ca("Org A", ResourceSet({P("62.1.0.0/16")}));
+  b1.add_roa(ca1, simple_content(64512, "62.1.0.0/16", 16));
+
+  RepositoryBuilder b2(arin, kNow, prng2);
+  const auto ca2 = b2.add_ca("Org B", ResourceSet({P("23.9.0.0/16")}));
+  b2.add_roa(ca2, simple_content(64513, "23.9.0.0/16", 24));
+
+  const std::vector<Repository> repos = {b1.build(), b2.build()};
+  const auto report = RepositoryValidator(kNow).validate(repos);
+  EXPECT_EQ(report.tas_processed, 2u);
+  EXPECT_EQ(report.vrps.size(), 2u);
+}
+
+TEST_F(ValidatorFixture, MultiPrefixRoaEmitsOneVrpPerPrefix) {
+  RepositoryBuilder builder(anchor_, kNow, prng_);
+  const auto ca = builder.add_ca("Org A", ResourceSet({P("62.1.0.0/16"),
+                                                       P("62.2.0.0/16")}));
+  RoaContent content;
+  content.asn = net::Asn(64512);
+  content.prefixes = {RoaPrefix{P("62.1.0.0/16"), 16}, RoaPrefix{P("62.2.0.0/16"), 24}};
+  builder.add_roa(ca, content);
+  const Repository repo = builder.build();
+
+  ValidationReport report;
+  RepositoryValidator(kNow).validate_into(repo, report);
+  EXPECT_EQ(report.roas_accepted, 1u);
+  EXPECT_EQ(report.vrps.size(), 2u);
+}
+
+// --- RFC 6811 origin validation -----------------------------------------------------
+
+TEST(OriginValidation, ValidExactMatch) {
+  VrpIndex index;
+  index.add(Vrp{P("10.0.0.0/16"), 16, net::Asn(65001)});
+  EXPECT_EQ(index.validate(P("10.0.0.0/16"), net::Asn(65001)),
+            OriginValidity::kValid);
+}
+
+TEST(OriginValidation, ValidWithinMaxLength) {
+  VrpIndex index;
+  index.add(Vrp{P("10.0.0.0/16"), 20, net::Asn(65001)});
+  EXPECT_EQ(index.validate(P("10.0.64.0/18"), net::Asn(65001)),
+            OriginValidity::kValid);
+  EXPECT_EQ(index.validate(P("10.0.64.0/20"), net::Asn(65001)),
+            OriginValidity::kValid);
+}
+
+TEST(OriginValidation, InvalidBeyondMaxLength) {
+  VrpIndex index;
+  index.add(Vrp{P("10.0.0.0/16"), 20, net::Asn(65001)});
+  EXPECT_EQ(index.validate(P("10.0.64.0/21"), net::Asn(65001)),
+            OriginValidity::kInvalid);
+  EXPECT_EQ(index.validate(P("10.0.0.1/32"), net::Asn(65001)),
+            OriginValidity::kInvalid);
+}
+
+TEST(OriginValidation, InvalidWrongOrigin) {
+  VrpIndex index;
+  index.add(Vrp{P("10.0.0.0/16"), 16, net::Asn(65001)});
+  EXPECT_EQ(index.validate(P("10.0.0.0/16"), net::Asn(66666)),
+            OriginValidity::kInvalid);
+}
+
+TEST(OriginValidation, NotFoundWithoutCoveringVrp) {
+  VrpIndex index;
+  index.add(Vrp{P("10.0.0.0/16"), 16, net::Asn(65001)});
+  EXPECT_EQ(index.validate(P("10.1.0.0/16"), net::Asn(65001)),
+            OriginValidity::kNotFound);
+  EXPECT_EQ(index.validate(P("192.0.2.0/24"), net::Asn(65001)),
+            OriginValidity::kNotFound);
+  // A more-specific VRP does NOT cover a less-specific route.
+  EXPECT_EQ(index.validate(P("10.0.0.0/8"), net::Asn(65001)),
+            OriginValidity::kNotFound);
+}
+
+TEST(OriginValidation, SeveralVrpsAnyMatchSuffices) {
+  VrpIndex index;
+  index.add(Vrp{P("10.0.0.0/16"), 16, net::Asn(65001)});
+  index.add(Vrp{P("10.0.0.0/16"), 24, net::Asn(65002)});
+  EXPECT_EQ(index.validate(P("10.0.0.0/16"), net::Asn(65002)),
+            OriginValidity::kValid);
+  EXPECT_EQ(index.validate(P("10.0.3.0/24"), net::Asn(65002)),
+            OriginValidity::kValid);
+  EXPECT_EQ(index.validate(P("10.0.3.0/24"), net::Asn(65001)),
+            OriginValidity::kInvalid);
+}
+
+TEST(OriginValidation, As0NeverValidates) {
+  VrpIndex index;
+  index.add(Vrp{P("10.0.0.0/16"), 24, net::Asn(0)});  // AS0: do not route
+  EXPECT_EQ(index.validate(P("10.0.0.0/16"), net::Asn(0)),
+            OriginValidity::kInvalid);
+  EXPECT_EQ(index.validate(P("10.0.0.0/16"), net::Asn(65001)),
+            OriginValidity::kInvalid);
+}
+
+TEST(OriginValidation, CoveringLessSpecificVrpApplies) {
+  VrpIndex index;
+  index.add(Vrp{P("10.0.0.0/8"), 24, net::Asn(65001)});
+  EXPECT_EQ(index.validate(P("10.20.30.0/24"), net::Asn(65001)),
+            OriginValidity::kValid);
+  EXPECT_EQ(index.validate(P("10.20.30.0/24"), net::Asn(65002)),
+            OriginValidity::kInvalid);
+}
+
+TEST(OriginValidation, CoveredQuery) {
+  VrpIndex index;
+  index.add(Vrp{P("10.0.0.0/16"), 16, net::Asn(65001)});
+  EXPECT_TRUE(index.covered(P("10.0.1.0/24")));
+  EXPECT_FALSE(index.covered(P("10.1.0.0/24")));
+  EXPECT_EQ(index.size(), 1u);
+}
+
+// --- Trust Anchor Locators (RFC 7730) ---------------------------------------
+
+TEST(Base64, RoundTripsVariousLengths) {
+  util::Prng prng(44);
+  for (std::size_t len : {0u, 1u, 2u, 3u, 4u, 63u, 64u, 65u, 200u}) {
+    util::Bytes data(len);
+    for (auto& b : data) b = static_cast<std::uint8_t>(prng.next_u64());
+    const std::string text = base64_encode(data);
+    EXPECT_EQ(text.size() % 4, 0u);
+    auto decoded = base64_decode(text);
+    ASSERT_TRUE(decoded.ok()) << len;
+    EXPECT_EQ(decoded.value(), data);
+  }
+}
+
+TEST(Base64, KnownVector) {
+  const std::string input = "foobar";
+  EXPECT_EQ(base64_encode(std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(input.data()), input.size())),
+            "Zm9vYmFy");
+  EXPECT_EQ(base64_encode(std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(input.data()), 5)),
+            "Zm9vYmE=");
+}
+
+TEST(Base64, RejectsMalformed) {
+  EXPECT_FALSE(base64_decode("abc").ok());      // not multiple of 4
+  EXPECT_FALSE(base64_decode("ab!=").ok());     // bad character
+  EXPECT_FALSE(base64_decode("=abc").ok());     // stray padding
+  EXPECT_FALSE(base64_decode("a=bc").ok());     // data after padding
+}
+
+TEST(Tal, EncodeParseRoundTrip) {
+  util::Prng prng(45);
+  TrustAnchor anchor = make_trust_anchor("RIPE", ResourceSet({P("62.0.0.0/8")}),
+                                         kWindow, prng);
+  const TrustAnchorLocator tal = tal_for(anchor);
+  const std::string text = encode_tal(tal);
+  auto parsed = parse_tal(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value(), tal);
+  EXPECT_NE(text.find("rsync://"), std::string::npos);
+}
+
+TEST(Tal, ParseToleratesCommentsAndWrapping) {
+  util::Prng prng(46);
+  TrustAnchor anchor = make_trust_anchor("ARIN", ResourceSet({P("23.0.0.0/8")}),
+                                         kWindow, prng);
+  const TrustAnchorLocator tal = tal_for(anchor);
+  std::string text = encode_tal(tal);
+  // Wrap the key across two lines and add comments.
+  const auto newline = text.find('\n');
+  std::string wrapped = "# the ARIN locator\n" + text.substr(0, newline + 1);
+  std::string key = text.substr(newline + 1);
+  wrapped += key.substr(0, 30) + "\n" + key.substr(30);
+  auto parsed = parse_tal(wrapped);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value(), tal);
+}
+
+TEST(Tal, ParseRejectsBadInput) {
+  EXPECT_FALSE(parse_tal("").ok());
+  EXPECT_FALSE(parse_tal("rsync://x/ta.cer\n").ok());        // no key
+  EXPECT_FALSE(parse_tal("not-a-uri\nAAAA\n").ok());          // bad scheme
+  EXPECT_FALSE(parse_tal("rsync://x/ta.cer\nAAAA\n").ok());   // key too short
+}
+
+TEST(Tal, BootstrapAcceptsMatchingAnchorOnly) {
+  util::Prng prng(47);
+  TrustAnchor ripe = make_trust_anchor("RIPE", ResourceSet({P("62.0.0.0/8")}),
+                                       kWindow, prng);
+  TrustAnchor rogue = make_trust_anchor("ROGUE", ResourceSet({P("62.0.0.0/8")}),
+                                        kWindow, prng);
+  const TrustAnchorLocator tal = tal_for(ripe);
+  EXPECT_TRUE(ta_matches_tal(ripe.cert, tal));
+  EXPECT_FALSE(ta_matches_tal(rogue.cert, tal));
+}
+
+TEST_F(ValidatorFixture, TalBootstrappedValidation) {
+  RepositoryBuilder builder(anchor_, kNow, prng_);
+  const auto ca = builder.add_ca("Org A", ResourceSet({P("62.1.0.0/16")}));
+  builder.add_roa(ca, simple_content(64512, "62.1.0.0/16", 16));
+  const std::vector<Repository> repos = {builder.build()};
+
+  const RepositoryValidator validator(kNow);
+
+  // Matching TAL: full validation.
+  const std::vector<TrustAnchorLocator> good = {tal_for(anchor_)};
+  const auto accepted = validator.validate(repos, good);
+  EXPECT_EQ(accepted.vrps.size(), 1u);
+  EXPECT_EQ(accepted.rejected_for(RejectReason::kNoMatchingTal), 0u);
+
+  // A rogue repository claiming to be a TA is not walked at all.
+  util::Prng prng2(48);
+  TrustAnchor rogue = make_trust_anchor("ROGUE", ResourceSet({P("62.0.0.0/8")}),
+                                        kWindow, prng2);
+  const std::vector<TrustAnchorLocator> wrong = {tal_for(rogue)};
+  const auto rejected = validator.validate(repos, wrong);
+  EXPECT_TRUE(rejected.vrps.empty());
+  EXPECT_EQ(rejected.rejected_for(RejectReason::kNoMatchingTal), 1u);
+}
+
+TEST_F(ValidatorFixture, TimeTravelPastExpiryRejectsEverything) {
+  RepositoryBuilder builder(anchor_, kNow, prng_);
+  const auto ca = builder.add_ca("Org A", ResourceSet({P("62.1.0.0/16")}));
+  builder.add_roa(ca, simple_content(64512, "62.1.0.0/16", 16));
+  const Repository repo = builder.build();
+
+  // Validate two years later: every window has lapsed.
+  const RepositoryValidator future(kNow + 2 * 365 * kSecondsPerDay);
+  ValidationReport report;
+  future.validate_into(repo, report);
+  EXPECT_TRUE(report.vrps.empty());
+}
+
+// Property sweep: maxLength semantics across the full length range.
+class MaxLengthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxLengthSweep, BoundaryIsInclusive) {
+  const int maxlen = GetParam();
+  VrpIndex index;
+  index.add(Vrp{P("10.0.0.0/16"), static_cast<std::uint8_t>(maxlen), net::Asn(65001)});
+  for (int route_len = 16; route_len <= 28; ++route_len) {
+    const net::Prefix route(net::IpAddress::v4(10, 0, 0, 0), route_len);
+    const auto expected = route_len <= maxlen ? OriginValidity::kValid
+                                              : OriginValidity::kInvalid;
+    EXPECT_EQ(index.validate(route, net::Asn(65001)), expected)
+        << "route_len=" << route_len << " maxlen=" << maxlen;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, MaxLengthSweep,
+                         ::testing::Values(16, 18, 20, 22, 24, 28));
+
+}  // namespace
+}  // namespace ripki::rpki

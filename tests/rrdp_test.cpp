@@ -1,0 +1,295 @@
+// Tests for the relying-party fetch plane: the XML codec, repository
+// publication/assembly, RRDP synchronisation, and rsync-style trees.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "encoding/xml.hpp"
+#include "rpki/fs_publication.hpp"
+#include "rpki/rrdp.hpp"
+#include "rpki/validator.hpp"
+#include "util/prng.hpp"
+
+namespace ripki {
+namespace {
+
+using encoding::XmlElement;
+
+// --- XML codec ---------------------------------------------------------------
+
+TEST(Xml, RoundTripWithAttributesAndChildren) {
+  XmlElement root;
+  root.name = "notification";
+  root.attributes.emplace_back("session_id", "abc-123");
+  root.attributes.emplace_back("serial", "42");
+  XmlElement snapshot;
+  snapshot.name = "snapshot";
+  snapshot.attributes.emplace_back("uri", "https://x/снap.xml");
+  root.children.push_back(snapshot);
+  XmlElement publish;
+  publish.name = "publish";
+  publish.text = "QUJD";
+  root.children.push_back(publish);
+
+  const std::string text = encoding::xml_encode(root);
+  auto parsed = encoding::xml_parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value().name, "notification");
+  EXPECT_EQ(*parsed.value().attribute("serial"), "42");
+  ASSERT_NE(parsed.value().child("snapshot"), nullptr);
+  ASSERT_EQ(parsed.value().children_named("publish").size(), 1u);
+  // Text survives modulo surrounding whitespace.
+  EXPECT_NE(parsed.value().children_named("publish")[0]->text.find("QUJD"),
+            std::string::npos);
+}
+
+TEST(Xml, EscapesEntities) {
+  XmlElement root;
+  root.name = "e";
+  root.attributes.emplace_back("a", "x<y&\"z'");
+  root.text = "1<2 & 3>2";
+  const std::string text = encoding::xml_encode(root);
+  // No raw '<' or '&' may appear between the start tag and the end tag.
+  const std::size_t content_start = text.find('>', text.find("<e")) + 1;
+  const std::size_t content_end = text.find("</e>");
+  ASSERT_NE(content_end, std::string::npos);
+  for (std::size_t i = content_start; i < content_end; ++i) {
+    EXPECT_NE(text[i], '<') << "raw '<' at " << i;
+    if (text[i] == '&') {
+      EXPECT_NE(text.find(';', i), std::string::npos);  // entity, not raw
+    }
+  }
+  auto parsed = encoding::xml_parse(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed.value().attribute("a"), "x<y&\"z'");
+  EXPECT_EQ(parsed.value().text, "1<2 & 3>2");
+}
+
+TEST(Xml, ParsesSelfClosingAndDeclaration) {
+  auto parsed = encoding::xml_parse(
+      "<?xml version=\"1.0\"?>\n<delta serial=\"7\"><withdraw uri=\"u\" "
+      "hash=\"h\"/></delta>");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  ASSERT_EQ(parsed.value().children.size(), 1u);
+  EXPECT_EQ(parsed.value().children[0].name, "withdraw");
+  EXPECT_EQ(*parsed.value().children[0].attribute("hash"), "h");
+}
+
+TEST(Xml, RejectsMalformed) {
+  EXPECT_FALSE(encoding::xml_parse("").ok());
+  EXPECT_FALSE(encoding::xml_parse("<a>").ok());                 // unterminated
+  EXPECT_FALSE(encoding::xml_parse("<a></b>").ok());             // mismatched
+  EXPECT_FALSE(encoding::xml_parse("<a x=y/>").ok());            // unquoted attr
+  EXPECT_FALSE(encoding::xml_parse("<a/><b/>").ok());            // two roots
+  EXPECT_FALSE(encoding::xml_parse("<a>&unknown;</a>").ok());    // bad entity
+  EXPECT_FALSE(encoding::xml_parse("<a><!-- c --></a>").ok());   // comments
+}
+
+// --- publication --------------------------------------------------------------
+
+class PublicationFixture : public ::testing::Test {
+ protected:
+  PublicationFixture() : prng_(77) {
+    anchor_ = rpki::make_trust_anchor(
+        "RIPE", rpki::ResourceSet({net::Prefix::parse("62.0.0.0/8").value()}),
+        rpki::ValidityWindow{rpki::kDefaultNow - 30 * rpki::kSecondsPerDay,
+                             rpki::kDefaultNow + 300 * rpki::kSecondsPerDay},
+        prng_);
+  }
+
+  rpki::Repository build_repo(int roas_in_second_point) {
+    rpki::RepositoryBuilder builder(anchor_, rpki::kDefaultNow, prng_);
+    const auto a = builder.add_ca(
+        "Org A", rpki::ResourceSet({net::Prefix::parse("62.1.0.0/16").value()}));
+    rpki::RoaContent content;
+    content.asn = net::Asn(64512);
+    content.prefixes = {
+        rpki::RoaPrefix{net::Prefix::parse("62.1.0.0/16").value(), 20}};
+    builder.add_roa(a, content);
+
+    const auto b = builder.add_ca(
+        "Org B", rpki::ResourceSet({net::Prefix::parse("62.2.0.0/16").value()}));
+    for (int i = 0; i < roas_in_second_point; ++i) {
+      rpki::RoaContent extra;
+      extra.asn = net::Asn(64600 + static_cast<std::uint32_t>(i));
+      extra.prefixes = {
+          rpki::RoaPrefix{net::Prefix::parse("62.2.0.0/16").value(),
+                          static_cast<std::uint8_t>(17 + i)}};
+      builder.add_roa(b, extra);
+    }
+    return builder.build();
+  }
+
+  std::size_t vrps_of(const rpki::Repository& repo) {
+    rpki::ValidationReport report;
+    rpki::RepositoryValidator(rpki::kDefaultNow).validate_into(repo, report);
+    return report.vrps.size();
+  }
+
+  util::Prng prng_;
+  rpki::TrustAnchor anchor_;
+};
+
+TEST_F(PublicationFixture, PublishAssembleRoundTripValidatesIdentically) {
+  const auto repo = build_repo(2);
+  const auto objects = rpki::publish_repository(repo);
+  // ta.cer + ta.crl + 2x(ca.cer + crl + mft) + 3 roas
+  EXPECT_EQ(objects.size(), 2u + 2 * 3u + 3u);
+
+  auto assembled = rpki::assemble_repository(objects);
+  ASSERT_TRUE(assembled.ok()) << assembled.error().message;
+  EXPECT_EQ(assembled.value().points.size(), 2u);
+  EXPECT_EQ(vrps_of(assembled.value()), vrps_of(repo));
+  EXPECT_EQ(vrps_of(assembled.value()), 3u);
+}
+
+TEST_F(PublicationFixture, AssembleRejectsMissingObjects) {
+  const auto repo = build_repo(1);
+  auto objects = rpki::publish_repository(repo);
+  // Drop the TA certificate.
+  objects.erase(objects.begin());
+  EXPECT_FALSE(rpki::assemble_repository(objects).ok());
+}
+
+TEST_F(PublicationFixture, AssembleRejectsUnknownFileTypes) {
+  const auto repo = build_repo(1);
+  auto objects = rpki::publish_repository(repo);
+  objects.push_back({"rsync://rpki.ripe.example/repo/0/evil.bin", {1, 2, 3}});
+  EXPECT_FALSE(rpki::assemble_repository(objects).ok());
+}
+
+TEST_F(PublicationFixture, BaseUriNamesTheAnchor) {
+  const auto repo = build_repo(1);
+  EXPECT_EQ(rpki::repository_base_uri(repo), "rsync://rpki.ripe.example/repo");
+}
+
+// --- RRDP -----------------------------------------------------------------------
+
+TEST_F(PublicationFixture, RrdpSnapshotBootstrap) {
+  const auto repo = build_repo(2);
+  rpki::RrdpServer server("session-1", repo);
+  rpki::RrdpClient client;
+  auto r = client.sync(server);
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  EXPECT_TRUE(client.synchronized());
+  EXPECT_EQ(client.serial(), 1u);
+  EXPECT_EQ(client.stats().snapshots_fetched, 1u);
+  EXPECT_EQ(client.stats().deltas_applied, 0u);
+
+  auto assembled = client.assemble();
+  ASSERT_TRUE(assembled.ok()) << assembled.error().message;
+  EXPECT_EQ(vrps_of(assembled.value()), 3u);
+}
+
+TEST_F(PublicationFixture, RrdpIncrementalDelta) {
+  rpki::RrdpServer server("session-1", build_repo(1));
+  rpki::RrdpClient client;
+  ASSERT_TRUE(client.sync(server).ok());
+  EXPECT_EQ(vrps_of(client.assemble().value()), 2u);
+
+  // Publish an updated repository with one more ROA.
+  server.update(build_repo(2));
+  ASSERT_TRUE(client.sync(server).ok());
+  EXPECT_EQ(client.serial(), 2u);
+  EXPECT_EQ(client.stats().snapshots_fetched, 1u);  // no re-bootstrap
+  EXPECT_EQ(client.stats().deltas_applied, 1u);
+  EXPECT_EQ(vrps_of(client.assemble().value()), 3u);
+}
+
+TEST_F(PublicationFixture, RrdpDeltaWithdrawals) {
+  rpki::RrdpServer server("session-1", build_repo(3));
+  rpki::RrdpClient client;
+  ASSERT_TRUE(client.sync(server).ok());
+  EXPECT_EQ(vrps_of(client.assemble().value()), 4u);
+
+  server.update(build_repo(1));  // shrinks: withdraws two ROAs (and churn)
+  ASSERT_TRUE(client.sync(server).ok());
+  EXPECT_GT(client.stats().objects_withdrawn, 0u);
+  EXPECT_EQ(vrps_of(client.assemble().value()), 2u);
+}
+
+TEST_F(PublicationFixture, RrdpSyncIsIdempotent) {
+  rpki::RrdpServer server("session-1", build_repo(1));
+  rpki::RrdpClient client;
+  ASSERT_TRUE(client.sync(server).ok());
+  const auto stats_before = client.stats();
+  ASSERT_TRUE(client.sync(server).ok());  // nothing new
+  EXPECT_EQ(client.stats().snapshots_fetched, stats_before.snapshots_fetched);
+  EXPECT_EQ(client.stats().deltas_applied, stats_before.deltas_applied);
+}
+
+TEST_F(PublicationFixture, RrdpFallsBackToSnapshotWhenDeltasAgeOut) {
+  rpki::RrdpServer server("session-1", build_repo(1), /*delta_window=*/1);
+  rpki::RrdpClient client;
+  ASSERT_TRUE(client.sync(server).ok());
+
+  server.update(build_repo(2));
+  server.update(build_repo(3));  // the serial-2 delta ages out
+  ASSERT_TRUE(client.sync(server).ok());
+  EXPECT_EQ(client.serial(), 3u);
+  EXPECT_EQ(client.stats().snapshots_fetched, 2u);  // re-bootstrap
+  EXPECT_EQ(vrps_of(client.assemble().value()), 4u);
+}
+
+TEST_F(PublicationFixture, RrdpSessionChangeForcesSnapshot) {
+  rpki::RrdpClient client;
+  {
+    rpki::RrdpServer server("session-1", build_repo(1));
+    ASSERT_TRUE(client.sync(server).ok());
+  }
+  rpki::RrdpServer reborn("session-2", build_repo(2));
+  reborn.update(build_repo(2));  // serial 2, but a different session
+  ASSERT_TRUE(client.sync(reborn).ok());
+  EXPECT_EQ(client.session_id(), "session-2");
+  EXPECT_EQ(client.stats().snapshots_fetched, 2u);
+  EXPECT_EQ(vrps_of(client.assemble().value()), 3u);
+}
+
+TEST_F(PublicationFixture, RrdpDocumentsAreRealXml) {
+  rpki::RrdpServer server("session-1", build_repo(1));
+  auto notification = encoding::xml_parse(server.notification_xml());
+  ASSERT_TRUE(notification.ok());
+  EXPECT_EQ(notification.value().name, "notification");
+  ASSERT_NE(notification.value().child("snapshot"), nullptr);
+  EXPECT_NE(notification.value().child("snapshot")->attribute("hash"), nullptr);
+
+  auto snapshot = encoding::xml_parse(server.snapshot_xml());
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_FALSE(snapshot.value().children_named("publish").empty());
+}
+
+// --- fs publication ---------------------------------------------------------------
+
+TEST_F(PublicationFixture, FilesystemTreeRoundTrip) {
+  const auto repo = build_repo(2);
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() / "ripki-fs-pub-test";
+  std::filesystem::remove_all(root);
+
+  auto written = rpki::write_repository_tree(repo, root);
+  ASSERT_TRUE(written.ok()) << written.error().message;
+  EXPECT_TRUE(std::filesystem::exists(root / "ta.cer"));
+  EXPECT_TRUE(std::filesystem::exists(root / "0" / "manifest.mft"));
+
+  auto loaded = rpki::read_repository_tree(root);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_EQ(loaded.value().points.size(), 2u);
+  EXPECT_EQ(vrps_of(loaded.value()), vrps_of(repo));
+
+  std::filesystem::remove_all(root);
+}
+
+TEST_F(PublicationFixture, FilesystemRejectsForeignFiles) {
+  const auto repo = build_repo(1);
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() / "ripki-fs-pub-bad";
+  std::filesystem::remove_all(root);
+  ASSERT_TRUE(rpki::write_repository_tree(repo, root).ok());
+  std::ofstream(root / "0" / "README.txt") << "not an rpki object";
+  EXPECT_FALSE(rpki::read_repository_tree(root).ok());
+  std::filesystem::remove_all(root);
+}
+
+}  // namespace
+}  // namespace ripki

@@ -1,0 +1,343 @@
+// Tests for the BGP UPDATE codec and the policy-propagation /
+// partial-deployment substrate.
+#include <gtest/gtest.h>
+
+#include "bgp/topology.hpp"
+#include "bgp/update.hpp"
+
+namespace ripki::bgp {
+namespace {
+
+net::Prefix P(const std::string& text) { return net::Prefix::parse(text).value(); }
+
+// --- UPDATE codec ------------------------------------------------------------
+
+TEST(UpdateCodec, AnnouncementRoundTrip) {
+  UpdateMessage update;
+  update.as_path = AsPath::sequence({3320, 1299, 65010});
+  update.next_hop = net::IpAddress::v4(192, 0, 2, 1);
+  update.nlri = {P("208.65.152.0/22"), P("10.0.0.0/8"), P("23.4.128.0/17")};
+
+  auto encoded = encode_update(update);
+  ASSERT_TRUE(encoded.ok());
+  util::ByteReader reader(encoded.value());
+  auto decoded = decode_update(reader);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded.value(), update);
+  EXPECT_TRUE(reader.at_end());
+}
+
+TEST(UpdateCodec, WithdrawalOnlyRoundTrip) {
+  UpdateMessage update;
+  update.withdrawn = {P("208.65.153.0/24"), P("0.0.0.0/0")};
+
+  auto encoded = encode_update(update);
+  ASSERT_TRUE(encoded.ok());
+  util::ByteReader reader(encoded.value());
+  auto decoded = decode_update(reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().withdrawn, update.withdrawn);
+  EXPECT_TRUE(decoded.value().nlri.empty());
+}
+
+TEST(UpdateCodec, HeaderLayout) {
+  UpdateMessage update;
+  update.withdrawn = {P("10.0.0.0/8")};
+  const auto encoded = encode_update(update).value();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(encoded[static_cast<std::size_t>(i)], 0xFF);
+  EXPECT_EQ(encoded[18], kBgpMessageTypeUpdate);
+  // length field == actual size
+  EXPECT_EQ((encoded[16] << 8) | encoded[17], static_cast<int>(encoded.size()));
+}
+
+TEST(UpdateCodec, RejectsBadMarker) {
+  UpdateMessage update;
+  update.withdrawn = {P("10.0.0.0/8")};
+  auto encoded = encode_update(update).value();
+  encoded[3] = 0x00;
+  util::ByteReader reader(encoded);
+  EXPECT_FALSE(decode_update(reader).ok());
+}
+
+TEST(UpdateCodec, RejectsAnnouncementWithoutAsPath) {
+  // Hand-build: header + empty withdrawn + empty attrs + one NLRI.
+  util::ByteWriter w;
+  for (int i = 0; i < 16; ++i) w.put_u8(0xFF);
+  w.put_u16(19 + 2 + 2 + 2);  // header + blocks + 1-byte prefix field
+  w.put_u8(kBgpMessageTypeUpdate);
+  w.put_u16(0);  // withdrawn length
+  w.put_u16(0);  // attrs length
+  w.put_u8(8);   // prefix length 8
+  w.put_u8(10);  // "10.0.0.0/8"
+  util::ByteReader reader(w.bytes());
+  EXPECT_FALSE(decode_update(reader).ok());
+}
+
+TEST(UpdateCodec, RejectsOverflowingWithdrawnBlock) {
+  UpdateMessage update;
+  update.withdrawn = {P("10.0.0.0/8")};
+  auto encoded = encode_update(update).value();
+  encoded[19] = 0xFF;  // withdrawn length high byte: overflows body
+  encoded[20] = 0xFF;
+  util::ByteReader reader(encoded);
+  EXPECT_FALSE(decode_update(reader).ok());
+}
+
+TEST(UpdateCodec, RejectsTruncation) {
+  UpdateMessage update;
+  update.as_path = AsPath::sequence({1, 2});
+  update.next_hop = net::IpAddress::v4(192, 0, 2, 1);
+  update.nlri = {P("10.0.0.0/8")};
+  auto encoded = encode_update(update).value();
+  for (std::size_t cut = 1; cut < encoded.size(); cut += 7) {
+    util::Bytes truncated(encoded.begin(),
+                          encoded.begin() + static_cast<long>(cut));
+    util::ByteReader reader(truncated);
+    EXPECT_FALSE(decode_update(reader).ok()) << "cut=" << cut;
+  }
+}
+
+// --- topology generation ------------------------------------------------------
+
+TopologyConfig small_topology() {
+  TopologyConfig config;
+  config.tier1_count = 4;
+  config.transit_count = 30;
+  config.edge_count = 300;
+  return config;
+}
+
+TEST(AsTopology, StructureMatchesConfig) {
+  const auto topology = AsTopology::generate(small_topology());
+  EXPECT_EQ(topology.as_count(), 334u);
+  EXPECT_EQ(topology.tier1_count(), 4u);
+  EXPECT_FALSE(topology.is_edge(0));
+  EXPECT_FALSE(topology.is_edge(33));
+  EXPECT_TRUE(topology.is_edge(34));
+
+  // Tier-1s form a clique of peers.
+  for (std::size_t a = 0; a < 4; ++a) {
+    std::size_t peers = 0;
+    for (const auto& link : topology.links(a)) {
+      if (link.neighbor < 4) {
+        EXPECT_EQ(link.relationship, Relationship::kPeer);
+        ++peers;
+      }
+    }
+    EXPECT_EQ(peers, 3u);
+  }
+
+  // Every edge AS has at least one provider; stubs have no customers.
+  for (std::size_t e = 34; e < topology.as_count(); ++e) {
+    bool has_provider = false;
+    for (const auto& link : topology.links(e)) {
+      EXPECT_NE(link.relationship, Relationship::kCustomer);
+      if (link.relationship == Relationship::kProvider) has_provider = true;
+    }
+    EXPECT_TRUE(has_provider) << "edge " << e;
+  }
+}
+
+TEST(AsTopology, LinksAreSymmetric) {
+  const auto topology = AsTopology::generate(small_topology());
+  for (std::size_t a = 0; a < topology.as_count(); ++a) {
+    for (const auto& link : topology.links(a)) {
+      bool found = false;
+      for (const auto& back : topology.links(link.neighbor)) {
+        if (back.neighbor != a) continue;
+        found = true;
+        // Relationship must invert.
+        if (link.relationship == Relationship::kPeer) {
+          EXPECT_EQ(back.relationship, Relationship::kPeer);
+        } else if (link.relationship == Relationship::kCustomer) {
+          EXPECT_EQ(back.relationship, Relationship::kProvider);
+        } else {
+          EXPECT_EQ(back.relationship, Relationship::kCustomer);
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(AsTopology, DeterministicForSeed) {
+  const auto a = AsTopology::generate(small_topology());
+  const auto b = AsTopology::generate(small_topology());
+  ASSERT_EQ(a.as_count(), b.as_count());
+  for (std::size_t i = 0; i < a.as_count(); ++i) {
+    EXPECT_EQ(a.asn_of(i), b.asn_of(i));
+    EXPECT_EQ(a.links(i).size(), b.links(i).size());
+  }
+}
+
+// --- propagation -----------------------------------------------------------------
+
+class PropagationTest : public ::testing::Test {
+ protected:
+  PropagationTest() : topology_(AsTopology::generate(small_topology())) {}
+  AsTopology topology_;
+};
+
+TEST_F(PropagationTest, AnnouncementReachesAlmostEveryone) {
+  PropagationSim sim(topology_, nullptr);
+  const Announcement announcement{P("10.0.0.0/8"), 40};  // an edge AS
+  const auto routes = sim.propagate(announcement);
+
+  std::size_t reachable = 0;
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    if (i == 40) continue;
+    if (routes[i].reachable) {
+      ++reachable;
+      EXPECT_EQ(routes[i].path.origin()->value(), topology_.asn_of(40).value());
+      EXPECT_GE(routes[i].path.hop_count(), 1u);
+    }
+  }
+  // The graph is connected through providers: everyone can reach a stub.
+  EXPECT_EQ(reachable, topology_.as_count() - 1);
+}
+
+TEST_F(PropagationTest, ValleyFreePathsOnly) {
+  PropagationSim sim(topology_, nullptr);
+  const Announcement announcement{P("10.0.0.0/8"), 50};
+  const auto routes = sim.propagate(announcement);
+
+  // Gao-Rexford paths are valley-free: walked from the ORIGIN to the
+  // route holder, the link pattern must be up* peer? down* (climb through
+  // providers, cross at most one peering, then descend to customers).
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    if (!routes[i].reachable || routes[i].path.hop_count() < 2) continue;
+
+    // AS indices along the path: route holder first, origin last.
+    std::vector<std::uint32_t> indices;
+    indices.push_back(static_cast<std::uint32_t>(i));
+    for (const auto& segment : routes[i].path.segments()) {
+      for (const auto asn : segment.asns) {
+        for (std::size_t k = 0; k < topology_.as_count(); ++k) {
+          if (topology_.asn_of(k) == asn) {
+            indices.push_back(static_cast<std::uint32_t>(k));
+            break;
+          }
+        }
+      }
+    }
+    std::reverse(indices.begin(), indices.end());  // origin ... holder
+
+    // Phases: 0 = climbing (to providers), 1 = crossed a peer link,
+    // 2 = descending (to customers). Transitions may only move forward.
+    int phase = 0;
+    bool ok = true;
+    for (std::size_t step = 0; ok && step + 1 < indices.size(); ++step) {
+      Relationship rel = Relationship::kPeer;
+      bool found = false;
+      for (const auto& link : topology_.links(indices[step])) {
+        if (link.neighbor == indices[step + 1]) {
+          rel = link.relationship;
+          found = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(found) << "path traverses a non-existent link";
+      switch (rel) {
+        case Relationship::kProvider:  // going up
+          if (phase != 0) ok = false;
+          break;
+        case Relationship::kPeer:
+          if (phase >= 1) ok = false;
+          phase = 1;
+          break;
+        case Relationship::kCustomer:  // going down
+          phase = 2;
+          break;
+      }
+    }
+    EXPECT_TRUE(ok) << "valley in path " << routes[i].path.to_string();
+    ++checked;
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+TEST_F(PropagationTest, HijackPollutesWithoutValidation) {
+  PropagationSim sim(topology_, nullptr);
+  const Announcement legit{P("208.65.152.0/22"), 100};
+  const Announcement hijack{P("208.65.153.0/24"), 200};
+  const auto outcome = sim.simulate_hijack(legit, hijack);
+  // Without validation, the more-specific reaches everyone: full pollution.
+  EXPECT_EQ(outcome.polluted, topology_.as_count() - 2);
+  EXPECT_EQ(outcome.protected_count, 0u);
+}
+
+TEST_F(PropagationTest, UniversalValidationStopsHijack) {
+  rpki::VrpIndex index;
+  index.add(rpki::Vrp{P("208.65.152.0/22"), 22,
+                      topology_.asn_of(100)});  // ROA for the victim
+  PropagationSim sim(topology_, &index);
+  sim.set_validators(std::vector<bool>(topology_.as_count(), true));
+
+  const Announcement legit{P("208.65.152.0/22"), 100};
+  const Announcement hijack{P("208.65.153.0/24"), 200};
+  const auto outcome = sim.simulate_hijack(legit, hijack);
+  // Only the hijacker's neighbors-of-zero: no one accepts the invalid
+  // more-specific, everyone keeps the valid covering route.
+  EXPECT_EQ(outcome.polluted, 0u);
+  EXPECT_EQ(outcome.protected_count, topology_.as_count() - 2);
+}
+
+TEST_F(PropagationTest, PartialValidationReducesPollutionMonotonically) {
+  rpki::VrpIndex index;
+  index.add(rpki::Vrp{P("208.65.152.0/22"), 22, topology_.asn_of(100)});
+  PropagationSim sim(topology_, &index);
+
+  const Announcement legit{P("208.65.152.0/22"), 100};
+  const Announcement hijack{P("208.65.153.0/24"), 200};
+
+  util::Prng prng(3);
+  double previous = 1.1;
+  for (const double adoption : {0.0, 0.3, 0.7, 1.0}) {
+    std::vector<bool> validators(topology_.as_count());
+    for (std::size_t i = 0; i < validators.size(); ++i) {
+      validators[i] = prng.bernoulli(adoption);
+    }
+    sim.set_validators(validators);
+    const double polluted = sim.simulate_hijack(legit, hijack).polluted_fraction();
+    EXPECT_LE(polluted, previous + 0.05) << "adoption " << adoption;
+    previous = polluted;
+  }
+}
+
+TEST_F(PropagationTest, ValidatorsThemselvesAreNeverPolluted) {
+  rpki::VrpIndex index;
+  index.add(rpki::Vrp{P("208.65.152.0/22"), 22, topology_.asn_of(100)});
+  PropagationSim sim(topology_, &index);
+
+  util::Prng prng(4);
+  std::vector<bool> validators(topology_.as_count());
+  for (std::size_t i = 0; i < validators.size(); ++i) {
+    validators[i] = prng.bernoulli(0.4);
+  }
+  sim.set_validators(validators);
+
+  const Announcement hijack{P("208.65.153.0/24"), 200};
+  const auto routes = sim.propagate(hijack);
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    if (i == 200 || !validators[i]) continue;
+    EXPECT_FALSE(routes[i].reachable) << "validating AS " << i << " accepted hijack";
+  }
+}
+
+TEST_F(PropagationTest, ValidAnnouncementsPassValidators) {
+  rpki::VrpIndex index;
+  index.add(rpki::Vrp{P("208.65.152.0/22"), 22, topology_.asn_of(100)});
+  PropagationSim sim(topology_, &index);
+  sim.set_validators(std::vector<bool>(topology_.as_count(), true));
+
+  const auto routes = sim.propagate(Announcement{P("208.65.152.0/22"), 100});
+  std::size_t reachable = 0;
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    if (i != 100 && routes[i].reachable) ++reachable;
+  }
+  EXPECT_EQ(reachable, topology_.as_count() - 1);
+}
+
+}  // namespace
+}  // namespace ripki::bgp

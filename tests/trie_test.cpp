@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "trie/prefix_trie.hpp"
+#include "util/prng.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace ripki::trie {
+namespace {
+
+net::Prefix P(const std::string& text) {
+  auto p = net::Prefix::parse(text);
+  EXPECT_TRUE(p.ok()) << text;
+  return p.value();
+}
+
+net::IpAddress A(const std::string& text) {
+  auto a = net::IpAddress::parse(text);
+  EXPECT_TRUE(a.ok()) << text;
+  return a.value();
+}
+
+TEST(PrefixTrie, InsertAndFindExact) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/8"), 1);
+  trie.insert(P("10.0.0.0/16"), 2);
+  trie.insert(P("192.168.0.0/16"), 3);
+
+  EXPECT_EQ(trie.size(), 3u);
+  ASSERT_NE(trie.find_exact(P("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(*trie.find_exact(P("10.0.0.0/8")), 1);
+  EXPECT_EQ(*trie.find_exact(P("10.0.0.0/16")), 2);
+  EXPECT_EQ(*trie.find_exact(P("192.168.0.0/16")), 3);
+  EXPECT_EQ(trie.find_exact(P("10.0.0.0/12")), nullptr);
+  EXPECT_EQ(trie.find_exact(P("11.0.0.0/8")), nullptr);
+}
+
+TEST(PrefixTrie, InsertReplacesValue) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/8"), 1);
+  trie.insert(P("10.0.0.0/8"), 9);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(*trie.find_exact(P("10.0.0.0/8")), 9);
+}
+
+TEST(PrefixTrie, CoveringReturnsShortestFirst) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/8"), 8);
+  trie.insert(P("10.1.0.0/16"), 16);
+  trie.insert(P("10.1.2.0/24"), 24);
+  trie.insert(P("10.2.0.0/16"), 99);  // not covering 10.1.2.3
+
+  const auto matches = trie.covering(A("10.1.2.3"));
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(*matches[0].value, 8);
+  EXPECT_EQ(*matches[1].value, 16);
+  EXPECT_EQ(*matches[2].value, 24);
+  EXPECT_EQ(matches[0].prefix, P("10.0.0.0/8"));
+}
+
+TEST(PrefixTrie, CoveringOfPrefixStopsAtTargetLength) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/8"), 8);
+  trie.insert(P("10.1.0.0/16"), 16);
+  trie.insert(P("10.1.2.0/24"), 24);
+
+  const auto matches = trie.covering(P("10.1.0.0/16"));
+  ASSERT_EQ(matches.size(), 2u);  // the /24 is more specific than the target
+  EXPECT_EQ(*matches[0].value, 8);
+  EXPECT_EQ(*matches[1].value, 16);
+}
+
+TEST(PrefixTrie, LongestMatch) {
+  PrefixTrie<int> trie;
+  trie.insert(P("0.0.0.0/0"), 0);
+  trie.insert(P("10.0.0.0/8"), 8);
+  trie.insert(P("10.128.0.0/9"), 9);
+
+  const auto best = trie.longest_match(A("10.200.0.1"));
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(*best->value, 9);
+
+  const auto fallback = trie.longest_match(A("99.0.0.1"));
+  ASSERT_TRUE(fallback.has_value());
+  EXPECT_EQ(*fallback->value, 0);
+}
+
+TEST(PrefixTrie, NoMatchReturnsEmpty) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/8"), 1);
+  EXPECT_TRUE(trie.covering(A("11.0.0.1")).empty());
+  EXPECT_FALSE(trie.longest_match(A("11.0.0.1")).has_value());
+}
+
+TEST(PrefixTrie, FamiliesAreSeparate) {
+  PrefixTrie<int> trie;
+  trie.insert(P("0.0.0.0/0"), 4);
+  trie.insert(P("::/0"), 6);
+  EXPECT_EQ(*trie.covering(A("8.8.8.8")).front().value, 4);
+  EXPECT_EQ(*trie.covering(A("2a00::1")).front().value, 6);
+  EXPECT_EQ(trie.size(), 2u);
+}
+
+TEST(PrefixTrie, V6CoveringChain) {
+  PrefixTrie<int> trie;
+  trie.insert(P("2a00::/12"), 12);
+  trie.insert(P("2a00:1450::/32"), 32);
+  trie.insert(P("2a00:1450:4001::/48"), 48);
+  const auto matches = trie.covering(A("2a00:1450:4001:82f::200e"));
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(*matches.back().value, 48);
+}
+
+TEST(PrefixTrie, SplitNodesDoNotLeakValues) {
+  PrefixTrie<int> trie;
+  // Inserting two diverging prefixes creates an internal split node that
+  // must not appear as a match.
+  trie.insert(P("10.0.0.0/16"), 1);
+  trie.insert(P("10.1.0.0/16"), 2);
+  const auto matches = trie.covering(A("10.0.0.1"));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(*matches[0].value, 1);
+}
+
+TEST(PrefixTrie, InsertOnExistingSplitNode) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/16"), 1);
+  trie.insert(P("10.1.0.0/16"), 2);
+  trie.insert(P("10.0.0.0/15"), 3);  // lands exactly on the split node
+  EXPECT_EQ(trie.size(), 3u);
+  ASSERT_NE(trie.find_exact(P("10.0.0.0/15")), nullptr);
+  EXPECT_EQ(*trie.find_exact(P("10.0.0.0/15")), 3);
+  EXPECT_EQ(trie.covering(A("10.1.2.3")).size(), 2u);  // /15 and /16
+}
+
+TEST(PrefixTrie, VisitEnumeratesAll) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/8"), 1);
+  trie.insert(P("10.1.0.0/16"), 2);
+  trie.insert(P("2a00::/12"), 3);
+  int count = 0;
+  int sum = 0;
+  trie.visit([&](const net::Prefix&, const int& v) {
+    ++count;
+    sum += v;
+  });
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sum, 6);
+}
+
+TEST(PrefixTrie, Clear) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/8"), 1);
+  trie.clear();
+  EXPECT_TRUE(trie.empty());
+  EXPECT_EQ(trie.find_exact(P("10.0.0.0/8")), nullptr);
+}
+
+TEST(PrefixTrie, DefaultRouteMatchesEverything) {
+  PrefixTrie<int> trie;
+  trie.insert(P("0.0.0.0/0"), 7);
+  EXPECT_EQ(trie.covering(A("1.2.3.4")).size(), 1u);
+  EXPECT_EQ(trie.covering(A("255.255.255.255")).size(), 1u);
+}
+
+// Property test: the trie must agree with a brute-force scan over random
+// prefix sets, for both covering() and longest_match().
+class PrefixTrieProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrefixTrieProperty, AgreesWithBruteForce) {
+  util::Prng prng(GetParam());
+  PrefixTrie<std::size_t> trie;
+  std::vector<net::Prefix> stored;
+
+  for (int i = 0; i < 300; ++i) {
+    const int length = 4 + static_cast<int>(prng.uniform(25));  // 4..28
+    const auto addr = net::IpAddress::v4(static_cast<std::uint32_t>(prng.next_u64()));
+    const net::Prefix prefix(addr, length);
+    if (trie.find_exact(prefix) == nullptr) {
+      stored.push_back(prefix);
+      trie.insert(prefix, stored.size() - 1);
+    }
+  }
+
+  for (int i = 0; i < 500; ++i) {
+    const auto addr = net::IpAddress::v4(static_cast<std::uint32_t>(prng.next_u64()));
+
+    std::vector<net::Prefix> expected;
+    for (const auto& prefix : stored) {
+      if (prefix.contains(addr)) expected.push_back(prefix);
+    }
+    std::sort(expected.begin(), expected.end(),
+              [](const net::Prefix& a, const net::Prefix& b) {
+                return a.length() < b.length();
+              });
+
+    const auto matches = trie.covering(addr);
+    ASSERT_EQ(matches.size(), expected.size());
+    for (std::size_t m = 0; m < matches.size(); ++m) {
+      EXPECT_EQ(matches[m].prefix, expected[m]);
+    }
+
+    const auto best = trie.longest_match(addr);
+    if (expected.empty()) {
+      EXPECT_FALSE(best.has_value());
+    } else {
+      ASSERT_TRUE(best.has_value());
+      EXPECT_EQ(best->prefix, expected.back());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, PrefixTrieProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace ripki::trie
