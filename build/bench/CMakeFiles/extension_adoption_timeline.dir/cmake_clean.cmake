@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_adoption_timeline.dir/extension_adoption_timeline.cpp.o"
+  "CMakeFiles/extension_adoption_timeline.dir/extension_adoption_timeline.cpp.o.d"
+  "extension_adoption_timeline"
+  "extension_adoption_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_adoption_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

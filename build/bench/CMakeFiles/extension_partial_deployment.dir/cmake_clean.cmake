@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_partial_deployment.dir/extension_partial_deployment.cpp.o"
+  "CMakeFiles/extension_partial_deployment.dir/extension_partial_deployment.cpp.o.d"
+  "extension_partial_deployment"
+  "extension_partial_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_partial_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_rpki_by_rank.dir/fig4_rpki_by_rank.cpp.o"
+  "CMakeFiles/fig4_rpki_by_rank.dir/fig4_rpki_by_rank.cpp.o.d"
+  "fig4_rpki_by_rank"
+  "fig4_rpki_by_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_rpki_by_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cdn_popularity.dir/fig5_cdn_popularity.cpp.o"
+  "CMakeFiles/fig5_cdn_popularity.dir/fig5_cdn_popularity.cpp.o.d"
+  "fig5_cdn_popularity"
+  "fig5_cdn_popularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cdn_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

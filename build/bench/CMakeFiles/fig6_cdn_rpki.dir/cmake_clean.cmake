@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_cdn_rpki.dir/fig6_cdn_rpki.cpp.o"
+  "CMakeFiles/fig6_cdn_rpki.dir/fig6_cdn_rpki.cpp.o.d"
+  "fig6_cdn_rpki"
+  "fig6_cdn_rpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cdn_rpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_dnssec.dir/future_dnssec.cpp.o"
+  "CMakeFiles/future_dnssec.dir/future_dnssec.cpp.o.d"
+  "future_dnssec"
+  "future_dnssec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_dnssec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec42_cdn_ases.dir/sec42_cdn_ases.cpp.o"
+  "CMakeFiles/sec42_cdn_ases.dir/sec42_cdn_ases.cpp.o.d"
+  "sec42_cdn_ases"
+  "sec42_cdn_ases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec42_cdn_ases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec42_cdn_ases.
+# This may be replaced when dependencies are built.

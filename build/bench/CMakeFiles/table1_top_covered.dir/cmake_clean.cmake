@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_top_covered.dir/table1_top_covered.cpp.o"
+  "CMakeFiles/table1_top_covered.dir/table1_top_covered.cpp.o.d"
+  "table1_top_covered"
+  "table1_top_covered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_top_covered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_audit.dir/cdn_audit.cpp.o"
+  "CMakeFiles/cdn_audit.dir/cdn_audit.cpp.o.d"
+  "cdn_audit"
+  "cdn_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relying_party.dir/relying_party.cpp.o"
+  "CMakeFiles/relying_party.dir/relying_party.cpp.o.d"
+  "relying_party"
+  "relying_party.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relying_party.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roa_wizard.dir/roa_wizard.cpp.o"
+  "CMakeFiles/roa_wizard.dir/roa_wizard.cpp.o.d"
+  "roa_wizard"
+  "roa_wizard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roa_wizard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for roa_wizard.
+# This may be replaced when dependencies are built.

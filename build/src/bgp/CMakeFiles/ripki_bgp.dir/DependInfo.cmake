@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/as_path.cpp" "src/bgp/CMakeFiles/ripki_bgp.dir/as_path.cpp.o" "gcc" "src/bgp/CMakeFiles/ripki_bgp.dir/as_path.cpp.o.d"
+  "/root/repo/src/bgp/collector.cpp" "src/bgp/CMakeFiles/ripki_bgp.dir/collector.cpp.o" "gcc" "src/bgp/CMakeFiles/ripki_bgp.dir/collector.cpp.o.d"
+  "/root/repo/src/bgp/mrt.cpp" "src/bgp/CMakeFiles/ripki_bgp.dir/mrt.cpp.o" "gcc" "src/bgp/CMakeFiles/ripki_bgp.dir/mrt.cpp.o.d"
+  "/root/repo/src/bgp/rib.cpp" "src/bgp/CMakeFiles/ripki_bgp.dir/rib.cpp.o" "gcc" "src/bgp/CMakeFiles/ripki_bgp.dir/rib.cpp.o.d"
+  "/root/repo/src/bgp/speaker.cpp" "src/bgp/CMakeFiles/ripki_bgp.dir/speaker.cpp.o" "gcc" "src/bgp/CMakeFiles/ripki_bgp.dir/speaker.cpp.o.d"
+  "/root/repo/src/bgp/topology.cpp" "src/bgp/CMakeFiles/ripki_bgp.dir/topology.cpp.o" "gcc" "src/bgp/CMakeFiles/ripki_bgp.dir/topology.cpp.o.d"
+  "/root/repo/src/bgp/update.cpp" "src/bgp/CMakeFiles/ripki_bgp.dir/update.cpp.o" "gcc" "src/bgp/CMakeFiles/ripki_bgp.dir/update.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ripki_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpki/CMakeFiles/ripki_rpki.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ripki_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/ripki_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ripki_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

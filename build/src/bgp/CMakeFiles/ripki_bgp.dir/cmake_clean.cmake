@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripki_bgp.dir/as_path.cpp.o"
+  "CMakeFiles/ripki_bgp.dir/as_path.cpp.o.d"
+  "CMakeFiles/ripki_bgp.dir/collector.cpp.o"
+  "CMakeFiles/ripki_bgp.dir/collector.cpp.o.d"
+  "CMakeFiles/ripki_bgp.dir/mrt.cpp.o"
+  "CMakeFiles/ripki_bgp.dir/mrt.cpp.o.d"
+  "CMakeFiles/ripki_bgp.dir/rib.cpp.o"
+  "CMakeFiles/ripki_bgp.dir/rib.cpp.o.d"
+  "CMakeFiles/ripki_bgp.dir/speaker.cpp.o"
+  "CMakeFiles/ripki_bgp.dir/speaker.cpp.o.d"
+  "CMakeFiles/ripki_bgp.dir/topology.cpp.o"
+  "CMakeFiles/ripki_bgp.dir/topology.cpp.o.d"
+  "CMakeFiles/ripki_bgp.dir/update.cpp.o"
+  "CMakeFiles/ripki_bgp.dir/update.cpp.o.d"
+  "libripki_bgp.a"
+  "libripki_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripki_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

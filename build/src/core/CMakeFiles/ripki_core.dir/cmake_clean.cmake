@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripki_core.dir/classifiers.cpp.o"
+  "CMakeFiles/ripki_core.dir/classifiers.cpp.o.d"
+  "CMakeFiles/ripki_core.dir/dataset.cpp.o"
+  "CMakeFiles/ripki_core.dir/dataset.cpp.o.d"
+  "CMakeFiles/ripki_core.dir/export.cpp.o"
+  "CMakeFiles/ripki_core.dir/export.cpp.o.d"
+  "CMakeFiles/ripki_core.dir/pipeline.cpp.o"
+  "CMakeFiles/ripki_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/ripki_core.dir/reports.cpp.o"
+  "CMakeFiles/ripki_core.dir/reports.cpp.o.d"
+  "libripki_core.a"
+  "libripki_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripki_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripki_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/ripki_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/ripki_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/ripki_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/ripki_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/ripki_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/ripki_crypto.dir/uint256.cpp.o"
+  "CMakeFiles/ripki_crypto.dir/uint256.cpp.o.d"
+  "libripki_crypto.a"
+  "libripki_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripki_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripki_dns.dir/message.cpp.o"
+  "CMakeFiles/ripki_dns.dir/message.cpp.o.d"
+  "CMakeFiles/ripki_dns.dir/name.cpp.o"
+  "CMakeFiles/ripki_dns.dir/name.cpp.o.d"
+  "CMakeFiles/ripki_dns.dir/resolver.cpp.o"
+  "CMakeFiles/ripki_dns.dir/resolver.cpp.o.d"
+  "CMakeFiles/ripki_dns.dir/server.cpp.o"
+  "CMakeFiles/ripki_dns.dir/server.cpp.o.d"
+  "CMakeFiles/ripki_dns.dir/zone.cpp.o"
+  "CMakeFiles/ripki_dns.dir/zone.cpp.o.d"
+  "libripki_dns.a"
+  "libripki_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripki_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

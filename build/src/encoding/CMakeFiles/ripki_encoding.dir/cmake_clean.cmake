@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripki_encoding.dir/tlv.cpp.o"
+  "CMakeFiles/ripki_encoding.dir/tlv.cpp.o.d"
+  "CMakeFiles/ripki_encoding.dir/xml.cpp.o"
+  "CMakeFiles/ripki_encoding.dir/xml.cpp.o.d"
+  "libripki_encoding.a"
+  "libripki_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripki_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

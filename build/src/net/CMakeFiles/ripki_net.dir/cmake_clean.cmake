@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripki_net.dir/ip.cpp.o"
+  "CMakeFiles/ripki_net.dir/ip.cpp.o.d"
+  "CMakeFiles/ripki_net.dir/prefix.cpp.o"
+  "CMakeFiles/ripki_net.dir/prefix.cpp.o.d"
+  "CMakeFiles/ripki_net.dir/special.cpp.o"
+  "CMakeFiles/ripki_net.dir/special.cpp.o.d"
+  "libripki_net.a"
+  "libripki_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripki_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpki/cert.cpp" "src/rpki/CMakeFiles/ripki_rpki.dir/cert.cpp.o" "gcc" "src/rpki/CMakeFiles/ripki_rpki.dir/cert.cpp.o.d"
+  "/root/repo/src/rpki/crl.cpp" "src/rpki/CMakeFiles/ripki_rpki.dir/crl.cpp.o" "gcc" "src/rpki/CMakeFiles/ripki_rpki.dir/crl.cpp.o.d"
+  "/root/repo/src/rpki/fs_publication.cpp" "src/rpki/CMakeFiles/ripki_rpki.dir/fs_publication.cpp.o" "gcc" "src/rpki/CMakeFiles/ripki_rpki.dir/fs_publication.cpp.o.d"
+  "/root/repo/src/rpki/manifest.cpp" "src/rpki/CMakeFiles/ripki_rpki.dir/manifest.cpp.o" "gcc" "src/rpki/CMakeFiles/ripki_rpki.dir/manifest.cpp.o.d"
+  "/root/repo/src/rpki/origin_validation.cpp" "src/rpki/CMakeFiles/ripki_rpki.dir/origin_validation.cpp.o" "gcc" "src/rpki/CMakeFiles/ripki_rpki.dir/origin_validation.cpp.o.d"
+  "/root/repo/src/rpki/publication.cpp" "src/rpki/CMakeFiles/ripki_rpki.dir/publication.cpp.o" "gcc" "src/rpki/CMakeFiles/ripki_rpki.dir/publication.cpp.o.d"
+  "/root/repo/src/rpki/repository.cpp" "src/rpki/CMakeFiles/ripki_rpki.dir/repository.cpp.o" "gcc" "src/rpki/CMakeFiles/ripki_rpki.dir/repository.cpp.o.d"
+  "/root/repo/src/rpki/resources.cpp" "src/rpki/CMakeFiles/ripki_rpki.dir/resources.cpp.o" "gcc" "src/rpki/CMakeFiles/ripki_rpki.dir/resources.cpp.o.d"
+  "/root/repo/src/rpki/roa.cpp" "src/rpki/CMakeFiles/ripki_rpki.dir/roa.cpp.o" "gcc" "src/rpki/CMakeFiles/ripki_rpki.dir/roa.cpp.o.d"
+  "/root/repo/src/rpki/rrdp.cpp" "src/rpki/CMakeFiles/ripki_rpki.dir/rrdp.cpp.o" "gcc" "src/rpki/CMakeFiles/ripki_rpki.dir/rrdp.cpp.o.d"
+  "/root/repo/src/rpki/tal.cpp" "src/rpki/CMakeFiles/ripki_rpki.dir/tal.cpp.o" "gcc" "src/rpki/CMakeFiles/ripki_rpki.dir/tal.cpp.o.d"
+  "/root/repo/src/rpki/validator.cpp" "src/rpki/CMakeFiles/ripki_rpki.dir/validator.cpp.o" "gcc" "src/rpki/CMakeFiles/ripki_rpki.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/ripki_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/ripki_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ripki_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ripki_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripki_rpki.dir/cert.cpp.o"
+  "CMakeFiles/ripki_rpki.dir/cert.cpp.o.d"
+  "CMakeFiles/ripki_rpki.dir/crl.cpp.o"
+  "CMakeFiles/ripki_rpki.dir/crl.cpp.o.d"
+  "CMakeFiles/ripki_rpki.dir/fs_publication.cpp.o"
+  "CMakeFiles/ripki_rpki.dir/fs_publication.cpp.o.d"
+  "CMakeFiles/ripki_rpki.dir/manifest.cpp.o"
+  "CMakeFiles/ripki_rpki.dir/manifest.cpp.o.d"
+  "CMakeFiles/ripki_rpki.dir/origin_validation.cpp.o"
+  "CMakeFiles/ripki_rpki.dir/origin_validation.cpp.o.d"
+  "CMakeFiles/ripki_rpki.dir/publication.cpp.o"
+  "CMakeFiles/ripki_rpki.dir/publication.cpp.o.d"
+  "CMakeFiles/ripki_rpki.dir/repository.cpp.o"
+  "CMakeFiles/ripki_rpki.dir/repository.cpp.o.d"
+  "CMakeFiles/ripki_rpki.dir/resources.cpp.o"
+  "CMakeFiles/ripki_rpki.dir/resources.cpp.o.d"
+  "CMakeFiles/ripki_rpki.dir/roa.cpp.o"
+  "CMakeFiles/ripki_rpki.dir/roa.cpp.o.d"
+  "CMakeFiles/ripki_rpki.dir/rrdp.cpp.o"
+  "CMakeFiles/ripki_rpki.dir/rrdp.cpp.o.d"
+  "CMakeFiles/ripki_rpki.dir/tal.cpp.o"
+  "CMakeFiles/ripki_rpki.dir/tal.cpp.o.d"
+  "CMakeFiles/ripki_rpki.dir/validator.cpp.o"
+  "CMakeFiles/ripki_rpki.dir/validator.cpp.o.d"
+  "libripki_rpki.a"
+  "libripki_rpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripki_rpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripki_rtr.dir/cache.cpp.o"
+  "CMakeFiles/ripki_rtr.dir/cache.cpp.o.d"
+  "CMakeFiles/ripki_rtr.dir/client.cpp.o"
+  "CMakeFiles/ripki_rtr.dir/client.cpp.o.d"
+  "CMakeFiles/ripki_rtr.dir/pdu.cpp.o"
+  "CMakeFiles/ripki_rtr.dir/pdu.cpp.o.d"
+  "libripki_rtr.a"
+  "libripki_rtr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripki_rtr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripki_util.dir/bytes.cpp.o"
+  "CMakeFiles/ripki_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/ripki_util.dir/prng.cpp.o"
+  "CMakeFiles/ripki_util.dir/prng.cpp.o.d"
+  "CMakeFiles/ripki_util.dir/stats.cpp.o"
+  "CMakeFiles/ripki_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ripki_util.dir/strings.cpp.o"
+  "CMakeFiles/ripki_util.dir/strings.cpp.o.d"
+  "CMakeFiles/ripki_util.dir/table.cpp.o"
+  "CMakeFiles/ripki_util.dir/table.cpp.o.d"
+  "libripki_util.a"
+  "libripki_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripki_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libripki_util.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/web/allocator.cpp" "src/web/CMakeFiles/ripki_web.dir/allocator.cpp.o" "gcc" "src/web/CMakeFiles/ripki_web.dir/allocator.cpp.o.d"
+  "/root/repo/src/web/as_registry.cpp" "src/web/CMakeFiles/ripki_web.dir/as_registry.cpp.o" "gcc" "src/web/CMakeFiles/ripki_web.dir/as_registry.cpp.o.d"
+  "/root/repo/src/web/cdn.cpp" "src/web/CMakeFiles/ripki_web.dir/cdn.cpp.o" "gcc" "src/web/CMakeFiles/ripki_web.dir/cdn.cpp.o.d"
+  "/root/repo/src/web/ecosystem.cpp" "src/web/CMakeFiles/ripki_web.dir/ecosystem.cpp.o" "gcc" "src/web/CMakeFiles/ripki_web.dir/ecosystem.cpp.o.d"
+  "/root/repo/src/web/names.cpp" "src/web/CMakeFiles/ripki_web.dir/names.cpp.o" "gcc" "src/web/CMakeFiles/ripki_web.dir/names.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/ripki_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/ripki_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpki/CMakeFiles/ripki_rpki.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ripki_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/ripki_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ripki_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ripki_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripki_web.dir/allocator.cpp.o"
+  "CMakeFiles/ripki_web.dir/allocator.cpp.o.d"
+  "CMakeFiles/ripki_web.dir/as_registry.cpp.o"
+  "CMakeFiles/ripki_web.dir/as_registry.cpp.o.d"
+  "CMakeFiles/ripki_web.dir/cdn.cpp.o"
+  "CMakeFiles/ripki_web.dir/cdn.cpp.o.d"
+  "CMakeFiles/ripki_web.dir/ecosystem.cpp.o"
+  "CMakeFiles/ripki_web.dir/ecosystem.cpp.o.d"
+  "CMakeFiles/ripki_web.dir/names.cpp.o"
+  "CMakeFiles/ripki_web.dir/names.cpp.o.d"
+  "libripki_web.a"
+  "libripki_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripki_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

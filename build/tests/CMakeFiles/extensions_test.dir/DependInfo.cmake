@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/extensions_test.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/extensions_test.dir/extensions_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ripki_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/ripki_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/ripki_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/ripki_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtr/CMakeFiles/ripki_rtr.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpki/CMakeFiles/ripki_rpki.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ripki_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ripki_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/ripki_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ripki_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

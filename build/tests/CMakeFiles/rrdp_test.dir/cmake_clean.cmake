@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrdp_test.dir/rrdp_test.cpp.o"
+  "CMakeFiles/rrdp_test.dir/rrdp_test.cpp.o.d"
+  "rrdp_test"
+  "rrdp_test.pdb"
+  "rrdp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrdp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rtr_test.cpp" "tests/CMakeFiles/rtr_test.dir/rtr_test.cpp.o" "gcc" "tests/CMakeFiles/rtr_test.dir/rtr_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtr/CMakeFiles/ripki_rtr.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpki/CMakeFiles/ripki_rpki.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ripki_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/ripki_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ripki_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ripki_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
