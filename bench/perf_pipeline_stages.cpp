@@ -1,0 +1,49 @@
+// Per-stage timing baseline for the measurement pipeline.
+//
+// Runs the four-step pipeline with a metrics registry attached and emits
+// the full registry — counters, gauges, and the `ripki.trace.*` span
+// histograms for every stage — as JSON on stdout, with the human-readable
+// stage table on stderr. Future PRs compare this JSON against their own
+// run to track the per-stage perf trajectory.
+//
+//   build/bench/perf_pipeline_stages [domain_count] [--rtr] [--rrdp]
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "core/export.hpp"
+#include "core/pipeline.hpp"
+#include "obs/span.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ripki;
+
+  web::EcosystemConfig config;
+  config.domain_count = 20'000;
+  core::PipelineConfig pipeline_config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rtr") == 0) {
+      pipeline_config.use_rtr = true;
+    } else if (std::strcmp(argv[i], "--rrdp") == 0) {
+      pipeline_config.use_rrdp = true;
+    } else {
+      config.domain_count = std::strtoull(argv[i], nullptr, 10);
+    }
+  }
+
+  std::cerr << "perf_pipeline_stages: " << config.domain_count
+            << " domains (rtr=" << pipeline_config.use_rtr
+            << ", rrdp=" << pipeline_config.use_rrdp << ")\n";
+  const auto ecosystem = web::Ecosystem::generate(config);
+
+  obs::Registry registry;
+  pipeline_config.registry = &registry;
+  pipeline_config.verbosity = obs::LogLevel::kInfo;
+  core::MeasurementPipeline pipeline(*ecosystem, pipeline_config);
+  const core::Dataset dataset = pipeline.run();
+  (void)dataset;
+
+  obs::render_stage_report(registry, std::cerr);
+  core::export_metrics_json(registry, std::cout);
+  return 0;
+}

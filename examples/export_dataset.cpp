@@ -12,6 +12,7 @@
 
 #include "core/export.hpp"
 #include "core/pipeline.hpp"
+#include "obs/span.hpp"
 
 int main(int argc, char** argv) {
   using namespace ripki;
@@ -22,8 +23,12 @@ int main(int argc, char** argv) {
 
   std::cerr << "export_dataset: generating ecosystem and running pipeline...\n";
   const auto ecosystem = web::Ecosystem::generate(config);
-  core::MeasurementPipeline pipeline(*ecosystem, core::PipelineConfig{});
+  obs::Registry registry;
+  core::PipelineConfig pipeline_config;
+  pipeline_config.registry = &registry;
+  core::MeasurementPipeline pipeline(*ecosystem, pipeline_config);
   const core::Dataset dataset = pipeline.run();
+  obs::render_stage_report(registry, std::cerr);
 
   const auto write = [&](const std::string& name, auto&& writer) {
     const std::string path = out_dir + "/" + name;
@@ -43,5 +48,26 @@ int main(int argc, char** argv) {
   write("ripki_counters.csv", [](const core::Dataset& d, std::ostream& os) {
     export_counters_csv(d, os);
   });
+
+  // Pipeline metrics alongside the dataset: machine-readable timing and
+  // counters for this run, in both serialisation formats.
+  const auto write_metrics = [&](const std::string& name, auto&& writer) {
+    const std::string path = out_dir + "/" + name;
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "cannot open " << path << " for writing\n";
+      std::exit(1);
+    }
+    writer(registry, os);
+    std::cout << "wrote " << path << "\n";
+  };
+  write_metrics("ripki_metrics.json",
+                [](const obs::Registry& r, std::ostream& os) {
+                  core::export_metrics_json(r, os);
+                });
+  write_metrics("ripki_metrics.prom",
+                [](const obs::Registry& r, std::ostream& os) {
+                  core::export_metrics_prometheus(r, os);
+                });
   return 0;
 }

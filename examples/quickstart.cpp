@@ -8,6 +8,7 @@
 #include "core/classifiers.hpp"
 #include "core/pipeline.hpp"
 #include "core/reports.hpp"
+#include "obs/span.hpp"
 #include "util/strings.hpp"
 
 int main(int argc, char** argv) {
@@ -26,7 +27,10 @@ int main(int argc, char** argv) {
             << ", BGP table: " << ecosystem->rib().prefix_count() << " prefixes / "
             << ecosystem->rib().entry_count() << " entries\n";
 
-  core::MeasurementPipeline pipeline(*ecosystem, core::PipelineConfig{});
+  obs::Registry registry;
+  core::PipelineConfig pipeline_config;
+  pipeline_config.registry = &registry;
+  core::MeasurementPipeline pipeline(*ecosystem, pipeline_config);
   std::cout << "Running measurement pipeline...\n";
   const core::Dataset dataset = pipeline.run();
 
@@ -67,6 +71,9 @@ int main(int argc, char** argv) {
             << util::format_percent(fig6.cdn_mean_coverage) << "\n";
   std::cout << "  unconditioned web             "
             << util::format_percent(fig6.all_mean_coverage) << "\n";
+
+  std::cout << "\nStage timing breakdown:\n";
+  obs::render_stage_report(registry, std::cout);
 
   const core::CdnAsDirectory directory(ecosystem->registry());
   std::cout << "\nCDN AS census (paper §4.2): " << directory.total_cdn_ases()

@@ -1,8 +1,17 @@
 #include "bgp/mrt.hpp"
 
 #include <cassert>
+#include <chrono>
+
+#include "obs/span.hpp"
 
 namespace ripki::bgp::mrt {
+
+void ParseStats::publish(obs::Registry& registry) const {
+  for_each_field([&](const char* name, std::uint64_t value) {
+    registry.counter(std::string("ripki.bgp.mrt.") + name).set(value);
+  });
+}
 
 namespace {
 
@@ -150,7 +159,10 @@ util::Bytes write_table_dump(const Rib& rib, std::uint32_t collector_bgp_id,
 }
 
 util::Result<Rib> read_table_dump(std::span<const std::uint8_t> data,
-                                  ParseStats* stats) {
+                                  ParseStats* stats, obs::Registry* registry) {
+  obs::Span parse_span(registry, "mrt.parse");
+  std::uint64_t insert_ns = 0;  // trie-insertion time, summed across entries
+
   util::ByteReader reader(data);
   Rib rib;
   bool saw_peer_index = false;
@@ -244,11 +256,24 @@ util::Result<Rib> read_table_dump(std::span<const std::uint8_t> data,
         ++stats->rib_entries;
       }
       entry.as_path = std::move(path);
-      rib.add(std::move(entry));
+      if (registry != nullptr) {
+        const auto insert_start = std::chrono::steady_clock::now();
+        rib.add(std::move(entry));
+        insert_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - insert_start)
+                .count());
+      } else {
+        rib.add(std::move(entry));
+      }
     }
     if (!body.at_end()) return util::Err("mrt: trailing bytes in RIB record");
   }
 
+  if (registry != nullptr) {
+    obs::record_duration_ns(registry, "rib_insert", insert_ns);
+    if (stats != nullptr) stats->publish(*registry);
+  }
   return rib;
 }
 

@@ -18,6 +18,10 @@
 #include "util/bytes.hpp"
 #include "util/result.hpp"
 
+namespace ripki::obs {
+class Registry;
+}
+
 namespace ripki::bgp::mrt {
 
 inline constexpr std::uint16_t kTypeTableDumpV2 = 13;
@@ -51,10 +55,24 @@ struct ParseStats {
   std::uint64_t skipped_attributes = 0;
 
   bool operator==(const ParseStats&) const = default;
+
+  /// Single enumeration point shared by registry publication and export.
+  template <typename Fn>
+  void for_each_field(Fn&& fn) const {
+    fn("records", records);
+    fn("rib_entries", rib_entries);
+    fn("skipped_attributes", skipped_attributes);
+  }
+
+  /// Publishes every field as `ripki.bgp.mrt.<field>` in `registry`.
+  void publish(obs::Registry& registry) const;
 };
 
-/// Parses a TABLE_DUMP_V2 file back into a Rib.
+/// Parses a TABLE_DUMP_V2 file back into a Rib. When `registry` is given,
+/// the parse is wrapped in a `mrt.parse` trace span and the time spent in
+/// RIB trie insertion is recorded separately as `rib_insert`.
 util::Result<Rib> read_table_dump(std::span<const std::uint8_t> data,
-                                  ParseStats* stats = nullptr);
+                                  ParseStats* stats = nullptr,
+                                  obs::Registry* registry = nullptr);
 
 }  // namespace ripki::bgp::mrt

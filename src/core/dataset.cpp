@@ -1,6 +1,14 @@
 #include "core/dataset.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace ripki::core {
+
+void PipelineCounters::publish(obs::Registry& registry) const {
+  for_each_field([&](const char* name, std::uint64_t value) {
+    registry.counter(std::string("ripki.pipeline.") + name).set(value);
+  });
+}
 
 double VariantResult::coverage() const {
   if (pairs.empty()) return 0.0;

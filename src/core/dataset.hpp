@@ -13,6 +13,10 @@
 #include "net/prefix.hpp"
 #include "rpki/origin_validation.hpp"
 
+namespace ripki::obs {
+class Registry;
+}
+
 namespace ripki::core {
 
 /// One (covering prefix, origin AS) pair with its RFC 6811 outcome.
@@ -74,6 +78,27 @@ struct PipelineCounters {
   std::uint64_t pairs_apex = 0;
   std::uint64_t as_set_entries_excluded = 0;
   std::uint64_t dnssec_signed_domains = 0;
+
+  /// The single enumeration point for these counters: CSV export and
+  /// obs::Registry publication both iterate this list, so adding a field
+  /// here is the only change needed to surface it everywhere.
+  template <typename Fn>
+  void for_each_field(Fn&& fn) const {
+    fn("domains_total", domains_total);
+    fn("domains_excluded_dns", domains_excluded_dns);
+    fn("dns_queries", dns_queries);
+    fn("addresses_www", addresses_www);
+    fn("addresses_apex", addresses_apex);
+    fn("special_purpose_excluded", special_purpose_excluded);
+    fn("unrouted_addresses", unrouted_addresses);
+    fn("pairs_www", pairs_www);
+    fn("pairs_apex", pairs_apex);
+    fn("as_set_entries_excluded", as_set_entries_excluded);
+    fn("dnssec_signed_domains", dnssec_signed_domains);
+  }
+
+  /// Publishes every field as `ripki.pipeline.<field>` in `registry`.
+  void publish(obs::Registry& registry) const;
 };
 
 struct Dataset {

@@ -63,20 +63,113 @@ void export_pairs_csv(const Dataset& dataset, std::ostream& os) {
 }
 
 void export_counters_csv(const Dataset& dataset, std::ostream& os) {
-  const auto& c = dataset.counters;
   os << "key,value\n";
-  os << "domains_total," << c.domains_total << '\n';
-  os << "domains_excluded_dns," << c.domains_excluded_dns << '\n';
-  os << "dns_queries," << c.dns_queries << '\n';
-  os << "addresses_www," << c.addresses_www << '\n';
-  os << "addresses_apex," << c.addresses_apex << '\n';
-  os << "special_purpose_excluded," << c.special_purpose_excluded << '\n';
-  os << "unrouted_addresses," << c.unrouted_addresses << '\n';
-  os << "pairs_www," << c.pairs_www << '\n';
-  os << "pairs_apex," << c.pairs_apex << '\n';
-  os << "as_set_entries_excluded," << c.as_set_entries_excluded << '\n';
-  os << "dnssec_signed_domains," << c.dnssec_signed_domains << '\n';
+  dataset.counters.for_each_field([&](const char* name, std::uint64_t value) {
+    os << name << ',' << value << '\n';
+  });
   os << "rank_space," << dataset.rank_space << '\n';
+}
+
+namespace {
+
+/// JSON number formatting: integral values print without a fraction so
+/// counters round-trip exactly.
+std::string json_number(double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void export_metrics_json(const obs::Registry& registry, std::ostream& os) {
+  const auto metrics = registry.collect();
+  const auto emit_section = [&](obs::MetricSnapshot::Kind kind,
+                                const char* label, auto&& emit_value) {
+    os << '"' << label << "\":{";
+    bool first = true;
+    for (const auto& m : metrics) {
+      if (m.kind != kind) continue;
+      if (!first) os << ',';
+      first = false;
+      os << '"' << m.name << "\":";
+      emit_value(m);
+    }
+    os << '}';
+  };
+
+  os << '{';
+  emit_section(obs::MetricSnapshot::Kind::kCounter, "counters",
+               [&](const obs::MetricSnapshot& m) { os << m.counter_value; });
+  os << ',';
+  emit_section(obs::MetricSnapshot::Kind::kGauge, "gauges",
+               [&](const obs::MetricSnapshot& m) { os << m.gauge_value; });
+  os << ',';
+  emit_section(
+      obs::MetricSnapshot::Kind::kHistogram, "histograms",
+      [&](const obs::MetricSnapshot& m) {
+        os << "{\"count\":" << m.count << ",\"sum\":" << json_number(m.sum)
+           << ",\"max\":" << json_number(m.max)
+           << ",\"p50\":" << json_number(m.p50)
+           << ",\"p90\":" << json_number(m.p90)
+           << ",\"p99\":" << json_number(m.p99) << ",\"buckets\":[";
+        for (std::size_t i = 0; i < m.bucket_counts.size(); ++i) {
+          if (i > 0) os << ',';
+          os << "{\"le\":";
+          if (i < m.bounds.size()) {
+            os << json_number(m.bounds[i]);
+          } else {
+            os << "\"+Inf\"";
+          }
+          os << ",\"count\":" << m.bucket_counts[i] << '}';
+        }
+        os << "]}";
+      });
+  os << "}\n";
+}
+
+void export_metrics_prometheus(const obs::Registry& registry, std::ostream& os) {
+  for (const auto& m : registry.collect()) {
+    const std::string name = prometheus_name(m.name);
+    switch (m.kind) {
+      case obs::MetricSnapshot::Kind::kCounter:
+        os << "# TYPE " << name << " counter\n"
+           << name << ' ' << m.counter_value << '\n';
+        break;
+      case obs::MetricSnapshot::Kind::kGauge:
+        os << "# TYPE " << name << " gauge\n"
+           << name << ' ' << m.gauge_value << '\n';
+        break;
+      case obs::MetricSnapshot::Kind::kHistogram: {
+        os << "# TYPE " << name << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < m.bucket_counts.size(); ++i) {
+          cumulative += m.bucket_counts[i];
+          os << name << "_bucket{le=\"";
+          if (i < m.bounds.size()) {
+            os << json_number(m.bounds[i]);
+          } else {
+            os << "+Inf";
+          }
+          os << "\"} " << cumulative << '\n';
+        }
+        os << name << "_sum " << json_number(m.sum) << '\n'
+           << name << "_count " << m.count << '\n';
+        break;
+      }
+    }
+  }
 }
 
 }  // namespace ripki::core

@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "core/dataset.hpp"
+#include "obs/metrics.hpp"
 
 namespace ripki::core {
 
@@ -19,5 +20,15 @@ void export_pairs_csv(const Dataset& dataset, std::ostream& os);
 
 /// Pipeline counters as key,value rows.
 void export_counters_csv(const Dataset& dataset, std::ostream& os);
+
+/// Everything in the registry as one JSON object:
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+/// max, p50, p90, p99, buckets: [{le, count}, ...]}, ...}}.
+void export_metrics_json(const obs::Registry& registry, std::ostream& os);
+
+/// Prometheus text exposition format: metric names with dots mapped to
+/// underscores, histograms as cumulative `_bucket{le=...}` series plus
+/// `_sum` and `_count`.
+void export_metrics_prometheus(const obs::Registry& registry, std::ostream& os);
 
 }  // namespace ripki::core

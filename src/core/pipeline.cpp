@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "net/special.hpp"
+#include "obs/span.hpp"
 #include "rpki/rrdp.hpp"
 #include "rtr/cache.hpp"
 
@@ -15,22 +16,39 @@ MeasurementPipeline::MeasurementPipeline(const web::Ecosystem& ecosystem,
   if (config_.now == 0) config_.now = ecosystem.config().now;
 }
 
+void MeasurementPipeline::log(obs::LogLevel level, std::string_view message,
+                              std::vector<obs::LogField> fields) const {
+  if (static_cast<int>(level) < static_cast<int>(config_.verbosity)) return;
+  obs::Logger::global().log(level, "pipeline", message, std::move(fields));
+}
+
 void MeasurementPipeline::prepare_rib() {
+  obs::Span span(config_.registry, "stage3.rib_prepare");
   // Consume the collector table the way the paper consumes RIS: through
   // the serialised MRT dump, not via in-process shortcuts.
   const util::Bytes dump = ecosystem_.mrt_dump();
-  auto rib = bgp::mrt::read_table_dump(dump, &mrt_stats_);
+  auto rib = bgp::mrt::read_table_dump(dump, &mrt_stats_, config_.registry);
   assert(rib.ok() && "ecosystem MRT dump must parse");
   rib_ = std::move(rib).value();
+  if (config_.registry != nullptr) {
+    config_.registry->gauge("ripki.bgp.rib_prefixes")
+        .set(static_cast<std::int64_t>(rib_.prefix_count()));
+    config_.registry->gauge("ripki.bgp.rib_entries")
+        .set(static_cast<std::int64_t>(rib_.entry_count()));
+  }
+  log(obs::LogLevel::kInfo, "stage 3 table ready",
+      {{"prefixes", rib_.prefix_count()}, {"entries", rib_.entry_count()}});
 }
 
 void MeasurementPipeline::prepare_vrps() {
-  const rpki::RepositoryValidator validator(config_.now);
+  obs::Span span(config_.registry, "stage4.vrp_prepare");
+  const rpki::RepositoryValidator validator(config_.now, config_.registry);
   if (config_.use_rrdp) {
     // Full relying-party collection: mirror every repository over RRDP,
     // reassemble the fetched objects, and bootstrap trust from the TALs.
     std::vector<rpki::Repository> fetched;
     for (const auto& repo : ecosystem_.repositories()) {
+      obs::Span mirror_span(config_.registry, "rrdp.mirror");
       rpki::RrdpServer server("session-" + rpki::repository_base_uri(repo), repo);
       rpki::RrdpClient client;
       const auto synced = client.sync(server);
@@ -50,6 +68,7 @@ void MeasurementPipeline::prepare_vrps() {
     // Ship the validated set to the "router" over RFC 6810.
     rtr::CacheServer cache(/*session_id=*/0x5157, report_.vrps);
     rtr::RouterClient client;
+    client.attach(config_.registry);
     const auto synced = client.sync(cache);
     assert(synced.ok() && "RTR sync against in-process cache must succeed");
     (void)synced;
@@ -57,6 +76,10 @@ void MeasurementPipeline::prepare_vrps() {
   } else {
     vrp_index_ = rpki::VrpIndex(report_.vrps);
   }
+  log(obs::LogLevel::kInfo, "stage 4 VRPs ready",
+      {{"vrps", report_.vrps.size()},
+       {"roas_accepted", report_.roas_accepted},
+       {"roas_rejected", report_.roas_rejected}});
 }
 
 VariantResult MeasurementPipeline::measure_variant(dns::StubResolver& resolver,
@@ -65,7 +88,9 @@ VariantResult MeasurementPipeline::measure_variant(dns::StubResolver& resolver,
   VariantResult result;
 
   // Step 2: resolve A/AAAA with CNAME chasing.
+  obs::Span dns_span(config_.registry, "stage2.dns");
   auto resolution = resolver.resolve_all(name);
+  dns_span.stop();
   if (!resolution.ok()) return result;  // treated as unresolvable
   const dns::Resolution& res = resolution.value();
   result.cname_hops = static_cast<std::uint8_t>(
@@ -89,6 +114,7 @@ VariantResult MeasurementPipeline::measure_variant(dns::StubResolver& resolver,
       std::min<std::size_t>(addresses.size(), UINT16_MAX));
 
   // Step 3: all covering prefixes and their origin ASes.
+  obs::Span lookup_span(config_.registry, "stage3.prefix_origin");
   std::vector<PrefixAsPair> pairs;
   for (const auto& addr : addresses) {
     const auto covering = rib_.covering(addr);
@@ -122,26 +148,34 @@ VariantResult MeasurementPipeline::measure_variant(dns::StubResolver& resolver,
                             return a.prefix == b.prefix && a.origin == b.origin;
                           }),
               pairs.end());
+  lookup_span.stop();
+  obs::Span validate_span(config_.registry, "stage4.origin_validation");
   for (auto& pair : pairs) {
     pair.validity = vrp_index_.validate(pair.prefix, pair.origin);
   }
+  validate_span.stop();
   result.pairs = std::move(pairs);
   return result;
 }
 
 Dataset MeasurementPipeline::run() {
+  obs::Span run_span(config_.registry, "pipeline.run");
   prepare_rib();
   prepare_vrps();
 
   dns::AuthoritativeServer server(&ecosystem_.zone_source(config_.vantage));
   dns::StubResolver resolver(&server);
+  resolver.attach(config_.registry);
 
   Dataset dataset;
   dataset.rank_space = ecosystem_.config().rank_space;
 
+  obs::Span select_span(config_.registry, "stage1.select_domains");
   std::size_t count = ecosystem_.domain_count();
   if (config_.max_domains != 0) count = std::min(count, config_.max_domains);
   dataset.records.reserve(count);
+  select_span.stop();
+  log(obs::LogLevel::kInfo, "stage 1 domains selected", {{"domains", count}});
 
   for (std::size_t i = 0; i < count; ++i) {
     const web::DomainPlan& plan = ecosystem_.plan(i);
@@ -180,6 +214,13 @@ Dataset MeasurementPipeline::run() {
     dataset.records.push_back(std::move(record));
   }
   dataset.counters.dns_queries = resolver.queries_sent();
+
+  if (config_.registry != nullptr) {
+    dataset.counters.publish(*config_.registry);
+    run_span.stop();
+    log(obs::LogLevel::kInfo,
+        "stage timing breakdown\n" + obs::stage_report(*config_.registry));
+  }
   return dataset;
 }
 

@@ -17,6 +17,8 @@
 #include "bgp/mrt.hpp"
 #include "core/dataset.hpp"
 #include "dns/resolver.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "rpki/validator.hpp"
 #include "rtr/client.hpp"
 #include "web/ecosystem.hpp"
@@ -42,6 +44,17 @@ struct PipelineConfig {
 
   /// Optionally restrict to the first N domains (0 = all).
   std::size_t max_domains = 0;
+
+  /// Observability. When `registry` is set, every stage records trace
+  /// spans and counters into it (borrowed; must outlive the pipeline) and
+  /// the stage-timing breakdown is logged at the end of run(). When null,
+  /// instrumentation is inert — no clock reads, no atomics.
+  obs::Registry* registry = nullptr;
+
+  /// Minimum severity of the pipeline's own log output (through the
+  /// global obs::Logger). Default silences everything below warnings;
+  /// kInfo adds per-stage progress lines and the timing table.
+  obs::LogLevel verbosity = obs::LogLevel::kWarn;
 };
 
 class MeasurementPipeline {
@@ -63,6 +76,9 @@ class MeasurementPipeline {
   VariantResult measure_variant(dns::StubResolver& resolver,
                                 const dns::DnsName& name,
                                 PipelineCounters& counters);
+  /// Emits through the global logger when `config_.verbosity` admits it.
+  void log(obs::LogLevel level, std::string_view message,
+           std::vector<obs::LogField> fields = {}) const;
 
   const web::Ecosystem& ecosystem_;
   PipelineConfig config_;

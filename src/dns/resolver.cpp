@@ -2,7 +2,22 @@
 
 #include <algorithm>
 
+#include "obs/span.hpp"
+
 namespace ripki::dns {
+
+void StubResolver::attach(obs::Registry* registry) {
+  registry_ = registry;
+  if (registry == nullptr) {
+    queries_counter_ = nullptr;
+    tcp_retries_counter_ = nullptr;
+    cname_hops_counter_ = nullptr;
+    return;
+  }
+  queries_counter_ = &registry->counter("ripki.dns.queries");
+  tcp_retries_counter_ = &registry->counter("ripki.dns.tcp_retries");
+  cname_hops_counter_ = &registry->counter("ripki.dns.cname_hops");
+}
 
 util::Result<Resolution> StubResolver::resolve(const DnsName& name, RecordType type) {
   Resolution result;
@@ -12,6 +27,7 @@ util::Result<Resolution> StubResolver::resolve(const DnsName& name, RecordType t
   for (std::size_t depth = 0; depth <= kMaxChainDepth; ++depth) {
     const Message query = Message::query(next_id_++, current, type);
     ++queries_sent_;
+    if (queries_counter_ != nullptr) queries_counter_->inc();
     // UDP first; a TC response triggers a TCP retry (RFC 1035 §4.2.1).
     util::Bytes response_bytes = server_->handle_datagram(encode(query));
     RIPKI_TRY_ASSIGN(first, decode(response_bytes));
@@ -19,6 +35,8 @@ util::Result<Resolution> StubResolver::resolve(const DnsName& name, RecordType t
     if (response.truncated) {
       ++tcp_retries_;
       ++queries_sent_;
+      if (tcp_retries_counter_ != nullptr) tcp_retries_counter_->inc();
+      if (queries_counter_ != nullptr) queries_counter_->inc();
       response_bytes = server_->handle_stream(encode(query));
       RIPKI_TRY_ASSIGN(full, decode(response_bytes));
       response = std::move(full);
@@ -56,6 +74,7 @@ util::Result<Resolution> StubResolver::resolve(const DnsName& name, RecordType t
 util::Result<Message> StubResolver::query(const DnsName& name, RecordType type) {
   const Message message = Message::query(next_id_++, name, type);
   ++queries_sent_;
+  if (queries_counter_ != nullptr) queries_counter_->inc();
   const util::Bytes response_bytes = server_->handle_bytes(encode(message));
   RIPKI_TRY_ASSIGN(response, decode(response_bytes));
   if (response.id != message.id) return util::Err("resolver: response id mismatch");
@@ -63,6 +82,7 @@ util::Result<Message> StubResolver::query(const DnsName& name, RecordType type) 
 }
 
 util::Result<Resolution> StubResolver::resolve_all(const DnsName& name) {
+  obs::Span span(registry_, "dns.resolve");
   RIPKI_TRY_ASSIGN(v4, resolve(name, RecordType::kA));
   RIPKI_TRY_ASSIGN(v6, resolve(name, RecordType::kAaaa));
 
@@ -77,6 +97,9 @@ util::Result<Resolution> StubResolver::resolve_all(const DnsName& name) {
       merged.rcode = v4.rcode;
     if (merged.addresses.empty() && v6.rcode != Rcode::kNoError)
       merged.rcode = v6.rcode;
+  }
+  if (cname_hops_counter_ != nullptr && merged.cname_hops() > 0) {
+    cname_hops_counter_->inc(merged.cname_hops());
   }
   return merged;
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dns/server.hpp"
+#include "obs/metrics.hpp"
 
 namespace ripki::dns {
 
@@ -34,6 +35,12 @@ class StubResolver {
   /// `server` is borrowed; it is the recursive vantage being queried.
   explicit StubResolver(const AuthoritativeServer* server) : server_(server) {}
 
+  /// Attaches a metrics registry (nullptr detaches): query/retry/CNAME
+  /// counters go to `ripki.dns.*` and each resolve_all is timed as a
+  /// `dns.resolve` trace span. Handles are cached here so the per-query
+  /// hot path only touches pre-resolved atomics.
+  void attach(obs::Registry* registry);
+
   /// Resolves A (v4) or AAAA (v6) records for `name`, chasing CNAMEs.
   util::Result<Resolution> resolve(const DnsName& name, RecordType type);
 
@@ -54,6 +61,11 @@ class StubResolver {
   std::uint64_t queries_sent_ = 0;
   std::uint64_t tcp_retries_ = 0;
   std::uint16_t next_id_ = 1;
+
+  obs::Registry* registry_ = nullptr;
+  obs::Counter* queries_counter_ = nullptr;
+  obs::Counter* tcp_retries_counter_ = nullptr;
+  obs::Counter* cname_hops_counter_ = nullptr;
 };
 
 }  // namespace ripki::dns

@@ -1,0 +1,74 @@
+#include "obs/log.hpp"
+
+#include <cstdio>
+
+namespace ripki::obs {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+LogField::LogField(std::string_view k, double v) : key(k) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  value = buf;
+}
+
+Logger& Logger::global() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(LogSink sink) {
+  std::lock_guard lock(sink_mutex_);
+  sink_ = std::move(sink);
+}
+
+std::string Logger::format(const LogRecord& record) {
+  std::string out = to_string(record.level);
+  out += ' ';
+  out += record.component;
+  out += ": ";
+  out += record.message;
+  for (const auto& field : record.fields) {
+    out += ' ';
+    out += field.key;
+    out += '=';
+    if (field.value.find(' ') != std::string::npos) {
+      out += '"';
+      out += field.value;
+      out += '"';
+    } else {
+      out += field.value;
+    }
+  }
+  return out;
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view message, std::vector<LogField> fields) {
+  if (!enabled(level)) return;
+  LogRecord record;
+  record.level = level;
+  record.component = std::string(component);
+  record.message = std::string(message);
+  record.fields = std::move(fields);
+
+  std::lock_guard lock(sink_mutex_);
+  if (sink_) {
+    sink_(record);
+  } else {
+    const std::string line = format(record);
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace ripki::obs

@@ -1,0 +1,113 @@
+// Structured logging: severity levels, key=value fields, and a pluggable
+// sink (stderr by default; tests install a capturing sink).
+//
+// The RIPKI_LOG_* macros are compile-time filterable: defining
+// RIPKI_LOG_MIN_LEVEL (0=trace .. 4=error, 5=off) removes lower-severity
+// call sites entirely, so a release build can strip trace/debug logging
+// from hot paths. Runtime filtering via Logger::set_level applies on top.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace ripki::obs {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+const char* to_string(LogLevel level);
+
+/// One key=value attachment. The constructors stringify the common value
+/// types so call sites stay terse.
+struct LogField {
+  std::string key;
+  std::string value;
+
+  LogField(std::string_view k, std::string_view v) : key(k), value(v) {}
+  LogField(std::string_view k, const char* v) : key(k), value(v) {}
+  LogField(std::string_view k, const std::string& v) : key(k), value(v) {}
+  LogField(std::string_view k, bool v) : key(k), value(v ? "true" : "false") {}
+  LogField(std::string_view k, double v);
+  template <typename T>
+    requires std::is_integral_v<T> && (!std::is_same_v<T, bool>)
+  LogField(std::string_view k, T v) : key(k), value(std::to_string(v)) {}
+};
+
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string component;  // the emitting layer, e.g. "pipeline", "dns"
+  std::string message;
+  std::vector<LogField> fields;
+};
+
+using LogSink = std::function<void(const LogRecord&)>;
+
+class Logger {
+ public:
+  /// Process-wide logger used by the RIPKI_LOG_* macros.
+  static Logger& global();
+
+  Logger() = default;
+
+  void set_level(LogLevel level) { level_.store(static_cast<int>(level)); }
+  LogLevel level() const { return static_cast<LogLevel>(level_.load()); }
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= level_.load();
+  }
+
+  /// Installs a sink; passing nullptr restores the default stderr sink.
+  void set_sink(LogSink sink);
+
+  void log(LogLevel level, std::string_view component, std::string_view message,
+           std::vector<LogField> fields = {});
+
+  /// "level component: message key=value ..." — the stderr line format;
+  /// values containing spaces are quoted.
+  static std::string format(const LogRecord& record);
+
+ private:
+  std::atomic<int> level_{static_cast<int>(LogLevel::kInfo)};
+  std::mutex sink_mutex_;
+  LogSink sink_;  // empty => stderr
+};
+
+}  // namespace ripki::obs
+
+/// Call sites below RIPKI_LOG_MIN_LEVEL compile to nothing.
+#ifndef RIPKI_LOG_MIN_LEVEL
+#define RIPKI_LOG_MIN_LEVEL 0
+#endif
+
+#define RIPKI_LOG_AT(level, level_int, component, message, ...)               \
+  do {                                                                        \
+    if constexpr ((level_int) >= RIPKI_LOG_MIN_LEVEL) {                       \
+      auto& ripki_logger = ::ripki::obs::Logger::global();                    \
+      if (ripki_logger.enabled(level)) {                                      \
+        ripki_logger.log(level, component, message,                           \
+                         std::vector<::ripki::obs::LogField>{__VA_ARGS__});   \
+      }                                                                       \
+    }                                                                         \
+  } while (0)
+
+#define RIPKI_LOG_TRACE(component, message, ...) \
+  RIPKI_LOG_AT(::ripki::obs::LogLevel::kTrace, 0, component, message, ##__VA_ARGS__)
+#define RIPKI_LOG_DEBUG(component, message, ...) \
+  RIPKI_LOG_AT(::ripki::obs::LogLevel::kDebug, 1, component, message, ##__VA_ARGS__)
+#define RIPKI_LOG_INFO(component, message, ...) \
+  RIPKI_LOG_AT(::ripki::obs::LogLevel::kInfo, 2, component, message, ##__VA_ARGS__)
+#define RIPKI_LOG_WARN(component, message, ...) \
+  RIPKI_LOG_AT(::ripki::obs::LogLevel::kWarn, 3, component, message, ##__VA_ARGS__)
+#define RIPKI_LOG_ERROR(component, message, ...) \
+  RIPKI_LOG_AT(::ripki::obs::LogLevel::kError, 4, component, message, ##__VA_ARGS__)

@@ -1,0 +1,148 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+namespace ripki::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+         "histogram bounds must ascend");
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + value,
+                                     std::memory_order_relaxed)) {
+  }
+  double seen_max = max_.load(std::memory_order_relaxed);
+  while (value > seen_max &&
+         !max_.compare_exchange_weak(seen_max, value, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::percentile(double p) const {
+  const auto counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  if (total == 0) return 0.0;
+
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(total);
+  double cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(counts[i]);
+    if (next >= target) {
+      if (i == bounds_.size()) return max();  // overflow bucket
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double upper = bounds_[i];
+      const double fraction =
+          (target - cumulative) / static_cast<double>(counts[i]);
+      // No percentile can exceed the largest observation; without the cap
+      // a lone sample in a wide bucket reports the interpolation point.
+      return std::min(lower + fraction * (upper - lower), max());
+    }
+    cumulative = next;
+  }
+  return max();
+}
+
+std::span<const double> default_duration_bounds_us() {
+  static constexpr std::array<double, 20> kBounds = {
+      1,      2,      5,      10,      20,      50,      100,
+      200,    500,    1'000,  2'000,   5'000,   10'000,  20'000,
+      50'000, 100'000, 200'000, 500'000, 1'000'000, 5'000'000};
+  return kBounds;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::span<const double> bounds) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(
+                          std::vector<double>(bounds.begin(), bounds.end())))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<MetricSnapshot> Registry::collect() const {
+  std::lock_guard lock(mutex_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    MetricSnapshot snap;
+    snap.name = name;
+    snap.kind = MetricSnapshot::Kind::kCounter;
+    snap.counter_value = counter->value();
+    out.push_back(std::move(snap));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricSnapshot snap;
+    snap.name = name;
+    snap.kind = MetricSnapshot::Kind::kGauge;
+    snap.gauge_value = gauge->value();
+    out.push_back(std::move(snap));
+  }
+  for (const auto& [name, hist] : histograms_) {
+    MetricSnapshot snap;
+    snap.name = name;
+    snap.kind = MetricSnapshot::Kind::kHistogram;
+    snap.bounds = hist->bounds();
+    snap.bucket_counts = hist->bucket_counts();
+    snap.count = hist->count();
+    snap.sum = hist->sum();
+    snap.max = hist->max();
+    snap.p50 = hist->percentile(0.50);
+    snap.p90 = hist->percentile(0.90);
+    snap.p99 = hist->percentile(0.99);
+    out.push_back(std::move(snap));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace ripki::obs

@@ -1,0 +1,128 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms
+// shared by every pipeline layer.
+//
+// Hot-path discipline: components look a metric up once (a mutex-guarded
+// map access at attach time) and keep the returned handle; every
+// subsequent increment/observe is a relaxed atomic, so recording from the
+// per-domain measurement loop costs a few nanoseconds and never takes a
+// lock. Reads (snapshot/export) aggregate the atomics on demand.
+//
+// Naming convention: `ripki.<layer>.<name>` — e.g. `ripki.dns.queries`,
+// `ripki.rpki.roas_accepted`; trace-span durations live under
+// `ripki.trace.<span path>` (see span.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ripki::obs {
+
+/// Monotonically increasing event count. `set` exists for publishing a
+/// value accumulated elsewhere (e.g. a legacy stats struct).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time signed value (table sizes, queue depths).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram. `bounds` are inclusive upper edges in ascending
+/// order; one implicit overflow bucket catches everything beyond the last
+/// edge. Observation is a relaxed atomic per bucket plus a CAS-looped sum.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  double max() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Bucket i counts observations in (bounds[i-1], bounds[i]]; the final
+  /// entry is the overflow bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+
+  /// Interpolated percentile, `p` in [0, 1]. Within a bucket the value is
+  /// linearly interpolated between the bucket edges (the lower edge of the
+  /// first bucket is 0); ranks landing in the overflow bucket return the
+  /// maximum observed value.
+  double percentile(double p) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Default histogram bucket edges for durations in microseconds: a 1-2-5
+/// decade series from 1µs to 5s.
+std::span<const double> default_duration_bounds_us();
+
+/// Read-side aggregate of one metric, produced by Registry::collect().
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::uint64_t counter_value = 0;
+  std::int64_t gauge_value = 0;
+  // Histogram aggregates (valid when kind == kHistogram):
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> bucket_counts;
+  std::uint64_t count = 0;
+  double sum = 0;
+  double max = 0;
+  double p50 = 0, p90 = 0, p99 = 0;
+};
+
+/// Owner of all metrics. Lookup creates on first use and returns a handle
+/// that stays valid for the registry's lifetime; looking the same name up
+/// again returns the same object.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` applies only on first creation; defaults to the µs duration
+  /// series.
+  Histogram& histogram(std::string_view name,
+                       std::span<const double> bounds = default_duration_bounds_us());
+
+  /// All metrics, sorted by name.
+  std::vector<MetricSnapshot> collect() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace ripki::obs

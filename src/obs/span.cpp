@@ -1,0 +1,96 @@
+#include "obs/span.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace ripki::obs {
+
+namespace {
+
+thread_local Span* g_current_span = nullptr;
+
+std::string joined_path(std::string_view name) {
+  if (g_current_span != nullptr && g_current_span->active()) {
+    std::string path = g_current_span->path();
+    path += '.';
+    path += name;
+    return path;
+  }
+  return std::string(name);
+}
+
+std::string fmt(double v, const char* spec = "%.3f") {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, spec, v);
+  return buf;
+}
+
+}  // namespace
+
+Span::Span(Registry* registry, std::string_view name) : registry_(registry) {
+  if (registry_ == nullptr) return;
+  path_ = joined_path(name);
+  parent_ = g_current_span;
+  g_current_span = this;
+  stopped_ = false;
+  start_ = std::chrono::steady_clock::now();
+}
+
+std::uint64_t Span::elapsed_ns() const {
+  if (registry_ == nullptr) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+void Span::stop() {
+  if (registry_ == nullptr || stopped_) return;
+  const std::uint64_t ns = elapsed_ns();
+  stopped_ = true;
+  if (g_current_span == this) g_current_span = parent_;
+  registry_->histogram(std::string(kTracePrefix) + path_)
+      .observe(static_cast<double>(ns) / 1000.0);  // µs
+}
+
+const Span* Span::current() { return g_current_span; }
+
+void record_duration_ns(Registry* registry, std::string_view name,
+                        std::uint64_t ns) {
+  if (registry == nullptr) return;
+  registry->histogram(std::string(kTracePrefix) + joined_path(name))
+      .observe(static_cast<double>(ns) / 1000.0);
+}
+
+void render_stage_report(const Registry& registry, std::ostream& os) {
+  util::TextTable table({"span", "calls", "total ms", "mean ms", "p50 µs",
+                         "p90 µs", "p99 µs"});
+  bool any = false;
+  for (const auto& metric : registry.collect()) {
+    if (metric.kind != MetricSnapshot::Kind::kHistogram) continue;
+    if (metric.name.rfind(kTracePrefix, 0) != 0) continue;
+    any = true;
+    const double total_ms = metric.sum / 1000.0;
+    const double mean_ms =
+        metric.count == 0 ? 0.0 : total_ms / static_cast<double>(metric.count);
+    table.add_row({metric.name.substr(kTracePrefix.size()),
+                   std::to_string(metric.count), fmt(total_ms), fmt(mean_ms),
+                   fmt(metric.p50, "%.1f"), fmt(metric.p90, "%.1f"),
+                   fmt(metric.p99, "%.1f")});
+  }
+  if (!any) {
+    os << "(no trace spans recorded)\n";
+    return;
+  }
+  table.print(os);
+}
+
+std::string stage_report(const Registry& registry) {
+  std::ostringstream os;
+  render_stage_report(registry, os);
+  return os.str();
+}
+
+}  // namespace ripki::obs

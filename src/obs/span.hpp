@@ -1,0 +1,66 @@
+// Trace spans: RAII scoped timers with parent/child nesting.
+//
+// A span opened while another span is live on the same thread becomes its
+// child; the full dotted path ("pipeline.run.stage2_dns.resolve") names a
+// duration histogram `ripki.trace.<path>` in the registry, so repeated
+// spans (one per domain, say) aggregate into count/total/percentiles
+// instead of an unbounded event list.
+//
+// A span constructed with a null registry is inert: no clock read, no
+// allocation, no thread-local traffic — instrumented code paths cost
+// nothing when observability is off.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace ripki::obs {
+
+/// Metric-name prefix for span duration histograms.
+inline constexpr std::string_view kTracePrefix = "ripki.trace.";
+
+class Span {
+ public:
+  Span(Registry* registry, std::string_view name);
+  ~Span() { stop(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Records the duration now instead of at scope exit; idempotent.
+  void stop();
+
+  bool active() const { return registry_ != nullptr && !stopped_; }
+  std::uint64_t elapsed_ns() const;
+  /// Dotted path including every ancestor ("" for an inert span).
+  const std::string& path() const { return path_; }
+
+  /// The innermost live span on this thread, or nullptr.
+  static const Span* current();
+
+ private:
+  Registry* registry_ = nullptr;
+  Span* parent_ = nullptr;
+  std::string path_;
+  std::chrono::steady_clock::time_point start_{};
+  bool stopped_ = true;
+};
+
+/// Records `ns` under the current span's path extended with `name` — for
+/// durations accumulated manually (e.g. trie-insert time summed across a
+/// parse loop) where a scoped timer per item would be too intrusive.
+void record_duration_ns(Registry* registry, std::string_view name,
+                        std::uint64_t ns);
+
+/// Renders every `ripki.trace.*` histogram as an aligned table — span
+/// path, call count, total/mean milliseconds, p50/p90/p99 microseconds —
+/// the stage-timing breakdown printed after a pipeline run.
+void render_stage_report(const Registry& registry, std::ostream& os);
+std::string stage_report(const Registry& registry);
+
+}  // namespace ripki::obs

@@ -1,6 +1,9 @@
 #include "rpki/validator.hpp"
 
+#include <chrono>
+
 #include "crypto/sha256.hpp"
+#include "obs/span.hpp"
 
 namespace ripki::rpki {
 
@@ -76,6 +79,7 @@ void RepositoryValidator::validate_point(const Repository& repo,
   }
 
   // --- ROAs ---
+  const auto roa_start = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < point.roas.size(); ++i) {
     const Roa& roa = point.roas[i];
     const auto reject = [&](RejectReason reason) {
@@ -139,10 +143,30 @@ void RepositoryValidator::validate_point(const Repository& repo,
       report.vrps.push_back(Vrp{rp.prefix, rp.max_length, roa.content().asn});
     }
   }
+  if (registry_ != nullptr && !point.roas.empty()) {
+    obs::record_duration_ns(
+        registry_, "roa_validate",
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - roa_start)
+                .count()));
+  }
+}
+
+void RepositoryValidator::publish(const ValidationReport& report) const {
+  if (registry_ == nullptr) return;
+  auto& r = *registry_;
+  r.counter("ripki.rpki.tas_processed").set(report.tas_processed);
+  r.counter("ripki.rpki.cas_accepted").set(report.cas_accepted);
+  r.counter("ripki.rpki.cas_rejected").set(report.cas_rejected);
+  r.counter("ripki.rpki.roas_accepted").set(report.roas_accepted);
+  r.counter("ripki.rpki.roas_rejected").set(report.roas_rejected);
+  r.gauge("ripki.rpki.vrps").set(static_cast<std::int64_t>(report.vrps.size()));
 }
 
 void RepositoryValidator::validate_into(const Repository& repo,
                                         ValidationReport& report) const {
+  obs::Span span(registry_, "rpki.validate_repo");
   ++report.tas_processed;
 
   // Trust anchor: self-signed, current, and a CA.
@@ -174,6 +198,7 @@ void RepositoryValidator::validate_into(const Repository& repo,
 ValidationReport RepositoryValidator::validate(std::span<const Repository> repos) const {
   ValidationReport report;
   for (const auto& repo : repos) validate_into(repo, report);
+  publish(report);
   return report;
 }
 
@@ -197,6 +222,7 @@ ValidationReport RepositoryValidator::validate(
     }
     validate_into(repo, report);
   }
+  publish(report);
   return report;
 }
 

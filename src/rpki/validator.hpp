@@ -22,6 +22,10 @@
 #include "rpki/tal.hpp"
 #include "rpki/vrp.hpp"
 
+namespace ripki::obs {
+class Registry;
+}
+
 namespace ripki::rpki {
 
 /// Why an object was rejected; tallied per reason for diagnostics.
@@ -61,7 +65,12 @@ struct ValidationReport {
 class RepositoryValidator {
  public:
   /// `now` is the validation instant for every validity-window check.
-  explicit RepositoryValidator(Timestamp now) : now_(now) {}
+  /// When `registry` is given, each repository walk is wrapped in a
+  /// `rpki.validate_repo` trace span (ROA signature validation timed
+  /// separately as `roa_validate`) and accepted/rejected tallies are
+  /// published under `ripki.rpki.*`.
+  explicit RepositoryValidator(Timestamp now, obs::Registry* registry = nullptr)
+      : now_(now), registry_(registry) {}
 
   /// Validates one repository rooted at its embedded trust anchor
   /// certificate and appends the surviving VRPs to `report`.
@@ -80,8 +89,10 @@ class RepositoryValidator {
  private:
   void validate_point(const Repository& repo, const CaPublicationPoint& point,
                       ValidationReport& report) const;
+  void publish(const ValidationReport& report) const;
 
   Timestamp now_;
+  obs::Registry* registry_ = nullptr;
 };
 
 }  // namespace ripki::rpki

@@ -1,6 +1,14 @@
 #include "rtr/client.hpp"
 
+#include "obs/span.hpp"
+
 namespace ripki::rtr {
+
+void RouterClient::SyncStats::publish(obs::Registry& registry) const {
+  for_each_field([&](const char* name, std::uint64_t value) {
+    registry.counter(std::string("ripki.rtr.") + name).set(value);
+  });
+}
 
 util::Result<void> RouterClient::apply(const PrefixPdu& pdu) {
   const rpki::Vrp vrp = pdu.to_vrp();
@@ -85,6 +93,7 @@ util::Result<void> RouterClient::run_query(CacheServer& cache, const Pdu& query,
 }
 
 util::Result<void> RouterClient::reset_sync(CacheServer& cache) {
+  obs::Span span(registry_, "rtr.reset_sync");
   // At most one downgrade retry per version step.
   for (int attempt = 0; attempt <= kMaxSupportedVersion; ++attempt) {
     vrps_.clear();
@@ -100,6 +109,7 @@ util::Result<void> RouterClient::reset_sync(CacheServer& cache) {
     if (needs_downgrade) continue;
     if (needs_reset)
       return util::Err("rtr client: cache reset in reply to reset query");
+    if (registry_ != nullptr) stats_.publish(*registry_);
     return {};
   }
   return util::Err("rtr client: version negotiation failed");
@@ -107,6 +117,7 @@ util::Result<void> RouterClient::reset_sync(CacheServer& cache) {
 
 util::Result<void> RouterClient::sync(CacheServer& cache) {
   if (!synchronized_) return reset_sync(cache);
+  obs::Span span(registry_, "rtr.sync");
   ++stats_.serial_syncs;
   bool needs_reset = false;
   bool needs_downgrade = false;
@@ -116,6 +127,7 @@ util::Result<void> RouterClient::sync(CacheServer& cache) {
     return r;
   }
   if (needs_reset || needs_downgrade) return reset_sync(cache);
+  if (registry_ != nullptr) stats_.publish(*registry_);
   return {};
 }
 

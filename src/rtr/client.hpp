@@ -11,6 +11,10 @@
 #include "rpki/origin_validation.hpp"
 #include "rtr/cache.hpp"
 
+namespace ripki::obs {
+class Registry;
+}
+
 namespace ripki::rtr {
 
 class RouterClient {
@@ -24,6 +28,22 @@ class RouterClient {
     std::uint64_t cache_resets_seen = 0;
     std::uint64_t version_downgrades = 0;
     std::uint64_t router_keys_received = 0;
+
+    /// Single enumeration point shared by registry publication.
+    template <typename Fn>
+    void for_each_field(Fn&& fn) const {
+      fn("resets", resets);
+      fn("serial_syncs", serial_syncs);
+      fn("pdus_received", pdus_received);
+      fn("announcements", announcements);
+      fn("withdrawals", withdrawals);
+      fn("cache_resets_seen", cache_resets_seen);
+      fn("version_downgrades", version_downgrades);
+      fn("router_keys_received", router_keys_received);
+    }
+
+    /// Publishes every field as `ripki.rtr.<field>` in `registry`.
+    void publish(obs::Registry& registry) const;
   };
 
   /// `preferred_version`: the highest RTR version the router speaks; the
@@ -31,6 +51,10 @@ class RouterClient {
   /// Unsupported-Version (RFC 8210 §7).
   explicit RouterClient(std::uint8_t preferred_version = kMaxSupportedVersion)
       : version_(preferred_version) {}
+
+  /// Attaches a metrics registry (nullptr detaches): every sync is timed
+  /// as an `rtr.sync` trace span and SyncStats are published afterwards.
+  void attach(obs::Registry* registry) { registry_ = registry; }
 
   /// Full resynchronisation (Reset Query). Replaces local state.
   util::Result<void> reset_sync(CacheServer& cache);
@@ -70,6 +94,7 @@ class RouterClient {
   std::set<rpki::Vrp> vrps_;
   std::vector<RouterKey> router_keys_;
   SyncStats stats_;
+  obs::Registry* registry_ = nullptr;
 };
 
 }  // namespace ripki::rtr

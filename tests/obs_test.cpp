@@ -1,0 +1,376 @@
+// Observability subsystem: counter/gauge/histogram semantics, percentile
+// math against known distributions, span nesting and timing monotonicity,
+// logger sink capture and level filtering, and JSON/Prometheus export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "bgp/mrt.hpp"
+#include "core/dataset.hpp"
+#include "core/export.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace {
+
+using namespace ripki;
+
+// --- metrics ---------------------------------------------------------------
+
+TEST(Metrics, CounterIncrementAndSet) {
+  obs::Registry registry;
+  auto& counter = registry.counter("ripki.test.events");
+  EXPECT_EQ(counter.value(), 0u);
+  counter.inc();
+  counter.inc(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.set(7);
+  EXPECT_EQ(counter.value(), 7u);
+  // Same name resolves to the same metric.
+  EXPECT_EQ(&registry.counter("ripki.test.events"), &counter);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  obs::Registry registry;
+  auto& gauge = registry.gauge("ripki.test.depth");
+  gauge.set(10);
+  gauge.add(-3);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.add(-10);
+  EXPECT_EQ(gauge.value(), -3);
+}
+
+TEST(Metrics, CounterIsThreadSafe) {
+  obs::Registry registry;
+  auto& counter = registry.counter("ripki.test.parallel");
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 100'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.inc();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(Metrics, HistogramBucketsAndAggregates) {
+  obs::Registry registry;
+  const double bounds[] = {10, 20, 30};
+  auto& hist = registry.histogram("ripki.test.hist", bounds);
+  hist.observe(5);    // bucket 0
+  hist.observe(10);   // bucket 0 (bounds are inclusive upper edges)
+  hist.observe(15);   // bucket 1
+  hist.observe(100);  // overflow
+  EXPECT_EQ(hist.count(), 4u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 130.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 100.0);
+  const auto counts = hist.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+}
+
+TEST(Metrics, HistogramPercentilesOnUniformDistribution) {
+  obs::Registry registry;
+  const double bounds[] = {25, 50, 75, 100};
+  auto& hist = registry.histogram("ripki.test.uniform", bounds);
+  // 1..100 uniform: 25 observations per bucket. With linear interpolation
+  // inside the bucket, the percentiles land exactly on the value.
+  for (int v = 1; v <= 100; ++v) hist.observe(v);
+  EXPECT_DOUBLE_EQ(hist.percentile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(hist.percentile(0.90), 90.0);
+  EXPECT_DOUBLE_EQ(hist.percentile(0.25), 25.0);
+  EXPECT_DOUBLE_EQ(hist.percentile(1.00), 100.0);
+  // p99 target rank 99 falls inside the last finite bucket: 75 + 24/25*25.
+  EXPECT_DOUBLE_EQ(hist.percentile(0.99), 99.0);
+}
+
+TEST(Metrics, HistogramPercentileSkewedAndOverflow) {
+  obs::Registry registry;
+  const double bounds[] = {1, 2};
+  auto& hist = registry.histogram("ripki.test.skew", bounds);
+  for (int i = 0; i < 99; ++i) hist.observe(0.5);
+  hist.observe(1000);  // one outlier in the overflow bucket
+  // Median sits inside the first bucket: target rank 50 of the 99
+  // first-bucket observations, interpolated across (0, 1].
+  EXPECT_NEAR(hist.percentile(0.50), 50.0 / 99.0, 1e-9);
+  // Ranks landing in the overflow bucket report the observed max.
+  EXPECT_DOUBLE_EQ(hist.percentile(0.999), 1000.0);
+  EXPECT_DOUBLE_EQ(hist.percentile(0.0), 0.0);  // empty target rank clamps
+}
+
+TEST(Metrics, EmptyHistogramPercentileIsZero) {
+  obs::Registry registry;
+  auto& hist = registry.histogram("ripki.test.empty");
+  EXPECT_DOUBLE_EQ(hist.percentile(0.5), 0.0);
+  EXPECT_EQ(hist.count(), 0u);
+}
+
+TEST(Metrics, CollectIsSortedAndComplete) {
+  obs::Registry registry;
+  registry.counter("ripki.b.counter").inc(3);
+  registry.gauge("ripki.a.gauge").set(-5);
+  registry.histogram("ripki.c.hist").observe(12.0);
+  const auto metrics = registry.collect();
+  ASSERT_EQ(metrics.size(), 3u);
+  EXPECT_EQ(metrics[0].name, "ripki.a.gauge");
+  EXPECT_EQ(metrics[1].name, "ripki.b.counter");
+  EXPECT_EQ(metrics[2].name, "ripki.c.hist");
+  EXPECT_EQ(metrics[0].gauge_value, -5);
+  EXPECT_EQ(metrics[1].counter_value, 3u);
+  EXPECT_EQ(metrics[2].count, 1u);
+}
+
+// --- spans -----------------------------------------------------------------
+
+TEST(Span, RecordsDurationHistogram) {
+  obs::Registry registry;
+  {
+    obs::Span span(&registry, "outer");
+    EXPECT_TRUE(span.active());
+    EXPECT_EQ(span.path(), "outer");
+  }
+  const auto metrics = registry.collect();
+  ASSERT_EQ(metrics.size(), 1u);
+  EXPECT_EQ(metrics[0].name, "ripki.trace.outer");
+  EXPECT_EQ(metrics[0].count, 1u);
+}
+
+TEST(Span, NestingBuildsDottedPathsAndParentCoversChild) {
+  obs::Registry registry;
+  {
+    obs::Span outer(&registry, "outer");
+    {
+      obs::Span inner(&registry, "inner");
+      EXPECT_EQ(inner.path(), "outer.inner");
+      EXPECT_EQ(obs::Span::current(), &inner);
+    }
+    EXPECT_EQ(obs::Span::current(), &outer);
+  }
+  EXPECT_EQ(obs::Span::current(), nullptr);
+
+  double outer_sum = 0, inner_sum = 0;
+  for (const auto& m : registry.collect()) {
+    if (m.name == "ripki.trace.outer") outer_sum = m.sum;
+    if (m.name == "ripki.trace.outer.inner") inner_sum = m.sum;
+  }
+  EXPECT_GT(inner_sum, 0.0);
+  // The parent's clock ran the whole time the child's did: monotonicity.
+  EXPECT_GE(outer_sum, inner_sum);
+}
+
+TEST(Span, StopIsIdempotentAndEndsNesting) {
+  obs::Registry registry;
+  obs::Span span(&registry, "once");
+  span.stop();
+  span.stop();
+  EXPECT_EQ(obs::Span::current(), nullptr);
+  double count = 0;
+  for (const auto& m : registry.collect()) {
+    if (m.name == "ripki.trace.once") count = static_cast<double>(m.count);
+  }
+  EXPECT_EQ(count, 1.0);
+}
+
+TEST(Span, NullRegistryIsInert) {
+  obs::Span span(nullptr, "ignored");
+  EXPECT_FALSE(span.active());
+  EXPECT_EQ(span.path(), "");
+  EXPECT_EQ(span.elapsed_ns(), 0u);
+  EXPECT_EQ(obs::Span::current(), nullptr);
+  span.stop();  // no-op, no crash
+  obs::record_duration_ns(nullptr, "ignored", 123);
+}
+
+TEST(Span, RecordDurationNsUsesCurrentPath) {
+  obs::Registry registry;
+  {
+    obs::Span outer(&registry, "parse");
+    obs::record_duration_ns(&registry, "insert", 2'000);  // 2µs
+  }
+  bool found = false;
+  for (const auto& m : registry.collect()) {
+    if (m.name == "ripki.trace.parse.insert") {
+      found = true;
+      EXPECT_DOUBLE_EQ(m.sum, 2.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Span, StageReportListsEverySpan) {
+  obs::Registry registry;
+  {
+    obs::Span a(&registry, "alpha");
+    obs::Span b(&registry, "beta");
+  }
+  const std::string report = obs::stage_report(registry);
+  EXPECT_NE(report.find("alpha"), std::string::npos);
+  EXPECT_NE(report.find("alpha.beta"), std::string::npos);
+  EXPECT_NE(report.find("calls"), std::string::npos);
+
+  obs::Registry empty;
+  EXPECT_NE(obs::stage_report(empty).find("no trace spans"), std::string::npos);
+}
+
+// --- logging ---------------------------------------------------------------
+
+/// Restores the global logger's sink/level on scope exit so tests don't
+/// leak configuration into each other.
+class ScopedLoggerCapture {
+ public:
+  explicit ScopedLoggerCapture(obs::LogLevel level) {
+    auto& logger = obs::Logger::global();
+    previous_level_ = logger.level();
+    logger.set_level(level);
+    logger.set_sink([this](const obs::LogRecord& record) {
+      records_.push_back(record);
+    });
+  }
+  ~ScopedLoggerCapture() {
+    auto& logger = obs::Logger::global();
+    logger.set_sink(nullptr);
+    logger.set_level(previous_level_);
+  }
+
+  const std::vector<obs::LogRecord>& records() const { return records_; }
+
+ private:
+  std::vector<obs::LogRecord> records_;
+  obs::LogLevel previous_level_;
+};
+
+TEST(Log, SinkCapturesRecordsWithFields) {
+  ScopedLoggerCapture capture(obs::LogLevel::kDebug);
+  RIPKI_LOG_INFO("dns", "resolved", obs::LogField("domain", "example.com"),
+                 obs::LogField("addresses", 3));
+  ASSERT_EQ(capture.records().size(), 1u);
+  const auto& record = capture.records()[0];
+  EXPECT_EQ(record.level, obs::LogLevel::kInfo);
+  EXPECT_EQ(record.component, "dns");
+  EXPECT_EQ(record.message, "resolved");
+  ASSERT_EQ(record.fields.size(), 2u);
+  EXPECT_EQ(record.fields[0].key, "domain");
+  EXPECT_EQ(record.fields[0].value, "example.com");
+  EXPECT_EQ(record.fields[1].value, "3");
+}
+
+TEST(Log, LevelFilteringDropsLowerSeverities) {
+  ScopedLoggerCapture capture(obs::LogLevel::kWarn);
+  RIPKI_LOG_DEBUG("pipeline", "dropped");
+  RIPKI_LOG_INFO("pipeline", "dropped too");
+  RIPKI_LOG_WARN("pipeline", "kept");
+  RIPKI_LOG_ERROR("pipeline", "kept too");
+  ASSERT_EQ(capture.records().size(), 2u);
+  EXPECT_EQ(capture.records()[0].message, "kept");
+  EXPECT_EQ(capture.records()[1].level, obs::LogLevel::kError);
+}
+
+TEST(Log, FormatQuotesValuesWithSpaces) {
+  obs::LogRecord record;
+  record.level = obs::LogLevel::kWarn;
+  record.component = "rtr";
+  record.message = "downgrade";
+  record.fields.push_back(obs::LogField("reason", "unsupported version"));
+  record.fields.push_back(obs::LogField("from", 2));
+  EXPECT_EQ(obs::Logger::format(record),
+            "WARN rtr: downgrade reason=\"unsupported version\" from=2");
+}
+
+TEST(Log, FieldConstructorsStringify) {
+  EXPECT_EQ(obs::LogField("b", true).value, "true");
+  EXPECT_EQ(obs::LogField("b", false).value, "false");
+  EXPECT_EQ(obs::LogField("d", 1.5).value, "1.5");
+  EXPECT_EQ(obs::LogField("u", std::uint64_t{18'000'000'000}).value,
+            "18000000000");
+}
+
+// --- export ----------------------------------------------------------------
+
+TEST(Export, MetricsJsonRoundTripsValues) {
+  obs::Registry registry;
+  registry.counter("ripki.dns.queries").set(1234);
+  registry.gauge("ripki.bgp.rib_prefixes").set(42);
+  const double bounds[] = {10, 20};
+  auto& hist = registry.histogram("ripki.trace.stage", bounds);
+  hist.observe(5);
+  hist.observe(15);
+
+  std::ostringstream os;
+  core::export_metrics_json(registry, os);
+  const std::string json = os.str();
+
+  EXPECT_NE(json.find("\"ripki.dns.queries\":1234"), std::string::npos);
+  EXPECT_NE(json.find("\"ripki.bgp.rib_prefixes\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\":20"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\":10,\"count\":1}"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\":\"+Inf\",\"count\":0}"), std::string::npos);
+  // Braces balance — cheap structural validity check.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Export, MetricsPrometheusTextFormat) {
+  obs::Registry registry;
+  registry.counter("ripki.dns.queries").set(9);
+  const double bounds[] = {10};
+  auto& hist = registry.histogram("ripki.trace.run", bounds);
+  hist.observe(5);
+  hist.observe(50);
+
+  std::ostringstream os;
+  core::export_metrics_prometheus(registry, os);
+  const std::string text = os.str();
+
+  EXPECT_NE(text.find("# TYPE ripki_dns_queries counter"), std::string::npos);
+  EXPECT_NE(text.find("ripki_dns_queries 9"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ripki_trace_run histogram"), std::string::npos);
+  EXPECT_NE(text.find("ripki_trace_run_bucket{le=\"10\"} 1"), std::string::npos);
+  // Prometheus buckets are cumulative: +Inf equals the total count.
+  EXPECT_NE(text.find("ripki_trace_run_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("ripki_trace_run_count 2"), std::string::npos);
+}
+
+// --- legacy counter migration ----------------------------------------------
+
+TEST(Migration, PipelineCountersPublishIntoRegistry) {
+  core::PipelineCounters counters;
+  counters.domains_total = 100;
+  counters.dns_queries = 4321;
+  counters.as_set_entries_excluded = 7;
+
+  obs::Registry registry;
+  counters.publish(registry);
+  EXPECT_EQ(registry.counter("ripki.pipeline.domains_total").value(), 100u);
+  EXPECT_EQ(registry.counter("ripki.pipeline.dns_queries").value(), 4321u);
+  EXPECT_EQ(registry.counter("ripki.pipeline.as_set_entries_excluded").value(),
+            7u);
+
+  // for_each_field enumerates every struct field exactly once.
+  std::size_t fields = 0;
+  counters.for_each_field([&](const char*, std::uint64_t) { ++fields; });
+  EXPECT_EQ(fields, 11u);
+}
+
+TEST(Migration, MrtParseStatsPublishIntoRegistry) {
+  bgp::mrt::ParseStats stats;
+  stats.records = 11;
+  stats.rib_entries = 22;
+  stats.skipped_attributes = 33;
+
+  obs::Registry registry;
+  stats.publish(registry);
+  EXPECT_EQ(registry.counter("ripki.bgp.mrt.records").value(), 11u);
+  EXPECT_EQ(registry.counter("ripki.bgp.mrt.rib_entries").value(), 22u);
+  EXPECT_EQ(registry.counter("ripki.bgp.mrt.skipped_attributes").value(), 33u);
+}
+
+}  // namespace
