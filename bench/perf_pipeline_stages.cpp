@@ -1,12 +1,20 @@
 // Per-stage timing baseline for the measurement pipeline.
 //
-// Runs the four-step pipeline with a metrics registry attached and emits
-// the full registry — counters, gauges, and the `ripki.trace.*` span
-// histograms for every stage — as JSON on stdout, with the human-readable
-// stage table on stderr. Future PRs compare this JSON against their own
-// run to track the per-stage perf trajectory.
+// Runs the four-step pipeline twice over the same ecosystem — once with
+// metrics only, once with the event tracer attached — and emits one JSON
+// object on stdout:
+//
+//   {"metrics": <registry JSON of the tracer-off run>,
+//    "tracer_overhead": {"off_ms": .., "on_ms": .., "overhead_pct": ..,
+//                        "events_recorded": .., "events_dropped": ..}}
+//
+// The human-readable stage table goes to stderr. Future PRs compare the
+// JSON against their own run to track the per-stage perf trajectory and
+// the instrumentation overhead (which must stay within run-to-run noise).
 //
 //   build/bench/perf_pipeline_stages [domain_count] [--rtr] [--rrdp]
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -14,6 +22,22 @@
 #include "core/export.hpp"
 #include "core/pipeline.hpp"
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+double run_once_ms(const ripki::web::Ecosystem& ecosystem,
+                   ripki::core::PipelineConfig config) {
+  const auto start = std::chrono::steady_clock::now();
+  ripki::core::MeasurementPipeline pipeline(ecosystem, config);
+  const auto dataset = pipeline.run();
+  (void)dataset;
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ripki;
@@ -36,14 +60,37 @@ int main(int argc, char** argv) {
             << ", rrdp=" << pipeline_config.use_rrdp << ")\n";
   const auto ecosystem = web::Ecosystem::generate(config);
 
+  // Pass 1: metrics registry only (the per-stage baseline).
   obs::Registry registry;
   pipeline_config.registry = &registry;
   pipeline_config.verbosity = obs::LogLevel::kInfo;
-  core::MeasurementPipeline pipeline(*ecosystem, pipeline_config);
-  const core::Dataset dataset = pipeline.run();
-  (void)dataset;
+  const double off_ms = run_once_ms(*ecosystem, pipeline_config);
+
+  // Pass 2: same run with the event tracer attached — the instrumentation
+  // overhead series.
+  obs::Registry traced_registry;
+  obs::EventTracer tracer(/*capacity=*/1 << 16);
+  core::PipelineConfig traced_config = pipeline_config;
+  traced_config.registry = &traced_registry;
+  traced_config.tracer = &tracer;
+  const double on_ms = run_once_ms(*ecosystem, traced_config);
 
   obs::render_stage_report(registry, std::cerr);
+  const double overhead_pct = off_ms > 0 ? (on_ms - off_ms) / off_ms * 100.0 : 0;
+  std::cerr << "tracer off: " << off_ms << " ms, tracer on: " << on_ms
+            << " ms (" << overhead_pct << "% overhead, " << tracer.recorded()
+            << " events, " << tracer.dropped() << " dropped)\n";
+
+  std::cout << "{\"metrics\":";
   core::export_metrics_json(registry, std::cout);
+  char overhead[256];
+  std::snprintf(overhead, sizeof overhead,
+                ",\"tracer_overhead\":{\"off_ms\":%.3f,\"on_ms\":%.3f,"
+                "\"overhead_pct\":%.3f,\"events_recorded\":%llu,"
+                "\"events_dropped\":%llu}}",
+                off_ms, on_ms, overhead_pct,
+                static_cast<unsigned long long>(tracer.recorded()),
+                static_cast<unsigned long long>(tracer.dropped()));
+  std::cout << overhead << '\n';
   return 0;
 }

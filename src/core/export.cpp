@@ -1,5 +1,8 @@
 #include "core/export.hpp"
 
+#include <sstream>
+
+#include "obs/telemetry.hpp"
 #include "util/table.hpp"
 
 namespace ripki::core {
@@ -139,9 +142,39 @@ void export_metrics_json(const obs::Registry& registry, std::ostream& os) {
   os << "}\n";
 }
 
+std::string prometheus_escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string prometheus_escape_help(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
 void export_metrics_prometheus(const obs::Registry& registry, std::ostream& os) {
   for (const auto& m : registry.collect()) {
     const std::string name = prometheus_name(m.name);
+    if (!m.help.empty()) {
+      os << "# HELP " << name << ' ' << prometheus_escape_help(m.help) << '\n';
+    }
     switch (m.kind) {
       case obs::MetricSnapshot::Kind::kCounter:
         os << "# TYPE " << name << " counter\n"
@@ -158,7 +191,7 @@ void export_metrics_prometheus(const obs::Registry& registry, std::ostream& os) 
           cumulative += m.bucket_counts[i];
           os << name << "_bucket{le=\"";
           if (i < m.bounds.size()) {
-            os << json_number(m.bounds[i]);
+            os << prometheus_escape_label(json_number(m.bounds[i]));
           } else {
             os << "+Inf";
           }
@@ -170,6 +203,26 @@ void export_metrics_prometheus(const obs::Registry& registry, std::ostream& os) 
       }
     }
   }
+}
+
+void attach_metrics_endpoints(obs::TelemetryServer& server,
+                              const obs::Registry& registry) {
+  server.set_handler("/metrics", [&registry] {
+    obs::HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    std::ostringstream os;
+    export_metrics_prometheus(registry, os);
+    response.body = os.str();
+    return response;
+  });
+  server.set_handler("/metrics.json", [&registry] {
+    obs::HttpResponse response;
+    response.content_type = "application/json";
+    std::ostringstream os;
+    export_metrics_json(registry, os);
+    response.body = os.str();
+    return response;
+  });
 }
 
 }  // namespace ripki::core

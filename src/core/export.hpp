@@ -4,9 +4,15 @@
 #pragma once
 
 #include <ostream>
+#include <string>
+#include <string_view>
 
 #include "core/dataset.hpp"
 #include "obs/metrics.hpp"
+
+namespace ripki::obs {
+class TelemetryServer;
+}
 
 namespace ripki::core {
 
@@ -28,7 +34,19 @@ void export_metrics_json(const obs::Registry& registry, std::ostream& os);
 
 /// Prometheus text exposition format: metric names with dots mapped to
 /// underscores, histograms as cumulative `_bucket{le=...}` series plus
-/// `_sum` and `_count`.
+/// `_sum` and `_count`, `# HELP` lines for metrics with Registry help
+/// text.
 void export_metrics_prometheus(const obs::Registry& registry, std::ostream& os);
+
+/// Escaping per the Prometheus text exposition format spec: label values
+/// escape `\`, `"`, and newline; HELP text escapes `\` and newline.
+std::string prometheus_escape_label(std::string_view value);
+std::string prometheus_escape_help(std::string_view value);
+
+/// Wires `/metrics` (Prometheus text) and `/metrics.json` onto a
+/// telemetry server, scraping `registry` (borrowed; must outlive the
+/// server) on every request.
+void attach_metrics_endpoints(obs::TelemetryServer& server,
+                              const obs::Registry& registry);
 
 }  // namespace ripki::core

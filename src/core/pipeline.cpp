@@ -5,6 +5,8 @@
 
 #include "net/special.hpp"
 #include "obs/span.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "rpki/rrdp.hpp"
 #include "rtr/cache.hpp"
 
@@ -14,6 +16,17 @@ MeasurementPipeline::MeasurementPipeline(const web::Ecosystem& ecosystem,
                                          PipelineConfig config)
     : ecosystem_(ecosystem), config_(config) {
   if (config_.now == 0) config_.now = ecosystem.config().now;
+  // Spans consult the registry's tracer, so wiring the configured tracer
+  // in here makes every stage below emit timeline events.
+  if (config_.registry != nullptr && config_.tracer != nullptr) {
+    config_.registry->set_tracer(config_.tracer);
+  }
+}
+
+void MeasurementPipeline::set_health(std::string_view subsystem, bool healthy,
+                                     std::string_view detail) const {
+  if (config_.health == nullptr) return;
+  config_.health->set(subsystem, healthy, detail);
 }
 
 void MeasurementPipeline::log(obs::LogLevel level, std::string_view message,
@@ -38,6 +51,9 @@ void MeasurementPipeline::prepare_rib() {
   }
   log(obs::LogLevel::kInfo, "stage 3 table ready",
       {{"prefixes", rib_.prefix_count()}, {"entries", rib_.entry_count()}});
+  set_health("bgp", rib_.prefix_count() > 0,
+             rib_.prefix_count() > 0 ? "RIB loaded from MRT dump"
+                                     : "RIB empty after MRT parse");
 }
 
 void MeasurementPipeline::prepare_vrps() {
@@ -80,6 +96,9 @@ void MeasurementPipeline::prepare_vrps() {
       {{"vrps", report_.vrps.size()},
        {"roas_accepted", report_.roas_accepted},
        {"roas_rejected", report_.roas_rejected}});
+  set_health("rpki", !report_.vrps.empty(),
+             !report_.vrps.empty() ? "VRP set validated"
+                                   : "validation produced no VRPs");
 }
 
 VariantResult MeasurementPipeline::measure_variant(dns::StubResolver& resolver,
@@ -159,6 +178,16 @@ VariantResult MeasurementPipeline::measure_variant(dns::StubResolver& resolver,
 }
 
 Dataset MeasurementPipeline::run() {
+  if (config_.registry != nullptr) {
+    config_.registry->describe("ripki.pipeline.domains_total",
+                               "Domains measured (paper stage 1 selection)");
+    config_.registry->describe("ripki.pipeline.dns_queries",
+                               "DNS queries issued during stage 2 resolution");
+    config_.registry->describe("ripki.bgp.rib_prefixes",
+                               "Prefixes in the MRT-loaded RIB (stage 3)");
+    config_.registry->describe("ripki.rpki.vrps",
+                               "Validated ROA payloads feeding stage 4");
+  }
   obs::Span run_span(config_.registry, "pipeline.run");
   prepare_rib();
   prepare_vrps();
@@ -214,6 +243,14 @@ Dataset MeasurementPipeline::run() {
     dataset.records.push_back(std::move(record));
   }
   dataset.counters.dns_queries = resolver.queries_sent();
+
+  const std::uint64_t resolved =
+      dataset.counters.domains_total - dataset.counters.domains_excluded_dns;
+  set_health("dns",
+             dataset.counters.domains_total == 0 || resolved > 0,
+             resolved > 0 ? "resolutions succeeding"
+                          : "no domain resolved");
+  set_health("pipeline", true, "last run completed");
 
   if (config_.registry != nullptr) {
     dataset.counters.publish(*config_.registry);

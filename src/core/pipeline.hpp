@@ -23,6 +23,11 @@
 #include "rtr/client.hpp"
 #include "web/ecosystem.hpp"
 
+namespace ripki::obs {
+class EventTracer;
+class HealthRegistry;
+}
+
 namespace ripki::core {
 
 struct PipelineConfig {
@@ -50,6 +55,16 @@ struct PipelineConfig {
   /// the stage-timing breakdown is logged at the end of run(). When null,
   /// instrumentation is inert — no clock reads, no atomics.
   obs::Registry* registry = nullptr;
+
+  /// Event-timeline tracer (borrowed, optional; requires `registry`).
+  /// Installed into the registry before run() so every span additionally
+  /// emits begin/end events exportable as Chrome trace JSON.
+  obs::EventTracer* tracer = nullptr;
+
+  /// Per-subsystem health (borrowed, optional). Each stage reports its
+  /// outcome after run(): `bgp` (RIB non-empty), `rpki` (VRPs produced),
+  /// `dns` (resolutions succeeded), `pipeline` (run completed).
+  obs::HealthRegistry* health = nullptr;
 
   /// Minimum severity of the pipeline's own log output (through the
   /// global obs::Logger). Default silences everything below warnings;
@@ -79,6 +94,9 @@ class MeasurementPipeline {
   /// Emits through the global logger when `config_.verbosity` admits it.
   void log(obs::LogLevel level, std::string_view message,
            std::vector<obs::LogField> fields = {}) const;
+  /// Reports a subsystem outcome into `config_.health` (no-op when null).
+  void set_health(std::string_view subsystem, bool healthy,
+                  std::string_view detail) const;
 
   const web::Ecosystem& ecosystem_;
   PipelineConfig config_;

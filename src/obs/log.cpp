@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/logring.hpp"
+
 namespace ripki::obs {
 
 const char* to_string(LogLevel level) {
@@ -55,12 +57,17 @@ std::string Logger::format(const LogRecord& record) {
 
 void Logger::log(LogLevel level, std::string_view component,
                  std::string_view message, std::vector<LogField> fields) {
-  if (!enabled(level)) return;
+  LogRing* ring = ring_.load(std::memory_order_acquire);
+  const bool passes_level = static_cast<int>(level) >= level_.load();
+  if (ring == nullptr && !passes_level) return;
   LogRecord record;
   record.level = level;
   record.component = std::string(component);
   record.message = std::string(message);
   record.fields = std::move(fields);
+
+  if (ring != nullptr) ring->append(record);
+  if (!passes_level) return;
 
   std::lock_guard lock(sink_mutex_);
   if (sink_) {

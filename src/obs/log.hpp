@@ -54,6 +54,8 @@ struct LogRecord {
 
 using LogSink = std::function<void(const LogRecord&)>;
 
+class LogRing;
+
 class Logger {
  public:
   /// Process-wide logger used by the RIPKI_LOG_* macros.
@@ -63,12 +65,24 @@ class Logger {
 
   void set_level(LogLevel level) { level_.store(static_cast<int>(level)); }
   LogLevel level() const { return static_cast<LogLevel>(level_.load()); }
+  /// True when a record of `level` would go anywhere: past the runtime
+  /// threshold to the sink, or — regardless of verbosity — into an
+  /// attached flight-recorder ring.
   bool enabled(LogLevel level) const {
-    return static_cast<int>(level) >= level_.load();
+    return static_cast<int>(level) >= level_.load() ||
+           ring_.load(std::memory_order_relaxed) != nullptr;
   }
 
   /// Installs a sink; passing nullptr restores the default stderr sink.
   void set_sink(LogSink sink);
+
+  /// Attaches a flight recorder (borrowed; nullptr detaches). The ring
+  /// receives every record reaching log() even when the runtime level
+  /// filters it from the sink.
+  void attach_ring(LogRing* ring) {
+    ring_.store(ring, std::memory_order_release);
+  }
+  LogRing* ring() const { return ring_.load(std::memory_order_acquire); }
 
   void log(LogLevel level, std::string_view component, std::string_view message,
            std::vector<LogField> fields = {});
@@ -79,6 +93,7 @@ class Logger {
 
  private:
   std::atomic<int> level_{static_cast<int>(LogLevel::kInfo)};
+  std::atomic<LogRing*> ring_{nullptr};
   std::mutex sink_mutex_;
   LogSink sink_;  // empty => stderr
 };

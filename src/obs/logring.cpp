@@ -1,0 +1,69 @@
+#include "obs/logring.hpp"
+
+namespace ripki::obs {
+
+LogRing::LogRing(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void LogRing::append(const LogRecord& record) {
+  std::lock_guard lock(mutex_);
+  if (records_.size() == capacity_) {
+    records_.pop_front();
+    ++dropped_;
+  }
+  records_.push_back(record);
+  ++total_;
+  if (record.level == LogLevel::kError && dump_on_error_ != nullptr &&
+      !error_dumped_) {
+    error_dumped_ = true;
+    *dump_on_error_ << "-- log flight recorder (first error) --\n";
+    render_locked(*dump_on_error_);
+  }
+}
+
+std::vector<LogRecord> LogRing::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return {records_.begin(), records_.end()};
+}
+
+std::size_t LogRing::size() const {
+  std::lock_guard lock(mutex_);
+  return records_.size();
+}
+
+std::uint64_t LogRing::total() const {
+  std::lock_guard lock(mutex_);
+  return total_;
+}
+
+std::uint64_t LogRing::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+void LogRing::render_locked(std::ostream& os) const {
+  os << "# last " << records_.size() << " of " << total_ << " records ("
+     << dropped_ << " evicted)\n";
+  for (const auto& record : records_) {
+    os << Logger::format(record) << '\n';
+  }
+}
+
+void LogRing::render(std::ostream& os) const {
+  std::lock_guard lock(mutex_);
+  render_locked(os);
+}
+
+void LogRing::set_dump_on_error(std::ostream* os) {
+  std::lock_guard lock(mutex_);
+  dump_on_error_ = os;
+}
+
+void LogRing::clear() {
+  std::lock_guard lock(mutex_);
+  records_.clear();
+  total_ = 0;
+  dropped_ = 0;
+  error_dumped_ = false;
+}
+
+}  // namespace ripki::obs

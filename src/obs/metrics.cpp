@@ -39,31 +39,36 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
   return counts;
 }
 
-double Histogram::percentile(double p) const {
-  const auto counts = bucket_counts();
+double percentile_from_buckets(std::span<const double> bounds,
+                               std::span<const std::uint64_t> buckets,
+                               double max, double p) {
   std::uint64_t total = 0;
-  for (const auto c : counts) total += c;
+  for (const auto c : buckets) total += c;
   if (total == 0) return 0.0;
 
   p = std::clamp(p, 0.0, 1.0);
   const double target = p * static_cast<double>(total);
   double cumulative = 0;
-  for (std::size_t i = 0; i < counts.size(); ++i) {
-    if (counts[i] == 0) continue;
-    const double next = cumulative + static_cast<double>(counts[i]);
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(buckets[i]);
     if (next >= target) {
-      if (i == bounds_.size()) return max();  // overflow bucket
-      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
-      const double upper = bounds_[i];
+      if (i == bounds.size()) return max;  // overflow bucket
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double upper = bounds[i];
       const double fraction =
-          (target - cumulative) / static_cast<double>(counts[i]);
+          (target - cumulative) / static_cast<double>(buckets[i]);
       // No percentile can exceed the largest observation; without the cap
       // a lone sample in a wide bucket reports the interpolation point.
-      return std::min(lower + fraction * (upper - lower), max());
+      return std::min(lower + fraction * (upper - lower), max);
     }
     cumulative = next;
   }
-  return max();
+  return max;
+}
+
+double Histogram::percentile(double p) const {
+  return percentile_from_buckets(bounds_, bucket_counts(), max(), p);
 }
 
 std::span<const double> default_duration_bounds_us() {
@@ -106,13 +111,23 @@ Histogram& Registry::histogram(std::string_view name,
   return *it->second;
 }
 
+void Registry::describe(std::string_view name, std::string_view help) {
+  std::lock_guard lock(mutex_);
+  help_[std::string(name)] = std::string(help);
+}
+
 std::vector<MetricSnapshot> Registry::collect() const {
   std::lock_guard lock(mutex_);
+  const auto help_for = [this](const std::string& name) {
+    const auto it = help_.find(name);
+    return it == help_.end() ? std::string() : it->second;
+  };
   std::vector<MetricSnapshot> out;
   out.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, counter] : counters_) {
     MetricSnapshot snap;
     snap.name = name;
+    snap.help = help_for(name);
     snap.kind = MetricSnapshot::Kind::kCounter;
     snap.counter_value = counter->value();
     out.push_back(std::move(snap));
@@ -120,6 +135,7 @@ std::vector<MetricSnapshot> Registry::collect() const {
   for (const auto& [name, gauge] : gauges_) {
     MetricSnapshot snap;
     snap.name = name;
+    snap.help = help_for(name);
     snap.kind = MetricSnapshot::Kind::kGauge;
     snap.gauge_value = gauge->value();
     out.push_back(std::move(snap));
@@ -127,6 +143,7 @@ std::vector<MetricSnapshot> Registry::collect() const {
   for (const auto& [name, hist] : histograms_) {
     MetricSnapshot snap;
     snap.name = name;
+    snap.help = help_for(name);
     snap.kind = MetricSnapshot::Kind::kHistogram;
     snap.bounds = hist->bounds();
     snap.bucket_counts = hist->bucket_counts();
@@ -142,6 +159,49 @@ std::vector<MetricSnapshot> Registry::collect() const {
             [](const MetricSnapshot& a, const MetricSnapshot& b) {
               return a.name < b.name;
             });
+  return out;
+}
+
+std::vector<MetricSnapshot> delta_snapshots(
+    const std::vector<MetricSnapshot>& before,
+    const std::vector<MetricSnapshot>& after) {
+  // collect() sorts by name, so index the smaller side for lookup.
+  std::map<std::string_view, const MetricSnapshot*> prior;
+  for (const auto& m : before) prior.emplace(m.name, &m);
+
+  std::vector<MetricSnapshot> out;
+  out.reserve(after.size());
+  for (const auto& m : after) {
+    MetricSnapshot d = m;
+    const auto it = prior.find(m.name);
+    if (it != prior.end() && it->second->kind == m.kind) {
+      const MetricSnapshot& b = *it->second;
+      switch (m.kind) {
+        case MetricSnapshot::Kind::kCounter:
+          d.counter_value = m.counter_value >= b.counter_value
+                                ? m.counter_value - b.counter_value
+                                : m.counter_value;  // reset between snaps
+          break;
+        case MetricSnapshot::Kind::kGauge:
+          break;  // point-in-time: keep the after value
+        case MetricSnapshot::Kind::kHistogram: {
+          if (b.bounds == m.bounds && m.count >= b.count &&
+              b.bucket_counts.size() == m.bucket_counts.size()) {
+            d.count = m.count - b.count;
+            d.sum = m.sum - b.sum;
+            for (std::size_t i = 0; i < d.bucket_counts.size(); ++i) {
+              d.bucket_counts[i] = m.bucket_counts[i] - b.bucket_counts[i];
+            }
+            d.p50 = percentile_from_buckets(d.bounds, d.bucket_counts, d.max, 0.50);
+            d.p90 = percentile_from_buckets(d.bounds, d.bucket_counts, d.max, 0.90);
+            d.p99 = percentile_from_buckets(d.bounds, d.bucket_counts, d.max, 0.99);
+          }
+          break;
+        }
+      }
+    }
+    out.push_back(std::move(d));
+  }
   return out;
 }
 

@@ -24,6 +24,8 @@
 
 namespace ripki::obs {
 
+class EventTracer;
+
 /// Monotonically increasing event count. `set` exists for publishing a
 /// value accumulated elsewhere (e.g. a legacy stats struct).
 class Counter {
@@ -82,11 +84,20 @@ class Histogram {
 /// decade series from 1µs to 5s.
 std::span<const double> default_duration_bounds_us();
 
+/// Interpolated percentile over fixed-bucket counts — the math behind
+/// Histogram::percentile, shared with snapshot deltas where only the
+/// bucket counts (not the live atomics) are available. `max` caps the
+/// result and is returned for ranks landing in the overflow bucket.
+double percentile_from_buckets(std::span<const double> bounds,
+                               std::span<const std::uint64_t> buckets,
+                               double max, double p);
+
 /// Read-side aggregate of one metric, produced by Registry::collect().
 struct MetricSnapshot {
   enum class Kind { kCounter, kGauge, kHistogram };
 
   std::string name;
+  std::string help;  // optional HELP text from Registry::describe
   Kind kind = Kind::kCounter;
   std::uint64_t counter_value = 0;
   std::int64_t gauge_value = 0;
@@ -118,11 +129,36 @@ class Registry {
   /// All metrics, sorted by name.
   std::vector<MetricSnapshot> collect() const;
 
+  /// Attaches HELP text emitted by the Prometheus exposition (applies to
+  /// whichever metric kind carries `name`).
+  void describe(std::string_view name, std::string_view help);
+
+  /// Event tracer consulted by obs::Span (borrowed; nullptr = spans record
+  /// histograms only). Install before instrumented threads start.
+  void set_tracer(EventTracer* tracer) {
+    tracer_.store(tracer, std::memory_order_release);
+  }
+  EventTracer* tracer() const {
+    return tracer_.load(std::memory_order_relaxed);
+  }
+
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::string, std::less<>> help_;
+  std::atomic<EventTracer*> tracer_{nullptr};
 };
+
+/// Per-interval view: `after - before` for two collect() results from the
+/// same registry. Counters and histogram counts/buckets/sums subtract;
+/// gauges keep their `after` value (they are point-in-time); histogram
+/// percentiles are recomputed from the delta buckets (capped at the
+/// cumulative max, the best bound available without per-interval state).
+/// Metrics absent from `before` pass through unchanged.
+std::vector<MetricSnapshot> delta_snapshots(
+    const std::vector<MetricSnapshot>& before,
+    const std::vector<MetricSnapshot>& after);
 
 }  // namespace ripki::obs

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 
 namespace ripki::obs {
@@ -36,6 +37,8 @@ Span::Span(Registry* registry, std::string_view name) : registry_(registry) {
   g_current_span = this;
   stopped_ = false;
   start_ = std::chrono::steady_clock::now();
+  tracer_ = registry_->tracer();
+  if (tracer_ != nullptr) traced_ = tracer_->begin(path_, start_);
 }
 
 std::uint64_t Span::elapsed_ns() const {
@@ -48,9 +51,13 @@ std::uint64_t Span::elapsed_ns() const {
 
 void Span::stop() {
   if (registry_ == nullptr || stopped_) return;
-  const std::uint64_t ns = elapsed_ns();
+  const auto end = std::chrono::steady_clock::now();
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
+          .count());
   stopped_ = true;
   if (g_current_span == this) g_current_span = parent_;
+  if (traced_) tracer_->end(path_, end);
   registry_->histogram(std::string(kTracePrefix) + path_)
       .observe(static_cast<double>(ns) / 1000.0);  // µs
 }
@@ -64,11 +71,12 @@ void record_duration_ns(Registry* registry, std::string_view name,
       .observe(static_cast<double>(ns) / 1000.0);
 }
 
-void render_stage_report(const Registry& registry, std::ostream& os) {
+void render_stage_report(const std::vector<MetricSnapshot>& metrics,
+                         std::ostream& os) {
   util::TextTable table({"span", "calls", "total ms", "mean ms", "p50 µs",
                          "p90 µs", "p99 µs"});
   bool any = false;
-  for (const auto& metric : registry.collect()) {
+  for (const auto& metric : metrics) {
     if (metric.kind != MetricSnapshot::Kind::kHistogram) continue;
     if (metric.name.rfind(kTracePrefix, 0) != 0) continue;
     any = true;
@@ -87,9 +95,17 @@ void render_stage_report(const Registry& registry, std::ostream& os) {
   table.print(os);
 }
 
+void render_stage_report(const Registry& registry, std::ostream& os) {
+  render_stage_report(registry.collect(), os);
+}
+
 std::string stage_report(const Registry& registry) {
+  return stage_report(registry.collect());
+}
+
+std::string stage_report(const std::vector<MetricSnapshot>& metrics) {
   std::ostringstream os;
-  render_stage_report(registry, os);
+  render_stage_report(metrics, os);
   return os.str();
 }
 

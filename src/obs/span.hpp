@@ -9,6 +9,10 @@
 // A span constructed with a null registry is inert: no clock read, no
 // allocation, no thread-local traffic — instrumented code paths cost
 // nothing when observability is off.
+//
+// When the registry carries an EventTracer (Registry::set_tracer), spans
+// additionally emit begin/end events into its timeline ring; without one,
+// the only extra cost is a relaxed pointer load per span.
 #pragma once
 
 #include <chrono>
@@ -45,10 +49,12 @@ class Span {
 
  private:
   Registry* registry_ = nullptr;
+  EventTracer* tracer_ = nullptr;  // registry's tracer, cached at open
   Span* parent_ = nullptr;
   std::string path_;
   std::chrono::steady_clock::time_point start_{};
   bool stopped_ = true;
+  bool traced_ = false;  // begin event recorded (not sampled out)
 };
 
 /// Records `ns` under the current span's path extended with `name` — for
@@ -59,8 +65,12 @@ void record_duration_ns(Registry* registry, std::string_view name,
 
 /// Renders every `ripki.trace.*` histogram as an aligned table — span
 /// path, call count, total/mean milliseconds, p50/p90/p99 microseconds —
-/// the stage-timing breakdown printed after a pipeline run.
+/// the stage-timing breakdown printed after a pipeline run. The snapshot
+/// overload also accepts delta_snapshots() output for per-interval views.
+void render_stage_report(const std::vector<MetricSnapshot>& metrics,
+                         std::ostream& os);
 void render_stage_report(const Registry& registry, std::ostream& os);
 std::string stage_report(const Registry& registry);
+std::string stage_report(const std::vector<MetricSnapshot>& metrics);
 
 }  // namespace ripki::obs

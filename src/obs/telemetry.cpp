@@ -1,0 +1,272 @@
+#include "obs/telemetry.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+
+namespace ripki::obs {
+
+// --- health ----------------------------------------------------------------
+
+void HealthRegistry::set(std::string_view subsystem, bool healthy,
+                         std::string_view detail) {
+  std::lock_guard lock(mutex_);
+  statuses_[std::string(subsystem)] =
+      HealthStatus{healthy, std::string(detail)};
+}
+
+void HealthRegistry::register_check(std::string_view subsystem, Check check) {
+  std::lock_guard lock(mutex_);
+  checks_[std::string(subsystem)] = std::move(check);
+}
+
+std::vector<HealthRegistry::Result> HealthRegistry::evaluate() const {
+  // Copy under the lock, evaluate callbacks outside it so a check may
+  // itself consult health-aware code without deadlocking.
+  std::map<std::string, HealthStatus, std::less<>> statuses;
+  std::map<std::string, Check, std::less<>> checks;
+  {
+    std::lock_guard lock(mutex_);
+    statuses = statuses_;
+    checks = checks_;
+  }
+  for (const auto& [name, check] : checks) {
+    statuses[name] = check ? check() : HealthStatus{false, "null check"};
+  }
+  std::vector<Result> out;
+  out.reserve(statuses.size());
+  for (auto& [name, status] : statuses) {
+    out.push_back(Result{name, std::move(status)});
+  }
+  return out;
+}
+
+bool HealthRegistry::healthy() const {
+  for (const auto& result : evaluate()) {
+    if (!result.status.healthy) return false;
+  }
+  return true;
+}
+
+// --- HTTP server -----------------------------------------------------------
+
+namespace {
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "OK";
+  }
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+TelemetryServer::TelemetryServer(Options options, EventTracer* tracer,
+                                 LogRing* log_ring, HealthRegistry* health)
+    : options_(std::move(options)),
+      tracer_(tracer),
+      log_ring_(log_ring),
+      health_(health) {
+  register_builtin_routes();
+}
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+void TelemetryServer::register_builtin_routes() {
+  set_handler("/", [this] {
+    HttpResponse response;
+    std::ostringstream os;
+    os << "ripki telemetry\n\n";
+    std::lock_guard lock(handlers_mutex_);
+    for (const auto& [path, handler] : handlers_) os << path << '\n';
+    response.body = os.str();
+    return response;
+  });
+  set_handler("/healthz", [this] {
+    HttpResponse response;
+    if (health_ == nullptr) {
+      response.body = "ok (no health registry configured)\n";
+      return response;
+    }
+    std::ostringstream os;
+    bool all_healthy = true;
+    for (const auto& result : health_->evaluate()) {
+      all_healthy = all_healthy && result.status.healthy;
+      os << (result.status.healthy ? "ok   " : "FAIL ") << result.subsystem;
+      if (!result.status.detail.empty()) os << ": " << result.status.detail;
+      os << '\n';
+    }
+    if (!all_healthy) response.status = 503;
+    os << (all_healthy ? "healthy\n" : "unhealthy\n");
+    response.body = os.str();
+    return response;
+  });
+  set_handler("/tracez", [this] {
+    HttpResponse response;
+    response.content_type = "application/json";
+    if (tracer_ == nullptr) {
+      response.body = "{\"traceEvents\":[]}\n";
+      return response;
+    }
+    response.body = tracer_->chrome_trace_json();
+    return response;
+  });
+  set_handler("/logz", [this] {
+    HttpResponse response;
+    if (log_ring_ == nullptr) {
+      response.body = "(no log ring configured)\n";
+      return response;
+    }
+    std::ostringstream os;
+    log_ring_->render(os);
+    response.body = os.str();
+    return response;
+  });
+}
+
+void TelemetryServer::set_handler(std::string path, HttpHandler handler) {
+  std::lock_guard lock(handlers_mutex_);
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+HttpResponse TelemetryServer::dispatch(std::string_view method,
+                                       std::string_view target) const {
+  if (method != "GET") {
+    return HttpResponse{405, "text/plain; charset=utf-8",
+                        "only GET is supported\n"};
+  }
+  const auto query = target.find('?');
+  const std::string_view path =
+      query == std::string_view::npos ? target : target.substr(0, query);
+  HttpHandler handler;
+  {
+    std::lock_guard lock(handlers_mutex_);
+    const auto it = handlers_.find(path);
+    if (it != handlers_.end()) handler = it->second;
+  }
+  if (!handler) {
+    return HttpResponse{404, "text/plain; charset=utf-8",
+                        "not found; GET / lists endpoints\n"};
+  }
+  return handler();
+}
+
+bool TelemetryServer::start() {
+  if (running_.load()) return true;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  stop_requested_.store(false);
+  running_.store(true);
+  thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void TelemetryServer::stop() {
+  if (!running_.load()) return;
+  stop_requested_.store(true);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false);
+}
+
+void TelemetryServer::accept_loop() {
+  // poll with a short timeout so stop() never waits on a blocked accept.
+  while (!stop_requested_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_connection(fd);
+  }
+}
+
+void TelemetryServer::handle_connection(int fd) {
+  // Bound how long a slow client can hold the single accept thread.
+  timeval timeout{/*tv_sec=*/2, /*tv_usec=*/0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+
+  std::string request;
+  char buf[2048];
+  while (request.size() < 16 * 1024 &&
+         request.find("\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+
+  // Request line: METHOD SP TARGET SP VERSION. Anything unparseable gets
+  // a 405 through dispatch's method check.
+  std::string_view line(request);
+  if (const auto eol = line.find("\r\n"); eol != std::string_view::npos) {
+    line = line.substr(0, eol);
+  }
+  std::string_view method, target = "/";
+  if (const auto sp1 = line.find(' '); sp1 != std::string_view::npos) {
+    method = line.substr(0, sp1);
+    const auto rest = line.substr(sp1 + 1);
+    const auto sp2 = rest.find(' ');
+    target = sp2 == std::string_view::npos ? rest : rest.substr(0, sp2);
+  }
+
+  const HttpResponse response = dispatch(method, target);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  std::ostringstream os;
+  os << "HTTP/1.0 " << response.status << ' ' << status_reason(response.status)
+     << "\r\nContent-Type: " << response.content_type
+     << "\r\nContent-Length: " << response.body.size()
+     << "\r\nConnection: close\r\n\r\n"
+     << response.body;
+  send_all(fd, os.str());
+  ::close(fd);
+}
+
+}  // namespace ripki::obs

@@ -1,0 +1,138 @@
+// Live telemetry exposition: per-subsystem health checks and a minimal
+// embedded HTTP/1.0 server (POSIX sockets, one background accept thread)
+// that serves pull-based endpoints while a measurement runs:
+//
+//   /            endpoint index
+//   /metrics     Prometheus text exposition      (registered by core)
+//   /metrics.json   registry as JSON             (registered by core)
+//   /healthz     per-subsystem health, 200/503
+//   /tracez      Chrome trace-event JSON (Perfetto / chrome://tracing)
+//   /logz        log flight-recorder dump
+//
+// The server owns no telemetry state — it borrows the tracer, log ring,
+// and health registry, and dispatches everything else through registered
+// handlers, so `core` can attach the registry exporters without `obs`
+// depending on it. Dispatch is exposed directly (`dispatch()`) so tests
+// can exercise routes without sockets.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/logring.hpp"
+#include "obs/trace.hpp"
+
+namespace ripki::obs {
+
+// --- health ----------------------------------------------------------------
+
+struct HealthStatus {
+  bool healthy = true;
+  std::string detail;
+};
+
+/// Per-subsystem health, fed two ways: pipeline stages `set()` an outcome
+/// imperatively after each run, and long-lived components can
+/// `register_check()` a callback evaluated on every /healthz scrape.
+class HealthRegistry {
+ public:
+  using Check = std::function<HealthStatus()>;
+
+  void set(std::string_view subsystem, bool healthy,
+           std::string_view detail = "");
+  void register_check(std::string_view subsystem, Check check);
+
+  struct Result {
+    std::string subsystem;
+    HealthStatus status;
+  };
+
+  /// Every subsystem (stored statuses merged with callback results),
+  /// sorted by name.
+  std::vector<Result> evaluate() const;
+  /// True when every subsystem reports healthy (vacuously true when none
+  /// are registered).
+  bool healthy() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, HealthStatus, std::less<>> statuses_;
+  std::map<std::string, Check, std::less<>> checks_;
+};
+
+// --- HTTP server -----------------------------------------------------------
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse()>;
+
+class TelemetryServer {
+ public:
+  struct Options {
+    /// 0 picks an ephemeral port; the bound port is reported by port().
+    std::uint16_t port = 0;
+    std::string bind_address = "127.0.0.1";
+  };
+
+  /// All telemetry sources are borrowed and optional — a null source makes
+  /// its endpoint report that it is not configured.
+  TelemetryServer(Options options, EventTracer* tracer = nullptr,
+                  LogRing* log_ring = nullptr, HealthRegistry* health = nullptr);
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread. False on socket errors
+  /// (port in use, say); the server stays stopped.
+  bool start();
+  /// Idempotent; joins the accept thread.
+  void stop();
+  bool running() const { return running_.load(); }
+  /// The bound port (valid after a successful start()).
+  std::uint16_t port() const { return port_; }
+
+  /// Registers/overrides a route ("/metrics", say). Exact-match paths,
+  /// query strings stripped before dispatch.
+  void set_handler(std::string path, HttpHandler handler);
+
+  /// Routes a request the way the socket path does — 404 for unknown
+  /// paths, 405 for anything but GET. Public so tests can hit routes
+  /// without opening sockets.
+  HttpResponse dispatch(std::string_view method, std::string_view target) const;
+
+  std::uint64_t requests_served() const { return requests_.load(); }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+  void register_builtin_routes();
+
+  Options options_;
+  EventTracer* tracer_;
+  LogRing* log_ring_;
+  HealthRegistry* health_;
+
+  mutable std::mutex handlers_mutex_;
+  std::map<std::string, HttpHandler, std::less<>> handlers_;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace ripki::obs

@@ -109,7 +109,52 @@ TEST(Metrics, EmptyHistogramPercentileIsZero) {
   obs::Registry registry;
   auto& hist = registry.histogram("ripki.test.empty");
   EXPECT_DOUBLE_EQ(hist.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(hist.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.percentile(1.0), 0.0);
   EXPECT_EQ(hist.count(), 0u);
+}
+
+TEST(Metrics, SingleSampleHistogramPercentiles) {
+  obs::Registry registry;
+  const double bounds[] = {10, 100};
+  auto& hist = registry.histogram("ripki.test.single", bounds);
+  hist.observe(42);
+  // Every rank lands in the one occupied bucket (10, 100]: low ranks
+  // interpolate from the bucket's lower edge, and the max cap keeps every
+  // rank from exceeding the lone observation.
+  EXPECT_DOUBLE_EQ(hist.percentile(0.01), 10.9);  // 10 + 0.01 * 90
+  EXPECT_DOUBLE_EQ(hist.percentile(0.50), 42.0);  // 55 capped at max
+  EXPECT_DOUBLE_EQ(hist.percentile(0.99), 42.0);
+  EXPECT_DOUBLE_EQ(hist.percentile(1.00), 42.0);
+}
+
+TEST(Metrics, AllSamplesInOverflowBucketReportMax) {
+  obs::Registry registry;
+  const double bounds[] = {1, 2};
+  auto& hist = registry.histogram("ripki.test.overflow", bounds);
+  hist.observe(50);
+  hist.observe(70);
+  hist.observe(90);
+  // Every rank resolves to the overflow bucket, which reports the
+  // observed max rather than an interpolation over an unbounded range.
+  EXPECT_DOUBLE_EQ(hist.percentile(0.01), 90.0);
+  EXPECT_DOUBLE_EQ(hist.percentile(0.50), 90.0);
+  EXPECT_DOUBLE_EQ(hist.percentile(0.99), 90.0);
+  const auto counts = hist.bucket_counts();
+  EXPECT_EQ(counts.back(), 3u);
+}
+
+TEST(Metrics, PercentileFromBucketsMatchesHistogram) {
+  obs::Registry registry;
+  const double bounds[] = {25, 50, 75, 100};
+  auto& hist = registry.histogram("ripki.test.shared", bounds);
+  for (int v = 1; v <= 100; ++v) hist.observe(v);
+  const auto counts = hist.bucket_counts();
+  for (const double p : {0.25, 0.50, 0.90, 0.99}) {
+    EXPECT_DOUBLE_EQ(
+        obs::percentile_from_buckets(bounds, counts, hist.max(), p),
+        hist.percentile(p));
+  }
 }
 
 TEST(Metrics, CollectIsSortedAndComplete) {
@@ -337,6 +382,35 @@ TEST(Export, MetricsPrometheusTextFormat) {
   EXPECT_NE(text.find("ripki_trace_run_bucket{le=\"+Inf\"} 2"),
             std::string::npos);
   EXPECT_NE(text.find("ripki_trace_run_count 2"), std::string::npos);
+}
+
+TEST(Export, PrometheusEscapingPerExpositionSpec) {
+  // Label values escape backslash, double-quote, and newline.
+  EXPECT_EQ(core::prometheus_escape_label("plain"), "plain");
+  EXPECT_EQ(core::prometheus_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(core::prometheus_escape_label("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(core::prometheus_escape_label("two\nlines"), "two\\nlines");
+  // HELP text escapes backslash and newline but leaves quotes alone.
+  EXPECT_EQ(core::prometheus_escape_help("a\\b"), "a\\\\b");
+  EXPECT_EQ(core::prometheus_escape_help("two\nlines"), "two\\nlines");
+  EXPECT_EQ(core::prometheus_escape_help("say \"hi\""), "say \"hi\"");
+}
+
+TEST(Export, PrometheusHelpLinesAreEmittedEscaped) {
+  obs::Registry registry;
+  registry.counter("ripki.dns.queries").set(3);
+  registry.describe("ripki.dns.queries", "queries with\nnewline and \\slash");
+
+  std::ostringstream os;
+  core::export_metrics_prometheus(registry, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# HELP ripki_dns_queries queries with\\nnewline "
+                      "and \\\\slash"),
+            std::string::npos);
+  // The escaped newline must not break the line structure: HELP and TYPE
+  // stay adjacent lines.
+  EXPECT_NE(text.find("\\\\slash\n# TYPE ripki_dns_queries counter"),
+            std::string::npos);
 }
 
 // --- legacy counter migration ----------------------------------------------
