@@ -1,40 +1,65 @@
-// Per-stage timing baseline for the measurement pipeline.
+// Per-stage timing and parallel-speedup baseline for the measurement
+// pipeline.
 //
-// Runs the four-step pipeline twice over the same ecosystem — once with
-// metrics only, once with the event tracer attached — and emits one JSON
-// object on stdout:
+// Runs the four-step pipeline over the same ecosystem several times —
+// with metrics only, with the event tracer attached, and across a thread
+// ladder (serial, 1, 2, max) — and emits one JSON object on stdout:
 //
-//   {"metrics": <registry JSON of the tracer-off run>,
+//   {"metrics": <registry JSON of the tracer-off serial run>,
 //    "tracer_overhead": {"off_ms": .., "on_ms": .., "overhead_pct": ..,
-//                        "events_recorded": .., "events_dropped": ..}}
+//                        "events_recorded": .., "events_dropped": ..},
+//    "parallel_speedup": {"domains": .., "serial_ms": ..,
+//                         "runs": [{"threads": .., "wall_ms": ..,
+//                                   "speedup": ..,
+//                                   "covering_cache_hit_rate": ..,
+//                                   "validation_cache_hit_rate": ..,
+//                                   "identical_to_serial": true}, ..]}}
+//
+// Every parallel dataset is compared record-for-record (counters
+// included) against the serial one; "identical_to_serial" must be true —
+// sharding is an implementation detail, never an output change.
 //
 // The human-readable stage table goes to stderr. Future PRs compare the
-// JSON against their own run to track the per-stage perf trajectory and
-// the instrumentation overhead (which must stay within run-to-run noise).
+// JSON against their own run to track the per-stage perf trajectory, the
+// instrumentation overhead, and the parallel scaling curve.
 //
 //   build/bench/perf_pipeline_stages [domain_count] [--rtr] [--rrdp]
+//                                    [--threads N]
+//
+// --threads caps the ladder's top rung (default: hardware threads).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <vector>
 
 #include "core/export.hpp"
 #include "core/pipeline.hpp"
+#include "exec/thread_pool.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace {
 
-double run_once_ms(const ripki::web::Ecosystem& ecosystem,
-                   ripki::core::PipelineConfig config) {
+struct TimedRun {
+  double wall_ms = 0;
+  ripki::core::Dataset dataset;
+  ripki::core::MeasurementPipeline::CacheStats cache_stats;
+};
+
+TimedRun run_once(const ripki::web::Ecosystem& ecosystem,
+                  ripki::core::PipelineConfig config) {
+  TimedRun out;
   const auto start = std::chrono::steady_clock::now();
   ripki::core::MeasurementPipeline pipeline(ecosystem, config);
-  const auto dataset = pipeline.run();
-  (void)dataset;
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - start)
-      .count();
+  out.dataset = pipeline.run();
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  out.cache_stats = pipeline.cache_stats();
+  return out;
 }
 
 }  // namespace
@@ -45,11 +70,15 @@ int main(int argc, char** argv) {
   web::EcosystemConfig config;
   config.domain_count = 20'000;
   core::PipelineConfig pipeline_config;
+  std::size_t max_threads = exec::ThreadPool::hardware_threads();
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--rtr") == 0) {
       pipeline_config.use_rtr = true;
     } else if (std::strcmp(argv[i], "--rrdp") == 0) {
       pipeline_config.use_rrdp = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      max_threads = std::strtoull(argv[++i], nullptr, 10);
+      if (max_threads == 0) max_threads = 1;
     } else {
       config.domain_count = std::strtoull(argv[i], nullptr, 10);
     }
@@ -57,25 +86,74 @@ int main(int argc, char** argv) {
 
   std::cerr << "perf_pipeline_stages: " << config.domain_count
             << " domains (rtr=" << pipeline_config.use_rtr
-            << ", rrdp=" << pipeline_config.use_rrdp << ")\n";
+            << ", rrdp=" << pipeline_config.use_rrdp
+            << ", max threads=" << max_threads << ")\n";
   const auto ecosystem = web::Ecosystem::generate(config);
 
-  // Pass 1: metrics registry only (the per-stage baseline).
+  // Pass 1: serial, metrics registry only (the per-stage baseline and the
+  // speedup denominator).
   obs::Registry registry;
   pipeline_config.registry = &registry;
   pipeline_config.verbosity = obs::LogLevel::kInfo;
-  const double off_ms = run_once_ms(*ecosystem, pipeline_config);
+  const TimedRun serial = run_once(*ecosystem, pipeline_config);
 
-  // Pass 2: same run with the event tracer attached — the instrumentation
-  // overhead series.
+  // Pass 2: same serial run with the event tracer attached — the
+  // instrumentation overhead series.
   obs::Registry traced_registry;
   obs::EventTracer tracer(/*capacity=*/1 << 16);
   core::PipelineConfig traced_config = pipeline_config;
   traced_config.registry = &traced_registry;
   traced_config.tracer = &tracer;
-  const double on_ms = run_once_ms(*ecosystem, traced_config);
+  const double on_ms = run_once(*ecosystem, traced_config).wall_ms;
+
+  // Pass 3: the thread ladder. Every rung gets a fresh registry so its
+  // cache counters are per-run, and its dataset is checked against the
+  // serial one.
+  std::vector<std::size_t> ladder{0, 1, 2, max_threads};
+  std::sort(ladder.begin(), ladder.end());
+  ladder.erase(std::unique(ladder.begin(), ladder.end()), ladder.end());
+
+  struct Rung {
+    std::size_t threads;
+    double wall_ms;
+    double speedup;
+    double covering_rate;
+    double validation_rate;
+    bool identical;
+  };
+  std::vector<Rung> rungs;
+  for (const std::size_t threads : ladder) {
+    double wall_ms;
+    core::MeasurementPipeline::CacheStats cache_stats;
+    bool identical;
+    if (threads == 0) {
+      wall_ms = serial.wall_ms;  // reuse pass 1
+      cache_stats = serial.cache_stats;
+      identical = true;
+    } else {
+      obs::Registry rung_registry;
+      core::PipelineConfig rung_config = pipeline_config;
+      rung_config.registry = &rung_registry;
+      rung_config.verbosity = obs::LogLevel::kWarn;
+      rung_config.threads = threads;
+      const TimedRun run = run_once(*ecosystem, rung_config);
+      wall_ms = run.wall_ms;
+      cache_stats = run.cache_stats;
+      identical = run.dataset == serial.dataset;
+    }
+    rungs.push_back({threads, wall_ms,
+                     wall_ms > 0 ? serial.wall_ms / wall_ms : 0.0,
+                     cache_stats.covering_hit_rate(),
+                     cache_stats.validation_hit_rate(), identical});
+    std::cerr << "threads=" << threads << ": " << wall_ms << " ms ("
+              << rungs.back().speedup << "x), covering cache "
+              << rungs.back().covering_rate * 100 << "% hit, validation cache "
+              << rungs.back().validation_rate * 100 << "% hit, identical="
+              << (identical ? "yes" : "NO") << "\n";
+  }
 
   obs::render_stage_report(registry, std::cerr);
+  const double off_ms = rungs.front().wall_ms;
   const double overhead_pct = off_ms > 0 ? (on_ms - off_ms) / off_ms * 100.0 : 0;
   std::cerr << "tracer off: " << off_ms << " ms, tracer on: " << on_ms
             << " ms (" << overhead_pct << "% overhead, " << tracer.recorded()
@@ -83,14 +161,36 @@ int main(int argc, char** argv) {
 
   std::cout << "{\"metrics\":";
   core::export_metrics_json(registry, std::cout);
-  char overhead[256];
-  std::snprintf(overhead, sizeof overhead,
+  char buffer[512];
+  std::snprintf(buffer, sizeof buffer,
                 ",\"tracer_overhead\":{\"off_ms\":%.3f,\"on_ms\":%.3f,"
                 "\"overhead_pct\":%.3f,\"events_recorded\":%llu,"
-                "\"events_dropped\":%llu}}",
+                "\"events_dropped\":%llu}",
                 off_ms, on_ms, overhead_pct,
                 static_cast<unsigned long long>(tracer.recorded()),
                 static_cast<unsigned long long>(tracer.dropped()));
-  std::cout << overhead << '\n';
-  return 0;
+  std::cout << buffer;
+  std::snprintf(buffer, sizeof buffer,
+                ",\"parallel_speedup\":{\"domains\":%llu,\"serial_ms\":%.3f,"
+                "\"runs\":[",
+                static_cast<unsigned long long>(config.domain_count), off_ms);
+  std::cout << buffer;
+  for (std::size_t i = 0; i < rungs.size(); ++i) {
+    const Rung& rung = rungs[i];
+    std::snprintf(buffer, sizeof buffer,
+                  "%s{\"threads\":%llu,\"wall_ms\":%.3f,\"speedup\":%.3f,"
+                  "\"covering_cache_hit_rate\":%.4f,"
+                  "\"validation_cache_hit_rate\":%.4f,"
+                  "\"identical_to_serial\":%s}",
+                  i == 0 ? "" : ",",
+                  static_cast<unsigned long long>(rung.threads), rung.wall_ms,
+                  rung.speedup, rung.covering_rate, rung.validation_rate,
+                  rung.identical ? "true" : "false");
+    std::cout << buffer;
+  }
+  std::cout << "]}}" << '\n';
+
+  bool all_identical = true;
+  for (const Rung& rung : rungs) all_identical = all_identical && rung.identical;
+  return all_identical ? 0 : 1;
 }

@@ -12,12 +12,17 @@
 //   curl localhost:<port>/runz           last run's per-run stage table
 //
 //   build/examples/ripkid [--port N] [--interval SEC] [--domains N]
-//                         [--iterations N] [--sample N] [--rtr] [--rrdp]
+//                         [--iterations N] [--sample N] [--threads N]
+//                         [--rtr] [--rrdp]
 //
 // --iterations 0 (default) runs until SIGINT/SIGTERM; --port 0 (default)
 // binds an ephemeral port and prints it. --sample N records one of every
-// N spans in the trace timeline.
+// N spans in the trace timeline. --threads N shards the domain sweep
+// across N workers (0 = serial); the sweep's thread count and hot-path
+// cache hit rates appear on /runz and as `ripki.exec.*` gauges on
+// /metrics.
 #include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -64,6 +69,8 @@ int main(int argc, char** argv) {
       iterations = next_u64(0);
     } else if (std::strcmp(argv[i], "--sample") == 0) {
       sample_every = static_cast<std::uint32_t>(next_u64(1));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      pipeline_config.threads = next_u64(0);
     } else if (std::strcmp(argv[i], "--rtr") == 0) {
       pipeline_config.use_rtr = true;
     } else if (std::strcmp(argv[i], "--rrdp") == 0) {
@@ -111,7 +118,8 @@ int main(int argc, char** argv) {
             << "/ (metrics, metrics.json, healthz, tracez, logz, runz)\n";
 
   std::cout << "ripkid: generating ecosystem ("
-            << ecosystem_config.domain_count << " domains)...\n";
+            << ecosystem_config.domain_count << " domains, sweep threads="
+            << pipeline_config.threads << ")...\n";
   const auto ecosystem = web::Ecosystem::generate(ecosystem_config);
   registry.counter("ripki.ripkid.runs_total");
   registry.describe("ripki.ripkid.runs_total",
@@ -128,9 +136,22 @@ int main(int argc, char** argv) {
     const auto delta = obs::delta_snapshots(before, registry.collect());
 
     {
+      const auto& caches = pipeline.cache_stats();
+      char cache_line[256];
+      std::snprintf(cache_line, sizeof cache_line,
+                    "sweep threads: %zu\n"
+                    "covering cache: %llu hits / %llu misses (%.1f%% hit)\n"
+                    "validation cache: %llu hits / %llu misses (%.1f%% hit)\n",
+                    pipeline_config.threads,
+                    static_cast<unsigned long long>(caches.covering_hits),
+                    static_cast<unsigned long long>(caches.covering_misses),
+                    caches.covering_hit_rate() * 100.0,
+                    static_cast<unsigned long long>(caches.validation_hits),
+                    static_cast<unsigned long long>(caches.validation_misses),
+                    caches.validation_hit_rate() * 100.0);
       std::lock_guard lock(runz_mutex);
       runz = "run " + std::to_string(run + 1) + " (per-run deltas)\n" +
-             obs::stage_report(delta);
+             cache_line + obs::stage_report(delta);
     }
     std::cout << "ripkid: run " << run + 1 << " done — "
               << dataset.counters.domains_total << " domains, "

@@ -1,0 +1,16 @@
+#include "bgp/covering_cache.hpp"
+
+namespace ripki::bgp {
+
+const std::vector<Rib::CoveringResult>& CoveringCache::covering(
+    const net::IpAddress& addr) {
+  const auto it = cache_.find(addr);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  return cache_.emplace(addr, rib_->covering(addr)).first->second;
+}
+
+}  // namespace ripki::bgp

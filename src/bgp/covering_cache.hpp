@@ -1,0 +1,47 @@
+// Memoized covering-prefix lookup in front of Rib::covering().
+//
+// The measurement sweep resolves many domains onto the same hosting
+// addresses (CDN clusters, shared webhosters), so the same
+// address -> covering-prefixes query repeats constantly. This cache keys
+// the full covering() result by address and hands back a reference,
+// saving both the trie walk and the result-vector copy on a hit.
+//
+// The cache is intentionally NOT thread-safe: the parallel sweep gives
+// every worker its own instance (cache coherence by ownership, no
+// invalidation protocol). Cached CoveringResult entries point into the
+// RIB's trie nodes, so the cache is only valid while the RIB outlives it
+// unchanged — which holds for a pipeline run, where the RIB is immutable
+// after stage 3 loads it.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/rib.hpp"
+
+namespace ripki::bgp {
+
+class CoveringCache {
+ public:
+  /// `rib` is borrowed and must not change while the cache lives.
+  explicit CoveringCache(const Rib* rib) : rib_(rib) {}
+
+  /// Rib::covering(addr), memoized. The reference stays valid until the
+  /// cache is destroyed (values are never evicted).
+  const std::vector<Rib::CoveringResult>& covering(const net::IpAddress& addr);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::size_t size() const { return cache_.size(); }
+
+ private:
+  const Rib* rib_;
+  std::unordered_map<net::IpAddress, std::vector<Rib::CoveringResult>,
+                     net::IpAddressHash>
+      cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace ripki::bgp

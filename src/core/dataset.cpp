@@ -1,8 +1,39 @@
 #include "core/dataset.hpp"
 
+#include <algorithm>
+#include <tuple>
+
 #include "obs/metrics.hpp"
 
 namespace ripki::core {
+
+void dedupe_pairs(std::vector<PrefixAsPair>& pairs) {
+  // One key projection drives both the ordering and the equality
+  // predicate, so the two can never drift apart.
+  const auto key = [](const PrefixAsPair& pair) {
+    return std::tie(pair.prefix, pair.origin);
+  };
+  std::sort(pairs.begin(), pairs.end(),
+            [&key](const PrefixAsPair& a, const PrefixAsPair& b) {
+              return key(a) < key(b);
+            });
+  pairs.erase(std::unique(pairs.begin(), pairs.end(),
+                          [&key](const PrefixAsPair& a, const PrefixAsPair& b) {
+                            return key(a) == key(b);
+                          }),
+              pairs.end());
+}
+
+void PipelineCounters::merge(const PipelineCounters& other) {
+  std::vector<const std::uint64_t*> fields;
+  other.for_each_field([&](const char*, const std::uint64_t& value) {
+    fields.push_back(&value);
+  });
+  std::size_t i = 0;
+  for_each_field([&](const char*, std::uint64_t& value) {
+    value += *fields[i++];
+  });
+}
 
 void PipelineCounters::publish(obs::Registry& registry) const {
   for_each_field([&](const char* name, std::uint64_t value) {

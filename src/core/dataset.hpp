@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/asn.hpp"
@@ -49,7 +50,15 @@ struct VariantResult {
   /// probability" of §4 ("e.g. 3/5 or 60% RPKI coverage of foo.bar").
   double coverage() const;
   double fraction(rpki::OriginValidity validity) const;
+
+  bool operator==(const VariantResult&) const = default;
 };
+
+/// Sorts `pairs` by (prefix, origin) and drops duplicates — a domain with
+/// several addresses inside one announced prefix yields the pair once
+/// (methodology step 3). Validity is ignored by the key: dedup runs
+/// before stage 4 assigns it.
+void dedupe_pairs(std::vector<PrefixAsPair>& pairs);
 
 struct DomainRecord {
   std::uint32_t rank = 0;
@@ -64,6 +73,8 @@ struct DomainRecord {
   /// The variant the per-domain analyses use (www when it resolved,
   /// mirroring the paper's headline www dataset).
   const VariantResult& primary() const { return www.resolved ? www : apex; }
+
+  bool operator==(const DomainRecord&) const = default;
 };
 
 struct PipelineCounters {
@@ -97,14 +108,34 @@ struct PipelineCounters {
     fn("dnssec_signed_domains", dnssec_signed_domains);
   }
 
+  /// Mutable visitation over the same field list (derived from the const
+  /// overload so the enumeration cannot diverge).
+  template <typename Fn>
+  void for_each_field(Fn&& fn) {
+    std::as_const(*this).for_each_field(
+        [&](const char* name, const std::uint64_t& value) {
+          fn(name, const_cast<std::uint64_t&>(value));
+        });
+  }
+
+  /// Adds every field of `other` into this — how the parallel sweep folds
+  /// per-worker counters into the dataset at join.
+  void merge(const PipelineCounters& other);
+
   /// Publishes every field as `ripki.pipeline.<field>` in `registry`.
   void publish(obs::Registry& registry) const;
+
+  bool operator==(const PipelineCounters&) const = default;
 };
 
 struct Dataset {
   std::vector<DomainRecord> records;
   PipelineCounters counters;
   std::uint64_t rank_space = 0;  // rank axis upper bound (Alexa: 1M)
+
+  /// Record-for-record equality, counters included — the determinism
+  /// contract between serial and sharded parallel runs.
+  bool operator==(const Dataset&) const = default;
 };
 
 }  // namespace ripki::core

@@ -2,15 +2,42 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 
+#include "bgp/covering_cache.hpp"
+#include "exec/thread_pool.hpp"
 #include "net/special.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "rpki/rrdp.hpp"
+#include "rpki/validation_cache.hpp"
 #include "rtr/cache.hpp"
 
 namespace ripki::core {
+
+namespace {
+
+/// Shards per worker in the parallel sweep: more shards than workers so
+/// work stealing evens out per-shard cost variance (CDN-heavy rank bands
+/// resolve through longer CNAME chains than direct-hosted ones).
+constexpr std::size_t kShardsPerWorker = 8;
+
+}  // namespace
+
+struct MeasurementPipeline::SweepContext {
+  dns::AuthoritativeServer server;
+  dns::StubResolver resolver;
+  bgp::CoveringCache covering;
+  rpki::ValidationCache validation;
+  PipelineCounters counters;
+
+  SweepContext(const dns::ZoneSource* zones, const bgp::Rib* rib,
+               const rpki::VrpIndex* index, obs::Registry* registry)
+      : server(zones), resolver(&server), covering(rib), validation(index) {
+    resolver.attach(registry);
+  }
+};
 
 MeasurementPipeline::MeasurementPipeline(const web::Ecosystem& ecosystem,
                                          PipelineConfig config)
@@ -101,14 +128,14 @@ void MeasurementPipeline::prepare_vrps() {
                                    : "validation produced no VRPs");
 }
 
-VariantResult MeasurementPipeline::measure_variant(dns::StubResolver& resolver,
-                                                   const dns::DnsName& name,
-                                                   PipelineCounters& counters) {
+VariantResult MeasurementPipeline::measure_variant(SweepContext& ctx,
+                                                   const dns::DnsName& name) {
   VariantResult result;
+  PipelineCounters& counters = ctx.counters;
 
   // Step 2: resolve A/AAAA with CNAME chasing.
   obs::Span dns_span(config_.registry, "stage2.dns");
-  auto resolution = resolver.resolve_all(name);
+  auto resolution = ctx.resolver.resolve_all(name);
   dns_span.stop();
   if (!resolution.ok()) return result;  // treated as unresolvable
   const dns::Resolution& res = resolution.value();
@@ -132,11 +159,12 @@ VariantResult MeasurementPipeline::measure_variant(dns::StubResolver& resolver,
   result.address_count = static_cast<std::uint16_t>(
       std::min<std::size_t>(addresses.size(), UINT16_MAX));
 
-  // Step 3: all covering prefixes and their origin ASes.
+  // Step 3: all covering prefixes and their origin ASes, through the
+  // per-worker memoized covering lookup.
   obs::Span lookup_span(config_.registry, "stage3.prefix_origin");
   std::vector<PrefixAsPair> pairs;
   for (const auto& addr : addresses) {
-    const auto covering = rib_.covering(addr);
+    const auto& covering = ctx.covering.covering(addr);
     if (covering.empty()) {
       ++result.unrouted_addresses;
       ++counters.unrouted_addresses;
@@ -156,25 +184,95 @@ VariantResult MeasurementPipeline::measure_variant(dns::StubResolver& resolver,
   }
 
   // Deduplicate (a domain with several addresses in one prefix yields the
-  // pair once) and run step 4 on each unique pair.
-  std::sort(pairs.begin(), pairs.end(),
-            [](const PrefixAsPair& a, const PrefixAsPair& b) {
-              if (a.prefix != b.prefix) return a.prefix < b.prefix;
-              return a.origin < b.origin;
-            });
-  pairs.erase(std::unique(pairs.begin(), pairs.end(),
-                          [](const PrefixAsPair& a, const PrefixAsPair& b) {
-                            return a.prefix == b.prefix && a.origin == b.origin;
-                          }),
-              pairs.end());
+  // pair once) and run step 4 on each unique pair, memoized per worker.
+  dedupe_pairs(pairs);
   lookup_span.stop();
   obs::Span validate_span(config_.registry, "stage4.origin_validation");
   for (auto& pair : pairs) {
-    pair.validity = vrp_index_.validate(pair.prefix, pair.origin);
+    pair.validity = ctx.validation.validate(pair.prefix, pair.origin);
   }
   validate_span.stop();
   result.pairs = std::move(pairs);
   return result;
+}
+
+DomainRecord MeasurementPipeline::measure_domain(std::size_t index,
+                                                 SweepContext& ctx) {
+  const web::DomainPlan& plan = ecosystem_.plan(index);
+  DomainRecord record;
+  record.rank = plan.rank;
+  record.name = plan.name;
+
+  auto apex_name = dns::DnsName::parse(plan.name);
+  assert(apex_name.ok());
+  const dns::DnsName www_name = apex_name.value().prepended("www");
+
+  record.www = measure_variant(ctx, www_name);
+  record.apex = measure_variant(ctx, apex_name.value());
+  record.excluded_dns = !record.www.resolved && !record.apex.resolved;
+
+  // DNSSEC adoption probe (future-work comparison): does the zone apex
+  // publish a DNSKEY?
+  if (auto dnskey =
+          ctx.resolver.query(apex_name.value(), dns::RecordType::kDnskey);
+      dnskey.ok()) {
+    for (const auto& rr : dnskey.value().answers) {
+      if (rr.type == dns::RecordType::kDnskey) {
+        record.dnssec_signed = true;
+        ++ctx.counters.dnssec_signed_domains;
+        break;
+      }
+    }
+  }
+
+  ++ctx.counters.domains_total;
+  if (record.excluded_dns) ++ctx.counters.domains_excluded_dns;
+  ctx.counters.addresses_www += record.www.address_count;
+  ctx.counters.addresses_apex += record.apex.address_count;
+  ctx.counters.pairs_www += record.www.pairs.size();
+  ctx.counters.pairs_apex += record.apex.pairs.size();
+  return record;
+}
+
+void MeasurementPipeline::absorb_context(SweepContext& ctx, Dataset& dataset) {
+  ctx.counters.dns_queries = ctx.resolver.queries_sent();
+  dataset.counters.merge(ctx.counters);
+  cache_stats_.covering_hits += ctx.covering.hits();
+  cache_stats_.covering_misses += ctx.covering.misses();
+  cache_stats_.validation_hits += ctx.validation.hits();
+  cache_stats_.validation_misses += ctx.validation.misses();
+}
+
+void MeasurementPipeline::publish_sweep_metrics() const {
+  if (config_.registry == nullptr) return;
+  obs::Registry& registry = *config_.registry;
+  registry.counter("ripki.bgp.covering_cache_hits")
+      .inc(cache_stats_.covering_hits);
+  registry.counter("ripki.bgp.covering_cache_misses")
+      .inc(cache_stats_.covering_misses);
+  registry.counter("ripki.rpki.validation_cache_hits")
+      .inc(cache_stats_.validation_hits);
+  registry.counter("ripki.rpki.validation_cache_misses")
+      .inc(cache_stats_.validation_misses);
+  registry.describe("ripki.bgp.covering_cache_hits",
+                    "Covering-prefix lookups answered from the per-worker "
+                    "address cache");
+  registry.describe("ripki.rpki.validation_cache_hits",
+                    "RFC 6811 validations answered from the per-worker "
+                    "(prefix, origin) cache");
+  registry.gauge("ripki.exec.threads")
+      .set(static_cast<std::int64_t>(config_.threads));
+  registry.describe("ripki.exec.threads",
+                    "Sweep worker threads of the last run (0 = serial)");
+  registry.gauge("ripki.exec.covering_cache_hit_rate_pct")
+      .set(static_cast<std::int64_t>(cache_stats_.covering_hit_rate() * 100.0));
+  registry.gauge("ripki.exec.validation_cache_hit_rate_pct")
+      .set(static_cast<std::int64_t>(cache_stats_.validation_hit_rate() *
+                                     100.0));
+  registry.describe("ripki.exec.covering_cache_hit_rate_pct",
+                    "Covering-prefix cache hit rate of the last run (%)");
+  registry.describe("ripki.exec.validation_cache_hit_rate_pct",
+                    "Origin-validation cache hit rate of the last run (%)");
 }
 
 Dataset MeasurementPipeline::run() {
@@ -191,10 +289,11 @@ Dataset MeasurementPipeline::run() {
   obs::Span run_span(config_.registry, "pipeline.run");
   prepare_rib();
   prepare_vrps();
+  cache_stats_ = CacheStats{};
 
-  dns::AuthoritativeServer server(&ecosystem_.zone_source(config_.vantage));
-  dns::StubResolver resolver(&server);
-  resolver.attach(config_.registry);
+  // Materialize the vantage's zone view on this thread (lazily built);
+  // workers then share it read-only.
+  const dns::ZoneSource& zones = ecosystem_.zone_source(config_.vantage);
 
   Dataset dataset;
   dataset.rank_space = ecosystem_.config().rank_space;
@@ -202,47 +301,48 @@ Dataset MeasurementPipeline::run() {
   obs::Span select_span(config_.registry, "stage1.select_domains");
   std::size_t count = ecosystem_.domain_count();
   if (config_.max_domains != 0) count = std::min(count, config_.max_domains);
-  dataset.records.reserve(count);
+  // Pre-sized output slots: every domain writes records[i] whether the
+  // sweep below is serial or sharded, so the parallel dataset is
+  // byte-identical to the serial one regardless of thread count.
+  dataset.records.resize(count);
   select_span.stop();
-  log(obs::LogLevel::kInfo, "stage 1 domains selected", {{"domains", count}});
+  log(obs::LogLevel::kInfo, "stage 1 domains selected",
+      {{"domains", count}, {"threads", config_.threads}});
 
-  for (std::size_t i = 0; i < count; ++i) {
-    const web::DomainPlan& plan = ecosystem_.plan(i);
-    DomainRecord record;
-    record.rank = plan.rank;
-    record.name = plan.name;
-
-    auto apex_name = dns::DnsName::parse(plan.name);
-    assert(apex_name.ok());
-    const dns::DnsName www_name = apex_name.value().prepended("www");
-
-    record.www = measure_variant(resolver, www_name, dataset.counters);
-    record.apex = measure_variant(resolver, apex_name.value(), dataset.counters);
-    record.excluded_dns = !record.www.resolved && !record.apex.resolved;
-
-    // DNSSEC adoption probe (future-work comparison): does the zone apex
-    // publish a DNSKEY?
-    if (auto dnskey = resolver.query(apex_name.value(), dns::RecordType::kDnskey);
-        dnskey.ok()) {
-      for (const auto& rr : dnskey.value().answers) {
-        if (rr.type == dns::RecordType::kDnskey) {
-          record.dnssec_signed = true;
-          ++dataset.counters.dnssec_signed_domains;
-          break;
-        }
-      }
+  if (config_.threads == 0) {
+    SweepContext ctx(&zones, &rib_, &vrp_index_, config_.registry);
+    obs::Span sweep_span(config_.registry, "sweep");
+    for (std::size_t i = 0; i < count; ++i) {
+      dataset.records[i] = measure_domain(i, ctx);
     }
-
-    ++dataset.counters.domains_total;
-    if (record.excluded_dns) ++dataset.counters.domains_excluded_dns;
-    dataset.counters.addresses_www += record.www.address_count;
-    dataset.counters.addresses_apex += record.apex.address_count;
-    dataset.counters.pairs_www += record.www.pairs.size();
-    dataset.counters.pairs_apex += record.apex.pairs.size();
-
-    dataset.records.push_back(std::move(record));
+    sweep_span.stop();
+    absorb_context(ctx, dataset);
+  } else {
+    exec::ThreadPool pool(config_.threads, config_.registry);
+    std::vector<std::unique_ptr<SweepContext>> contexts;
+    contexts.reserve(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      contexts.push_back(std::make_unique<SweepContext>(
+          &zones, &rib_, &vrp_index_, config_.registry));
+    }
+    exec::parallel_for_shards(
+        pool, count, pool.size() * kShardsPerWorker,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+          SweepContext& ctx = *contexts[exec::ThreadPool::current_worker()];
+          // Root span per shard, named with the full dotted path so worker
+          // threads (whose thread-local span stack is empty) aggregate
+          // into the same `pipeline.run.sweep.*` histograms as the serial
+          // path, and the tracer shows one sweep segment per shard on the
+          // worker's Perfetto track.
+          obs::Span sweep_span(config_.registry, "pipeline.run.sweep");
+          for (std::size_t i = begin; i < end; ++i) {
+            dataset.records[i] = measure_domain(i, ctx);
+          }
+        });
+    // Per-worker counters merge once at join; field-wise sums are
+    // order-independent, so totals match the serial run exactly.
+    for (auto& ctx : contexts) absorb_context(*ctx, dataset);
   }
-  dataset.counters.dns_queries = resolver.queries_sent();
 
   const std::uint64_t resolved =
       dataset.counters.domains_total - dataset.counters.domains_excluded_dns;
@@ -251,6 +351,7 @@ Dataset MeasurementPipeline::run() {
              resolved > 0 ? "resolutions succeeding"
                           : "no domain resolved");
   set_health("pipeline", true, "last run completed");
+  publish_sweep_metrics();
 
   if (config_.registry != nullptr) {
     dataset.counters.publish(*config_.registry);

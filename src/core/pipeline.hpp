@@ -50,6 +50,14 @@ struct PipelineConfig {
   /// Optionally restrict to the first N domains (0 = all).
   std::size_t max_domains = 0;
 
+  /// Worker threads for the stage 1–4 domain sweep. 0 (the default) runs
+  /// the sweep serially on the calling thread — today's behavior. N >= 1
+  /// shards the rank axis across an exec::ThreadPool of N workers, each
+  /// owning its own resolver view, hot-path caches, and counters; results
+  /// land in pre-sized record slots and counters merge at join, so the
+  /// dataset is identical to the serial run for every thread count.
+  std::size_t threads = 0;
+
   /// Observability. When `registry` is set, every stage records trace
   /// spans and counters into it (borrowed; must outlive the pipeline) and
   /// the stage-timing breakdown is logged at the end of run(). When null,
@@ -79,18 +87,53 @@ class MeasurementPipeline {
   /// Runs all four steps and returns the annotated dataset.
   Dataset run();
 
+  /// Aggregated hot-path cache traffic of the last run() — summed across
+  /// workers in parallel runs. Also published to the registry as
+  /// `ripki.bgp.covering_cache_*` / `ripki.rpki.validation_cache_*`.
+  struct CacheStats {
+    std::uint64_t covering_hits = 0;
+    std::uint64_t covering_misses = 0;
+    std::uint64_t validation_hits = 0;
+    std::uint64_t validation_misses = 0;
+
+    /// Hit fraction in [0, 1]; 0 when the cache saw no traffic.
+    static double rate(std::uint64_t hits, std::uint64_t misses) {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) / static_cast<double>(total);
+    }
+    double covering_hit_rate() const {
+      return rate(covering_hits, covering_misses);
+    }
+    double validation_hit_rate() const {
+      return rate(validation_hits, validation_misses);
+    }
+  };
+
   /// Artifacts (valid after run()):
   const rpki::ValidationReport& validation_report() const { return report_; }
   const rpki::VrpIndex& vrp_index() const { return vrp_index_; }
   const bgp::Rib& rib() const { return rib_; }
   const bgp::mrt::ParseStats& mrt_stats() const { return mrt_stats_; }
+  const CacheStats& cache_stats() const { return cache_stats_; }
 
  private:
+  /// Per-worker sweep state: authoritative-server view + stub resolver,
+  /// the two hot-path caches, and private counters. The serial path uses
+  /// a single instance; the parallel path one per pool worker.
+  struct SweepContext;
+
   void prepare_rib();
   void prepare_vrps();
-  VariantResult measure_variant(dns::StubResolver& resolver,
-                                const dns::DnsName& name,
-                                PipelineCounters& counters);
+  /// Measures one domain (stages 2–4 for both name variants plus the
+  /// DNSSEC probe), charging counters to `ctx`.
+  DomainRecord measure_domain(std::size_t index, SweepContext& ctx);
+  VariantResult measure_variant(SweepContext& ctx, const dns::DnsName& name);
+  /// Folds a finished context into the dataset: resolver query count,
+  /// counter merge, cache hit/miss accumulation.
+  void absorb_context(SweepContext& ctx, Dataset& dataset);
+  /// Publishes cache totals and the thread-count/hit-rate gauges.
+  void publish_sweep_metrics() const;
   /// Emits through the global logger when `config_.verbosity` admits it.
   void log(obs::LogLevel level, std::string_view message,
            std::vector<obs::LogField> fields = {}) const;
@@ -105,6 +148,7 @@ class MeasurementPipeline {
   bgp::mrt::ParseStats mrt_stats_;
   rpki::ValidationReport report_;
   rpki::VrpIndex vrp_index_;
+  CacheStats cache_stats_;
 };
 
 }  // namespace ripki::core

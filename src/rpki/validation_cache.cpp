@@ -1,0 +1,19 @@
+#include "rpki/validation_cache.hpp"
+
+namespace ripki::rpki {
+
+OriginValidity ValidationCache::validate(const net::Prefix& route,
+                                         net::Asn origin) {
+  const Key key{route, origin};
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  const OriginValidity validity = index_->validate(route, origin);
+  cache_.emplace(key, validity);
+  return validity;
+}
+
+}  // namespace ripki::rpki

@@ -1,0 +1,50 @@
+// (prefix, origin) -> OriginValidity memo in front of VrpIndex::validate().
+//
+// Popular prefixes are announced for thousands of domains, so stage 4
+// re-validates the same pair over and over; RFC 6811 classification is a
+// pure function of the (immutable) VRP set, which makes it safe to
+// memoize. Like bgp::CoveringCache this is single-threaded by design —
+// the parallel sweep owns one instance per worker.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/asn.hpp"
+#include "net/prefix.hpp"
+#include "rpki/origin_validation.hpp"
+
+namespace ripki::rpki {
+
+class ValidationCache {
+ public:
+  /// `index` is borrowed and must not change while the cache lives.
+  explicit ValidationCache(const VrpIndex* index) : index_(index) {}
+
+  /// VrpIndex::validate(route, origin), memoized.
+  OriginValidity validate(const net::Prefix& route, net::Asn origin);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::size_t size() const { return cache_.size(); }
+
+ private:
+  struct Key {
+    net::Prefix prefix;
+    net::Asn origin;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      return net::PrefixHash{}(key.prefix) * 31 +
+             net::AsnHash{}(key.origin);
+    }
+  };
+
+  const VrpIndex* index_;
+  std::unordered_map<Key, OriginValidity, KeyHash> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace ripki::rpki

@@ -356,6 +356,40 @@ TEST(VariantResult, CoverageMath) {
   EXPECT_DOUBLE_EQ(empty.coverage(), 0.0);
 }
 
+TEST(DedupePairs, SortsAndRemovesDuplicatesByPrefixAndOrigin) {
+  const auto p1 = net::Prefix::parse("10.0.0.0/8").value();
+  const auto p2 = net::Prefix::parse("10.1.0.0/16").value();
+  std::vector<PrefixAsPair> pairs{
+      {p2, net::Asn(65002), {}}, {p1, net::Asn(65001), {}},
+      {p2, net::Asn(65001), {}}, {p1, net::Asn(65001), {}},
+      {p2, net::Asn(65002), {}}, {p2, net::Asn(65002), {}},
+  };
+  dedupe_pairs(pairs);
+  ASSERT_EQ(pairs.size(), 3u);
+  // Sorted by (prefix, origin), each pair exactly once.
+  EXPECT_EQ(pairs[0].prefix, p1);
+  EXPECT_EQ(pairs[0].origin, net::Asn(65001));
+  EXPECT_EQ(pairs[1].prefix, p2);
+  EXPECT_EQ(pairs[1].origin, net::Asn(65001));
+  EXPECT_EQ(pairs[2].prefix, p2);
+  EXPECT_EQ(pairs[2].origin, net::Asn(65002));
+}
+
+TEST(DedupePairs, EmptyAndSingleAndAllDistinctAreUntouched) {
+  std::vector<PrefixAsPair> pairs;
+  dedupe_pairs(pairs);
+  EXPECT_TRUE(pairs.empty());
+
+  const auto p1 = net::Prefix::parse("192.0.2.0/24").value();
+  pairs.push_back({p1, net::Asn(64512), {}});
+  dedupe_pairs(pairs);
+  ASSERT_EQ(pairs.size(), 1u);
+
+  pairs.push_back({p1, net::Asn(64513), {}});
+  dedupe_pairs(pairs);
+  EXPECT_EQ(pairs.size(), 2u);
+}
+
 TEST(DomainRecord, PrimaryPrefersWww) {
   DomainRecord record;
   record.www.resolved = true;
