@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Compare a perf_pipeline_stages JSON run against a committed baseline.
+
+Usage: check_regression.py BASELINE.json CURRENT.json [--threshold PCT]
+
+Flags a per-stage wall-clock regression when a stage is more than
+--threshold percent slower than the baseline (default 25%) AND at least
+5 ms slower in absolute terms (sub-millisecond stages are pure noise on
+shared CI runners). Also fails when any identical_* check in the current
+run is false — identity is a correctness bug, never noise.
+
+Exit codes: 0 ok, 1 regression or identity failure, 2 usage/parse error.
+Stdlib only; runs in the CI bench-smoke job after the bench binary.
+"""
+
+import argparse
+import json
+import sys
+
+ABS_FLOOR_MS = 5.0
+
+
+def stage_times(report):
+    """Flattens the timed stages of one perf_pipeline_stages JSON object
+    into {stage name: wall-clock ms}."""
+    stages = {}
+    overhead = report.get("tracer_overhead", {})
+    for key in ("off_ms", "on_ms"):
+        if key in overhead:
+            stages[f"tracer_overhead.{key}"] = overhead[key]
+    for run in report.get("parallel_speedup", {}).get("runs", []):
+        prefix = f"pipeline.threads={run['threads']}"
+        stages[f"{prefix}.wall_ms"] = run["wall_ms"]
+        if "rib_prepare_ms" in run:
+            stages[f"{prefix}.rib_prepare_ms"] = run["rib_prepare_ms"]
+            stages[f"{prefix}.vrp_prepare_ms"] = run["vrp_prepare_ms"]
+    for run in report.get("setup_speedup", {}).get("runs", []):
+        prefix = f"setup.threads={run['threads']}"
+        stages[f"{prefix}.parse_ms"] = run["parse_ms"]
+        stages[f"{prefix}.validate_ms"] = run["validate_ms"]
+    return stages
+
+
+def identity_failures(report):
+    failures = []
+    for block, key in (("parallel_speedup", "pipeline"), ("setup_speedup", "setup")):
+        for run in report.get(block, {}).get("runs", []):
+            for field, value in run.items():
+                if field.startswith("identical") and value is not True:
+                    failures.append(f"{key}.threads={run['threads']}.{field}")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        help="regression threshold in percent (default 25)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        with open(args.current) as f:
+            current = json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"check_regression: cannot load input: {error}", file=sys.stderr)
+        return 2
+
+    broken = identity_failures(current)
+    for name in broken:
+        print(f"IDENTITY FAILURE: {name} is false")
+
+    base_stages = stage_times(baseline)
+    cur_stages = stage_times(current)
+    regressions = []
+    for name in sorted(base_stages):
+        if name not in cur_stages:
+            continue
+        base_ms, cur_ms = base_stages[name], cur_stages[name]
+        delta_pct = (cur_ms - base_ms) / base_ms * 100.0 if base_ms > 0 else 0.0
+        regressed = (delta_pct > args.threshold
+                     and cur_ms - base_ms > ABS_FLOOR_MS)
+        marker = " <-- REGRESSION" if regressed else ""
+        print(f"{name:44s} {base_ms:10.3f} -> {cur_ms:10.3f} ms "
+              f"({delta_pct:+7.1f}%){marker}")
+        if regressed:
+            regressions.append(name)
+
+    if regressions:
+        print(f"\n{len(regressions)} stage(s) regressed more than "
+              f"{args.threshold:.0f}% over baseline: {', '.join(regressions)}")
+    if broken:
+        print(f"\n{len(broken)} identity check(s) failed")
+    return 1 if regressions or broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,13 +11,28 @@
 //    "parallel_speedup": {"domains": .., "serial_ms": ..,
 //                         "runs": [{"threads": .., "wall_ms": ..,
 //                                   "speedup": ..,
+//                                   "rib_prepare_ms": ..,
+//                                   "vrp_prepare_ms": ..,
 //                                   "covering_cache_hit_rate": ..,
 //                                   "validation_cache_hit_rate": ..,
-//                                   "identical_to_serial": true}, ..]}}
+//                                   "identical_to_serial": true,
+//                                   "identical_rib": true,
+//                                   "identical_report": true}, ..]},
+//    "setup_speedup": {"serial_parse_ms": .., "serial_validate_ms": ..,
+//                      "runs": [{"threads": .., "parse_ms": ..,
+//                                "validate_ms": .., "parse_speedup": ..,
+//                                "validate_speedup": ..,
+//                                "combined_speedup": ..,
+//                                "identical_rib": true,
+//                                "identical_report": true}, ..]}}
 //
 // Every parallel dataset is compared record-for-record (counters
-// included) against the serial one; "identical_to_serial" must be true —
-// sharding is an implementation detail, never an output change.
+// included) against the serial one, and every pooled setup artifact (RIB,
+// parse stats, validation report) byte-for-byte against the serial
+// artifact; all "identical_*" fields must be true — sharding is an
+// implementation detail, never an output change. The exit code reflects
+// ONLY those identity checks: speedup numbers are reported for the
+// trajectory, not asserted, because CI runners may expose a single core.
 //
 // The human-readable stage table goes to stderr. Future PRs compare the
 // JSON against their own run to track the per-stage perf trajectory, the
@@ -33,13 +48,16 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <vector>
 
+#include "bgp/mrt.hpp"
 #include "core/export.hpp"
 #include "core/pipeline.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
+#include "rpki/validator.hpp"
 
 namespace {
 
@@ -47,19 +65,29 @@ struct TimedRun {
   double wall_ms = 0;
   ripki::core::Dataset dataset;
   ripki::core::MeasurementPipeline::CacheStats cache_stats;
+  // The pipeline itself is kept so rungs can compare setup artifacts
+  // (RIB, validation report) against the serial baseline.
+  std::unique_ptr<ripki::core::MeasurementPipeline> pipeline;
 };
 
 TimedRun run_once(const ripki::web::Ecosystem& ecosystem,
                   ripki::core::PipelineConfig config) {
   TimedRun out;
   const auto start = std::chrono::steady_clock::now();
-  ripki::core::MeasurementPipeline pipeline(ecosystem, config);
-  out.dataset = pipeline.run();
+  out.pipeline =
+      std::make_unique<ripki::core::MeasurementPipeline>(ecosystem, config);
+  out.dataset = out.pipeline->run();
   out.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - start)
                     .count();
-  out.cache_stats = pipeline.cache_stats();
+  out.cache_stats = out.pipeline->cache_stats();
   return out;
+}
+
+double ms_between(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
 }
 
 }  // namespace
@@ -117,19 +145,25 @@ int main(int argc, char** argv) {
     std::size_t threads;
     double wall_ms;
     double speedup;
+    double rib_prepare_ms;
+    double vrp_prepare_ms;
     double covering_rate;
     double validation_rate;
     bool identical;
+    bool identical_rib;
+    bool identical_report;
   };
   std::vector<Rung> rungs;
   for (const std::size_t threads : ladder) {
     double wall_ms;
     core::MeasurementPipeline::CacheStats cache_stats;
-    bool identical;
+    core::MeasurementPipeline::SetupStats setup_stats;
+    bool identical, identical_rib, identical_report;
     if (threads == 0) {
       wall_ms = serial.wall_ms;  // reuse pass 1
       cache_stats = serial.cache_stats;
-      identical = true;
+      setup_stats = serial.pipeline->setup_stats();
+      identical = identical_rib = identical_report = true;
     } else {
       obs::Registry rung_registry;
       core::PipelineConfig rung_config = pipeline_config;
@@ -139,17 +173,84 @@ int main(int argc, char** argv) {
       const TimedRun run = run_once(*ecosystem, rung_config);
       wall_ms = run.wall_ms;
       cache_stats = run.cache_stats;
+      setup_stats = run.pipeline->setup_stats();
       identical = run.dataset == serial.dataset;
+      identical_rib = run.pipeline->rib() == serial.pipeline->rib() &&
+                      run.pipeline->mrt_stats() == serial.pipeline->mrt_stats();
+      identical_report =
+          run.pipeline->validation_report() == serial.pipeline->validation_report();
     }
     rungs.push_back({threads, wall_ms,
                      wall_ms > 0 ? serial.wall_ms / wall_ms : 0.0,
+                     setup_stats.rib_prepare_ms, setup_stats.vrp_prepare_ms,
                      cache_stats.covering_hit_rate(),
-                     cache_stats.validation_hit_rate(), identical});
+                     cache_stats.validation_hit_rate(), identical,
+                     identical_rib, identical_report});
     std::cerr << "threads=" << threads << ": " << wall_ms << " ms ("
-              << rungs.back().speedup << "x), covering cache "
+              << rungs.back().speedup << "x), rib_prepare "
+              << setup_stats.rib_prepare_ms << " ms, vrp_prepare "
+              << setup_stats.vrp_prepare_ms << " ms, covering cache "
               << rungs.back().covering_rate * 100 << "% hit, validation cache "
               << rungs.back().validation_rate * 100 << "% hit, identical="
-              << (identical ? "yes" : "NO") << "\n";
+              << (identical && identical_rib && identical_report ? "yes" : "NO")
+              << "\n";
+  }
+
+  // Pass 4: the setup-stage ladder. The MRT parse and the repository
+  // validation are timed directly (no sweep, no registry) so the
+  // parse/validate speedup is visible even when the domain sweep
+  // dominates the wall clock. Serial first, then pools of {1, 2, max}.
+  const util::Bytes dump = ecosystem->mrt_dump();
+  const auto& repositories = ecosystem->repositories();
+  const rpki::RepositoryValidator validator(ecosystem->config().now);
+
+  bgp::mrt::ParseStats serial_parse_stats;
+  auto parse_start = std::chrono::steady_clock::now();
+  auto serial_rib = bgp::mrt::read_table_dump(dump, &serial_parse_stats);
+  const double serial_parse_ms = ms_between(parse_start);
+  if (!serial_rib.ok()) {
+    std::cerr << "serial MRT parse failed: " << serial_rib.error().message
+              << "\n";
+    return 1;
+  }
+  auto validate_start = std::chrono::steady_clock::now();
+  const rpki::ValidationReport serial_report = validator.validate(repositories);
+  const double serial_validate_ms = ms_between(validate_start);
+  std::cerr << "setup serial: parse " << serial_parse_ms << " ms, validate "
+            << serial_validate_ms << " ms\n";
+
+  struct SetupRung {
+    std::size_t threads;
+    double parse_ms;
+    double validate_ms;
+    bool identical_rib;
+    bool identical_report;
+  };
+  std::vector<SetupRung> setup_rungs;
+  setup_rungs.push_back(
+      {0, serial_parse_ms, serial_validate_ms, true, true});
+  for (const std::size_t threads : ladder) {
+    if (threads == 0) continue;
+    exec::ThreadPool pool(threads);
+    bgp::mrt::ParseStats parse_stats;
+    parse_start = std::chrono::steady_clock::now();
+    auto rib = bgp::mrt::read_table_dump(dump, &parse_stats, nullptr, &pool);
+    const double parse_ms = ms_between(parse_start);
+    validate_start = std::chrono::steady_clock::now();
+    const rpki::ValidationReport report =
+        validator.validate(repositories, &pool);
+    const double validate_ms = ms_between(validate_start);
+    const bool identical_rib = rib.ok() && rib.value() == serial_rib.value() &&
+                               parse_stats == serial_parse_stats;
+    const bool identical_report = report == serial_report;
+    setup_rungs.push_back(
+        {threads, parse_ms, validate_ms, identical_rib, identical_report});
+    std::cerr << "setup threads=" << threads << ": parse " << parse_ms
+              << " ms (" << (parse_ms > 0 ? serial_parse_ms / parse_ms : 0.0)
+              << "x), validate " << validate_ms << " ms ("
+              << (validate_ms > 0 ? serial_validate_ms / validate_ms : 0.0)
+              << "x), identical="
+              << (identical_rib && identical_report ? "yes" : "NO") << "\n";
   }
 
   obs::render_stage_report(registry, std::cerr);
@@ -179,18 +280,56 @@ int main(int argc, char** argv) {
     const Rung& rung = rungs[i];
     std::snprintf(buffer, sizeof buffer,
                   "%s{\"threads\":%llu,\"wall_ms\":%.3f,\"speedup\":%.3f,"
+                  "\"rib_prepare_ms\":%.3f,\"vrp_prepare_ms\":%.3f,"
                   "\"covering_cache_hit_rate\":%.4f,"
                   "\"validation_cache_hit_rate\":%.4f,"
-                  "\"identical_to_serial\":%s}",
+                  "\"identical_to_serial\":%s,\"identical_rib\":%s,"
+                  "\"identical_report\":%s}",
                   i == 0 ? "" : ",",
                   static_cast<unsigned long long>(rung.threads), rung.wall_ms,
-                  rung.speedup, rung.covering_rate, rung.validation_rate,
-                  rung.identical ? "true" : "false");
+                  rung.speedup, rung.rib_prepare_ms, rung.vrp_prepare_ms,
+                  rung.covering_rate, rung.validation_rate,
+                  rung.identical ? "true" : "false",
+                  rung.identical_rib ? "true" : "false",
+                  rung.identical_report ? "true" : "false");
+    std::cout << buffer;
+  }
+  std::snprintf(buffer, sizeof buffer,
+                "]},\"setup_speedup\":{\"serial_parse_ms\":%.3f,"
+                "\"serial_validate_ms\":%.3f,\"runs\":[",
+                serial_parse_ms, serial_validate_ms);
+  std::cout << buffer;
+  for (std::size_t i = 0; i < setup_rungs.size(); ++i) {
+    const SetupRung& rung = setup_rungs[i];
+    const double parse_speedup =
+        rung.parse_ms > 0 ? serial_parse_ms / rung.parse_ms : 0.0;
+    const double validate_speedup =
+        rung.validate_ms > 0 ? serial_validate_ms / rung.validate_ms : 0.0;
+    const double combined = rung.parse_ms + rung.validate_ms;
+    const double combined_speedup =
+        combined > 0 ? (serial_parse_ms + serial_validate_ms) / combined : 0.0;
+    std::snprintf(buffer, sizeof buffer,
+                  "%s{\"threads\":%llu,\"parse_ms\":%.3f,\"validate_ms\":%.3f,"
+                  "\"parse_speedup\":%.3f,\"validate_speedup\":%.3f,"
+                  "\"combined_speedup\":%.3f,\"identical_rib\":%s,"
+                  "\"identical_report\":%s}",
+                  i == 0 ? "" : ",",
+                  static_cast<unsigned long long>(rung.threads), rung.parse_ms,
+                  rung.validate_ms, parse_speedup, validate_speedup,
+                  combined_speedup, rung.identical_rib ? "true" : "false",
+                  rung.identical_report ? "true" : "false");
     std::cout << buffer;
   }
   std::cout << "]}}" << '\n';
 
   bool all_identical = true;
-  for (const Rung& rung : rungs) all_identical = all_identical && rung.identical;
+  for (const Rung& rung : rungs) {
+    all_identical = all_identical && rung.identical && rung.identical_rib &&
+                    rung.identical_report;
+  }
+  for (const SetupRung& rung : setup_rungs) {
+    all_identical =
+        all_identical && rung.identical_rib && rung.identical_report;
+  }
   return all_identical ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 #include "core/pipeline.hpp"
 #include "crypto/rsa.hpp"
 #include "crypto/sha256.hpp"
+#include "crypto/uint256.hpp"
 #include "dns/resolver.hpp"
 #include "rpki/rrdp.hpp"
 #include "rpki/validator.hpp"
@@ -74,6 +75,38 @@ void BM_Sha256(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_Sha256)->Arg(64)->Arg(1'024)->Arg(65'536);
+
+// The two modexp cores over the same 256-bit odd modulus and long
+// exponent: the division-based binary ladder (reference) against the
+// Montgomery fixed-window ladder that RSA verify/sign dispatch to.
+crypto::U256 modexp_bench_modulus() {
+  util::Prng prng(31);
+  crypto::U256 m = crypto::U256::random_bits(prng, 256);
+  if (!m.is_odd()) m = m.add(crypto::U256(1));
+  return m;
+}
+
+void BM_ModexpSchoolbook(benchmark::State& state) {
+  util::Prng prng(32);
+  const crypto::U256 m = modexp_bench_modulus();
+  const crypto::U256 base = crypto::U256::random_below(prng, m);
+  const crypto::U256 exp = crypto::U256::random_bits(prng, 255);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::U256::modexp_schoolbook(base, exp, m));
+  }
+}
+BENCHMARK(BM_ModexpSchoolbook);
+
+void BM_Modexp(benchmark::State& state) {
+  util::Prng prng(32);
+  const crypto::U256 m = modexp_bench_modulus();
+  const crypto::U256 base = crypto::U256::random_below(prng, m);
+  const crypto::U256 exp = crypto::U256::random_bits(prng, 255);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::U256::modexp(base, exp, m));
+  }
+}
+BENCHMARK(BM_Modexp);
 
 void BM_RsaKeygen(benchmark::State& state) {
   util::Prng prng(3);

@@ -149,9 +149,16 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(caches.validation_hits),
                     static_cast<unsigned long long>(caches.validation_misses),
                     caches.validation_hit_rate() * 100.0);
+      const auto& setup = pipeline.setup_stats();
+      char setup_line[256];
+      std::snprintf(setup_line, sizeof setup_line,
+                    "setup: MRT parse %.1f ms (%.0f records/s), "
+                    "ROA validation %.1f ms (%.0f ROAs/s)\n",
+                    setup.rib_prepare_ms, setup.mrt_records_per_sec,
+                    setup.vrp_prepare_ms, setup.roas_per_sec);
       std::lock_guard lock(runz_mutex);
       runz = "run " + std::to_string(run + 1) + " (per-run deltas)\n" +
-             cache_line + obs::stage_report(delta);
+             cache_line + setup_line + obs::stage_report(delta);
     }
     std::cout << "ripkid: run " << run + 1 << " done — "
               << dataset.counters.domains_total << " domains, "

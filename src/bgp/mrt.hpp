@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 
 #include "bgp/rib.hpp"
 #include "util/bytes.hpp"
@@ -20,6 +21,10 @@
 
 namespace ripki::obs {
 class Registry;
+}
+
+namespace ripki::exec {
+class ThreadPool;
 }
 
 namespace ripki::bgp::mrt {
@@ -64,6 +69,19 @@ struct ParseStats {
     fn("skipped_attributes", skipped_attributes);
   }
 
+  /// Mutable counterpart: same fields, as assignable lvalues.
+  template <typename Fn>
+  void for_each_field(Fn&& fn) {
+    std::as_const(*this).for_each_field(
+        [&](const char* name, const std::uint64_t& value) {
+          fn(name, const_cast<std::uint64_t&>(value));
+        });
+  }
+
+  /// Adds every field of `other` into this — how the sliced parse folds
+  /// per-record decode stats into the caller's totals at join.
+  void merge(const ParseStats& other);
+
   /// Publishes every field as `ripki.bgp.mrt.<field>` in `registry`.
   void publish(obs::Registry& registry) const;
 };
@@ -71,8 +89,15 @@ struct ParseStats {
 /// Parses a TABLE_DUMP_V2 file back into a Rib. When `registry` is given,
 /// the parse is wrapped in a `mrt.parse` trace span and the time spent in
 /// RIB trie insertion is recorded separately as `rib_insert`.
+///
+/// When `pool` is given, RIB records are decoded in parallel: a cheap
+/// serial scan finds record boundaries, workers decode contiguous slices
+/// of records into pre-sized per-record outputs, and a serial join folds
+/// them into the Rib in record order — the result (Rib, ParseStats, first
+/// error) is byte-identical to the serial parse at any thread count.
 util::Result<Rib> read_table_dump(std::span<const std::uint8_t> data,
                                   ParseStats* stats = nullptr,
-                                  obs::Registry* registry = nullptr);
+                                  obs::Registry* registry = nullptr,
+                                  exec::ThreadPool* pool = nullptr);
 
 }  // namespace ripki::bgp::mrt

@@ -1,5 +1,7 @@
 #include "bgp/rib.hpp"
 
+#include <utility>
+
 namespace ripki::bgp {
 
 void Rib::add(RibEntry entry) {
@@ -38,6 +40,31 @@ std::set<net::Asn> Rib::origins_for(const net::Prefix& prefix) const {
 void Rib::visit(const std::function<void(const net::Prefix&,
                                          const std::vector<RibEntry>&)>& fn) const {
   trie_.visit(fn);
+}
+
+bool Rib::operator==(const Rib& other) const {
+  if (peers_ != other.peers_ || entry_count_ != other.entry_count_ ||
+      trie_.size() != other.trie_.size()) {
+    return false;
+  }
+  // The trie has no iterator pair to compare lazily; collect both visit
+  // sequences (prefix order is canonical per trie) and compare.
+  std::vector<std::pair<net::Prefix, const std::vector<RibEntry>*>> lhs, rhs;
+  lhs.reserve(trie_.size());
+  rhs.reserve(other.trie_.size());
+  visit([&](const net::Prefix& p, const std::vector<RibEntry>& e) {
+    lhs.emplace_back(p, &e);
+  });
+  other.visit([&](const net::Prefix& p, const std::vector<RibEntry>& e) {
+    rhs.emplace_back(p, &e);
+  });
+  if (lhs.size() != rhs.size()) return false;
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    if (lhs[i].first != rhs[i].first || *lhs[i].second != *rhs[i].second) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace ripki::bgp

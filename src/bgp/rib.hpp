@@ -66,6 +66,10 @@ class Rib {
   std::size_t prefix_count() const { return trie_.size(); }
   std::size_t entry_count() const { return entry_count_; }
 
+  /// Deep content equality: same peers and the same entry lists per prefix
+  /// in visit order. Backs the parallel-parse == serial-parse assertions.
+  bool operator==(const Rib& other) const;
+
  private:
   trie::PrefixTrie<std::vector<RibEntry>> trie_;
   std::vector<PeerEntry> peers_;

@@ -23,6 +23,18 @@ namespace {
 /// resolve through longer CNAME chains than direct-hosted ones).
 constexpr std::size_t kShardsPerWorker = 8;
 
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// items/second over a millisecond interval; 0 when the interval is
+/// unmeasurably short.
+double per_second(std::uint64_t items, double ms) {
+  return ms <= 0.0 ? 0.0 : static_cast<double>(items) / (ms / 1000.0);
+}
+
 }  // namespace
 
 struct MeasurementPipeline::SweepContext {
@@ -62,19 +74,29 @@ void MeasurementPipeline::log(obs::LogLevel level, std::string_view message,
   obs::Logger::global().log(level, "pipeline", message, std::move(fields));
 }
 
-void MeasurementPipeline::prepare_rib() {
+void MeasurementPipeline::prepare_rib(exec::ThreadPool* pool) {
   obs::Span span(config_.registry, "stage3.rib_prepare");
+  const auto stage_start = std::chrono::steady_clock::now();
   // Consume the collector table the way the paper consumes RIS: through
   // the serialised MRT dump, not via in-process shortcuts.
   const util::Bytes dump = ecosystem_.mrt_dump();
-  auto rib = bgp::mrt::read_table_dump(dump, &mrt_stats_, config_.registry);
+  const auto parse_start = std::chrono::steady_clock::now();
+  auto rib = bgp::mrt::read_table_dump(dump, &mrt_stats_, config_.registry, pool);
+  const double parse_ms = ms_since(parse_start);
   assert(rib.ok() && "ecosystem MRT dump must parse");
   rib_ = std::move(rib).value();
+  setup_stats_.rib_prepare_ms = ms_since(stage_start);
+  setup_stats_.mrt_records_per_sec = per_second(mrt_stats_.records, parse_ms);
   if (config_.registry != nullptr) {
     config_.registry->gauge("ripki.bgp.rib_prefixes")
         .set(static_cast<std::int64_t>(rib_.prefix_count()));
     config_.registry->gauge("ripki.bgp.rib_entries")
         .set(static_cast<std::int64_t>(rib_.entry_count()));
+    config_.registry->gauge("ripki.bgp.mrt_parse_records_per_sec")
+        .set(static_cast<std::int64_t>(setup_stats_.mrt_records_per_sec));
+    config_.registry->describe("ripki.bgp.mrt_parse_records_per_sec",
+                               "MRT records parsed per second in the last "
+                               "stage 3 table load");
   }
   log(obs::LogLevel::kInfo, "stage 3 table ready",
       {{"prefixes", rib_.prefix_count()}, {"entries", rib_.entry_count()}});
@@ -83,9 +105,11 @@ void MeasurementPipeline::prepare_rib() {
                                      : "RIB empty after MRT parse");
 }
 
-void MeasurementPipeline::prepare_vrps() {
+void MeasurementPipeline::prepare_vrps(exec::ThreadPool* pool) {
   obs::Span span(config_.registry, "stage4.vrp_prepare");
+  const auto stage_start = std::chrono::steady_clock::now();
   const rpki::RepositoryValidator validator(config_.now, config_.registry);
+  double validate_ms = 0.0;
   if (config_.use_rrdp) {
     // Full relying-party collection: mirror every repository over RRDP,
     // reassemble the fetched objects, and bootstrap trust from the TALs.
@@ -102,10 +126,16 @@ void MeasurementPipeline::prepare_vrps() {
       fetched.push_back(std::move(assembled).value());
     }
     const auto tals = ecosystem_.tals();
-    report_ = validator.validate(fetched, tals);
+    const auto validate_start = std::chrono::steady_clock::now();
+    report_ = validator.validate(fetched, tals, pool);
+    validate_ms = ms_since(validate_start);
   } else {
-    report_ = validator.validate(ecosystem_.repositories());
+    const auto validate_start = std::chrono::steady_clock::now();
+    report_ = validator.validate(ecosystem_.repositories(), pool);
+    validate_ms = ms_since(validate_start);
   }
+  setup_stats_.roas_per_sec =
+      per_second(report_.roas_accepted + report_.roas_rejected, validate_ms);
 
   if (config_.use_rtr) {
     // Ship the validated set to the "router" over RFC 6810.
@@ -118,6 +148,14 @@ void MeasurementPipeline::prepare_vrps() {
     vrp_index_ = client.build_index();
   } else {
     vrp_index_ = rpki::VrpIndex(report_.vrps);
+  }
+  setup_stats_.vrp_prepare_ms = ms_since(stage_start);
+  if (config_.registry != nullptr) {
+    config_.registry->gauge("ripki.rpki.roa_validate_per_sec")
+        .set(static_cast<std::int64_t>(setup_stats_.roas_per_sec));
+    config_.registry->describe("ripki.rpki.roa_validate_per_sec",
+                               "ROAs validated per second in the last "
+                               "stage 4 repository walk");
   }
   log(obs::LogLevel::kInfo, "stage 4 VRPs ready",
       {{"vrps", report_.vrps.size()},
@@ -287,8 +325,14 @@ Dataset MeasurementPipeline::run() {
                                "Validated ROA payloads feeding stage 4");
   }
   obs::Span run_span(config_.registry, "pipeline.run");
-  prepare_rib();
-  prepare_vrps();
+  // One pool serves the setup stages and the sweep, so worker threads are
+  // spawned (and their counters registered) exactly once per run.
+  std::unique_ptr<exec::ThreadPool> pool;
+  if (config_.threads > 0) {
+    pool = std::make_unique<exec::ThreadPool>(config_.threads, config_.registry);
+  }
+  prepare_rib(pool.get());
+  prepare_vrps(pool.get());
   cache_stats_ = CacheStats{};
 
   // Materialize the vantage's zone view on this thread (lazily built);
@@ -318,15 +362,14 @@ Dataset MeasurementPipeline::run() {
     sweep_span.stop();
     absorb_context(ctx, dataset);
   } else {
-    exec::ThreadPool pool(config_.threads, config_.registry);
     std::vector<std::unique_ptr<SweepContext>> contexts;
-    contexts.reserve(pool.size());
-    for (std::size_t i = 0; i < pool.size(); ++i) {
+    contexts.reserve(pool->size());
+    for (std::size_t i = 0; i < pool->size(); ++i) {
       contexts.push_back(std::make_unique<SweepContext>(
           &zones, &rib_, &vrp_index_, config_.registry));
     }
     exec::parallel_for_shards(
-        pool, count, pool.size() * kShardsPerWorker,
+        *pool, count, pool->size() * kShardsPerWorker,
         [&](std::size_t, std::size_t begin, std::size_t end) {
           SweepContext& ctx = *contexts[exec::ThreadPool::current_worker()];
           // Root span per shard, named with the full dotted path so worker

@@ -28,6 +28,10 @@ class EventTracer;
 class HealthRegistry;
 }
 
+namespace ripki::exec {
+class ThreadPool;
+}
+
 namespace ripki::core {
 
 struct PipelineConfig {
@@ -50,12 +54,15 @@ struct PipelineConfig {
   /// Optionally restrict to the first N domains (0 = all).
   std::size_t max_domains = 0;
 
-  /// Worker threads for the stage 1–4 domain sweep. 0 (the default) runs
-  /// the sweep serially on the calling thread — today's behavior. N >= 1
-  /// shards the rank axis across an exec::ThreadPool of N workers, each
-  /// owning its own resolver view, hot-path caches, and counters; results
-  /// land in pre-sized record slots and counters merge at join, so the
-  /// dataset is identical to the serial run for every thread count.
+  /// Worker threads for the setup stages and the stage 1–4 domain sweep.
+  /// 0 (the default) runs everything serially on the calling thread. With
+  /// N >= 1, one exec::ThreadPool of N workers drives the MRT parse
+  /// (record-sliced), the repository validation (publication points
+  /// sharded), and the rank-axis sweep (each worker owning its own
+  /// resolver view, hot-path caches, and counters); outputs land in
+  /// pre-sized slots and merge deterministically at join, so RIB,
+  /// validation report, and dataset are identical to the serial run for
+  /// every thread count.
   std::size_t threads = 0;
 
   /// Observability. When `registry` is set, every stage records trace
@@ -110,12 +117,25 @@ class MeasurementPipeline {
     }
   };
 
+  /// Wall-clock timings and throughput of the two setup stages of the
+  /// last run(): stage 3 MRT parse and stage 4 repository validation.
+  /// Throughput is computed over the parse/validate call itself (RRDP
+  /// mirroring and RTR transport excluded), so serial-vs-pooled runs are
+  /// directly comparable. Measured whether or not a registry is set.
+  struct SetupStats {
+    double rib_prepare_ms = 0.0;
+    double vrp_prepare_ms = 0.0;
+    double mrt_records_per_sec = 0.0;
+    double roas_per_sec = 0.0;
+  };
+
   /// Artifacts (valid after run()):
   const rpki::ValidationReport& validation_report() const { return report_; }
   const rpki::VrpIndex& vrp_index() const { return vrp_index_; }
   const bgp::Rib& rib() const { return rib_; }
   const bgp::mrt::ParseStats& mrt_stats() const { return mrt_stats_; }
   const CacheStats& cache_stats() const { return cache_stats_; }
+  const SetupStats& setup_stats() const { return setup_stats_; }
 
  private:
   /// Per-worker sweep state: authoritative-server view + stub resolver,
@@ -123,8 +143,8 @@ class MeasurementPipeline {
   /// a single instance; the parallel path one per pool worker.
   struct SweepContext;
 
-  void prepare_rib();
-  void prepare_vrps();
+  void prepare_rib(exec::ThreadPool* pool);
+  void prepare_vrps(exec::ThreadPool* pool);
   /// Measures one domain (stages 2–4 for both name variants plus the
   /// DNSSEC probe), charging counters to `ctx`.
   DomainRecord measure_domain(std::size_t index, SweepContext& ctx);
@@ -149,6 +169,7 @@ class MeasurementPipeline {
   rpki::ValidationReport report_;
   rpki::VrpIndex vrp_index_;
   CacheStats cache_stats_;
+  SetupStats setup_stats_;
 };
 
 }  // namespace ripki::core

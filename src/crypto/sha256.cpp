@@ -23,14 +23,13 @@ constexpr std::uint32_t kK[64] = {
 
 std::uint32_t rotr(std::uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
 
-}  // namespace
+constexpr std::array<std::uint32_t, 8> kInitState = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
 
-Sha256::Sha256()
-    : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
-             0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19},
-      buffer_{} {}
-
-void Sha256::process_block(const std::uint8_t* block) {
+/// One compression round over a 64-byte block; shared by the incremental
+/// hasher and the single-block one-shot fast path.
+void compress(std::array<std::uint32_t, 8>& state, const std::uint8_t* block) {
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = static_cast<std::uint32_t>(block[i * 4]) << 24 |
@@ -44,8 +43,8 @@ void Sha256::process_block(const std::uint8_t* block) {
     w[i] = w[i - 16] + s0 + w[i - 7] + s1;
   }
 
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
 
   for (int i = 0; i < 64; ++i) {
     const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
@@ -64,15 +63,50 @@ void Sha256::process_block(const std::uint8_t* block) {
     a = temp1 + temp2;
   }
 
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
 }
+
+void digest_from_state(const std::array<std::uint32_t, 8>& state, Digest& out) {
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<std::size_t>(i * 4)] = static_cast<std::uint8_t>(state[static_cast<std::size_t>(i)] >> 24);
+    out[static_cast<std::size_t>(i * 4 + 1)] = static_cast<std::uint8_t>(state[static_cast<std::size_t>(i)] >> 16);
+    out[static_cast<std::size_t>(i * 4 + 2)] = static_cast<std::uint8_t>(state[static_cast<std::size_t>(i)] >> 8);
+    out[static_cast<std::size_t>(i * 4 + 3)] = static_cast<std::uint8_t>(state[static_cast<std::size_t>(i)]);
+  }
+}
+
+/// One-shot digest of a message that fits one padded block (<= 55 bytes):
+/// the padded block is assembled directly on the stack and compressed
+/// once, skipping the incremental hasher's buffer bookkeeping. Most
+/// signature inputs in the simulation (digests, short TLV bodies) land
+/// here.
+Digest single_block_digest(std::span<const std::uint8_t> data) {
+  std::uint8_t block[64];
+  if (!data.empty()) std::memcpy(block, data.data(), data.size());
+  block[data.size()] = 0x80;
+  std::memset(block + data.size() + 1, 0, 55 - data.size());
+  const std::uint64_t bit_len = static_cast<std::uint64_t>(data.size()) * 8;
+  for (int i = 0; i < 8; ++i)
+    block[56 + i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  std::array<std::uint32_t, 8> state = kInitState;
+  compress(state, block);
+  Digest out;
+  digest_from_state(state, out);
+  return out;
+}
+
+}  // namespace
+
+Sha256::Sha256() : state_(kInitState), buffer_{} {}
+
+void Sha256::process_block(const std::uint8_t* block) { compress(state_, block); }
 
 void Sha256::update(std::span<const std::uint8_t> data) {
   total_len_ += data.size();
@@ -104,37 +138,33 @@ void Sha256::update(std::string_view data) {
 
 Digest Sha256::finish() {
   const std::uint64_t bit_len = total_len_ * 8;
-  const std::uint8_t pad = 0x80;
-  update(std::span<const std::uint8_t>(&pad, 1));
-  const std::uint8_t zero = 0x00;
-  while (buffer_len_ != 56) update(std::span<const std::uint8_t>(&zero, 1));
-  std::uint8_t len_bytes[8];
+  buffer_[buffer_len_++] = 0x80;
+  if (buffer_len_ > 56) {
+    std::memset(buffer_.data() + buffer_len_, 0, buffer_.size() - buffer_len_);
+    process_block(buffer_.data());
+    buffer_len_ = 0;
+  }
+  std::memset(buffer_.data() + buffer_len_, 0, 56 - buffer_len_);
   for (int i = 0; i < 8; ++i)
-    len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
-  // Bypass update()'s length bookkeeping is unnecessary: padding bytes fed
-  // through update() inflate total_len_, but bit_len was captured first.
-  update(std::span<const std::uint8_t>(len_bytes, 8));
+    buffer_[static_cast<std::size_t>(56 + i)] =
+        static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  process_block(buffer_.data());
 
   Digest out;
-  for (int i = 0; i < 8; ++i) {
-    out[i * 4] = static_cast<std::uint8_t>(state_[i] >> 24);
-    out[i * 4 + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
-    out[i * 4 + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
-    out[i * 4 + 3] = static_cast<std::uint8_t>(state_[i]);
-  }
+  digest_from_state(state_, out);
   return out;
 }
 
 Digest sha256(std::span<const std::uint8_t> data) {
+  if (data.size() <= 55) return single_block_digest(data);
   Sha256 h;
   h.update(data);
   return h.finish();
 }
 
 Digest sha256(std::string_view data) {
-  Sha256 h;
-  h.update(data);
-  return h.finish();
+  return sha256(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
 }
 
 std::string digest_hex(const Digest& d) { return util::to_hex(d.data(), d.size()); }

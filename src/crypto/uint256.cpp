@@ -1,6 +1,7 @@
 #include "crypto/uint256.hpp"
 
 #include <cassert>
+#include <memory>
 
 #include "util/prng.hpp"
 #include "util/strings.hpp"
@@ -67,12 +68,22 @@ struct MontgomeryContext {
     for (int i = 0; i < 6; ++i) inv *= 2 - x * inv;
     n0inv = ~inv + 1;  // -inv mod 2^64
 
-    // R mod n via one slow reduction of 2^256 (as a 512-bit value).
-    U512 r;
-    // 2^256 == limb 4 set to 1.
-    r.limbs[4] = 1;
-    r_mod_n = mod512(r, n);
-    r2_mod_n = U256::mulmod(r_mod_n, r_mod_n, n);  // generic path, once
+    // R mod n = (2^256 - n) mod n: the wrapping negation of n is exactly
+    // 2^256 - n, so one 256-bit division replaces the 512-bit reduction
+    // this used to take.
+    r_mod_n = U256::mod(U256().sub(n), n);
+
+    // R^2 mod n by 256 modular doublings of R mod n — shift/compare/sub
+    // per step instead of the wide-multiply + 512-bit division of mulmod.
+    U256 r2 = r_mod_n;
+    for (int i = 0; i < 256; ++i) {
+      // r2 < n, so 2*r2 < 2n: one conditional subtraction (forced when
+      // the shift carried past bit 255, wrapping arithmetic as in mod512).
+      const bool carry = r2.bit(255);
+      r2 = r2.shl1();
+      if (carry || r2 >= n) r2 = r2.sub(n);
+    }
+    r2_mod_n = r2;
   }
 
   /// Returns a*b*R^{-1} mod n for a, b < n.
@@ -114,7 +125,69 @@ struct MontgomeryContext {
     if (t[4] != 0 || out >= n) out = out.sub(n);
     return out;
   }
+
+  U256 to_mont(const U256& a) const { return mul(a, r2_mod_n); }
+  U256 from_mont(const U256& a) const { return mul(a, U256(1)); }
+
+  /// Bits [4w, 4w+4) of x — the w-th exponent window.
+  static unsigned nibble(const U256& x, int w) {
+    return static_cast<unsigned>((x.limb(w / 16) >> ((w % 16) * 4)) & 0xF);
+  }
+
+  /// a^exp in the Montgomery domain (a already in Montgomery form).
+  ///
+  /// Short exponents (the RSA public exponent 65537 has weight 2) run the
+  /// plain binary ladder; past kFixedWindowMinBits the 16-entry table
+  /// pays for itself and a 4-bit fixed window roughly halves the number
+  /// of multiplies next to the squarings (bits/4 + 15 instead of ~bits/2
+  /// for random exponents — private keys and Miller-Rabin witnesses).
+  static constexpr int kFixedWindowMinBits = 64;
+
+  U256 pow(const U256& a, const U256& exp) const {
+    const int bits = exp.bit_length();
+    if (bits == 0) return r_mod_n;  // a^0 = 1 (Montgomery form)
+    if (bits < kFixedWindowMinBits) {
+      U256 result = r_mod_n;
+      U256 b = a;
+      for (int i = 0; i < bits; ++i) {
+        if (exp.bit(i)) result = mul(result, b);
+        b = mul(b, b);
+      }
+      return result;
+    }
+    U256 table[16];
+    table[0] = r_mod_n;
+    table[1] = a;
+    for (int i = 2; i < 16; ++i) table[i] = mul(table[i - 1], a);
+    const int windows = (bits + 3) / 4;
+    // The top window is never zero: it contains the exponent's top bit.
+    U256 result = table[nibble(exp, windows - 1)];
+    for (int w = windows - 2; w >= 0; --w) {
+      result = mul(result, result);
+      result = mul(result, result);
+      result = mul(result, result);
+      result = mul(result, result);
+      const unsigned window = nibble(exp, w);
+      if (window != 0) result = mul(result, table[window]);
+    }
+    return result;
+  }
 };
+
+/// Per-thread memo of the last modulus's Montgomery constants. Signature
+/// verification walks many objects under one CA key, so consecutive
+/// modexp calls overwhelmingly share a modulus; caching the context skips
+/// its setup division entirely. Thread-local, so pooled validation shards
+/// need no synchronisation.
+const MontgomeryContext& montgomery_context(const U256& m) {
+  thread_local U256 cached_modulus;
+  thread_local std::unique_ptr<MontgomeryContext> cached;
+  if (cached == nullptr || cached_modulus != m) {
+    cached = std::make_unique<MontgomeryContext>(m);
+    cached_modulus = m;
+  }
+  return *cached;
+}
 
 }  // namespace
 
@@ -246,18 +319,16 @@ U256 U256::divmod(const U256& a, const U256& d, U256* rem_out) {
 U256 U256::modexp(const U256& base, const U256& exp, const U256& m) {
   assert(!m.is_zero());
   if (m.is_odd() && m > U256(1)) {
-    // Montgomery ladder: ~100x faster than the generic bit-division path.
-    const MontgomeryContext ctx(m);
-    const U256 b0 = mod(base, m);
-    U256 b = ctx.mul(b0, ctx.r2_mod_n);  // to Montgomery domain
-    U256 result = ctx.r_mod_n;           // 1 in Montgomery domain
-    const int bits = exp.bit_length();
-    for (int i = 0; i < bits; ++i) {
-      if (exp.bit(i)) result = ctx.mul(result, b);
-      b = ctx.mul(b, b);
-    }
-    return ctx.mul(result, U256(1));  // back to the plain domain
+    // Montgomery + fixed window: ~100x faster than the bit-division path.
+    const MontgomeryContext& ctx = montgomery_context(m);
+    const U256 b0 = base < m ? base : mod(base, m);
+    return ctx.from_mont(ctx.pow(ctx.to_mont(b0), exp));
   }
+  return modexp_schoolbook(base, exp, m);
+}
+
+U256 U256::modexp_schoolbook(const U256& base, const U256& exp, const U256& m) {
+  assert(!m.is_zero());
   U256 result = mod(U256(1), m);
   U256 b = mod(base, m);
   const int bits = exp.bit_length();
@@ -359,19 +430,13 @@ bool is_probable_prime(const U256& n, util::Prng& prng, int rounds) {
   // even n was rejected by the small-prime sieve).
   const MontgomeryContext ctx(n);
   const U256 one_mont = ctx.r_mod_n;
-  const U256 nm1_mont = ctx.mul(n_minus_1, ctx.r2_mod_n);
-  const int d_bits = d.bit_length();
+  const U256 nm1_mont = ctx.to_mont(n_minus_1);
 
   for (int round = 0; round < rounds; ++round) {
     // Base in [2, n-2].
     const U256 a = U256::random_below(prng, n.sub(U256(3))).add(U256(2));
-    // x = a^d mod n, in Montgomery form.
-    U256 b = ctx.mul(a, ctx.r2_mod_n);
-    U256 x = one_mont;
-    for (int i = 0; i < d_bits; ++i) {
-      if (d.bit(i)) x = ctx.mul(x, b);
-      b = ctx.mul(b, b);
-    }
+    // x = a^d mod n, in Montgomery form (fixed window: d is ~n-sized).
+    U256 x = ctx.pow(ctx.to_mont(a), d);
     if (x == one_mont || x == nm1_mont) continue;
     bool composite = true;
     for (int i = 0; i < r - 1; ++i) {

@@ -56,8 +56,19 @@ class U256 {
   static U256 mod(const U256& a, const U256& m);
   /// Floor division a / d (d non-zero), remainder via `rem` when non-null.
   static U256 divmod(const U256& a, const U256& d, U256* rem);
-  /// base^exp mod m by square-and-multiply (m non-zero).
+  /// base^exp mod m (m non-zero). Odd moduli > 1 (every RSA modulus) take
+  /// a Montgomery fast path: short exponents run a binary ladder, long
+  /// ones a 4-bit fixed-window ladder over a precomputed power table. The
+  /// per-modulus Montgomery constants are memoized thread-locally, so
+  /// repeated calls under one key (a validator walking a CA's objects)
+  /// skip the setup division entirely. Even moduli fall back to
+  /// modexp_schoolbook. Not constant-time (see rsa.hpp).
   static U256 modexp(const U256& base, const U256& exp, const U256& m);
+  /// Reference square-and-multiply through the generic division-based
+  /// reduction — the correctness oracle for modexp in tests and the
+  /// baseline in bench/perf_substrates. Never takes the Montgomery path.
+  static U256 modexp_schoolbook(const U256& base, const U256& exp,
+                                const U256& m);
   /// Greatest common divisor.
   static U256 gcd(U256 a, U256 b);
   /// Modular inverse of a mod m when gcd(a, m) == 1; returns false otherwise.

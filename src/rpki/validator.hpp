@@ -26,6 +26,10 @@ namespace ripki::obs {
 class Registry;
 }
 
+namespace ripki::exec {
+class ThreadPool;
+}
+
 namespace ripki::rpki {
 
 /// Why an object was rejected; tallied per reason for diagnostics.
@@ -47,6 +51,8 @@ const char* to_string(RejectReason reason);
 struct RejectedObject {
   std::string description;
   RejectReason reason;
+
+  bool operator==(const RejectedObject&) const = default;
 };
 
 struct ValidationReport {
@@ -60,6 +66,12 @@ struct ValidationReport {
   std::uint64_t roas_rejected = 0;
 
   std::uint64_t rejected_for(RejectReason reason) const;
+
+  /// Appends `other`'s VRPs/rejections and sums the tallies; the pooled
+  /// walk merges per-point fragments in serial order through this.
+  void merge(ValidationReport&& other);
+
+  bool operator==(const ValidationReport&) const = default;
 };
 
 class RepositoryValidator {
@@ -77,18 +89,34 @@ class RepositoryValidator {
   void validate_into(const Repository& repo, ValidationReport& report) const;
 
   /// Validates all repositories (the paper's five RIR trust anchors).
-  ValidationReport validate(std::span<const Repository> repos) const;
+  /// When `pool` is given, CA publication points are sharded across its
+  /// workers, each validating into a private fragment; fragments merge at
+  /// join in repo/point order, so the pooled report is byte-identical to
+  /// the serial one at any thread count.
+  ValidationReport validate(std::span<const Repository> repos,
+                            exec::ThreadPool* pool = nullptr) const;
 
   /// TAL-bootstrapped validation (RFC 7730): a repository is only walked
   /// when its trust-anchor certificate carries a key configured in one of
   /// the relying party's locators and its self-signature verifies under
-  /// that key.
+  /// that key. Pool semantics as above.
   ValidationReport validate(std::span<const Repository> repos,
-                            std::span<const TrustAnchorLocator> tals) const;
+                            std::span<const TrustAnchorLocator> tals,
+                            exec::ThreadPool* pool = nullptr) const;
 
  private:
+  /// Trust-anchor checks for one repository (tas_processed bump, TA
+  /// self-signature/validity/CA-bit, TA CRL currency). Returns whether the
+  /// repository's publication points should be walked.
+  bool validate_ta(const Repository& repo, ValidationReport& report) const;
   void validate_point(const Repository& repo, const CaPublicationPoint& point,
                       ValidationReport& report) const;
+  /// Sharded walk over every publication point of the walkable repos.
+  /// `trusted` (when non-null) marks repos admitted by a TAL; the rest get
+  /// a kNoMatchingTal rejection header, as in the serial TAL overload.
+  ValidationReport validate_pooled(std::span<const Repository> repos,
+                                   const std::vector<char>* trusted,
+                                   exec::ThreadPool& pool) const;
   void publish(const ValidationReport& report) const;
 
   Timestamp now_;

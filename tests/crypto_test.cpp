@@ -313,5 +313,109 @@ TEST(Rsa, DistinctKeypairs) {
   EXPECT_NE(a.pub.n, b.pub.n);
 }
 
+// --- Fast modexp vs schoolbook reference -----------------------------------
+
+TEST(U256, FixedWindowMatchesSchoolbook) {
+  // Exponent widths straddle the binary-ladder/fixed-window dispatch
+  // threshold (64 bits) so both Montgomery ladders are exercised against
+  // the division-based reference.
+  util::Prng prng(23);
+  for (const int exp_bits : {1, 8, 40, 63, 64, 65, 128, 200, 254}) {
+    for (int i = 0; i < 10; ++i) {
+      U256 m = U256::random_bits(prng, 256);
+      if (!m.is_odd()) m = m.add(U256(1));
+      const U256 base = U256::random_bits(prng, 256);
+      const U256 exp = U256::random_bits(prng, exp_bits);
+      EXPECT_EQ(U256::modexp(base, exp, m), U256::modexp_schoolbook(base, exp, m))
+          << "exp_bits=" << exp_bits << " iter=" << i;
+    }
+  }
+}
+
+TEST(U256, ModexpEvenModulusMatchesSchoolbook) {
+  // Even moduli cannot take the Montgomery path; the dispatcher must fall
+  // back to the generic reduction and still agree with the reference.
+  util::Prng prng(24);
+  for (int i = 0; i < 20; ++i) {
+    U256 m = U256::random_bits(prng, 180);
+    if (m.is_odd()) m = m.add(U256(1));
+    const U256 base = U256::random_bits(prng, 200);
+    const U256 exp = U256::random_bits(prng, 90);
+    EXPECT_EQ(U256::modexp(base, exp, m), U256::modexp_schoolbook(base, exp, m));
+  }
+}
+
+TEST(U256, ModexpEdgeExponents) {
+  util::Prng prng(25);
+  U256 m = U256::random_bits(prng, 256);
+  if (!m.is_odd()) m = m.add(U256(1));
+  const U256 base = U256::random_bits(prng, 255);
+  EXPECT_EQ(U256::modexp(base, U256(0), m), U256::mod(U256(1), m));
+  EXPECT_EQ(U256::modexp(base, U256(1), m), U256::mod(base, m));
+  // RSA's public exponent, the short-ladder hot case.
+  EXPECT_EQ(U256::modexp(base, U256(65537), m),
+            U256::modexp_schoolbook(base, U256(65537), m));
+  EXPECT_EQ(U256::modexp(base, U256(65537), U256(1)), U256(0));  // m == 1
+}
+
+TEST(U256, ModexpThreadLocalContextSurvivesModulusSwitch) {
+  // The per-modulus Montgomery memo must not leak state across moduli
+  // when a caller alternates between keys (validator walking two CAs).
+  util::Prng prng(26);
+  U256 m1 = U256::random_bits(prng, 200);
+  if (!m1.is_odd()) m1 = m1.add(U256(1));
+  U256 m2 = U256::random_bits(prng, 200);
+  if (!m2.is_odd()) m2 = m2.add(U256(1));
+  const U256 base = U256::random_bits(prng, 190);
+  const U256 exp = U256::random_bits(prng, 150);
+  const U256 want1 = U256::modexp_schoolbook(base, exp, m1);
+  const U256 want2 = U256::modexp_schoolbook(base, exp, m2);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(U256::modexp(base, exp, m1), want1);
+    EXPECT_EQ(U256::modexp(base, exp, m2), want2);
+  }
+}
+
+TEST(Rsa, EveryBitFlipInSignatureRejected) {
+  util::Prng prng(27);
+  const KeyPair keys = generate_keypair(prng);
+  const std::string message = "route origin authorization payload";
+  const Signature good = sign(keys.priv, as_span(message));
+  ASSERT_TRUE(verify(keys.pub, as_span(message), good));
+  for (std::size_t bit = 0; bit < good.size() * 8; ++bit) {
+    Signature flipped = good;
+    flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(verify(keys.pub, as_span(message), flipped)) << "bit " << bit;
+  }
+}
+
+TEST(Rsa, WrongModulusAndWrongExponentKeysRejected) {
+  util::Prng prng(28);
+  const KeyPair keys = generate_keypair(prng);
+  const KeyPair other = generate_keypair(prng);
+  const std::string message = "signed under keys.priv";
+  const Signature sig = sign(keys.priv, as_span(message));
+
+  PublicKey wrong_modulus = keys.pub;
+  wrong_modulus.n = other.pub.n;
+  EXPECT_FALSE(verify(wrong_modulus, as_span(message), sig));
+
+  PublicKey wrong_exponent = keys.pub;
+  wrong_exponent.e = U256(3);
+  EXPECT_FALSE(verify(wrong_exponent, as_span(message), sig));
+}
+
+TEST(Sha256, OneShotMatchesIncrementalEveryShortLength) {
+  // Lengths 0..70 cross the single-block fast-path boundary (55 bytes)
+  // and the padding-spills-to-second-block region (56..64).
+  for (std::size_t len = 0; len <= 70; ++len) {
+    const std::string input(len, static_cast<char>('a' + (len % 26)));
+    Sha256 incremental;
+    incremental.update(input);
+    EXPECT_EQ(digest_hex(sha256(input)), digest_hex(incremental.finish()))
+        << "len " << len;
+  }
+}
+
 }  // namespace
 }  // namespace ripki::crypto

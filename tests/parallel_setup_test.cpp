@@ -1,0 +1,272 @@
+// Pooled-vs-serial equality for the two setup stages (ISSUE 4 tentpole):
+// the record-sliced MRT parse and the sharded repository validation must
+// produce byte-identical artifacts at every worker count, including under
+// parse errors (same first error, same partial stats). These suites also
+// run under the TSan CI job, so the shard fan-out is exercised with race
+// detection on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bgp/as_path.hpp"
+#include "bgp/collector.hpp"
+#include "bgp/mrt.hpp"
+#include "bgp/rib.hpp"
+#include "core/pipeline.hpp"
+#include "exec/thread_pool.hpp"
+#include "rpki/repository.hpp"
+#include "rpki/tal.hpp"
+#include "rpki/validator.hpp"
+#include "util/bytes.hpp"
+#include "util/prng.hpp"
+#include "web/ecosystem.hpp"
+
+namespace ripki {
+namespace {
+
+net::Prefix P(const std::string& text) { return net::Prefix::parse(text).value(); }
+net::IpAddress A(const std::string& text) {
+  return net::IpAddress::parse(text).value();
+}
+
+constexpr std::size_t kWorkerLadder[] = {1, 4, 16};
+
+// --- MRT: record-sliced parse ------------------------------------------------
+
+class ParallelSetupMrt : public ::testing::Test {
+ protected:
+  /// A dump big enough that every ladder rung gets multiple shards:
+  /// three peers, a few hundred v4 prefixes, some v6, and multi-entry
+  /// RIB records (two peers announcing the same prefix).
+  static util::Bytes sample_dump() {
+    bgp::RouteCollector collector(0x0A000001, "ris-sim");
+    const auto p0 =
+        collector.add_peer(bgp::PeerEntry{1, A("192.0.2.1"), net::Asn(3320)});
+    const auto p1 =
+        collector.add_peer(bgp::PeerEntry{2, A("192.0.2.2"), net::Asn(1299)});
+    const auto p2 =
+        collector.add_peer(bgp::PeerEntry{3, A("2001:db8::1"), net::Asn(6939)});
+    for (std::uint32_t i = 0; i < 300; ++i) {
+      const net::Prefix prefix =
+          P(std::to_string(10 + i / 256) + "." + std::to_string(i % 256) +
+            ".0.0/16");
+      collector.announce(p0, prefix,
+                         bgp::AsPath::sequence({3320, 100 + i}), 7 + i);
+      if (i % 3 == 0) {
+        collector.announce(p1, prefix,
+                           bgp::AsPath::sequence({1299, 2914, 100 + i}), 9 + i);
+      }
+    }
+    for (std::uint32_t i = 0; i < 40; ++i) {
+      collector.announce(
+          p2, P("2a00:" + std::to_string(1000 + i) + "::/32"),
+          bgp::AsPath::sequence({6939, 5000 + i}), 11 + i);
+    }
+    return collector.dump_mrt(0);
+  }
+};
+
+TEST_F(ParallelSetupMrt, PooledParseMatchesSerial) {
+  const util::Bytes dump = sample_dump();
+
+  bgp::mrt::ParseStats serial_stats;
+  auto serial = bgp::mrt::read_table_dump(dump, &serial_stats);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_GT(serial.value().entry_count(), 300u);
+
+  for (const std::size_t workers : kWorkerLadder) {
+    exec::ThreadPool pool(workers);
+    bgp::mrt::ParseStats pooled_stats;
+    auto pooled = bgp::mrt::read_table_dump(dump, &pooled_stats, nullptr, &pool);
+    ASSERT_TRUE(pooled.ok()) << "workers=" << workers;
+    EXPECT_TRUE(pooled.value() == serial.value()) << "workers=" << workers;
+    EXPECT_EQ(pooled_stats, serial_stats) << "workers=" << workers;
+  }
+}
+
+TEST_F(ParallelSetupMrt, TruncatedDumpSameErrorAndStats) {
+  util::Bytes dump = sample_dump();
+  // Cut into the body of the final record: the boundary scan fails after
+  // every complete record has been decoded.
+  dump.resize(dump.size() - 3);
+
+  bgp::mrt::ParseStats serial_stats;
+  auto serial = bgp::mrt::read_table_dump(dump, &serial_stats);
+  ASSERT_FALSE(serial.ok());
+
+  for (const std::size_t workers : kWorkerLadder) {
+    exec::ThreadPool pool(workers);
+    bgp::mrt::ParseStats pooled_stats;
+    auto pooled = bgp::mrt::read_table_dump(dump, &pooled_stats, nullptr, &pool);
+    ASSERT_FALSE(pooled.ok()) << "workers=" << workers;
+    EXPECT_EQ(pooled.error().message, serial.error().message)
+        << "workers=" << workers;
+    EXPECT_EQ(pooled_stats, serial_stats) << "workers=" << workers;
+  }
+}
+
+TEST_F(ParallelSetupMrt, MalformedRecordSameErrorAndStats) {
+  // A structurally complete dump whose final RIB record has a garbage
+  // body: the failure happens in a worker's decode slice, and the join
+  // must surface the same first error and partial stats as the serial
+  // walk.
+  util::ByteWriter writer;
+  writer.put_bytes(sample_dump());
+  bgp::mrt::write_record(writer, bgp::mrt::Record{0, bgp::mrt::kTypeTableDumpV2,
+                                                  bgp::mrt::kSubtypeRibIpv4Unicast,
+                                                  {1, 2, 3}});
+  const util::Bytes dump = writer.bytes();
+
+  bgp::mrt::ParseStats serial_stats;
+  auto serial = bgp::mrt::read_table_dump(dump, &serial_stats);
+  ASSERT_FALSE(serial.ok());
+
+  for (const std::size_t workers : kWorkerLadder) {
+    exec::ThreadPool pool(workers);
+    bgp::mrt::ParseStats pooled_stats;
+    auto pooled = bgp::mrt::read_table_dump(dump, &pooled_stats, nullptr, &pool);
+    ASSERT_FALSE(pooled.ok()) << "workers=" << workers;
+    EXPECT_EQ(pooled.error().message, serial.error().message)
+        << "workers=" << workers;
+    EXPECT_EQ(pooled_stats, serial_stats) << "workers=" << workers;
+  }
+}
+
+// --- RPKI: sharded repository validation -------------------------------------
+
+class ParallelSetupValidator : public ::testing::Test {
+ protected:
+  ParallelSetupValidator() : prng_(91) {
+    // Three trust anchors with deliberately messy contents so the merged
+    // report carries VRPs *and* every rejection flavour in a specific
+    // serial order.
+    anchors_.reserve(3);
+    {
+      anchors_.push_back(rpki::make_trust_anchor(
+          "RIPE", rpki::ResourceSet({P("62.0.0.0/8")}), window(), prng_));
+      rpki::RepositoryBuilder builder(anchors_.back(), kNow, prng_);
+      for (int ca = 0; ca < 4; ++ca) {
+        const auto handle = builder.add_ca(
+            "Org " + std::to_string(ca),
+            rpki::ResourceSet({P("62." + std::to_string(ca) + ".0.0/16")}));
+        for (int roa = 0; roa < 5; ++roa) {
+          builder.add_roa(handle, content(64512 + ca, "62." + std::to_string(ca) +
+                                                          "." +
+                                                          std::to_string(roa * 8) +
+                                                          ".0/24"));
+        }
+      }
+      repos_.push_back(builder.build());
+    }
+    {
+      anchors_.push_back(rpki::make_trust_anchor(
+          "ARIN", rpki::ResourceSet({P("63.0.0.0/8")}), window(), prng_));
+      rpki::RepositoryBuilder builder(anchors_.back(), kNow, prng_);
+      const auto good = builder.add_ca("Good", rpki::ResourceSet({P("63.1.0.0/16")}));
+      builder.add_roa(good, content(65001, "63.1.1.0/24"));
+      builder.add_tampered_roa(good, content(65002, "63.1.2.0/24"));
+      builder.add_expired_roa(good, content(65003, "63.1.3.0/24"));
+      builder.add_roa(good, content(65004, "63.1.4.0/24"));
+      builder.revoke_roa(good, 3);
+      builder.add_roa(good, content(65005, "63.1.5.0/24"));
+      builder.hide_from_manifest(good, 4);
+      const auto revoked = builder.add_ca("Revoked",
+                                          rpki::ResourceSet({P("63.2.0.0/16")}));
+      builder.add_roa(revoked, content(65006, "63.2.1.0/24"));
+      builder.revoke_ca(revoked);
+      builder.add_overclaiming_ca("Overclaimer",
+                                  rpki::ResourceSet({P("64.0.0.0/16")}));
+      repos_.push_back(builder.build());
+    }
+    {
+      anchors_.push_back(rpki::make_trust_anchor(
+          "APNIC", rpki::ResourceSet({P("101.0.0.0/8")}), window(), prng_));
+      rpki::RepositoryBuilder builder(anchors_.back(), kNow, prng_);
+      const auto ca = builder.add_ca("Asia", rpki::ResourceSet({P("101.4.0.0/16")}));
+      builder.add_roa(ca, content(65100, "101.4.8.0/24"));
+      builder.add_roa(ca, content(65101, "101.4.9.0/24"));
+      repos_.push_back(builder.build());
+    }
+  }
+
+  static constexpr rpki::Timestamp kNow = rpki::kDefaultNow;
+  static rpki::ValidityWindow window() {
+    return {kNow - 30 * rpki::kSecondsPerDay, kNow + 30 * rpki::kSecondsPerDay};
+  }
+  static rpki::RoaContent content(std::uint32_t asn, const std::string& prefix) {
+    rpki::RoaContent c;
+    c.asn = net::Asn(asn);
+    c.prefixes = {rpki::RoaPrefix{P(prefix), 24}};
+    return c;
+  }
+
+  util::Prng prng_;
+  std::vector<rpki::TrustAnchor> anchors_;
+  std::vector<rpki::Repository> repos_;
+};
+
+TEST_F(ParallelSetupValidator, PooledValidateMatchesSerial) {
+  const rpki::RepositoryValidator validator(kNow);
+  const rpki::ValidationReport serial = validator.validate(repos_);
+  ASSERT_FALSE(serial.vrps.empty());
+  ASSERT_FALSE(serial.rejected.empty());
+
+  for (const std::size_t workers : kWorkerLadder) {
+    exec::ThreadPool pool(workers);
+    const rpki::ValidationReport pooled = validator.validate(repos_, &pool);
+    EXPECT_TRUE(pooled == serial) << "workers=" << workers;
+  }
+}
+
+TEST_F(ParallelSetupValidator, PooledTalValidateMatchesSerial) {
+  // Only two of the three anchors are in the locator set; the third must
+  // get the same kNoMatchingTal rejection header in the same position.
+  const std::vector<rpki::TrustAnchorLocator> tals = {
+      rpki::tal_for(anchors_[0]), rpki::tal_for(anchors_[2])};
+
+  const rpki::RepositoryValidator validator(kNow);
+  const rpki::ValidationReport serial = validator.validate(repos_, tals);
+  ASSERT_FALSE(serial.vrps.empty());
+
+  for (const std::size_t workers : kWorkerLadder) {
+    exec::ThreadPool pool(workers);
+    const rpki::ValidationReport pooled = validator.validate(repos_, tals, &pool);
+    EXPECT_TRUE(pooled == serial) << "workers=" << workers;
+  }
+}
+
+// --- Pipeline: both setup stages through PipelineConfig::threads -------------
+
+TEST(ParallelSetupPipeline, SetupArtifactsMatchSerialAtFourThreads) {
+  web::EcosystemConfig config;
+  config.domain_count = 600;
+  config.isp_count = 80;
+  config.hoster_count = 30;
+  config.enterprise_count = 100;
+  config.transit_count = 12;
+  const auto ecosystem = web::Ecosystem::generate(config);
+
+  core::MeasurementPipeline serial(*ecosystem, core::PipelineConfig{});
+  serial.run();
+
+  core::PipelineConfig pooled_config;
+  pooled_config.threads = 4;
+  core::MeasurementPipeline pooled(*ecosystem, pooled_config);
+  pooled.run();
+
+  EXPECT_TRUE(pooled.rib() == serial.rib());
+  EXPECT_EQ(pooled.mrt_stats(), serial.mrt_stats());
+  EXPECT_TRUE(pooled.validation_report() == serial.validation_report());
+
+  // Throughput is measured either way; the pooled run must have clocked
+  // both stages.
+  EXPECT_GT(pooled.setup_stats().mrt_records_per_sec, 0.0);
+  EXPECT_GT(pooled.setup_stats().roas_per_sec, 0.0);
+  EXPECT_GE(pooled.setup_stats().rib_prepare_ms, 0.0);
+  EXPECT_GE(pooled.setup_stats().vrp_prepare_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace ripki
