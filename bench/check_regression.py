@@ -9,6 +9,12 @@ Flags a per-stage wall-clock regression when a stage is more than
 shared CI runners). Also fails when any identical_* check in the current
 run is false — identity is a correctness bug, never noise.
 
+Also understands serve_loadgen JSON: per-rung QPS is compared as a
+throughput (flagged when it DROPS more than --threshold percent), p99
+latency rides through the stage comparison, and oracle_ok=false is an
+identity failure (the server returned bytes that diverged from the
+dataset-derived oracle).
+
 Exit codes: 0 ok, 1 regression or identity failure, 2 usage/parse error.
 Stdlib only; runs in the CI bench-smoke job after the bench binary.
 """
@@ -38,7 +44,21 @@ def stage_times(report):
         prefix = f"setup.threads={run['threads']}"
         stages[f"{prefix}.parse_ms"] = run["parse_ms"]
         stages[f"{prefix}.validate_ms"] = run["validate_ms"]
+    for run in report.get("serve_loadgen", {}).get("runs", []):
+        if "p99_us" in run:
+            stages[f"serve.threads={run['threads']}.p99_ms"] = (
+                run["p99_us"] / 1000.0)
     return stages
+
+
+def throughputs(report):
+    """Higher-is-better figures: {name: value}. Compared inverted (a DROP
+    beyond the threshold is the regression)."""
+    rates = {}
+    for run in report.get("serve_loadgen", {}).get("runs", []):
+        if "qps" in run:
+            rates[f"serve.threads={run['threads']}.qps"] = run["qps"]
+    return rates
 
 
 def identity_failures(report):
@@ -48,6 +68,9 @@ def identity_failures(report):
             for field, value in run.items():
                 if field.startswith("identical") and value is not True:
                     failures.append(f"{key}.threads={run['threads']}.{field}")
+    for run in report.get("serve_loadgen", {}).get("runs", []):
+        if run.get("oracle_ok", True) is not True:
+            failures.append(f"serve.threads={run['threads']}.oracle_ok")
     return failures
 
 
@@ -84,6 +107,21 @@ def main():
                      and cur_ms - base_ms > ABS_FLOOR_MS)
         marker = " <-- REGRESSION" if regressed else ""
         print(f"{name:44s} {base_ms:10.3f} -> {cur_ms:10.3f} ms "
+              f"({delta_pct:+7.1f}%){marker}")
+        if regressed:
+            regressions.append(name)
+
+    base_rates = throughputs(baseline)
+    cur_rates = throughputs(current)
+    for name in sorted(base_rates):
+        if name not in cur_rates:
+            continue
+        base_qps, cur_qps = base_rates[name], cur_rates[name]
+        delta_pct = ((cur_qps - base_qps) / base_qps * 100.0
+                     if base_qps > 0 else 0.0)
+        regressed = delta_pct < -args.threshold
+        marker = " <-- REGRESSION" if regressed else ""
+        print(f"{name:44s} {base_qps:10.0f} -> {cur_qps:10.0f} qps "
               f"({delta_pct:+7.1f}%){marker}")
         if regressed:
             regressions.append(name)

@@ -1,0 +1,326 @@
+// serve_loadgen: closed-loop load generator for the ripki::serve query
+// API. Spins up a QueryService on a real socket over one pipeline run,
+// then hammers it from N keep-alive client threads, each sending the
+// next request the moment the previous response lands. The working set
+// is small so the response cache stays warm — this measures the serving
+// ceiling, not snapshot rendering.
+//
+// Every response is checked against the oracle: bodies must byte-match
+// the rendering computed directly from the core::Dataset (domain
+// lookups) or the published snapshot (summary). Any divergence makes the
+// run exit 3 — a wrong-but-fast server is a broken server.
+//
+//   build/bench/serve_loadgen [--domains N] [--seconds S] [--threads N]
+//                             [--min-qps Q]
+//
+// Emits one JSON object on stdout:
+//   {"serve_loadgen": {"domains": ..,
+//                      "runs": [{"threads": .., "requests": ..,
+//                                "qps": .., "p50_us": .., "p95_us": ..,
+//                                "p99_us": .., "cache_hit_rate": ..,
+//                                "oracle_ok": true}, ...]}}
+//
+// The thread ladder is {1, 4, hardware} (deduplicated, capped by
+// --threads). --min-qps Q fails the run (exit 4) when the best rung
+// lands below Q; default 0 disables the gate so shared-runner noise
+// cannot break CI.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "exec/thread_pool.hpp"
+#include "serve/service.hpp"
+#include "serve/snapshot.hpp"
+#include "web/ecosystem.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int connect_to(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one Content-Length-framed response off a keep-alive stream.
+std::string recv_response(int fd, std::string& carry) {
+  auto complete = [](const std::string& data, std::size_t& total) {
+    const auto head_end = data.find("\r\n\r\n");
+    if (head_end == std::string::npos) return false;
+    std::size_t length = 0;
+    const auto pos = data.find("Content-Length: ");
+    if (pos != std::string::npos && pos < head_end) {
+      length = std::strtoul(data.c_str() + pos + 16, nullptr, 10);
+    }
+    total = head_end + 4 + length;
+    return data.size() >= total;
+  };
+  std::size_t total = 0;
+  char buf[8192];
+  while (!complete(carry, total)) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) return {};
+    carry.append(buf, static_cast<std::size_t>(n));
+  }
+  std::string response = carry.substr(0, total);
+  carry.erase(0, total);
+  return response;
+}
+
+struct WorkItem {
+  std::string request;        // serialized GET, ready to send
+  std::string expected_body;  // oracle: exact bytes the server must return
+};
+
+struct WorkerResult {
+  std::uint64_t requests = 0;
+  std::uint64_t divergences = 0;
+  std::uint64_t transport_errors = 0;
+  std::vector<std::uint32_t> latencies_us;
+};
+
+/// One closed-loop client: a single keep-alive connection issuing the
+/// working set round-robin until the deadline.
+WorkerResult run_worker(std::uint16_t port, const std::vector<WorkItem>& items,
+                        std::size_t offset, Clock::time_point deadline) {
+  WorkerResult result;
+  const int fd = connect_to(port);
+  if (fd < 0) {
+    result.transport_errors = 1;
+    return result;
+  }
+  result.latencies_us.reserve(1 << 16);
+  std::string carry;
+  std::size_t i = offset;
+  while (Clock::now() < deadline) {
+    const WorkItem& item = items[i % items.size()];
+    ++i;
+    const auto start = Clock::now();
+    if (!send_all(fd, item.request)) {
+      ++result.transport_errors;
+      break;
+    }
+    const std::string response = recv_response(fd, carry);
+    const auto elapsed = Clock::now() - start;
+    if (response.empty()) {
+      ++result.transport_errors;
+      break;
+    }
+    ++result.requests;
+    result.latencies_us.push_back(static_cast<std::uint32_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count()));
+    const auto body_at = response.find("\r\n\r\n");
+    if (body_at == std::string::npos ||
+        response.compare(body_at + 4, std::string::npos,
+                         item.expected_body) != 0) {
+      ++result.divergences;
+    }
+  }
+  ::close(fd);
+  return result;
+}
+
+double percentile(std::vector<std::uint32_t>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+  return static_cast<double>(sorted[index]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ripki;
+
+  web::EcosystemConfig config;
+  config.domain_count = 4'000;
+  double seconds = 2.0;
+  std::size_t max_threads = exec::ThreadPool::hardware_threads();
+  double min_qps = 0.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&](double fallback) {
+      return i + 1 < argc ? std::strtod(argv[++i], nullptr) : fallback;
+    };
+    if (std::strcmp(argv[i], "--domains") == 0) {
+      config.domain_count = static_cast<std::uint64_t>(next(4'000));
+    } else if (std::strcmp(argv[i], "--seconds") == 0) {
+      seconds = next(2.0);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      max_threads = static_cast<std::size_t>(next(1));
+    } else if (std::strcmp(argv[i], "--min-qps") == 0) {
+      min_qps = next(0.0);
+    } else {
+      std::cerr << "unknown flag: " << argv[i] << '\n';
+      return 2;
+    }
+  }
+  if (max_threads == 0) max_threads = 1;
+
+  std::cerr << "serve_loadgen: pipeline over " << config.domain_count
+            << " domains...\n";
+  const auto ecosystem = web::Ecosystem::generate(config);
+  core::MeasurementPipeline pipeline(*ecosystem, core::PipelineConfig{});
+  const core::Dataset dataset = pipeline.run();
+  const auto snapshot =
+      serve::Snapshot::build(dataset, pipeline.rib(),
+                             pipeline.validation_report().vrps,
+                             /*generation=*/1);
+
+  serve::QueryServiceOptions options;
+  options.http.max_connections = 256;
+  serve::QueryService service(std::move(options));
+  service.publish(snapshot);
+  if (!service.start()) {
+    std::cerr << "serve_loadgen: failed to start service\n";
+    return 2;
+  }
+
+  // Working set: 63 domain lookups + the summary, expected bytes
+  // precomputed straight from the dataset (the oracle contract).
+  std::vector<WorkItem> items;
+  const std::size_t stride = std::max<std::size_t>(1, dataset.records.size() / 63);
+  for (std::size_t i = 0; i < dataset.records.size() && items.size() < 63;
+       i += stride) {
+    const core::DomainRecord& record = dataset.records[i];
+    items.push_back(WorkItem{
+        "GET /v1/domain/" + record.name + " HTTP/1.1\r\n\r\n",
+        serve::Snapshot::render_domain_json(record, 1)});
+  }
+  items.push_back(WorkItem{"GET /v1/summary HTTP/1.1\r\n\r\n",
+                           snapshot->summary_json()});
+
+  // Warm the response cache so the measured rungs serve hits.
+  {
+    const int fd = connect_to(service.port());
+    if (fd < 0) {
+      std::cerr << "serve_loadgen: cannot connect\n";
+      return 2;
+    }
+    std::string carry;
+    for (const WorkItem& item : items) {
+      send_all(fd, item.request);
+      recv_response(fd, carry);
+    }
+    ::close(fd);
+  }
+
+  std::vector<std::size_t> ladder{1, 4, exec::ThreadPool::hardware_threads()};
+  std::sort(ladder.begin(), ladder.end());
+  ladder.erase(std::unique(ladder.begin(), ladder.end()), ladder.end());
+  ladder.erase(std::remove_if(ladder.begin(), ladder.end(),
+                              [&](std::size_t t) {
+                                return t == 0 || t > max_threads;
+                              }),
+               ladder.end());
+  if (ladder.empty()) ladder.push_back(1);
+
+  std::printf("{\"serve_loadgen\": {\"domains\": %llu, \"working_set\": %zu, "
+              "\"seconds\": %.1f, \"runs\": [",
+              static_cast<unsigned long long>(config.domain_count),
+              items.size(), seconds);
+
+  bool any_divergence = false;
+  double best_qps = 0.0;
+  bool first = true;
+  for (const std::size_t threads : ladder) {
+    const auto deadline =
+        Clock::now() + std::chrono::microseconds(
+                           static_cast<std::int64_t>(seconds * 1e6));
+    const auto started = Clock::now();
+    std::vector<WorkerResult> results(threads);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        results[t] = run_worker(service.port(), items, t * 17, deadline);
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    const double wall_s =
+        std::chrono::duration<double>(Clock::now() - started).count();
+
+    std::uint64_t requests = 0, divergences = 0, errors = 0;
+    std::vector<std::uint32_t> latencies;
+    for (WorkerResult& r : results) {
+      requests += r.requests;
+      divergences += r.divergences;
+      errors += r.transport_errors;
+      latencies.insert(latencies.end(), r.latencies_us.begin(),
+                       r.latencies_us.end());
+    }
+    std::sort(latencies.begin(), latencies.end());
+    const double qps = wall_s > 0.0 ? static_cast<double>(requests) / wall_s : 0.0;
+    best_qps = std::max(best_qps, qps);
+    any_divergence = any_divergence || divergences > 0;
+
+    std::printf("%s{\"threads\": %zu, \"requests\": %llu, \"qps\": %.0f, "
+                "\"p50_us\": %.0f, \"p95_us\": %.0f, \"p99_us\": %.0f, "
+                "\"transport_errors\": %llu, \"cache_hit_rate\": %.4f, "
+                "\"oracle_ok\": %s}",
+                first ? "" : ", ", threads,
+                static_cast<unsigned long long>(requests), qps,
+                percentile(latencies, 0.50), percentile(latencies, 0.95),
+                percentile(latencies, 0.99),
+                static_cast<unsigned long long>(errors),
+                service.cache().hit_rate(),
+                divergences == 0 ? "true" : "false");
+    first = false;
+    std::cerr << "threads=" << threads << ": " << requests << " requests, "
+              << static_cast<std::uint64_t>(qps) << " qps, p99 "
+              << percentile(latencies, 0.99) << " us"
+              << (divergences ? " [ORACLE DIVERGENCE]" : "") << '\n';
+  }
+  std::printf("]}}\n");
+
+  service.stop();
+
+  if (any_divergence) {
+    std::cerr << "serve_loadgen: FAILED — responses diverged from the "
+                 "dataset-derived oracle\n";
+    return 3;
+  }
+  if (min_qps > 0.0 && best_qps < min_qps) {
+    std::cerr << "serve_loadgen: FAILED — best rung " << best_qps
+              << " qps below required " << min_qps << '\n';
+    return 4;
+  }
+  return 0;
+}

@@ -11,16 +11,26 @@
 //   curl localhost:<port>/logz           log flight-recorder dump
 //   curl localhost:<port>/runz           last run's per-run stage table
 //
-//   build/examples/ripkid [--port N] [--interval SEC] [--domains N]
-//                         [--iterations N] [--sample N] [--threads N]
-//                         [--rtr] [--rrdp]
+// and the measurement query API on its own port (printed at start):
+//
+//   curl localhost:<api-port>/v1/domain/<name>
+//   curl localhost:<api-port>/v1/ip/<addr>
+//   curl localhost:<api-port>/v1/prefix/<prefix>/<asn>
+//   curl localhost:<api-port>/v1/summary
+//
+//   build/examples/ripkid [--port N] [--api-port N] [--rate-limit N]
+//                         [--interval SEC] [--domains N] [--iterations N]
+//                         [--sample N] [--threads N] [--rtr] [--rrdp]
 //
 // --iterations 0 (default) runs until SIGINT/SIGTERM; --port 0 (default)
-// binds an ephemeral port and prints it. --sample N records one of every
-// N spans in the trace timeline. --threads N shards the domain sweep
-// across N workers (0 = serial); the sweep's thread count and hot-path
-// cache hit rates appear on /runz and as `ripki.exec.*` gauges on
-// /metrics.
+// binds an ephemeral port and prints it (--api-port likewise). --sample N
+// records one of every N spans in the trace timeline. --threads N shards
+// the domain sweep across N workers (0 = serial); the sweep's thread
+// count and hot-path cache hit rates appear on /runz and as
+// `ripki.exec.*` gauges on /metrics. --rate-limit N caps each API client
+// at N requests/second (burst 2N; 0 = unlimited). Each completed run
+// publishes a fresh query snapshot (RCU swap); /runz reports the served
+// generation, response-cache hit rate, and rate-limited request count.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -31,10 +41,13 @@
 
 #include "core/export.hpp"
 #include "core/pipeline.hpp"
+#include "exec/thread_pool.hpp"
 #include "obs/logring.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "serve/service.hpp"
+#include "serve/snapshot.hpp"
 
 namespace {
 
@@ -51,6 +64,8 @@ int main(int argc, char** argv) {
   ecosystem_config.domain_count = 20'000;
   core::PipelineConfig pipeline_config;
   std::uint16_t port = 0;
+  std::uint16_t api_port = 0;
+  double rate_limit = 0.0;
   unsigned interval_sec = 30;
   std::uint64_t iterations = 0;
   std::uint32_t sample_every = 1;
@@ -61,6 +76,10 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(argv[i], "--port") == 0) {
       port = static_cast<std::uint16_t>(next_u64(0));
+    } else if (std::strcmp(argv[i], "--api-port") == 0) {
+      api_port = static_cast<std::uint16_t>(next_u64(0));
+    } else if (std::strcmp(argv[i], "--rate-limit") == 0) {
+      rate_limit = static_cast<double>(next_u64(0));
     } else if (std::strcmp(argv[i], "--interval") == 0) {
       interval_sec = static_cast<unsigned>(next_u64(30));
     } else if (std::strcmp(argv[i], "--domains") == 0) {
@@ -117,6 +136,26 @@ int main(int argc, char** argv) {
   std::cout << "ripkid: telemetry on http://127.0.0.1:" << server.port()
             << "/ (metrics, metrics.json, healthz, tracez, logz, runz)\n";
 
+  // The query API: lookups answered from the latest run's snapshot,
+  // handlers fanned out over a small worker pool.
+  exec::ThreadPool api_pool(2, &registry);
+  serve::QueryServiceOptions api_options;
+  api_options.http.port = api_port;
+  api_options.rate_limit.tokens_per_sec = rate_limit;
+  api_options.rate_limit.burst = rate_limit * 2.0;
+  api_options.pool = &api_pool;
+  api_options.registry = &registry;
+  serve::QueryService api(std::move(api_options));
+  if (!api.start()) {
+    std::cerr << "ripkid: failed to bind api port " << api_port << '\n';
+    return 1;
+  }
+  char rate_text[32];
+  std::snprintf(rate_text, sizeof rate_text, "%g/s", rate_limit);
+  std::cout << "ripkid: query api on http://127.0.0.1:" << api.port()
+            << "/v1/ (domain, ip, prefix, summary; rate limit "
+            << (rate_limit > 0.0 ? rate_text : "off") << ")\n";
+
   std::cout << "ripkid: generating ecosystem ("
             << ecosystem_config.domain_count << " domains, sweep threads="
             << pipeline_config.threads << ")...\n";
@@ -134,6 +173,12 @@ int main(int argc, char** argv) {
     const core::Dataset dataset = pipeline.run();
     registry.counter("ripki.ripkid.runs_total").inc();
     const auto delta = obs::delta_snapshots(before, registry.collect());
+
+    // Publish this run's snapshot to the query API (RCU swap; in-flight
+    // requests finish on the previous generation).
+    api.publish(serve::Snapshot::build(dataset, pipeline.rib(),
+                                       pipeline.validation_report().vrps,
+                                       /*generation=*/run + 1));
 
     {
       const auto& caches = pipeline.cache_stats();
@@ -156,9 +201,17 @@ int main(int argc, char** argv) {
                     "ROA validation %.1f ms (%.0f ROAs/s)\n",
                     setup.rib_prepare_ms, setup.mrt_records_per_sec,
                     setup.vrp_prepare_ms, setup.roas_per_sec);
+      char serving_line[192];
+      std::snprintf(serving_line, sizeof serving_line,
+                    "serving: generation %llu, %llu domains, response cache "
+                    "%.1f%% hit, %llu rate-limited\n",
+                    static_cast<unsigned long long>(run + 1),
+                    static_cast<unsigned long long>(dataset.records.size()),
+                    api.cache().hit_rate() * 100.0,
+                    static_cast<unsigned long long>(api.limiter().rejected()));
       std::lock_guard lock(runz_mutex);
       runz = "run " + std::to_string(run + 1) + " (per-run deltas)\n" +
-             cache_line + setup_line + obs::stage_report(delta);
+             cache_line + setup_line + serving_line + obs::stage_report(delta);
     }
     std::cout << "ripkid: run " << run + 1 << " done — "
               << dataset.counters.domains_total << " domains, "
@@ -175,7 +228,9 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "ripkid: shutting down after " << server.requests_served()
-            << " telemetry requests\n";
+            << " telemetry requests, " << api.requests_served()
+            << " api requests\n";
+  api.stop();
   server.stop();
   obs::Logger::global().attach_ring(nullptr);
   return 0;

@@ -1,13 +1,9 @@
 #include "obs/telemetry.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cstring>
 #include <sstream>
+#include <utility>
+
+#include "util/url.hpp"
 
 namespace ripki::obs {
 
@@ -55,36 +51,24 @@ bool HealthRegistry::healthy() const {
 
 // --- HTTP server -----------------------------------------------------------
 
-namespace {
-
-const char* status_reason(int status) {
-  switch (status) {
-    case 200: return "OK";
-    case 404: return "Not Found";
-    case 405: return "Method Not Allowed";
-    case 503: return "Service Unavailable";
-    default: return "OK";
-  }
-}
-
-void send_all(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) return;
-    sent += static_cast<std::size_t>(n);
-  }
-}
-
-}  // namespace
-
 TelemetryServer::TelemetryServer(Options options, EventTracer* tracer,
                                  LogRing* log_ring, HealthRegistry* health)
-    : options_(std::move(options)),
-      tracer_(tracer),
+    : tracer_(tracer),
       log_ring_(log_ring),
-      health_(health) {
+      health_(health),
+      server_(serve::HttpServerOptions{
+          .port = options.port,
+          .bind_address = std::move(options.bind_address),
+          // Telemetry is a scrape target, not a public API: a handful of
+          // collectors, small responses, handlers cheap enough to run
+          // inline on the loop thread.
+          .max_connections = 64,
+          .idle_timeout = std::chrono::milliseconds(10'000),
+          .parser_limits = {},
+      }) {
+  server_.set_handler([this](const serve::HttpRequest& request) {
+    return dispatch(request.method, request.target);
+  });
   register_builtin_routes();
 }
 
@@ -151,11 +135,9 @@ HttpResponse TelemetryServer::dispatch(std::string_view method,
                                        std::string_view target) const {
   if (method != "GET") {
     return HttpResponse{405, "text/plain; charset=utf-8",
-                        "only GET is supported\n"};
+                        "only GET is supported\n", {}};
   }
-  const auto query = target.find('?');
-  const std::string_view path =
-      query == std::string_view::npos ? target : target.substr(0, query);
+  const std::string_view path = util::split_target(target).path;
   HttpHandler handler;
   {
     std::lock_guard lock(handlers_mutex_);
@@ -164,109 +146,13 @@ HttpResponse TelemetryServer::dispatch(std::string_view method,
   }
   if (!handler) {
     return HttpResponse{404, "text/plain; charset=utf-8",
-                        "not found; GET / lists endpoints\n"};
+                        "not found; GET / lists endpoints\n", {}};
   }
   return handler();
 }
 
-bool TelemetryServer::start() {
-  if (running_.load()) return true;
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return false;
+bool TelemetryServer::start() { return server_.start(); }
 
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return false;
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
-      ::listen(listen_fd_, 16) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return false;
-  }
-
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof bound;
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                    &bound_len) == 0) {
-    port_ = ntohs(bound.sin_port);
-  }
-
-  stop_requested_.store(false);
-  running_.store(true);
-  thread_ = std::thread([this] { accept_loop(); });
-  return true;
-}
-
-void TelemetryServer::stop() {
-  if (!running_.load()) return;
-  stop_requested_.store(true);
-  if (thread_.joinable()) thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  running_.store(false);
-}
-
-void TelemetryServer::accept_loop() {
-  // poll with a short timeout so stop() never waits on a blocked accept.
-  while (!stop_requested_.load()) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
-    if (ready <= 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
-    handle_connection(fd);
-  }
-}
-
-void TelemetryServer::handle_connection(int fd) {
-  // Bound how long a slow client can hold the single accept thread.
-  timeval timeout{/*tv_sec=*/2, /*tv_usec=*/0};
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
-
-  std::string request;
-  char buf[2048];
-  while (request.size() < 16 * 1024 &&
-         request.find("\r\n") == std::string::npos) {
-    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
-    if (n <= 0) break;
-    request.append(buf, static_cast<std::size_t>(n));
-  }
-
-  // Request line: METHOD SP TARGET SP VERSION. Anything unparseable gets
-  // a 405 through dispatch's method check.
-  std::string_view line(request);
-  if (const auto eol = line.find("\r\n"); eol != std::string_view::npos) {
-    line = line.substr(0, eol);
-  }
-  std::string_view method, target = "/";
-  if (const auto sp1 = line.find(' '); sp1 != std::string_view::npos) {
-    method = line.substr(0, sp1);
-    const auto rest = line.substr(sp1 + 1);
-    const auto sp2 = rest.find(' ');
-    target = sp2 == std::string_view::npos ? rest : rest.substr(0, sp2);
-  }
-
-  const HttpResponse response = dispatch(method, target);
-  requests_.fetch_add(1, std::memory_order_relaxed);
-
-  std::ostringstream os;
-  os << "HTTP/1.0 " << response.status << ' ' << status_reason(response.status)
-     << "\r\nContent-Type: " << response.content_type
-     << "\r\nContent-Length: " << response.body.size()
-     << "\r\nConnection: close\r\n\r\n"
-     << response.body;
-  send_all(fd, os.str());
-  ::close(fd);
-}
+void TelemetryServer::stop() { server_.stop(); }
 
 }  // namespace ripki::obs

@@ -1,6 +1,7 @@
-// Live telemetry exposition: per-subsystem health checks and a minimal
-// embedded HTTP/1.0 server (POSIX sockets, one background accept thread)
-// that serves pull-based endpoints while a measurement runs:
+// Live telemetry exposition: per-subsystem health checks and the
+// embedded telemetry endpoint surface, served by the shared HTTP/1.1
+// event-loop core (serve::HttpServer) — keep-alive connections, no
+// slow-client head-of-line blocking on an accept thread:
 //
 //   /            endpoint index
 //   /metrics     Prometheus text exposition      (registered by core)
@@ -16,18 +17,17 @@
 // can exercise routes without sockets.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
-#include <thread>
 #include <vector>
 
 #include "obs/logring.hpp"
 #include "obs/trace.hpp"
+#include "serve/server.hpp"
 
 namespace ripki::obs {
 
@@ -69,11 +69,9 @@ class HealthRegistry {
 
 // --- HTTP server -----------------------------------------------------------
 
-struct HttpResponse {
-  int status = 200;
-  std::string content_type = "text/plain; charset=utf-8";
-  std::string body;
-};
+/// Response type shared with the serve HTTP core; kept under the obs name
+/// for the existing handler-registration API.
+using HttpResponse = serve::HttpResponse;
 
 using HttpHandler = std::function<HttpResponse()>;
 
@@ -94,14 +92,14 @@ class TelemetryServer {
   TelemetryServer(const TelemetryServer&) = delete;
   TelemetryServer& operator=(const TelemetryServer&) = delete;
 
-  /// Binds, listens, and starts the accept thread. False on socket errors
+  /// Binds, listens, and starts the event loop. False on socket errors
   /// (port in use, say); the server stays stopped.
   bool start();
-  /// Idempotent; joins the accept thread.
+  /// Idempotent; joins the event-loop thread.
   void stop();
-  bool running() const { return running_.load(); }
+  bool running() const { return server_.running(); }
   /// The bound port (valid after a successful start()).
-  std::uint16_t port() const { return port_; }
+  std::uint16_t port() const { return server_.port(); }
 
   /// Registers/overrides a route ("/metrics", say). Exact-match paths,
   /// query strings stripped before dispatch.
@@ -112,14 +110,11 @@ class TelemetryServer {
   /// without opening sockets.
   HttpResponse dispatch(std::string_view method, std::string_view target) const;
 
-  std::uint64_t requests_served() const { return requests_.load(); }
+  std::uint64_t requests_served() const { return server_.requests_served(); }
 
  private:
-  void accept_loop();
-  void handle_connection(int fd);
   void register_builtin_routes();
 
-  Options options_;
   EventTracer* tracer_;
   LogRing* log_ring_;
   HealthRegistry* health_;
@@ -127,12 +122,7 @@ class TelemetryServer {
   mutable std::mutex handlers_mutex_;
   std::map<std::string, HttpHandler, std::less<>> handlers_;
 
-  std::thread thread_;
-  std::atomic<bool> running_{false};
-  std::atomic<bool> stop_requested_{false};
-  std::atomic<std::uint64_t> requests_{0};
-  int listen_fd_ = -1;
-  std::uint16_t port_ = 0;
+  serve::HttpServer server_;
 };
 
 }  // namespace ripki::obs

@@ -1,0 +1,98 @@
+// Sharded TTL'd LRU response cache for the query service. Keys are the
+// canonical request target (path + query); values are rendered response
+// bodies. Sharding by key hash keeps lock contention off the hot path
+// when the pool fans requests out; each shard runs its own LRU list, so
+// eviction pressure in one shard never touches another.
+//
+// Time is injected on every call (steady_clock time_points) so the TTL
+// logic is testable without sleeping.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ripki::serve {
+
+class ResponseCache {
+ public:
+  struct Options {
+    /// Total entry budget, split evenly across shards (at least one entry
+    /// per shard).
+    std::size_t capacity = 4096;
+    std::uint32_t shards = 8;
+    std::chrono::milliseconds ttl{2'000};
+  };
+
+  using Clock = std::chrono::steady_clock;
+
+  explicit ResponseCache(Options options);
+
+  /// The cached value when present and not expired. Expired entries are
+  /// removed on the way out (counted in expired(), not evictions()).
+  std::optional<std::string> get(std::string_view key, Clock::time_point now);
+
+  /// Inserts or refreshes `key`, evicting the shard's least-recently-used
+  /// entry when the shard is full.
+  void put(std::string_view key, std::string value, Clock::time_point now);
+
+  /// Drops every entry (snapshot swap invalidation).
+  void clear();
+
+  /// Shard a key maps to — exposed so tests can target one shard.
+  std::uint32_t shard_of(std::string_view key) const;
+
+  std::size_t size() const;
+  std::size_t capacity_per_shard() const { return per_shard_capacity_; }
+  std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t expired() const {
+    return expired_.load(std::memory_order_relaxed);
+  }
+  double hit_rate() const {
+    const std::uint64_t h = hits(), m = misses();
+    return h + m == 0 ? 0.0
+                      : static_cast<double>(h) / static_cast<double>(h + m);
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+    Clock::time_point expires;
+  };
+  struct Shard {
+    std::mutex mutex;
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+  };
+
+  std::chrono::milliseconds ttl_;
+  std::size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> expired_{0};
+};
+
+}  // namespace ripki::serve

@@ -1,0 +1,173 @@
+#include "serve/http.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+#include "util/url.hpp"
+
+namespace ripki::serve {
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "OK";
+  }
+}
+
+std::string serialize_response(const HttpResponse& response, bool keep_alive) {
+  std::string out;
+  out.reserve(128 + response.body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += status_reason(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  for (const auto& [name, value] : response.headers) {
+    out += "\r\n";
+    out += name;
+    out += ": ";
+    out += value;
+  }
+  out += keep_alive ? "\r\nConnection: keep-alive" : "\r\nConnection: close";
+  out += "\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+namespace {
+
+/// Header lookup over the raw head block (case-insensitive name match);
+/// returns the trimmed value of the first occurrence.
+std::optional<std::string_view> find_header(std::string_view head,
+                                            std::string_view name) {
+  std::size_t pos = 0;
+  while (pos < head.size()) {
+    auto eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(pos, eol - pos);
+    const auto colon = line.find(':');
+    if (colon != std::string_view::npos &&
+        util::iequals(util::trim(line.substr(0, colon)), name)) {
+      return util::trim(line.substr(colon + 1));
+    }
+    pos = eol + 2;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool RequestParser::parse_head(std::string_view head) {
+  // Request line: METHOD SP TARGET SP HTTP/x.y
+  auto eol = head.find("\r\n");
+  if (eol == std::string_view::npos) eol = head.size();
+  const std::string_view line = head.substr(0, eol);
+  const std::string_view headers =
+      eol < head.size() ? head.substr(eol + 2) : std::string_view{};
+
+  const auto sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) return false;
+  const auto sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) return false;
+
+  HttpRequest request;
+  request.method = std::string(line.substr(0, sp1));
+  request.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  const std::string_view version = line.substr(sp2 + 1);
+  if (version == "HTTP/1.1") {
+    request.version_minor = 1;
+  } else if (version == "HTTP/1.0") {
+    request.version_minor = 0;
+  } else {
+    return false;
+  }
+
+  const auto [path, query] = util::split_target(request.target);
+  request.path = std::string(path);
+  request.query = std::string(query);
+
+  request.keep_alive = request.version_minor >= 1;
+  if (const auto connection = find_header(headers, "Connection")) {
+    if (util::iequals(*connection, "close")) request.keep_alive = false;
+    if (util::iequals(*connection, "keep-alive")) request.keep_alive = true;
+  }
+
+  if (find_header(headers, "Transfer-Encoding").has_value()) return false;
+  body_remaining_ = 0;
+  if (const auto length = find_header(headers, "Content-Length")) {
+    std::uint64_t n = 0;
+    if (!util::parse_u64(*length, n) || n > limits_.max_body_bytes) {
+      return false;
+    }
+    body_remaining_ = static_cast<std::size_t>(n);
+  }
+
+  if (body_remaining_ > 0) {
+    in_body_ = std::move(request);
+  } else {
+    ready_.push_back(std::move(request));
+  }
+  return true;
+}
+
+bool RequestParser::drain() {
+  for (;;) {
+    if (body_remaining_ > 0) {
+      const std::size_t take = std::min(body_remaining_, buffer_.size());
+      buffer_.erase(0, take);
+      body_remaining_ -= take;
+      if (body_remaining_ > 0) return true;  // need more bytes
+      ready_.push_back(std::move(*in_body_));
+      in_body_.reset();
+    }
+    const auto head_end = buffer_.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      // Bound the unterminated head; also tolerate leading CRLF between
+      // pipelined requests (robustness per RFC 9112 §2.2).
+      while (buffer_.size() >= 2 && buffer_[0] == '\r' && buffer_[1] == '\n') {
+        buffer_.erase(0, 2);
+      }
+      return buffer_.size() <= limits_.max_head_bytes;
+    }
+    if (head_end > limits_.max_head_bytes) return false;
+    if (head_end == 0) {  // stray CRLF CRLF
+      buffer_.erase(0, 4);
+      continue;
+    }
+    const bool ok = parse_head(std::string_view(buffer_).substr(0, head_end));
+    buffer_.erase(0, head_end + 4);
+    if (!ok) return false;
+  }
+}
+
+bool RequestParser::feed(std::string_view bytes) {
+  if (failed_) return false;
+  buffer_.append(bytes);
+  if (!drain()) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+std::optional<HttpRequest> RequestParser::next() {
+  if (ready_front_ >= ready_.size()) return std::nullopt;
+  HttpRequest request = std::move(ready_[ready_front_]);
+  ++ready_front_;
+  if (ready_front_ == ready_.size()) {
+    ready_.clear();
+    ready_front_ = 0;
+  }
+  return request;
+}
+
+}  // namespace ripki::serve

@@ -1,0 +1,96 @@
+// The shared HTTP/1.1 wire core: request parsing with pipelined
+// keep-alive and response serialization. Pure byte-in/byte-out logic —
+// no sockets — so the telemetry server, the query service, and the unit
+// tests all drive the exact same parser.
+//
+// Scope: the subset of RFC 9112 these embedded servers need. Request
+// line + headers, optional Content-Length body (consumed and discarded —
+// the APIs are GET-only, but a well-formed POST must not desynchronise
+// the connection), keep-alive defaulting per HTTP version, and hard
+// byte bounds so a hostile client cannot grow buffers without limit.
+// Chunked request bodies are rejected (411-style parse error).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ripki::serve {
+
+/// One parsed request. `path`/`query` come pre-split from the target
+/// (query string excludes the '?'); the path is NOT percent-decoded —
+/// routing decides which segments to decode (util::split_path_segments).
+struct HttpRequest {
+  std::string method;
+  std::string target;  // raw request target, e.g. "/v1/ip/10.0.0.1?x=1"
+  std::string path;
+  std::string query;
+  int version_major = 1;
+  int version_minor = 1;
+  /// Effective connection persistence after applying the Connection
+  /// header to the version default (1.1: keep-alive, 1.0: close).
+  bool keep_alive = true;
+  /// Peer address ("ip" without port), filled by the socket layer; empty
+  /// when parsed off-wire in tests.
+  std::string client;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  /// Extra headers, e.g. {"Retry-After", "1"}; Content-Type/-Length and
+  /// Connection are emitted automatically.
+  std::vector<std::pair<std::string, std::string>> headers;
+};
+
+const char* status_reason(int status);
+
+/// Serializes an HTTP/1.1 response, with `Connection: keep-alive` or
+/// `close` per `keep_alive`.
+std::string serialize_response(const HttpResponse& response, bool keep_alive);
+
+/// Incremental request parser. Feed it raw bytes as they arrive; pop
+/// complete requests (several per feed when the client pipelines). After
+/// an error the parser stays failed — the connection should send 400 and
+/// close, since resynchronisation is impossible.
+class RequestParser {
+ public:
+  struct Limits {
+    std::size_t max_head_bytes = 16 * 1024;  // request line + headers
+    std::size_t max_body_bytes = 64 * 1024;
+  };
+
+  RequestParser() = default;
+  explicit RequestParser(Limits limits) : limits_(limits) {}
+
+  /// Appends bytes and parses as many complete requests as possible.
+  /// Returns false once the stream is unparseable (malformed request
+  /// line/header, oversized head or body, chunked body).
+  bool feed(std::string_view bytes);
+
+  /// Oldest fully parsed request, FIFO; nullopt when none is pending.
+  std::optional<HttpRequest> next();
+
+  bool failed() const { return failed_; }
+  bool has_pending() const { return !ready_.empty(); }
+
+ private:
+  bool parse_head(std::string_view head);
+  bool drain();
+
+  Limits limits_;
+  std::string buffer_;
+  std::vector<HttpRequest> ready_;  // FIFO: pop from front
+  std::size_t ready_front_ = 0;
+  /// Body bytes of the current request still to consume and discard.
+  std::size_t body_remaining_ = 0;
+  /// The request whose body is being consumed (queued once it is).
+  std::optional<HttpRequest> in_body_;
+  bool failed_ = false;
+};
+
+}  // namespace ripki::serve

@@ -1,0 +1,85 @@
+#include "serve/ratelimit.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace ripki::serve {
+
+TokenBucketLimiter::TokenBucketLimiter(Options options)
+    : options_(options) {
+  if (options_.burst <= 0.0) options_.burst = options_.tokens_per_sec;
+  const std::uint32_t shard_count = std::max<std::uint32_t>(1, options_.shards);
+  shards_.reserve(shard_count);
+  for (std::uint32_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+TokenBucketLimiter::Shard& TokenBucketLimiter::shard_for(
+    std::string_view client) const {
+  return *shards_[std::hash<std::string_view>{}(client) % shards_.size()];
+}
+
+void TokenBucketLimiter::refill(Bucket& bucket, Clock::time_point now) const {
+  if (now <= bucket.last_refill) return;
+  const double elapsed_sec =
+      std::chrono::duration<double>(now - bucket.last_refill).count();
+  bucket.tokens = std::min(options_.burst,
+                           bucket.tokens + elapsed_sec * options_.tokens_per_sec);
+  bucket.last_refill = now;
+}
+
+bool TokenBucketLimiter::allow(std::string_view client,
+                               Clock::time_point now) {
+  if (!enabled()) return true;
+  Shard& shard = shard_for(client);
+  std::lock_guard lock(shard.mutex);
+  auto it = shard.buckets.find(std::string(client));
+  if (it == shard.buckets.end()) {
+    if (shard.buckets.size() >= options_.max_clients_per_shard) {
+      // Sweep stale buckets; an idle bucket has refilled to burst anyway,
+      // so forgetting it loses nothing.
+      for (auto sweep = shard.buckets.begin(); sweep != shard.buckets.end();) {
+        if (now - sweep->second.last_refill > options_.stale_after) {
+          sweep = shard.buckets.erase(sweep);
+        } else {
+          ++sweep;
+        }
+      }
+    }
+    it = shard.buckets.emplace(std::string(client),
+                               Bucket{options_.burst, now}).first;
+  }
+  Bucket& bucket = it->second;
+  refill(bucket, now);
+  if (bucket.tokens < 1.0) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  bucket.tokens -= 1.0;
+  allowed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+double TokenBucketLimiter::tokens(std::string_view client,
+                                  Clock::time_point now) const {
+  if (!enabled()) return 0.0;
+  Shard& shard = shard_for(client);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.buckets.find(std::string(client));
+  if (it == shard.buckets.end()) return options_.burst;
+  Bucket bucket = it->second;
+  refill(bucket, now);
+  return bucket.tokens;
+}
+
+std::size_t TokenBucketLimiter::client_count() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    total += shard->buckets.size();
+  }
+  return total;
+}
+
+}  // namespace ripki::serve

@@ -1,0 +1,79 @@
+// Per-client token-bucket rate limiter. Each client key (peer address)
+// owns a bucket holding up to `burst` tokens that refills continuously at
+// `tokens_per_sec`; a request spends one token or is rejected (the
+// service answers 429). Buckets live in hash-sharded maps so concurrent
+// pool workers rarely contend, and stale clients are swept lazily to
+// bound memory against address-churning abusers.
+//
+// Time is injected per call, so refill arithmetic is testable without
+// sleeping.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ripki::serve {
+
+class TokenBucketLimiter {
+ public:
+  struct Options {
+    /// Sustained per-client rate; 0 disables limiting (allow() is
+    /// always true and touches no state).
+    double tokens_per_sec = 0.0;
+    /// Bucket capacity: the largest burst a quiet client may spend at
+    /// once. Buckets start full.
+    double burst = 0.0;
+    std::uint32_t shards = 4;
+    /// Per-shard client cap; reaching it evicts buckets idle longer than
+    /// `stale_after` (full buckets carry no information).
+    std::size_t max_clients_per_shard = 4096;
+    std::chrono::milliseconds stale_after{60'000};
+  };
+
+  using Clock = std::chrono::steady_clock;
+
+  explicit TokenBucketLimiter(Options options);
+
+  /// Spends one token from `client`'s bucket. False = over the limit.
+  bool allow(std::string_view client, Clock::time_point now);
+
+  /// Remaining tokens for `client` (burst for a never-seen client);
+  /// test/introspection helper.
+  double tokens(std::string_view client, Clock::time_point now) const;
+
+  bool enabled() const { return options_.tokens_per_sec > 0.0; }
+  std::uint64_t allowed() const {
+    return allowed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  std::size_t client_count() const;
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    Clock::time_point last_refill;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, Bucket> buckets;
+  };
+
+  Shard& shard_for(std::string_view client) const;
+  void refill(Bucket& bucket, Clock::time_point now) const;
+
+  Options options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> allowed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+}  // namespace ripki::serve

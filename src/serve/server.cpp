@@ -1,0 +1,352 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ripki::serve {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(HttpServerOptions options)
+    : options_(std::move(options)) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+bool HttpServer::start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+          1 ||
+      ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(listen_fd_, 128) != 0 || !set_nonblocking(listen_fd_)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  if (::pipe(wake_fds_) != 0 || !set_nonblocking(wake_fds_[0]) ||
+      !set_nonblocking(wake_fds_[1])) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    for (int& fd : wake_fds_) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+    return false;
+  }
+
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  wake();
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int& fd : wake_fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void HttpServer::wake() {
+  const char byte = 'w';
+  [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+}
+
+HttpServer::Stats HttpServer::stats() const {
+  Stats stats;
+  stats.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  stats.connections_closed = closed_.load(std::memory_order_relaxed);
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  stats.idle_closed = idle_closed_.load(std::memory_order_relaxed);
+  stats.overloaded = overloaded_.load(std::memory_order_relaxed);
+  stats.active_connections =
+      static_cast<std::int64_t>(stats.connections_accepted) -
+      static_cast<std::int64_t>(stats.connections_closed);
+  return stats;
+}
+
+void HttpServer::loop() {
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> ids;  // ids[i] maps fds[i>=2] to a connection
+
+  while (true) {
+    const bool stopping = stop_requested_.load(std::memory_order_acquire);
+    if (stopping && inflight_.load(std::memory_order_acquire) == 0) break;
+
+    fds.clear();
+    ids.clear();
+    fds.push_back({listen_fd_, static_cast<short>(stopping ? 0 : POLLIN), 0});
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    for (auto& [id, connection] : connections_) {
+      short events = 0;
+      // Stop reading once the connection is condemned; flush and close.
+      if (!connection.close_after_flush) events |= POLLIN;
+      if (connection.out_offset < connection.outbuf.size()) events |= POLLOUT;
+      fds.push_back({connection.fd, events, 0});
+      ids.push_back(id);
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
+    const auto now = std::chrono::steady_clock::now();
+    drain_completions();
+    if (ready > 0) {
+      if ((fds[1].revents & POLLIN) != 0) {
+        char buf[64];
+        while (::read(wake_fds_[0], buf, sizeof buf) > 0) {
+        }
+      }
+      if ((fds[0].revents & POLLIN) != 0) accept_ready(now);
+      for (std::size_t i = 2; i < fds.size(); ++i) {
+        const auto it = connections_.find(ids[i - 2]);
+        if (it == connections_.end()) continue;  // closed by a completion
+        if ((fds[i].revents & (POLLERR | POLLNVAL)) != 0) {
+          close_connection(it->first);
+          continue;
+        }
+        if ((fds[i].revents & (POLLIN | POLLHUP)) != 0) {
+          read_ready(it->second, now);
+          if (connections_.find(ids[i - 2]) == connections_.end()) continue;
+        }
+        if ((fds[i].revents & POLLOUT) != 0) write_ready(it->second);
+      }
+    }
+
+    // Idle sweep: drop keep-alive connections with nothing in flight.
+    std::vector<std::uint64_t> idle;
+    for (const auto& [id, connection] : connections_) {
+      if (!connection.busy && connection.pending.empty() &&
+          connection.out_offset >= connection.outbuf.size() &&
+          now - connection.last_activity > options_.idle_timeout) {
+        idle.push_back(id);
+      }
+    }
+    for (const std::uint64_t id : idle) {
+      idle_closed_.fetch_add(1, std::memory_order_relaxed);
+      close_connection(id);
+    }
+  }
+
+  drain_completions();
+  for (auto& [id, connection] : connections_) {
+    ::close(connection.fd);
+    closed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  connections_.clear();
+}
+
+void HttpServer::accept_ready(std::chrono::steady_clock::time_point now) {
+  for (;;) {
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof peer;
+    const int fd =
+        ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &peer_len);
+    if (fd < 0) return;  // EAGAIN or transient error: back to poll
+    if (connections_.size() >= options_.max_connections) {
+      // Best-effort 503 on the fresh (still-empty) socket and drop.
+      overloaded_.fetch_add(1, std::memory_order_relaxed);
+      const std::string bytes = serialize_response(
+          HttpResponse{503, "text/plain; charset=utf-8", "server busy\n", {}},
+          /*keep_alive=*/false);
+      [[maybe_unused]] const ssize_t n =
+          ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      continue;
+    }
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    Connection connection;
+    connection.fd = fd;
+    connection.id = next_connection_id_++;
+    connection.parser = RequestParser(options_.parser_limits);
+    connection.last_activity = now;
+    char name[INET_ADDRSTRLEN] = {0};
+    if (::inet_ntop(AF_INET, &peer.sin_addr, name, sizeof name) != nullptr) {
+      connection.peer = name;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    connections_.emplace(connection.id, std::move(connection));
+  }
+}
+
+void HttpServer::read_ready(Connection& connection,
+                            std::chrono::steady_clock::time_point now) {
+  char buf[8192];
+  for (;;) {
+    const ssize_t n = ::recv(connection.fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      connection.last_activity = now;
+      if (!connection.parser.feed(std::string_view(buf,
+                                                   static_cast<std::size_t>(n)))) {
+        parse_errors_.fetch_add(1, std::memory_order_relaxed);
+        break;  // parser is now failed; handled below
+      }
+      continue;
+    }
+    if (n == 0) {  // peer closed its write side
+      close_connection(connection.id);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    close_connection(connection.id);
+    return;
+  }
+
+  while (auto request = connection.parser.next()) {
+    request->client = connection.peer;
+    connection.pending.push_back(std::move(*request));
+  }
+  pump(connection);
+  write_ready(connection);
+}
+
+void HttpServer::pump(Connection& connection) {
+  while (!connection.busy && !connection.close_after_flush &&
+         !connection.pending.empty()) {
+    HttpRequest request = std::move(connection.pending.front());
+    connection.pending.pop_front();
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    const bool keep_alive = request.keep_alive;
+    if (executor_) {
+      connection.busy = true;
+      inflight_.fetch_add(1, std::memory_order_acq_rel);
+      const std::uint64_t id = connection.id;
+      executor_([this, id, request = std::move(request), keep_alive] {
+        HttpResponse response = handler_(request);
+        {
+          std::lock_guard lock(completions_mutex_);
+          completions_.push_back(
+              {id, serialize_response(response, keep_alive), keep_alive});
+        }
+        inflight_.fetch_sub(1, std::memory_order_acq_rel);
+        wake();
+      });
+      return;  // strictly one in-flight handler per connection
+    }
+    queue_response(connection, handler_(request), keep_alive);
+  }
+
+  // A failed parser condemns the connection once in-order responses for
+  // everything parsed before the error have been queued.
+  if (connection.parser.failed() && !connection.busy &&
+      connection.pending.empty() && !connection.close_after_flush) {
+    queue_response(connection,
+                   HttpResponse{400, "text/plain; charset=utf-8",
+                                "malformed request\n", {}},
+                   /*keep_alive=*/false);
+  }
+}
+
+void HttpServer::queue_response(Connection& connection,
+                                const HttpResponse& response, bool keep_alive) {
+  connection.outbuf.append(serialize_response(response, keep_alive));
+  if (!keep_alive) {
+    connection.close_after_flush = true;
+    connection.pending.clear();
+  }
+}
+
+void HttpServer::drain_completions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard lock(completions_mutex_);
+    batch.swap(completions_);
+  }
+  for (auto& completion : batch) {
+    const auto it = connections_.find(completion.connection_id);
+    if (it == connections_.end()) continue;  // connection died meanwhile
+    Connection& connection = it->second;
+    connection.busy = false;
+    connection.outbuf.append(std::move(completion.bytes));
+    connection.last_activity = std::chrono::steady_clock::now();
+    if (!completion.keep_alive) {
+      connection.close_after_flush = true;
+      connection.pending.clear();
+    } else {
+      pump(connection);
+    }
+    if (connections_.find(completion.connection_id) != connections_.end()) {
+      write_ready(connection);
+    }
+  }
+}
+
+void HttpServer::write_ready(Connection& connection) {
+  while (connection.out_offset < connection.outbuf.size()) {
+    const ssize_t n = ::send(connection.fd,
+                             connection.outbuf.data() + connection.out_offset,
+                             connection.outbuf.size() - connection.out_offset,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      connection.out_offset += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    close_connection(connection.id);
+    return;
+  }
+  connection.outbuf.clear();
+  connection.out_offset = 0;
+  if (connection.close_after_flush && !connection.busy) {
+    close_connection(connection.id);
+  }
+}
+
+void HttpServer::close_connection(std::uint64_t id) {
+  const auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  // A busy connection still has a handler in flight whose completion will
+  // look this id up; erasing now is safe (the completion is dropped), and
+  // the fd must go regardless so a dead peer cannot pin resources.
+  ::close(it->second.fd);
+  connections_.erase(it);
+  closed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace ripki::serve

@@ -1,0 +1,155 @@
+// Event-loop HTTP/1.1 server on the shared wire core (http.hpp).
+//
+// Architecture: ONE event-loop thread owns every socket (listen +
+// connections) through poll() with non-blocking fds — a slow client can
+// only ever stall its own connection, never the listener or another
+// client (the telemetry server's old inline-serve bottleneck). Handler
+// execution is pluggable:
+//
+//   - no executor: handlers run inline on the loop thread (fine for
+//     cheap telemetry scrapes),
+//   - set_executor(fn): each parsed request is handed to `fn` (typically
+//     exec::ThreadPool::submit) and the response re-enters the loop via a
+//     completion queue and a self-pipe wakeup, so heavy handlers fan out
+//     across workers while all I/O stays on the loop thread.
+//
+// Pipelined requests on one connection are answered strictly in order:
+// at most one handler per connection is in flight; further parsed
+// requests wait in the connection's queue.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/http.hpp"
+
+namespace ripki::serve {
+
+struct HttpServerOptions {
+  /// 0 binds an ephemeral port; the bound port is reported by port().
+  std::uint16_t port = 0;
+  std::string bind_address = "127.0.0.1";
+  /// Accepted connections beyond this are answered 503 and closed.
+  std::size_t max_connections = 512;
+  /// Idle keep-alive connections are closed after this long.
+  std::chrono::milliseconds idle_timeout{10'000};
+  RequestParser::Limits parser_limits;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+  using Executor = std::function<void(std::function<void()>)>;
+
+  explicit HttpServer(HttpServerOptions options);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Request handler (required before start()). Called once per request;
+  /// with an executor installed it runs on executor threads, otherwise on
+  /// the event-loop thread.
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Optional handler fan-out (install before start()). `fn` must run the
+  /// task it is given exactly once, on any thread.
+  void set_executor(Executor executor) { executor_ = std::move(executor); }
+
+  /// Binds, listens, starts the loop thread. False on socket errors.
+  bool start();
+  /// Idempotent; drains in-flight handlers and joins the loop thread.
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  std::uint16_t port() const { return port_; }
+
+  /// Loop-thread counters, all readable from any thread.
+  struct Stats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_closed = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t parse_errors = 0;
+    std::uint64_t idle_closed = 0;
+    std::uint64_t overloaded = 0;  // rejected at max_connections
+    std::int64_t active_connections = 0;
+  };
+  Stats stats() const;
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::string peer;  // client address, no port
+    RequestParser parser;
+    /// Requests parsed but not yet dispatched (pipelining backlog).
+    std::deque<HttpRequest> pending;
+    /// True while a handler for this connection runs on the executor.
+    bool busy = false;
+    /// Close once outbuf drains (final response written or parse error).
+    bool close_after_flush = false;
+    std::string outbuf;
+    std::size_t out_offset = 0;
+    std::chrono::steady_clock::time_point last_activity;
+  };
+
+  struct Completion {
+    std::uint64_t connection_id = 0;
+    std::string bytes;
+    bool keep_alive = true;
+  };
+
+  void loop();
+  void accept_ready(std::chrono::steady_clock::time_point now);
+  void read_ready(Connection& connection,
+                  std::chrono::steady_clock::time_point now);
+  void write_ready(Connection& connection);
+  /// Starts the next pending request if the connection is free.
+  void pump(Connection& connection);
+  void queue_response(Connection& connection, const HttpResponse& response,
+                      bool keep_alive);
+  void drain_completions();
+  void close_connection(std::uint64_t id);
+  void wake();
+
+  HttpServerOptions options_;
+  Handler handler_;
+  Executor executor_;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: [0] read, [1] write
+  std::uint16_t port_ = 0;
+
+  /// Loop-thread state: connections keyed by id (ids never recycle).
+  std::map<std::uint64_t, Connection> connections_;
+  std::uint64_t next_connection_id_ = 1;
+
+  std::mutex completions_mutex_;
+  std::vector<Completion> completions_;
+  /// Handlers dispatched to the executor but not yet completed; stop()
+  /// waits for this to hit zero so handler tasks never outlive us.
+  std::atomic<std::uint64_t> inflight_{0};
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> closed_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> parse_errors_{0};
+  std::atomic<std::uint64_t> idle_closed_{0};
+  std::atomic<std::uint64_t> overloaded_{0};
+};
+
+}  // namespace ripki::serve

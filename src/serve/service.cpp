@@ -1,0 +1,210 @@
+#include "serve/service.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "util/strings.hpp"
+#include "util/url.hpp"
+
+namespace ripki::serve {
+
+namespace {
+
+constexpr const char* kJson = "application/json";
+constexpr const char* kText = "text/plain; charset=utf-8";
+
+HttpResponse json_ok(std::string body) {
+  return HttpResponse{200, kJson, std::move(body), {}};
+}
+
+HttpResponse error_response(int status, std::string message) {
+  return HttpResponse{status, kText, std::move(message), {}};
+}
+
+/// Parses an ASN segment as a bare 32-bit decimal ("65001").
+bool parse_asn(std::string_view text, net::Asn& out) {
+  std::uint64_t value = 0;
+  if (!util::parse_u64(text, value) || value > 0xFFFFFFFFull) return false;
+  out = net::Asn(static_cast<std::uint32_t>(value));
+  return true;
+}
+
+}  // namespace
+
+QueryService::QueryService(QueryServiceOptions options)
+    : options_(options),
+      server_(options.http),
+      cache_(options.cache),
+      limiter_(options.rate_limit) {
+  server_.set_handler([this](const HttpRequest& request) {
+    return handle(request);
+  });
+  if (options_.pool != nullptr) {
+    exec::ThreadPool* pool = options_.pool;
+    server_.set_executor([pool](std::function<void()> task) {
+      pool->submit(std::move(task));
+    });
+  }
+  if (obs::Registry* registry = options_.registry) {
+    requests_counter_ = &registry->counter("ripki.serve.requests_total");
+    registry->describe("ripki.serve.requests_total",
+                       "Query API requests handled");
+    cache_hits_counter_ = &registry->counter("ripki.serve.cache_hits");
+    cache_misses_counter_ = &registry->counter("ripki.serve.cache_misses");
+    cache_evictions_counter_ = &registry->counter("ripki.serve.cache_evictions");
+    registry->describe("ripki.serve.cache_hits",
+                       "Response cache hits (fresh entries served)");
+    rejected_counter_ = &registry->counter("ripki.serve.ratelimit_rejected");
+    registry->describe("ripki.serve.ratelimit_rejected",
+                       "Requests answered 429 by the token-bucket limiter");
+    generation_gauge_ = &registry->gauge("ripki.serve.snapshot_generation");
+    registry->describe("ripki.serve.snapshot_generation",
+                       "Generation number of the served snapshot");
+  }
+}
+
+QueryService::~QueryService() { stop(); }
+
+bool QueryService::start() { return server_.start(); }
+
+void QueryService::stop() { server_.stop(); }
+
+void QueryService::publish(std::shared_ptr<const Snapshot> snapshot) {
+  const std::uint64_t generation = snapshot ? snapshot->generation() : 0;
+  snapshot_.store(std::move(snapshot), std::memory_order_release);
+  // Entries rendered from the previous snapshot are stale the moment the
+  // swap lands; readers already past the cache keep their old snapshot
+  // reference and stay internally consistent.
+  cache_.clear();
+  if (generation_gauge_ != nullptr) {
+    generation_gauge_->set(static_cast<std::int64_t>(generation));
+  }
+}
+
+std::shared_ptr<const Snapshot> QueryService::snapshot() const {
+  return snapshot_.load(std::memory_order_acquire);
+}
+
+void QueryService::publish_metrics() {
+  // Counter handles are pre-resolved; set() mirrors the authoritative
+  // atomics kept by the cache/limiter (a few relaxed stores per request).
+  if (cache_hits_counter_ == nullptr) return;
+  cache_hits_counter_->set(cache_.hits());
+  cache_misses_counter_->set(cache_.misses());
+  cache_evictions_counter_->set(cache_.evictions());
+  rejected_counter_->set(limiter_.rejected());
+}
+
+HttpResponse QueryService::handle(const HttpRequest& request) {
+  const bool timed = options_.registry != nullptr;
+  const auto started = timed ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point{};
+  if (requests_counter_ != nullptr) requests_counter_->inc();
+
+  HttpResponse response;
+  const char* endpoint = "other";
+  if (request.method != "GET") {
+    response = error_response(405, "only GET is supported\n");
+  } else if (!limiter_.allow(request.client.empty() ? "local" : request.client,
+                             std::chrono::steady_clock::now())) {
+    response = error_response(429, "rate limit exceeded\n");
+    response.headers.push_back({"Retry-After", "1"});
+    endpoint = "rejected";
+  } else {
+    const std::shared_ptr<const Snapshot> snapshot =
+        snapshot_.load(std::memory_order_acquire);
+    response = route(request, snapshot, &endpoint);
+  }
+
+  if (timed) {
+    const auto elapsed = std::chrono::steady_clock::now() - started;
+    const double us =
+        std::chrono::duration<double, std::micro>(elapsed).count();
+    options_.registry
+        ->histogram(std::string("ripki.serve.latency.") + endpoint)
+        .observe(us);
+    publish_metrics();
+  }
+  return response;
+}
+
+HttpResponse QueryService::route(const HttpRequest& request,
+                                 const std::shared_ptr<const Snapshot>& snapshot,
+                                 const char** endpoint) {
+  const auto segments = util::split_path_segments(request.path);
+  if (!segments.has_value()) {
+    return error_response(400, "malformed percent-encoding in path\n");
+  }
+
+  if (segments->empty()) {
+    return HttpResponse{200, kText,
+                        "ripki query api\n\n"
+                        "/v1/domain/<name>\n"
+                        "/v1/ip/<addr>\n"
+                        "/v1/prefix/<prefix>/<asn>\n"
+                        "/v1/summary\n",
+                        {}};
+  }
+  if ((*segments)[0] != "v1") {
+    return error_response(404, "not found; GET / lists endpoints\n");
+  }
+  if (snapshot == nullptr) {
+    return error_response(503, "no snapshot published yet\n");
+  }
+
+  // Cache on the raw target: distinct encodings of one resource are
+  // distinct keys, which costs duplicate entries but never correctness.
+  const bool cacheable = request.method == "GET";
+  if (cacheable) {
+    if (auto cached = cache_.get(request.target,
+                                 std::chrono::steady_clock::now())) {
+      *endpoint = "cached";
+      return json_ok(std::move(*cached));
+    }
+  }
+
+  HttpResponse response;
+  const std::vector<std::string>& path = *segments;
+  if (path.size() == 3 && path[1] == "domain") {
+    *endpoint = "domain";
+    const core::DomainRecord* record = snapshot->find_domain(path[2]);
+    response = record == nullptr
+                   ? error_response(404, "unknown domain\n")
+                   : json_ok(Snapshot::render_domain_json(
+                         *record, snapshot->generation()));
+  } else if (path.size() == 3 && path[1] == "ip") {
+    *endpoint = "ip";
+    const auto address = net::IpAddress::parse(path[2]);
+    response = address.ok()
+                   ? json_ok(snapshot->ip_json(address.value()))
+                   : error_response(400, "unparseable IP address\n");
+  } else if ((path.size() == 4 || path.size() == 5) && path[1] == "prefix") {
+    *endpoint = "prefix";
+    // Either ["v1","prefix","10.0.0.0/16","65001"] (encoded slash) or
+    // ["v1","prefix","10.0.0.0","16","65001"] (plain slash).
+    const std::string prefix_text =
+        path.size() == 4 ? path[2] : path[2] + "/" + path[3];
+    const auto prefix = net::Prefix::parse(prefix_text);
+    net::Asn origin;
+    if (!prefix.ok() || !parse_asn(path.back(), origin)) {
+      response = error_response(400, "expected /v1/prefix/<prefix>/<asn>\n");
+    } else {
+      response = json_ok(snapshot->prefix_json(prefix.value(), origin));
+    }
+  } else if (path.size() == 2 && path[1] == "summary") {
+    *endpoint = "summary";
+    response = json_ok(snapshot->summary_json());
+  } else {
+    response = error_response(404, "not found; GET / lists endpoints\n");
+  }
+
+  if (cacheable && response.status == 200) {
+    cache_.put(request.target, response.body,
+               std::chrono::steady_clock::now());
+  }
+  return response;
+}
+
+}  // namespace ripki::serve

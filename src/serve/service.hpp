@@ -1,0 +1,111 @@
+// The production query service: the HTTP event-loop server wired to the
+// latest measurement Snapshot, fronted by a per-client token-bucket rate
+// limiter and a sharded TTL'd response cache.
+//
+// Request path (handle(), also callable socket-free from tests):
+//
+//   rate limiter -> response cache -> snapshot lookup -> cache fill
+//
+// Endpoints (all JSON):
+//   /v1/domain/<name>        per-domain coverage + prefix-AS validity
+//   /v1/ip/<addr>            covering prefixes, origin ASes, validity
+//   /v1/prefix/<p>/<asn>     RFC 6811 outcome for one pair; the prefix
+//                            may be one percent-encoded segment
+//                            ("10.0.0.0%2F16") or two plain segments
+//                            ("/v1/prefix/10.0.0.0/16/65001")
+//   /v1/summary              rank-bin aggregates of the current snapshot
+//
+// Snapshot publication is RCU-style: publish() atomically swaps a
+// shared_ptr and invalidates the cache; in-flight requests finish on the
+// snapshot they already hold.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/cache.hpp"
+#include "serve/http.hpp"
+#include "serve/ratelimit.hpp"
+#include "serve/server.hpp"
+#include "serve/snapshot.hpp"
+
+namespace ripki::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class Registry;
+}
+
+namespace ripki::exec {
+class ThreadPool;
+}
+
+namespace ripki::serve {
+
+struct QueryServiceOptions {
+  HttpServerOptions http;
+  ResponseCache::Options cache;
+  TokenBucketLimiter::Options rate_limit;
+  /// Optional handler fan-out: requests execute on this pool instead of
+  /// the event-loop thread (borrowed; stop() the service before the pool
+  /// dies).
+  exec::ThreadPool* pool = nullptr;
+  /// Optional metrics (borrowed): hit/evict/reject counters under
+  /// `ripki.serve.*` and per-endpoint latency histograms under
+  /// `ripki.serve.latency.<endpoint>`.
+  obs::Registry* registry = nullptr;
+};
+
+class QueryService {
+ public:
+  explicit QueryService(QueryServiceOptions options);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  bool start();
+  void stop();
+  bool running() const { return server_.running(); }
+  std::uint16_t port() const { return server_.port(); }
+
+  /// Swaps in a new snapshot (RCU) and invalidates the response cache.
+  void publish(std::shared_ptr<const Snapshot> snapshot);
+  /// The currently served snapshot (nullptr before the first publish).
+  std::shared_ptr<const Snapshot> snapshot() const;
+
+  /// Full request path minus the sockets — public so tests and the
+  /// telemetry /runz summary can exercise routing, limits, and caching
+  /// without a connection.
+  HttpResponse handle(const HttpRequest& request);
+
+  const ResponseCache& cache() const { return cache_; }
+  const TokenBucketLimiter& limiter() const { return limiter_; }
+  const HttpServer& server() const { return server_; }
+  std::uint64_t requests_served() const { return server_.requests_served(); }
+
+ private:
+  HttpResponse route(const HttpRequest& request,
+                     const std::shared_ptr<const Snapshot>& snapshot,
+                     const char** endpoint);
+  void publish_metrics();
+
+  QueryServiceOptions options_;
+  HttpServer server_;
+  ResponseCache cache_;
+  TokenBucketLimiter limiter_;
+  std::atomic<std::shared_ptr<const Snapshot>> snapshot_;
+
+  // Pre-resolved metric handles (null when no registry).
+  obs::Counter* requests_counter_ = nullptr;
+  obs::Counter* cache_hits_counter_ = nullptr;
+  obs::Counter* cache_misses_counter_ = nullptr;
+  obs::Counter* cache_evictions_counter_ = nullptr;
+  obs::Counter* rejected_counter_ = nullptr;
+  obs::Gauge* generation_gauge_ = nullptr;
+};
+
+}  // namespace ripki::serve

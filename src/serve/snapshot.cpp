@@ -1,0 +1,242 @@
+#include "serve/snapshot.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "core/reports.hpp"
+
+namespace ripki::serve {
+
+namespace {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Fixed-precision fraction — one formatting for service, tests, and the
+/// load-generator oracle, so byte comparison is meaningful.
+std::string json_fraction(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", value);
+  return buf;
+}
+
+void append_pairs_json(std::string& out,
+                       const std::vector<core::PrefixAsPair>& pairs) {
+  out += '[';
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "{\"prefix\":\"";
+    out += pairs[i].prefix.to_string();
+    out += "\",\"origin\":";
+    out += std::to_string(pairs[i].origin.value());
+    out += ",\"validity\":\"";
+    out += rpki::to_string(pairs[i].validity);
+    out += "\"}";
+  }
+  out += ']';
+}
+
+void append_variant_json(std::string& out, const char* label,
+                         const core::VariantResult& variant) {
+  out += '"';
+  out += label;
+  out += "\":{\"resolved\":";
+  out += variant.resolved ? "true" : "false";
+  out += ",\"addresses\":";
+  out += std::to_string(variant.address_count);
+  out += ",\"cname_hops\":";
+  out += std::to_string(variant.cname_hops);
+  out += ",\"coverage\":";
+  out += json_fraction(variant.coverage());
+  out += ",\"valid\":";
+  out += json_fraction(variant.fraction(rpki::OriginValidity::kValid));
+  out += ",\"invalid\":";
+  out += json_fraction(variant.fraction(rpki::OriginValidity::kInvalid));
+  out += ",\"pairs\":";
+  append_pairs_json(out, variant.pairs);
+  out += '}';
+}
+
+}  // namespace
+
+std::shared_ptr<const Snapshot> Snapshot::build(const core::Dataset& dataset,
+                                                const bgp::Rib& rib,
+                                                const rpki::VrpSet& vrps,
+                                                std::uint64_t generation) {
+  auto snapshot = std::shared_ptr<Snapshot>(new Snapshot());
+  snapshot->generation_ = generation;
+  snapshot->rank_space_ = dataset.rank_space;
+  snapshot->records_ = dataset.records;
+
+  snapshot->by_name_.resize(snapshot->records_.size());
+  for (std::uint32_t i = 0; i < snapshot->by_name_.size(); ++i) {
+    snapshot->by_name_[i] = i;
+  }
+  std::sort(snapshot->by_name_.begin(), snapshot->by_name_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return snapshot->records_[a].name < snapshot->records_[b].name;
+            });
+
+  // Re-index the RIB as prefix -> sorted distinct origins. AS_SET
+  // terminated paths carry no usable origin (RFC 6472) and are skipped,
+  // exactly as the measurement's step 3 does.
+  rib.visit([&](const net::Prefix& prefix,
+                const std::vector<bgp::RibEntry>& entries) {
+    std::set<net::Asn> origins;
+    for (const auto& entry : entries) {
+      if (const auto origin = entry.origin()) origins.insert(*origin);
+    }
+    snapshot->routes_.insert(
+        prefix, std::vector<net::Asn>(origins.begin(), origins.end()));
+  });
+
+  snapshot->vrps_ = rpki::VrpIndex(vrps);
+
+  // /v1/summary is identical for every request against one snapshot, so
+  // render it once here.
+  const auto bins = core::reports::figure4_rpki_by_rank(dataset);
+  const auto summary = core::reports::figure4_summary(dataset);
+  std::string& out = snapshot->summary_json_;
+  out += "{\"generation\":";
+  out += std::to_string(generation);
+  out += ",\"domains\":";
+  out += std::to_string(dataset.records.size());
+  out += ",\"rank_space\":";
+  out += std::to_string(dataset.rank_space);
+  out += ",\"vrps\":";
+  out += std::to_string(snapshot->vrps_.size());
+  out += ",\"mean_coverage\":";
+  out += json_fraction(summary.mean_coverage);
+  out += ",\"top_100k_coverage\":";
+  out += json_fraction(summary.top_100k_coverage);
+  out += ",\"mean_invalid\":";
+  out += json_fraction(summary.mean_invalid);
+  out += ",\"bins\":[";
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "{\"rank_lo\":";
+    out += std::to_string(bins[i].rank_lo);
+    out += ",\"rank_hi\":";
+    out += std::to_string(bins[i].rank_hi);
+    out += ",\"domains\":";
+    out += std::to_string(bins[i].domains);
+    out += ",\"covered\":";
+    out += json_fraction(bins[i].covered);
+    out += ",\"valid\":";
+    out += json_fraction(bins[i].valid);
+    out += ",\"invalid\":";
+    out += json_fraction(bins[i].invalid);
+    out += ",\"not_found\":";
+    out += json_fraction(bins[i].not_found);
+    out += '}';
+  }
+  out += "]}";
+
+  return snapshot;
+}
+
+const core::DomainRecord* Snapshot::find_domain(std::string_view name) const {
+  const auto it = std::lower_bound(
+      by_name_.begin(), by_name_.end(), name,
+      [&](std::uint32_t index, std::string_view target) {
+        return std::string_view(records_[index].name) < target;
+      });
+  if (it == by_name_.end() || records_[*it].name != name) return nullptr;
+  return &records_[*it];
+}
+
+std::string Snapshot::render_domain_json(const core::DomainRecord& record,
+                                         std::uint64_t generation) {
+  std::string out;
+  out.reserve(512);
+  out += "{\"generation\":";
+  out += std::to_string(generation);
+  out += ",\"name\":\"";
+  out += json_escape(record.name);
+  out += "\",\"rank\":";
+  out += std::to_string(record.rank);
+  out += ",\"excluded_dns\":";
+  out += record.excluded_dns ? "true" : "false";
+  out += ",\"dnssec_signed\":";
+  out += record.dnssec_signed ? "true" : "false";
+  out += ',';
+  append_variant_json(out, "www", record.www);
+  out += ',';
+  append_variant_json(out, "apex", record.apex);
+  out += '}';
+  return out;
+}
+
+std::string Snapshot::ip_json(const net::IpAddress& address) const {
+  const auto covering = routes_.covering(address);
+  std::string out;
+  out.reserve(256);
+  out += "{\"generation\":";
+  out += std::to_string(generation_);
+  out += ",\"address\":\"";
+  out += address.to_string();
+  out += "\",\"routed\":";
+  out += covering.empty() ? "false" : "true";
+  out += ",\"prefixes\":[";
+  for (std::size_t i = 0; i < covering.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "{\"prefix\":\"";
+    out += covering[i].prefix.to_string();
+    out += "\",\"origins\":[";
+    const std::vector<net::Asn>& origins = *covering[i].value;
+    for (std::size_t j = 0; j < origins.size(); ++j) {
+      if (j != 0) out += ',';
+      out += "{\"asn\":";
+      out += std::to_string(origins[j].value());
+      out += ",\"validity\":\"";
+      out += rpki::to_string(vrps_.validate(covering[i].prefix, origins[j]));
+      out += "\"}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Snapshot::prefix_json(const net::Prefix& prefix,
+                                  net::Asn origin) const {
+  const auto validity = vrps_.validate(prefix, origin);
+  std::string out;
+  out.reserve(128);
+  out += "{\"generation\":";
+  out += std::to_string(generation_);
+  out += ",\"prefix\":\"";
+  out += prefix.to_string();
+  out += "\",\"origin\":";
+  out += std::to_string(origin.value());
+  out += ",\"validity\":\"";
+  out += rpki::to_string(validity);
+  out += "\",\"covered\":";
+  out += vrps_.covered(prefix) ? "true" : "false";
+  out += '}';
+  return out;
+}
+
+}  // namespace ripki::serve

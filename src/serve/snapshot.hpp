@@ -1,0 +1,90 @@
+// Immutable query-serving view of one pipeline run.
+//
+// A Snapshot owns everything a lookup needs — a copy of the per-domain
+// dataset sorted for binary search, a prefix trie of announced routes
+// rebuilt from the RIB, and a VRP index rebuilt from the validated VRP
+// set — so it stays valid after the pipeline that produced it is gone.
+// The service publishes each run's snapshot behind a shared_ptr that is
+// swapped atomically (RCU-style): readers grab a reference once per
+// request and keep a consistent view for its whole lifetime; the old
+// snapshot is freed when the last in-flight reader drops it.
+//
+// All JSON rendering lives here as deterministic pure functions of the
+// snapshot contents, so tests and the load-generator oracle can compute
+// the exact expected bytes from a core::Dataset directly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bgp/rib.hpp"
+#include "core/dataset.hpp"
+#include "net/asn.hpp"
+#include "net/ip.hpp"
+#include "net/prefix.hpp"
+#include "rpki/origin_validation.hpp"
+#include "rpki/vrp.hpp"
+#include "trie/prefix_trie.hpp"
+
+namespace ripki::serve {
+
+class Snapshot {
+ public:
+  /// Builds the immutable view: copies `dataset.records`, re-indexes the
+  /// RIB's (prefix -> origin ASes) mapping, and rebuilds a VrpIndex from
+  /// `vrps`. `generation` stamps every response from this snapshot.
+  static std::shared_ptr<const Snapshot> build(const core::Dataset& dataset,
+                                               const bgp::Rib& rib,
+                                               const rpki::VrpSet& vrps,
+                                               std::uint64_t generation);
+
+  std::uint64_t generation() const { return generation_; }
+  std::size_t domain_count() const { return records_.size(); }
+
+  /// O(log n) lookup by apex name; nullptr when absent.
+  const core::DomainRecord* find_domain(std::string_view name) const;
+
+  // --- JSON renderers (deterministic; the oracle contract) ---------------
+
+  /// Rendering for /v1/domain/<name> given a record — public and static
+  /// so tests can compute the expected body straight from the dataset.
+  static std::string render_domain_json(const core::DomainRecord& record,
+                                        std::uint64_t generation);
+
+  /// /v1/ip/<addr>: every covering announced prefix with its origin ASes
+  /// and their RFC 6811 outcome against this snapshot's VRPs.
+  std::string ip_json(const net::IpAddress& address) const;
+
+  /// /v1/prefix/<p>/<asn>: the RFC 6811 outcome for one pair.
+  std::string prefix_json(const net::Prefix& prefix, net::Asn origin) const;
+
+  /// /v1/summary: rank-bin aggregates, prebuilt at snapshot construction.
+  const std::string& summary_json() const { return summary_json_; }
+
+  /// RFC 6811 validation against this snapshot's VRP index (the oracle
+  /// tests compare service answers against).
+  rpki::OriginValidity validate(const net::Prefix& prefix,
+                                net::Asn origin) const {
+    return vrps_.validate(prefix, origin);
+  }
+  std::size_t vrp_count() const { return vrps_.size(); }
+
+ private:
+  Snapshot() = default;
+
+  std::uint64_t generation_ = 0;
+  std::uint64_t rank_space_ = 0;
+  std::vector<core::DomainRecord> records_;
+  /// Indices into records_, sorted by name for binary search.
+  std::vector<std::uint32_t> by_name_;
+  /// Announced routes: origin ASes per prefix (AS_SET-terminated paths
+  /// excluded, mirroring methodology step 3).
+  trie::PrefixTrie<std::vector<net::Asn>> routes_;
+  rpki::VrpIndex vrps_;
+  std::string summary_json_;
+};
+
+}  // namespace ripki::serve

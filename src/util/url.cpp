@@ -1,0 +1,57 @@
+#include "util/url.hpp"
+
+namespace ripki::util {
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+UrlTarget split_target(std::string_view target) {
+  const auto question = target.find('?');
+  if (question == std::string_view::npos) return {target, {}};
+  return {target.substr(0, question), target.substr(question + 1)};
+}
+
+std::optional<std::string> percent_decode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '%') {
+      out.push_back(text[i]);
+      continue;
+    }
+    if (i + 2 >= text.size()) return std::nullopt;
+    const int hi = hex_digit(text[i + 1]);
+    const int lo = hex_digit(text[i + 2]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<char>(hi * 16 + lo));
+    i += 2;
+  }
+  return out;
+}
+
+std::optional<std::vector<std::string>> split_path_segments(
+    std::string_view path) {
+  std::vector<std::string> segments;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      if (i > start) {
+        auto decoded = percent_decode(path.substr(start, i - start));
+        if (!decoded.has_value()) return std::nullopt;
+        segments.push_back(std::move(*decoded));
+      }
+      start = i + 1;
+    }
+  }
+  return segments;
+}
+
+}  // namespace ripki::util

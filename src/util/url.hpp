@@ -1,0 +1,36 @@
+// URL target handling shared by every embedded HTTP surface (the
+// telemetry server and the serve query API): request-target splitting
+// into path and query, RFC 3986 percent-decoding, and path segmentation.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ripki::util {
+
+/// An HTTP request target split at the first '?'. Both pieces view into
+/// the original target string; the query excludes the '?'.
+struct UrlTarget {
+  std::string_view path;
+  std::string_view query;  // empty when no '?' present
+};
+
+/// Splits "/v1/domain/x?verbose=1" into {"/v1/domain/x", "verbose=1"}.
+/// A target without '?' yields an empty query; an empty target yields
+/// {"", ""}.
+UrlTarget split_target(std::string_view target);
+
+/// Percent-decodes `text` ("%2F" -> "/", '+' left untouched — these are
+/// paths, not form bodies). Returns nullopt on a malformed escape (bare
+/// '%', non-hex digits).
+std::optional<std::string> percent_decode(std::string_view text);
+
+/// Splits a path on '/' and percent-decodes each segment, dropping empty
+/// segments ("/v1//domain/" -> {"v1", "domain"}). Returns nullopt when
+/// any segment fails to decode.
+std::optional<std::vector<std::string>> split_path_segments(
+    std::string_view path);
+
+}  // namespace ripki::util

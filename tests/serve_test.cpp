@@ -1,0 +1,633 @@
+// The serving layer end to end: the HTTP/1.1 wire core (parser +
+// serializer), the event-loop server over real sockets (keep-alive,
+// pipelining), the response cache and token-bucket limiter as pure
+// logic, and the query service against a real pipeline run — including
+// byte-matching lookup answers against values computed directly from the
+// core::Dataset, and snapshot swaps racing in-flight reads.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "serve/cache.hpp"
+#include "serve/http.hpp"
+#include "serve/ratelimit.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "serve/snapshot.hpp"
+#include "web/ecosystem.hpp"
+
+namespace ripki::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+// --- wire core: request parser ----------------------------------------------
+
+TEST(HttpParser, ParsesSimpleGet) {
+  RequestParser parser;
+  ASSERT_TRUE(parser.feed("GET /v1/summary?pretty=1 HTTP/1.1\r\n"
+                          "Host: localhost\r\n\r\n"));
+  auto request = parser.next();
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->method, "GET");
+  EXPECT_EQ(request->target, "/v1/summary?pretty=1");
+  EXPECT_EQ(request->path, "/v1/summary");
+  EXPECT_EQ(request->query, "pretty=1");
+  EXPECT_TRUE(request->keep_alive);  // 1.1 default
+  EXPECT_FALSE(parser.next().has_value());
+}
+
+TEST(HttpParser, IncrementalBytesAssembleOneRequest) {
+  RequestParser parser;
+  const std::string raw = "GET / HTTP/1.1\r\nHost: x\r\n\r\n";
+  for (char c : raw) {
+    ASSERT_TRUE(parser.feed(std::string_view(&c, 1)));
+  }
+  ASSERT_TRUE(parser.next().has_value());
+}
+
+TEST(HttpParser, PipelinedRequestsPopInOrder) {
+  RequestParser parser;
+  ASSERT_TRUE(parser.feed("GET /first HTTP/1.1\r\n\r\n"
+                          "GET /second HTTP/1.1\r\n\r\n"
+                          "GET /third HTTP/1.1\r\n\r\n"));
+  EXPECT_EQ(parser.next()->path, "/first");
+  EXPECT_EQ(parser.next()->path, "/second");
+  EXPECT_EQ(parser.next()->path, "/third");
+  EXPECT_FALSE(parser.next().has_value());
+}
+
+TEST(HttpParser, KeepAliveDefaultsFollowVersion) {
+  RequestParser parser;
+  ASSERT_TRUE(parser.feed("GET / HTTP/1.0\r\n\r\n"));
+  EXPECT_FALSE(parser.next()->keep_alive);
+
+  ASSERT_TRUE(parser.feed("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"));
+  EXPECT_TRUE(parser.next()->keep_alive);
+
+  ASSERT_TRUE(parser.feed("GET / HTTP/1.1\r\nConnection: close\r\n\r\n"));
+  EXPECT_FALSE(parser.next()->keep_alive);
+}
+
+TEST(HttpParser, ContentLengthBodyIsConsumedNotDesynced) {
+  RequestParser parser;
+  ASSERT_TRUE(parser.feed("POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\n"
+                          "hello"
+                          "GET /after HTTP/1.1\r\n\r\n"));
+  EXPECT_EQ(parser.next()->method, "POST");
+  auto after = parser.next();
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->path, "/after");
+}
+
+TEST(HttpParser, RejectsChunkedAndBadVersions) {
+  RequestParser chunked;
+  EXPECT_FALSE(chunked.feed(
+      "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"));
+  EXPECT_TRUE(chunked.failed());
+
+  RequestParser version;
+  EXPECT_FALSE(version.feed("GET / HTTP/2.0\r\n\r\n"));
+
+  RequestParser garbage;
+  EXPECT_FALSE(garbage.feed("not an http request\r\n\r\n"));
+}
+
+TEST(HttpParser, OversizedHeadFails) {
+  RequestParser parser(RequestParser::Limits{.max_head_bytes = 64,
+                                             .max_body_bytes = 64});
+  std::string head = "GET / HTTP/1.1\r\nX-Pad: ";
+  head.append(200, 'a');
+  EXPECT_FALSE(parser.feed(head));
+  EXPECT_TRUE(parser.failed());
+}
+
+TEST(HttpParser, SerializeResponseCarriesLengthAndConnection) {
+  const std::string keep =
+      serialize_response(HttpResponse{200, "application/json", "{}", {}}, true);
+  EXPECT_NE(keep.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(keep.find("Content-Length: 2\r\n"), std::string::npos);
+  EXPECT_NE(keep.find("Connection: keep-alive\r\n"), std::string::npos);
+
+  const std::string close = serialize_response(
+      HttpResponse{429, "text/plain", "no", {{"Retry-After", "1"}}}, false);
+  EXPECT_NE(close.find("429 Too Many Requests"), std::string::npos);
+  EXPECT_NE(close.find("Retry-After: 1\r\n"), std::string::npos);
+  EXPECT_NE(close.find("Connection: close\r\n"), std::string::npos);
+}
+
+// --- response cache (pure logic, injected clock) ----------------------------
+
+ResponseCache::Clock::time_point t0() { return ResponseCache::Clock::time_point{}; }
+
+TEST(ResponseCache, HitThenTtlExpiry) {
+  ResponseCache cache({.capacity = 8, .shards = 1, .ttl = 100ms});
+  cache.put("/a", "alpha", t0());
+  EXPECT_EQ(cache.get("/a", t0() + 99ms).value_or(""), "alpha");
+  EXPECT_FALSE(cache.get("/a", t0() + 101ms).has_value());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.expired(), 1u);
+  EXPECT_EQ(cache.size(), 0u);  // expired entry removed on the way out
+}
+
+TEST(ResponseCache, EvictsLeastRecentlyUsed) {
+  ResponseCache cache({.capacity = 3, .shards = 1, .ttl = 10'000ms});
+  cache.put("/a", "a", t0());
+  cache.put("/b", "b", t0());
+  cache.put("/c", "c", t0());
+  // Touch /a so /b becomes the LRU entry, then overflow the shard.
+  EXPECT_TRUE(cache.get("/a", t0() + 1ms).has_value());
+  cache.put("/d", "d", t0() + 2ms);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.get("/b", t0() + 3ms).has_value());
+  EXPECT_TRUE(cache.get("/a", t0() + 3ms).has_value());
+  EXPECT_TRUE(cache.get("/c", t0() + 3ms).has_value());
+  EXPECT_TRUE(cache.get("/d", t0() + 3ms).has_value());
+}
+
+TEST(ResponseCache, ShardsEvictIndependently) {
+  ResponseCache cache({.capacity = 8, .shards = 4, .ttl = 10'000ms});
+  ASSERT_EQ(cache.capacity_per_shard(), 2u);
+
+  // Collect keys per shard, then overflow exactly one shard.
+  std::vector<std::string> same_shard, other_shard;
+  const std::uint32_t target = cache.shard_of("/seed");
+  for (int i = 0; i < 64 && (same_shard.size() < 3 || other_shard.empty());
+       ++i) {
+    std::string key = "/key" + std::to_string(i);
+    (cache.shard_of(key) == target ? same_shard : other_shard)
+        .push_back(std::move(key));
+  }
+  ASSERT_GE(same_shard.size(), 3u);
+  ASSERT_GE(other_shard.size(), 1u);
+
+  cache.put(other_shard[0], "safe", t0());
+  for (const auto& key : same_shard) cache.put(key, "x", t0());
+  // The target shard evicted (3 inserts, capacity 2); the other did not.
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.get(other_shard[0], t0() + 1ms).has_value());
+}
+
+TEST(ResponseCache, ClearDropsEverything) {
+  ResponseCache cache({.capacity = 8, .shards = 2, .ttl = 10'000ms});
+  cache.put("/a", "a", t0());
+  cache.put("/b", "b", t0());
+  EXPECT_EQ(cache.size(), 2u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get("/a", t0()).has_value());
+}
+
+// --- token bucket (pure logic, injected clock) -------------------------------
+
+TokenBucketLimiter::Clock::time_point l0() {
+  return TokenBucketLimiter::Clock::time_point{};
+}
+
+TEST(TokenBucket, BurstCapThenReject) {
+  TokenBucketLimiter limiter({.tokens_per_sec = 1.0, .burst = 3.0});
+  EXPECT_TRUE(limiter.allow("10.0.0.1", l0()));
+  EXPECT_TRUE(limiter.allow("10.0.0.1", l0()));
+  EXPECT_TRUE(limiter.allow("10.0.0.1", l0()));
+  EXPECT_FALSE(limiter.allow("10.0.0.1", l0()));
+  EXPECT_EQ(limiter.allowed(), 3u);
+  EXPECT_EQ(limiter.rejected(), 1u);
+}
+
+TEST(TokenBucket, RefillsContinuouslyAtConfiguredRate) {
+  TokenBucketLimiter limiter({.tokens_per_sec = 2.0, .burst = 2.0});
+  EXPECT_TRUE(limiter.allow("c", l0()));
+  EXPECT_TRUE(limiter.allow("c", l0()));
+  EXPECT_FALSE(limiter.allow("c", l0()));
+  // 2 tokens/s: 499ms is just short of one token, 500ms lands it.
+  EXPECT_FALSE(limiter.allow("c", l0() + 499ms));
+  EXPECT_TRUE(limiter.allow("c", l0() + 500ms + 1ms));
+  EXPECT_FALSE(limiter.allow("c", l0() + 500ms + 2ms));
+  // Refill never exceeds burst: a long quiet period buys exactly `burst`.
+  EXPECT_NEAR(limiter.tokens("c", l0() + 1'000'000ms), 2.0, 1e-9);
+}
+
+TEST(TokenBucket, ClientsAreIsolated) {
+  TokenBucketLimiter limiter({.tokens_per_sec = 1.0, .burst = 1.0});
+  EXPECT_TRUE(limiter.allow("a", l0()));
+  EXPECT_FALSE(limiter.allow("a", l0()));
+  EXPECT_TRUE(limiter.allow("b", l0()));  // a's exhaustion never touches b
+  EXPECT_EQ(limiter.client_count(), 2u);
+}
+
+TEST(TokenBucket, ZeroRateDisablesLimiting) {
+  TokenBucketLimiter limiter({});
+  EXPECT_FALSE(limiter.enabled());
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(limiter.allow("a", l0()));
+  EXPECT_EQ(limiter.client_count(), 0u);  // no state touched
+}
+
+// --- socket helpers ----------------------------------------------------------
+
+int connect_to(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads exactly one HTTP response off a (possibly keep-alive) stream,
+/// honouring Content-Length. `carry` holds bytes already read past the
+/// previous response.
+std::string recv_response(int fd, std::string& carry) {
+  auto complete = [](const std::string& data, std::size_t& total) {
+    const auto head_end = data.find("\r\n\r\n");
+    if (head_end == std::string::npos) return false;
+    std::size_t length = 0;
+    const auto pos = data.find("Content-Length: ");
+    if (pos != std::string::npos && pos < head_end) {
+      length = std::strtoul(data.c_str() + pos + 16, nullptr, 10);
+    }
+    total = head_end + 4 + length;
+    return data.size() >= total;
+  };
+
+  std::size_t total = 0;
+  char buf[4096];
+  while (!complete(carry, total)) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) return {};
+    carry.append(buf, static_cast<std::size_t>(n));
+  }
+  std::string response = carry.substr(0, total);
+  carry.erase(0, total);
+  return response;
+}
+
+std::string body_of(const std::string& response) {
+  const auto pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? std::string() : response.substr(pos + 4);
+}
+
+// --- event-loop server over real sockets -------------------------------------
+
+TEST(HttpServer, KeepAliveServesSequentialRequestsOnOneConnection) {
+  HttpServer server(HttpServerOptions{});
+  server.set_handler([](const HttpRequest& request) {
+    return HttpResponse{200, "text/plain", "echo:" + request.path, {}};
+  });
+  ASSERT_TRUE(server.start());
+
+  const int fd = connect_to(server.port());
+  ASSERT_GE(fd, 0);
+  std::string carry;
+  for (int i = 0; i < 3; ++i) {
+    const std::string path = "/req" + std::to_string(i);
+    send_all(fd, "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n");
+    const std::string response = recv_response(fd, carry);
+    EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(response.find("Connection: keep-alive"), std::string::npos);
+    EXPECT_EQ(body_of(response), "echo:" + path);
+  }
+  ::close(fd);
+  server.stop();
+  EXPECT_EQ(server.requests_served(), 3u);
+}
+
+TEST(HttpServer, PipelinedRequestsAnswerInOrder) {
+  HttpServer server(HttpServerOptions{});
+  server.set_handler([](const HttpRequest& request) {
+    return HttpResponse{200, "text/plain", "echo:" + request.path, {}};
+  });
+  ASSERT_TRUE(server.start());
+
+  const int fd = connect_to(server.port());
+  ASSERT_GE(fd, 0);
+  // All three requests in one write; responses must come back in order.
+  send_all(fd,
+           "GET /a HTTP/1.1\r\n\r\n"
+           "GET /b HTTP/1.1\r\n\r\n"
+           "GET /c HTTP/1.1\r\nConnection: close\r\n\r\n");
+  std::string carry;
+  EXPECT_EQ(body_of(recv_response(fd, carry)), "echo:/a");
+  EXPECT_EQ(body_of(recv_response(fd, carry)), "echo:/b");
+  const std::string last = recv_response(fd, carry);
+  EXPECT_EQ(body_of(last), "echo:/c");
+  EXPECT_NE(last.find("Connection: close"), std::string::npos);
+  ::close(fd);
+  server.stop();
+}
+
+TEST(HttpServer, MalformedRequestGets400AndClose) {
+  HttpServer server(HttpServerOptions{});
+  server.set_handler([](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "ok", {}};
+  });
+  ASSERT_TRUE(server.start());
+
+  const int fd = connect_to(server.port());
+  ASSERT_GE(fd, 0);
+  send_all(fd, "BOGUS\r\n\r\n");
+  std::string carry;
+  const std::string response = recv_response(fd, carry);
+  EXPECT_NE(response.find("400 Bad Request"), std::string::npos);
+  ::close(fd);
+  server.stop();
+  EXPECT_EQ(server.stats().parse_errors, 1u);
+}
+
+TEST(HttpServer, ExecutorFanOutStillOrdersResponses) {
+  exec::ThreadPool pool(2);
+  HttpServer server(HttpServerOptions{});
+  server.set_handler([](const HttpRequest& request) {
+    if (request.path == "/slow") {
+      std::this_thread::sleep_for(20ms);
+    }
+    return HttpResponse{200, "text/plain", "echo:" + request.path, {}};
+  });
+  server.set_executor(
+      [&pool](std::function<void()> task) { pool.submit(std::move(task)); });
+  ASSERT_TRUE(server.start());
+
+  const int fd = connect_to(server.port());
+  ASSERT_GE(fd, 0);
+  send_all(fd, "GET /slow HTTP/1.1\r\n\r\nGET /fast HTTP/1.1\r\n\r\n");
+  std::string carry;
+  // Even with /slow parked on a worker, /fast must not overtake it.
+  EXPECT_EQ(body_of(recv_response(fd, carry)), "echo:/slow");
+  EXPECT_EQ(body_of(recv_response(fd, carry)), "echo:/fast");
+  ::close(fd);
+  server.stop();
+}
+
+// --- query service against a real pipeline run -------------------------------
+
+web::EcosystemConfig small_config() {
+  web::EcosystemConfig config;
+  config.domain_count = 2'000;
+  config.isp_count = 150;
+  config.hoster_count = 60;
+  config.enterprise_count = 200;
+  config.transit_count = 30;
+  return config;
+}
+
+/// One pipeline run shared by every service test (the expensive part).
+class ServeServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eco_ = web::Ecosystem::generate(small_config()).release();
+    pipeline_ = new core::MeasurementPipeline(*eco_, core::PipelineConfig{});
+    dataset_ = new core::Dataset(pipeline_->run());
+    snapshot_ = Snapshot::build(*dataset_, pipeline_->rib(),
+                                pipeline_->validation_report().vrps,
+                                /*generation=*/1);
+  }
+  static void TearDownTestSuite() {
+    snapshot_.reset();
+    delete dataset_;
+    delete pipeline_;
+    delete eco_;
+    dataset_ = nullptr;
+    pipeline_ = nullptr;
+    eco_ = nullptr;
+  }
+
+  static HttpRequest get(std::string target) {
+    HttpRequest request;
+    request.method = "GET";
+    request.target = target;
+    const auto q = target.find('?');
+    request.path = q == std::string::npos ? target : target.substr(0, q);
+    request.client = "127.0.0.1";
+    return request;
+  }
+
+  static web::Ecosystem* eco_;
+  static core::MeasurementPipeline* pipeline_;
+  static core::Dataset* dataset_;
+  static std::shared_ptr<const Snapshot> snapshot_;
+};
+
+web::Ecosystem* ServeServiceTest::eco_ = nullptr;
+core::MeasurementPipeline* ServeServiceTest::pipeline_ = nullptr;
+core::Dataset* ServeServiceTest::dataset_ = nullptr;
+std::shared_ptr<const Snapshot> ServeServiceTest::snapshot_;
+
+TEST_F(ServeServiceTest, DomainLookupByteMatchesDatasetRendering) {
+  QueryService service(QueryServiceOptions{});
+  service.publish(snapshot_);
+
+  // Every 97th record: the service answer must byte-match the rendering
+  // computed directly from the dataset record.
+  for (std::size_t i = 0; i < dataset_->records.size(); i += 97) {
+    const core::DomainRecord& record = dataset_->records[i];
+    const HttpResponse response = service.handle(get("/v1/domain/" + record.name));
+    ASSERT_EQ(response.status, 200) << record.name;
+    EXPECT_EQ(response.body, Snapshot::render_domain_json(record, 1));
+  }
+}
+
+TEST_F(ServeServiceTest, PrefixOutcomeMatchesValidatorOracle) {
+  QueryService service(QueryServiceOptions{});
+  service.publish(snapshot_);
+
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < dataset_->records.size() && checked < 50; i += 41) {
+    for (const core::PrefixAsPair& pair : dataset_->records[i].primary().pairs) {
+      const std::string target = "/v1/prefix/" + pair.prefix.to_string() + "/" +
+                                 std::to_string(pair.origin.value());
+      const HttpResponse response = service.handle(get(target));
+      ASSERT_EQ(response.status, 200) << target;
+      const rpki::OriginValidity expected =
+          snapshot_->validate(pair.prefix, pair.origin);
+      EXPECT_NE(response.body.find("\"validity\":\"" + std::string(to_string(expected)) + "\""),
+                std::string::npos)
+          << target << " body: " << response.body;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_F(ServeServiceTest, ErrorPaths404And400And503) {
+  QueryService service(QueryServiceOptions{});
+
+  // Before any snapshot: 503.
+  EXPECT_EQ(service.handle(get("/v1/summary")).status, 503);
+
+  service.publish(snapshot_);
+  EXPECT_EQ(service.handle(get("/v1/domain/no-such-domain.example")).status, 404);
+  EXPECT_EQ(service.handle(get("/v1/nothing-here")).status, 404);
+  EXPECT_EQ(service.handle(get("/v1/ip/not-an-address")).status, 400);
+  EXPECT_EQ(service.handle(get("/v1/domain/bad%zzescape")).status, 400);
+  EXPECT_EQ(service.handle(get("/v1/prefix/10.0.0.0/notanasn")).status, 400);
+
+  HttpRequest post = get("/v1/summary");
+  post.method = "POST";
+  EXPECT_EQ(service.handle(post).status, 405);
+}
+
+TEST_F(ServeServiceTest, PercentEncodedPrefixSegmentWorks) {
+  QueryService service(QueryServiceOptions{});
+  service.publish(snapshot_);
+  // "10.0.0.0%2F16" decodes to one "10.0.0.0/16" segment; both spellings
+  // must answer, and identically apart from being distinct cache keys.
+  const HttpResponse encoded = service.handle(get("/v1/prefix/10.0.0.0%2F16/65001"));
+  const HttpResponse plain = service.handle(get("/v1/prefix/10.0.0.0/16/65001"));
+  ASSERT_EQ(encoded.status, 200);
+  ASSERT_EQ(plain.status, 200);
+  EXPECT_EQ(encoded.body, plain.body);
+}
+
+TEST_F(ServeServiceTest, CacheServesSecondLookupAndInvalidatesOnPublish) {
+  QueryService service(QueryServiceOptions{});
+  service.publish(snapshot_);
+
+  const std::string target = "/v1/domain/" + dataset_->records[0].name;
+  const HttpResponse first = service.handle(get(target));
+  ASSERT_EQ(first.status, 200);
+  EXPECT_EQ(service.cache().hits(), 0u);
+  const HttpResponse second = service.handle(get(target));
+  EXPECT_EQ(second.body, first.body);
+  EXPECT_EQ(service.cache().hits(), 1u);
+
+  // Publishing drops the cache so no stale generation can be served.
+  service.publish(Snapshot::build(*dataset_, pipeline_->rib(),
+                                  pipeline_->validation_report().vrps,
+                                  /*generation=*/2));
+  const HttpResponse fresh = service.handle(get(target));
+  EXPECT_EQ(service.cache().hits(), 1u);
+  EXPECT_NE(fresh.body.find("\"generation\":2"), std::string::npos);
+}
+
+TEST_F(ServeServiceTest, RateLimiterAnswers429WithRetryAfter) {
+  QueryServiceOptions options;
+  options.rate_limit.tokens_per_sec = 1.0;
+  options.rate_limit.burst = 2.0;
+  QueryService service(options);
+  service.publish(snapshot_);
+
+  EXPECT_EQ(service.handle(get("/v1/summary")).status, 200);
+  EXPECT_EQ(service.handle(get("/v1/summary")).status, 200);
+  const HttpResponse limited = service.handle(get("/v1/summary"));
+  EXPECT_EQ(limited.status, 429);
+  ASSERT_FALSE(limited.headers.empty());
+  EXPECT_EQ(limited.headers[0].first, "Retry-After");
+
+  // A different client is not affected by the exhausted bucket.
+  HttpRequest other = get("/v1/summary");
+  other.client = "192.0.2.9";
+  EXPECT_EQ(service.handle(other).status, 200);
+  EXPECT_EQ(service.limiter().rejected(), 1u);
+}
+
+TEST_F(ServeServiceTest, MetricsLandInRegistry) {
+  obs::Registry registry;
+  QueryServiceOptions options;
+  options.registry = &registry;
+  QueryService service(options);
+  service.publish(snapshot_);
+
+  const std::string target = "/v1/domain/" + dataset_->records[0].name;
+  service.handle(get(target));
+  service.handle(get(target));
+
+  EXPECT_EQ(registry.counter("ripki.serve.requests_total").value(), 2);
+  EXPECT_EQ(registry.counter("ripki.serve.cache_hits").value(), 1);
+  EXPECT_EQ(registry.gauge("ripki.serve.snapshot_generation").value(), 1);
+  EXPECT_GE(registry.histogram("ripki.serve.latency.domain").count(), 1u);
+  EXPECT_GE(registry.histogram("ripki.serve.latency.cached").count(), 1u);
+}
+
+TEST_F(ServeServiceTest, SnapshotSwapRacesInFlightReads) {
+  QueryService service(QueryServiceOptions{});
+  service.publish(snapshot_);
+
+  // Readers hammer lookups while the main thread republishes new
+  // generations: every response must be 200 and internally consistent
+  // (tsan guards the shared_ptr swap and cache invalidation).
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> bad{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&, t] {
+      std::size_t i = static_cast<std::size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const core::DomainRecord& record =
+            dataset_->records[i % dataset_->records.size()];
+        const HttpResponse response =
+            service.handle(get("/v1/domain/" + record.name));
+        if (response.status != 200) bad.fetch_add(1);
+        i += 7;
+      }
+    });
+  }
+  for (std::uint64_t generation = 2; generation <= 20; ++generation) {
+    service.publish(Snapshot::build(*dataset_, pipeline_->rib(),
+                                    pipeline_->validation_report().vrps,
+                                    generation));
+    std::this_thread::sleep_for(1ms);
+  }
+  stop.store(true);
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_NE(service.snapshot()->generation(), 1u);
+}
+
+TEST_F(ServeServiceTest, EndToEndOverSockets) {
+  QueryServiceOptions options;
+  QueryService service(options);
+  service.publish(snapshot_);
+  ASSERT_TRUE(service.start());
+
+  const int fd = connect_to(service.port());
+  ASSERT_GE(fd, 0);
+  std::string carry;
+
+  const core::DomainRecord& record = dataset_->records[3];
+  send_all(fd, "GET /v1/domain/" + record.name + " HTTP/1.1\r\n\r\n");
+  std::string response = recv_response(fd, carry);
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_EQ(body_of(response), Snapshot::render_domain_json(record, 1));
+
+  // Keep-alive: the same connection serves /v1/summary next.
+  send_all(fd, "GET /v1/summary HTTP/1.1\r\n\r\n");
+  response = recv_response(fd, carry);
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_EQ(body_of(response), snapshot_->summary_json());
+
+  send_all(fd, "GET /v1/domain/absent.invalid HTTP/1.1\r\n\r\n");
+  EXPECT_NE(recv_response(fd, carry).find("404 Not Found"), std::string::npos);
+
+  ::close(fd);
+  service.stop();
+}
+
+}  // namespace
+}  // namespace ripki::serve

@@ -432,7 +432,7 @@ TEST(TelemetryServer, ServesHttpOverRealSockets) {
   ASSERT_NE(server.port(), 0);
 
   const std::string metrics = http_get(server.port(), "/metrics");
-  EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
   EXPECT_NE(metrics.find("ripki_live_requests 5"), std::string::npos);
   EXPECT_NE(metrics.find("Content-Length:"), std::string::npos);
 

@@ -6,6 +6,7 @@
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/url.hpp"
 
 #include <set>
 #include <sstream>
@@ -363,6 +364,45 @@ TEST(Table, CsvEscapesSpecials) {
   std::ostringstream os;
   table.print_csv(os);
   EXPECT_EQ(os.str(), "k,v\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+// --- URL helpers ------------------------------------------------------------
+
+TEST(Url, SplitTarget) {
+  const UrlTarget split = split_target("/v1/domain/x?verbose=1&raw");
+  EXPECT_EQ(split.path, "/v1/domain/x");
+  EXPECT_EQ(split.query, "verbose=1&raw");
+
+  EXPECT_EQ(split_target("/metrics").path, "/metrics");
+  EXPECT_TRUE(split_target("/metrics").query.empty());
+  // Only the FIRST '?' splits; later ones belong to the query.
+  EXPECT_EQ(split_target("/p?a=1?b=2").query, "a=1?b=2");
+  EXPECT_TRUE(split_target("").path.empty());
+}
+
+TEST(Url, PercentDecode) {
+  EXPECT_EQ(percent_decode("10.0.0.0%2F16").value_or(""), "10.0.0.0/16");
+  EXPECT_EQ(percent_decode("a%20b%2fc").value_or(""), "a b/c");  // lowercase hex
+  EXPECT_EQ(percent_decode("plain").value_or(""), "plain");
+  // '+' is a path character here, not a form-encoded space.
+  EXPECT_EQ(percent_decode("a+b").value_or(""), "a+b");
+  EXPECT_FALSE(percent_decode("bad%zz").has_value());
+  EXPECT_FALSE(percent_decode("trunc%2").has_value());
+  EXPECT_FALSE(percent_decode("bare%").has_value());
+}
+
+TEST(Url, SplitPathSegments) {
+  const auto segments = split_path_segments("/v1/prefix/10.0.0.0%2F16/65001");
+  ASSERT_TRUE(segments.has_value());
+  ASSERT_EQ(segments->size(), 4u);
+  EXPECT_EQ((*segments)[0], "v1");
+  EXPECT_EQ((*segments)[2], "10.0.0.0/16");
+
+  // Empty segments collapse; root is an empty list.
+  EXPECT_EQ(split_path_segments("/v1//domain/")->size(), 2u);
+  EXPECT_TRUE(split_path_segments("/")->empty());
+  // A bad escape in ANY segment poisons the whole split.
+  EXPECT_FALSE(split_path_segments("/v1/bad%GG").has_value());
 }
 
 }  // namespace
