@@ -11,9 +11,11 @@ run is false — identity is a correctness bug, never noise.
 
 Also understands serve_loadgen JSON: per-rung QPS is compared as a
 throughput (flagged when it DROPS more than --threshold percent), p99
-latency rides through the stage comparison, and oracle_ok=false is an
-identity failure (the server returned bytes that diverged from the
-dataset-derived oracle).
+latency — both global and per-endpoint — rides through the stage
+comparison, and oracle_ok=false is an identity failure (the server
+returned bytes that diverged from the dataset-derived oracle). The
+profiler_overhead block of perf_pipeline_stages is compared the same way
+as tracer_overhead.
 
 Exit codes: 0 ok, 1 regression or identity failure, 2 usage/parse error.
 Stdlib only; runs in the CI bench-smoke job after the bench binary.
@@ -30,10 +32,11 @@ def stage_times(report):
     """Flattens the timed stages of one perf_pipeline_stages JSON object
     into {stage name: wall-clock ms}."""
     stages = {}
-    overhead = report.get("tracer_overhead", {})
-    for key in ("off_ms", "on_ms"):
-        if key in overhead:
-            stages[f"tracer_overhead.{key}"] = overhead[key]
+    for block in ("tracer_overhead", "profiler_overhead"):
+        overhead = report.get(block, {})
+        for key in ("off_ms", "on_ms"):
+            if key in overhead:
+                stages[f"{block}.{key}"] = overhead[key]
     for run in report.get("parallel_speedup", {}).get("runs", []):
         prefix = f"pipeline.threads={run['threads']}"
         stages[f"{prefix}.wall_ms"] = run["wall_ms"]
@@ -48,6 +51,10 @@ def stage_times(report):
         if "p99_us" in run:
             stages[f"serve.threads={run['threads']}.p99_ms"] = (
                 run["p99_us"] / 1000.0)
+        for endpoint, stats in sorted(run.get("endpoints", {}).items()):
+            if "p99_us" in stats:
+                stages[f"serve.threads={run['threads']}.{endpoint}.p99_ms"] = (
+                    stats["p99_us"] / 1000.0)
     return stages
 
 

@@ -11,19 +11,30 @@
 // run exit 3 — a wrong-but-fast server is a broken server.
 //
 //   build/bench/serve_loadgen [--domains N] [--seconds S] [--threads N]
-//                             [--min-qps Q]
+//                             [--min-qps Q] [--pprofz FILE]
 //
 // Emits one JSON object on stdout:
 //   {"serve_loadgen": {"domains": ..,
 //                      "runs": [{"threads": .., "requests": ..,
 //                                "qps": .., "p50_us": .., "p95_us": ..,
 //                                "p99_us": .., "cache_hit_rate": ..,
+//                                "endpoints": {"domain": {"requests": ..,
+//                                  "p50_us": .., "p95_us": .., "p99_us": ..},
+//                                  "summary": {..}},
 //                                "oracle_ok": true}, ...]}}
 //
 // The thread ladder is {1, 4, hardware} (deduplicated, capped by
 // --threads). --min-qps Q fails the run (exit 4) when the best rung
 // lands below Q; default 0 disables the gate so shared-runner noise
 // cannot break CI.
+//
+// The service runs with the full production observability stack wired in
+// (registry, request ids, access log, slow-request rings, profiler).
+// After the ladder the generator verifies the observability contract —
+// the X-Ripki-Request-Id header matches the /accessz line the request
+// wrote, and /slowz carries span trees — and exits 5 when it does not.
+// --pprofz FILE captures a 2-second /pprofz folded-stack profile under
+// load and writes it to FILE (exit 5 when the capture comes back empty).
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -31,10 +42,12 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -42,6 +55,8 @@
 
 #include "core/pipeline.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "serve/service.hpp"
 #include "serve/snapshot.hpp"
 #include "web/ecosystem.hpp"
@@ -102,16 +117,21 @@ std::string recv_response(int fd, std::string& carry) {
   return response;
 }
 
+/// Client-side endpoint tags for the per-endpoint latency breakdown.
+constexpr std::array<const char*, 2> kEndpoints = {"domain", "summary"};
+
 struct WorkItem {
   std::string request;        // serialized GET, ready to send
   std::string expected_body;  // oracle: exact bytes the server must return
+  std::size_t endpoint = 0;   // index into kEndpoints
 };
 
 struct WorkerResult {
   std::uint64_t requests = 0;
   std::uint64_t divergences = 0;
   std::uint64_t transport_errors = 0;
-  std::vector<std::uint32_t> latencies_us;
+  /// One latency series per kEndpoints entry.
+  std::array<std::vector<std::uint32_t>, kEndpoints.size()> latencies_us;
 };
 
 /// One closed-loop client: a single keep-alive connection issuing the
@@ -124,7 +144,7 @@ WorkerResult run_worker(std::uint16_t port, const std::vector<WorkItem>& items,
     result.transport_errors = 1;
     return result;
   }
-  result.latencies_us.reserve(1 << 16);
+  result.latencies_us[0].reserve(1 << 16);
   std::string carry;
   std::size_t i = offset;
   while (Clock::now() < deadline) {
@@ -142,7 +162,7 @@ WorkerResult run_worker(std::uint16_t port, const std::vector<WorkItem>& items,
       break;
     }
     ++result.requests;
-    result.latencies_us.push_back(static_cast<std::uint32_t>(
+    result.latencies_us[item.endpoint].push_back(static_cast<std::uint32_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
             .count()));
     const auto body_at = response.find("\r\n\r\n");
@@ -164,6 +184,77 @@ double percentile(std::vector<std::uint32_t>& sorted, double p) {
   return static_cast<double>(sorted[index]);
 }
 
+/// Post-ladder observability contract: the request id echoed in the
+/// X-Ripki-Request-Id header must appear on the /accessz line the request
+/// wrote, and /slowz must carry populated rings with span trees.
+bool verify_observability(std::uint16_t port, const WorkItem& item) {
+  const int fd = connect_to(port);
+  if (fd < 0) {
+    std::cerr << "serve_loadgen: observability check cannot connect\n";
+    return false;
+  }
+  std::string carry;
+  bool ok = true;
+  send_all(fd, item.request);
+  const std::string response = recv_response(fd, carry);
+  static constexpr std::string_view kIdHeader = "X-Ripki-Request-Id: ";
+  const auto at = response.find(kIdHeader);
+  std::string id;
+  if (at != std::string::npos) {
+    id = response.substr(at + kIdHeader.size(), 16);
+  }
+  if (id.size() != 16) {
+    std::cerr << "serve_loadgen: response carries no X-Ripki-Request-Id\n";
+    ok = false;
+  }
+  send_all(fd, "GET /accessz HTTP/1.1\r\n\r\n");
+  const std::string accessz = recv_response(fd, carry);
+  if (ok && accessz.find("request_id=" + id) == std::string::npos) {
+    std::cerr << "serve_loadgen: /accessz has no line for request " << id
+              << '\n';
+    ok = false;
+  }
+  send_all(fd, "GET /slowz HTTP/1.1\r\n\r\n");
+  const std::string slowz = recv_response(fd, carry);
+  if (slowz.find("\"request_id\":\"") == std::string::npos ||
+      slowz.find("\"path\":\"serve.handle\"") == std::string::npos) {
+    std::cerr << "serve_loadgen: /slowz rings are empty or span-less\n";
+    ok = false;
+  }
+  ::close(fd);
+  return ok;
+}
+
+/// Captures a 2-second folded-stack profile from /pprofz while a
+/// background worker keeps the service busy, and writes it to `path`.
+bool capture_pprofz(std::uint16_t port, const std::vector<WorkItem>& items,
+                    const std::string& path) {
+  // The capture samples CPU time, so the service must be doing work.
+  std::thread load([port, &items] {
+    run_worker(port, items, 0, Clock::now() + std::chrono::milliseconds(3500));
+  });
+  std::string body;
+  {
+    const int fd = connect_to(port);
+    if (fd >= 0) {
+      std::string carry;
+      send_all(fd, "GET /pprofz?seconds=2 HTTP/1.1\r\n\r\n");
+      const std::string response = recv_response(fd, carry);
+      const auto body_at = response.find("\r\n\r\n");
+      if (body_at != std::string::npos) body = response.substr(body_at + 4);
+      ::close(fd);
+    }
+  }
+  load.join();
+  std::ofstream out(path);
+  out << body;
+  const bool ok = out.good() && body.find(';') != std::string::npos;
+  std::cerr << "serve_loadgen: /pprofz capture " << body.size()
+            << " bytes -> " << path << (ok ? "" : " [EMPTY OR UNWRITABLE]")
+            << '\n';
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -174,6 +265,7 @@ int main(int argc, char** argv) {
   double seconds = 2.0;
   std::size_t max_threads = exec::ThreadPool::hardware_threads();
   double min_qps = 0.0;
+  std::string pprofz_path;
 
   for (int i = 1; i < argc; ++i) {
     const auto next = [&](double fallback) {
@@ -187,6 +279,8 @@ int main(int argc, char** argv) {
       max_threads = static_cast<std::size_t>(next(1));
     } else if (std::strcmp(argv[i], "--min-qps") == 0) {
       min_qps = next(0.0);
+    } else if (std::strcmp(argv[i], "--pprofz") == 0 && i + 1 < argc) {
+      pprofz_path = argv[++i];
     } else {
       std::cerr << "unknown flag: " << argv[i] << '\n';
       return 2;
@@ -204,8 +298,18 @@ int main(int argc, char** argv) {
                              pipeline.validation_report().vrps,
                              /*generation=*/1);
 
+  // The production observability stack: metrics + span instrumentation
+  // (what /slowz shows), request ids, and the CPU profiler behind
+  // /pprofz. Handlers fan out over a small pool so a blocking /pprofz
+  // capture cannot stall the event loop mid-measurement.
+  obs::Registry registry;
+  obs::SamplingProfiler profiler;
+  exec::ThreadPool pool(2, &registry);
   serve::QueryServiceOptions options;
   options.http.max_connections = 256;
+  options.registry = &registry;
+  options.profiler = &profiler;
+  options.pool = &pool;
   serve::QueryService service(std::move(options));
   service.publish(snapshot);
   if (!service.start()) {
@@ -222,10 +326,10 @@ int main(int argc, char** argv) {
     const core::DomainRecord& record = dataset.records[i];
     items.push_back(WorkItem{
         "GET /v1/domain/" + record.name + " HTTP/1.1\r\n\r\n",
-        serve::Snapshot::render_domain_json(record, 1)});
+        serve::Snapshot::render_domain_json(record, 1), /*endpoint=*/0});
   }
   items.push_back(WorkItem{"GET /v1/summary HTTP/1.1\r\n\r\n",
-                           snapshot->summary_json()});
+                           snapshot->summary_json(), /*endpoint=*/1});
 
   // Warm the response cache so the measured rungs serve hits.
   {
@@ -279,14 +383,20 @@ int main(int argc, char** argv) {
 
     std::uint64_t requests = 0, divergences = 0, errors = 0;
     std::vector<std::uint32_t> latencies;
+    std::array<std::vector<std::uint32_t>, kEndpoints.size()> by_endpoint;
     for (WorkerResult& r : results) {
       requests += r.requests;
       divergences += r.divergences;
       errors += r.transport_errors;
-      latencies.insert(latencies.end(), r.latencies_us.begin(),
-                       r.latencies_us.end());
+      for (std::size_t e = 0; e < kEndpoints.size(); ++e) {
+        latencies.insert(latencies.end(), r.latencies_us[e].begin(),
+                         r.latencies_us[e].end());
+        by_endpoint[e].insert(by_endpoint[e].end(), r.latencies_us[e].begin(),
+                              r.latencies_us[e].end());
+      }
     }
     std::sort(latencies.begin(), latencies.end());
+    for (auto& series : by_endpoint) std::sort(series.begin(), series.end());
     const double qps = wall_s > 0.0 ? static_cast<double>(requests) / wall_s : 0.0;
     best_qps = std::max(best_qps, qps);
     any_divergence = any_divergence || divergences > 0;
@@ -294,14 +404,22 @@ int main(int argc, char** argv) {
     std::printf("%s{\"threads\": %zu, \"requests\": %llu, \"qps\": %.0f, "
                 "\"p50_us\": %.0f, \"p95_us\": %.0f, \"p99_us\": %.0f, "
                 "\"transport_errors\": %llu, \"cache_hit_rate\": %.4f, "
-                "\"oracle_ok\": %s}",
+                "\"endpoints\": {",
                 first ? "" : ", ", threads,
                 static_cast<unsigned long long>(requests), qps,
                 percentile(latencies, 0.50), percentile(latencies, 0.95),
                 percentile(latencies, 0.99),
                 static_cast<unsigned long long>(errors),
-                service.cache().hit_rate(),
-                divergences == 0 ? "true" : "false");
+                service.cache().hit_rate());
+    for (std::size_t e = 0; e < kEndpoints.size(); ++e) {
+      std::printf("%s\"%s\": {\"requests\": %zu, \"p50_us\": %.0f, "
+                  "\"p95_us\": %.0f, \"p99_us\": %.0f}",
+                  e == 0 ? "" : ", ", kEndpoints[e], by_endpoint[e].size(),
+                  percentile(by_endpoint[e], 0.50),
+                  percentile(by_endpoint[e], 0.95),
+                  percentile(by_endpoint[e], 0.99));
+    }
+    std::printf("}, \"oracle_ok\": %s}", divergences == 0 ? "true" : "false");
     first = false;
     std::cerr << "threads=" << threads << ": " << requests << " requests, "
               << static_cast<std::uint64_t>(qps) << " qps, p99 "
@@ -309,6 +427,12 @@ int main(int argc, char** argv) {
               << (divergences ? " [ORACLE DIVERGENCE]" : "") << '\n';
   }
   std::printf("]}}\n");
+
+  bool observability_ok = verify_observability(service.port(), items[0]);
+  if (!pprofz_path.empty()) {
+    observability_ok =
+        capture_pprofz(service.port(), items, pprofz_path) && observability_ok;
+  }
 
   service.stop();
 
@@ -321,6 +445,11 @@ int main(int argc, char** argv) {
     std::cerr << "serve_loadgen: FAILED — best rung " << best_qps
               << " qps below required " << min_qps << '\n';
     return 4;
+  }
+  if (!observability_ok) {
+    std::cerr << "serve_loadgen: FAILED — observability contract broken "
+                 "(request ids, /slowz, or /pprofz)\n";
+    return 5;
   }
   return 0;
 }

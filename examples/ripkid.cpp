@@ -10,6 +10,10 @@
 //   curl localhost:<port>/tracez         Chrome trace JSON (Perfetto)
 //   curl localhost:<port>/logz           log flight-recorder dump
 //   curl localhost:<port>/runz           last run's per-run stage table
+//   curl localhost:<port>/varz           per-interval metric history (JSON)
+//   curl localhost:<port>/pprofz         timed CPU profile (folded stacks)
+//   curl localhost:<port>/slowz          API slow-request rings + span trees
+//   curl localhost:<port>/accessz        API access-log window
 //
 // and the measurement query API on its own port (printed at start):
 //
@@ -20,7 +24,8 @@
 //
 //   build/examples/ripkid [--port N] [--api-port N] [--rate-limit N]
 //                         [--interval SEC] [--domains N] [--iterations N]
-//                         [--sample N] [--threads N] [--rtr] [--rrdp]
+//                         [--sample N] [--threads N] [--profile]
+//                         [--rtr] [--rrdp]
 //
 // --iterations 0 (default) runs until SIGINT/SIGTERM; --port 0 (default)
 // binds an ephemeral port and prints it (--api-port likewise). --sample N
@@ -30,7 +35,11 @@
 // `ripki.exec.*` gauges on /metrics. --rate-limit N caps each API client
 // at N requests/second (burst 2N; 0 = unlimited). Each completed run
 // publishes a fresh query snapshot (RCU swap); /runz reports the served
-// generation, response-cache hit rate, and rate-limited request count.
+// generation, response-cache hit rate, and rate-limited request count,
+// and appends one interval to the /varz history ring (last 64 intervals).
+// --profile arms the sampling profiler at daemon start (always-on,
+// 100 Hz); without it the profiler sits idle until a /pprofz capture
+// starts it one-shot.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -43,8 +52,10 @@
 #include "core/pipeline.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/logring.hpp"
+#include "obs/profiler.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "serve/service.hpp"
 #include "serve/snapshot.hpp"
@@ -69,6 +80,7 @@ int main(int argc, char** argv) {
   unsigned interval_sec = 30;
   std::uint64_t iterations = 0;
   std::uint32_t sample_every = 1;
+  bool profile = false;
 
   for (int i = 1; i < argc; ++i) {
     const auto next_u64 = [&](std::uint64_t fallback) {
@@ -90,6 +102,8 @@ int main(int argc, char** argv) {
       sample_every = static_cast<std::uint32_t>(next_u64(1));
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       pipeline_config.threads = next_u64(0);
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
     } else if (std::strcmp(argv[i], "--rtr") == 0) {
       pipeline_config.use_rtr = true;
     } else if (std::strcmp(argv[i], "--rrdp") == 0) {
@@ -119,6 +133,16 @@ int main(int argc, char** argv) {
   obs::TelemetryServer server({.port = port}, &tracer, &log_ring, &health);
   core::attach_metrics_endpoints(server, registry);
 
+  // CPU profiler behind /pprofz on both servers; --profile arms it for
+  // the daemon's whole lifetime (always-on captures window the running
+  // buffer instead of starting a one-shot).
+  obs::SamplingProfiler profiler;
+  server.set_profiler(&profiler);
+  if (profile && !profiler.start()) {
+    std::cerr << "ripkid: --profile: failed to arm SIGPROF profiler\n";
+    return 1;
+  }
+
   // Last run's per-interval stage table, served at /runz.
   std::mutex runz_mutex;
   std::string runz = "(no completed run yet)\n";
@@ -129,12 +153,23 @@ int main(int argc, char** argv) {
     return response;
   });
 
+  // Per-interval metric history (one entry per completed run), at /varz.
+  obs::TimeSeriesRing varz(/*capacity=*/64);
+  server.set_handler("/varz", [&varz] {
+    obs::HttpResponse response;
+    response.content_type = "application/json";
+    response.body = varz.render_json();
+    return response;
+  });
+
   if (!server.start()) {
     std::cerr << "ripkid: failed to bind " << port << '\n';
     return 1;
   }
   std::cout << "ripkid: telemetry on http://127.0.0.1:" << server.port()
-            << "/ (metrics, metrics.json, healthz, tracez, logz, runz)\n";
+            << "/ (metrics, metrics.json, healthz, tracez, logz, runz, "
+               "varz, pprofz"
+            << (profile ? "; profiler armed at 100 Hz" : "") << ")\n";
 
   // The query API: lookups answered from the latest run's snapshot,
   // handlers fanned out over a small worker pool.
@@ -145,11 +180,26 @@ int main(int argc, char** argv) {
   api_options.rate_limit.burst = rate_limit * 2.0;
   api_options.pool = &api_pool;
   api_options.registry = &registry;
+  api_options.profiler = &profiler;
   serve::QueryService api(std::move(api_options));
   if (!api.start()) {
     std::cerr << "ripkid: failed to bind api port " << api_port << '\n';
     return 1;
   }
+
+  // The API's request diagnostics, mirrored onto the telemetry port so
+  // one scrape target covers the daemon.
+  server.set_handler("/slowz", [&api] {
+    obs::HttpResponse response;
+    response.content_type = "application/json";
+    response.body = api.slow_requests().render_json();
+    return response;
+  });
+  server.set_handler("/accessz", [&api] {
+    obs::HttpResponse response;
+    response.body = api.access_log().render_text();
+    return response;
+  });
   char rate_text[32];
   std::snprintf(rate_text, sizeof rate_text, "%g/s", rate_limit);
   std::cout << "ripkid: query api on http://127.0.0.1:" << api.port()
@@ -164,6 +214,7 @@ int main(int argc, char** argv) {
   registry.describe("ripki.ripkid.runs_total",
                     "Completed pipeline iterations since daemon start");
 
+  auto varz_tick = std::chrono::steady_clock::now();
   for (std::uint64_t run = 0; iterations == 0 || run < iterations; ++run) {
     if (g_stop) break;
     RIPKI_LOG_INFO("ripkid", "pipeline run starting",
@@ -173,6 +224,15 @@ int main(int argc, char** argv) {
     const core::Dataset dataset = pipeline.run();
     registry.counter("ripki.ripkid.runs_total").inc();
     const auto delta = obs::delta_snapshots(before, registry.collect());
+
+    // One /varz interval per run: deltas over the wall time since the
+    // previous tick (run + idle sleep), so per-second rates are honest.
+    {
+      const auto now = std::chrono::steady_clock::now();
+      varz.record(registry.collect(),
+                  std::chrono::duration<double>(now - varz_tick).count());
+      varz_tick = now;
+    }
 
     // Publish this run's snapshot to the query API (RCU swap; in-flight
     // requests finish on the previous generation).

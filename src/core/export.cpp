@@ -86,8 +86,8 @@ std::string json_number(double v) {
   return buf;
 }
 
-std::string prometheus_name(const std::string& name) {
-  std::string out = name;
+std::string prometheus_name(std::string_view name) {
+  std::string out(name);
   for (char& c : out) {
     if (c == '.' || c == '-') c = '_';
   }
@@ -169,27 +169,75 @@ std::string prometheus_escape_help(std::string_view value) {
   return out;
 }
 
+namespace {
+
+/// A registry metric name split for Prometheus exposition. Labelled
+/// metrics carry a `{key=value,...}` suffix with unquoted values (e.g.
+/// `ripki.serve.conn_dropped{reason=idle}`); the exposition sanitises
+/// only the family part and renders the labels quoted and escaped.
+struct PrometheusName {
+  std::string family;
+  std::string labels;  // rendered `key="value",...` — empty when none
+};
+
+PrometheusName split_prometheus_name(const std::string& name) {
+  PrometheusName out;
+  const std::size_t brace = name.find('{');
+  out.family = prometheus_name(std::string_view(name).substr(0, brace));
+  if (brace == std::string::npos) return out;
+  std::string_view body(name);
+  body.remove_prefix(brace + 1);
+  if (!body.empty() && body.back() == '}') body.remove_suffix(1);
+  while (!body.empty()) {
+    const std::size_t comma = body.find(',');
+    const std::string_view pair = body.substr(0, comma);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos) {
+      if (!out.labels.empty()) out.labels += ',';
+      out.labels += prometheus_name(pair.substr(0, eq));
+      out.labels += "=\"";
+      out.labels += prometheus_escape_label(pair.substr(eq + 1));
+      out.labels += '"';
+    }
+    if (comma == std::string_view::npos) break;
+    body.remove_prefix(comma + 1);
+  }
+  return out;
+}
+
+}  // namespace
+
 void export_metrics_prometheus(const obs::Registry& registry, std::ostream& os) {
+  // collect() is sorted by name, so labelled series of one family are
+  // adjacent — emit HELP/TYPE once per family, not once per series.
+  std::string previous_family;
   for (const auto& m : registry.collect()) {
-    const std::string name = prometheus_name(m.name);
-    if (!m.help.empty()) {
+    const PrometheusName pn = split_prometheus_name(m.name);
+    const std::string& name = pn.family;
+    const std::string label_block =
+        pn.labels.empty() ? "" : '{' + pn.labels + '}';
+    const bool new_family = name != previous_family;
+    previous_family = name;
+    if (new_family && !m.help.empty()) {
       os << "# HELP " << name << ' ' << prometheus_escape_help(m.help) << '\n';
     }
     switch (m.kind) {
       case obs::MetricSnapshot::Kind::kCounter:
-        os << "# TYPE " << name << " counter\n"
-           << name << ' ' << m.counter_value << '\n';
+        if (new_family) os << "# TYPE " << name << " counter\n";
+        os << name << label_block << ' ' << m.counter_value << '\n';
         break;
       case obs::MetricSnapshot::Kind::kGauge:
-        os << "# TYPE " << name << " gauge\n"
-           << name << ' ' << m.gauge_value << '\n';
+        if (new_family) os << "# TYPE " << name << " gauge\n";
+        os << name << label_block << ' ' << m.gauge_value << '\n';
         break;
       case obs::MetricSnapshot::Kind::kHistogram: {
-        os << "# TYPE " << name << " histogram\n";
+        if (new_family) os << "# TYPE " << name << " histogram\n";
         std::uint64_t cumulative = 0;
         for (std::size_t i = 0; i < m.bucket_counts.size(); ++i) {
           cumulative += m.bucket_counts[i];
-          os << name << "_bucket{le=\"";
+          os << name << "_bucket{";
+          if (!pn.labels.empty()) os << pn.labels << ',';
+          os << "le=\"";
           if (i < m.bounds.size()) {
             os << prometheus_escape_label(json_number(m.bounds[i]));
           } else {
@@ -197,8 +245,9 @@ void export_metrics_prometheus(const obs::Registry& registry, std::ostream& os) 
           }
           os << "\"} " << cumulative << '\n';
         }
-        os << name << "_sum " << json_number(m.sum) << '\n'
-           << name << "_count " << m.count << '\n';
+        os << name << "_sum" << label_block << ' ' << json_number(m.sum)
+           << '\n'
+           << name << "_count" << label_block << ' ' << m.count << '\n';
         break;
       }
     }

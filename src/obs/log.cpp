@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "obs/logring.hpp"
+#include "obs/request_context.hpp"
 
 namespace ripki::obs {
 
@@ -65,6 +66,11 @@ void Logger::log(LogLevel level, std::string_view component,
   record.component = std::string(component);
   record.message = std::string(message);
   record.fields = std::move(fields);
+  // Records emitted while a request is live carry its id, matching the
+  // X-Ripki-Request-Id header the client saw.
+  if (const RequestContext* request = RequestContext::current()) {
+    record.fields.emplace_back("request_id", request->id_hex());
+  }
 
   if (ring != nullptr) ring->append(record);
   if (!passes_level) return;

@@ -1,0 +1,284 @@
+#include "obs/profiler.hpp"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+namespace ripki::obs {
+
+namespace {
+
+/// The armed profiler (SIGPROF is process-global) and a handler-in-flight
+/// count. The handler increments the count BEFORE loading the pointer, so
+/// stop() can clear the pointer and then spin until the count drains —
+/// after that no handler can still be touching the instance.
+std::atomic<SamplingProfiler*> g_active{nullptr};
+std::atomic<std::uint32_t> g_in_handler{0};
+
+/// Stack frames that belong to the capture machinery itself, present at
+/// the top of every raw backtrace: capture_from_signal (the backtrace
+/// caller), signal_handler, and the kernel signal trampoline. Both
+/// functions are noinline so this count is exact.
+constexpr int kCaptureFrames = 3;
+
+}  // namespace
+
+SamplingProfiler::SamplingProfiler(Options options)
+    : options_(options), slots_(new Slot[std::max<std::size_t>(1, options.capacity)]) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  if (options_.hz == 0) options_.hz = 1;
+}
+
+SamplingProfiler::~SamplingProfiler() { stop(); }
+
+void SamplingProfiler::signal_handler(int) {
+  // Increment first: stop() clears g_active and then waits for this
+  // counter, so a non-null load here guarantees the instance stays alive
+  // for the duration of the capture.
+  g_in_handler.fetch_add(1, std::memory_order_seq_cst);
+  SamplingProfiler* profiler = g_active.load(std::memory_order_seq_cst);
+  if (profiler != nullptr) profiler->capture_from_signal();
+  g_in_handler.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+__attribute__((noinline)) void SamplingProfiler::capture_from_signal() {
+  const std::uint64_t index =
+      claimed_.fetch_add(1, std::memory_order_relaxed);
+  if (index >= options_.capacity) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Slot& slot = slots_[index];
+  void* raw[kMaxFrames + kCaptureFrames];
+  const int n = ::backtrace(raw, kMaxFrames + kCaptureFrames);
+  const int usable = n > kCaptureFrames ? n - kCaptureFrames : 0;
+  if (usable == 0) {
+    // Unwalkable stack: publish a one-frame sentinel so the claim is
+    // still accounted for in exports.
+    slot.frames[0] = nullptr;
+    slot.depth.store(1, std::memory_order_release);
+    return;
+  }
+  std::memcpy(slot.frames, raw + kCaptureFrames,
+              static_cast<std::size_t>(usable) * sizeof(void*));
+  slot.depth.store(static_cast<std::uint32_t>(usable),
+                   std::memory_order_release);
+}
+
+bool SamplingProfiler::start() {
+  if (running()) return true;
+  SamplingProfiler* expected = nullptr;
+  if (!g_active.compare_exchange_strong(expected, this,
+                                        std::memory_order_seq_cst)) {
+    return false;
+  }
+
+  // Force ::backtrace's lazy libgcc initialisation (which may allocate)
+  // outside signal context, before the first SIGPROF can arrive.
+  void* warmup[4];
+  ::backtrace(warmup, 4);
+
+  struct sigaction action {};
+  action.sa_handler = &SamplingProfiler::signal_handler;
+  action.sa_flags = SA_RESTART;
+  sigemptyset(&action.sa_mask);
+  if (::sigaction(SIGPROF, &action, nullptr) != 0) {
+    g_active.store(nullptr, std::memory_order_seq_cst);
+    return false;
+  }
+
+  itimerval timer{};
+  const long interval_us = std::max(1L, 1'000'000L / options_.hz);
+  timer.it_interval.tv_sec = interval_us / 1'000'000;
+  timer.it_interval.tv_usec = interval_us % 1'000'000;
+  timer.it_value = timer.it_interval;
+  if (::setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    ::signal(SIGPROF, SIG_IGN);
+    g_active.store(nullptr, std::memory_order_seq_cst);
+    return false;
+  }
+  running_.store(true, std::memory_order_release);
+  return true;
+}
+
+void SamplingProfiler::stop() {
+  if (!running()) return;
+  itimerval disarm{};
+  ::setitimer(ITIMER_PROF, &disarm, nullptr);
+  // A SIGPROF already generated keeps its delivery; ignore rather than
+  // restore SIG_DFL (whose action would terminate the process).
+  ::signal(SIGPROF, SIG_IGN);
+  g_active.store(nullptr, std::memory_order_seq_cst);
+  while (g_in_handler.load(std::memory_order_seq_cst) != 0) {
+    // Spin: the handler only runs for the duration of one backtrace.
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+std::uint64_t SamplingProfiler::samples() const {
+  const std::uint64_t claimed = claimed_.load(std::memory_order_relaxed);
+  return std::min<std::uint64_t>(claimed, options_.capacity);
+}
+
+std::uint64_t SamplingProfiler::dropped() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t SamplingProfiler::sequence() const {
+  return claimed_.load(std::memory_order_relaxed);
+}
+
+void SamplingProfiler::clear() {
+  if (running()) return;
+  const std::uint64_t filled = samples();
+  for (std::uint64_t i = 0; i < filled; ++i) {
+    slots_[i].depth.store(0, std::memory_order_relaxed);
+  }
+  claimed_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::string symbolize_frame(const void* address) {
+  // The return address points one past the call; step back one byte so a
+  // call that ends a function does not symbolise as its successor.
+  const void* site =
+      static_cast<const char*>(address) == nullptr
+          ? address
+          : static_cast<const void*>(static_cast<const char*>(address) - 1);
+  Dl_info info{};
+  if (address != nullptr && ::dladdr(site, &info) != 0) {
+    if (info.dli_sname != nullptr) {
+      int status = 0;
+      char* demangled =
+          abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+      if (status == 0 && demangled != nullptr) {
+        std::string out(demangled);
+        std::free(demangled);
+        return out;
+      }
+      if (demangled != nullptr) std::free(demangled);
+      return info.dli_sname;
+    }
+    if (info.dli_fname != nullptr) {
+      const char* base = std::strrchr(info.dli_fname, '/');
+      const auto offset = static_cast<const char*>(address) -
+                          static_cast<const char*>(info.dli_fbase);
+      char buf[256];
+      std::snprintf(buf, sizeof buf, "%s+0x%llx",
+                    base != nullptr ? base + 1 : info.dli_fname,
+                    static_cast<unsigned long long>(offset));
+      return buf;
+    }
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%llx",
+                reinterpret_cast<unsigned long long>(address));
+  return buf;
+}
+
+SamplingProfiler::Profile SamplingProfiler::profile(std::uint64_t from) const {
+  Profile out;
+  out.hz = options_.hz;
+  out.dropped = dropped();
+  const std::uint64_t filled = samples();
+
+  // Aggregate raw stacks first so each distinct stack symbolises once.
+  struct FrameKey {
+    const void* const* frames;
+    std::uint32_t depth;
+    bool operator<(const FrameKey& other) const {
+      if (depth != other.depth) return depth < other.depth;
+      return std::memcmp(frames, other.frames, depth * sizeof(void*)) < 0;
+    }
+  };
+  std::map<FrameKey, std::uint64_t> counts;
+  for (std::uint64_t i = from; i < filled; ++i) {
+    const std::uint32_t depth = slots_[i].depth.load(std::memory_order_acquire);
+    if (depth == 0) continue;  // claimed but not yet published
+    ++counts[FrameKey{slots_[i].frames, depth}];
+    ++out.samples;
+  }
+
+  std::map<const void*, std::string> symbols;
+  const auto symbol_for = [&](const void* address) -> const std::string& {
+    auto it = symbols.find(address);
+    if (it == symbols.end()) {
+      it = symbols.emplace(address, symbolize_frame(address)).first;
+    }
+    return it->second;
+  };
+
+  out.stacks.reserve(counts.size());
+  for (const auto& [key, count] : counts) {
+    Stack stack;
+    stack.count = count;
+    stack.frames.reserve(key.depth);
+    // backtrace yields innermost-first; stacks read root-first.
+    for (std::uint32_t f = key.depth; f > 0; --f) {
+      stack.frames.push_back(symbol_for(key.frames[f - 1]));
+    }
+    out.stacks.push_back(std::move(stack));
+  }
+  std::sort(out.stacks.begin(), out.stacks.end(),
+            [](const Stack& a, const Stack& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.frames < b.frames;
+            });
+  return out;
+}
+
+std::string SamplingProfiler::folded(std::uint64_t from) const {
+  const Profile p = profile(from);
+  std::string out;
+  for (const auto& stack : p.stacks) {
+    std::string line;
+    for (std::size_t i = 0; i < stack.frames.size(); ++i) {
+      if (i > 0) line += ';';
+      // The folded format reserves ';' (separator) and ' ' (count).
+      for (const char c : stack.frames[i]) {
+        line += (c == ';' || c == ' ') ? '_' : c;
+      }
+    }
+    line += ' ';
+    line += std::to_string(stack.count);
+    line += '\n';
+    out += line;
+  }
+  return out;
+}
+
+std::string SamplingProfiler::json(std::uint64_t from) const {
+  const Profile p = profile(from);
+  std::ostringstream os;
+  os << "{\"profile\":{\"hz\":" << p.hz << ",\"samples\":" << p.samples
+     << ",\"dropped\":" << p.dropped << ",\"stacks\":[";
+  bool first_stack = true;
+  for (const auto& stack : p.stacks) {
+    if (!first_stack) os << ',';
+    first_stack = false;
+    os << "{\"count\":" << stack.count << ",\"frames\":[";
+    for (std::size_t i = 0; i < stack.frames.size(); ++i) {
+      if (i > 0) os << ',';
+      os << '"';
+      for (const char c : stack.frames[i]) {
+        if (c == '"' || c == '\\') os << '\\';
+        os << c;
+      }
+      os << '"';
+    }
+    os << "]}";
+  }
+  os << "]}}";
+  return os.str();
+}
+
+}  // namespace ripki::obs

@@ -1,0 +1,125 @@
+// Sampling CPU profiler: SIGPROF-driven stack capture into a lock-free
+// sample buffer, with folded-stack (flamegraph-ready) and JSON export.
+//
+// A POSIX interval timer (ITIMER_PROF) delivers SIGPROF every 1/hz
+// seconds of *CPU time* the process consumes; the signal handler walks
+// the interrupted stack with ::backtrace() and publishes the frames into
+// a pre-allocated slot array. Everything on the capture path is
+// async-signal-safe by construction:
+//
+//   - slots are claimed with a single atomic fetch_add (no locks, no
+//     allocation — the array is sized up front and a claim beyond
+//     capacity just counts a drop),
+//   - a slot becomes visible to readers only through a release store of
+//     its frame count, so exports never observe torn samples,
+//   - ::backtrace()'s one-time lazy libgcc initialisation (which may
+//     allocate) is forced in start(), before the timer is armed.
+//
+// Symbolisation (dladdr + demangling) happens at export time, outside
+// any signal context. Exports take a `from` sequence number so a running
+// profiler can serve windowed captures (/pprofz?seconds=N reads the
+// sequence, sleeps, exports the new samples) without stopping — the
+// "always-on" mode: at the default 100 Hz the capture path costs well
+// under 1% of CPU.
+//
+// Only one profiler can be armed at a time (SIGPROF is process-global);
+// start() fails rather than stealing the signal from a live instance.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ripki::obs {
+
+class SamplingProfiler {
+ public:
+  /// Deepest stack a sample keeps; deeper frames are truncated (the
+  /// hot leaf frames survive, the root is lost).
+  static constexpr std::size_t kMaxFrames = 48;
+
+  struct Options {
+    /// SIGPROF frequency in samples per second of consumed CPU time.
+    std::uint32_t hz = 100;
+    /// Sample slots allocated up front; claims beyond this are dropped
+    /// and counted. 1<<16 holds ~11 CPU-minutes at 100 Hz.
+    std::size_t capacity = 1 << 16;
+  };
+
+  SamplingProfiler() : SamplingProfiler(Options()) {}
+  explicit SamplingProfiler(Options options);
+  ~SamplingProfiler();
+
+  SamplingProfiler(const SamplingProfiler&) = delete;
+  SamplingProfiler& operator=(const SamplingProfiler&) = delete;
+
+  /// Arms SIGPROF and the interval timer. False when another profiler is
+  /// already armed (process-wide) or the timer cannot be set.
+  bool start();
+  /// Disarms the timer and waits for any in-flight handler to retire, so
+  /// the sample buffer is quiescent afterwards. Idempotent.
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  std::uint32_t hz() const { return options_.hz; }
+  std::size_t capacity() const { return options_.capacity; }
+  /// Samples captured (claims that landed in a slot).
+  std::uint64_t samples() const;
+  /// Claims beyond capacity, lost without a slot.
+  std::uint64_t dropped() const;
+  /// Monotone capture sequence — pass to an export to window it.
+  std::uint64_t sequence() const;
+
+  /// Drops all buffered samples and resets the drop count. Only legal
+  /// when stopped (the handler may be mid-write otherwise).
+  void clear();
+
+  /// One aggregated stack, root-first, with the number of samples that
+  /// shared it.
+  struct Stack {
+    std::vector<std::string> frames;
+    std::uint64_t count = 0;
+  };
+
+  struct Profile {
+    std::uint64_t samples = 0;  // samples aggregated into `stacks`
+    std::uint64_t dropped = 0;
+    std::uint32_t hz = 0;
+    std::vector<Stack> stacks;  // sorted by count, descending
+  };
+
+  /// Aggregates and symbolises samples with sequence >= `from` (0 = all
+  /// buffered). Safe while running.
+  Profile profile(std::uint64_t from = 0) const;
+
+  /// Brendan-Gregg folded-stack lines: "root;child;leaf <count>\n" —
+  /// pipe straight into flamegraph.pl.
+  std::string folded(std::uint64_t from = 0) const;
+
+  /// {"profile": {"hz":.., "samples":.., "dropped":.., "stacks":
+  ///  [{"count":.., "frames":["root",..,"leaf"]}, ..]}}
+  std::string json(std::uint64_t from = 0) const;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint32_t> depth{0};  // 0 = unpublished
+    void* frames[kMaxFrames];
+  };
+
+  static void signal_handler(int);
+  void capture_from_signal();
+
+  Options options_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> claimed_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<bool> running_{false};
+};
+
+/// Symbolises one return address: demangled function name when dladdr
+/// resolves it, else "module+0x<offset>", else a bare hex address.
+std::string symbolize_frame(const void* address);
+
+}  // namespace ripki::obs

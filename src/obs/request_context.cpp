@@ -1,0 +1,80 @@
+#include "obs/request_context.hpp"
+
+#include <cstdio>
+
+namespace ripki::obs {
+
+namespace {
+
+thread_local RequestContext* g_current_request = nullptr;
+
+}  // namespace
+
+RequestContext::RequestContext(std::uint64_t id,
+                               std::chrono::steady_clock::time_point start)
+    : id_(id), id_hex_(format_id(id)), start_(start) {
+  spans_.reserve(16);
+}
+
+std::string RequestContext::format_id(std::uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+std::uint64_t RequestContext::parse_id(std::string_view hex) {
+  if (hex.empty() || hex.size() > 16) return 0;
+  std::uint64_t id = 0;
+  for (char c : hex) {
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') digit = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    else if (c >= 'A' && c <= 'F') digit = static_cast<std::uint64_t>(c - 'A') + 10;
+    else return 0;
+    id = (id << 4) | digit;
+  }
+  return id;
+}
+
+std::uint64_t RequestContext::elapsed_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+void RequestContext::record_span(
+    const std::string& path, std::chrono::steady_clock::time_point span_start,
+    std::uint64_t duration_ns) {
+  if (spans_.size() >= kMaxSpans) {
+    ++spans_dropped_;
+    return;
+  }
+  // Spans opened before the request scope (clock skew across the executor
+  // hop) clamp to offset 0 rather than going negative.
+  const auto offset = span_start >= start_
+                          ? span_start - start_
+                          : std::chrono::steady_clock::duration::zero();
+  spans_.push_back(SpanRecord{
+      path,
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(offset)
+              .count()),
+      duration_ns / 1000});
+}
+
+RequestContext* RequestContext::current() { return g_current_request; }
+
+RequestScope::RequestScope(RequestContext* context) {
+  if (context == nullptr) return;
+  previous_ = g_current_request;
+  g_current_request = context;
+  installed_ = true;
+}
+
+RequestScope::~RequestScope() {
+  if (installed_) g_current_request = previous_;
+}
+
+}  // namespace ripki::obs

@@ -1,0 +1,103 @@
+// Request-scoped telemetry context: one RequestContext per in-flight
+// HTTP request, carrying the request id minted by the socket layer and a
+// bounded record of every trace span closed while the request was live.
+//
+// The context is installed on the handling thread with a RAII
+// RequestScope. Because the serve layer runs at most one handler per
+// request (the executor hop moves the whole handler, never splits it),
+// a context is only ever installed on one thread at a time — its span
+// list needs no lock. While a scope is live:
+//
+//   - obs::Span::stop() appends a SpanRecord (dotted path, start offset,
+//     duration) to the context, capped at kMaxSpans with a drop count,
+//     so a per-request span tree is available when the request finishes;
+//   - obs::Logger::log() stamps a `request_id` field onto every record,
+//     tying log lines to the X-Ripki-Request-Id response header.
+//
+// The serve access log and slow-request recorder consume the finished
+// context; neither obs nor serve pays anything when no scope is live
+// (one thread-local pointer read per span/log call).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ripki::obs {
+
+class RequestContext {
+ public:
+  /// Span lists are bounded so a pathological handler cannot grow a
+  /// context without limit; overflow is counted, not resized.
+  static constexpr std::size_t kMaxSpans = 64;
+
+  struct SpanRecord {
+    std::string path;          // full dotted span path
+    std::uint64_t start_us;    // offset from the request's start
+    std::uint64_t duration_us;
+  };
+
+  RequestContext(std::uint64_t id,
+                 std::chrono::steady_clock::time_point start);
+
+  RequestContext(const RequestContext&) = delete;
+  RequestContext& operator=(const RequestContext&) = delete;
+
+  std::uint64_t id() const { return id_; }
+  /// 16-digit lowercase hex — the exact X-Ripki-Request-Id header value.
+  const std::string& id_hex() const { return id_hex_; }
+  std::chrono::steady_clock::time_point start() const { return start_; }
+  std::uint64_t elapsed_us() const;
+
+  /// Called by Span::stop on the installing thread; drops (and counts)
+  /// beyond kMaxSpans.
+  void record_span(const std::string& path,
+                   std::chrono::steady_clock::time_point span_start,
+                   std::uint64_t duration_ns);
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  /// Moves the span list out (the context is done); avoids a copy when
+  /// handing the tree to the slow-request ring.
+  std::vector<SpanRecord> take_spans() { return std::move(spans_); }
+  std::uint64_t spans_dropped() const { return spans_dropped_; }
+
+  /// The context installed on this thread, or nullptr.
+  static RequestContext* current();
+
+  /// Formats a request id the way id_hex() does — shared with the socket
+  /// layer, which mints ids without constructing a context.
+  static std::string format_id(std::uint64_t id);
+
+  /// Inverse of format_id: parses a 1–16-digit hex id; 0 when `hex` is
+  /// empty or malformed (handlers treat 0 as "no wire id").
+  static std::uint64_t parse_id(std::string_view hex);
+
+ private:
+  friend class RequestScope;
+
+  std::uint64_t id_ = 0;
+  std::string id_hex_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<SpanRecord> spans_;
+  std::uint64_t spans_dropped_ = 0;
+};
+
+/// Installs `context` as the thread's current request context for the
+/// scope's lifetime (nullptr is a no-op scope). Scopes nest; the previous
+/// context is restored on destruction.
+class RequestScope {
+ public:
+  explicit RequestScope(RequestContext* context);
+  ~RequestScope();
+
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+ private:
+  RequestContext* previous_ = nullptr;
+  bool installed_ = false;
+};
+
+}  // namespace ripki::obs

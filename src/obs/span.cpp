@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/request_context.hpp"
 #include "obs/trace.hpp"
 #include "util/table.hpp"
 
@@ -58,6 +59,9 @@ void Span::stop() {
   stopped_ = true;
   if (g_current_span == this) g_current_span = parent_;
   if (traced_) tracer_->end(path_, end);
+  if (RequestContext* request = RequestContext::current()) {
+    request->record_span(path_, start_, ns);
+  }
   registry_->histogram(std::string(kTracePrefix) + path_)
       .observe(static_cast<double>(ns) / 1000.0);  // µs
 }

@@ -1,11 +1,81 @@
 #include "obs/telemetry.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <set>
 #include <sstream>
+#include <thread>
 #include <utility>
 
+#include "obs/profiler.hpp"
+#include "obs/request_context.hpp"
+#include "util/strings.hpp"
 #include "util/url.hpp"
 
 namespace ripki::obs {
+
+namespace {
+
+/// Value of `key` in a query string ("seconds=2&format=json"); empty when
+/// absent or valueless.
+std::string_view query_param(std::string_view query, std::string_view key) {
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    const std::string_view pair = query.substr(0, amp);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1);
+    }
+    if (amp == std::string_view::npos) break;
+    query.remove_prefix(amp + 1);
+  }
+  return {};
+}
+
+constexpr const char* kText = "text/plain; charset=utf-8";
+
+}  // namespace
+
+HttpResponse profile_capture(SamplingProfiler* profiler,
+                             std::string_view query) {
+  if (profiler == nullptr) {
+    return HttpResponse{503, kText, "no profiler configured\n", {}};
+  }
+  std::uint64_t seconds = 2;
+  if (const std::string_view v = query_param(query, "seconds"); !v.empty()) {
+    if (!util::parse_u64(v, seconds)) {
+      return HttpResponse{400, kText, "seconds must be a decimal integer\n",
+                          {}};
+    }
+  }
+  seconds = std::clamp<std::uint64_t>(seconds, 1, 30);
+  const std::string_view format = query_param(query, "format");
+  const bool as_json = format == "json";
+  if (!format.empty() && !as_json && format != "folded") {
+    return HttpResponse{400, kText, "format must be folded or json\n", {}};
+  }
+
+  // Window from the current capture sequence so a previous capture's
+  // samples (one-shot leftovers or always-on history) are excluded.
+  const std::uint64_t from = profiler->sequence();
+  const bool one_shot = !profiler->running();
+  if (one_shot && !profiler->start()) {
+    return HttpResponse{503, kText,
+                        "SIGPROF is owned by another profiler instance\n",
+                        {}};
+  }
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  if (one_shot) profiler->stop();
+
+  HttpResponse response;
+  if (as_json) {
+    response.content_type = "application/json";
+    response.body = profiler->json(from);
+  } else {
+    response.body = profiler->folded(from);
+  }
+  return response;
+}
 
 // --- health ----------------------------------------------------------------
 
@@ -65,8 +135,14 @@ TelemetryServer::TelemetryServer(Options options, EventTracer* tracer,
           .max_connections = 64,
           .idle_timeout = std::chrono::milliseconds(10'000),
           .parser_limits = {},
+          .on_connection_dropped = {},
       }) {
   server_.set_handler([this](const serve::HttpRequest& request) {
+    // Request-scoped telemetry: while the handler runs, spans and log
+    // records carry the id echoed in X-Ripki-Request-Id.
+    RequestContext context(RequestContext::parse_id(request.request_id),
+                           std::chrono::steady_clock::now());
+    RequestScope scope(&context);
     return dispatch(request.method, request.target);
   });
   register_builtin_routes();
@@ -80,9 +156,15 @@ void TelemetryServer::register_builtin_routes() {
     std::ostringstream os;
     os << "ripki telemetry\n\n";
     std::lock_guard lock(handlers_mutex_);
-    for (const auto& [path, handler] : handlers_) os << path << '\n';
+    std::set<std::string_view> paths;
+    for (const auto& [path, handler] : handlers_) paths.insert(path);
+    for (const auto& [path, handler] : query_handlers_) paths.insert(path);
+    for (const std::string_view path : paths) os << path << '\n';
     response.body = os.str();
     return response;
+  });
+  set_query_handler("/pprofz", [this](std::string_view query) {
+    return profile_capture(profiler_, query);
   });
   set_handler("/healthz", [this] {
     HttpResponse response;
@@ -128,7 +210,15 @@ void TelemetryServer::register_builtin_routes() {
 
 void TelemetryServer::set_handler(std::string path, HttpHandler handler) {
   std::lock_guard lock(handlers_mutex_);
+  query_handlers_.erase(path);
   handlers_[std::move(path)] = std::move(handler);
+}
+
+void TelemetryServer::set_query_handler(std::string path,
+                                        HttpQueryHandler handler) {
+  std::lock_guard lock(handlers_mutex_);
+  handlers_.erase(path);
+  query_handlers_[std::move(path)] = std::move(handler);
 }
 
 HttpResponse TelemetryServer::dispatch(std::string_view method,
@@ -137,13 +227,19 @@ HttpResponse TelemetryServer::dispatch(std::string_view method,
     return HttpResponse{405, "text/plain; charset=utf-8",
                         "only GET is supported\n", {}};
   }
-  const std::string_view path = util::split_target(target).path;
+  const auto [path, query] = util::split_target(target);
   HttpHandler handler;
+  HttpQueryHandler query_handler;
   {
     std::lock_guard lock(handlers_mutex_);
-    const auto it = handlers_.find(path);
-    if (it != handlers_.end()) handler = it->second;
+    if (const auto it = handlers_.find(path); it != handlers_.end()) {
+      handler = it->second;
+    } else if (const auto qit = query_handlers_.find(path);
+               qit != query_handlers_.end()) {
+      query_handler = qit->second;
+    }
   }
+  if (query_handler) return query_handler(query);
   if (!handler) {
     return HttpResponse{404, "text/plain; charset=utf-8",
                         "not found; GET / lists endpoints\n", {}};

@@ -9,6 +9,10 @@
 //   /healthz     per-subsystem health, 200/503
 //   /tracez      Chrome trace-event JSON (Perfetto / chrome://tracing)
 //   /logz        log flight-recorder dump
+//   /pprofz      timed CPU profile capture (requires set_profiler);
+//                ?seconds=N&format=folded|json — NOTE: handlers run
+//                inline on the event-loop thread, so a capture blocks
+//                other telemetry scrapes for its duration
 //
 // The server owns no telemetry state — it borrows the tracer, log ring,
 // and health registry, and dispatches everything else through registered
@@ -30,6 +34,8 @@
 #include "serve/server.hpp"
 
 namespace ripki::obs {
+
+class SamplingProfiler;
 
 // --- health ----------------------------------------------------------------
 
@@ -74,6 +80,20 @@ class HealthRegistry {
 using HttpResponse = serve::HttpResponse;
 
 using HttpHandler = std::function<HttpResponse()>;
+/// Handler that sees the request's query string ("seconds=2&format=json",
+/// no leading '?') — for routes whose behaviour is parameterised.
+using HttpQueryHandler = std::function<HttpResponse(std::string_view query)>;
+
+/// The shared /pprofz implementation (used by both the telemetry server
+/// and the query API): captures `seconds=N` (clamped to [1, 30], default
+/// 2) of CPU profile and renders it as `format=folded` (default) or
+/// `format=json`. A profiler that is already running — always-on mode —
+/// is windowed via its capture sequence and left running; otherwise the
+/// profiler is started for the capture and stopped after. Blocks the
+/// calling thread for the capture duration. 503 when `profiler` is null
+/// or another profiler instance owns SIGPROF.
+HttpResponse profile_capture(SamplingProfiler* profiler,
+                             std::string_view query);
 
 class TelemetryServer {
  public:
@@ -105,6 +125,15 @@ class TelemetryServer {
   /// query strings stripped before dispatch.
   void set_handler(std::string path, HttpHandler handler);
 
+  /// Like set_handler, but the handler receives the request's query
+  /// string. A query handler and a plain handler on the same path are one
+  /// route — whichever was registered last wins.
+  void set_query_handler(std::string path, HttpQueryHandler handler);
+
+  /// Enables the /pprofz route against `profiler` (borrowed; outlive the
+  /// server). Install before start().
+  void set_profiler(SamplingProfiler* profiler) { profiler_ = profiler; }
+
   /// Routes a request the way the socket path does — 404 for unknown
   /// paths, 405 for anything but GET. Public so tests can hit routes
   /// without opening sockets.
@@ -118,9 +147,11 @@ class TelemetryServer {
   EventTracer* tracer_;
   LogRing* log_ring_;
   HealthRegistry* health_;
+  SamplingProfiler* profiler_ = nullptr;
 
   mutable std::mutex handlers_mutex_;
   std::map<std::string, HttpHandler, std::less<>> handlers_;
+  std::map<std::string, HttpQueryHandler, std::less<>> query_handlers_;
 
   serve::HttpServer server_;
 };

@@ -36,6 +36,11 @@ struct HttpRequest {
   /// Peer address ("ip" without port), filled by the socket layer; empty
   /// when parsed off-wire in tests.
   std::string client;
+  /// Request id (16 hex digits) minted by HttpServer at dispatch and
+  /// echoed back as the X-Ripki-Request-Id response header; empty when
+  /// parsed off-wire in tests. Handlers thread it into request-scoped
+  /// telemetry (obs::RequestContext) and access-log lines.
+  std::string request_id;
 };
 
 struct HttpResponse {

@@ -9,6 +9,8 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 
 namespace ripki::serve {
@@ -23,7 +25,26 @@ bool set_nonblocking(int fd) {
 }  // namespace
 
 HttpServer::HttpServer(HttpServerOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  // Request ids must differ across server instances and restarts without
+  // a shared counter: fold the construction time and the instance address
+  // into a per-server seed the monotone counter is mixed with.
+  const auto now = std::chrono::steady_clock::now().time_since_epoch().count();
+  request_id_seed_ = static_cast<std::uint64_t>(now) ^
+                     (reinterpret_cast<std::uintptr_t>(this) << 32);
+}
+
+std::string HttpServer::mint_request_id() {
+  // Fibonacci hashing spreads the counter across the id space so ids from
+  // one connection do not share a prefix.
+  const std::uint64_t n =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t id = (request_id_seed_ ^ n) * 0x9E3779B97F4A7C15ull;
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
 
 HttpServer::~HttpServer() { stop(); }
 
@@ -164,6 +185,9 @@ void HttpServer::loop() {
     }
     for (const std::uint64_t id : idle) {
       idle_closed_.fetch_add(1, std::memory_order_relaxed);
+      if (options_.on_connection_dropped) {
+        options_.on_connection_dropped("idle");
+      }
       close_connection(id);
     }
   }
@@ -186,6 +210,9 @@ void HttpServer::accept_ready(std::chrono::steady_clock::time_point now) {
     if (connections_.size() >= options_.max_connections) {
       // Best-effort 503 on the fresh (still-empty) socket and drop.
       overloaded_.fetch_add(1, std::memory_order_relaxed);
+      if (options_.on_connection_dropped) {
+        options_.on_connection_dropped("overload");
+      }
       const std::string bytes = serialize_response(
           HttpResponse{503, "text/plain; charset=utf-8", "server busy\n", {}},
           /*keep_alive=*/false);
@@ -252,6 +279,7 @@ void HttpServer::pump(Connection& connection) {
     HttpRequest request = std::move(connection.pending.front());
     connection.pending.pop_front();
     requests_.fetch_add(1, std::memory_order_relaxed);
+    request.request_id = mint_request_id();
     const bool keep_alive = request.keep_alive;
     if (executor_) {
       connection.busy = true;
@@ -259,6 +287,8 @@ void HttpServer::pump(Connection& connection) {
       const std::uint64_t id = connection.id;
       executor_([this, id, request = std::move(request), keep_alive] {
         HttpResponse response = handler_(request);
+        response.headers.emplace_back("X-Ripki-Request-Id",
+                                      request.request_id);
         {
           std::lock_guard lock(completions_mutex_);
           completions_.push_back(
@@ -269,7 +299,9 @@ void HttpServer::pump(Connection& connection) {
       });
       return;  // strictly one in-flight handler per connection
     }
-    queue_response(connection, handler_(request), keep_alive);
+    HttpResponse response = handler_(request);
+    response.headers.emplace_back("X-Ripki-Request-Id", request.request_id);
+    queue_response(connection, response, keep_alive);
   }
 
   // A failed parser condemns the connection once in-order responses for

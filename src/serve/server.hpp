@@ -27,6 +27,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -43,6 +44,13 @@ struct HttpServerOptions {
   /// Idle keep-alive connections are closed after this long.
   std::chrono::milliseconds idle_timeout{10'000};
   RequestParser::Limits parser_limits;
+  /// Invoked on the loop thread whenever a connection is dropped by the
+  /// server rather than the client: reason "overload" (503 at
+  /// max_connections) or "idle" (keep-alive sweep). The service layer
+  /// turns these into `ripki.serve.conn_dropped{reason=...}` counters —
+  /// a callback because this wire layer sits below obs and cannot take a
+  /// registry without a dependency cycle.
+  std::function<void(std::string_view reason)> on_connection_dropped;
 };
 
 class HttpServer {
@@ -117,6 +125,9 @@ class HttpServer {
   void write_ready(Connection& connection);
   /// Starts the next pending request if the connection is free.
   void pump(Connection& connection);
+  /// 16-hex-digit id, unique within the process: a per-server random-ish
+  /// seed mixed with a monotone counter.
+  std::string mint_request_id();
   void queue_response(Connection& connection, const HttpResponse& response,
                       bool keep_alive);
   void drain_completions();
@@ -137,6 +148,8 @@ class HttpServer {
   /// Loop-thread state: connections keyed by id (ids never recycle).
   std::map<std::uint64_t, Connection> connections_;
   std::uint64_t next_connection_id_ = 1;
+  std::uint64_t request_id_seed_ = 0;
+  std::atomic<std::uint64_t> next_request_id_{1};
 
   std::mutex completions_mutex_;
   std::vector<Completion> completions_;

@@ -5,6 +5,9 @@
 
 #include "exec/thread_pool.hpp"
 #include "obs/metrics.hpp"
+#include "obs/request_context.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 #include "util/strings.hpp"
 #include "util/url.hpp"
 
@@ -34,10 +37,12 @@ bool parse_asn(std::string_view text, net::Asn& out) {
 }  // namespace
 
 QueryService::QueryService(QueryServiceOptions options)
-    : options_(options),
-      server_(options.http),
-      cache_(options.cache),
-      limiter_(options.rate_limit) {
+    : options_(std::move(options)),
+      server_(http_options_with_drop_hook()),
+      cache_(options_.cache),
+      limiter_(options_.rate_limit),
+      access_log_(options_.access_log_capacity),
+      slow_(options_.slow_requests_per_endpoint) {
   server_.set_handler([this](const HttpRequest& request) {
     return handle(request);
   });
@@ -56,13 +61,51 @@ QueryService::QueryService(QueryServiceOptions options)
     cache_evictions_counter_ = &registry->counter("ripki.serve.cache_evictions");
     registry->describe("ripki.serve.cache_hits",
                        "Response cache hits (fresh entries served)");
+    registry->describe("ripki.serve.cache_misses",
+                       "Response cache lookups that missed or were stale");
+    registry->describe("ripki.serve.cache_evictions",
+                       "Response cache entries evicted to make room");
     rejected_counter_ = &registry->counter("ripki.serve.ratelimit_rejected");
     registry->describe("ripki.serve.ratelimit_rejected",
                        "Requests answered 429 by the token-bucket limiter");
+    dropped_overload_counter_ =
+        &registry->counter("ripki.serve.conn_dropped{reason=overload}");
+    registry->describe("ripki.serve.conn_dropped{reason=overload}",
+                       "Connections dropped by the server, by reason");
+    dropped_idle_counter_ =
+        &registry->counter("ripki.serve.conn_dropped{reason=idle}");
+    registry->describe("ripki.serve.conn_dropped{reason=idle}",
+                       "Connections dropped by the server, by reason");
     generation_gauge_ = &registry->gauge("ripki.serve.snapshot_generation");
     registry->describe("ripki.serve.snapshot_generation",
                        "Generation number of the served snapshot");
+    // Latency histograms are created lazily per endpoint tag; HELP text
+    // registered up front covers each one the moment it appears.
+    for (const char* endpoint : {"domain", "ip", "prefix", "summary",
+                                 "cached", "rejected", "admin", "other"}) {
+      registry->describe(std::string("ripki.serve.latency.") + endpoint,
+                         "Request latency in microseconds, per endpoint");
+    }
   }
+}
+
+HttpServerOptions QueryService::http_options_with_drop_hook() {
+  HttpServerOptions http = options_.http;
+  // Chain rather than replace any hook the embedder installed.
+  auto embedder_hook = std::move(http.on_connection_dropped);
+  http.on_connection_dropped =
+      [this, embedder_hook = std::move(embedder_hook)](std::string_view reason) {
+        on_connection_dropped(reason);
+        if (embedder_hook) embedder_hook(reason);
+      };
+  return http;
+}
+
+void QueryService::on_connection_dropped(std::string_view reason) {
+  obs::Counter* counter = reason == "overload" ? dropped_overload_counter_
+                          : reason == "idle"   ? dropped_idle_counter_
+                                               : nullptr;
+  if (counter != nullptr) counter->inc();
 }
 
 QueryService::~QueryService() { stop(); }
@@ -97,36 +140,86 @@ void QueryService::publish_metrics() {
   rejected_counter_->set(limiter_.rejected());
 }
 
+HttpResponse QueryService::admin(const HttpRequest& request) {
+  if (request.path == "/accessz") {
+    return HttpResponse{200, kText, access_log_.render_text(), {}};
+  }
+  if (request.path == "/slowz") {
+    return json_ok(slow_.render_json());
+  }
+  // /pprofz — blocks this handler thread (an executor worker, or the
+  // event loop when no pool is installed) for the capture duration.
+  return obs::profile_capture(options_.profiler, request.query);
+}
+
 HttpResponse QueryService::handle(const HttpRequest& request) {
-  const bool timed = options_.registry != nullptr;
-  const auto started = timed ? std::chrono::steady_clock::now()
-                             : std::chrono::steady_clock::time_point{};
+  const auto started = std::chrono::steady_clock::now();
   if (requests_counter_ != nullptr) requests_counter_->inc();
+
+  // Request-scoped telemetry: every span closed while the handler runs
+  // accumulates on this context (the span tree /slowz shows) and every
+  // log record picks up the request id from the wire header.
+  obs::RequestContext context(
+      obs::RequestContext::parse_id(request.request_id), started);
+  obs::RequestScope scope(&context);
 
   HttpResponse response;
   const char* endpoint = "other";
-  if (request.method != "GET") {
-    response = error_response(405, "only GET is supported\n");
-  } else if (!limiter_.allow(request.client.empty() ? "local" : request.client,
-                             std::chrono::steady_clock::now())) {
-    response = error_response(429, "rate limit exceeded\n");
-    response.headers.push_back({"Retry-After", "1"});
-    endpoint = "rejected";
-  } else {
-    const std::shared_ptr<const Snapshot> snapshot =
-        snapshot_.load(std::memory_order_acquire);
-    response = route(request, snapshot, &endpoint);
+  {
+    // Scoped so the handle span itself lands in the context before the
+    // slow-request ring reads it.
+    obs::Span span(options_.registry, "serve.handle");
+    if (request.method != "GET") {
+      response = error_response(405, "only GET is supported\n");
+    } else if (request.path == "/accessz" || request.path == "/slowz" ||
+               request.path == "/pprofz") {
+      // Before the limiter: diagnostics must stay reachable under load.
+      endpoint = "admin";
+      response = admin(request);
+    } else if (!limiter_.allow(
+                   request.client.empty() ? "local" : request.client,
+                   std::chrono::steady_clock::now())) {
+      response = error_response(429, "rate limit exceeded\n");
+      response.headers.push_back({"Retry-After", "1"});
+      endpoint = "rejected";
+    } else {
+      const std::shared_ptr<const Snapshot> snapshot =
+          snapshot_.load(std::memory_order_acquire);
+      response = route(request, snapshot, &endpoint);
+    }
   }
 
-  if (timed) {
-    const auto elapsed = std::chrono::steady_clock::now() - started;
-    const double us =
-        std::chrono::duration<double, std::micro>(elapsed).count();
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  const std::uint64_t duration_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+  if (options_.registry != nullptr) {
     options_.registry
         ->histogram(std::string("ripki.serve.latency.") + endpoint)
-        .observe(us);
+        .observe(std::chrono::duration<double, std::micro>(elapsed).count());
     publish_metrics();
   }
+
+  access_log_.record(AccessLog::Entry{
+      .seq = 0,
+      .request_id = request.request_id,
+      .client = request.client,
+      .method = request.method,
+      .target = request.target,
+      .endpoint = endpoint,
+      .status = response.status,
+      .duration_us = duration_us,
+  });
+  slow_.offer(SlowRequestRecorder::Entry{
+      .request_id = request.request_id,
+      .client = request.client,
+      .method = request.method,
+      .target = request.target,
+      .endpoint = endpoint,
+      .status = response.status,
+      .duration_us = duration_us,
+      .spans = context.take_spans(),
+      .spans_dropped = context.spans_dropped(),
+  });
   return response;
 }
 
@@ -169,6 +262,7 @@ HttpResponse QueryService::route(const HttpRequest& request,
   const std::vector<std::string>& path = *segments;
   if (path.size() == 3 && path[1] == "domain") {
     *endpoint = "domain";
+    obs::Span span(options_.registry, "domain");
     const core::DomainRecord* record = snapshot->find_domain(path[2]);
     response = record == nullptr
                    ? error_response(404, "unknown domain\n")
@@ -176,12 +270,14 @@ HttpResponse QueryService::route(const HttpRequest& request,
                          *record, snapshot->generation()));
   } else if (path.size() == 3 && path[1] == "ip") {
     *endpoint = "ip";
+    obs::Span span(options_.registry, "ip");
     const auto address = net::IpAddress::parse(path[2]);
     response = address.ok()
                    ? json_ok(snapshot->ip_json(address.value()))
                    : error_response(400, "unparseable IP address\n");
   } else if ((path.size() == 4 || path.size() == 5) && path[1] == "prefix") {
     *endpoint = "prefix";
+    obs::Span span(options_.registry, "prefix");
     // Either ["v1","prefix","10.0.0.0/16","65001"] (encoded slash) or
     // ["v1","prefix","10.0.0.0","16","65001"] (plain slash).
     const std::string prefix_text =
@@ -195,6 +291,7 @@ HttpResponse QueryService::route(const HttpRequest& request,
     }
   } else if (path.size() == 2 && path[1] == "summary") {
     *endpoint = "summary";
+    obs::Span span(options_.registry, "summary");
     response = json_ok(snapshot->summary_json());
   } else {
     response = error_response(404, "not found; GET / lists endpoints\n");

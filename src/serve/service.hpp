@@ -6,6 +6,16 @@
 //
 //   rate limiter -> response cache -> snapshot lookup -> cache fill
 //
+// Every request runs under an obs::RequestScope carrying the id the
+// socket layer minted (echoed as X-Ripki-Request-Id), is recorded in a
+// bounded structured access log, and is offered to a K-worst-per-endpoint
+// slow-request ring together with the span tree collected while it ran.
+// Admin endpoints — served before the rate limiter, so diagnostics stay
+// reachable under load:
+//   /accessz                 access-log window, key=value text
+//   /slowz                   slow-request rings + span trees, JSON
+//   /pprofz?seconds=N        timed CPU profile (requires a profiler)
+//
 // Endpoints (all JSON):
 //   /v1/domain/<name>        per-domain coverage + prefix-AS validity
 //   /v1/ip/<addr>            covering prefixes, origin ASes, validity
@@ -25,7 +35,9 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 
+#include "serve/access_log.hpp"
 #include "serve/cache.hpp"
 #include "serve/http.hpp"
 #include "serve/ratelimit.hpp"
@@ -37,6 +49,7 @@ class Counter;
 class Gauge;
 class Histogram;
 class Registry;
+class SamplingProfiler;
 }
 
 namespace ripki::exec {
@@ -57,6 +70,14 @@ struct QueryServiceOptions {
   /// `ripki.serve.*` and per-endpoint latency histograms under
   /// `ripki.serve.latency.<endpoint>`.
   obs::Registry* registry = nullptr;
+  /// Optional CPU profiler behind /pprofz (borrowed; may be the same
+  /// instance the telemetry server windows). A capture blocks one
+  /// handler thread for its duration.
+  obs::SamplingProfiler* profiler = nullptr;
+  /// Finished requests kept in the /accessz ring.
+  std::size_t access_log_capacity = 256;
+  /// Slowest requests kept per endpoint in the /slowz rings.
+  std::size_t slow_requests_per_endpoint = 8;
 };
 
 class QueryService {
@@ -85,18 +106,28 @@ class QueryService {
   const ResponseCache& cache() const { return cache_; }
   const TokenBucketLimiter& limiter() const { return limiter_; }
   const HttpServer& server() const { return server_; }
+  const AccessLog& access_log() const { return access_log_; }
+  const SlowRequestRecorder& slow_requests() const { return slow_; }
   std::uint64_t requests_served() const { return server_.requests_served(); }
 
  private:
   HttpResponse route(const HttpRequest& request,
                      const std::shared_ptr<const Snapshot>& snapshot,
                      const char** endpoint);
+  /// /accessz, /slowz, /pprofz — served before the rate limiter.
+  HttpResponse admin(const HttpRequest& request);
+  /// options_.http with the connection-drop hook chained in, so the
+  /// server reports overload/idle drops into the conn_dropped counters.
+  HttpServerOptions http_options_with_drop_hook();
+  void on_connection_dropped(std::string_view reason);
   void publish_metrics();
 
   QueryServiceOptions options_;
   HttpServer server_;
   ResponseCache cache_;
   TokenBucketLimiter limiter_;
+  AccessLog access_log_;
+  SlowRequestRecorder slow_;
   std::atomic<std::shared_ptr<const Snapshot>> snapshot_;
 
   // Pre-resolved metric handles (null when no registry).
@@ -105,6 +136,8 @@ class QueryService {
   obs::Counter* cache_misses_counter_ = nullptr;
   obs::Counter* cache_evictions_counter_ = nullptr;
   obs::Counter* rejected_counter_ = nullptr;
+  obs::Counter* dropped_overload_counter_ = nullptr;
+  obs::Counter* dropped_idle_counter_ = nullptr;
   obs::Gauge* generation_gauge_ = nullptr;
 };
 

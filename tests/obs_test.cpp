@@ -11,7 +11,10 @@
 #include "core/export.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/request_context.hpp"
 #include "obs/span.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -445,6 +448,257 @@ TEST(Migration, MrtParseStatsPublishIntoRegistry) {
   EXPECT_EQ(registry.counter("ripki.bgp.mrt.records").value(), 11u);
   EXPECT_EQ(registry.counter("ripki.bgp.mrt.rib_entries").value(), 22u);
   EXPECT_EQ(registry.counter("ripki.bgp.mrt.skipped_attributes").value(), 33u);
+}
+
+// --- request-scoped context --------------------------------------------------
+
+TEST(RequestContext, FormatAndParseIdRoundTrip) {
+  EXPECT_EQ(obs::RequestContext::format_id(0), "0000000000000000");
+  EXPECT_EQ(obs::RequestContext::format_id(0x1234abcd), "000000001234abcd");
+  EXPECT_EQ(obs::RequestContext::format_id(~0ull), "ffffffffffffffff");
+  for (std::uint64_t id : {0ull, 1ull, 0xdeadbeefull, ~0ull}) {
+    EXPECT_EQ(obs::RequestContext::parse_id(obs::RequestContext::format_id(id)),
+              id);
+  }
+  // Short and uppercase spellings parse too (proxies may re-case headers).
+  EXPECT_EQ(obs::RequestContext::parse_id("ff"), 0xffu);
+  EXPECT_EQ(obs::RequestContext::parse_id("DeadBeef"), 0xdeadbeefu);
+}
+
+TEST(RequestContext, ParseIdRejectsMalformedInput) {
+  EXPECT_EQ(obs::RequestContext::parse_id(""), 0u);
+  EXPECT_EQ(obs::RequestContext::parse_id("xyz"), 0u);
+  EXPECT_EQ(obs::RequestContext::parse_id("12 34"), 0u);
+  EXPECT_EQ(obs::RequestContext::parse_id("0x12"), 0u);
+  // 17 digits overflows a u64 id: rejected, not truncated.
+  EXPECT_EQ(obs::RequestContext::parse_id("11111111111111111"), 0u);
+}
+
+TEST(RequestContext, RecordSpanCapsAtMaxSpansAndCountsDrops) {
+  const auto start = std::chrono::steady_clock::now();
+  obs::RequestContext context(7, start);
+  EXPECT_EQ(context.id(), 7u);
+  EXPECT_EQ(context.id_hex(), "0000000000000007");
+
+  const std::size_t kMax = obs::RequestContext::kMaxSpans;
+  for (std::size_t i = 0; i < kMax + 5; ++i) {
+    context.record_span("serve.handle.step", start + std::chrono::microseconds(i),
+                        /*duration_ns=*/2'500);
+  }
+  EXPECT_EQ(context.spans().size(), kMax);
+  EXPECT_EQ(context.spans_dropped(), 5u);
+  EXPECT_EQ(context.spans().front().path, "serve.handle.step");
+  EXPECT_EQ(context.spans().front().duration_us, 2u);  // 2500 ns -> 2 µs
+
+  // Spans that opened before the request (executor clock skew) clamp their
+  // offset to zero instead of going negative.
+  obs::RequestContext late(8, start + std::chrono::seconds(1));
+  late.record_span("early", start, 1'000);
+  EXPECT_EQ(late.spans().front().start_us, 0u);
+
+  // take_spans moves the list out for the slow-request ring.
+  auto moved = context.take_spans();
+  EXPECT_EQ(moved.size(), kMax);
+}
+
+TEST(RequestContext, ScopesInstallNestAndRestore) {
+  EXPECT_EQ(obs::RequestContext::current(), nullptr);
+  const auto now = std::chrono::steady_clock::now();
+  obs::RequestContext outer(1, now);
+  obs::RequestContext inner(2, now);
+  {
+    obs::RequestScope outer_scope(&outer);
+    EXPECT_EQ(obs::RequestContext::current(), &outer);
+    {
+      obs::RequestScope inner_scope(&inner);
+      EXPECT_EQ(obs::RequestContext::current(), &inner);
+      // A null scope is inert: it neither installs nor disturbs.
+      obs::RequestScope null_scope(nullptr);
+      EXPECT_EQ(obs::RequestContext::current(), &inner);
+    }
+    EXPECT_EQ(obs::RequestContext::current(), &outer);
+  }
+  EXPECT_EQ(obs::RequestContext::current(), nullptr);
+}
+
+TEST(RequestContext, SpanStopAppendsToCurrentContext) {
+  obs::Registry registry;
+  obs::RequestContext context(42, std::chrono::steady_clock::now());
+  {
+    obs::RequestScope scope(&context);
+    obs::Span handle(&registry, "serve.handle");
+    { obs::Span child(&registry, "domain"); }
+  }
+  ASSERT_EQ(context.spans().size(), 2u);
+  // Children close first; paths are the full dotted span paths.
+  EXPECT_EQ(context.spans()[0].path, "serve.handle.domain");
+  EXPECT_EQ(context.spans()[1].path, "serve.handle");
+  // Outside a scope the same spans cost nothing and record nowhere.
+  { obs::Span orphan(&registry, "serve.handle"); }
+  EXPECT_EQ(context.spans().size(), 2u);
+}
+
+TEST(RequestContext, LoggerStampsRequestIdWhileScopeIsLive) {
+  obs::Logger logger;
+  std::vector<obs::LogRecord> records;
+  logger.set_sink([&records](const obs::LogRecord& r) { records.push_back(r); });
+
+  obs::RequestContext context(0xabcd, std::chrono::steady_clock::now());
+  {
+    obs::RequestScope scope(&context);
+    logger.log(obs::LogLevel::kInfo, "serve", "inside");
+  }
+  logger.log(obs::LogLevel::kInfo, "serve", "outside");
+  logger.set_sink(nullptr);
+
+  ASSERT_EQ(records.size(), 2u);
+  ASSERT_EQ(records[0].fields.size(), 1u);
+  EXPECT_EQ(records[0].fields[0].key, "request_id");
+  EXPECT_EQ(records[0].fields[0].value, "000000000000abcd");
+  EXPECT_TRUE(records[1].fields.empty());
+}
+
+// --- metric time series ------------------------------------------------------
+
+TEST(TimeSeries, RecordsPerIntervalDeltasAndEvictsOldest) {
+  obs::Registry registry;
+  auto& requests = registry.counter("ripki.test.requests");
+  auto& depth = registry.gauge("ripki.test.depth");
+
+  obs::TimeSeriesRing ring(2);
+  requests.set(10);
+  depth.set(5);
+  ring.record(registry.collect(), 1.0);  // first tick: absolute values
+  requests.inc(30);
+  depth.set(3);
+  ring.record(registry.collect(), 2.0);
+  requests.inc(5);
+  ring.record(registry.collect(), 1.0);  // evicts tick 1
+
+  EXPECT_EQ(ring.ticks(), 3u);
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.capacity(), 2u);
+
+  const auto history = ring.history();
+  ASSERT_EQ(history.size(), 2u);
+  // Sequence numbers keep counting across eviction.
+  EXPECT_EQ(history[0].seq, 2u);
+  EXPECT_EQ(history[1].seq, 3u);
+  EXPECT_DOUBLE_EQ(history[0].seconds, 2.0);
+
+  auto find = [](const std::vector<obs::MetricSnapshot>& deltas,
+                 std::string_view name) -> const obs::MetricSnapshot* {
+    for (const auto& snapshot : deltas) {
+      if (snapshot.name == name) return &snapshot;
+    }
+    return nullptr;
+  };
+  // Counters are per-interval increments; gauges stay point-in-time.
+  const auto* tick2 = find(history[0].deltas, "ripki.test.requests");
+  ASSERT_NE(tick2, nullptr);
+  EXPECT_EQ(tick2->counter_value, 30u);
+  const auto* tick3 = find(history[1].deltas, "ripki.test.requests");
+  ASSERT_NE(tick3, nullptr);
+  EXPECT_EQ(tick3->counter_value, 5u);
+  const auto* gauge2 = find(history[0].deltas, "ripki.test.depth");
+  ASSERT_NE(gauge2, nullptr);
+  EXPECT_EQ(gauge2->gauge_value, 3);
+}
+
+TEST(TimeSeries, RenderJsonEmitsOneSeriesPerMetric) {
+  obs::Registry registry;
+  registry.counter("ripki.test.hits").set(4);
+  registry.histogram("ripki.test.latency").observe(100.0);
+
+  obs::TimeSeriesRing ring(8);
+  ring.record(registry.collect(), 2.0);
+  registry.counter("ripki.test.hits").inc(6);
+  ring.record(registry.collect(), 2.0);
+
+  const std::string json = ring.render_json();
+  EXPECT_EQ(json.find("{\"varz\":"), 0u) << json;
+  EXPECT_NE(json.find("\"ticks\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ripki.test.hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"histogram\""), std::string::npos);
+  // Counter deltas [4, 6] at 2 s intervals -> per-second rates [2, 3].
+  EXPECT_NE(json.find("\"deltas\":[4,6]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"per_sec\":[2,3]"), std::string::npos) << json;
+}
+
+TEST(TimeSeries, MetricsRegisteredMidStreamPadWithZeros) {
+  obs::Registry registry;
+  registry.counter("ripki.test.first").set(1);
+  obs::TimeSeriesRing ring(8);
+  ring.record(registry.collect(), 1.0);
+  registry.counter("ripki.test.second").set(9);
+  ring.record(registry.collect(), 1.0);
+
+  const std::string json = ring.render_json();
+  // The late metric still has one entry per interval: a zero pad, then
+  // its first absolute value.
+  EXPECT_NE(json.find("\"ripki.test.second\""), std::string::npos);
+  EXPECT_NE(json.find("\"deltas\":[0,9]"), std::string::npos) << json;
+}
+
+// --- delta snapshots under tracer wrap and gauge movement --------------------
+
+TEST(Delta, NegativeGaugeDeltasKeepPointInTimeValue) {
+  obs::Registry registry;
+  auto& gauge = registry.gauge("ripki.test.inflight");
+  gauge.set(10);
+  const auto before = registry.collect();
+  gauge.set(-5);  // drains below zero: deltas must not underflow
+  const auto after = registry.collect();
+
+  const auto deltas = obs::delta_snapshots(before, after);
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].kind, obs::MetricSnapshot::Kind::kGauge);
+  EXPECT_EQ(deltas[0].gauge_value, -5);
+}
+
+TEST(Delta, CounterDeltasStayExactWhileTracerRingWraps) {
+  // A small tracer ring wraps many times over while spans keep feeding
+  // the same registry; the histogram/counter deltas must stay exact and
+  // the trace export must still hold only balanced begin/end pairs.
+  obs::Registry registry;
+  obs::EventTracer tracer(/*capacity=*/8, /*sample_every=*/1);
+  registry.set_tracer(&tracer);
+
+  const auto before = registry.collect();
+  constexpr int kSpans = 50;
+  for (int i = 0; i < kSpans; ++i) {
+    obs::Span span(&registry, "wrap.work");
+  }
+  registry.set_tracer(nullptr);
+  const auto after = registry.collect();
+
+  EXPECT_GT(tracer.dropped(), 0u) << "ring must have wrapped";
+
+  const auto deltas = obs::delta_snapshots(before, after);
+  const obs::MetricSnapshot* latency = nullptr;
+  for (const auto& snapshot : deltas) {
+    if (snapshot.name == "ripki.trace.wrap.work") latency = &snapshot;
+  }
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count, static_cast<std::uint64_t>(kSpans));
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t count : latency->bucket_counts) bucket_total += count;
+  EXPECT_EQ(bucket_total, static_cast<std::uint64_t>(kSpans));
+
+  // Wrap tears pairs apart; balance_events must drop every orphan.
+  const auto balanced = obs::balance_events(tracer.snapshot());
+  EXPECT_EQ(balanced.size() % 2, 0u);
+  std::map<std::uint32_t, int> open;
+  for (const auto& event : balanced) {
+    if (event.phase == obs::TraceEvent::Phase::kBegin) {
+      ++open[event.tid];
+    } else {
+      ASSERT_GT(open[event.tid], 0) << "end without a live begin survived";
+      --open[event.tid];
+    }
+  }
+  for (const auto& [tid, depth] : open) EXPECT_EQ(depth, 0) << "tid " << tid;
 }
 
 }  // namespace

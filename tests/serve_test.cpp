@@ -17,9 +17,12 @@
 #include <thread>
 #include <vector>
 
+#include "core/export.hpp"
 #include "core/pipeline.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/metrics.hpp"
+#include "obs/request_context.hpp"
+#include "serve/access_log.hpp"
 #include "serve/cache.hpp"
 #include "serve/http.hpp"
 #include "serve/ratelimit.hpp"
@@ -627,6 +630,303 @@ TEST_F(ServeServiceTest, EndToEndOverSockets) {
 
   ::close(fd);
   service.stop();
+}
+
+// --- access log and slow-request recorder ------------------------------------
+
+AccessLog::Entry access_entry(std::string id, int status,
+                              std::uint64_t duration_us) {
+  AccessLog::Entry entry;
+  entry.request_id = std::move(id);
+  entry.client = "127.0.0.1";
+  entry.method = "GET";
+  entry.target = "/v1/summary";
+  entry.endpoint = "summary";
+  entry.status = status;
+  entry.duration_us = duration_us;
+  return entry;
+}
+
+TEST(AccessLog, RingEvictsOldestAndSequenceNeverRecycles) {
+  AccessLog log(/*capacity=*/2);
+  log.record(access_entry("aaaa", 200, 10));
+  log.record(access_entry("bbbb", 200, 20));
+  log.record(access_entry("cccc", 404, 30));
+
+  EXPECT_EQ(log.total(), 3u);
+  const auto entries = log.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  // Oldest first; the evicted entry's sequence number is not reused, so a
+  // scraper can tell one entry was missed.
+  EXPECT_EQ(entries[0].seq, 2u);
+  EXPECT_EQ(entries[0].request_id, "bbbb");
+  EXPECT_EQ(entries[1].seq, 3u);
+  EXPECT_EQ(entries[1].status, 404);
+}
+
+TEST(AccessLog, RenderTextQuotesAwkwardValues) {
+  AccessLog log(4);
+  auto entry = access_entry("dddd", 200, 55);
+  entry.target = "/v1/domain/has space";
+  log.record(entry);
+
+  const std::string text = log.render_text();
+  EXPECT_NE(text.find("seq=1 request_id=dddd client=127.0.0.1 method=GET"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("target=\"/v1/domain/has space\""), std::string::npos);
+  EXPECT_NE(text.find("status=200 duration_us=55"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+SlowRequestRecorder::Entry slow_entry(std::string endpoint,
+                                      std::uint64_t duration_us) {
+  SlowRequestRecorder::Entry entry;
+  entry.request_id = "feed0000" + std::to_string(duration_us);
+  entry.client = "127.0.0.1";
+  entry.method = "GET";
+  entry.target = "/v1/x";
+  entry.endpoint = std::move(endpoint);
+  entry.status = 200;
+  entry.duration_us = duration_us;
+  return entry;
+}
+
+TEST(SlowRequest, KeepsKWorstPerEndpointSlowestFirst) {
+  SlowRequestRecorder slow(/*per_endpoint=*/2);
+  // summary's half-empty ring keeps the floor open for the whole test.
+  slow.offer(slow_entry("summary", 5));
+  slow.offer(slow_entry("domain", 10));
+  slow.offer(slow_entry("domain", 30));
+  slow.offer(slow_entry("domain", 20));
+
+  const auto domain = slow.worst("domain");
+  ASSERT_EQ(domain.size(), 2u);
+  EXPECT_EQ(domain[0].duration_us, 30u);
+  EXPECT_EQ(domain[1].duration_us, 20u);  // 10 µs displaced
+  ASSERT_EQ(slow.worst("summary").size(), 1u);
+  EXPECT_TRUE(slow.worst("unseen").empty());
+  EXPECT_EQ(slow.endpoints(), (std::vector<std::string>{"domain", "summary"}));
+  EXPECT_EQ(slow.offered(), 4u);
+  EXPECT_EQ(slow.admitted(), 4u);
+}
+
+TEST(SlowRequest, FloorOpensOnlyOnceEveryRingIsFull) {
+  SlowRequestRecorder slow(/*per_endpoint=*/2);
+  slow.offer(slow_entry("domain", 100));
+  // One ring with room: the floor stays open.
+  EXPECT_EQ(slow.floor_us(), 0u);
+  slow.offer(slow_entry("domain", 200));
+  // Both slots taken: the floor is the fastest resident (100 µs).
+  EXPECT_EQ(slow.floor_us(), 100u);
+
+  // At or below the floor: rejected without touching the ring.
+  slow.offer(slow_entry("domain", 100));
+  EXPECT_EQ(slow.admitted(), 2u);
+  EXPECT_EQ(slow.offered(), 3u);
+
+  // Beating the floor displaces the fastest resident and raises it.
+  slow.offer(slow_entry("domain", 150));
+  EXPECT_EQ(slow.admitted(), 3u);
+  EXPECT_EQ(slow.floor_us(), 150u);
+  const auto domain = slow.worst("domain");
+  ASSERT_EQ(domain.size(), 2u);
+  EXPECT_EQ(domain[0].duration_us, 200u);
+  EXPECT_EQ(domain[1].duration_us, 150u);
+
+  // The documented caveat: a brand-new endpoint tag arriving once every
+  // existing ring is full is skipped by the fast path until it beats the
+  // floor...
+  slow.offer(slow_entry("summary", 1));
+  EXPECT_TRUE(slow.worst("summary").empty());
+  EXPECT_EQ(slow.floor_us(), 150u);
+
+  // ...and the first one that does creates its ring, whose free slot
+  // re-opens the floor.
+  slow.offer(slow_entry("summary", 160));
+  ASSERT_EQ(slow.worst("summary").size(), 1u);
+  EXPECT_EQ(slow.floor_us(), 0u);
+}
+
+TEST(SlowRequest, RenderJsonCarriesSpanTrees) {
+  SlowRequestRecorder slow(2);
+  auto entry = slow_entry("domain", 90);
+  entry.request_id = "00000000000000aa";
+  entry.spans.push_back({"serve.handle.domain", 3, 80});
+  entry.spans.push_back({"serve.handle", 0, 90});
+  entry.spans_dropped = 1;
+  slow.offer(std::move(entry));
+
+  const std::string json = slow.render_json();
+  EXPECT_EQ(json.find("{\"slowz\":"), 0u) << json;
+  EXPECT_NE(json.find("\"request_id\":\"00000000000000aa\""), std::string::npos);
+  EXPECT_NE(json.find("\"endpoint\":\"domain\""), std::string::npos);
+  EXPECT_NE(json.find("\"path\":\"serve.handle.domain\",\"start_us\":3,"
+                      "\"duration_us\":80"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"spans_dropped\":1"), std::string::npos);
+}
+
+// --- request-scoped observability through the service ------------------------
+
+TEST_F(ServeServiceTest, RequestIdFlowsFromHeaderToAccessLogAndSlowz) {
+  // Spans only record when a registry is wired (a null registry keeps
+  // obs::Span inert); the access log and request ids work either way.
+  obs::Registry registry;
+  QueryServiceOptions options;
+  options.registry = &registry;
+  QueryService service(options);
+  service.publish(snapshot_);
+  ASSERT_TRUE(service.start());
+
+  const int fd = connect_to(service.port());
+  ASSERT_GE(fd, 0);
+  std::string carry;
+  send_all(fd, "GET /v1/summary HTTP/1.1\r\n\r\n");
+  const std::string response = recv_response(fd, carry);
+  ::close(fd);
+
+  // Every response carries a 16-hex-digit request id header.
+  const auto pos = response.find("X-Ripki-Request-Id: ");
+  ASSERT_NE(pos, std::string::npos) << response;
+  const std::string id = response.substr(pos + 20, 16);
+  EXPECT_EQ(id.size(), 16u);
+  EXPECT_NE(obs::RequestContext::parse_id(id), 0u) << id;
+
+  service.stop();
+
+  // The same id shows up in the access log with the routing tag...
+  const auto entries = service.access_log().entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].request_id, id);
+  EXPECT_EQ(entries[0].endpoint, "summary");
+  EXPECT_EQ(entries[0].status, 200);
+  EXPECT_EQ(entries[0].target, "/v1/summary");
+
+  // ...and in the slow-request ring, span tree attached.
+  const auto worst = service.slow_requests().worst("summary");
+  ASSERT_EQ(worst.size(), 1u);
+  EXPECT_EQ(worst[0].request_id, id);
+  ASSERT_FALSE(worst[0].spans.empty());
+  bool saw_handle = false, saw_endpoint = false;
+  for (const auto& span : worst[0].spans) {
+    saw_handle = saw_handle || span.path == "serve.handle";
+    saw_endpoint = saw_endpoint || span.path == "serve.handle.summary";
+  }
+  EXPECT_TRUE(saw_handle);
+  EXPECT_TRUE(saw_endpoint);
+}
+
+TEST_F(ServeServiceTest, AdminEndpointsServeAndBypassRateLimiter) {
+  QueryServiceOptions options;
+  options.rate_limit.tokens_per_sec = 0.001;
+  options.rate_limit.burst = 1.0;
+  QueryService service(options);
+  service.publish(snapshot_);
+
+  EXPECT_EQ(service.handle(get("/v1/summary")).status, 200);
+  EXPECT_EQ(service.handle(get("/v1/summary")).status, 429);  // bucket empty
+
+  // Diagnostics must stay reachable from the same (limited) client.
+  const HttpResponse access = service.handle(get("/accessz"));
+  EXPECT_EQ(access.status, 200);
+  EXPECT_NE(access.body.find("endpoint=summary"), std::string::npos);
+
+  const HttpResponse slowz = service.handle(get("/slowz"));
+  EXPECT_EQ(slowz.status, 200);
+  EXPECT_EQ(slowz.content_type, "application/json");
+  EXPECT_NE(slowz.body.find("\"slowz\""), std::string::npos);
+
+  // No profiler wired: /pprofz reports unavailable rather than 404.
+  EXPECT_EQ(service.handle(get("/pprofz?seconds=1")).status, 503);
+
+  // Rejected requests are themselves logged, tagged "rejected".
+  bool saw_rejected = false;
+  for (const auto& entry : service.access_log().entries()) {
+    saw_rejected = saw_rejected || (entry.endpoint == "rejected" &&
+                                    entry.status == 429);
+  }
+  EXPECT_TRUE(saw_rejected);
+}
+
+TEST_F(ServeServiceTest, ConnectionDropsCountByReason) {
+  obs::Registry registry;
+  QueryServiceOptions options;
+  options.registry = &registry;
+  options.http.max_connections = 1;
+  QueryService service(options);
+  service.publish(snapshot_);
+  ASSERT_TRUE(service.start());
+
+  // First connection occupies the only slot...
+  const int first = connect_to(service.port());
+  ASSERT_GE(first, 0);
+  std::string carry1;
+  send_all(first, "GET /v1/summary HTTP/1.1\r\n\r\n");
+  ASSERT_NE(recv_response(first, carry1).find("200 OK"), std::string::npos);
+
+  // ...so the next accept is turned away with a best-effort 503.
+  const int second = connect_to(service.port());
+  ASSERT_GE(second, 0);
+  std::string carry2;
+  send_all(second, "GET /v1/summary HTTP/1.1\r\n\r\n");
+  const std::string refused = recv_response(second, carry2);
+  EXPECT_NE(refused.find("503"), std::string::npos) << refused;
+
+  ::close(first);
+  ::close(second);
+  service.stop();
+
+  EXPECT_EQ(
+      registry.counter("ripki.serve.conn_dropped{reason=overload}").value(),
+      1u);
+  EXPECT_EQ(service.server().stats().overloaded, 1u);
+}
+
+TEST_F(ServeServiceTest, EveryServeAndExecMetricCarriesHelpText) {
+  obs::Registry registry;
+  exec::ThreadPool pool(2, &registry);  // registers ripki.exec.* metrics
+  QueryServiceOptions options;
+  options.registry = &registry;
+  options.pool = &pool;
+  QueryService service(options);
+  service.publish(snapshot_);
+
+  // Touch enough of the surface that lazily-created metrics exist too.
+  service.handle(get("/v1/domain/" + dataset_->records[0].name));
+  service.handle(get("/v1/summary"));
+  service.handle(get("/accessz"));
+  service.handle(get("/v1/nothing-here"));
+
+  // Registry level: every serve/exec metric has HELP attached.
+  std::size_t checked = 0;
+  for (const auto& snapshot : registry.collect()) {
+    if (snapshot.name.rfind("ripki.serve.", 0) != 0 &&
+        snapshot.name.rfind("ripki.exec.", 0) != 0) {
+      continue;
+    }
+    EXPECT_FALSE(snapshot.help.empty()) << snapshot.name << " has no HELP";
+    ++checked;
+  }
+  EXPECT_GE(checked, 10u);
+
+  // Exposition level: each family appears with a HELP line, and the two
+  // labeled conn_dropped variants fold into one family with one HELP.
+  std::ostringstream os;
+  core::export_metrics_prometheus(registry, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# HELP ripki_serve_requests_total"), std::string::npos);
+  EXPECT_NE(text.find("# HELP ripki_serve_conn_dropped"), std::string::npos);
+  EXPECT_NE(text.find("ripki_serve_conn_dropped{reason=\"overload\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ripki_serve_conn_dropped{reason=\"idle\"}"),
+            std::string::npos);
+  EXPECT_EQ(text.find("# HELP ripki_serve_conn_dropped",
+                      text.find("# HELP ripki_serve_conn_dropped") + 1),
+            std::string::npos)
+      << "family HELP must be emitted once";
 }
 
 }  // namespace
