@@ -17,6 +17,13 @@ returned bytes that diverged from the dataset-derived oracle). The
 profiler_overhead block of perf_pipeline_stages is compared the same way
 as tracer_overhead.
 
+The scheduler block carries its own absolute gate, independent of the
+baseline: every rung's SchedTelemetry recording overhead (the best of
+several adjacent off/on pairs, measured by the bench itself) must stay
+under SCHED_OVERHEAD_PCT — subject to the same 5 ms absolute floor,
+since a percentage of a sub-10-ms rung is pure scheduler-noise
+territory.
+
 Exit codes: 0 ok, 1 regression or identity failure, 2 usage/parse error.
 Stdlib only; runs in the CI bench-smoke job after the bench binary.
 """
@@ -26,6 +33,22 @@ import json
 import sys
 
 ABS_FLOOR_MS = 5.0
+SCHED_OVERHEAD_PCT = 3.0
+
+
+def sched_overhead_failures(report):
+    """Scheduler-telemetry rungs whose recording overhead breaches the
+    absolute <3% budget (with the 5 ms noise floor)."""
+    failures = []
+    for run in report.get("scheduler", {}).get("runs", []):
+        overhead_pct = run.get("overhead_pct", 0.0)
+        delta_ms = run.get("on_ms", 0.0) - run.get("off_ms", 0.0)
+        if overhead_pct > SCHED_OVERHEAD_PCT and delta_ms > ABS_FLOOR_MS:
+            failures.append(
+                f"scheduler.threads={run['threads']}: {overhead_pct:+.2f}% "
+                f"({run.get('off_ms', 0.0):.1f} -> {run.get('on_ms', 0.0):.1f}"
+                f" ms)")
+    return failures
 
 
 def stage_times(report):
@@ -102,6 +125,17 @@ def main():
     for name in broken:
         print(f"IDENTITY FAILURE: {name} is false")
 
+    sched_broken = sched_overhead_failures(current)
+    for name in sched_broken:
+        print(f"SCHED OVERHEAD: {name} exceeds {SCHED_OVERHEAD_PCT:.0f}%")
+    for run in current.get("scheduler", {}).get("runs", []):
+        print(f"scheduler.threads={run['threads']:<34} "
+              f"{run.get('off_ms', 0.0):10.3f} -> "
+              f"{run.get('on_ms', 0.0):10.3f} ms "
+              f"({run.get('overhead_pct', 0.0):+7.1f}%) "
+              f"util {run.get('utilization_pct', 0.0):5.1f}% "
+              f"steal {run.get('steal_ratio', 0.0):.3f}")
+
     base_stages = stage_times(baseline)
     cur_stages = stage_times(current)
     regressions = []
@@ -138,7 +172,10 @@ def main():
               f"{args.threshold:.0f}% over baseline: {', '.join(regressions)}")
     if broken:
         print(f"\n{len(broken)} identity check(s) failed")
-    return 1 if regressions or broken else 0
+    if sched_broken:
+        print(f"\n{len(sched_broken)} scheduler rung(s) exceeded the "
+              f"{SCHED_OVERHEAD_PCT:.0f}% telemetry overhead budget")
+    return 1 if regressions or broken or sched_broken else 0
 
 
 if __name__ == "__main__":

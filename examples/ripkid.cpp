@@ -10,6 +10,8 @@
 //   curl localhost:<port>/tracez         Chrome trace JSON (Perfetto)
 //   curl localhost:<port>/logz           log flight-recorder dump
 //   curl localhost:<port>/runz           last run's per-run stage table
+//   curl localhost:<port>/schedz         scheduler X-ray: per-worker
+//                                        utilization, steals, stage split
 //   curl localhost:<port>/varz           per-interval metric history (JSON)
 //   curl localhost:<port>/pprofz         timed CPU profile (folded stacks)
 //   curl localhost:<port>/slowz          API slow-request rings + span trees
@@ -53,6 +55,7 @@
 #include "exec/thread_pool.hpp"
 #include "obs/logring.hpp"
 #include "obs/profiler.hpp"
+#include "obs/sched.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/timeseries.hpp"
@@ -125,12 +128,18 @@ int main(int argc, char** argv) {
   obs::HealthRegistry health;
   health.set("pipeline", false, "no completed run yet");
 
+  // Scheduler X-ray for the sweep: per-worker timelines, queue-depth
+  // samples, stage attribution. Serves /schedz and joins /tracez.
+  obs::SchedTelemetry sched(&registry);
+
   pipeline_config.registry = &registry;
   pipeline_config.tracer = &tracer;
   pipeline_config.health = &health;
+  pipeline_config.sched = &sched;
   pipeline_config.verbosity = obs::LogLevel::kInfo;
 
   obs::TelemetryServer server({.port = port}, &tracer, &log_ring, &health);
+  server.set_sched(&sched);
   core::attach_metrics_endpoints(server, registry);
 
   // CPU profiler behind /pprofz on both servers; --profile arms it for
@@ -167,8 +176,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "ripkid: telemetry on http://127.0.0.1:" << server.port()
-            << "/ (metrics, metrics.json, healthz, tracez, logz, runz, "
-               "varz, pprofz"
+            << "/ (metrics, metrics.json, healthz, tracez, schedz, logz, "
+               "runz, varz, pprofz"
             << (profile ? "; profiler armed at 100 Hz" : "") << ")\n";
 
   // The query API: lookups answered from the latest run's snapshot,
@@ -254,6 +263,53 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(caches.validation_hits),
                     static_cast<unsigned long long>(caches.validation_misses),
                     caches.validation_hit_rate() * 100.0);
+      // Per-worker split, so one worker with a cold cache (imbalanced
+      // shard mix) is visible instead of averaged away.
+      std::string worker_lines;
+      if (caches.workers.size() > 1) {
+        for (std::size_t w = 0; w < caches.workers.size(); ++w) {
+          const auto& wk = caches.workers[w];
+          char line[192];
+          std::snprintf(
+              line, sizeof line,
+              "  worker %zu: covering %.1f%% hit (%llu/%llu), "
+              "validation %.1f%% hit (%llu/%llu)\n",
+              w, wk.covering_hit_rate() * 100.0,
+              static_cast<unsigned long long>(wk.covering_hits),
+              static_cast<unsigned long long>(wk.covering_hits +
+                                              wk.covering_misses),
+              wk.validation_hit_rate() * 100.0,
+              static_cast<unsigned long long>(wk.validation_hits),
+              static_cast<unsigned long long>(wk.validation_hits +
+                                              wk.validation_misses));
+          worker_lines += line;
+        }
+      }
+      // One-line scheduler summary; /schedz has the full X-ray.
+      char sched_line[224];
+      {
+        const auto ss = sched.snapshot();
+        const std::size_t sweep_workers =
+            ss.lanes.size() > 1 ? ss.lanes.size() - 1 : ss.lanes.size();
+        std::uint64_t tasks = 0, steals = 0, run_ns = 0;
+        for (std::size_t i = 0; i < sweep_workers; ++i) {
+          tasks += ss.lanes[i].tasks;
+          steals += ss.lanes[i].steals;
+          run_ns += ss.lanes[i].run_ns;
+        }
+        const double window_ms = ss.window_ms();
+        const double util =
+            sweep_workers == 0 || window_ms <= 0.0
+                ? 0.0
+                : static_cast<double>(run_ns) / 1e6 /
+                      (window_ms * static_cast<double>(sweep_workers)) * 100.0;
+        std::snprintf(sched_line, sizeof sched_line,
+                      "scheduler: %zu lanes, %llu tasks (%llu stolen), "
+                      "utilization %.1f%% — /schedz for the full X-ray\n",
+                      ss.lanes.size(),
+                      static_cast<unsigned long long>(tasks),
+                      static_cast<unsigned long long>(steals), util);
+      }
       const auto& setup = pipeline.setup_stats();
       char setup_line[256];
       std::snprintf(setup_line, sizeof setup_line,
@@ -271,7 +327,8 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(api.limiter().rejected()));
       std::lock_guard lock(runz_mutex);
       runz = "run " + std::to_string(run + 1) + " (per-run deltas)\n" +
-             cache_line + setup_line + serving_line + obs::stage_report(delta);
+             cache_line + worker_lines + sched_line + setup_line +
+             serving_line + obs::stage_report(delta);
     }
     std::cout << "ripkid: run " << run + 1 << " done — "
               << dataset.counters.domains_total << " domains, "

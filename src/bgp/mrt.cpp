@@ -13,6 +13,13 @@ void ParseStats::publish(obs::Registry& registry) const {
   for_each_field([&](const char* name, std::uint64_t value) {
     registry.counter(std::string("ripki.bgp.mrt.") + name).set(value);
   });
+  registry.describe("ripki.bgp.mrt.records",
+                    "MRT records decoded from the stage 3 table dump");
+  registry.describe("ripki.bgp.mrt.rib_entries",
+                    "RIB path entries extracted from TABLE_DUMP_V2 records");
+  registry.describe("ripki.bgp.mrt.skipped_attributes",
+                    "BGP path attributes skipped as unknown or malformed "
+                    "during MRT decode");
 }
 
 void ParseStats::merge(const ParseStats& other) {

@@ -39,6 +39,34 @@ void PipelineCounters::publish(obs::Registry& registry) const {
   for_each_field([&](const char* name, std::uint64_t value) {
     registry.counter(std::string("ripki.pipeline.") + name).set(value);
   });
+  static constexpr struct {
+    const char* name;
+    const char* help;
+  } kHelp[] = {
+      {"domains_total", "Domains measured (paper stage 1 selection)"},
+      {"domains_excluded_dns",
+       "Domains where neither www nor apex resolved (excluded from the "
+       "dataset)"},
+      {"dns_queries", "DNS queries issued during stage 2 resolution"},
+      {"addresses_www", "Addresses resolved for the www.<domain> variant"},
+      {"addresses_apex", "Addresses resolved for the apex <domain> variant"},
+      {"special_purpose_excluded",
+       "Resolved addresses discarded as IANA special-purpose space"},
+      {"unrouted_addresses",
+       "Resolved addresses with no covering prefix in the RIB"},
+      {"pairs_www",
+       "Unique (prefix, origin AS) pairs from the www variant (stage 3)"},
+      {"pairs_apex",
+       "Unique (prefix, origin AS) pairs from the apex variant (stage 3)"},
+      {"as_set_entries_excluded",
+       "RIB entries skipped because the AS path ends in an AS_SET "
+       "(RFC 6472)"},
+      {"dnssec_signed_domains",
+       "Domains whose apex publishes a DNSKEY (DNSSEC adoption probe)"},
+  };
+  for (const auto& entry : kHelp) {
+    registry.describe(std::string("ripki.pipeline.") + entry.name, entry.help);
+  }
 }
 
 double VariantResult::coverage() const {

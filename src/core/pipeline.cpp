@@ -7,6 +7,7 @@
 #include "bgp/covering_cache.hpp"
 #include "exec/thread_pool.hpp"
 #include "net/special.hpp"
+#include "obs/sched.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -94,6 +95,8 @@ void MeasurementPipeline::prepare_rib(exec::ThreadPool* pool) {
         .set(static_cast<std::int64_t>(rib_.entry_count()));
     config_.registry->gauge("ripki.bgp.mrt_parse_records_per_sec")
         .set(static_cast<std::int64_t>(setup_stats_.mrt_records_per_sec));
+    config_.registry->describe("ripki.bgp.rib_entries",
+                               "Path entries in the MRT-loaded RIB (stage 3)");
     config_.registry->describe("ripki.bgp.mrt_parse_records_per_sec",
                                "MRT records parsed per second in the last "
                                "stage 3 table load");
@@ -173,7 +176,9 @@ VariantResult MeasurementPipeline::measure_variant(SweepContext& ctx,
 
   // Step 2: resolve A/AAAA with CNAME chasing.
   obs::Span dns_span(config_.registry, "stage2.dns");
+  obs::StageScope dns_stage(config_.sched, obs::SweepStage::kDns);
   auto resolution = ctx.resolver.resolve_all(name);
+  dns_stage.stop();
   dns_span.stop();
   if (!resolution.ok()) return result;  // treated as unresolvable
   const dns::Resolution& res = resolution.value();
@@ -200,6 +205,7 @@ VariantResult MeasurementPipeline::measure_variant(SweepContext& ctx,
   // Step 3: all covering prefixes and their origin ASes, through the
   // per-worker memoized covering lookup.
   obs::Span lookup_span(config_.registry, "stage3.prefix_origin");
+  obs::StageScope lookup_stage(config_.sched, obs::SweepStage::kCovering);
   std::vector<PrefixAsPair> pairs;
   for (const auto& addr : addresses) {
     const auto& covering = ctx.covering.covering(addr);
@@ -224,11 +230,14 @@ VariantResult MeasurementPipeline::measure_variant(SweepContext& ctx,
   // Deduplicate (a domain with several addresses in one prefix yields the
   // pair once) and run step 4 on each unique pair, memoized per worker.
   dedupe_pairs(pairs);
+  lookup_stage.stop();
   lookup_span.stop();
   obs::Span validate_span(config_.registry, "stage4.origin_validation");
+  obs::StageScope validate_stage(config_.sched, obs::SweepStage::kValidation);
   for (auto& pair : pairs) {
     pair.validity = ctx.validation.validate(pair.prefix, pair.origin);
   }
+  validate_stage.stop();
   validate_span.stop();
   result.pairs = std::move(pairs);
   return result;
@@ -251,18 +260,22 @@ DomainRecord MeasurementPipeline::measure_domain(std::size_t index,
 
   // DNSSEC adoption probe (future-work comparison): does the zone apex
   // publish a DNSKEY?
-  if (auto dnskey =
-          ctx.resolver.query(apex_name.value(), dns::RecordType::kDnskey);
-      dnskey.ok()) {
-    for (const auto& rr : dnskey.value().answers) {
-      if (rr.type == dns::RecordType::kDnskey) {
-        record.dnssec_signed = true;
-        ++ctx.counters.dnssec_signed_domains;
-        break;
+  {
+    obs::StageScope probe_stage(config_.sched, obs::SweepStage::kDns);
+    if (auto dnskey =
+            ctx.resolver.query(apex_name.value(), dns::RecordType::kDnskey);
+        dnskey.ok()) {
+      for (const auto& rr : dnskey.value().answers) {
+        if (rr.type == dns::RecordType::kDnskey) {
+          record.dnssec_signed = true;
+          ++ctx.counters.dnssec_signed_domains;
+          break;
+        }
       }
     }
   }
 
+  obs::StageScope emit_stage(config_.sched, obs::SweepStage::kEmit);
   ++ctx.counters.domains_total;
   if (record.excluded_dns) ++ctx.counters.domains_excluded_dns;
   ctx.counters.addresses_www += record.www.address_count;
@@ -279,6 +292,11 @@ void MeasurementPipeline::absorb_context(SweepContext& ctx, Dataset& dataset) {
   cache_stats_.covering_misses += ctx.covering.misses();
   cache_stats_.validation_hits += ctx.validation.hits();
   cache_stats_.validation_misses += ctx.validation.misses();
+  cache_stats_.workers.push_back(CacheStats::Worker{
+      .covering_hits = ctx.covering.hits(),
+      .covering_misses = ctx.covering.misses(),
+      .validation_hits = ctx.validation.hits(),
+      .validation_misses = ctx.validation.misses()});
 }
 
 void MeasurementPipeline::publish_sweep_metrics() const {
@@ -295,9 +313,15 @@ void MeasurementPipeline::publish_sweep_metrics() const {
   registry.describe("ripki.bgp.covering_cache_hits",
                     "Covering-prefix lookups answered from the per-worker "
                     "address cache");
+  registry.describe("ripki.bgp.covering_cache_misses",
+                    "Covering-prefix lookups that walked the RIB trie "
+                    "(per-worker cache miss)");
   registry.describe("ripki.rpki.validation_cache_hits",
                     "RFC 6811 validations answered from the per-worker "
                     "(prefix, origin) cache");
+  registry.describe("ripki.rpki.validation_cache_misses",
+                    "RFC 6811 validations computed against the VRP index "
+                    "(per-worker cache miss)");
   registry.gauge("ripki.exec.threads")
       .set(static_cast<std::int64_t>(config_.threads));
   registry.describe("ripki.exec.threads",
@@ -329,7 +353,26 @@ Dataset MeasurementPipeline::run() {
   // spawned (and their counters registered) exactly once per run.
   std::unique_ptr<exec::ThreadPool> pool;
   if (config_.threads > 0) {
-    pool = std::make_unique<exec::ThreadPool>(config_.threads, config_.registry);
+    pool = std::make_unique<exec::ThreadPool>(config_.threads, config_.registry,
+                                              config_.sched);
+  } else if (config_.sched != nullptr) {
+    // Serial run: one telemetry window with only the external lane, which
+    // the sweep below binds to the calling thread.
+    config_.sched->begin_run(0);
+  }
+  // Samples the pool's queue depths for the duration of the run. Declared
+  // after `pool` so its destructor stops the sampler before the pool (and
+  // with it the depth source) goes away.
+  struct SamplerGuard {
+    obs::SchedTelemetry* sched = nullptr;
+    ~SamplerGuard() {
+      if (sched != nullptr) sched->stop_queue_sampler();
+    }
+  } sampler_guard;
+  if (pool != nullptr && config_.sched != nullptr) {
+    config_.sched->start_queue_sampler(
+        [p = pool.get()] { return p->queue_depths(); });
+    sampler_guard.sched = config_.sched;
   }
   prepare_rib(pool.get());
   prepare_vrps(pool.get());
@@ -356,6 +399,11 @@ Dataset MeasurementPipeline::run() {
   if (config_.threads == 0) {
     SweepContext ctx(&zones, &rib_, &vrp_index_, config_.registry);
     obs::Span sweep_span(config_.registry, "sweep");
+    // Bind the calling thread to the external lane so the stage scopes in
+    // measure_variant attribute serial sweep time too.
+    obs::LaneScope lane(config_.sched, config_.sched != nullptr
+                                           ? config_.sched->external_lane()
+                                           : 0);
     for (std::size_t i = 0; i < count; ++i) {
       dataset.records[i] = measure_domain(i, ctx);
     }

@@ -12,7 +12,9 @@
 //                             classified per RFC 6811
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "bgp/mrt.hpp"
 #include "core/dataset.hpp"
@@ -26,6 +28,7 @@
 namespace ripki::obs {
 class EventTracer;
 class HealthRegistry;
+class SchedTelemetry;
 }
 
 namespace ripki::exec {
@@ -81,6 +84,13 @@ struct PipelineConfig {
   /// `dns` (resolutions succeeded), `pipeline` (run completed).
   obs::HealthRegistry* health = nullptr;
 
+  /// Scheduler telemetry (borrowed, optional). The sweep's thread pool
+  /// records per-worker timelines into it, queue depths are sampled for
+  /// the duration of the run, and the four sweep stages charge their wall
+  /// time to the worker's lane (serial runs use the external lane). Must
+  /// outlive run().
+  obs::SchedTelemetry* sched = nullptr;
+
   /// Minimum severity of the pipeline's own log output (through the
   /// global obs::Logger). Default silences everything below warnings;
   /// kInfo adds per-stage progress lines and the timing table.
@@ -94,9 +104,11 @@ class MeasurementPipeline {
   /// Runs all four steps and returns the annotated dataset.
   Dataset run();
 
-  /// Aggregated hot-path cache traffic of the last run() — summed across
-  /// workers in parallel runs. Also published to the registry as
-  /// `ripki.bgp.covering_cache_*` / `ripki.rpki.validation_cache_*`.
+  /// Hot-path cache traffic of the last run(): aggregate totals plus one
+  /// per-worker entry (index = pool worker; a serial run has exactly one),
+  /// so imbalanced cache behavior across workers stays visible. Totals are
+  /// also published to the registry as `ripki.bgp.covering_cache_*` /
+  /// `ripki.rpki.validation_cache_*`.
   struct CacheStats {
     std::uint64_t covering_hits = 0;
     std::uint64_t covering_misses = 0;
@@ -115,6 +127,22 @@ class MeasurementPipeline {
     double validation_hit_rate() const {
       return rate(validation_hits, validation_misses);
     }
+
+    /// One sweep context's traffic (per pool worker, in worker order).
+    struct Worker {
+      std::uint64_t covering_hits = 0;
+      std::uint64_t covering_misses = 0;
+      std::uint64_t validation_hits = 0;
+      std::uint64_t validation_misses = 0;
+
+      double covering_hit_rate() const {
+        return rate(covering_hits, covering_misses);
+      }
+      double validation_hit_rate() const {
+        return rate(validation_hits, validation_misses);
+      }
+    };
+    std::vector<Worker> workers;
   };
 
   /// Wall-clock timings and throughput of the two setup stages of the

@@ -17,6 +17,14 @@ void StubResolver::attach(obs::Registry* registry) {
   queries_counter_ = &registry->counter("ripki.dns.queries");
   tcp_retries_counter_ = &registry->counter("ripki.dns.tcp_retries");
   cname_hops_counter_ = &registry->counter("ripki.dns.cname_hops");
+  registry->describe("ripki.dns.queries",
+                     "DNS queries sent by the stub resolver (UDP and TCP "
+                     "retries both count)");
+  registry->describe("ripki.dns.tcp_retries",
+                     "Queries retried over TCP after a truncated UDP "
+                     "response (RFC 1035 §4.2.1)");
+  registry->describe("ripki.dns.cname_hops",
+                     "CNAME links followed while chasing resolution chains");
 }
 
 util::Result<Resolution> StubResolver::resolve(const DnsName& name, RecordType type) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
+#include "obs/sched.hpp"
 
 namespace ripki::exec {
 
@@ -16,8 +17,12 @@ thread_local std::size_t t_worker_index = ThreadPool::npos;
 
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t threads, obs::Registry* registry) {
+ThreadPool::ThreadPool(std::size_t threads, obs::Registry* registry,
+                       obs::SchedTelemetry* sched)
+    : sched_(sched) {
   threads = std::max<std::size_t>(1, threads);
+  // Size the telemetry lanes before any worker can attach to one.
+  if (sched_ != nullptr) sched_->begin_run(threads);
   if (registry != nullptr) {
     executed_counter_ = &registry->counter("ripki.exec.tasks_executed");
     stolen_counter_ = &registry->counter("ripki.exec.tasks_stolen");
@@ -64,6 +69,7 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(queues_[target]->mutex);
     queues_[target]->tasks.push_back(std::move(task));
+    queues_[target]->depth.fetch_add(1, std::memory_order_relaxed);
   }
   queued_.fetch_add(1, std::memory_order_release);
   {
@@ -74,6 +80,10 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 bool ThreadPool::try_run_one(std::size_t self) {
+  // `record` is per-call: it holds exactly when this thread owns a lane of
+  // sched_, which worker_loop established at startup. Threads of an
+  // uninstrumented pool take the single-branch bailout in every recorder.
+  const bool record = sched_ != nullptr && sched_->attached();
   std::function<void()> task;
   bool stole = false;
   {
@@ -82,16 +92,24 @@ bool ThreadPool::try_run_one(std::size_t self) {
     if (!own.tasks.empty()) {
       task = std::move(own.tasks.front());
       own.tasks.pop_front();
+      own.depth.fetch_sub(1, std::memory_order_relaxed);
     }
   }
-  for (std::size_t i = 1; i < queues_.size() && !task; ++i) {
-    Queue& victim = *queues_[(self + i) % queues_.size()];
-    std::lock_guard lock(victim.mutex);
-    if (!victim.tasks.empty()) {
-      task = std::move(victim.tasks.back());
-      victim.tasks.pop_back();
-      stole = true;
+  if (task) {
+    if (record) sched_->on_own_pop();
+  } else if (queues_.size() > 1) {
+    const std::uint64_t scan_begin = record ? sched_->now_us() : 0;
+    for (std::size_t i = 1; i < queues_.size() && !task; ++i) {
+      Queue& victim = *queues_[(self + i) % queues_.size()];
+      std::lock_guard lock(victim.mutex);
+      if (!victim.tasks.empty()) {
+        task = std::move(victim.tasks.back());
+        victim.tasks.pop_back();
+        victim.depth.fetch_sub(1, std::memory_order_relaxed);
+        stole = true;
+      }
     }
+    if (record) sched_->on_steal(stole, scan_begin, sched_->now_us());
   }
   if (!task) return false;
 
@@ -100,7 +118,13 @@ bool ThreadPool::try_run_one(std::size_t self) {
     stolen_.fetch_add(1, std::memory_order_relaxed);
     if (stolen_counter_ != nullptr) stolen_counter_->inc();
   }
-  task();
+  if (record) {
+    const std::uint64_t run_begin = sched_->now_us();
+    task();
+    sched_->on_task_run(run_begin, sched_->now_us());
+  } else {
+    task();
+  }
   executed_.fetch_add(1, std::memory_order_relaxed);
   if (executed_counter_ != nullptr) executed_counter_->inc();
   return true;
@@ -109,22 +133,38 @@ bool ThreadPool::try_run_one(std::size_t self) {
 void ThreadPool::worker_loop(std::size_t index) {
   t_pool = this;
   t_worker_index = index;
+  if (sched_ != nullptr) sched_->attach_lane(index);
+  const bool record = sched_ != nullptr && sched_->attached();
   for (;;) {
     if (try_run_one(index)) continue;
-    std::unique_lock lock(wake_mutex_);
-    wake_cv_.wait(lock, [this] {
-      return stop_.load(std::memory_order_acquire) ||
-             queued_.load(std::memory_order_acquire) > 0;
-    });
-    // Drain everything still queued before honoring stop, so destruction
-    // never abandons submitted work.
-    if (stop_.load(std::memory_order_acquire) &&
-        queued_.load(std::memory_order_acquire) == 0) {
-      break;
+    const std::uint64_t park_begin = record ? sched_->now_us() : 0;
+    bool stopping = false;
+    {
+      std::unique_lock lock(wake_mutex_);
+      wake_cv_.wait(lock, [this] {
+        return stop_.load(std::memory_order_acquire) ||
+               queued_.load(std::memory_order_acquire) > 0;
+      });
+      // Drain everything still queued before honoring stop, so destruction
+      // never abandons submitted work.
+      stopping = stop_.load(std::memory_order_acquire) &&
+                 queued_.load(std::memory_order_acquire) == 0;
     }
+    if (record) sched_->on_idle(park_begin, sched_->now_us());
+    if (stopping) break;
   }
+  if (sched_ != nullptr) sched_->detach_lane();
   t_pool = nullptr;
   t_worker_index = npos;
+}
+
+std::vector<std::size_t> ThreadPool::queue_depths() const {
+  std::vector<std::size_t> out;
+  out.reserve(queues_.size());
+  for (const auto& queue : queues_) {
+    out.push_back(queue->depth.load(std::memory_order_relaxed));
+  }
+  return out;
 }
 
 void parallel_for_shards(

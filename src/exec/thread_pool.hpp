@@ -32,6 +32,7 @@
 namespace ripki::obs {
 class Counter;
 class Registry;
+class SchedTelemetry;
 }
 
 namespace ripki::exec {
@@ -43,8 +44,13 @@ class ThreadPool {
 
   /// Starts `threads` workers (clamped to at least 1). When `registry` is
   /// set, executed/stolen task counts are published as
-  /// `ripki.exec.tasks_executed` / `ripki.exec.tasks_stolen`.
-  explicit ThreadPool(std::size_t threads, obs::Registry* registry = nullptr);
+  /// `ripki.exec.tasks_executed` / `ripki.exec.tasks_stolen`. When `sched`
+  /// is set, the pool calls `sched->begin_run(threads)` before any worker
+  /// starts and each worker records its timeline (task runs, steal scans,
+  /// condvar parks) into its own telemetry lane; `sched` must outlive the
+  /// pool.
+  explicit ThreadPool(std::size_t threads, obs::Registry* registry = nullptr,
+                      obs::SchedTelemetry* sched = nullptr);
 
   /// Joins the workers. Tasks already submitted are drained first; do not
   /// submit concurrently with destruction.
@@ -72,10 +78,17 @@ class ThreadPool {
     return stolen_.load(std::memory_order_relaxed);
   }
 
+  /// Point-in-time task count of every worker queue (index = worker), for
+  /// the scheduler telemetry queue-depth sampler. Approximate by nature:
+  /// the atomics are read without freezing the queues.
+  std::vector<std::size_t> queue_depths() const;
+
  private:
   struct Queue {
     std::mutex mutex;
     std::deque<std::function<void()>> tasks;
+    /// Mirror of tasks.size(), readable without the mutex.
+    std::atomic<std::size_t> depth{0};
   };
 
   /// Runs one task (own queue first, then steal). False when every queue
@@ -97,6 +110,7 @@ class ThreadPool {
   std::atomic<std::uint64_t> stolen_{0};
   obs::Counter* executed_counter_ = nullptr;
   obs::Counter* stolen_counter_ = nullptr;
+  obs::SchedTelemetry* sched_ = nullptr;
 };
 
 /// Splits [0, n_items) into `n_shards` contiguous ranges (sizes differing

@@ -120,7 +120,15 @@ std::vector<MetricSnapshot> Registry::collect() const {
   std::lock_guard lock(mutex_);
   const auto help_for = [this](const std::string& name) {
     const auto it = help_.find(name);
-    return it == help_.end() ? std::string() : it->second;
+    if (it != help_.end()) return it->second;
+    // `ripki.trace.<path>` histograms are minted implicitly by every span
+    // path, so nobody calls describe() for them; synthesize the HELP the
+    // family shares instead of exposing them undocumented.
+    if (name.starts_with("ripki.trace.")) {
+      return "Duration histogram (µs) of the '" +
+             name.substr(sizeof("ripki.trace.") - 1) + "' trace span";
+    }
+    return std::string();
   };
   std::vector<MetricSnapshot> out;
   out.reserve(counters_.size() + gauges_.size() + histograms_.size());

@@ -1,0 +1,318 @@
+// Scheduler X-ray: low-overhead observability for exec::ThreadPool and
+// the parallel measurement sweep.
+//
+// Where the metrics registry aggregates (how many tasks ran) and the
+// event tracer follows spans (which code path ran), SchedTelemetry
+// answers the scheduling questions between the two: what was each worker
+// doing at every moment of a run — executing a task, scanning victim
+// queues, parked on the wake condvar — and, while it was executing,
+// which of the paper's sweep stages (DNS resolution, BGP covering
+// lookup, RPKI validation, record emit) the cycles went to.
+//
+// Design:
+//  - One Lane per pool worker plus one "external" lane for the calling
+//    thread (the serial sweep path). A lane is owned by exactly one
+//    thread at a time; every hot-path write lands in the owner's own
+//    lane (cacheline-aligned, separately allocated), so recording never
+//    touches a shared cacheline. The per-lane mutex is uncontended in
+//    steady state — the exporter is the only other party that ever takes
+//    it.
+//  - Each lane holds a bounded interval ring (task-run, steal-success /
+//    steal-fail scans, idle-park, stage-attributed compute). When the
+//    ring wraps the oldest interval is overwritten and counted, so a
+//    long sweep always retains its most recent window.
+//  - Stage attribution accumulates elapsed nanoseconds per SweepStage in
+//    the lane; obs::StageScope is the RAII recorder the pipeline drops
+//    next to its existing trace spans (two clock reads per scope).
+//  - Queue depths are sampled by a telemetry-owned thread into an
+//    obs::TimeSeriesRing (one gauge series per worker queue), decoupled
+//    from the pool via a depth-source callback so `obs` never depends on
+//    `exec`.
+//  - Registry integration (optional): steal-latency and task-size
+//    histograms plus a queue-depth gauge under `ripki.exec.*`.
+//
+// Exports: render_json() backs the /schedz endpoint (utilization, steal
+// ratio, idle tail, per-worker stage breakdown); export_chrome_trace()
+// emits per-worker named tracks, and export_combined_trace() merges them
+// with an EventTracer's span timeline into one Perfetto-loadable file.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/timeseries.hpp"
+
+namespace ripki::obs {
+
+class Registry;
+class Counter;
+class Gauge;
+class Histogram;
+class EventTracer;
+
+/// The paper's four sweep stages, as wall-time attribution buckets.
+enum class SweepStage : std::uint8_t {
+  kDns = 0,        // stage 2: A/AAAA/CNAME resolution + DNSSEC probe
+  kCovering = 1,   // stage 3: covering-prefix + origin-AS lookup
+  kValidation = 2, // stage 4: RFC 6811 origin validation
+  kEmit = 3,       // record assembly / counter bookkeeping
+};
+inline constexpr std::size_t kSweepStageCount = 4;
+
+/// Stable lowercase name ("dns", "covering", "validation", "emit").
+const char* sweep_stage_name(SweepStage stage);
+
+class SchedTelemetry {
+ public:
+  enum class EventKind : std::uint8_t {
+    kRun = 0,          // one pool task execution
+    kIdle = 1,         // parked on the wake condvar
+    kStealSuccess = 2, // victim scan that acquired a task
+    kStealFail = 3,    // victim scan that found every queue empty
+    kStage = 4,        // stage-attributed compute slice (within a run)
+  };
+
+  /// One recorded interval on a lane's timeline. `stage` is meaningful
+  /// only for kStage events.
+  struct Event {
+    std::uint64_t begin_us = 0;  // microseconds since the telemetry epoch
+    std::uint64_t end_us = 0;
+    EventKind kind = EventKind::kRun;
+    SweepStage stage = SweepStage::kDns;
+  };
+
+  struct Options {
+    /// Events retained per lane; older intervals are overwritten.
+    std::size_t ring_capacity = 4096;
+    /// Queue-depth sampling period (microseconds). 5 ms keeps the
+    /// sampler thread's wakeups cheap even on single-core boxes where it
+    /// competes with the workers, while still retaining >1 s of history
+    /// in the default ring.
+    std::uint64_t queue_sample_period_us = 5000;
+    /// Intervals retained in the queue-depth ring.
+    std::size_t queue_ring_capacity = 256;
+  };
+
+  /// When `registry` is set, steal-latency (`ripki.exec.steal_latency_us`)
+  /// and task-size (`ripki.exec.task_run_us`) histograms plus the
+  /// `ripki.exec.queue_depth` gauge are published into it (borrowed; must
+  /// outlive this object).
+  explicit SchedTelemetry(Registry* registry = nullptr);
+  SchedTelemetry(Registry* registry, Options options);
+  ~SchedTelemetry();
+
+  SchedTelemetry(const SchedTelemetry&) = delete;
+  SchedTelemetry& operator=(const SchedTelemetry&) = delete;
+
+  /// Starts a run window: sizes the lanes to `workers` + 1 (the extra
+  /// lane is the external/serial lane), clears every timeline, and stamps
+  /// the window begin. Must not race with attached recorders —
+  /// exec::ThreadPool calls it from its constructor, before any worker
+  /// starts; call it manually only for pool-less (serial) runs.
+  void begin_run(std::size_t workers);
+
+  /// Lanes of the current window (workers + 1); 0 before any begin_run.
+  std::size_t lanes() const;
+  /// The calling-thread lane (last index) for serial/external recording.
+  std::size_t external_lane() const;
+  std::size_t ring_capacity() const { return options_.ring_capacity; }
+
+  /// Binds the calling thread to `lane`; hot-path recorders are no-ops on
+  /// threads with no bound lane. One thread per lane at a time.
+  void attach_lane(std::size_t lane);
+  void detach_lane();
+  /// Whether the calling thread holds a lane of *this* telemetry.
+  bool attached() const;
+
+  /// Microseconds since the telemetry epoch (construction time; stable
+  /// across begin_run so traces from successive runs stay monotonic).
+  std::uint64_t now_us() const;
+  std::chrono::steady_clock::time_point epoch() const { return epoch_; }
+
+  // --- hot-path recorders (no-ops when the thread has no lane) ---------
+
+  /// A task popped from the worker's own queue (FIFO end).
+  void on_own_pop();
+  /// A victim scan: `success` when a task was stolen. Records the scan
+  /// interval and, on success, observes the steal latency histogram.
+  void on_steal(bool success, std::uint64_t begin_us, std::uint64_t end_us);
+  /// One task execution. Records the run interval and observes the
+  /// task-size histogram.
+  void on_task_run(std::uint64_t begin_us, std::uint64_t end_us);
+  /// One condvar park (wait entry to wake).
+  void on_idle(std::uint64_t begin_us, std::uint64_t end_us);
+  /// One stage-attributed compute slice (normally via StageScope).
+  void on_stage(SweepStage stage, std::uint64_t begin_us,
+                std::uint64_t end_us);
+
+  // --- queue-depth sampling --------------------------------------------
+
+  /// Starts the sampling thread: every queue_sample_period_us, `depths`
+  /// is polled and one interval (gauges `ripki.exec.queue_depth.worker<i>`
+  /// plus `.total`) is recorded into the internal TimeSeriesRing. The
+  /// callback must stay valid until stop_queue_sampler(). Idempotent:
+  /// restarting replaces the previous sampler.
+  void start_queue_sampler(std::function<std::vector<std::size_t>()> depths);
+  /// Stops and joins the sampler (safe when never started).
+  void stop_queue_sampler();
+  const TimeSeriesRing& queue_depth_ring() const { return queue_ring_; }
+
+  // --- read side --------------------------------------------------------
+
+  struct LaneSnapshot {
+    std::size_t lane = 0;
+    bool external = false;       // the calling-thread lane
+    std::uint64_t tasks = 0;     // task-run intervals recorded
+    std::uint64_t own_pops = 0;  // tasks taken from the own queue
+    std::uint64_t steals = 0;    // tasks taken from a victim queue
+    std::uint64_t steal_fails = 0;
+    std::uint64_t run_ns = 0;    // total task execution time
+    std::uint64_t idle_ns = 0;   // total condvar-parked time
+    std::array<std::uint64_t, kSweepStageCount> stage_ns{};
+    std::uint64_t last_run_end_us = 0;  // end of the latest task, 0 if none
+    std::uint64_t events_dropped = 0;   // intervals lost to ring wrap
+    std::vector<Event> events;          // chronological
+  };
+
+  struct Snapshot {
+    std::uint64_t window_begin_us = 0;  // begin_run stamp
+    std::uint64_t window_end_us = 0;    // snapshot stamp
+    std::vector<LaneSnapshot> lanes;
+
+    double window_ms() const {
+      return static_cast<double>(window_end_us - window_begin_us) / 1000.0;
+    }
+
+    /// Whole-window rollup shared by render_json() and the bench's
+    /// scheduler block. Counters aggregate over the worker lanes only —
+    /// unless the external lane is the whole story (serial run) — while
+    /// stage attribution always sums every lane.
+    struct Aggregates {
+      std::size_t workers = 0;  // lanes counted into the rollup
+      std::uint64_t tasks = 0;
+      std::uint64_t own_pops = 0;
+      std::uint64_t steals = 0;
+      std::uint64_t steal_fails = 0;
+      std::uint64_t run_ns = 0;
+      double utilization_pct = 0.0;  // run time / (window × workers)
+      double steal_ratio = 0.0;      // steals / tasks
+      double idle_tail_ms = 0.0;     // max lane gap from last run to window end
+      std::array<double, kSweepStageCount> stage_ms{};
+    };
+    Aggregates aggregates() const;
+  };
+
+  Snapshot snapshot() const;
+
+  /// /schedz JSON: {"schedz": {"workers":.., "window_ms":..,
+  ///   "utilization_pct":.., "steal_ratio":.., "idle_tail_ms":..,
+  ///   "tasks":.., "steals":.., "stage_ms": {"dns":.., ...},
+  ///   "lanes":[{"lane":..,"external":..,"utilization_pct":..,
+  ///             "run_ms":..,"idle_ms":..,"idle_tail_ms":..,"tasks":..,
+  ///             "own_pops":..,"steals":..,"steal_fails":..,
+  ///             "events_dropped":..,"stage_ms":{..}}, ..],
+  ///   "queue_depth": <TimeSeriesRing JSON>}}
+  /// Aggregate utilization averages the worker lanes (external lane
+  /// excluded unless it is the only lane); idle_tail is the largest
+  /// per-worker gap between its last completed task and the window end.
+  std::string render_json() const;
+
+  /// Chrome trace events for the per-worker timelines only: "X" complete
+  /// events under pid 2, one named track per lane ("worker-N" /
+  /// "external").
+  void export_chrome_trace(std::ostream& os) const;
+  std::string chrome_trace_json() const;
+
+ private:
+  struct Lane;
+
+  Lane* current_lane() const;
+  void write_trace_events(std::ostream& os, bool& first,
+                          std::int64_t offset_us) const;
+  friend void export_combined_trace(const EventTracer* tracer,
+                                    const SchedTelemetry* sched,
+                                    std::ostream& os);
+
+  const Options options_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex lanes_mutex_;  // guards the lanes vector itself
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::atomic<std::uint64_t> window_begin_us_{0};
+
+  TimeSeriesRing queue_ring_;
+  std::thread sampler_;
+  std::atomic<bool> sampler_stop_{false};
+  std::function<std::vector<std::size_t>()> depth_source_;
+
+  Histogram* steal_latency_ = nullptr;  // ripki.exec.steal_latency_us
+  Histogram* task_run_ = nullptr;       // ripki.exec.task_run_us
+  Gauge* queue_depth_gauge_ = nullptr;  // ripki.exec.queue_depth (total)
+};
+
+/// RAII stage attribution: charges the scope's wall time to `stage` on
+/// the calling thread's lane. Inert when `sched` is null or the thread
+/// has no lane (two branches, no clock read).
+class StageScope {
+ public:
+  StageScope(SchedTelemetry* sched, SweepStage stage)
+      : sched_(sched != nullptr && sched->attached() ? sched : nullptr),
+        stage_(stage) {
+    if (sched_ != nullptr) begin_us_ = sched_->now_us();
+  }
+  ~StageScope() { stop(); }
+
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+  /// Records now instead of at scope exit; idempotent.
+  void stop() {
+    if (sched_ == nullptr) return;
+    sched_->on_stage(stage_, begin_us_, sched_->now_us());
+    sched_ = nullptr;
+  }
+
+ private:
+  SchedTelemetry* sched_;
+  SweepStage stage_;
+  std::uint64_t begin_us_ = 0;
+};
+
+/// Binds the calling thread to a telemetry lane for the scope's lifetime
+/// (the serial sweep uses the external lane). Inert when `sched` is null.
+class LaneScope {
+ public:
+  LaneScope(SchedTelemetry* sched, std::size_t lane) : sched_(sched) {
+    if (sched_ != nullptr) sched_->attach_lane(lane);
+  }
+  ~LaneScope() {
+    if (sched_ != nullptr) sched_->detach_lane();
+  }
+
+  LaneScope(const LaneScope&) = delete;
+  LaneScope& operator=(const LaneScope&) = delete;
+
+ private:
+  SchedTelemetry* sched_;
+};
+
+/// One Perfetto-loadable JSON document holding both timelines: the
+/// tracer's span events (pid 1, per-thread tracks, offset to the sched
+/// epoch so the time axes align) and the scheduler's per-worker tracks
+/// (pid 2). Either source may be null; with both null the document is an
+/// empty trace.
+void export_combined_trace(const EventTracer* tracer,
+                           const SchedTelemetry* sched, std::ostream& os);
+std::string combined_trace_json(const EventTracer* tracer,
+                                const SchedTelemetry* sched);
+
+}  // namespace ripki::obs

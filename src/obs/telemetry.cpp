@@ -9,6 +9,7 @@
 
 #include "obs/profiler.hpp"
 #include "obs/request_context.hpp"
+#include "obs/sched.hpp"
 #include "util/strings.hpp"
 #include "util/url.hpp"
 
@@ -188,11 +189,24 @@ void TelemetryServer::register_builtin_routes() {
   set_handler("/tracez", [this] {
     HttpResponse response;
     response.content_type = "application/json";
-    if (tracer_ == nullptr) {
+    if (tracer_ == nullptr && sched_ == nullptr) {
       response.body = "{\"traceEvents\":[]}\n";
       return response;
     }
-    response.body = tracer_->chrome_trace_json();
+    // With a scheduler attached the trace carries both processes (spans
+    // pid 1, per-worker tracks pid 2) on one aligned time axis.
+    response.body = sched_ != nullptr ? combined_trace_json(tracer_, sched_)
+                                      : tracer_->chrome_trace_json();
+    return response;
+  });
+  set_handler("/schedz", [this] {
+    HttpResponse response;
+    if (sched_ == nullptr) {
+      response.body = "(no scheduler telemetry configured)\n";
+      return response;
+    }
+    response.content_type = "application/json";
+    response.body = sched_->render_json();
     return response;
   });
   set_handler("/logz", [this] {

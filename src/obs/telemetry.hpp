@@ -7,7 +7,12 @@
 //   /metrics     Prometheus text exposition      (registered by core)
 //   /metrics.json   registry as JSON             (registered by core)
 //   /healthz     per-subsystem health, 200/503
-//   /tracez      Chrome trace-event JSON (Perfetto / chrome://tracing)
+//   /tracez      Chrome trace-event JSON (Perfetto / chrome://tracing);
+//                with set_sched the scheduler's per-worker tracks are
+//                merged in as a second process
+//   /schedz      scheduler X-ray JSON (requires set_sched): per-worker
+//                utilization, steal ratio, idle tail, stage attribution,
+//                queue-depth history
 //   /logz        log flight-recorder dump
 //   /pprofz      timed CPU profile capture (requires set_profiler);
 //                ?seconds=N&format=folded|json — NOTE: handlers run
@@ -36,6 +41,7 @@
 namespace ripki::obs {
 
 class SamplingProfiler;
+class SchedTelemetry;
 
 // --- health ----------------------------------------------------------------
 
@@ -134,6 +140,11 @@ class TelemetryServer {
   /// server). Install before start().
   void set_profiler(SamplingProfiler* profiler) { profiler_ = profiler; }
 
+  /// Enables the /schedz route and merges the scheduler's per-worker
+  /// tracks into /tracez (borrowed; outlive the server). Install before
+  /// start().
+  void set_sched(SchedTelemetry* sched) { sched_ = sched; }
+
   /// Routes a request the way the socket path does — 404 for unknown
   /// paths, 405 for anything but GET. Public so tests can hit routes
   /// without opening sockets.
@@ -148,6 +159,7 @@ class TelemetryServer {
   LogRing* log_ring_;
   HealthRegistry* health_;
   SamplingProfiler* profiler_ = nullptr;
+  SchedTelemetry* sched_ = nullptr;
 
   mutable std::mutex handlers_mutex_;
   std::map<std::string, HttpHandler, std::less<>> handlers_;

@@ -1,14 +1,13 @@
 #include "obs/trace.hpp"
 
+#include <cstdio>
 #include <sstream>
 
 namespace ripki::obs {
 
-namespace {
-
 /// Span paths are plain dotted identifiers, but the exporter must stay
 /// valid JSON for any name a caller invents.
-std::string json_escape(std::string_view s) {
+std::string trace_json_escape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
@@ -30,8 +29,6 @@ std::string json_escape(std::string_view s) {
   }
   return out;
 }
-
-}  // namespace
 
 EventTracer::EventTracer(std::size_t capacity, std::uint32_t sample_every)
     : capacity_(capacity == 0 ? 1 : capacity),
@@ -185,7 +182,8 @@ void EventTracer::export_chrome_trace(std::ostream& os) const {
   }
   for (const auto& event : events) {
     comma();
-    os << "{\"name\":\"" << json_escape(event.name) << "\",\"cat\":\"ripki\","
+    os << "{\"name\":\"" << trace_json_escape(event.name)
+       << "\",\"cat\":\"ripki\","
        << "\"ph\":\"" << (event.phase == TraceEvent::Phase::kBegin ? 'B' : 'E')
        << "\",\"ts\":" << event.ts_us << ",\"pid\":1,\"tid\":" << event.tid
        << '}';

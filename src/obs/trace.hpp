@@ -61,6 +61,9 @@ class EventTracer {
   std::uint64_t sampled_out() const;  // spans skipped by sampling
   std::uint32_t sample_every() const { return sample_every_; }
   std::size_t capacity() const { return capacity_; }
+  /// The tracer's time zero (construction), for aligning its timestamps
+  /// with other steady_clock-based sources (e.g. SchedTelemetry).
+  std::chrono::steady_clock::time_point epoch() const { return epoch_; }
 
   /// Empties the ring and resets drop/sample counters (thread ids and the
   /// time epoch persist, so ts stays monotonic across clears).
@@ -98,5 +101,8 @@ class EventTracer {
 /// thread, an end without a live begin and a begin without an end are both
 /// removed. Exposed for the well-formedness tests.
 std::vector<TraceEvent> balance_events(const std::vector<TraceEvent>& events);
+
+/// JSON string escaping shared by the trace exporters.
+std::string trace_json_escape(std::string_view s);
 
 }  // namespace ripki::obs

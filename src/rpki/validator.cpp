@@ -185,6 +185,17 @@ void RepositoryValidator::publish(const ValidationReport& report) const {
   r.counter("ripki.rpki.roas_accepted").set(report.roas_accepted);
   r.counter("ripki.rpki.roas_rejected").set(report.roas_rejected);
   r.gauge("ripki.rpki.vrps").set(static_cast<std::int64_t>(report.vrps.size()));
+  r.describe("ripki.rpki.tas_processed",
+             "Trust anchors processed in the stage 4 repository walk");
+  r.describe("ripki.rpki.cas_accepted",
+             "CA certificates accepted during chain validation");
+  r.describe("ripki.rpki.cas_rejected",
+             "CA certificates rejected (bad signature, expired, or "
+             "malformed)");
+  r.describe("ripki.rpki.roas_accepted",
+             "ROAs whose EE certificate and signature validated");
+  r.describe("ripki.rpki.roas_rejected",
+             "ROAs rejected during cryptographic validation");
 }
 
 bool RepositoryValidator::validate_ta(const Repository& repo,

@@ -8,6 +8,23 @@ void RouterClient::SyncStats::publish(obs::Registry& registry) const {
   for_each_field([&](const char* name, std::uint64_t value) {
     registry.counter(std::string("ripki.rtr.") + name).set(value);
   });
+  static constexpr struct {
+    const char* name;
+    const char* help;
+  } kHelp[] = {
+      {"resets", "RTR cache resets performed (full state reload)"},
+      {"serial_syncs", "RTR incremental serial-query syncs completed"},
+      {"pdus_received", "RTR PDUs received from the cache server"},
+      {"announcements", "VRP announcements applied from prefix PDUs"},
+      {"withdrawals", "VRP withdrawals applied from prefix PDUs"},
+      {"cache_resets_seen", "Cache Reset PDUs received (serial unknown)"},
+      {"version_downgrades",
+       "Protocol version downgrades negotiated with the cache"},
+      {"router_keys_received", "Router Key PDUs received (BGPsec, v1)"},
+  };
+  for (const auto& entry : kHelp) {
+    registry.describe(std::string("ripki.rtr.") + entry.name, entry.help);
+  }
 }
 
 util::Result<void> RouterClient::apply(const PrefixPdu& pdu) {

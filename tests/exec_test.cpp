@@ -359,5 +359,67 @@ TEST_F(ParallelPipelineTest, MaxDomainsRespectedInParallel) {
   }
 }
 
+TEST_F(ParallelPipelineTest, PerWorkerCacheStatsSumToAggregate) {
+  core::PipelineConfig config;
+  config.threads = 4;
+  core::MeasurementPipeline pipeline(*eco_, config);
+  expect_equal_to_serial(pipeline.run());
+
+  const auto& caches = pipeline.cache_stats();
+  ASSERT_EQ(caches.workers.size(), 4u);
+  std::uint64_t covering_hits = 0, covering_misses = 0;
+  std::uint64_t validation_hits = 0, validation_misses = 0;
+  for (const auto& worker : caches.workers) {
+    covering_hits += worker.covering_hits;
+    covering_misses += worker.covering_misses;
+    validation_hits += worker.validation_hits;
+    validation_misses += worker.validation_misses;
+    EXPECT_GE(worker.covering_hit_rate(), 0.0);
+    EXPECT_LE(worker.covering_hit_rate(), 1.0);
+  }
+  EXPECT_EQ(covering_hits, caches.covering_hits);
+  EXPECT_EQ(covering_misses, caches.covering_misses);
+  EXPECT_EQ(validation_hits, caches.validation_hits);
+  EXPECT_EQ(validation_misses, caches.validation_misses);
+  // A 3k-domain sweep split four ways leaves no worker idle.
+  for (const auto& worker : caches.workers) {
+    EXPECT_GT(worker.covering_hits + worker.covering_misses, 0u);
+  }
+}
+
+TEST_F(ParallelPipelineTest, SerialRunReportsOneCacheStatsWorker) {
+  core::PipelineConfig config;
+  config.max_domains = 50;
+  core::MeasurementPipeline pipeline(*eco_, config);
+  pipeline.run();
+  const auto& caches = pipeline.cache_stats();
+  ASSERT_EQ(caches.workers.size(), 1u);
+  EXPECT_EQ(caches.workers[0].covering_hits, caches.covering_hits);
+  EXPECT_EQ(caches.workers[0].validation_misses, caches.validation_misses);
+}
+
+TEST_F(ParallelPipelineTest, EveryRegisteredMetricCarriesHelpText) {
+  // Full-coverage sweep over the whole registry: run the pipeline with
+  // every optional path that registers metrics (RTR transport included)
+  // and demand HELP text on everything it minted — `ripki.trace.*` span
+  // histograms synthesize theirs in collect().
+  obs::Registry registry;
+  core::PipelineConfig config;
+  config.threads = 2;
+  config.registry = &registry;
+  config.use_rtr = true;
+  config.max_domains = 100;
+  core::MeasurementPipeline pipeline(*eco_, config);
+  pipeline.run();
+
+  std::size_t checked = 0;
+  for (const auto& snapshot : registry.collect()) {
+    EXPECT_FALSE(snapshot.help.empty()) << snapshot.name << " has no HELP";
+    ++checked;
+  }
+  // dns + bgp + rpki + rtr + pipeline + exec + trace families.
+  EXPECT_GE(checked, 30u);
+}
+
 }  // namespace
 }  // namespace ripki

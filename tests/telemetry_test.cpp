@@ -17,6 +17,7 @@
 #include "core/pipeline.hpp"
 #include "obs/logring.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sched.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -371,6 +372,53 @@ TEST(TelemetryServer, TracezAndLogzServeTheirSources) {
 
   const auto logz = server.dispatch("GET", "/logz");
   EXPECT_NE(logz.body.find("flight record"), std::string::npos);
+}
+
+TEST(TelemetryServer, SchedzServesSchedulerTelemetry) {
+  obs::TelemetryServer bare({});
+  EXPECT_NE(bare.dispatch("GET", "/schedz").body.find("no scheduler"),
+            std::string::npos);
+
+  obs::SchedTelemetry sched;
+  sched.begin_run(2);
+  sched.attach_lane(0);
+  sched.on_own_pop();
+  sched.on_task_run(0, 500);
+  sched.detach_lane();
+
+  obs::TelemetryServer server({});
+  server.set_sched(&sched);
+  const auto schedz = server.dispatch("GET", "/schedz");
+  EXPECT_EQ(schedz.status, 200);
+  EXPECT_EQ(schedz.content_type, "application/json");
+  EXPECT_NE(schedz.body.find("\"schedz\""), std::string::npos);
+  EXPECT_NE(schedz.body.find("\"workers\":2"), std::string::npos);
+  EXPECT_NE(schedz.body.find("\"utilization_pct\""), std::string::npos);
+  EXPECT_NE(schedz.body.find("\"stage_ms\""), std::string::npos);
+  // The index advertises the route.
+  EXPECT_NE(server.dispatch("GET", "/").body.find("/schedz"),
+            std::string::npos);
+}
+
+TEST(TelemetryServer, TracezMergesSchedulerTracksWhenConfigured) {
+  obs::EventTracer tracer;
+  tracer.begin("sweep", now());
+  tracer.end("sweep", now());
+
+  obs::SchedTelemetry sched;
+  sched.begin_run(1);
+  sched.attach_lane(0);
+  sched.on_task_run(0, 50);
+  sched.detach_lane();
+
+  obs::TelemetryServer server({}, &tracer, nullptr, nullptr);
+  server.set_sched(&sched);
+  const auto tracez = server.dispatch("GET", "/tracez");
+  EXPECT_EQ(tracez.status, 200);
+  expect_well_formed_trace_json(tracez.body);
+  EXPECT_NE(tracez.body.find("sweep"), std::string::npos);
+  EXPECT_NE(tracez.body.find("\"worker-0\""), std::string::npos);
+  EXPECT_NE(tracez.body.find("\"pid\":2"), std::string::npos);
 }
 
 TEST(TelemetryServer, MetricsEndpointsServeRegistryExports) {
