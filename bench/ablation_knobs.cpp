@@ -93,8 +93,8 @@ void ablation_chain_threshold() {
     std::uint64_t fp = 0;
     std::uint64_t fn = 0;
     std::uint64_t flagged = 0;
-    for (std::size_t i = 0; i < dataset.records.size(); ++i) {
-      const bool predicted = chain.is_cdn(dataset.records[i]);
+    for (std::size_t i = 0; i < dataset.domains.size(); ++i) {
+      const bool predicted = chain.is_cdn(dataset.domains[i]);
       const bool truth = eco->domain_uses_cdn(i);
       flagged += predicted ? 1 : 0;
       if (predicted && truth) ++tp;
@@ -106,7 +106,7 @@ void ablation_chain_threshold() {
     table.add_row({std::to_string(threshold), bench::fmt_pct(precision),
                    bench::fmt_pct(recall),
                    bench::fmt_pct(static_cast<double>(flagged) /
-                                  static_cast<double>(dataset.records.size()))});
+                                  static_cast<double>(dataset.domains.size()))});
   }
   table.print(std::cout);
   std::cout << "(expected: threshold 2 — the paper's choice — keeps precision\n"

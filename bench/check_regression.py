@@ -24,6 +24,13 @@ under SCHED_OVERHEAD_PCT — subject to the same 5 ms absolute floor,
 since a percentage of a sub-10-ms rung is pure scheduler-noise
 territory.
 
+The million_rung block is gated two ways: its peak_rss_bytes must not
+grow more than --threshold percent over the baseline (with a 16 MiB
+absolute floor — RSS is page-granular and allocator-noisy at small
+downscaled N), and any identical_to_serial=false run fails like every
+other identity check. Its per-rung wall_ms rides through the normal
+stage comparison.
+
 Exit codes: 0 ok, 1 regression or identity failure, 2 usage/parse error.
 Stdlib only; runs in the CI bench-smoke job after the bench binary.
 """
@@ -33,6 +40,7 @@ import json
 import sys
 
 ABS_FLOOR_MS = 5.0
+ABS_FLOOR_RSS_BYTES = 16 * 1024 * 1024
 SCHED_OVERHEAD_PCT = 3.0
 
 
@@ -70,6 +78,8 @@ def stage_times(report):
         prefix = f"setup.threads={run['threads']}"
         stages[f"{prefix}.parse_ms"] = run["parse_ms"]
         stages[f"{prefix}.validate_ms"] = run["validate_ms"]
+    for run in report.get("million_rung", {}).get("runs", []):
+        stages[f"million.threads={run['threads']}.wall_ms"] = run["wall_ms"]
     for run in report.get("serve_loadgen", {}).get("runs", []):
         if "p99_us" in run:
             stages[f"serve.threads={run['threads']}.p99_ms"] = (
@@ -91,9 +101,21 @@ def throughputs(report):
     return rates
 
 
+def rss_figures(report):
+    """Peak-RSS figures in bytes: {name: value}. Lower is better; growth
+    beyond the threshold (and the absolute floor) is the regression."""
+    figures = {}
+    rung = report.get("million_rung", {})
+    if "peak_rss_bytes" in rung:
+        figures["million.peak_rss_bytes"] = rung["peak_rss_bytes"]
+    return figures
+
+
 def identity_failures(report):
     failures = []
-    for block, key in (("parallel_speedup", "pipeline"), ("setup_speedup", "setup")):
+    for block, key in (("parallel_speedup", "pipeline"),
+                       ("setup_speedup", "setup"),
+                       ("million_rung", "million")):
         for run in report.get(block, {}).get("runs", []):
             for field, value in run.items():
                 if field.startswith("identical") and value is not True:
@@ -149,6 +171,22 @@ def main():
         marker = " <-- REGRESSION" if regressed else ""
         print(f"{name:44s} {base_ms:10.3f} -> {cur_ms:10.3f} ms "
               f"({delta_pct:+7.1f}%){marker}")
+        if regressed:
+            regressions.append(name)
+
+    base_rss = rss_figures(baseline)
+    cur_rss = rss_figures(current)
+    for name in sorted(base_rss):
+        if name not in cur_rss:
+            continue
+        base_bytes, cur_bytes = base_rss[name], cur_rss[name]
+        delta_pct = ((cur_bytes - base_bytes) / base_bytes * 100.0
+                     if base_bytes > 0 else 0.0)
+        regressed = (delta_pct > args.threshold
+                     and cur_bytes - base_bytes > ABS_FLOOR_RSS_BYTES)
+        marker = " <-- REGRESSION" if regressed else ""
+        print(f"{name:44s} {base_bytes / 2**20:10.1f} -> "
+              f"{cur_bytes / 2**20:10.1f} MiB ({delta_pct:+7.1f}%){marker}")
         if regressed:
             regressions.append(name)
 

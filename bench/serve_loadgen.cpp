@@ -320,12 +320,12 @@ int main(int argc, char** argv) {
   // Working set: 63 domain lookups + the summary, expected bytes
   // precomputed straight from the dataset (the oracle contract).
   std::vector<WorkItem> items;
-  const std::size_t stride = std::max<std::size_t>(1, dataset.records.size() / 63);
-  for (std::size_t i = 0; i < dataset.records.size() && items.size() < 63;
+  const std::size_t stride = std::max<std::size_t>(1, dataset.domains.size() / 63);
+  for (std::size_t i = 0; i < dataset.domains.size() && items.size() < 63;
        i += stride) {
-    const core::DomainRecord& record = dataset.records[i];
+    const auto record = dataset.domains[i];
     items.push_back(WorkItem{
-        "GET /v1/domain/" + record.name + " HTTP/1.1\r\n\r\n",
+        "GET /v1/domain/" + std::string(record.name) + " HTTP/1.1\r\n\r\n",
         serve::Snapshot::render_domain_json(record, 1), /*endpoint=*/0});
   }
   items.push_back(WorkItem{"GET /v1/summary HTTP/1.1\r\n\r\n",

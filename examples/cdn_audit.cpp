@@ -17,7 +17,7 @@
 
 namespace {
 
-void audit_domain(const ripki::core::DomainRecord& record,
+void audit_domain(const ripki::core::DomainTable::RecordView& record,
                   const ripki::core::ChainCdnClassifier& chain,
                   const ripki::web::Ecosystem& ecosystem) {
   using namespace ripki;
@@ -30,7 +30,8 @@ void audit_domain(const ripki::core::DomainRecord& record,
     return;
   }
 
-  const auto describe = [&](const char* label, const core::VariantResult& v) {
+  const auto describe = [&](const char* label,
+                            const core::DomainTable::VariantView& v) {
     std::cout << label << ": ";
     if (!v.resolved) {
       std::cout << "did not resolve\n";
@@ -89,7 +90,7 @@ int main(int argc, char** argv) {
 
   std::vector<std::size_t> targets;
   for (int i = 1; i < argc; ++i) {
-    targets.push_back(std::strtoull(argv[i], nullptr, 10) % dataset.records.size());
+    targets.push_back(std::strtoull(argv[i], nullptr, 10) % dataset.domains.size());
   }
   if (targets.empty()) {
     // Default selection: one CDN-served top domain, one partially covered
@@ -97,8 +98,8 @@ int main(int argc, char** argv) {
     bool want_cdn = true;
     bool want_partial = true;
     bool want_uncovered = true;
-    for (std::size_t i = 0; i < dataset.records.size() && targets.size() < 3; ++i) {
-      const auto& record = dataset.records[i];
+    for (std::size_t i = 0; i < dataset.domains.size() && targets.size() < 3; ++i) {
+      const auto record = dataset.domains[i];
       if (record.primary().pairs.empty()) continue;
       const double coverage = record.primary().coverage();
       if (want_cdn && chain.is_cdn(record)) {
@@ -116,7 +117,7 @@ int main(int argc, char** argv) {
   }
 
   for (const std::size_t index : targets) {
-    audit_domain(dataset.records[index], chain, *ecosystem);
+    audit_domain(dataset.domains[index], chain, *ecosystem);
   }
   return 0;
 }

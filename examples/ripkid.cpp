@@ -32,7 +32,9 @@
 // --iterations 0 (default) runs until SIGINT/SIGTERM; --port 0 (default)
 // binds an ephemeral port and prints it (--api-port likewise). --sample N
 // records one of every N spans in the trace timeline. --threads N shards
-// the domain sweep across N workers (0 = serial); the sweep's thread
+// the domain sweep across N workers, clamped to the host's hardware
+// concurrency (--threads 0 resolves to exactly that clamp; omitting the
+// flag runs serial); the sweep's effective thread
 // count and hot-path cache hit rates appear on /runz and as
 // `ripki.exec.*` gauges on /metrics. --rate-limit N caps each API client
 // at N requests/second (burst 2N; 0 = unlimited). Each completed run
@@ -42,6 +44,7 @@
 // --profile arms the sampling profiler at daemon start (always-on,
 // 100 Hz); without it the profiler sits idle until a /pprofz capture
 // starts it one-shot.
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -104,7 +107,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--sample") == 0) {
       sample_every = static_cast<std::uint32_t>(next_u64(1));
     } else if (std::strcmp(argv[i], "--threads") == 0) {
+      // --threads 0 means "all hardware threads"; the pipeline clamps
+      // larger requests down to hardware concurrency anyway.
       pipeline_config.threads = next_u64(0);
+      if (pipeline_config.threads == 0) {
+        pipeline_config.threads = std::max(1u, std::thread::hardware_concurrency());
+      }
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       profile = true;
     } else if (std::strcmp(argv[i], "--rtr") == 0) {
@@ -322,7 +330,7 @@ int main(int argc, char** argv) {
                     "serving: generation %llu, %llu domains, response cache "
                     "%.1f%% hit, %llu rate-limited\n",
                     static_cast<unsigned long long>(run + 1),
-                    static_cast<unsigned long long>(dataset.records.size()),
+                    static_cast<unsigned long long>(dataset.domains.size()),
                     api.cache().hit_rate() * 100.0,
                     static_cast<unsigned long long>(api.limiter().rejected()));
       std::lock_guard lock(runz_mutex);

@@ -2,9 +2,17 @@
 //
 // The measurement sweep resolves many domains onto the same hosting
 // addresses (CDN clusters, shared webhosters), so the same
-// address -> covering-prefixes query repeats constantly. This cache keys
-// the full covering() result by address and hands back a reference,
-// saving both the trie walk and the result-vector copy on a hit.
+// address -> covering-prefixes query repeats constantly. Keying the memo
+// by raw address barely helped (~0.5% hit rate on the baseline sweep:
+// distinct server addresses rarely repeat exactly). Against a frozen RIB
+// the cache instead keys on the *trie node index* of the deepest covering
+// node: every address inside the same deepest prefix maps to the same
+// dense node id and shares one slot, so the cache captures prefix-level
+// locality instead of address-level identity. Slots are a flat array
+// indexed by node id — no hashing on the hot path.
+//
+// Against an unfrozen RIB the old address-keyed memo is kept as the
+// fallback path.
 //
 // The cache is intentionally NOT thread-safe: the parallel sweep gives
 // every worker its own instance (cache coherence by ownership, no
@@ -15,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -24,8 +33,9 @@ namespace ripki::bgp {
 
 class CoveringCache {
  public:
-  /// `rib` is borrowed and must not change while the cache lives.
-  explicit CoveringCache(const Rib* rib) : rib_(rib) {}
+  /// `rib` is borrowed and must not change while the cache lives. Freeze
+  /// the RIB first to get the node-indexed fast path.
+  explicit CoveringCache(const Rib* rib);
 
   /// Rib::covering(addr), memoized. The reference stays valid until the
   /// cache is destroyed (values are never evicted).
@@ -33,13 +43,17 @@ class CoveringCache {
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
-  std::size_t size() const { return cache_.size(); }
+  std::size_t size() const;
 
  private:
   const Rib* rib_;
+  /// Frozen path: one slot per trie node, indexed by the deepest covering
+  /// node id (slot node_count = the shared "nothing covers it" entry).
+  std::vector<std::unique_ptr<std::vector<Rib::CoveringResult>>> by_node_;
+  /// Fallback path for unfrozen RIBs.
   std::unordered_map<net::IpAddress, std::vector<Rib::CoveringResult>,
                      net::IpAddressHash>
-      cache_;
+      by_address_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

@@ -1,10 +1,12 @@
 #include "bgp/rib.hpp"
 
+#include <cassert>
 #include <utility>
 
 namespace ripki::bgp {
 
 void Rib::add(RibEntry entry) {
+  assert(!frozen_built_ && "Rib::add after freeze()");
   if (auto* existing = trie_.find_exact(entry.prefix)) {
     existing->push_back(std::move(entry));
   } else {
@@ -21,6 +23,31 @@ const std::vector<RibEntry>* Rib::entries_for(const net::Prefix& prefix) const {
 std::vector<Rib::CoveringResult> Rib::covering(const net::IpAddress& addr) const {
   std::vector<CoveringResult> out;
   for (const auto& match : trie_.covering(addr)) {
+    out.push_back({match.prefix, match.value});
+  }
+  return out;
+}
+
+void Rib::freeze() {
+  if (frozen_built_) return;
+  frozen_ = trie_.freeze();
+  frozen_built_ = true;
+}
+
+std::uint32_t Rib::covering_node(const net::IpAddress& addr) const {
+  assert(frozen_built_ && "covering_node requires freeze()");
+  return frozen_.deepest_covering(addr);
+}
+
+std::size_t Rib::frozen_node_count() const {
+  assert(frozen_built_ && "frozen_node_count requires freeze()");
+  return frozen_.node_count();
+}
+
+std::vector<Rib::CoveringResult> Rib::covering_path(std::uint32_t node) const {
+  assert(frozen_built_ && "covering_path requires freeze()");
+  std::vector<CoveringResult> out;
+  for (const auto& match : frozen_.path_matches(node)) {
     out.push_back({match.prefix, match.value});
   }
   return out;

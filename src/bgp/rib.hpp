@@ -55,6 +55,28 @@ class Rib {
   };
   std::vector<CoveringResult> covering(const net::IpAddress& addr) const;
 
+  /// Builds the compact array-mapped image of the trie (see
+  /// trie::PrefixTrie::Frozen). Call once after the table is fully
+  /// loaded; add() afterwards is a usage error (asserted). Idempotent.
+  void freeze();
+  bool frozen() const { return frozen_built_; }
+
+  /// Sentinel for "no covering node" from covering_node().
+  static constexpr std::uint32_t kNoNode = 0xFFFFFFFFu;
+
+  /// Dense trie-node index of the deepest node covering `addr` — the
+  /// compact cache key for covering(): two addresses with the same node
+  /// index have the same covering set. Requires frozen().
+  std::uint32_t covering_node(const net::IpAddress& addr) const;
+
+  /// Number of nodes in the frozen image (node indices are < this), for
+  /// sizing direct-mapped per-node caches. Requires frozen().
+  std::size_t frozen_node_count() const;
+
+  /// The covering set identified by a covering_node() result (kNoNode
+  /// yields an empty list). Requires frozen().
+  std::vector<CoveringResult> covering_path(std::uint32_t node) const;
+
   /// Distinct origin ASes announced for `prefix` across all peers,
   /// excluding AS_SET-terminated paths.
   std::set<net::Asn> origins_for(const net::Prefix& prefix) const;
@@ -72,6 +94,8 @@ class Rib {
 
  private:
   trie::PrefixTrie<std::vector<RibEntry>> trie_;
+  trie::PrefixTrie<std::vector<RibEntry>>::Frozen frozen_;
+  bool frozen_built_ = false;
   std::vector<PeerEntry> peers_;
   std::size_t entry_count_ = 0;
 };

@@ -16,10 +16,10 @@ PatternCdnClassifier::PatternCdnClassifier(std::uint64_t max_rank)
   }
 }
 
-bool PatternCdnClassifier::is_cdn(const VariantResult& variant) const {
-  if (variant.terminal_cname.empty()) return false;
+bool PatternCdnClassifier::matches(std::string_view terminal_cname) const {
+  if (terminal_cname.empty()) return false;
   for (const auto& suffix : suffixes_) {
-    if (util::ends_with(variant.terminal_cname, suffix)) return true;
+    if (util::ends_with(terminal_cname, suffix)) return true;
   }
   return false;
 }

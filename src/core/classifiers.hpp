@@ -28,7 +28,13 @@ class ChainCdnClassifier {
   bool is_cdn(const VariantResult& variant) const {
     return variant.cname_hops >= min_hops_;
   }
+  bool is_cdn(const DomainTable::VariantView& variant) const {
+    return variant.cname_hops >= min_hops_;
+  }
   bool is_cdn(const DomainRecord& record) const { return is_cdn(record.primary()); }
+  bool is_cdn(const DomainTable::RecordView& record) const {
+    return is_cdn(record.primary());
+  }
 
  private:
   int min_hops_;
@@ -46,10 +52,20 @@ class PatternCdnClassifier {
   }
 
   /// True when any observed CNAME points into a known CDN zone.
-  bool is_cdn(const VariantResult& variant) const;
+  bool is_cdn(const VariantResult& variant) const {
+    return matches(variant.terminal_cname);
+  }
+  bool is_cdn(const DomainTable::VariantView& variant) const {
+    return matches(variant.terminal_cname);
+  }
   bool is_cdn(const DomainRecord& record) const { return is_cdn(record.primary()); }
+  bool is_cdn(const DomainTable::RecordView& record) const {
+    return is_cdn(record.primary());
+  }
 
  private:
+  bool matches(std::string_view terminal_cname) const;
+
   std::uint64_t max_rank_;
   std::vector<std::string> suffixes_;  // with leading '.' for suffix match
 };

@@ -3,13 +3,25 @@
 // outcome of every (prefix, origin AS) pair — "a comprehensive list of all
 // Alexa websites that (i) can be resolved ... (ii) mapped to an IP prefix
 // AS pair ... (iii) annotated with RPKI origin validation outcome" (§3).
+//
+// Storage is a flat structure-of-arrays (DomainTable): parallel columns of
+// interned-name ids, ranks, packed flags, and a CSR pool of prefix-AS
+// pairs. At the paper's real N (1M domains) this keeps the whole dataset
+// in a few hundred MB of contiguous memory instead of a million
+// heap-fragmented AoS records. Readers get cheap AoS-shaped views
+// (DomainTable::RecordView / VariantView); DomainRecord remains as the
+// materialized exchange struct for code that wants to own a record.
 #pragma once
 
 #include <cstdint>
+#include <iterator>
+#include <span>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "core/interner.hpp"
 #include "net/asn.hpp"
 #include "net/prefix.hpp"
 #include "rpki/origin_validation.hpp"
@@ -33,7 +45,15 @@ struct PrefixAsPair {
   bool operator==(const PrefixAsPair&) const = default;
 };
 
-/// Measurement result for one name variant (www.<d> or <d>).
+/// Coverage fraction over a pair span — shared by the owning and the
+/// viewing variant representations so they cannot drift apart.
+double pairs_coverage(std::span<const PrefixAsPair> pairs);
+double pairs_fraction(std::span<const PrefixAsPair> pairs,
+                      rpki::OriginValidity validity);
+
+/// Measurement result for one name variant (www.<d> or <d>) — the
+/// materialized (owning) form; the sweep builds these as scratch and the
+/// table offers them back via DomainTable::record().
 struct VariantResult {
   bool resolved = false;            // usable addresses after filtering
   std::uint16_t address_count = 0;  // addresses kept
@@ -48,8 +68,14 @@ struct VariantResult {
 
   /// Fraction of pairs covered by the RPKI — the per-domain "coverage
   /// probability" of §4 ("e.g. 3/5 or 60% RPKI coverage of foo.bar").
-  double coverage() const;
-  double fraction(rpki::OriginValidity validity) const;
+  double coverage() const { return pairs_coverage(pairs); }
+  double fraction(rpki::OriginValidity validity) const {
+    return pairs_fraction(pairs, validity);
+  }
+
+  /// Resets to the default state without releasing capacity — the sweep
+  /// reuses one instance per worker as scratch.
+  void reset();
 
   bool operator==(const VariantResult&) const = default;
 };
@@ -75,6 +101,161 @@ struct DomainRecord {
   const VariantResult& primary() const { return www.resolved ? www : apex; }
 
   bool operator==(const DomainRecord&) const = default;
+};
+
+/// Flat SoA storage for domain records: parallel fixed-width columns plus
+/// one CSR pair pool, names collapsed through a StringInterner. Appends
+/// are single-threaded by design; the parallel sweep appends into
+/// per-shard tables and merges them in shard order (append_table), which
+/// reproduces the serial table exactly — interner ids included.
+class DomainTable {
+ public:
+  using NameId = StringInterner::Id;
+
+  /// Cheap view of one variant: scalars by value, strings and pairs as
+  /// views into the table. Field names mirror VariantResult so reader
+  /// code is shape-compatible with the old AoS records.
+  struct VariantView {
+    bool resolved = false;
+    std::uint16_t address_count = 0;
+    std::uint16_t special_purpose_excluded = 0;
+    std::uint16_t unrouted_addresses = 0;
+    std::uint8_t cname_hops = 0;
+    std::string_view terminal_cname;
+    std::span<const PrefixAsPair> pairs;
+
+    double coverage() const { return pairs_coverage(pairs); }
+    double fraction(rpki::OriginValidity validity) const {
+      return pairs_fraction(pairs, validity);
+    }
+
+    /// Materializes an owning copy.
+    VariantResult to_result() const;
+
+    bool operator==(const VariantView& other) const;
+    bool operator==(const VariantResult& other) const;
+  };
+
+  /// Cheap view of one record (no ownership; valid while the table
+  /// lives and is not mutated).
+  struct RecordView {
+    std::uint32_t rank = 0;
+    std::string_view name;
+    bool excluded_dns = false;
+    bool dnssec_signed = false;
+    VariantView www;
+    VariantView apex;
+
+    const VariantView& primary() const { return www.resolved ? www : apex; }
+
+    /// Materializes an owning DomainRecord.
+    DomainRecord to_record() const;
+
+    bool operator==(const RecordView& other) const;
+    bool operator==(const DomainRecord& other) const;
+  };
+
+  DomainTable() = default;
+  DomainTable(DomainTable&&) = default;
+  DomainTable& operator=(DomainTable&&) = default;
+  DomainTable(const DomainTable& other) { append_table(other); }
+  DomainTable& operator=(const DomainTable& other);
+
+  std::size_t size() const { return rank_.size(); }
+  bool empty() const { return rank_.empty(); }
+  std::size_t pair_count() const { return pairs_.size(); }
+
+  void reserve(std::size_t rows, std::size_t pairs_hint = 0);
+  void clear();
+
+  /// Appends one record (field-by-field copy into the columns).
+  void append(const DomainRecord& record);
+
+  /// Append without materializing a DomainRecord — the sweep's hot path.
+  void append(std::uint32_t rank, std::string_view name, bool excluded_dns,
+              bool dnssec_signed, const VariantResult& www,
+              const VariantResult& apex);
+
+  /// Appends every row of `other`, remapping its interner ids in id order
+  /// (= first-appearance order), so fragments merged in shard order yield
+  /// a table identical to serial row-by-row appends.
+  void append_table(const DomainTable& other);
+
+  RecordView view(std::size_t index) const;
+  RecordView operator[](std::size_t index) const { return view(index); }
+  DomainRecord record(std::size_t index) const { return view(index).to_record(); }
+
+  std::uint32_t rank(std::size_t index) const { return rank_[index]; }
+  std::string_view name(std::size_t index) const {
+    return names_.view(name_[index]);
+  }
+
+  /// Approximate resident footprint of the columns + pools + interner,
+  /// for the bench's memory reporting.
+  std::size_t memory_bytes() const;
+
+  /// Row-wise logical equality (names compared as strings, so two tables
+  /// built through different fragment orders still compare correctly).
+  bool operator==(const DomainTable& other) const;
+
+  /// Forward iterator yielding RecordView by value — lets range-for code
+  /// keep the `for (const auto& record : ...)` shape it had over the AoS
+  /// vector.
+  class Iterator {
+   public:
+    using value_type = RecordView;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    Iterator() = default;
+    Iterator(const DomainTable* table, std::size_t index)
+        : table_(table), index_(index) {}
+
+    RecordView operator*() const { return table_->view(index_); }
+    Iterator& operator++() { ++index_; return *this; }
+    Iterator operator++(int) { Iterator tmp = *this; ++index_; return tmp; }
+    bool operator==(const Iterator&) const = default;
+
+   private:
+    const DomainTable* table_ = nullptr;
+    std::size_t index_ = 0;
+  };
+  Iterator begin() const { return Iterator(this, 0); }
+  Iterator end() const { return Iterator(this, size()); }
+
+ private:
+  /// Per-variant columns; pair lists live in the shared CSR pool as
+  /// [pair_begin, pair_begin + pair_count).
+  struct VariantColumns {
+    std::vector<std::uint16_t> address_count;
+    std::vector<std::uint16_t> special_excluded;
+    std::vector<std::uint16_t> unrouted;
+    std::vector<std::uint8_t> cname_hops;
+    std::vector<NameId> terminal_cname;
+    std::vector<std::uint32_t> pair_begin;
+    std::vector<std::uint32_t> pair_count;
+
+    void reserve(std::size_t rows);
+    void clear();
+    std::size_t memory_bytes() const;
+  };
+
+  static constexpr std::uint8_t kWwwResolved = 1 << 0;
+  static constexpr std::uint8_t kApexResolved = 1 << 1;
+  static constexpr std::uint8_t kExcludedDns = 1 << 2;
+  static constexpr std::uint8_t kDnssecSigned = 1 << 3;
+
+  void append_variant(VariantColumns& columns, const VariantResult& variant);
+  VariantView variant_view(const VariantColumns& columns, std::size_t index,
+                           bool resolved) const;
+
+  std::vector<std::uint32_t> rank_;
+  std::vector<NameId> name_;
+  std::vector<std::uint8_t> flags_;
+  VariantColumns www_;
+  VariantColumns apex_;
+  std::vector<PrefixAsPair> pairs_;
+  StringInterner names_;
 };
 
 struct PipelineCounters {
@@ -129,9 +310,18 @@ struct PipelineCounters {
 };
 
 struct Dataset {
-  std::vector<DomainRecord> records;
+  DomainTable domains;
   PipelineCounters counters;
   std::uint64_t rank_space = 0;  // rank axis upper bound (Alexa: 1M)
+
+  std::size_t size() const { return domains.size(); }
+  DomainTable::RecordView operator[](std::size_t index) const {
+    return domains.view(index);
+  }
+  /// Range-for over cheap AoS views:
+  /// `for (const auto& record : dataset.rows()) ...`
+  const DomainTable& rows() const { return domains; }
+  DomainRecord record(std::size_t index) const { return domains.record(index); }
 
   /// Record-for-record equality, counters included — the determinism
   /// contract between serial and sharded parallel runs.

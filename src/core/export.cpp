@@ -9,8 +9,10 @@ namespace ripki::core {
 
 namespace {
 
-std::string csv_escape(const std::string& field) {
-  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+std::string csv_escape(std::string_view field) {
+  if (field.find_first_of(",\"\n") == std::string_view::npos) {
+    return std::string(field);
+  }
   std::string out = "\"";
   for (char c : field) {
     if (c == '"') out += "\"\"";
@@ -34,7 +36,7 @@ void export_domains_csv(const Dataset& dataset, std::ostream& os) {
         "www_pairs,www_coverage,www_valid,www_invalid,"
         "apex_resolved,apex_addresses,apex_cname_hops,apex_pairs,"
         "apex_coverage\n";
-  for (const auto& record : dataset.records) {
+  for (const auto record : dataset.rows()) {
     os << record.rank << ',' << csv_escape(record.name) << ','
        << (record.excluded_dns ? 1 : 0) << ',' << (record.dnssec_signed ? 1 : 0)
        << ',' << (record.www.resolved ? 1 : 0)
@@ -52,8 +54,8 @@ void export_domains_csv(const Dataset& dataset, std::ostream& os) {
 
 void export_pairs_csv(const Dataset& dataset, std::ostream& os) {
   os << "rank,domain,variant,prefix,origin_asn,validity\n";
-  for (const auto& record : dataset.records) {
-    const auto emit = [&](const char* variant, const VariantResult& v) {
+  for (const auto record : dataset.rows()) {
+    const auto emit = [&](const char* variant, const auto& v) {
       for (const auto& pair : v.pairs) {
         os << record.rank << ',' << csv_escape(record.name) << ',' << variant
            << ',' << pair.prefix.to_string() << ',' << pair.origin.value() << ','

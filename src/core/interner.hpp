@@ -1,0 +1,13 @@
+// core::StringInterner — the interner the dataset columns use for domain
+// and CNAME names. The implementation lives in util (web:: interns its
+// plan names with the same type without a core dependency); this alias is
+// the core-facing name.
+#pragma once
+
+#include "util/interner.hpp"
+
+namespace ripki::core {
+
+using StringInterner = util::StringInterner;
+
+}  // namespace ripki::core

@@ -12,17 +12,30 @@
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "rpki/rrdp.hpp"
-#include "rpki/validation_cache.hpp"
 #include "rtr/cache.hpp"
 
 namespace ripki::core {
 
 namespace {
 
-/// Shards per worker in the parallel sweep: more shards than workers so
-/// work stealing evens out per-shard cost variance (CDN-heavy rank bands
-/// resolve through longer CNAME chains than direct-hosted ones).
-constexpr std::size_t kShardsPerWorker = 8;
+/// Shards per worker in the parallel sweep. Coarse on purpose: per-shard
+/// cost variance (CDN-heavy rank bands resolve through longer CNAME
+/// chains) is modest once shards span thousands of domains, and the
+/// pool's work stealing only needs a little slack to even out the tail —
+/// more shards than that just buys span/merge overhead. A single worker
+/// gets exactly one shard (nothing to balance).
+constexpr std::size_t kShardsPerWorker = 4;
+
+/// Floor on shard size: below this, per-shard overhead (span, fragment
+/// table, steal traffic) dominates the work itself.
+constexpr std::size_t kMinShardSize = 256;
+
+std::size_t sweep_shard_count(std::size_t workers, std::size_t count) {
+  if (workers <= 1) return 1;
+  const std::size_t by_worker = workers * kShardsPerWorker;
+  const std::size_t by_size = count / kMinShardSize;
+  return std::max(workers, std::min(by_worker, std::max<std::size_t>(by_size, 1)));
+}
 
 double ms_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
@@ -39,15 +52,20 @@ double per_second(std::uint64_t items, double ms) {
 }  // namespace
 
 struct MeasurementPipeline::SweepContext {
-  dns::AuthoritativeServer server;
   dns::StubResolver resolver;
   bgp::CoveringCache covering;
   rpki::ValidationCache validation;
   PipelineCounters counters;
 
-  SweepContext(const dns::ZoneSource* zones, const bgp::Rib* rib,
-               const rpki::VrpIndex* index, obs::Registry* registry)
-      : server(zones), resolver(&server), covering(rib), validation(index) {
+  /// Per-domain scratch reused across every row this context measures.
+  VariantResult www_scratch;
+  VariantResult apex_scratch;
+
+  SweepContext(const dns::AuthoritativeServer* server, const bgp::Rib* rib,
+               const rpki::VrpIndex* index,
+               const rpki::SharedValidationCache* shared,
+               obs::Registry* registry)
+      : resolver(server), covering(rib), validation(index, shared) {
     resolver.attach(registry);
   }
 };
@@ -86,6 +104,10 @@ void MeasurementPipeline::prepare_rib(exec::ThreadPool* pool) {
   const double parse_ms = ms_since(parse_start);
   assert(rib.ok() && "ecosystem MRT dump must parse");
   rib_ = std::move(rib).value();
+  // Freeze the compact array-mapped trie image: the sweep's covering
+  // caches key on its node indices, and the flat walk is cheaper than
+  // pointer chasing for every miss.
+  rib_.freeze();
   setup_stats_.rib_prepare_ms = ms_since(stage_start);
   setup_stats_.mrt_records_per_sec = per_second(mrt_stats_.records, parse_ms);
   if (config_.registry != nullptr) {
@@ -169,9 +191,41 @@ void MeasurementPipeline::prepare_vrps(exec::ThreadPool* pool) {
                                    : "validation produced no VRPs");
 }
 
-VariantResult MeasurementPipeline::measure_variant(SweepContext& ctx,
-                                                   const dns::DnsName& name) {
-  VariantResult result;
+void MeasurementPipeline::warm_validation_cache() {
+  obs::Span span(config_.registry, "stage4.cache_warm");
+  const auto start = std::chrono::steady_clock::now();
+  shared_validation_ = rpki::SharedValidationCache();
+  // A domain can only yield (prefix, origin) pairs that exist as RIB
+  // announcements, so this covers the sweep's entire stage 4 key space —
+  // workers then share one warm read-only cache instead of each paying
+  // the same misses privately.
+  rib_.visit([&](const net::Prefix& prefix,
+                 const std::vector<bgp::RibEntry>& entries) {
+    for (const auto& entry : entries) {
+      if (entry.as_path.contains_as_set()) continue;  // excluded in stage 3
+      if (const auto origin = entry.origin()) {
+        shared_validation_.warm(vrp_index_, prefix, *origin);
+      }
+    }
+  });
+  setup_stats_.cache_warm_ms = ms_since(start);
+  setup_stats_.cache_warm_entries = shared_validation_.size();
+  if (config_.registry != nullptr) {
+    config_.registry->gauge("ripki.rpki.validation_cache_warmed")
+        .set(static_cast<std::int64_t>(shared_validation_.size()));
+    config_.registry->describe("ripki.rpki.validation_cache_warmed",
+                               "(prefix, origin) pairs pre-validated into "
+                               "the shared cache before the sweep");
+  }
+  log(obs::LogLevel::kInfo, "stage 4 shared cache warmed",
+      {{"entries", shared_validation_.size()}});
+}
+
+void MeasurementPipeline::measure_variant(SweepContext& ctx,
+                                          const dns::DnsName& name,
+                                          VariantResult& out) {
+  out.reset();
+  VariantResult& result = out;
   PipelineCounters& counters = ctx.counters;
 
   // Step 2: resolve A/AAAA with CNAME chasing.
@@ -180,12 +234,12 @@ VariantResult MeasurementPipeline::measure_variant(SweepContext& ctx,
   auto resolution = ctx.resolver.resolve_all(name);
   dns_stage.stop();
   dns_span.stop();
-  if (!resolution.ok()) return result;  // treated as unresolvable
+  if (!resolution.ok()) return;  // treated as unresolvable
   const dns::Resolution& res = resolution.value();
   result.cname_hops = static_cast<std::uint8_t>(
       std::min<std::size_t>(res.cname_hops(), 255));
   if (res.cname_hops() > 0) result.terminal_cname = res.chain.back().to_string();
-  if (res.rcode != dns::Rcode::kNoError) return result;
+  if (res.rcode != dns::Rcode::kNoError) return;
 
   // Filter IANA special-purpose answers.
   std::vector<net::IpAddress> addresses;
@@ -197,16 +251,17 @@ VariantResult MeasurementPipeline::measure_variant(SweepContext& ctx,
     }
     addresses.push_back(addr);
   }
-  if (addresses.empty()) return result;
+  if (addresses.empty()) return;
   result.resolved = true;
   result.address_count = static_cast<std::uint16_t>(
       std::min<std::size_t>(addresses.size(), UINT16_MAX));
 
   // Step 3: all covering prefixes and their origin ASes, through the
-  // per-worker memoized covering lookup.
+  // per-worker memoized covering lookup (keyed on frozen-trie node
+  // indices, so addresses sharing a deepest prefix share a slot).
   obs::Span lookup_span(config_.registry, "stage3.prefix_origin");
   obs::StageScope lookup_stage(config_.sched, obs::SweepStage::kCovering);
-  std::vector<PrefixAsPair> pairs;
+  std::vector<PrefixAsPair>& pairs = result.pairs;  // reset() kept capacity
   for (const auto& addr : addresses) {
     const auto& covering = ctx.covering.covering(addr);
     if (covering.empty()) {
@@ -228,7 +283,8 @@ VariantResult MeasurementPipeline::measure_variant(SweepContext& ctx,
   }
 
   // Deduplicate (a domain with several addresses in one prefix yields the
-  // pair once) and run step 4 on each unique pair, memoized per worker.
+  // pair once) and run step 4 on each unique pair: shared warm cache
+  // first, per-worker overflow second.
   dedupe_pairs(pairs);
   lookup_stage.stop();
   lookup_span.stop();
@@ -239,27 +295,25 @@ VariantResult MeasurementPipeline::measure_variant(SweepContext& ctx,
   }
   validate_stage.stop();
   validate_span.stop();
-  result.pairs = std::move(pairs);
-  return result;
 }
 
-DomainRecord MeasurementPipeline::measure_domain(std::size_t index,
-                                                 SweepContext& ctx) {
+void MeasurementPipeline::measure_domain(std::size_t index, SweepContext& ctx,
+                                         DomainTable& out) {
   const web::DomainPlan& plan = ecosystem_.plan(index);
-  DomainRecord record;
-  record.rank = plan.rank;
-  record.name = plan.name;
+  const std::string_view name = ecosystem_.plan_name(index);
 
-  auto apex_name = dns::DnsName::parse(plan.name);
+  auto apex_name = dns::DnsName::parse(name);
   assert(apex_name.ok());
   const dns::DnsName www_name = apex_name.value().prepended("www");
 
-  record.www = measure_variant(ctx, www_name);
-  record.apex = measure_variant(ctx, apex_name.value());
-  record.excluded_dns = !record.www.resolved && !record.apex.resolved;
+  measure_variant(ctx, www_name, ctx.www_scratch);
+  measure_variant(ctx, apex_name.value(), ctx.apex_scratch);
+  const bool excluded_dns =
+      !ctx.www_scratch.resolved && !ctx.apex_scratch.resolved;
 
   // DNSSEC adoption probe (future-work comparison): does the zone apex
   // publish a DNSKEY?
+  bool dnssec_signed = false;
   {
     obs::StageScope probe_stage(config_.sched, obs::SweepStage::kDns);
     if (auto dnskey =
@@ -267,7 +321,7 @@ DomainRecord MeasurementPipeline::measure_domain(std::size_t index,
         dnskey.ok()) {
       for (const auto& rr : dnskey.value().answers) {
         if (rr.type == dns::RecordType::kDnskey) {
-          record.dnssec_signed = true;
+          dnssec_signed = true;
           ++ctx.counters.dnssec_signed_domains;
           break;
         }
@@ -277,12 +331,13 @@ DomainRecord MeasurementPipeline::measure_domain(std::size_t index,
 
   obs::StageScope emit_stage(config_.sched, obs::SweepStage::kEmit);
   ++ctx.counters.domains_total;
-  if (record.excluded_dns) ++ctx.counters.domains_excluded_dns;
-  ctx.counters.addresses_www += record.www.address_count;
-  ctx.counters.addresses_apex += record.apex.address_count;
-  ctx.counters.pairs_www += record.www.pairs.size();
-  ctx.counters.pairs_apex += record.apex.pairs.size();
-  return record;
+  if (excluded_dns) ++ctx.counters.domains_excluded_dns;
+  ctx.counters.addresses_www += ctx.www_scratch.address_count;
+  ctx.counters.addresses_apex += ctx.apex_scratch.address_count;
+  ctx.counters.pairs_www += ctx.www_scratch.pairs.size();
+  ctx.counters.pairs_apex += ctx.apex_scratch.pairs.size();
+  out.append(plan.rank, name, excluded_dns, dnssec_signed, ctx.www_scratch,
+             ctx.apex_scratch);
 }
 
 void MeasurementPipeline::absorb_context(SweepContext& ctx, Dataset& dataset) {
@@ -312,20 +367,21 @@ void MeasurementPipeline::publish_sweep_metrics() const {
       .inc(cache_stats_.validation_misses);
   registry.describe("ripki.bgp.covering_cache_hits",
                     "Covering-prefix lookups answered from the per-worker "
-                    "address cache");
+                    "trie-node cache");
   registry.describe("ripki.bgp.covering_cache_misses",
-                    "Covering-prefix lookups that walked the RIB trie "
-                    "(per-worker cache miss)");
+                    "Covering-prefix lookups that materialised a covering "
+                    "set (per-worker cache miss)");
   registry.describe("ripki.rpki.validation_cache_hits",
-                    "RFC 6811 validations answered from the per-worker "
-                    "(prefix, origin) cache");
+                    "RFC 6811 validations answered from the shared warm "
+                    "cache or the per-worker overflow");
   registry.describe("ripki.rpki.validation_cache_misses",
                     "RFC 6811 validations computed against the VRP index "
-                    "(per-worker cache miss)");
+                    "(missed both cache tiers)");
   registry.gauge("ripki.exec.threads")
-      .set(static_cast<std::int64_t>(config_.threads));
+      .set(static_cast<std::int64_t>(effective_threads_));
   registry.describe("ripki.exec.threads",
-                    "Sweep worker threads of the last run (0 = serial)");
+                    "Sweep worker threads of the last run after the "
+                    "hardware-concurrency clamp (0 = serial)");
   registry.gauge("ripki.exec.covering_cache_hit_rate_pct")
       .set(static_cast<std::int64_t>(cache_stats_.covering_hit_rate() * 100.0));
   registry.gauge("ripki.exec.validation_cache_hit_rate_pct")
@@ -348,13 +404,22 @@ Dataset MeasurementPipeline::run() {
     config_.registry->describe("ripki.rpki.vrps",
                                "Validated ROA payloads feeding stage 4");
   }
+  // Clamp to the host: more workers than cores only time-slice each other
+  // (and split the cache working sets) — never a speedup.
+  effective_threads_ = config_.threads;
+  const std::size_t hardware = exec::ThreadPool::hardware_threads();
+  if (effective_threads_ > hardware) {
+    log(obs::LogLevel::kWarn, "clamping sweep threads to hardware concurrency",
+        {{"requested", config_.threads}, {"hardware", hardware}});
+    effective_threads_ = hardware;
+  }
   obs::Span run_span(config_.registry, "pipeline.run");
   // One pool serves the setup stages and the sweep, so worker threads are
   // spawned (and their counters registered) exactly once per run.
   std::unique_ptr<exec::ThreadPool> pool;
-  if (config_.threads > 0) {
-    pool = std::make_unique<exec::ThreadPool>(config_.threads, config_.registry,
-                                              config_.sched);
+  if (effective_threads_ > 0) {
+    pool = std::make_unique<exec::ThreadPool>(effective_threads_,
+                                              config_.registry, config_.sched);
   } else if (config_.sched != nullptr) {
     // Serial run: one telemetry window with only the external lane, which
     // the sweep below binds to the calling thread.
@@ -376,11 +441,14 @@ Dataset MeasurementPipeline::run() {
   }
   prepare_rib(pool.get());
   prepare_vrps(pool.get());
+  warm_validation_cache();
   cache_stats_ = CacheStats{};
 
-  // Materialize the vantage's zone view on this thread (lazily built);
-  // workers then share it read-only.
+  // Materialize the vantage's zone view on this thread (lazily built) and
+  // the single authoritative-server view over it; workers share both
+  // read-only (the server's stats are atomic).
   const dns::ZoneSource& zones = ecosystem_.zone_source(config_.vantage);
+  const dns::AuthoritativeServer server(&zones);
 
   Dataset dataset;
   dataset.rank_space = ecosystem_.config().rank_space;
@@ -388,24 +456,22 @@ Dataset MeasurementPipeline::run() {
   obs::Span select_span(config_.registry, "stage1.select_domains");
   std::size_t count = ecosystem_.domain_count();
   if (config_.max_domains != 0) count = std::min(count, config_.max_domains);
-  // Pre-sized output slots: every domain writes records[i] whether the
-  // sweep below is serial or sharded, so the parallel dataset is
-  // byte-identical to the serial one regardless of thread count.
-  dataset.records.resize(count);
   select_span.stop();
   log(obs::LogLevel::kInfo, "stage 1 domains selected",
-      {{"domains", count}, {"threads", config_.threads}});
+      {{"domains", count}, {"threads", effective_threads_}});
 
-  if (config_.threads == 0) {
-    SweepContext ctx(&zones, &rib_, &vrp_index_, config_.registry);
+  if (effective_threads_ == 0) {
+    SweepContext ctx(&server, &rib_, &vrp_index_, &shared_validation_,
+                     config_.registry);
     obs::Span sweep_span(config_.registry, "sweep");
     // Bind the calling thread to the external lane so the stage scopes in
     // measure_variant attribute serial sweep time too.
     obs::LaneScope lane(config_.sched, config_.sched != nullptr
                                            ? config_.sched->external_lane()
                                            : 0);
+    dataset.domains.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
-      dataset.records[i] = measure_domain(i, ctx);
+      measure_domain(i, ctx, dataset.domains);
     }
     sweep_span.stop();
     absorb_context(ctx, dataset);
@@ -414,12 +480,19 @@ Dataset MeasurementPipeline::run() {
     contexts.reserve(pool->size());
     for (std::size_t i = 0; i < pool->size(); ++i) {
       contexts.push_back(std::make_unique<SweepContext>(
-          &zones, &rib_, &vrp_index_, config_.registry));
+          &server, &rib_, &vrp_index_, &shared_validation_, config_.registry));
     }
+    // Each shard appends into its own SoA fragment; fragments merge in
+    // shard order below, replaying the serial append sequence exactly —
+    // the dataset is identical to the serial run for every thread count.
+    const std::size_t n_shards = sweep_shard_count(pool->size(), count);
+    std::vector<DomainTable> fragments(n_shards);
     exec::parallel_for_shards(
-        *pool, count, pool->size() * kShardsPerWorker,
-        [&](std::size_t, std::size_t begin, std::size_t end) {
+        *pool, count, n_shards,
+        [&](std::size_t shard, std::size_t begin, std::size_t end) {
           SweepContext& ctx = *contexts[exec::ThreadPool::current_worker()];
+          DomainTable& fragment = fragments[shard];
+          fragment.reserve(end - begin);
           // Root span per shard, named with the full dotted path so worker
           // threads (whose thread-local span stack is empty) aggregate
           // into the same `pipeline.run.sweep.*` histograms as the serial
@@ -427,9 +500,15 @@ Dataset MeasurementPipeline::run() {
           // worker's Perfetto track.
           obs::Span sweep_span(config_.registry, "pipeline.run.sweep");
           for (std::size_t i = begin; i < end; ++i) {
-            dataset.records[i] = measure_domain(i, ctx);
+            measure_domain(i, ctx, fragment);
           }
         });
+    obs::Span merge_span(config_.registry, "pipeline.run.sweep_merge");
+    dataset.domains.reserve(count);
+    for (const DomainTable& fragment : fragments) {
+      dataset.domains.append_table(fragment);
+    }
+    merge_span.stop();
     // Per-worker counters merge once at join; field-wise sums are
     // order-independent, so totals match the serial run exactly.
     for (auto& ctx : contexts) absorb_context(*ctx, dataset);

@@ -21,6 +21,7 @@
 #include "dns/resolver.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "rpki/validation_cache.hpp"
 #include "rpki/validator.hpp"
 #include "rtr/client.hpp"
 #include "web/ecosystem.hpp"
@@ -62,10 +63,15 @@ struct PipelineConfig {
   /// N >= 1, one exec::ThreadPool of N workers drives the MRT parse
   /// (record-sliced), the repository validation (publication points
   /// sharded), and the rank-axis sweep (each worker owning its own
-  /// resolver view, hot-path caches, and counters); outputs land in
-  /// pre-sized slots and merge deterministically at join, so RIB,
-  /// validation report, and dataset are identical to the serial run for
-  /// every thread count.
+  /// resolver and overflow caches over shared read-only state: zone view,
+  /// frozen RIB, warmed validation cache); per-shard output fragments
+  /// merge in shard order at join, so RIB, validation report, and dataset
+  /// are identical to the serial run for every thread count.
+  ///
+  /// Values above the host's hardware concurrency are clamped (with a
+  /// logged warning): oversubscribed workers only time-slice each other
+  /// — the PR 7 scheduler X-ray measured 0.93–0.97x "speedups" from
+  /// exactly this.
   std::size_t threads = 0;
 
   /// Observability. When `registry` is set, every stage records trace
@@ -155,7 +161,16 @@ class MeasurementPipeline {
     double vrp_prepare_ms = 0.0;
     double mrt_records_per_sec = 0.0;
     double roas_per_sec = 0.0;
+    /// Warming the shared validation cache from RIB x VRP index (once
+    /// per run, before the sweep).
+    double cache_warm_ms = 0.0;
+    /// (prefix, origin) pairs pre-validated into the shared cache.
+    std::uint64_t cache_warm_entries = 0;
   };
+
+  /// Worker count the sweep actually ran with after clamping to hardware
+  /// concurrency (0 = serial). Valid after run().
+  std::size_t effective_threads() const { return effective_threads_; }
 
   /// Artifacts (valid after run()):
   const rpki::ValidationReport& validation_report() const { return report_; }
@@ -166,17 +181,27 @@ class MeasurementPipeline {
   const SetupStats& setup_stats() const { return setup_stats_; }
 
  private:
-  /// Per-worker sweep state: authoritative-server view + stub resolver,
-  /// the two hot-path caches, and private counters. The serial path uses
-  /// a single instance; the parallel path one per pool worker.
+  /// Per-worker sweep state: a stub resolver over the *shared*
+  /// authoritative-server view, per-worker covering cache and validation
+  /// overflow cache (both over shared read-only structures), private
+  /// counters, and reusable per-domain scratch. The serial path uses a
+  /// single instance; the parallel path one per pool worker. Setup cost
+  /// per worker is independent of dataset and zone size.
   struct SweepContext;
 
   void prepare_rib(exec::ThreadPool* pool);
   void prepare_vrps(exec::ThreadPool* pool);
+  /// Pre-validates every (prefix, origin) pair the RIB can produce into
+  /// the shared validation cache — the sweep's whole stage 4 key space.
+  void warm_validation_cache();
   /// Measures one domain (stages 2–4 for both name variants plus the
-  /// DNSSEC probe), charging counters to `ctx`.
-  DomainRecord measure_domain(std::size_t index, SweepContext& ctx);
-  VariantResult measure_variant(SweepContext& ctx, const dns::DnsName& name);
+  /// DNSSEC probe), charging counters to `ctx`, and appends the result
+  /// row to `out` (the dataset table or a per-shard fragment).
+  void measure_domain(std::size_t index, SweepContext& ctx, DomainTable& out);
+  /// Measures one name variant into `out` (reset first; capacity reused
+  /// across calls — `out` is per-worker scratch).
+  void measure_variant(SweepContext& ctx, const dns::DnsName& name,
+                       VariantResult& out);
   /// Folds a finished context into the dataset: resolver query count,
   /// counter merge, cache hit/miss accumulation.
   void absorb_context(SweepContext& ctx, Dataset& dataset);
@@ -191,11 +216,13 @@ class MeasurementPipeline {
 
   const web::Ecosystem& ecosystem_;
   PipelineConfig config_;
+  std::size_t effective_threads_ = 0;
 
   bgp::Rib rib_;
   bgp::mrt::ParseStats mrt_stats_;
   rpki::ValidationReport report_;
   rpki::VrpIndex vrp_index_;
+  rpki::SharedValidationCache shared_validation_;
   CacheStats cache_stats_;
   SetupStats setup_stats_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <span>
 
 #include "util/stats.hpp"
 
@@ -10,9 +11,9 @@ namespace ripki::core::reports {
 namespace {
 
 /// Set of prefixes appearing in a variant's pairs.
-std::set<net::Prefix> prefix_set(const VariantResult& variant) {
+std::set<net::Prefix> prefix_set(std::span<const PrefixAsPair> pairs) {
   std::set<net::Prefix> out;
-  for (const auto& pair : variant.pairs) out.insert(pair.prefix);
+  for (const auto& pair : pairs) out.insert(pair.prefix);
   return out;
 }
 
@@ -26,10 +27,10 @@ util::RankBinner make_binner(const Dataset& dataset, std::uint64_t bin_width) {
 std::vector<OverlapRow> figure3_overlap(const Dataset& dataset,
                                         std::uint64_t bin_width) {
   util::RankBinner binner = make_binner(dataset, bin_width);
-  for (const auto& record : dataset.records) {
+  for (const auto record : dataset.rows()) {
     if (!record.www.resolved || !record.apex.resolved) continue;
-    const auto www = prefix_set(record.www);
-    const auto apex = prefix_set(record.apex);
+    const auto www = prefix_set(record.www.pairs);
+    const auto apex = prefix_set(record.apex.pairs);
     if (www.empty() && apex.empty()) continue;
     std::size_t intersection = 0;
     for (const auto& prefix : www) {
@@ -55,8 +56,8 @@ std::vector<RpkiByRankRow> figure4_rpki_by_rank(const Dataset& dataset,
   util::RankBinner invalid = make_binner(dataset, bin_width);
   util::RankBinner not_found = make_binner(dataset, bin_width);
 
-  for (const auto& record : dataset.records) {
-    const VariantResult& variant = record.primary();
+  for (const auto record : dataset.rows()) {
+    const auto variant = record.primary();
     if (!variant.resolved || variant.pairs.empty()) continue;
     covered.add(record.rank, variant.coverage());
     valid.add(record.rank, variant.fraction(rpki::OriginValidity::kValid));
@@ -82,8 +83,8 @@ Figure4Summary figure4_summary(const Dataset& dataset) {
   const std::uint64_t tail_start =
       dataset.rank_space > 100'000 ? dataset.rank_space - 100'000 : 0;
 
-  for (const auto& record : dataset.records) {
-    const VariantResult& variant = record.primary();
+  for (const auto record : dataset.rows()) {
+    const auto variant = record.primary();
     if (!variant.resolved || variant.pairs.empty()) continue;
     const double coverage = variant.coverage();
     all.add(coverage);
@@ -106,8 +107,8 @@ const char* to_string(CoverageMark mark) {
 
 namespace {
 
-CoverageMark mark_of(const VariantResult& variant, std::uint32_t& covered,
-                     std::uint32_t& total) {
+CoverageMark mark_of(const DomainTable::VariantView& variant,
+                     std::uint32_t& covered, std::uint32_t& total) {
   covered = 0;
   total = static_cast<std::uint32_t>(variant.pairs.size());
   if (!variant.resolved || variant.pairs.empty()) return CoverageMark::kNotAvailable;
@@ -122,7 +123,7 @@ CoverageMark mark_of(const VariantResult& variant, std::uint32_t& covered,
 
 std::vector<Table1Row> table1_top_covered(const Dataset& dataset, std::size_t limit) {
   std::vector<Table1Row> rows;
-  for (const auto& record : dataset.records) {
+  for (const auto record : dataset.rows()) {
     Table1Row row;
     row.rank = record.rank;
     row.name = record.name;
@@ -143,7 +144,7 @@ std::vector<CdnShareRow> figure5_cdn_share(const Dataset& dataset,
   util::RankBinner chain_bins = make_binner(dataset, bin_width);
   util::RankBinner pattern_bins = make_binner(dataset, bin_width);
 
-  for (const auto& record : dataset.records) {
+  for (const auto record : dataset.rows()) {
     if (record.excluded_dns) continue;
     chain_bins.add(record.rank, chain.is_cdn(record) ? 1.0 : 0.0);
     if (pattern.covers(record.rank)) {
@@ -173,8 +174,8 @@ std::vector<CdnRpkiRow> figure6_cdn_rpki(const Dataset& dataset,
   util::RankBinner all = make_binner(dataset, bin_width);
   util::RankBinner non_cdn = make_binner(dataset, bin_width);
 
-  for (const auto& record : dataset.records) {
-    const VariantResult& variant = record.primary();
+  for (const auto record : dataset.rows()) {
+    const auto variant = record.primary();
     if (!variant.resolved || variant.pairs.empty()) continue;
     const double coverage = variant.coverage();
     all.add(record.rank, coverage);
@@ -199,8 +200,8 @@ Figure6Summary figure6_summary(const Dataset& dataset,
   util::Accumulator cdn;
   util::Accumulator all;
   util::Accumulator non_cdn;
-  for (const auto& record : dataset.records) {
-    const VariantResult& variant = record.primary();
+  for (const auto record : dataset.rows()) {
+    const auto variant = record.primary();
     if (!variant.resolved || variant.pairs.empty()) continue;
     const double coverage = variant.coverage();
     all.add(coverage);
@@ -219,7 +220,7 @@ std::vector<DnssecRow> dnssec_vs_rpki(const Dataset& dataset,
   util::RankBinner rpki = make_binner(dataset, bin_width);
   util::RankBinner both = make_binner(dataset, bin_width);
 
-  for (const auto& record : dataset.records) {
+  for (const auto record : dataset.rows()) {
     if (record.excluded_dns) continue;
     const bool has_rpki = record.primary().coverage() > 0.0;
     dnssec.add(record.rank, record.dnssec_signed ? 1.0 : 0.0);
@@ -241,7 +242,7 @@ DnssecSummary dnssec_summary(const Dataset& dataset) {
   std::uint64_t has_dnssec = 0;
   std::uint64_t has_rpki = 0;
   std::uint64_t has_both = 0;
-  for (const auto& record : dataset.records) {
+  for (const auto record : dataset.rows()) {
     if (record.excluded_dns) continue;
     ++n;
     const bool rpki = record.primary().coverage() > 0.0;

@@ -259,7 +259,13 @@ util::Result<ResourceRecord> read_record(std::span<const std::uint8_t> data,
 }  // namespace
 
 util::Bytes encode(const Message& message) {
-  util::ByteWriter w;
+  util::Bytes out;
+  encode_into(message, out);
+  return out;
+}
+
+void encode_into(const Message& message, util::Bytes& out) {
+  util::ByteWriter w(std::move(out));
   NameOffsets offsets;
 
   w.put_u16(message.id);
@@ -284,7 +290,7 @@ util::Bytes encode(const Message& message) {
   for (const auto& rr : message.answers) write_record(w, rr, offsets);
   for (const auto& rr : message.authority) write_record(w, rr, offsets);
   for (const auto& rr : message.additional) write_record(w, rr, offsets);
-  return std::move(w).take();
+  out = std::move(w).take();
 }
 
 util::Result<Message> decode(std::span<const std::uint8_t> data) {

@@ -107,6 +107,10 @@ struct Message {
 /// becomes a 2-byte pointer).
 util::Bytes encode(const Message& message);
 
+/// Encodes into `out` (cleared first, capacity reused) — the allocation-
+/// free steady-state path for query loops with per-worker scratch.
+void encode_into(const Message& message, util::Bytes& out);
+
 /// Strict decoder: rejects truncation, compression loops and
 /// forward-pointing compression offsets.
 util::Result<Message> decode(std::span<const std::uint8_t> data);

@@ -37,16 +37,19 @@ util::Result<Resolution> StubResolver::resolve(const DnsName& name, RecordType t
     ++queries_sent_;
     if (queries_counter_ != nullptr) queries_counter_->inc();
     // UDP first; a TC response triggers a TCP retry (RFC 1035 §4.2.1).
-    util::Bytes response_bytes = server_->handle_datagram(encode(query));
-    RIPKI_TRY_ASSIGN(first, decode(response_bytes));
+    // Wire bytes go through the member scratch buffers, so the
+    // steady-state exchange reuses their capacity instead of allocating.
+    encode_into(query, query_wire_);
+    server_->handle_datagram(query_wire_, response_wire_);
+    RIPKI_TRY_ASSIGN(first, decode(response_wire_));
     Message response = std::move(first);
     if (response.truncated) {
       ++tcp_retries_;
       ++queries_sent_;
       if (tcp_retries_counter_ != nullptr) tcp_retries_counter_->inc();
       if (queries_counter_ != nullptr) queries_counter_->inc();
-      response_bytes = server_->handle_stream(encode(query));
-      RIPKI_TRY_ASSIGN(full, decode(response_bytes));
+      server_->handle_stream(query_wire_, response_wire_);
+      RIPKI_TRY_ASSIGN(full, decode(response_wire_));
       response = std::move(full);
     }
 
@@ -83,8 +86,9 @@ util::Result<Message> StubResolver::query(const DnsName& name, RecordType type) 
   const Message message = Message::query(next_id_++, name, type);
   ++queries_sent_;
   if (queries_counter_ != nullptr) queries_counter_->inc();
-  const util::Bytes response_bytes = server_->handle_bytes(encode(message));
-  RIPKI_TRY_ASSIGN(response, decode(response_bytes));
+  encode_into(message, query_wire_);
+  server_->handle_stream(query_wire_, response_wire_);
+  RIPKI_TRY_ASSIGN(response, decode(response_wire_));
   if (response.id != message.id) return util::Err("resolver: response id mismatch");
   return response;
 }

@@ -62,6 +62,12 @@ class StubResolver {
   std::uint64_t tcp_retries_ = 0;
   std::uint16_t next_id_ = 1;
 
+  /// Per-resolver wire scratch, reused across every query of a sweep so
+  /// the steady-state encode/serve path allocates nothing (each worker
+  /// owns its resolver, so no sharing).
+  util::Bytes query_wire_;
+  util::Bytes response_wire_;
+
   obs::Registry* registry_ = nullptr;
   obs::Counter* queries_counter_ = nullptr;
   obs::Counter* tcp_retries_counter_ = nullptr;

@@ -2,8 +2,17 @@
 
 namespace ripki::dns {
 
+namespace {
+
+/// Relaxed bump: the counters are monotonic tallies, not synchronization.
+void bump(std::atomic<std::uint64_t>& counter) {
+  counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
 Message AuthoritativeServer::handle(const Message& query) const {
-  ++stats_.queries;
+  bump(stats_.queries);
   Message response;
   response.id = query.id;
   response.is_response = true;
@@ -13,7 +22,7 @@ Message AuthoritativeServer::handle(const Message& query) const {
 
   if (query.questions.size() != 1) {
     response.rcode = Rcode::kFormErr;
-    ++stats_.formerr;
+    bump(stats_.formerr);
     return response;
   }
   const Question& q = query.questions.front();
@@ -36,24 +45,32 @@ Message AuthoritativeServer::handle(const Message& query) const {
 
   if (!zones_->name_exists(q.name)) {
     response.rcode = Rcode::kNxDomain;
-    ++stats_.nxdomain;
+    bump(stats_.nxdomain);
   }
   // Name exists but no data of this type: NOERROR with empty answer.
   return response;
 }
 
-util::Bytes AuthoritativeServer::handle_stream(
-    std::span<const std::uint8_t> query_bytes) const {
+void AuthoritativeServer::handle_stream(
+    std::span<const std::uint8_t> query_bytes, util::Bytes& out) const {
   auto query = decode(query_bytes);
   if (!query.ok()) {
-    ++stats_.queries;
-    ++stats_.formerr;
+    bump(stats_.queries);
+    bump(stats_.formerr);
     Message response;
     response.is_response = true;
     response.rcode = Rcode::kFormErr;
-    return encode(response);
+    encode_into(response, out);
+    return;
   }
-  return encode(handle(query.value()));
+  encode_into(handle(query.value()), out);
+}
+
+util::Bytes AuthoritativeServer::handle_stream(
+    std::span<const std::uint8_t> query_bytes) const {
+  util::Bytes out;
+  handle_stream(query_bytes, out);
+  return out;
 }
 
 util::Bytes AuthoritativeServer::handle_bytes(
@@ -61,30 +78,37 @@ util::Bytes AuthoritativeServer::handle_bytes(
   return handle_stream(query_bytes);
 }
 
-util::Bytes AuthoritativeServer::handle_datagram(
-    std::span<const std::uint8_t> query_bytes) const {
+void AuthoritativeServer::handle_datagram(
+    std::span<const std::uint8_t> query_bytes, util::Bytes& out) const {
   auto query = decode(query_bytes);
   if (!query.ok()) {
-    ++stats_.queries;
-    ++stats_.formerr;
+    bump(stats_.queries);
+    bump(stats_.formerr);
     Message response;
     response.is_response = true;
     response.rcode = Rcode::kFormErr;
-    return encode(response);
+    encode_into(response, out);
+    return;
   }
   Message response = handle(query.value());
-  util::Bytes wire = encode(response);
-  if (wire.size() > kUdpPayloadLimit) {
+  encode_into(response, out);
+  if (out.size() > kUdpPayloadLimit) {
     // Truncate: drop the answer sections, flag TC, let the client retry
     // over TCP.
     response.answers.clear();
     response.authority.clear();
     response.additional.clear();
     response.truncated = true;
-    ++stats_.truncated;
-    wire = encode(response);
+    bump(stats_.truncated);
+    encode_into(response, out);
   }
-  return wire;
+}
+
+util::Bytes AuthoritativeServer::handle_datagram(
+    std::span<const std::uint8_t> query_bytes) const {
+  util::Bytes out;
+  handle_datagram(query_bytes, out);
+  return out;
 }
 
 }  // namespace ripki::dns

@@ -2,7 +2,15 @@
 // queries, adding the CNAME record when the owner name is an alias
 // (leaving the chase to the resolver, as authoritative servers that do
 // not host the target zone must).
+//
+// One server instance may be queried concurrently from many threads as
+// long as the ZoneSource's lookup is const-thread-safe (the in-memory and
+// ecosystem sources are): the handlers are const and the stats counters
+// are relaxed atomics. The parallel sweep shares a single server view
+// across all workers.
 #pragma once
+
+#include <atomic>
 
 #include "dns/zone.hpp"
 
@@ -29,14 +37,25 @@ class AuthoritativeServer {
   /// TCP path: never truncates.
   util::Bytes handle_stream(std::span<const std::uint8_t> query_bytes) const;
 
+  /// Scratch-buffer variants: encode the response into `out` (cleared
+  /// first, capacity reused). The resolver's per-sweep hot path calls
+  /// these with per-worker scratch so steady-state queries allocate
+  /// nothing on the wire path.
+  void handle_datagram(std::span<const std::uint8_t> query_bytes,
+                       util::Bytes& out) const;
+  void handle_stream(std::span<const std::uint8_t> query_bytes,
+                     util::Bytes& out) const;
+
   /// Protocol-level handler.
   Message handle(const Message& query) const;
 
+  /// Relaxed atomics: increments race-free under concurrent queries, each
+  /// field individually consistent (no cross-field snapshot guarantee).
   struct Stats {
-    std::uint64_t queries = 0;
-    std::uint64_t nxdomain = 0;
-    std::uint64_t formerr = 0;
-    std::uint64_t truncated = 0;
+    std::atomic<std::uint64_t> queries{0};
+    std::atomic<std::uint64_t> nxdomain{0};
+    std::atomic<std::uint64_t> formerr{0};
+    std::atomic<std::uint64_t> truncated{0};
   };
   const Stats& stats() const { return stats_; }
 

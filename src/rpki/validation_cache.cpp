@@ -2,9 +2,28 @@
 
 namespace ripki::rpki {
 
+void SharedValidationCache::warm(const VrpIndex& index,
+                                 const net::Prefix& prefix, net::Asn origin) {
+  const detail::PairKey key{prefix, origin};
+  if (cache_.find(key) != cache_.end()) return;
+  cache_.emplace(key, index.validate(prefix, origin));
+}
+
+const OriginValidity* SharedValidationCache::lookup(const net::Prefix& prefix,
+                                                    net::Asn origin) const {
+  const auto it = cache_.find(detail::PairKey{prefix, origin});
+  return it == cache_.end() ? nullptr : &it->second;
+}
+
 OriginValidity ValidationCache::validate(const net::Prefix& route,
                                          net::Asn origin) {
-  const Key key{route, origin};
+  if (shared_ != nullptr) {
+    if (const OriginValidity* warmed = shared_->lookup(route, origin)) {
+      ++hits_;
+      return *warmed;
+    }
+  }
+  const detail::PairKey key{route, origin};
   const auto it = cache_.find(key);
   if (it != cache_.end()) {
     ++hits_;

@@ -1,10 +1,23 @@
-// (prefix, origin) -> OriginValidity memo in front of VrpIndex::validate().
+// (prefix, origin) -> OriginValidity memos in front of VrpIndex::validate().
 //
 // Popular prefixes are announced for thousands of domains, so stage 4
 // re-validates the same pair over and over; RFC 6811 classification is a
 // pure function of the (immutable) VRP set, which makes it safe to
-// memoize. Like bgp::CoveringCache this is single-threaded by design —
-// the parallel sweep owns one instance per worker.
+// memoize.
+//
+// Two tiers:
+//
+//  - SharedValidationCache: a read-mostly map warmed once before the
+//    sweep and then shared by every worker. The sweep's key space is
+//    exactly the RIB's (prefix, origin) pairs — a domain can only map to
+//    pairs that exist as announcements — so pre-warming from the RIB
+//    covers ~all traffic, and lookups during the sweep are const reads
+//    into an immutable table: no locks, no per-worker duplication.
+//
+//  - ValidationCache: the per-worker overflow. Reads the shared tier
+//    first; anything the warm-up did not cover (or runs without a shared
+//    tier) is validated against the index and memoized privately.
+//    Single-threaded by design — each worker owns one.
 #pragma once
 
 #include <cstdint>
@@ -16,33 +29,63 @@
 
 namespace ripki::rpki {
 
+namespace detail {
+struct PairKey {
+  net::Prefix prefix;
+  net::Asn origin;
+  bool operator==(const PairKey&) const = default;
+};
+struct PairKeyHash {
+  std::size_t operator()(const PairKey& key) const {
+    return net::PrefixHash{}(key.prefix) * 31 + net::AsnHash{}(key.origin);
+  }
+};
+}  // namespace detail
+
+class SharedValidationCache {
+ public:
+  SharedValidationCache() = default;
+
+  /// Warm phase (single-threaded): memoizes `index->validate(prefix,
+  /// origin)` for one key. Must complete before any concurrent lookup().
+  void warm(const VrpIndex& index, const net::Prefix& prefix, net::Asn origin);
+
+  /// Lookup a warmed validity; nullptr when the key was never warmed.
+  /// Safe to call concurrently from any number of threads once warming
+  /// is done (const read of an immutable map).
+  const OriginValidity* lookup(const net::Prefix& prefix,
+                               net::Asn origin) const;
+
+  std::size_t size() const { return cache_.size(); }
+
+ private:
+  std::unordered_map<detail::PairKey, OriginValidity, detail::PairKeyHash>
+      cache_;
+};
+
 class ValidationCache {
  public:
   /// `index` is borrowed and must not change while the cache lives.
-  explicit ValidationCache(const VrpIndex* index) : index_(index) {}
+  /// `shared` (optional) is the pre-warmed read-only tier consulted
+  /// before the private map; it must outlive the cache.
+  explicit ValidationCache(const VrpIndex* index,
+                           const SharedValidationCache* shared = nullptr)
+      : index_(index), shared_(shared) {}
 
-  /// VrpIndex::validate(route, origin), memoized.
+  /// VrpIndex::validate(route, origin), memoized. Shared-tier answers
+  /// count as hits.
   OriginValidity validate(const net::Prefix& route, net::Asn origin);
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  /// Private-tier entries only (the shared tier is not duplicated here).
   std::size_t size() const { return cache_.size(); }
 
  private:
-  struct Key {
-    net::Prefix prefix;
-    net::Asn origin;
-    bool operator==(const Key&) const = default;
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& key) const {
-      return net::PrefixHash{}(key.prefix) * 31 +
-             net::AsnHash{}(key.origin);
-    }
-  };
-
   const VrpIndex* index_;
-  std::unordered_map<Key, OriginValidity, KeyHash> cache_;
+  const SharedValidationCache* shared_;
+  std::unordered_map<detail::PairKey, OriginValidity, detail::PairKeyHash>
+      cache_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

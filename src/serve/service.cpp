@@ -263,8 +263,8 @@ HttpResponse QueryService::route(const HttpRequest& request,
   if (path.size() == 3 && path[1] == "domain") {
     *endpoint = "domain";
     obs::Span span(options_.registry, "domain");
-    const core::DomainRecord* record = snapshot->find_domain(path[2]);
-    response = record == nullptr
+    const auto record = snapshot->find_domain(path[2]);
+    response = !record
                    ? error_response(404, "unknown domain\n")
                    : json_ok(Snapshot::render_domain_json(
                          *record, snapshot->generation()));

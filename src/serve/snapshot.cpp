@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <set>
+#include <span>
 
 #include "core/reports.hpp"
 
@@ -43,7 +44,7 @@ std::string json_fraction(double value) {
 }
 
 void append_pairs_json(std::string& out,
-                       const std::vector<core::PrefixAsPair>& pairs) {
+                       std::span<const core::PrefixAsPair> pairs) {
   out += '[';
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     if (i != 0) out += ',';
@@ -58,8 +59,9 @@ void append_pairs_json(std::string& out,
   out += ']';
 }
 
+template <typename Variant>
 void append_variant_json(std::string& out, const char* label,
-                         const core::VariantResult& variant) {
+                         const Variant& variant) {
   out += '"';
   out += label;
   out += "\":{\"resolved\":";
@@ -88,15 +90,15 @@ std::shared_ptr<const Snapshot> Snapshot::build(const core::Dataset& dataset,
   auto snapshot = std::shared_ptr<Snapshot>(new Snapshot());
   snapshot->generation_ = generation;
   snapshot->rank_space_ = dataset.rank_space;
-  snapshot->records_ = dataset.records;
+  snapshot->domains_.append_table(dataset.domains);
 
-  snapshot->by_name_.resize(snapshot->records_.size());
+  snapshot->by_name_.resize(snapshot->domains_.size());
   for (std::uint32_t i = 0; i < snapshot->by_name_.size(); ++i) {
     snapshot->by_name_[i] = i;
   }
   std::sort(snapshot->by_name_.begin(), snapshot->by_name_.end(),
             [&](std::uint32_t a, std::uint32_t b) {
-              return snapshot->records_[a].name < snapshot->records_[b].name;
+              return snapshot->domains_.name(a) < snapshot->domains_.name(b);
             });
 
   // Re-index the RIB as prefix -> sorted distinct origins. AS_SET
@@ -122,7 +124,7 @@ std::shared_ptr<const Snapshot> Snapshot::build(const core::Dataset& dataset,
   out += "{\"generation\":";
   out += std::to_string(generation);
   out += ",\"domains\":";
-  out += std::to_string(dataset.records.size());
+  out += std::to_string(dataset.domains.size());
   out += ",\"rank_space\":";
   out += std::to_string(dataset.rank_space);
   out += ",\"vrps\":";
@@ -157,18 +159,24 @@ std::shared_ptr<const Snapshot> Snapshot::build(const core::Dataset& dataset,
   return snapshot;
 }
 
-const core::DomainRecord* Snapshot::find_domain(std::string_view name) const {
+std::optional<core::DomainTable::RecordView> Snapshot::find_domain(
+    std::string_view name) const {
   const auto it = std::lower_bound(
       by_name_.begin(), by_name_.end(), name,
       [&](std::uint32_t index, std::string_view target) {
-        return std::string_view(records_[index].name) < target;
+        return domains_.name(index) < target;
       });
-  if (it == by_name_.end() || records_[*it].name != name) return nullptr;
-  return &records_[*it];
+  if (it == by_name_.end() || domains_.name(*it) != name) return std::nullopt;
+  return domains_.view(*it);
 }
 
-std::string Snapshot::render_domain_json(const core::DomainRecord& record,
-                                         std::uint64_t generation) {
+namespace {
+
+/// Shared body for both record shapes: field names and access syntax are
+/// identical between DomainRecord and DomainTable::RecordView.
+template <typename Record>
+std::string render_domain_json_impl(const Record& record,
+                                    std::uint64_t generation) {
   std::string out;
   out.reserve(512);
   out += "{\"generation\":";
@@ -187,6 +195,18 @@ std::string Snapshot::render_domain_json(const core::DomainRecord& record,
   append_variant_json(out, "apex", record.apex);
   out += '}';
   return out;
+}
+
+}  // namespace
+
+std::string Snapshot::render_domain_json(
+    const core::DomainTable::RecordView& record, std::uint64_t generation) {
+  return render_domain_json_impl(record, generation);
+}
+
+std::string Snapshot::render_domain_json(const core::DomainRecord& record,
+                                         std::uint64_t generation) {
+  return render_domain_json_impl(record, generation);
 }
 
 std::string Snapshot::ip_json(const net::IpAddress& address) const {

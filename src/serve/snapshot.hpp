@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -33,24 +34,31 @@ namespace ripki::serve {
 
 class Snapshot {
  public:
-  /// Builds the immutable view: copies `dataset.records`, re-indexes the
-  /// RIB's (prefix -> origin ASes) mapping, and rebuilds a VrpIndex from
-  /// `vrps`. `generation` stamps every response from this snapshot.
+  /// Builds the immutable view: copies `dataset.domains` (compact SoA
+  /// table, interned names), re-indexes the RIB's (prefix -> origin ASes)
+  /// mapping, and rebuilds a VrpIndex from `vrps`. `generation` stamps
+  /// every response from this snapshot.
   static std::shared_ptr<const Snapshot> build(const core::Dataset& dataset,
                                                const bgp::Rib& rib,
                                                const rpki::VrpSet& vrps,
                                                std::uint64_t generation);
 
   std::uint64_t generation() const { return generation_; }
-  std::size_t domain_count() const { return records_.size(); }
+  std::size_t domain_count() const { return domains_.size(); }
 
-  /// O(log n) lookup by apex name; nullptr when absent.
-  const core::DomainRecord* find_domain(std::string_view name) const;
+  /// O(log n) lookup by apex name; nullopt when absent. The view borrows
+  /// the snapshot's table — valid as long as this snapshot is held.
+  std::optional<core::DomainTable::RecordView> find_domain(
+      std::string_view name) const;
 
   // --- JSON renderers (deterministic; the oracle contract) ---------------
 
   /// Rendering for /v1/domain/<name> given a record — public and static
   /// so tests can compute the expected body straight from the dataset.
+  /// Both the table-view and the materialized-record shape render
+  /// identically (same fields, same formatting).
+  static std::string render_domain_json(const core::DomainTable::RecordView& record,
+                                        std::uint64_t generation);
   static std::string render_domain_json(const core::DomainRecord& record,
                                         std::uint64_t generation);
 
@@ -77,8 +85,8 @@ class Snapshot {
 
   std::uint64_t generation_ = 0;
   std::uint64_t rank_space_ = 0;
-  std::vector<core::DomainRecord> records_;
-  /// Indices into records_, sorted by name for binary search.
+  core::DomainTable domains_;
+  /// Row indices into domains_, sorted by name for binary search.
   std::vector<std::uint32_t> by_name_;
   /// Announced routes: origin ASes per prefix (AS_SET-terminated paths
   /// excluded, mirroring methodology step 3).

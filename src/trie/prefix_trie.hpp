@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -97,6 +98,96 @@ class PrefixTrie {
     size_ = 0;
   }
 
+  /// Array-mapped read-only image of the trie: nodes flattened into one
+  /// contiguous vector addressed by dense 32-bit indices instead of
+  /// pointer-chased heap nodes. Covering walks touch a few cache lines of
+  /// one array, and — the property bgp::CoveringCache keys on — the walk's
+  /// terminal node index uniquely identifies the whole covering set, so
+  /// every address inside the same deepest prefix shares one cache slot.
+  ///
+  /// Values are borrowed from the source trie, which must outlive the
+  /// frozen image unchanged.
+  class Frozen {
+   public:
+    /// Walk result when nothing in the trie covers the target.
+    static constexpr std::uint32_t kNoNode = 0xFFFFFFFFu;
+
+    Frozen() = default;
+
+    bool empty() const { return nodes_.empty(); }
+    std::size_t node_count() const { return nodes_.size(); }
+
+    /// Index of the deepest node on the covering path of `target` —
+    /// valued or split node alike; the path from the root to it is fixed
+    /// by the tree structure, so this index is a complete key for the
+    /// covering set. kNoNode when even the root does not match.
+    std::uint32_t deepest_covering(const net::Prefix& target) const {
+      std::uint32_t deepest = kNoNode;
+      std::uint32_t index =
+          target.family() == net::Family::kIpv4 ? v4_root_ : v6_root_;
+      while (index != kNoNode) {
+        const FrozenNode& node = nodes_[index];
+        if (node.key.length() > target.length() ||
+            common_prefix_length(node.key, target) < node.key.length()) {
+          break;
+        }
+        deepest = index;
+        if (node.key.length() == target.length()) break;
+        index = node.child[target.address().bit(node.key.length()) ? 1 : 0];
+      }
+      return deepest;
+    }
+
+    std::uint32_t deepest_covering(const net::IpAddress& addr) const {
+      return deepest_covering(net::Prefix(addr, addr.width()));
+    }
+
+    /// Valued matches on the root -> `node` path, shortest prefix first —
+    /// exactly PrefixTrie::covering() for any target whose walk ends at
+    /// `node`. kNoNode yields an empty list.
+    std::vector<Match> path_matches(std::uint32_t node) const {
+      std::vector<Match> out;
+      for (std::uint32_t index = node; index != kNoNode;
+           index = nodes_[index].parent) {
+        if (nodes_[index].value != nullptr) {
+          out.push_back({nodes_[index].key, nodes_[index].value});
+        }
+      }
+      std::reverse(out.begin(), out.end());
+      return out;
+    }
+
+    std::size_t memory_bytes() const {
+      return nodes_.capacity() * sizeof(FrozenNode);
+    }
+
+   private:
+    friend class PrefixTrie;
+
+    struct FrozenNode {
+      net::Prefix key;
+      std::uint32_t child[2] = {kNoNode, kNoNode};
+      std::uint32_t parent = kNoNode;
+      const V* value = nullptr;
+    };
+
+    std::vector<FrozenNode> nodes_;
+    std::uint32_t v4_root_ = kNoNode;
+    std::uint32_t v6_root_ = kNoNode;
+  };
+
+  /// Builds the frozen image (pre-order node numbering, deterministic).
+  /// The trie must stay alive and unmodified while the image is in use.
+  Frozen freeze() const {
+    Frozen out;
+    // Upper bound on node count: every insert adds at most one stored
+    // node plus one split node.
+    out.nodes_.reserve(2 * size_ + 2);
+    out.v4_root_ = freeze_node(out, v4_root_.get(), Frozen::kNoNode);
+    out.v6_root_ = freeze_node(out, v6_root_.get(), Frozen::kNoNode);
+    return out;
+  }
+
  private:
   struct Node {
     explicit Node(net::Prefix k) : key(k) {}
@@ -145,6 +236,23 @@ class PrefixTrie {
     slot = std::move(split);
     if (cpl == prefix.length()) return slot.get();
     return insert_node(slot->child[prefix.address().bit(cpl) ? 1 : 0], prefix);
+  }
+
+  std::uint32_t freeze_node(Frozen& out, const Node* node,
+                            std::uint32_t parent) const {
+    if (node == nullptr) return Frozen::kNoNode;
+    assert(out.nodes_.size() < Frozen::kNoNode);
+    const auto index = static_cast<std::uint32_t>(out.nodes_.size());
+    out.nodes_.push_back(typename Frozen::FrozenNode{
+        .key = node->key,
+        .parent = parent,
+        .value = node->value.has_value() ? &*node->value : nullptr});
+    // Children appended after the parent; indices patched once known.
+    const std::uint32_t left = freeze_node(out, node->child[0].get(), index);
+    const std::uint32_t right = freeze_node(out, node->child[1].get(), index);
+    out.nodes_[index].child[0] = left;
+    out.nodes_[index].child[1] = right;
+    return index;
   }
 
   void visit_node(const Node* node,

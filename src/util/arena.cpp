@@ -1,0 +1,51 @@
+#include "util/arena.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace ripki::util {
+
+Arena::Block& Arena::grow(std::size_t min_capacity) {
+  const std::size_t capacity =
+      min_capacity > block_size_ ? min_capacity : block_size_;
+  Block block;
+  block.data = std::make_unique<char[]>(capacity);
+  block.capacity = capacity;
+  reserved_ += capacity;
+  blocks_.push_back(std::move(block));
+  return blocks_.back();
+}
+
+char* Arena::allocate(std::size_t size, std::size_t align) {
+  assert(align != 0 && (align & (align - 1)) == 0 && "align: power of two");
+  if (size == 0) size = 1;  // distinct non-null result for empty requests
+  Block* block = blocks_.empty() ? nullptr : &blocks_.back();
+  std::size_t offset = 0;
+  if (block != nullptr) {
+    offset = (block->used + align - 1) & ~(align - 1);
+    if (offset + size > block->capacity) block = nullptr;
+  }
+  if (block == nullptr) {
+    block = &grow(size + align - 1);
+    offset = (block->used + align - 1) & ~(align - 1);
+  }
+  char* out = block->data.get() + offset;
+  block->used = offset + size;
+  used_ += size;
+  return out;
+}
+
+std::string_view Arena::store(std::string_view text) {
+  if (text.empty()) return std::string_view();
+  char* out = allocate(text.size());
+  std::memcpy(out, text.data(), text.size());
+  return std::string_view(out, text.size());
+}
+
+void Arena::clear() {
+  blocks_.clear();
+  used_ = 0;
+  reserved_ = 0;
+}
+
+}  // namespace ripki::util

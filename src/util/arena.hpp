@@ -1,0 +1,65 @@
+// Bump-pointer arena: many small allocations, one lifetime.
+//
+// The measurement core deals in millions of short byte strings (domain
+// names, CNAME targets) and per-sweep scratch whose lifetime is "the
+// whole run". Allocating each of them with operator new costs a malloc
+// header plus heap fragmentation per string; the arena instead carves
+// them out of large blocks and frees everything at once. Allocation is a
+// pointer bump; individual frees do not exist by design.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace ripki::util {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultBlockSize = 64 * 1024;
+
+  explicit Arena(std::size_t block_size = kDefaultBlockSize)
+      : block_size_(block_size == 0 ? kDefaultBlockSize : block_size) {}
+
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// `size` bytes aligned to `align` (a power of two). Requests larger
+  /// than the block size get a dedicated block, so arbitrarily large
+  /// allocations still work.
+  char* allocate(std::size_t size, std::size_t align = 1);
+
+  /// Copies `text` into the arena and returns a view of the copy. The
+  /// view stays valid (and its address stable) for the arena's lifetime —
+  /// blocks are never reallocated, only appended.
+  std::string_view store(std::string_view text);
+
+  /// Bytes handed out to callers (excludes per-block slack).
+  std::size_t bytes_used() const { return used_; }
+  /// Bytes reserved from the system across all blocks.
+  std::size_t bytes_reserved() const { return reserved_; }
+  std::size_t block_count() const { return blocks_.size(); }
+
+  /// Drops every block. All views and pointers into the arena die here.
+  void clear();
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+  };
+
+  Block& grow(std::size_t min_capacity);
+
+  std::size_t block_size_;
+  std::vector<Block> blocks_;
+  std::size_t used_ = 0;
+  std::size_t reserved_ = 0;
+};
+
+}  // namespace ripki::util

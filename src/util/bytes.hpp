@@ -18,6 +18,13 @@ using Bytes = std::vector<std::uint8_t>;
 /// Serialises primitives in network byte order into a growable buffer.
 class ByteWriter {
  public:
+  ByteWriter() = default;
+
+  /// Adopts `reuse` as the output buffer: contents are cleared but the
+  /// capacity is kept, so encode-into-scratch loops stop allocating once
+  /// the buffer has grown to the working-set size.
+  explicit ByteWriter(Bytes&& reuse) : buf_(std::move(reuse)) { buf_.clear(); }
+
   void put_u8(std::uint8_t v) { buf_.push_back(v); }
   void put_u16(std::uint16_t v);
   void put_u32(std::uint32_t v);

@@ -1,0 +1,35 @@
+#include "util/interner.hpp"
+
+#include <cassert>
+
+namespace ripki::util {
+
+StringInterner::Id StringInterner::intern(std::string_view text) {
+  const auto it = index_.find(text);
+  if (it != index_.end()) return it->second;
+  assert(strings_.size() < kNotFound && "interner id space exhausted");
+  const Id id = static_cast<Id>(strings_.size());
+  const std::string_view stored = arena_.store(text);
+  strings_.push_back(stored);
+  index_.emplace(stored, id);
+  return id;
+}
+
+StringInterner::Id StringInterner::find(std::string_view text) const {
+  const auto it = index_.find(text);
+  return it == index_.end() ? kNotFound : it->second;
+}
+
+std::size_t StringInterner::memory_bytes() const {
+  return arena_.bytes_reserved() + strings_.capacity() * sizeof(strings_[0]) +
+         index_.size() * (sizeof(std::string_view) + sizeof(Id) +
+                          2 * sizeof(void*));  // ~node + bucket overhead
+}
+
+void StringInterner::clear() {
+  index_.clear();
+  strings_.clear();
+  arena_.clear();
+}
+
+}  // namespace ripki::util

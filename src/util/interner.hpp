@@ -1,0 +1,63 @@
+// Arena-backed string interner with dense 32-bit ids.
+//
+// The 1M-domain dataset stores every domain name, CNAME target, and zone
+// name many times (dataset columns, name index, serve snapshot). Interning
+// collapses each distinct string to one arena-resident copy addressed by a
+// 32-bit id: columns shrink from a 32-byte std::string (plus its heap
+// block) per cell to 4 bytes, and equal names compare as integer ids.
+//
+// Ids are assigned densely in first-intern order, which makes them
+// deterministic for any fixed insertion sequence — the property the
+// parallel sweep relies on when per-shard interners are re-interned into
+// the final table in shard order.
+//
+// Not thread-safe for intern(); concurrent const lookups are fine once
+// writers are done (the sweep interns per-worker and merges at join).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/arena.hpp"
+
+namespace ripki::util {
+
+class StringInterner {
+ public:
+  using Id = std::uint32_t;
+  /// Returned by find() when the string was never interned.
+  static constexpr Id kNotFound = 0xFFFFFFFFu;
+
+  StringInterner() = default;
+  StringInterner(StringInterner&&) = default;
+  StringInterner& operator=(StringInterner&&) = default;
+
+  /// Returns the id of `text`, interning a copy on first sight.
+  /// Re-interning an existing string returns the same id (dedup).
+  Id intern(std::string_view text);
+
+  /// Id of `text` if already interned, kNotFound otherwise.
+  Id find(std::string_view text) const;
+
+  /// The interned bytes of `id`. The view stays valid and its address
+  /// stable for the interner's lifetime.
+  std::string_view view(Id id) const { return strings_[id]; }
+
+  /// Number of distinct strings interned.
+  std::size_t size() const { return strings_.size(); }
+  bool empty() const { return strings_.empty(); }
+
+  /// Approximate heap footprint: arena bytes + id table.
+  std::size_t memory_bytes() const;
+
+  void clear();
+
+ private:
+  Arena arena_;
+  std::vector<std::string_view> strings_;  // id -> arena view
+  std::unordered_map<std::string_view, Id> index_;
+};
+
+}  // namespace ripki::util

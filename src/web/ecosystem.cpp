@@ -454,7 +454,7 @@ void Ecosystem::build_domains(util::Prng& prng) {
     const std::uint64_t rank =
         i * config_.rank_space / config_.domain_count + 1;
     plan.rank = static_cast<std::uint32_t>(rank);
-    plan.name = domain_name_for_rank(config_.seed, rank);
+    plan.name_id = names_.intern(domain_name_for_rank(config_.seed, rank));
     plan.has_ipv6 = prng.bernoulli(config_.ipv6_fraction);
     plan.invalid_dns = prng.bernoulli(config_.invalid_dns_fraction);
     plan.dnssec_signed = prng.bernoulli(rank_decay(
@@ -508,7 +508,7 @@ void Ecosystem::build_domains(util::Prng& prng) {
       plan.cdn_id = kNoCdn;
     }
 
-    apex_index_.emplace(plan.name, static_cast<std::uint32_t>(i));
+    apex_index_.emplace(names_.view(plan.name_id), static_cast<std::uint32_t>(i));
     plans_.push_back(std::move(plan));
   }
 }

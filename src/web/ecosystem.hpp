@@ -21,6 +21,7 @@
 #include "net/prefix.hpp"
 #include "rpki/repository.hpp"
 #include "rpki/tal.hpp"
+#include "util/interner.hpp"
 #include "util/prng.hpp"
 #include "web/as_registry.hpp"
 #include "web/cdn.hpp"
@@ -155,7 +156,10 @@ struct HostVariant {
 };
 
 struct DomainPlan {
-  std::string name;  // apex name, e.g. "lunarforge481.com-web"
+  /// Apex name (e.g. "lunarforge481.com-web") as an id into the
+  /// ecosystem's interner — 4 bytes per plan instead of a heap string at
+  /// the 1M-domain scale. Resolve with Ecosystem::plan_name().
+  util::StringInterner::Id name_id = util::StringInterner::kNotFound;
   std::uint32_t rank = 0;
   std::uint8_t cdn_id = kNoCdn;
   bool invalid_dns = false;
@@ -190,6 +194,11 @@ class Ecosystem {
 
   std::size_t domain_count() const { return plans_.size(); }
   const DomainPlan& plan(std::size_t index) const { return plans_[index]; }
+  /// Apex name of plan `index` (view into the ecosystem's interner;
+  /// valid for the ecosystem's lifetime).
+  std::string_view plan_name(std::size_t index) const {
+    return names_.view(plans_[index].name_id);
+  }
   const std::vector<PrefixRecord>& prefixes() const { return prefixes_; }
 
   /// Ground-truth CDN usage (for classifier evaluation in tests).
@@ -233,8 +242,11 @@ class Ecosystem {
   std::vector<rpki::TrustAnchor> anchors_;
   std::vector<rpki::Repository> repositories_;
   std::unique_ptr<bgp::RouteCollector> collector_;
+  /// Domain-name storage: every plan name interned once; apex_index_
+  /// keys view into it (declared before both so it outlives them).
+  util::StringInterner names_;
   std::vector<DomainPlan> plans_;
-  std::unordered_map<std::string, std::uint32_t> apex_index_;
+  std::unordered_map<std::string_view, std::uint32_t> apex_index_;
 
   // Category index pools for random placement decisions.
   std::vector<std::uint32_t> isp_indices_;

@@ -50,7 +50,7 @@ Dataset* PipelineTest::dataset_ = nullptr;
 // --- dataset sanity ----------------------------------------------------------
 
 TEST_F(PipelineTest, ProcessesEveryDomain) {
-  EXPECT_EQ(dataset_->records.size(), eco_->domain_count());
+  EXPECT_EQ(dataset_->domains.size(), eco_->domain_count());
   EXPECT_EQ(dataset_->counters.domains_total, eco_->domain_count());
   EXPECT_EQ(dataset_->rank_space, eco_->config().rank_space);
 }
@@ -58,12 +58,12 @@ TEST_F(PipelineTest, ProcessesEveryDomain) {
 TEST_F(PipelineTest, MostDomainsResolveAndMap) {
   std::size_t resolved = 0;
   std::size_t with_pairs = 0;
-  for (const auto& record : dataset_->records) {
+  for (const auto record : dataset_->rows()) {
     if (record.www.resolved) ++resolved;
     if (!record.primary().pairs.empty()) ++with_pairs;
   }
-  EXPECT_GT(resolved, dataset_->records.size() * 99 / 100);
-  EXPECT_GT(with_pairs, dataset_->records.size() * 99 / 100);
+  EXPECT_GT(resolved, dataset_->domains.size() * 99 / 100);
+  EXPECT_GT(with_pairs, dataset_->domains.size() * 99 / 100);
 }
 
 TEST_F(PipelineTest, ExcludedDnsMatchesConfiguredRate) {
@@ -79,7 +79,7 @@ TEST_F(PipelineTest, PairValiditiesAreAssigned) {
   std::size_t valid = 0;
   std::size_t invalid = 0;
   std::size_t not_found = 0;
-  for (const auto& record : dataset_->records) {
+  for (const auto record : dataset_->rows()) {
     for (const auto& pair : record.www.pairs) {
       switch (pair.validity) {
         case rpki::OriginValidity::kValid: ++valid; break;
@@ -189,8 +189,8 @@ TEST_F(PipelineTest, ClassifiersTrackGroundTruth) {
   std::size_t chain_hits = 0;
   std::size_t pattern_hits = 0;
   std::size_t chain_false_positives = 0;
-  for (std::size_t i = 0; i < dataset_->records.size(); ++i) {
-    const auto& record = dataset_->records[i];
+  for (std::size_t i = 0; i < dataset_->domains.size(); ++i) {
+    const auto record = dataset_->domains[i];
     const bool truth = eco_->domain_uses_cdn(i);
     if (truth) {
       ++cdn_truth;
@@ -208,7 +208,7 @@ TEST_F(PipelineTest, ClassifiersTrackGroundTruth) {
   // Pattern matching sees single-CNAME deployments too.
   EXPECT_GT(pattern_hits, chain_hits);
   // False positives exist (hosting-platform chains) but are rare.
-  EXPECT_LT(chain_false_positives, dataset_->records.size() / 50);
+  EXPECT_LT(chain_false_positives, dataset_->domains.size() / 50);
 }
 
 TEST_F(PipelineTest, Figure3OverlapRisesTowardTheTail) {
@@ -280,11 +280,11 @@ TEST_F(PipelineTest, ResultsIndependentOfDnsVantage) {
   // selection").
   util::Accumulator a;
   util::Accumulator b;
-  for (std::size_t i = 0; i < other.records.size(); ++i) {
-    if (dataset_->records[i].primary().pairs.empty()) continue;
-    if (other.records[i].primary().pairs.empty()) continue;
-    a.add(dataset_->records[i].primary().coverage());
-    b.add(other.records[i].primary().coverage());
+  for (std::size_t i = 0; i < other.domains.size(); ++i) {
+    if (dataset_->domains[i].primary().pairs.empty()) continue;
+    if (other.domains[i].primary().pairs.empty()) continue;
+    a.add(dataset_->domains[i].primary().coverage());
+    b.add(other.domains[i].primary().coverage());
   }
   EXPECT_NEAR(a.mean(), b.mean(), 0.01);
 }
@@ -296,13 +296,13 @@ TEST_F(PipelineTest, RtrTransportYieldsIdenticalValidation) {
   MeasurementPipeline rtr_pipeline(*eco_, config);
   const Dataset rtr_dataset = rtr_pipeline.run();
 
-  ASSERT_EQ(rtr_dataset.records.size(), 1'000u);
-  for (std::size_t i = 0; i < rtr_dataset.records.size(); ++i) {
-    ASSERT_EQ(rtr_dataset.records[i].www.pairs.size(),
-              dataset_->records[i].www.pairs.size());
-    for (std::size_t p = 0; p < rtr_dataset.records[i].www.pairs.size(); ++p) {
-      EXPECT_EQ(rtr_dataset.records[i].www.pairs[p],
-                dataset_->records[i].www.pairs[p]);
+  ASSERT_EQ(rtr_dataset.domains.size(), 1'000u);
+  for (std::size_t i = 0; i < rtr_dataset.domains.size(); ++i) {
+    ASSERT_EQ(rtr_dataset.domains[i].www.pairs.size(),
+              dataset_->domains[i].www.pairs.size());
+    for (std::size_t p = 0; p < rtr_dataset.domains[i].www.pairs.size(); ++p) {
+      EXPECT_EQ(rtr_dataset.domains[i].www.pairs[p],
+                dataset_->domains[i].www.pairs[p]);
     }
   }
 }
@@ -318,12 +318,12 @@ TEST_F(PipelineTest, RrdpCollectionYieldsIdenticalValidation) {
   // the same VRP set and per-pair outcomes as in-process access.
   EXPECT_EQ(rrdp_pipeline.validation_report().vrps.size(),
             pipeline_->validation_report().vrps.size());
-  for (std::size_t i = 0; i < rrdp_dataset.records.size(); ++i) {
-    ASSERT_EQ(rrdp_dataset.records[i].www.pairs.size(),
-              dataset_->records[i].www.pairs.size());
-    for (std::size_t p = 0; p < rrdp_dataset.records[i].www.pairs.size(); ++p) {
-      EXPECT_EQ(rrdp_dataset.records[i].www.pairs[p],
-                dataset_->records[i].www.pairs[p]);
+  for (std::size_t i = 0; i < rrdp_dataset.domains.size(); ++i) {
+    ASSERT_EQ(rrdp_dataset.domains[i].www.pairs.size(),
+              dataset_->domains[i].www.pairs.size());
+    for (std::size_t p = 0; p < rrdp_dataset.domains[i].www.pairs.size(); ++p) {
+      EXPECT_EQ(rrdp_dataset.domains[i].www.pairs[p],
+                dataset_->domains[i].www.pairs[p]);
     }
   }
 }
@@ -332,7 +332,7 @@ TEST_F(PipelineTest, MaxDomainsLimitsWork) {
   PipelineConfig config;
   config.max_domains = 123;
   MeasurementPipeline limited(*eco_, config);
-  EXPECT_EQ(limited.run().records.size(), 123u);
+  EXPECT_EQ(limited.run().domains.size(), 123u);
 }
 
 // --- VariantResult unit behaviour --------------------------------------------------

@@ -30,12 +30,9 @@ TEST(Determinism, PipelineRunsAreBitIdentical) {
   const auto d1 = p1.run();
   const auto d2 = p2.run();
 
-  ASSERT_EQ(d1.records.size(), d2.records.size());
-  for (std::size_t i = 0; i < d1.records.size(); ++i) {
-    EXPECT_EQ(d1.records[i].name, d2.records[i].name);
-    EXPECT_EQ(d1.records[i].www.pairs, d2.records[i].www.pairs);
-    EXPECT_EQ(d1.records[i].apex.pairs, d2.records[i].apex.pairs);
-    EXPECT_EQ(d1.records[i].dnssec_signed, d2.records[i].dnssec_signed);
+  ASSERT_EQ(d1.domains.size(), d2.domains.size());
+  for (std::size_t i = 0; i < d1.domains.size(); ++i) {
+    EXPECT_EQ(d1.domains[i], d2.domains[i]);
   }
   EXPECT_EQ(d1.counters.dns_queries, d2.counters.dns_queries);
 }
@@ -177,14 +174,14 @@ TEST(Ipv6Pipeline, AaaaPairsAppear) {
   const auto dataset = pipeline.run();
 
   std::size_t v6_pairs = 0;
-  for (const auto& record : dataset.records) {
+  for (const auto record : dataset.rows()) {
     for (const auto& pair : record.www.pairs) {
       if (!pair.prefix.is_v4()) ++v6_pairs;
     }
   }
   // ~30% of ASes hold v6 space, so a solid share of domains must expose
   // v6 prefix-AS pairs.
-  EXPECT_GT(v6_pairs, dataset.records.size() / 10);
+  EXPECT_GT(v6_pairs, dataset.domains.size() / 10);
 }
 
 }  // namespace

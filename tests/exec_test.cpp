@@ -279,12 +279,20 @@ class ParallelPipelineTest : public ::testing::Test {
     return pipeline.run();
   }
 
+  /// Worker count the sweep actually runs with: requested threads are
+  /// clamped to the host's hardware concurrency.
+  static std::size_t clamped(std::size_t threads) {
+    const std::size_t hw = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+    return std::min(threads, hw);
+  }
+
   static void expect_equal_to_serial(const core::Dataset& dataset) {
-    ASSERT_EQ(dataset.records.size(), serial_->records.size());
-    for (std::size_t i = 0; i < dataset.records.size(); ++i) {
-      ASSERT_EQ(dataset.records[i], serial_->records[i])
+    ASSERT_EQ(dataset.domains.size(), serial_->domains.size());
+    for (std::size_t i = 0; i < dataset.domains.size(); ++i) {
+      ASSERT_EQ(dataset.domains[i], serial_->domains[i])
           << "first divergent record at index " << i << " ("
-          << serial_->records[i].name << ")";
+          << serial_->domains.name(i) << ")";
     }
     EXPECT_EQ(dataset.counters, serial_->counters);
     EXPECT_EQ(dataset.rank_space, serial_->rank_space);
@@ -327,7 +335,8 @@ TEST_F(ParallelPipelineTest, ParallelRunPublishesSweepMetrics) {
   EXPECT_GT(validation_hits, 0u);
   // ...and the pool must actually have run shard tasks.
   EXPECT_GT(registry.counter("ripki.exec.tasks_executed").value(), 0u);
-  EXPECT_EQ(registry.gauge("ripki.exec.threads").value(), 4);
+  EXPECT_EQ(registry.gauge("ripki.exec.threads").value(),
+            static_cast<double>(clamped(4)));
   const auto hit_rate =
       registry.gauge("ripki.exec.covering_cache_hit_rate_pct").value();
   EXPECT_GE(hit_rate, 0);
@@ -353,9 +362,9 @@ TEST_F(ParallelPipelineTest, MaxDomainsRespectedInParallel) {
   config.max_domains = 17;
   core::MeasurementPipeline pipeline(*eco_, config);
   const core::Dataset dataset = pipeline.run();
-  ASSERT_EQ(dataset.records.size(), 17u);
+  ASSERT_EQ(dataset.domains.size(), 17u);
   for (std::size_t i = 0; i < 17; ++i) {
-    EXPECT_EQ(dataset.records[i], serial_->records[i]);
+    EXPECT_EQ(dataset.domains[i], serial_->domains[i]);
   }
 }
 
@@ -366,7 +375,7 @@ TEST_F(ParallelPipelineTest, PerWorkerCacheStatsSumToAggregate) {
   expect_equal_to_serial(pipeline.run());
 
   const auto& caches = pipeline.cache_stats();
-  ASSERT_EQ(caches.workers.size(), 4u);
+  ASSERT_EQ(caches.workers.size(), clamped(4));
   std::uint64_t covering_hits = 0, covering_misses = 0;
   std::uint64_t validation_hits = 0, validation_misses = 0;
   for (const auto& worker : caches.workers) {
@@ -381,7 +390,7 @@ TEST_F(ParallelPipelineTest, PerWorkerCacheStatsSumToAggregate) {
   EXPECT_EQ(covering_misses, caches.covering_misses);
   EXPECT_EQ(validation_hits, caches.validation_hits);
   EXPECT_EQ(validation_misses, caches.validation_misses);
-  // A 3k-domain sweep split four ways leaves no worker idle.
+  // A 3k-domain sweep split across the workers leaves none idle.
   for (const auto& worker : caches.workers) {
     EXPECT_GT(worker.covering_hits + worker.covering_misses, 0u);
   }

@@ -85,16 +85,16 @@ core::Dataset* ExtensionsPipeline::dataset_ = nullptr;
 
 TEST_F(ExtensionsPipeline, DnssecProbeMatchesGroundTruth) {
   std::size_t mismatches = 0;
-  for (std::size_t i = 0; i < dataset_->records.size(); ++i) {
+  for (std::size_t i = 0; i < dataset_->domains.size(); ++i) {
     const bool truth = eco_->plan(i).dnssec_signed && !eco_->plan(i).invalid_dns;
-    const bool probed = dataset_->records[i].dnssec_signed;
+    const bool probed = dataset_->domains[i].dnssec_signed;
     if (truth != probed) ++mismatches;
   }
   // invalid_dns domains may or may not answer DNSKEY; everything else must
   // agree exactly.
-  EXPECT_LT(mismatches, dataset_->records.size() / 200);
+  EXPECT_LT(mismatches, dataset_->domains.size() / 200);
   EXPECT_GT(dataset_->counters.dnssec_signed_domains,
-            dataset_->records.size() / 10);
+            dataset_->domains.size() / 10);
 }
 
 TEST_F(ExtensionsPipeline, DnssecReportRatesAreConsistent) {
@@ -132,7 +132,7 @@ TEST_F(ExtensionsPipeline, DomainsCsvHasHeaderAndAllRows) {
   EXPECT_EQ(out.rfind("rank,domain,excluded_dns,dnssec_signed,", 0), 0u);
   const auto lines = static_cast<std::size_t>(
       std::count(out.begin(), out.end(), '\n'));
-  EXPECT_EQ(lines, dataset_->records.size() + 1);  // header + rows
+  EXPECT_EQ(lines, dataset_->domains.size() + 1);  // header + rows
 }
 
 TEST_F(ExtensionsPipeline, PairsCsvMatchesPairCount) {
@@ -164,7 +164,7 @@ TEST(ExportCsv, EscapesSpecialCharacters) {
   core::DomainRecord record;
   record.rank = 1;
   record.name = "we\"ird,name.example";
-  dataset.records.push_back(record);
+  dataset.domains.append(record);
   std::ostringstream os;
   core::export_domains_csv(dataset, os);
   EXPECT_NE(os.str().find("\"we\"\"ird,name.example\""), std::string::npos);
@@ -216,11 +216,11 @@ TEST(AblationKnobs, SingleCnameAliasesDoNotTriggerChainHeuristic) {
   const core::ChainCdnClassifier chain;
   std::size_t single = 0;
   std::size_t flagged = 0;
-  for (const auto& record : dataset.records) {
+  for (const auto record : dataset.rows()) {
     if (record.www.cname_hops == 1) ++single;
     if (chain.is_cdn(record)) ++flagged;
   }
-  EXPECT_GT(single, dataset.records.size() / 4);  // aliases are common
+  EXPECT_GT(single, dataset.domains.size() / 4);  // aliases are common
   EXPECT_EQ(flagged, 0u);                         // none fool the heuristic
 }
 

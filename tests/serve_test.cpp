@@ -448,9 +448,10 @@ TEST_F(ServeServiceTest, DomainLookupByteMatchesDatasetRendering) {
 
   // Every 97th record: the service answer must byte-match the rendering
   // computed directly from the dataset record.
-  for (std::size_t i = 0; i < dataset_->records.size(); i += 97) {
-    const core::DomainRecord& record = dataset_->records[i];
-    const HttpResponse response = service.handle(get("/v1/domain/" + record.name));
+  for (std::size_t i = 0; i < dataset_->domains.size(); i += 97) {
+    const auto record = dataset_->domains[i];
+    const HttpResponse response =
+        service.handle(get("/v1/domain/" + std::string(record.name)));
     ASSERT_EQ(response.status, 200) << record.name;
     EXPECT_EQ(response.body, Snapshot::render_domain_json(record, 1));
   }
@@ -461,8 +462,8 @@ TEST_F(ServeServiceTest, PrefixOutcomeMatchesValidatorOracle) {
   service.publish(snapshot_);
 
   std::size_t checked = 0;
-  for (std::size_t i = 0; i < dataset_->records.size() && checked < 50; i += 41) {
-    for (const core::PrefixAsPair& pair : dataset_->records[i].primary().pairs) {
+  for (std::size_t i = 0; i < dataset_->domains.size() && checked < 50; i += 41) {
+    for (const core::PrefixAsPair& pair : dataset_->domains[i].primary().pairs) {
       const std::string target = "/v1/prefix/" + pair.prefix.to_string() + "/" +
                                  std::to_string(pair.origin.value());
       const HttpResponse response = service.handle(get(target));
@@ -512,7 +513,8 @@ TEST_F(ServeServiceTest, CacheServesSecondLookupAndInvalidatesOnPublish) {
   QueryService service(QueryServiceOptions{});
   service.publish(snapshot_);
 
-  const std::string target = "/v1/domain/" + dataset_->records[0].name;
+  const std::string target =
+      "/v1/domain/" + std::string(dataset_->domains.name(0));
   const HttpResponse first = service.handle(get(target));
   ASSERT_EQ(first.status, 200);
   EXPECT_EQ(service.cache().hits(), 0u);
@@ -557,7 +559,8 @@ TEST_F(ServeServiceTest, MetricsLandInRegistry) {
   QueryService service(options);
   service.publish(snapshot_);
 
-  const std::string target = "/v1/domain/" + dataset_->records[0].name;
+  const std::string target =
+      "/v1/domain/" + std::string(dataset_->domains.name(0));
   service.handle(get(target));
   service.handle(get(target));
 
@@ -582,10 +585,10 @@ TEST_F(ServeServiceTest, SnapshotSwapRacesInFlightReads) {
     readers.emplace_back([&, t] {
       std::size_t i = static_cast<std::size_t>(t);
       while (!stop.load(std::memory_order_relaxed)) {
-        const core::DomainRecord& record =
-            dataset_->records[i % dataset_->records.size()];
+        const std::string_view name =
+            dataset_->domains.name(i % dataset_->domains.size());
         const HttpResponse response =
-            service.handle(get("/v1/domain/" + record.name));
+            service.handle(get("/v1/domain/" + std::string(name)));
         if (response.status != 200) bad.fetch_add(1);
         i += 7;
       }
@@ -613,8 +616,8 @@ TEST_F(ServeServiceTest, EndToEndOverSockets) {
   ASSERT_GE(fd, 0);
   std::string carry;
 
-  const core::DomainRecord& record = dataset_->records[3];
-  send_all(fd, "GET /v1/domain/" + record.name + " HTTP/1.1\r\n\r\n");
+  const auto record = dataset_->domains[3];
+  send_all(fd, "GET /v1/domain/" + std::string(record.name) + " HTTP/1.1\r\n\r\n");
   std::string response = recv_response(fd, carry);
   EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
   EXPECT_EQ(body_of(response), Snapshot::render_domain_json(record, 1));
@@ -894,7 +897,7 @@ TEST_F(ServeServiceTest, EveryServeAndExecMetricCarriesHelpText) {
   service.publish(snapshot_);
 
   // Touch enough of the surface that lazily-created metrics exist too.
-  service.handle(get("/v1/domain/" + dataset_->records[0].name));
+  service.handle(get("/v1/domain/" + std::string(dataset_->domains.name(0))));
   service.handle(get("/v1/summary"));
   service.handle(get("/accessz"));
   service.handle(get("/v1/nothing-here"));

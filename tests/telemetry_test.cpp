@@ -206,7 +206,7 @@ TEST(EventTracer, PipelineRunProducesWellFormedTimeline) {
   pipeline_config.health = &health;
   core::MeasurementPipeline pipeline(*ecosystem, pipeline_config);
   const auto dataset = pipeline.run();
-  EXPECT_EQ(dataset.records.size(), 60u);
+  EXPECT_EQ(dataset.domains.size(), 60u);
 
   EXPECT_GT(tracer.recorded(), 0u);
   expect_well_formed_trace_json(tracer.chrome_trace_json());
