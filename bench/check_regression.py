@@ -9,11 +9,17 @@ Flags a per-stage wall-clock regression when a stage is more than
 shared CI runners). Also fails when any identical_* check in the current
 run is false — identity is a correctness bug, never noise.
 
-Also understands serve_loadgen JSON: per-rung QPS is compared as a
-throughput (flagged when it DROPS more than --threshold percent), p99
-latency — both global and per-endpoint — rides through the stage
-comparison, and oracle_ok=false is an identity failure (the server
+Also understands serve_loadgen JSON: per-rung QPS — both the closed-loop
+thread ladder ("runs") and the reactor shard ladder ("shard_ladder") —
+is compared as a throughput (flagged when it DROPS more than --threshold
+percent), p99 latency — global, per-endpoint, and per-shard-rung — rides
+through the stage comparison, and oracle_ok=false anywhere (thread rung,
+shard rung, or the open-loop rung) is an identity failure (the server
 returned bytes that diverged from the dataset-derived oracle). The
+open-loop rung is deliberately NOT latency-gated against the baseline:
+its auto rate targets 1.25x the measured capacity, so its percentiles
+measure queueing under saturation and move with runner speed — only its
+oracle and transport-error count are hard signals. The
 profiler_overhead block of perf_pipeline_stages is compared the same way
 as tracer_overhead.
 
@@ -80,7 +86,8 @@ def stage_times(report):
         stages[f"{prefix}.validate_ms"] = run["validate_ms"]
     for run in report.get("million_rung", {}).get("runs", []):
         stages[f"million.threads={run['threads']}.wall_ms"] = run["wall_ms"]
-    for run in report.get("serve_loadgen", {}).get("runs", []):
+    serve = report.get("serve_loadgen", {})
+    for run in serve.get("runs", []):
         if "p99_us" in run:
             stages[f"serve.threads={run['threads']}.p99_ms"] = (
                 run["p99_us"] / 1000.0)
@@ -88,6 +95,10 @@ def stage_times(report):
             if "p99_us" in stats:
                 stages[f"serve.threads={run['threads']}.{endpoint}.p99_ms"] = (
                     stats["p99_us"] / 1000.0)
+    for run in serve.get("shard_ladder", {}).get("runs", []):
+        if "p99_us" in run:
+            stages[f"serve.shards={run['shards']}.p99_ms"] = (
+                run["p99_us"] / 1000.0)
     return stages
 
 
@@ -95,9 +106,13 @@ def throughputs(report):
     """Higher-is-better figures: {name: value}. Compared inverted (a DROP
     beyond the threshold is the regression)."""
     rates = {}
-    for run in report.get("serve_loadgen", {}).get("runs", []):
+    serve = report.get("serve_loadgen", {})
+    for run in serve.get("runs", []):
         if "qps" in run:
             rates[f"serve.threads={run['threads']}.qps"] = run["qps"]
+    for run in serve.get("shard_ladder", {}).get("runs", []):
+        if "qps" in run:
+            rates[f"serve.shards={run['shards']}.qps"] = run["qps"]
     return rates
 
 
@@ -120,9 +135,18 @@ def identity_failures(report):
             for field, value in run.items():
                 if field.startswith("identical") and value is not True:
                     failures.append(f"{key}.threads={run['threads']}.{field}")
-    for run in report.get("serve_loadgen", {}).get("runs", []):
+    serve = report.get("serve_loadgen", {})
+    for run in serve.get("runs", []):
         if run.get("oracle_ok", True) is not True:
             failures.append(f"serve.threads={run['threads']}.oracle_ok")
+    for run in serve.get("shard_ladder", {}).get("runs", []):
+        if run.get("oracle_ok", True) is not True:
+            failures.append(f"serve.shards={run['shards']}.oracle_ok")
+    open_loop = serve.get("open_loop", {})
+    if open_loop.get("oracle_ok", True) is not True:
+        failures.append("serve.open_loop.oracle_ok")
+    if open_loop.get("transport_errors", 0) > 0:
+        failures.append("serve.open_loop.transport_errors")
     return failures
 
 
@@ -157,6 +181,14 @@ def main():
               f"({run.get('overhead_pct', 0.0):+7.1f}%) "
               f"util {run.get('utilization_pct', 0.0):5.1f}% "
               f"steal {run.get('steal_ratio', 0.0):.3f}")
+
+    open_loop = current.get("serve_loadgen", {}).get("open_loop", {})
+    if open_loop:
+        print(f"serve.open_loop rate={open_loop.get('rate', 0):.0f}/s "
+              f"achieved={open_loop.get('achieved_qps', 0):.0f} qps "
+              f"p99={open_loop.get('p99_us', 0) / 1000.0:.1f} ms "
+              f"p999={open_loop.get('p999_us', 0) / 1000.0:.1f} ms "
+              f"(informational: saturation rung, not baseline-gated)")
 
     base_stages = stage_times(baseline)
     cur_stages = stage_times(current)

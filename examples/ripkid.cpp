@@ -25,9 +25,9 @@
 //   curl localhost:<api-port>/v1/summary
 //
 //   build/examples/ripkid [--port N] [--api-port N] [--rate-limit N]
-//                         [--interval SEC] [--domains N] [--iterations N]
-//                         [--sample N] [--threads N] [--profile]
-//                         [--rtr] [--rrdp]
+//                         [--serve-shards N] [--interval SEC] [--domains N]
+//                         [--iterations N] [--sample N] [--threads N]
+//                         [--profile] [--rtr] [--rrdp]
 //
 // --iterations 0 (default) runs until SIGINT/SIGTERM; --port 0 (default)
 // binds an ephemeral port and prints it (--api-port likewise). --sample N
@@ -37,7 +37,13 @@
 // flag runs serial); the sweep's effective thread
 // count and hot-path cache hit rates appear on /runz and as
 // `ripki.exec.*` gauges on /metrics. --rate-limit N caps each API client
-// at N requests/second (burst 2N; 0 = unlimited). Each completed run
+// at N requests/second (burst 2N; 0 = unlimited; the budget is shared
+// across reactor shards, so it is invariant under --serve-shards).
+// --serve-shards N runs the query API on N reactor shards — one event
+// loop + thread per shard, SO_REUSEPORT listeners when the kernel
+// supports it (0 = all hardware threads); per-shard fleet telemetry
+// appears as the serve_shards block on /runz and /schedz and as
+// shard-labeled `ripki.serve.*` metrics. Each completed run
 // publishes a fresh query snapshot (RCU swap); /runz reports the served
 // generation, response-cache hit rate, and rate-limited request count,
 // and appends one interval to the /varz history ring (last 64 intervals).
@@ -83,6 +89,7 @@ int main(int argc, char** argv) {
   std::uint16_t port = 0;
   std::uint16_t api_port = 0;
   double rate_limit = 0.0;
+  std::uint32_t serve_shards = 1;
   unsigned interval_sec = 30;
   std::uint64_t iterations = 0;
   std::uint32_t sample_every = 1;
@@ -98,6 +105,12 @@ int main(int argc, char** argv) {
       api_port = static_cast<std::uint16_t>(next_u64(0));
     } else if (std::strcmp(argv[i], "--rate-limit") == 0) {
       rate_limit = static_cast<double>(next_u64(0));
+    } else if (std::strcmp(argv[i], "--serve-shards") == 0) {
+      // --serve-shards 0 means "one reactor shard per hardware thread".
+      serve_shards = static_cast<std::uint32_t>(next_u64(1));
+      if (serve_shards == 0) {
+        serve_shards = std::max(1u, std::thread::hardware_concurrency());
+      }
     } else if (std::strcmp(argv[i], "--interval") == 0) {
       interval_sec = static_cast<unsigned>(next_u64(30));
     } else if (std::strcmp(argv[i], "--domains") == 0) {
@@ -193,6 +206,7 @@ int main(int argc, char** argv) {
   exec::ThreadPool api_pool(2, &registry);
   serve::QueryServiceOptions api_options;
   api_options.http.port = api_port;
+  api_options.http.shards = serve_shards;
   api_options.rate_limit.tokens_per_sec = rate_limit;
   api_options.rate_limit.burst = rate_limit * 2.0;
   api_options.pool = &api_pool;
@@ -214,14 +228,31 @@ int main(int argc, char** argv) {
   });
   server.set_handler("/accessz", [&api] {
     obs::HttpResponse response;
-    response.body = api.access_log().render_text();
+    // One ring per reactor shard; concatenate them all.
+    for (std::uint32_t s = 0; s < api.server().shard_count(); ++s) {
+      response.body += api.access_log(s).render_text();
+    }
+    return response;
+  });
+  // /schedz with the serve-fleet block spliced into the top-level
+  // object: {"schedz":{...},"serve_shards":[...]} — per-shard accepted/
+  // active connections, requests, cache hit rate, drop breakdown.
+  server.set_handler("/schedz", [&api, &sched] {
+    obs::HttpResponse response;
+    response.content_type = "application/json";
+    std::string body = sched.render_json();
+    body.insert(body.size() - 1, ",\"serve_shards\":" + api.shards_json());
+    response.body = std::move(body);
     return response;
   });
   char rate_text[32];
   std::snprintf(rate_text, sizeof rate_text, "%g/s", rate_limit);
   std::cout << "ripkid: query api on http://127.0.0.1:" << api.port()
             << "/v1/ (domain, ip, prefix, summary; rate limit "
-            << (rate_limit > 0.0 ? rate_text : "off") << ")\n";
+            << (rate_limit > 0.0 ? rate_text : "off") << "; "
+            << api.server().shard_count() << " reactor shard(s), "
+            << api.server().accept_mode() << " accept, "
+            << api.server().backend_name() << " backend)\n";
 
   std::cout << "ripkid: generating ecosystem ("
             << ecosystem_config.domain_count << " domains, sweep threads="
@@ -325,18 +356,21 @@ int main(int argc, char** argv) {
                     "ROA validation %.1f ms (%.0f ROAs/s)\n",
                     setup.rib_prepare_ms, setup.mrt_records_per_sec,
                     setup.vrp_prepare_ms, setup.roas_per_sec);
-      char serving_line[192];
+      char serving_line[224];
       std::snprintf(serving_line, sizeof serving_line,
-                    "serving: generation %llu, %llu domains, response cache "
-                    "%.1f%% hit, %llu rate-limited\n",
+                    "serving: generation %llu, %llu domains, %u reactor "
+                    "shard(s) [%s], response cache %.1f%% hit, "
+                    "%llu rate-limited\n",
                     static_cast<unsigned long long>(run + 1),
                     static_cast<unsigned long long>(dataset.domains.size()),
-                    api.cache().hit_rate() * 100.0,
+                    api.server().shard_count(), api.server().accept_mode(),
+                    api.cache_hit_rate() * 100.0,
                     static_cast<unsigned long long>(api.limiter().rejected()));
       std::lock_guard lock(runz_mutex);
       runz = "run " + std::to_string(run + 1) + " (per-run deltas)\n" +
              cache_line + worker_lines + sched_line + setup_line +
-             serving_line + obs::stage_report(delta);
+             serving_line + "serve_shards: " + api.shards_json() + "\n" +
+             obs::stage_report(delta);
     }
     std::cout << "ripkid: run " << run + 1 << " done — "
               << dataset.counters.domains_total << " domains, "

@@ -136,6 +136,7 @@ TelemetryServer::TelemetryServer(Options options, EventTracer* tracer,
           .max_connections = 64,
           .idle_timeout = std::chrono::milliseconds(10'000),
           .parser_limits = {},
+          .clock = {},
           .on_connection_dropped = {},
       }) {
   server_.set_handler([this](const serve::HttpRequest& request) {

@@ -21,21 +21,21 @@ std::uint32_t ResponseCache::shard_of(std::string_view key) const {
                                     shards_.size());
 }
 
-std::optional<std::string> ResponseCache::get(std::string_view key,
-                                              Clock::time_point now) {
+std::shared_ptr<const std::string> ResponseCache::get(std::string_view key,
+                                                      Clock::time_point now) {
   Shard& shard = *shards_[shard_of(key)];
   std::lock_guard lock(shard.mutex);
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
-    return std::nullopt;
+    return nullptr;
   }
   if (now >= it->second->expires) {
     shard.lru.erase(it->second);
     shard.index.erase(it);
     expired_.fetch_add(1, std::memory_order_relaxed);
     misses_.fetch_add(1, std::memory_order_relaxed);
-    return std::nullopt;
+    return nullptr;
   }
   // Move to front: most recently used.
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -43,16 +43,18 @@ std::optional<std::string> ResponseCache::get(std::string_view key,
   return it->second->value;
 }
 
-void ResponseCache::put(std::string_view key, std::string value,
-                        Clock::time_point now) {
+std::shared_ptr<const std::string> ResponseCache::put(std::string_view key,
+                                                      std::string value,
+                                                      Clock::time_point now) {
+  auto stored = std::make_shared<const std::string>(std::move(value));
   Shard& shard = *shards_[shard_of(key)];
   std::lock_guard lock(shard.mutex);
   const auto expires = now + ttl_;
   if (const auto it = shard.index.find(key); it != shard.index.end()) {
-    it->second->value = std::move(value);
+    it->second->value = stored;
     it->second->expires = expires;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return;
+    return stored;
   }
   if (shard.lru.size() >= per_shard_capacity_) {
     const Entry& victim = shard.lru.back();
@@ -60,9 +62,10 @@ void ResponseCache::put(std::string_view key, std::string value,
     shard.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
-  shard.lru.push_front(Entry{std::string(key), std::move(value), expires});
+  shard.lru.push_front(Entry{std::string(key), stored, expires});
   // The index key views the entry's own stable string storage.
   shard.index.emplace(shard.lru.front().key, shard.lru.begin());
+  return stored;
 }
 
 void ResponseCache::clear() {

@@ -36,13 +36,21 @@ class ResponseCache {
 
   explicit ResponseCache(Options options);
 
-  /// The cached value when present and not expired. Expired entries are
-  /// removed on the way out (counted in expired(), not evictions()).
-  std::optional<std::string> get(std::string_view key, Clock::time_point now);
+  /// The cached value when present and not expired, as a shared reference
+  /// into cache storage — nullptr on a miss. Callers hand the reference to
+  /// the socket layer (HttpResponse::shared_body) so a hit is written with
+  /// zero copies; the entry's bytes stay alive through eviction while any
+  /// reference is held. Expired entries are removed on the way out
+  /// (counted in expired(), not evictions()).
+  std::shared_ptr<const std::string> get(std::string_view key,
+                                         Clock::time_point now);
 
   /// Inserts or refreshes `key`, evicting the shard's least-recently-used
-  /// entry when the shard is full.
-  void put(std::string_view key, std::string value, Clock::time_point now);
+  /// entry when the shard is full. Returns the stored shared reference so
+  /// the inserting request can serve from it without a second lookup.
+  std::shared_ptr<const std::string> put(std::string_view key,
+                                         std::string value,
+                                         Clock::time_point now);
 
   /// Drops every entry (snapshot swap invalidation).
   void clear();
@@ -75,7 +83,10 @@ class ResponseCache {
  private:
   struct Entry {
     std::string key;
-    std::string value;
+    /// Immutable shared bytes: refresh swaps the pointer rather than
+    /// mutating the string, so in-flight zero-copy writes of the old
+    /// value are never raced.
+    std::shared_ptr<const std::string> value;
     Clock::time_point expires;
   };
   struct Shard {

@@ -20,9 +20,8 @@ const char* status_reason(int status) {
   }
 }
 
-std::string serialize_response(const HttpResponse& response, bool keep_alive) {
-  std::string out;
-  out.reserve(128 + response.body.size());
+void serialize_head_into(std::string& out, const HttpResponse& response,
+                         bool keep_alive) {
   out += "HTTP/1.1 ";
   out += std::to_string(response.status);
   out += ' ';
@@ -30,7 +29,7 @@ std::string serialize_response(const HttpResponse& response, bool keep_alive) {
   out += "\r\nContent-Type: ";
   out += response.content_type;
   out += "\r\nContent-Length: ";
-  out += std::to_string(response.body.size());
+  out += std::to_string(response.body_bytes().size());
   for (const auto& [name, value] : response.headers) {
     out += "\r\n";
     out += name;
@@ -39,7 +38,18 @@ std::string serialize_response(const HttpResponse& response, bool keep_alive) {
   }
   out += keep_alive ? "\r\nConnection: keep-alive" : "\r\nConnection: close";
   out += "\r\n\r\n";
-  out += response.body;
+}
+
+std::string serialize_head(const HttpResponse& response, bool keep_alive) {
+  std::string out;
+  out.reserve(128);
+  serialize_head_into(out, response, keep_alive);
+  return out;
+}
+
+std::string serialize_response(const HttpResponse& response, bool keep_alive) {
+  std::string out = serialize_head(response, keep_alive);
+  out += response.body_bytes();
   return out;
 }
 

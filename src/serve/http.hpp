@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -41,6 +42,10 @@ struct HttpRequest {
   /// parsed off-wire in tests. Handlers thread it into request-scoped
   /// telemetry (obs::RequestContext) and access-log lines.
   std::string request_id;
+  /// Reactor shard the connection landed on (0 on a single-shard server
+  /// and for requests parsed off-wire). The service layer keys its
+  /// per-shard response caches and access-log rings on this.
+  std::uint32_t shard = 0;
 };
 
 struct HttpResponse {
@@ -50,6 +55,19 @@ struct HttpResponse {
   /// Extra headers, e.g. {"Retry-After", "1"}; Content-Type/-Length and
   /// Connection are emitted automatically.
   std::vector<std::pair<std::string, std::string>> headers;
+  /// Zero-copy body: when set, the response body is *shared_body and
+  /// `body` is ignored. Handlers set this to hand the socket layer a
+  /// reference into long-lived storage (a ResponseCache entry) so a hit
+  /// is written straight from the cache with no per-request copy; the
+  /// socket layer keeps the reference alive until the bytes are flushed.
+  /// Last member so aggregate initialization of the older fields is
+  /// unchanged.
+  std::shared_ptr<const std::string> shared_body = nullptr;
+
+  /// The effective body bytes (shared_body when set, else body).
+  const std::string& body_bytes() const {
+    return shared_body ? *shared_body : body;
+  }
 };
 
 const char* status_reason(int status);
@@ -57,6 +75,15 @@ const char* status_reason(int status);
 /// Serializes an HTTP/1.1 response, with `Connection: keep-alive` or
 /// `close` per `keep_alive`.
 std::string serialize_response(const HttpResponse& response, bool keep_alive);
+
+/// Status line + headers + blank line only — the first iovec of the
+/// writev scatter-gather path; the body (response.body_bytes()) is the
+/// second. Content-Length always reflects body_bytes().
+std::string serialize_head(const HttpResponse& response, bool keep_alive);
+/// Append variant of serialize_head, so the server can recycle one head
+/// buffer per connection instead of allocating per response.
+void serialize_head_into(std::string& out, const HttpResponse& response,
+                         bool keep_alive);
 
 /// Incremental request parser. Feed it raw bytes as they arrive; pop
 /// complete requests (several per feed when the client pipelines). After

@@ -1,0 +1,184 @@
+#include "serve/poller.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <unordered_map>
+
+#if defined(__linux__)
+#define RIPKI_HAVE_EPOLL 1
+#include <sys/epoll.h>
+#endif
+
+namespace ripki::serve {
+
+namespace {
+
+class PollPoller final : public Poller {
+ public:
+  bool add(int fd, bool want_read, bool want_write) override {
+    if (index_.count(fd) != 0) return modify(fd, want_read, want_write);
+    index_.emplace(fd, fds_.size());
+    fds_.push_back({fd, events_of(want_read, want_write), 0});
+    return true;
+  }
+
+  bool modify(int fd, bool want_read, bool want_write) override {
+    const auto it = index_.find(fd);
+    if (it == index_.end()) return false;
+    fds_[it->second].events = events_of(want_read, want_write);
+    return true;
+  }
+
+  void remove(int fd) override {
+    const auto it = index_.find(fd);
+    if (it == index_.end()) return;
+    const std::size_t slot = it->second;
+    index_.erase(it);
+    // Swap-remove keeps the vector dense; fix the moved entry's index.
+    if (slot + 1 != fds_.size()) {
+      fds_[slot] = fds_.back();
+      index_[fds_[slot].fd] = slot;
+    }
+    fds_.pop_back();
+  }
+
+  int wait(std::vector<Event>& out, int timeout_ms) override {
+    out.clear();
+    const int ready = ::poll(fds_.data(), fds_.size(), timeout_ms);
+    if (ready < 0) return errno == EINTR ? 0 : -1;
+    if (ready == 0) return 0;
+    for (const pollfd& pfd : fds_) {
+      if (pfd.revents == 0) continue;
+      Event event;
+      event.fd = pfd.fd;
+      event.readable = (pfd.revents & POLLIN) != 0;
+      event.writable = (pfd.revents & POLLOUT) != 0;
+      event.error = (pfd.revents & (POLLERR | POLLNVAL)) != 0;
+      event.hangup = (pfd.revents & POLLHUP) != 0;
+      out.push_back(event);
+      if (static_cast<int>(out.size()) == ready) break;
+    }
+    return static_cast<int>(out.size());
+  }
+
+  const char* name() const override { return "poll"; }
+
+ private:
+  static short events_of(bool want_read, bool want_write) {
+    short events = 0;
+    if (want_read) events |= POLLIN;
+    if (want_write) events |= POLLOUT;
+    return events;
+  }
+
+  std::vector<pollfd> fds_;
+  std::unordered_map<int, std::size_t> index_;  // fd -> slot in fds_
+};
+
+#if RIPKI_HAVE_EPOLL
+
+class EpollPoller final : public Poller {
+ public:
+  EpollPoller() : epfd_(::epoll_create1(EPOLL_CLOEXEC)) {}
+  ~EpollPoller() override {
+    if (epfd_ >= 0) ::close(epfd_);
+  }
+
+  bool ok() const { return epfd_ >= 0; }
+
+  bool add(int fd, bool want_read, bool want_write) override {
+    epoll_event event = event_of(fd, want_read, want_write);
+    if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &event) == 0) {
+      ++size_;
+      return true;
+    }
+    return false;
+  }
+
+  bool modify(int fd, bool want_read, bool want_write) override {
+    epoll_event event = event_of(fd, want_read, want_write);
+    return ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &event) == 0;
+  }
+
+  void remove(int fd) override {
+    if (::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr) == 0 && size_ > 0) {
+      --size_;
+    }
+  }
+
+  int wait(std::vector<Event>& out, int timeout_ms) override {
+    out.clear();
+    buffer_.resize(size_ > 0 ? size_ : 1);
+    const int ready = ::epoll_wait(epfd_, buffer_.data(),
+                                   static_cast<int>(buffer_.size()),
+                                   timeout_ms);
+    if (ready < 0) return errno == EINTR ? 0 : -1;
+    for (int i = 0; i < ready; ++i) {
+      Event event;
+      event.fd = buffer_[i].data.fd;
+      event.readable = (buffer_[i].events & EPOLLIN) != 0;
+      event.writable = (buffer_[i].events & EPOLLOUT) != 0;
+      event.error = (buffer_[i].events & EPOLLERR) != 0;
+      event.hangup = (buffer_[i].events & EPOLLHUP) != 0;
+      out.push_back(event);
+    }
+    return ready;
+  }
+
+  const char* name() const override { return "epoll"; }
+
+ private:
+  static epoll_event event_of(int fd, bool want_read, bool want_write) {
+    epoll_event event{};
+    // Level-triggered on purpose — see the header comment.
+    if (want_read) event.events |= EPOLLIN;
+    if (want_write) event.events |= EPOLLOUT;
+    event.data.fd = fd;
+    return event;
+  }
+
+  int epfd_ = -1;
+  std::size_t size_ = 0;
+  std::vector<epoll_event> buffer_;
+};
+
+#endif  // RIPKI_HAVE_EPOLL
+
+}  // namespace
+
+const char* to_string(PollerBackend backend) {
+  switch (backend) {
+    case PollerBackend::kPoll: return "poll";
+    case PollerBackend::kEpoll: return "epoll";
+    case PollerBackend::kDefault: break;
+  }
+#if RIPKI_HAVE_EPOLL
+  return "epoll";
+#else
+  return "poll";
+#endif
+}
+
+bool poller_backend_available(PollerBackend backend) {
+#if RIPKI_HAVE_EPOLL
+  (void)backend;
+  return true;
+#else
+  return backend != PollerBackend::kEpoll;
+#endif
+}
+
+std::unique_ptr<Poller> make_poller(PollerBackend backend) {
+#if RIPKI_HAVE_EPOLL
+  if (backend == PollerBackend::kEpoll || backend == PollerBackend::kDefault) {
+    auto poller = std::make_unique<EpollPoller>();
+    if (poller->ok()) return poller;
+    // epoll_create failed (fd exhaustion): poll still works.
+  }
+#endif
+  return std::make_unique<PollPoller>();
+}
+
+}  // namespace ripki::serve

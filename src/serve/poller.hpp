@@ -1,0 +1,75 @@
+// Event-backend abstraction for the reactor shards: one interest list of
+// fds, each watched for readability and/or writability, drained with a
+// single wait() call. Two implementations:
+//
+//   kPoll   — portable poll(2); the interest list is kept as a pollfd
+//             vector updated in place (no per-wait rebuild). Always
+//             available; also the differential oracle in tests.
+//   kEpoll  — Linux epoll(7), level-triggered so its readiness semantics
+//             match poll() exactly (a fd stays ready until drained, which
+//             the reactor's read/write loops already do). Compile-time
+//             guarded; make_poller falls back to kPoll elsewhere.
+//
+// Level-triggered epoll is deliberate: edge-triggered saves a few
+// syscalls but any missed drain wedges a connection forever, and the
+// poll backend could not reproduce that semantics for differential
+// testing. One epoll_ctl per interest change beats rebuilding a pollfd
+// array per wait once connection counts grow past a few hundred.
+//
+// Pollers are single-threaded by contract: each reactor shard owns one
+// and touches it only from its loop thread.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ripki::serve {
+
+enum class PollerBackend {
+  /// Platform default: epoll on Linux, poll elsewhere.
+  kDefault,
+  kPoll,
+  kEpoll,
+};
+
+const char* to_string(PollerBackend backend);
+/// True when the named backend can be constructed on this platform.
+bool poller_backend_available(PollerBackend backend);
+
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    /// POLLERR/POLLNVAL/EPOLLERR — the fd is broken; close it.
+    bool error = false;
+    /// POLLHUP/EPOLLHUP — peer closed; drain reads then close.
+    bool hangup = false;
+  };
+
+  virtual ~Poller() = default;
+
+  /// Registers `fd` with the given interest. False when the fd cannot be
+  /// registered (epoll_ctl failure); the caller should close it.
+  virtual bool add(int fd, bool want_read, bool want_write) = 0;
+  /// Updates interest for a registered fd.
+  virtual bool modify(int fd, bool want_read, bool want_write) = 0;
+  /// Deregisters `fd`. Must be called before the fd is closed.
+  virtual void remove(int fd) = 0;
+
+  /// Blocks up to `timeout_ms` and appends ready fds to `out` (cleared
+  /// first). Returns the number of ready fds, 0 on timeout, -1 on error
+  /// (EINTR is swallowed and reported as 0).
+  virtual int wait(std::vector<Event>& out, int timeout_ms) = 0;
+
+  /// "poll" or "epoll" — surfaces in telemetry and bench JSON.
+  virtual const char* name() const = 0;
+};
+
+/// Constructs the requested backend; kDefault (and unavailable backends)
+/// resolve to the best available one for this platform.
+std::unique_ptr<Poller> make_poller(PollerBackend backend);
+
+}  // namespace ripki::serve

@@ -1,5 +1,7 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <utility>
 #include <vector>
 
@@ -39,10 +41,22 @@ bool parse_asn(std::string_view text, net::Asn& out) {
 QueryService::QueryService(QueryServiceOptions options)
     : options_(std::move(options)),
       server_(http_options_with_drop_hook()),
-      cache_(options_.cache),
       limiter_(options_.rate_limit),
-      access_log_(options_.access_log_capacity),
       slow_(options_.slow_requests_per_endpoint) {
+  // One response cache and one access-log ring per reactor shard, the
+  // global budgets split evenly. The limiter stays a single shared
+  // instance so client budgets are shard-count-invariant.
+  const std::uint32_t shard_count =
+      std::max<std::uint32_t>(1, options_.http.shards);
+  ResponseCache::Options cache_options = options_.cache;
+  cache_options.capacity =
+      std::max<std::size_t>(1, cache_options.capacity / shard_count);
+  const std::size_t log_capacity =
+      std::max<std::size_t>(1, options_.access_log_capacity / shard_count);
+  for (std::uint32_t i = 0; i < shard_count; ++i) {
+    caches_.push_back(std::make_unique<ResponseCache>(cache_options));
+    access_logs_.push_back(std::make_unique<AccessLog>(log_capacity));
+  }
   server_.set_handler([this](const HttpRequest& request) {
     return handle(request);
   });
@@ -79,6 +93,25 @@ QueryService::QueryService(QueryServiceOptions options)
     generation_gauge_ = &registry->gauge("ripki.serve.snapshot_generation");
     registry->describe("ripki.serve.snapshot_generation",
                        "Generation number of the served snapshot");
+    // Shard-labeled slices of the fleet counters, one set per reactor
+    // shard; the unlabeled series above stay as the aggregates.
+    shard_metrics_.resize(shard_count);
+    for (std::uint32_t i = 0; i < shard_count; ++i) {
+      const std::string label = "{shard=" + std::to_string(i) + "}";
+      const std::string requests = "ripki.serve.shard_requests" + label;
+      const std::string hits = "ripki.serve.shard_cache_hits" + label;
+      const std::string misses = "ripki.serve.shard_cache_misses" + label;
+      const std::string active =
+          "ripki.serve.shard_active_connections" + label;
+      registry->describe(requests, "Requests handled, by reactor shard");
+      registry->describe(hits, "Response cache hits, by reactor shard");
+      registry->describe(misses, "Response cache misses, by reactor shard");
+      registry->describe(active, "Open connections, by reactor shard");
+      shard_metrics_[i].requests = &registry->counter(requests);
+      shard_metrics_[i].cache_hits = &registry->counter(hits);
+      shard_metrics_[i].cache_misses = &registry->counter(misses);
+      shard_metrics_[i].active_connections = &registry->gauge(active);
+    }
     // Latency histograms are created lazily per endpoint tag; HELP text
     // registered up front covers each one the moment it appears.
     for (const char* endpoint : {"domain", "ip", "prefix", "summary",
@@ -119,8 +152,9 @@ void QueryService::publish(std::shared_ptr<const Snapshot> snapshot) {
   snapshot_.store(std::move(snapshot), std::memory_order_release);
   // Entries rendered from the previous snapshot are stale the moment the
   // swap lands; readers already past the cache keep their old snapshot
-  // reference and stay internally consistent.
-  cache_.clear();
+  // reference and stay internally consistent. In-flight zero-copy writes
+  // of evicted bodies hold their own shared references and finish safely.
+  for (auto& cache : caches_) cache->clear();
   if (generation_gauge_ != nullptr) {
     generation_gauge_->set(static_cast<std::int64_t>(generation));
   }
@@ -130,19 +164,84 @@ std::shared_ptr<const Snapshot> QueryService::snapshot() const {
   return snapshot_.load(std::memory_order_acquire);
 }
 
+std::uint64_t QueryService::cache_hits() const {
+  std::uint64_t total = 0;
+  for (const auto& cache : caches_) total += cache->hits();
+  return total;
+}
+
+std::uint64_t QueryService::cache_misses() const {
+  std::uint64_t total = 0;
+  for (const auto& cache : caches_) total += cache->misses();
+  return total;
+}
+
+std::uint64_t QueryService::cache_evictions() const {
+  std::uint64_t total = 0;
+  for (const auto& cache : caches_) total += cache->evictions();
+  return total;
+}
+
+std::size_t QueryService::cache_size() const {
+  std::size_t total = 0;
+  for (const auto& cache : caches_) total += cache->size();
+  return total;
+}
+
+double QueryService::cache_hit_rate() const {
+  const std::uint64_t h = cache_hits(), m = cache_misses();
+  return h + m == 0 ? 0.0
+                    : static_cast<double>(h) / static_cast<double>(h + m);
+}
+
 void QueryService::publish_metrics() {
   // Counter handles are pre-resolved; set() mirrors the authoritative
-  // atomics kept by the cache/limiter (a few relaxed stores per request).
+  // atomics kept by the caches/limiter (a few relaxed stores per request).
   if (cache_hits_counter_ == nullptr) return;
-  cache_hits_counter_->set(cache_.hits());
-  cache_misses_counter_->set(cache_.misses());
-  cache_evictions_counter_->set(cache_.evictions());
+  cache_hits_counter_->set(cache_hits());
+  cache_misses_counter_->set(cache_misses());
+  cache_evictions_counter_->set(cache_evictions());
   rejected_counter_->set(limiter_.rejected());
+  for (std::uint32_t i = 0; i < shard_metrics_.size(); ++i) {
+    const HttpServer::Stats stats = server_.shard_stats(i);
+    shard_metrics_[i].requests->set(stats.requests);
+    shard_metrics_[i].cache_hits->set(caches_[i]->hits());
+    shard_metrics_[i].cache_misses->set(caches_[i]->misses());
+    shard_metrics_[i].active_connections->set(stats.active_connections);
+  }
+}
+
+std::string QueryService::shards_json() const {
+  std::string out = "[";
+  for (std::uint32_t i = 0; i < server_.shard_count(); ++i) {
+    const HttpServer::Stats stats = server_.shard_stats(i);
+    const ResponseCache& cache =
+        *caches_[i < caches_.size() ? i : caches_.size() - 1];
+    if (i != 0) out += ',';
+    out += "{\"shard\":" + std::to_string(i);
+    out += ",\"accepted\":" + std::to_string(stats.connections_accepted);
+    out += ",\"active\":" + std::to_string(stats.active_connections);
+    out += ",\"requests\":" + std::to_string(stats.requests);
+    out += ",\"parse_errors\":" + std::to_string(stats.parse_errors);
+    out += ",\"cache_hits\":" + std::to_string(cache.hits());
+    out += ",\"cache_misses\":" + std::to_string(cache.misses());
+    char rate[32];
+    std::snprintf(rate, sizeof rate, "%.4f", cache.hit_rate());
+    out += ",\"cache_hit_rate\":" + std::string(rate);
+    out += ",\"conn_dropped\":{\"overload\":" + std::to_string(stats.overloaded);
+    out += ",\"idle\":" + std::to_string(stats.idle_closed) + "}}";
+  }
+  out += "]";
+  return out;
 }
 
 HttpResponse QueryService::admin(const HttpRequest& request) {
   if (request.path == "/accessz") {
-    return HttpResponse{200, kText, access_log_.render_text(), {}};
+    // Every shard's window, shard 0 first (rings are per-shard so the
+    // recording hot path stays shard-local).
+    std::string body;
+    for (const auto& log : access_logs_) body += log->render_text();
+    return HttpResponse{200, kText, std::move(body), {}};
   }
   if (request.path == "/slowz") {
     return json_ok(slow_.render_json());
@@ -199,7 +298,9 @@ HttpResponse QueryService::handle(const HttpRequest& request) {
     publish_metrics();
   }
 
-  access_log_.record(AccessLog::Entry{
+  AccessLog& log =
+      *access_logs_[request.shard < access_logs_.size() ? request.shard : 0];
+  log.record(AccessLog::Entry{
       .seq = 0,
       .request_id = request.request_id,
       .client = request.client,
@@ -249,12 +350,20 @@ HttpResponse QueryService::route(const HttpRequest& request,
 
   // Cache on the raw target: distinct encodings of one resource are
   // distinct keys, which costs duplicate entries but never correctness.
+  // The cache is this request's reactor shard's — no cross-shard locks.
+  ResponseCache& cache =
+      *caches_[request.shard < caches_.size() ? request.shard : 0];
   const bool cacheable = request.method == "GET";
   if (cacheable) {
-    if (auto cached = cache_.get(request.target,
-                                 std::chrono::steady_clock::now())) {
+    if (auto cached =
+            cache.get(request.target, std::chrono::steady_clock::now())) {
+      // Zero-copy hit: hand the socket layer a reference into cache
+      // storage; no body bytes are copied on this path.
       *endpoint = "cached";
-      return json_ok(std::move(*cached));
+      HttpResponse response;
+      response.content_type = kJson;
+      response.shared_body = std::move(cached);
+      return response;
     }
   }
 
@@ -298,8 +407,11 @@ HttpResponse QueryService::route(const HttpRequest& request,
   }
 
   if (cacheable && response.status == 200) {
-    cache_.put(request.target, response.body,
-               std::chrono::steady_clock::now());
+    // Move the rendered body into the cache and serve this response from
+    // the stored reference too — the fill request is also zero-copy.
+    response.shared_body = cache.put(request.target, std::move(response.body),
+                                     std::chrono::steady_clock::now());
+    response.body.clear();
   }
   return response;
 }

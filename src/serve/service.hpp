@@ -36,6 +36,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "serve/access_log.hpp"
 #include "serve/cache.hpp"
@@ -60,7 +61,15 @@ namespace ripki::serve {
 
 struct QueryServiceOptions {
   HttpServerOptions http;
+  /// Per-reactor-shard response cache configuration. `capacity` and the
+  /// access-log capacity below are GLOBAL budgets, split evenly across
+  /// the http.shards reactor shards (each shard keeps its own cache and
+  /// log so the hot path never crosses shard boundaries).
   ResponseCache::Options cache;
+  /// The rate limiter is deliberately NOT per-shard: one shared instance
+  /// keyed by client address, so a client's aggregate budget is invariant
+  /// under the reactor shard count (it cannot earn N× tokens by having
+  /// its connections land on N shards).
   TokenBucketLimiter::Options rate_limit;
   /// Optional handler fan-out: requests execute on this pool instead of
   /// the event-loop thread (borrowed; stop() the service before the pool
@@ -103,12 +112,30 @@ class QueryService {
   /// without a connection.
   HttpResponse handle(const HttpRequest& request);
 
-  const ResponseCache& cache() const { return cache_; }
+  /// One reactor shard's response cache (shard 0 always exists).
+  const ResponseCache& cache(std::uint32_t shard = 0) const {
+    return *caches_[shard < caches_.size() ? shard : 0];
+  }
+  /// Cache statistics aggregated across every reactor shard's cache.
+  std::uint64_t cache_hits() const;
+  std::uint64_t cache_misses() const;
+  std::uint64_t cache_evictions() const;
+  std::size_t cache_size() const;
+  double cache_hit_rate() const;
+
   const TokenBucketLimiter& limiter() const { return limiter_; }
   const HttpServer& server() const { return server_; }
-  const AccessLog& access_log() const { return access_log_; }
+  /// One reactor shard's access-log ring (shard 0 always exists).
+  const AccessLog& access_log(std::uint32_t shard = 0) const {
+    return *access_logs_[shard < access_logs_.size() ? shard : 0];
+  }
   const SlowRequestRecorder& slow_requests() const { return slow_; }
   std::uint64_t requests_served() const { return server_.requests_served(); }
+
+  /// Per-shard fleet telemetry as a JSON array ("serve_shards"): one
+  /// object per reactor shard with its connection counters, cache hit
+  /// rate, and conn_dropped breakdown. Embedded by /runz and /schedz.
+  std::string shards_json() const;
 
  private:
   HttpResponse route(const HttpRequest& request,
@@ -124,9 +151,12 @@ class QueryService {
 
   QueryServiceOptions options_;
   HttpServer server_;
-  ResponseCache cache_;
-  TokenBucketLimiter limiter_;
-  AccessLog access_log_;
+  /// One cache + access-log ring per reactor shard, indexed by
+  /// HttpRequest::shard — requests only ever touch their own shard's
+  /// structures, so shards share no mutable service state either.
+  std::vector<std::unique_ptr<ResponseCache>> caches_;
+  std::vector<std::unique_ptr<AccessLog>> access_logs_;
+  TokenBucketLimiter limiter_;  // shared: see QueryServiceOptions
   SlowRequestRecorder slow_;
   std::atomic<std::shared_ptr<const Snapshot>> snapshot_;
 
@@ -139,6 +169,14 @@ class QueryService {
   obs::Counter* dropped_overload_counter_ = nullptr;
   obs::Counter* dropped_idle_counter_ = nullptr;
   obs::Gauge* generation_gauge_ = nullptr;
+  /// Shard-labeled slices: ripki.serve.<name>{shard=i}.
+  struct ShardMetrics {
+    obs::Counter* requests = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Gauge* active_connections = nullptr;
+  };
+  std::vector<ShardMetrics> shard_metrics_;
 };
 
 }  // namespace ripki::serve

@@ -36,6 +36,11 @@ namespace {
 
 using namespace std::chrono_literals;
 
+/// Cache values are shared references now; "" stands in for a miss.
+std::string deref(const std::shared_ptr<const std::string>& value) {
+  return value ? *value : std::string();
+}
+
 // --- wire core: request parser ----------------------------------------------
 
 TEST(HttpParser, ParsesSimpleGet) {
@@ -138,8 +143,8 @@ ResponseCache::Clock::time_point t0() { return ResponseCache::Clock::time_point{
 TEST(ResponseCache, HitThenTtlExpiry) {
   ResponseCache cache({.capacity = 8, .shards = 1, .ttl = 100ms});
   cache.put("/a", "alpha", t0());
-  EXPECT_EQ(cache.get("/a", t0() + 99ms).value_or(""), "alpha");
-  EXPECT_FALSE(cache.get("/a", t0() + 101ms).has_value());
+  EXPECT_EQ(deref(cache.get("/a", t0() + 99ms)), "alpha");
+  EXPECT_EQ(cache.get("/a", t0() + 101ms), nullptr);
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(cache.misses(), 1u);
   EXPECT_EQ(cache.expired(), 1u);
@@ -152,13 +157,13 @@ TEST(ResponseCache, EvictsLeastRecentlyUsed) {
   cache.put("/b", "b", t0());
   cache.put("/c", "c", t0());
   // Touch /a so /b becomes the LRU entry, then overflow the shard.
-  EXPECT_TRUE(cache.get("/a", t0() + 1ms).has_value());
+  EXPECT_NE(cache.get("/a", t0() + 1ms), nullptr);
   cache.put("/d", "d", t0() + 2ms);
   EXPECT_EQ(cache.evictions(), 1u);
-  EXPECT_FALSE(cache.get("/b", t0() + 3ms).has_value());
-  EXPECT_TRUE(cache.get("/a", t0() + 3ms).has_value());
-  EXPECT_TRUE(cache.get("/c", t0() + 3ms).has_value());
-  EXPECT_TRUE(cache.get("/d", t0() + 3ms).has_value());
+  EXPECT_EQ(cache.get("/b", t0() + 3ms), nullptr);
+  EXPECT_NE(cache.get("/a", t0() + 3ms), nullptr);
+  EXPECT_NE(cache.get("/c", t0() + 3ms), nullptr);
+  EXPECT_NE(cache.get("/d", t0() + 3ms), nullptr);
 }
 
 TEST(ResponseCache, ShardsEvictIndependently) {
@@ -181,7 +186,7 @@ TEST(ResponseCache, ShardsEvictIndependently) {
   for (const auto& key : same_shard) cache.put(key, "x", t0());
   // The target shard evicted (3 inserts, capacity 2); the other did not.
   EXPECT_EQ(cache.evictions(), 1u);
-  EXPECT_TRUE(cache.get(other_shard[0], t0() + 1ms).has_value());
+  EXPECT_NE(cache.get(other_shard[0], t0() + 1ms), nullptr);
 }
 
 TEST(ResponseCache, ClearDropsEverything) {
@@ -191,7 +196,7 @@ TEST(ResponseCache, ClearDropsEverything) {
   EXPECT_EQ(cache.size(), 2u);
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
-  EXPECT_FALSE(cache.get("/a", t0()).has_value());
+  EXPECT_EQ(cache.get("/a", t0()), nullptr);
 }
 
 // --- token bucket (pure logic, injected clock) -------------------------------
@@ -388,6 +393,299 @@ TEST(HttpServer, ExecutorFanOutStillOrdersResponses) {
   server.stop();
 }
 
+// --- serve fleet: sharded reactors, backends, differential oracle ------------
+
+/// X-Ripki-Request-Id is unique per request by design; strip it before
+/// byte-comparing responses across server configurations.
+std::string scrub_request_id(std::string response) {
+  const auto pos = response.find("X-Ripki-Request-Id: ");
+  if (pos == std::string::npos) return response;
+  const auto eol = response.find("\r\n", pos);
+  response.erase(pos, eol - pos + 2);
+  return response;
+}
+
+struct FleetConfig {
+  PollerBackend backend = PollerBackend::kPoll;
+  std::uint32_t shards = 1;
+  AcceptMode accept = AcceptMode::kAuto;
+};
+
+/// The differential matrix: {poll, epoll} x {1, 4} shards, plus the
+/// handoff accept path. poll() is the oracle backend everywhere; epoll
+/// rows are present only where the platform has it.
+std::vector<FleetConfig> fleet_configs() {
+  std::vector<FleetConfig> configs{
+      {PollerBackend::kPoll, 1, AcceptMode::kAuto},
+      {PollerBackend::kPoll, 4, AcceptMode::kAuto},
+      {PollerBackend::kPoll, 4, AcceptMode::kHandoff},
+  };
+  if (poller_backend_available(PollerBackend::kEpoll)) {
+    configs.push_back({PollerBackend::kEpoll, 1, AcceptMode::kAuto});
+    configs.push_back({PollerBackend::kEpoll, 4, AcceptMode::kAuto});
+    configs.push_back({PollerBackend::kEpoll, 4, AcceptMode::kHandoff});
+  }
+  return configs;
+}
+
+/// Runs the keep-alive / pipelining / malformed-request scenarios against
+/// one server configuration and returns every (scrubbed) response byte
+/// stream, in scenario order.
+std::vector<std::string> run_fleet_scenarios(const FleetConfig& config) {
+  HttpServerOptions options;
+  options.shards = config.shards;
+  options.backend = config.backend;
+  options.accept_mode = config.accept;
+  HttpServer server(options);
+  server.set_handler([](const HttpRequest& request) {
+    return HttpResponse{200, "text/plain", "echo:" + request.path, {}};
+  });
+  EXPECT_TRUE(server.start());
+
+  std::vector<std::string> transcript;
+
+  // Keep-alive: three sequential requests on one connection.
+  {
+    const int fd = connect_to(server.port());
+    EXPECT_GE(fd, 0);
+    std::string carry;
+    for (int i = 0; i < 3; ++i) {
+      send_all(fd, "GET /ka" + std::to_string(i) + " HTTP/1.1\r\n\r\n");
+      transcript.push_back(scrub_request_id(recv_response(fd, carry)));
+    }
+    ::close(fd);
+  }
+
+  // Pipelining: three requests in one write, last one closes.
+  {
+    const int fd = connect_to(server.port());
+    EXPECT_GE(fd, 0);
+    send_all(fd,
+             "GET /a HTTP/1.1\r\n\r\n"
+             "GET /b HTTP/1.1\r\n\r\n"
+             "GET /c HTTP/1.1\r\nConnection: close\r\n\r\n");
+    std::string carry;
+    for (int i = 0; i < 3; ++i) {
+      transcript.push_back(scrub_request_id(recv_response(fd, carry)));
+    }
+    ::close(fd);
+  }
+
+  // Malformed request: 400 and close.
+  {
+    const int fd = connect_to(server.port());
+    EXPECT_GE(fd, 0);
+    send_all(fd, "BOGUS\r\n\r\n");
+    std::string carry;
+    transcript.push_back(scrub_request_id(recv_response(fd, carry)));
+    ::close(fd);
+  }
+
+  server.stop();
+  return transcript;
+}
+
+TEST(ServeFleet, DifferentialScenariosByteMatchAcrossBackendsAndShards) {
+  const auto configs = fleet_configs();
+  const std::vector<std::string> oracle = run_fleet_scenarios(configs[0]);
+  ASSERT_EQ(oracle.size(), 7u);
+  EXPECT_NE(oracle[0].find("200 OK"), std::string::npos);
+  EXPECT_NE(oracle[6].find("400 Bad Request"), std::string::npos);
+
+  for (std::size_t c = 1; c < configs.size(); ++c) {
+    const auto transcript = run_fleet_scenarios(configs[c]);
+    ASSERT_EQ(transcript.size(), oracle.size());
+    for (std::size_t i = 0; i < oracle.size(); ++i) {
+      EXPECT_EQ(transcript[i], oracle[i])
+          << "config " << c << " (backend=" << to_string(configs[c].backend)
+          << " shards=" << configs[c].shards << ") scenario " << i;
+    }
+  }
+}
+
+TEST(ServeFleet, ReusePortServesEveryConnectionAtFourShards) {
+  HttpServerOptions options;
+  options.shards = 4;
+  HttpServer server(options);
+  server.set_handler([](const HttpRequest& request) {
+    return HttpResponse{200, "text/plain", "echo:" + request.path, {}};
+  });
+  ASSERT_TRUE(server.start());
+  ASSERT_EQ(server.shard_count(), 4u);
+
+  for (int i = 0; i < 16; ++i) {
+    const int fd = connect_to(server.port());
+    ASSERT_GE(fd, 0);
+    std::string carry;
+    send_all(fd, "GET /r" + std::to_string(i) + " HTTP/1.1\r\n\r\n");
+    const std::string response = recv_response(fd, carry);
+    EXPECT_NE(response.find("200 OK"), std::string::npos);
+    EXPECT_EQ(body_of(response), "echo:/r" + std::to_string(i));
+    ::close(fd);
+  }
+  server.stop();
+
+  // Whichever shards the kernel picked, the fleet served everything.
+  EXPECT_EQ(server.stats().connections_accepted, 16u);
+  EXPECT_EQ(server.requests_served(), 16u);
+  std::uint64_t across = 0;
+  for (std::uint32_t i = 0; i < server.shard_count(); ++i) {
+    across += server.shard_stats(i).connections_accepted;
+  }
+  EXPECT_EQ(across, 16u);
+}
+
+TEST(ServeFleet, HandoffDistributesConnectionsRoundRobin) {
+  HttpServerOptions options;
+  options.shards = 4;
+  options.accept_mode = AcceptMode::kHandoff;
+  HttpServer server(options);
+  server.set_handler([](const HttpRequest& request) {
+    return HttpResponse{200, "text/plain", "echo:" + request.path, {}};
+  });
+  ASSERT_TRUE(server.start());
+  EXPECT_STREQ(server.accept_mode(), "handoff");
+
+  // Sequential connections: the round-robin cursor deals one per shard.
+  for (int i = 0; i < 8; ++i) {
+    const int fd = connect_to(server.port());
+    ASSERT_GE(fd, 0);
+    std::string carry;
+    send_all(fd, "GET /h HTTP/1.1\r\n\r\n");
+    EXPECT_NE(recv_response(fd, carry).find("200 OK"), std::string::npos);
+    ::close(fd);
+  }
+  server.stop();
+
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(server.shard_stats(i).connections_accepted, 2u)
+        << "shard " << i;
+  }
+}
+
+TEST(ServeFleet, HandoffOverloadAnswers503AtPerShardCap) {
+  HttpServerOptions options;
+  options.shards = 4;
+  options.accept_mode = AcceptMode::kHandoff;
+  options.max_connections = 4;  // one connection per shard
+  std::atomic<int> overload_drops{0};
+  options.on_connection_dropped = [&](std::string_view reason) {
+    if (reason == "overload") overload_drops.fetch_add(1);
+  };
+  HttpServer server(options);
+  server.set_handler([](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "ok", {}};
+  });
+  ASSERT_TRUE(server.start());
+
+  // Fill every shard's single slot with a live keep-alive connection.
+  std::vector<int> held;
+  for (int i = 0; i < 4; ++i) {
+    const int fd = connect_to(server.port());
+    ASSERT_GE(fd, 0);
+    std::string carry;
+    send_all(fd, "GET /fill HTTP/1.1\r\n\r\n");
+    ASSERT_NE(recv_response(fd, carry).find("200 OK"), std::string::npos);
+    held.push_back(fd);
+  }
+
+  // The next connection round-robins onto a full shard: best-effort 503.
+  const int extra = connect_to(server.port());
+  ASSERT_GE(extra, 0);
+  std::string carry;
+  send_all(extra, "GET /x HTTP/1.1\r\n\r\n");
+  const std::string refused = recv_response(extra, carry);
+  EXPECT_NE(refused.find("503"), std::string::npos) << refused;
+  ::close(extra);
+
+  for (const int fd : held) ::close(fd);
+  server.stop();
+  EXPECT_EQ(server.stats().overloaded, 1u);
+  EXPECT_EQ(overload_drops.load(), 1);
+}
+
+TEST(ServeFleet, IdleSweepClosesOnInjectedClockOnly) {
+  // The server never reads a raw clock: advancing this injected time is
+  // the only thing that can trigger the idle sweep.
+  std::atomic<std::int64_t> fake_ms{0};
+  HttpServerOptions options;
+  options.shards = 2;
+  options.idle_timeout = std::chrono::milliseconds(5'000);
+  options.clock = [&fake_ms] {
+    return std::chrono::steady_clock::time_point{} +
+           std::chrono::milliseconds(fake_ms.load());
+  };
+  std::atomic<int> idle_drops{0};
+  options.on_connection_dropped = [&](std::string_view reason) {
+    if (reason == "idle") idle_drops.fetch_add(1);
+  };
+  HttpServer server(options);
+  server.set_handler([](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "ok", {}};
+  });
+  ASSERT_TRUE(server.start());
+
+  const int fd = connect_to(server.port());
+  ASSERT_GE(fd, 0);
+  std::string carry;
+  send_all(fd, "GET /once HTTP/1.1\r\n\r\n");
+  ASSERT_NE(recv_response(fd, carry).find("200 OK"), std::string::npos);
+
+  // Well past wall-clock instants but under fake time: stays open.
+  std::this_thread::sleep_for(250ms);
+  EXPECT_EQ(server.stats().idle_closed, 0u);
+
+  // Advance fake time past the timeout: the next sweep closes it.
+  fake_ms.store(6'000);
+  char byte = 0;
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  ssize_t n = -1;
+  while (std::chrono::steady_clock::now() < deadline) {
+    n = ::recv(fd, &byte, 1, MSG_DONTWAIT);
+    if (n == 0) break;  // orderly close from the sweep
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_EQ(n, 0);
+  ::close(fd);
+  server.stop();
+  EXPECT_EQ(server.stats().idle_closed, 1u);
+  EXPECT_EQ(idle_drops.load(), 1);
+}
+
+TEST(ServeFleet, ZeroCopySharedBodyWritesSameBytes) {
+  // A handler answering via shared_body must produce byte-identical wire
+  // output to one answering via the owned body string.
+  const auto shared =
+      std::make_shared<const std::string>("{\"zero\":\"copy\"}");
+  HttpServerOptions options;
+  HttpServer server(options);
+  server.set_handler([&shared](const HttpRequest& request) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    if (request.path == "/shared") {
+      response.shared_body = shared;
+    } else {
+      response.body = *shared;
+    }
+    return response;
+  });
+  ASSERT_TRUE(server.start());
+
+  const int fd = connect_to(server.port());
+  ASSERT_GE(fd, 0);
+  std::string carry;
+  send_all(fd, "GET /shared HTTP/1.1\r\n\r\n");
+  const std::string via_shared = scrub_request_id(recv_response(fd, carry));
+  send_all(fd, "GET /owned HTTP/1.1\r\n\r\n");
+  const std::string via_owned = scrub_request_id(recv_response(fd, carry));
+  ::close(fd);
+  server.stop();
+
+  EXPECT_EQ(via_shared, via_owned);
+  EXPECT_NE(via_shared.find("Content-Length: 15"), std::string::npos);
+  EXPECT_EQ(body_of(via_shared), "{\"zero\":\"copy\"}");
+}
+
 // --- query service against a real pipeline run -------------------------------
 
 web::EcosystemConfig small_config() {
@@ -453,7 +751,7 @@ TEST_F(ServeServiceTest, DomainLookupByteMatchesDatasetRendering) {
     const HttpResponse response =
         service.handle(get("/v1/domain/" + std::string(record.name)));
     ASSERT_EQ(response.status, 200) << record.name;
-    EXPECT_EQ(response.body, Snapshot::render_domain_json(record, 1));
+    EXPECT_EQ(response.body_bytes(), Snapshot::render_domain_json(record, 1));
   }
 }
 
@@ -470,9 +768,10 @@ TEST_F(ServeServiceTest, PrefixOutcomeMatchesValidatorOracle) {
       ASSERT_EQ(response.status, 200) << target;
       const rpki::OriginValidity expected =
           snapshot_->validate(pair.prefix, pair.origin);
-      EXPECT_NE(response.body.find("\"validity\":\"" + std::string(to_string(expected)) + "\""),
+      EXPECT_NE(response.body_bytes().find("\"validity\":\"" +
+                    std::string(to_string(expected)) + "\""),
                 std::string::npos)
-          << target << " body: " << response.body;
+          << target << " body: " << response.body_bytes();
       ++checked;
     }
   }
@@ -506,7 +805,7 @@ TEST_F(ServeServiceTest, PercentEncodedPrefixSegmentWorks) {
   const HttpResponse plain = service.handle(get("/v1/prefix/10.0.0.0/16/65001"));
   ASSERT_EQ(encoded.status, 200);
   ASSERT_EQ(plain.status, 200);
-  EXPECT_EQ(encoded.body, plain.body);
+  EXPECT_EQ(encoded.body_bytes(), plain.body_bytes());
 }
 
 TEST_F(ServeServiceTest, CacheServesSecondLookupAndInvalidatesOnPublish) {
@@ -519,7 +818,7 @@ TEST_F(ServeServiceTest, CacheServesSecondLookupAndInvalidatesOnPublish) {
   ASSERT_EQ(first.status, 200);
   EXPECT_EQ(service.cache().hits(), 0u);
   const HttpResponse second = service.handle(get(target));
-  EXPECT_EQ(second.body, first.body);
+  EXPECT_EQ(second.body_bytes(), first.body_bytes());
   EXPECT_EQ(service.cache().hits(), 1u);
 
   // Publishing drops the cache so no stale generation can be served.
@@ -528,7 +827,7 @@ TEST_F(ServeServiceTest, CacheServesSecondLookupAndInvalidatesOnPublish) {
                                   /*generation=*/2));
   const HttpResponse fresh = service.handle(get(target));
   EXPECT_EQ(service.cache().hits(), 1u);
-  EXPECT_NE(fresh.body.find("\"generation\":2"), std::string::npos);
+  EXPECT_NE(fresh.body_bytes().find("\"generation\":2"), std::string::npos);
 }
 
 TEST_F(ServeServiceTest, RateLimiterAnswers429WithRetryAfter) {
@@ -633,6 +932,109 @@ TEST_F(ServeServiceTest, EndToEndOverSockets) {
 
   ::close(fd);
   service.stop();
+}
+
+TEST_F(ServeServiceTest, LimiterBudgetIsShardCountInvariant) {
+  // The limiter is shared across reactor shards on purpose: a client's
+  // aggregate budget must not scale with the shard count. Whatever shard
+  // its requests land on, 4 of 8 pass with burst=4 — at 1 shard and at 4.
+  for (const std::uint32_t shards : {1u, 4u}) {
+    QueryServiceOptions options;
+    options.http.shards = shards;
+    options.rate_limit.tokens_per_sec = 0.0001;  // no meaningful refill
+    options.rate_limit.burst = 4.0;
+    QueryService service(options);
+    service.publish(snapshot_);
+
+    int ok = 0, limited = 0;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      HttpRequest request = get("/v1/summary");
+      request.shard = i % shards;  // spread across every reactor shard
+      const int status = service.handle(request).status;
+      (status == 200 ? ok : limited) += 1;
+    }
+    EXPECT_EQ(ok, 4) << "shards=" << shards;
+    EXPECT_EQ(limited, 4) << "shards=" << shards;
+    EXPECT_EQ(service.limiter().rejected(), 4u) << "shards=" << shards;
+  }
+}
+
+TEST_F(ServeServiceTest, ShardsJsonReportsPerShardFleetTelemetry) {
+  QueryServiceOptions options;
+  options.http.shards = 2;
+  options.http.accept_mode = AcceptMode::kHandoff;  // deterministic spread
+  QueryService service(options);
+  service.publish(snapshot_);
+  ASSERT_TRUE(service.start());
+
+  for (int i = 0; i < 4; ++i) {
+    const int fd = connect_to(service.port());
+    ASSERT_GE(fd, 0);
+    std::string carry;
+    send_all(fd, "GET /v1/summary HTTP/1.1\r\n\r\n");
+    EXPECT_NE(recv_response(fd, carry).find("200 OK"), std::string::npos);
+    ::close(fd);
+  }
+  service.stop();
+
+  const std::string json = service.shards_json();
+  EXPECT_EQ(json.find("[{\"shard\":0,"), 0u) << json;
+  EXPECT_NE(json.find("{\"shard\":1,"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"accepted\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"conn_dropped\":{\"overload\":0,\"idle\":0}"),
+            std::string::npos)
+      << json;
+  // Requests hit both shards' caches: the summary target filled one entry
+  // in each shard's cache and the repeats hit.
+  EXPECT_EQ(service.cache_hits(), 2u);
+  EXPECT_EQ(service.cache_misses(), 2u);
+}
+
+TEST_F(ServeServiceTest, SnapshotSwapUnderLoadAtFourShards) {
+  // The 4-shard variant of the RCU race: four reactor threads answer over
+  // real sockets while the main thread republishes generations. Every
+  // response must be 200 — no torn snapshot, no stale-cache crash.
+  QueryServiceOptions options;
+  options.http.shards = 4;
+  QueryService service(options);
+  service.publish(snapshot_);
+  ASSERT_TRUE(service.start());
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> bad{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      const int fd = connect_to(service.port());
+      if (fd < 0) {
+        bad.fetch_add(1);
+        return;
+      }
+      std::string carry;
+      std::size_t i = static_cast<std::size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string_view name =
+            dataset_->domains.name(i % dataset_->domains.size());
+        send_all(fd, "GET /v1/domain/" + std::string(name) +
+                         " HTTP/1.1\r\n\r\n");
+        const std::string response = recv_response(fd, carry);
+        if (response.find("200 OK") == std::string::npos) bad.fetch_add(1);
+        i += 13;
+      }
+      ::close(fd);
+    });
+  }
+  for (std::uint64_t generation = 2; generation <= 12; ++generation) {
+    service.publish(Snapshot::build(*dataset_, pipeline_->rib(),
+                                    pipeline_->validation_report().vrps,
+                                    generation));
+    std::this_thread::sleep_for(2ms);
+  }
+  stop.store(true);
+  for (auto& client : clients) client.join();
+  service.stop();
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_EQ(service.server().shard_count(), 4u);
 }
 
 // --- access log and slow-request recorder ------------------------------------
