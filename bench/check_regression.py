@@ -30,6 +30,12 @@ under SCHED_OVERHEAD_PCT — subject to the same 5 ms absolute floor,
 since a percentage of a sub-10-ms rung is pure scheduler-noise
 territory.
 
+The delta_rung block (the incremental pipeline) is gated on its refresh
+latency — mean_apply_ms and max_apply_ms ride through the stage
+comparison, as does init_full_ms — and on byte-identity: any
+identical_to_full=false tick is an identity failure (the delta-applied
+snapshot rendered differently from the full-rebuild oracle).
+
 The million_rung block is gated two ways: its peak_rss_bytes must not
 grow more than --threshold percent over the baseline (with a 16 MiB
 absolute floor — RSS is page-granular and allocator-noisy at small
@@ -86,6 +92,10 @@ def stage_times(report):
         stages[f"{prefix}.validate_ms"] = run["validate_ms"]
     for run in report.get("million_rung", {}).get("runs", []):
         stages[f"million.threads={run['threads']}.wall_ms"] = run["wall_ms"]
+    delta_rung = report.get("delta_rung", {})
+    for key in ("init_full_ms", "mean_apply_ms", "max_apply_ms"):
+        if key in delta_rung:
+            stages[f"delta.{key}"] = delta_rung[key]
     serve = report.get("serve_loadgen", {})
     for run in serve.get("runs", []):
         if "p99_us" in run:
@@ -135,6 +145,9 @@ def identity_failures(report):
             for field, value in run.items():
                 if field.startswith("identical") and value is not True:
                     failures.append(f"{key}.threads={run['threads']}.{field}")
+    for run in report.get("delta_rung", {}).get("runs", []):
+        if run.get("identical_to_full", True) is not True:
+            failures.append(f"delta.tick={run['tick']}.identical_to_full")
     serve = report.get("serve_loadgen", {})
     for run in serve.get("runs", []):
         if run.get("oracle_ok", True) is not True:

@@ -39,7 +39,15 @@
 //    "million_rung": {"domains": .., "serial_ms": .., "peak_rss_bytes": ..,
 //                     "runs": [{"threads": .., "wall_ms": ..,
 //                               "pair_serial_ms": .., "speedup": ..,
-//                               "identical_to_serial": true}, ..]}}
+//                               "identical_to_serial": true}, ..]},
+//    "delta_rung": {"domains": .., "ticks": .., "churn_fraction": ..,
+//                   "init_full_ms": .., "mean_apply_ms": ..,
+//                   "max_apply_ms": .., "mean_full_ms": ..,
+//                   "mean_speedup": ..,
+//                   "runs": [{"tick": .., "events": .., "dirty_rows": ..,
+//                             "changed_rows": .., "apply_ms": ..,
+//                             "full_ms": ..,
+//                             "identical_to_full": true}, ..]}}
 //
 // The scheduler block times each thread-ladder rung twice back to back —
 // without and with SchedTelemetry attached — so check_regression.py can
@@ -71,9 +79,16 @@
 //
 //   build/bench/perf_pipeline_stages [domain_count] [--rtr] [--rrdp]
 //                                    [--threads N] [--million N]
+//                                    [--delta N] [--delta-ticks T]
 //                                    [--schedz FILE] [--trace FILE]
 //
 // --threads caps the ladder's top rung (default: hardware threads).
+// --delta N runs the incremental-pipeline rung over an N-domain
+// ecosystem (0 = skip, the default): init once, then --delta-ticks
+// (default 20) churn ticks, each applied incrementally AND rebuilt from
+// scratch; per tick it emits the apply cost, the full-rebuild cost, and
+// the byte-identity verdict across all /v1/* renderings. The exit code
+// includes those verdicts, and check_regression.py gates mean_apply_ms.
 #include <sys/resource.h>
 
 #include <algorithm>
@@ -91,6 +106,8 @@
 #include "bgp/mrt.hpp"
 #include "core/export.hpp"
 #include "core/pipeline.hpp"
+#include "delta/churn.hpp"
+#include "delta/pipeline.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/profiler.hpp"
 #include "obs/sched.hpp"
@@ -162,6 +179,8 @@ int main(int argc, char** argv) {
   }
   const char* schedz_path = nullptr;
   const char* trace_path = nullptr;
+  std::size_t delta_domains = 0;
+  std::size_t delta_ticks = 20;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--rtr") == 0) {
       pipeline_config.use_rtr = true;
@@ -172,6 +191,10 @@ int main(int argc, char** argv) {
       if (max_threads == 0) max_threads = 1;
     } else if (std::strcmp(argv[i], "--million") == 0 && i + 1 < argc) {
       million_domains = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--delta") == 0 && i + 1 < argc) {
+      delta_domains = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--delta-ticks") == 0 && i + 1 < argc) {
+      delta_ticks = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--schedz") == 0 && i + 1 < argc) {
       schedz_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
@@ -510,6 +533,65 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Pass 7: the incremental-pipeline rung. A fresh ecosystem, one full
+  // init (the delta path's denominator world), then `delta_ticks` churn
+  // ticks: each applied incrementally AND rebuilt from scratch, with the
+  // two snapshots byte-compared across every /v1/* rendering. The apply
+  // cost is the refresh latency the incremental subsystem is accountable
+  // for; the full-rebuild cost is what it replaces.
+  struct DeltaRun {
+    std::uint64_t tick;
+    std::size_t events;
+    std::size_t dirty_rows;
+    std::size_t changed_rows;
+    double apply_ms;
+    double full_ms;
+    bool identical;
+  };
+  std::vector<DeltaRun> delta_runs;
+  double delta_init_ms = 0.0;
+  double delta_churn_fraction = 0.0;
+  if (delta_domains > 0) {
+    web::EcosystemConfig delta_eco_config = config;
+    delta_eco_config.domain_count = delta_domains;
+    std::cerr << "delta rung: generating " << delta_domains
+              << "-domain ecosystem...\n";
+    const auto delta_eco = web::Ecosystem::generate(delta_eco_config);
+    delta::DeltaConfig delta_config;
+    delta_config.churn.seed = delta_eco_config.seed;
+    delta_churn_fraction = delta_config.churn.domain_churn_fraction;
+    delta::IncrementalPipeline incremental(*delta_eco, delta_config);
+    {
+      const auto start = std::chrono::steady_clock::now();
+      incremental.init();
+      delta_init_ms = ms_between(start);
+    }
+    std::cerr << "delta rung init (full measurement): " << delta_init_ms
+              << " ms\n";
+    delta::TickGenerator churn(delta_config.churn, incremental.universe());
+    for (std::size_t t = 0; t < delta_ticks; ++t) {
+      const delta::Tick tick = churn.next();
+      const delta::TickStats stats = incremental.apply_tick(tick);
+      double full_ms;
+      std::shared_ptr<const serve::Snapshot> full;
+      {
+        const auto start = std::chrono::steady_clock::now();
+        full = incremental.full_rebuild();
+        full_ms = ms_between(start);
+      }
+      const auto report = incremental.check_against(*full);
+      delta_runs.push_back({tick.number, stats.events, stats.dirty_rows,
+                            stats.changed_rows, stats.apply_ms, full_ms,
+                            report.identical});
+      std::cerr << "delta rung tick " << tick.number << ": apply "
+                << stats.apply_ms << " ms (" << stats.dirty_rows
+                << " rows re-swept), full rebuild " << full_ms
+                << " ms, identical="
+                << (report.identical ? "yes" : report.divergence.c_str())
+                << "\n";
+    }
+  }
+
   obs::render_stage_report(registry, std::cerr);
   const double off_ms = rungs.front().wall_ms;
   const double overhead_pct = off_ms > 0 ? (on_ms - off_ms) / off_ms * 100.0 : 0;
@@ -657,6 +739,39 @@ int main(int argc, char** argv) {
     }
     std::cout << "]}";
   }
+  if (!delta_runs.empty()) {
+    double apply_sum = 0.0, apply_max = 0.0, full_sum = 0.0;
+    for (const DeltaRun& run : delta_runs) {
+      apply_sum += run.apply_ms;
+      apply_max = std::max(apply_max, run.apply_ms);
+      full_sum += run.full_ms;
+    }
+    const double mean_apply = apply_sum / static_cast<double>(delta_runs.size());
+    const double mean_full = full_sum / static_cast<double>(delta_runs.size());
+    std::snprintf(buffer, sizeof buffer,
+                  ",\"delta_rung\":{\"domains\":%llu,\"ticks\":%llu,"
+                  "\"churn_fraction\":%.4f,\"init_full_ms\":%.3f,"
+                  "\"mean_apply_ms\":%.3f,\"max_apply_ms\":%.3f,"
+                  "\"mean_full_ms\":%.3f,\"mean_speedup\":%.3f,\"runs\":[",
+                  static_cast<unsigned long long>(delta_domains),
+                  static_cast<unsigned long long>(delta_runs.size()),
+                  delta_churn_fraction, delta_init_ms, mean_apply, apply_max,
+                  mean_full, mean_apply > 0 ? mean_full / mean_apply : 0.0);
+    std::cout << buffer;
+    for (std::size_t i = 0; i < delta_runs.size(); ++i) {
+      const DeltaRun& run = delta_runs[i];
+      std::snprintf(buffer, sizeof buffer,
+                    "%s{\"tick\":%llu,\"events\":%zu,\"dirty_rows\":%zu,"
+                    "\"changed_rows\":%zu,\"apply_ms\":%.3f,\"full_ms\":%.3f,"
+                    "\"identical_to_full\":%s}",
+                    i == 0 ? "" : ",",
+                    static_cast<unsigned long long>(run.tick), run.events,
+                    run.dirty_rows, run.changed_rows, run.apply_ms,
+                    run.full_ms, run.identical ? "true" : "false");
+      std::cout << buffer;
+    }
+    std::cout << "]}";
+  }
   std::cout << "}" << '\n';
 
   bool all_identical = true;
@@ -669,6 +784,9 @@ int main(int argc, char** argv) {
         all_identical && rung.identical_rib && rung.identical_report;
   }
   for (const MillionRun& run : million_runs) {
+    all_identical = all_identical && run.identical;
+  }
+  for (const DeltaRun& run : delta_runs) {
     all_identical = all_identical && run.identical;
   }
   return all_identical ? 0 : 1;

@@ -16,6 +16,7 @@
 //   curl localhost:<port>/pprofz         timed CPU profile (folded stacks)
 //   curl localhost:<port>/slowz          API slow-request rings + span trees
 //   curl localhost:<port>/accessz        API access-log window
+//   curl localhost:<port>/deltaz         incremental-pipeline telemetry
 //
 // and the measurement query API on its own port (printed at start):
 //
@@ -27,7 +28,8 @@
 //   build/examples/ripkid [--port N] [--api-port N] [--rate-limit N]
 //                         [--serve-shards N] [--interval SEC] [--domains N]
 //                         [--iterations N] [--sample N] [--threads N]
-//                         [--profile] [--rtr] [--rrdp]
+//                         [--delta] [--full] [--oracle-every N]
+//                         [--churn FRAC] [--profile] [--rtr] [--rrdp]
 //
 // --iterations 0 (default) runs until SIGINT/SIGTERM; --port 0 (default)
 // binds an ephemeral port and prints it (--api-port likewise). --sample N
@@ -45,12 +47,27 @@
 // appears as the serve_shards block on /runz and /schedz and as
 // shard-labeled `ripki.serve.*` metrics. Each completed run
 // publishes a fresh query snapshot (RCU swap); /runz reports the served
-// generation, response-cache hit rate, and rate-limited request count,
-// and appends one interval to the /varz history ring (last 64 intervals).
+// generation/parent lineage, response-cache hit rate, and rate-limited
+// request count, and appends one interval to the /varz history ring
+// (last 64 intervals).
+//
+// --delta switches the run loop to the incremental pipeline: instead of
+// re-measuring every domain per interval, a deterministic churn tick is
+// generated and applied end to end (zone overlay -> RIB -> RTR-synced
+// VRPs -> dirty-row re-sweep -> snapshot delta), publishing generation
+// N+1 derived from N. --full (the default) keeps the classic
+// full-rebuild loop. --oracle-every N, in delta mode, rebuilds the world
+// from scratch every Nth tick and byte-compares all /v1/* renderings
+// against the published delta snapshot (0 = never); divergence is fatal.
+// --churn FRAC sets the per-tick domain churn fraction (default 0.01).
+// Both modes schedule ticks on absolute deadlines (start + k*interval),
+// so a slow run delays but never accumulates drift; observed scheduling
+// jitter (last/max) is reported on /runz.
 // --profile arms the sampling profiler at daemon start (always-on,
 // 100 Hz); without it the profiler sits idle until a /pprofz capture
 // starts it one-shot.
 #include <algorithm>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -61,6 +78,8 @@
 
 #include "core/export.hpp"
 #include "core/pipeline.hpp"
+#include "delta/churn.hpp"
+#include "delta/pipeline.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/logring.hpp"
 #include "obs/profiler.hpp"
@@ -94,6 +113,9 @@ int main(int argc, char** argv) {
   std::uint64_t iterations = 0;
   std::uint32_t sample_every = 1;
   bool profile = false;
+  bool delta_mode = false;
+  std::uint64_t oracle_every = 0;
+  double churn_fraction = 0.01;
 
   for (int i = 1; i < argc; ++i) {
     const auto next_u64 = [&](std::uint64_t fallback) {
@@ -126,6 +148,15 @@ int main(int argc, char** argv) {
       if (pipeline_config.threads == 0) {
         pipeline_config.threads = std::max(1u, std::thread::hardware_concurrency());
       }
+    } else if (std::strcmp(argv[i], "--delta") == 0) {
+      delta_mode = true;
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      delta_mode = false;
+    } else if (std::strcmp(argv[i], "--oracle-every") == 0) {
+      oracle_every = next_u64(0);
+    } else if (std::strcmp(argv[i], "--churn") == 0) {
+      churn_fraction =
+          i + 1 < argc ? std::strtod(argv[++i], nullptr) : churn_fraction;
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       profile = true;
     } else if (std::strcmp(argv[i], "--rtr") == 0) {
@@ -189,6 +220,19 @@ int main(int argc, char** argv) {
     obs::HttpResponse response;
     response.content_type = "application/json";
     response.body = varz.render_json();
+    return response;
+  });
+
+  // Incremental-pipeline telemetry: the latest tick's /deltaz payload,
+  // snapshotted under the mutex after each apply (full mode reports the
+  // mode only).
+  std::mutex deltaz_mutex;
+  std::string deltaz = "{\"mode\":\"full\"}";
+  server.set_handler("/deltaz", [&] {
+    obs::HttpResponse response;
+    response.content_type = "application/json";
+    std::lock_guard lock(deltaz_mutex);
+    response.body = deltaz;
     return response;
   });
 
@@ -262,7 +306,141 @@ int main(int argc, char** argv) {
   registry.describe("ripki.ripkid.runs_total",
                     "Completed pipeline iterations since daemon start");
 
+  // Absolute-deadline tick scheduling, shared by both modes: the k-th
+  // tick fires at start + k*interval, so a slow run delays its own tick
+  // but never shifts the schedule (the old sleep-after-work loop drifted
+  // by one run duration per interval). Sleeps in short slices so SIGINT
+  // lands promptly while the telemetry server keeps answering scrapes.
+  const auto interval = std::chrono::seconds(interval_sec);
+  auto deadline = std::chrono::steady_clock::now();
+  double jitter_last_ms = 0.0;
+  double jitter_max_ms = 0.0;
+  const auto wait_for_next_tick = [&] {
+    deadline += interval;
+    auto now = std::chrono::steady_clock::now();
+    if (deadline < now) deadline = now;  // overran: fire now, don't burst
+    while (!g_stop && (now = std::chrono::steady_clock::now()) < deadline) {
+      std::this_thread::sleep_for(
+          std::min<std::chrono::steady_clock::duration>(
+              deadline - now, std::chrono::milliseconds(100)));
+    }
+    jitter_last_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - deadline)
+                         .count();
+    jitter_max_ms = std::max(jitter_max_ms, jitter_last_ms);
+  };
+
   auto varz_tick = std::chrono::steady_clock::now();
+
+  if (delta_mode) {
+    // Incremental mode: init once (full measurement, generation 1), then
+    // per tick apply a churn delta end to end and publish N+1 from N.
+    delta::DeltaConfig delta_config;
+    delta_config.churn.seed = ecosystem_config.seed;
+    delta_config.churn.domain_churn_fraction = churn_fraction;
+    std::cout << "ripkid: initialising incremental pipeline (churn "
+              << churn_fraction << "/tick, oracle every "
+              << oracle_every << " ticks)...\n";
+    delta::IncrementalPipeline incremental(*ecosystem, delta_config);
+    incremental.init();
+    delta::TickGenerator churn(delta_config.churn, incremental.universe());
+    api.publish(incremental.snapshot());
+    health.set("pipeline", true, "incremental generation 1");
+    {
+      std::lock_guard lock(deltaz_mutex);
+      deltaz = incremental.deltaz_json();
+    }
+    std::cout << "ripkid: generation 1 published ("
+              << incremental.row_count() << " rows)\n";
+
+    for (std::uint64_t run = 0; iterations == 0 || run < iterations; ++run) {
+      wait_for_next_tick();
+      if (g_stop) break;
+      const delta::Tick tick = churn.next();
+      const delta::TickStats stats = incremental.apply_tick(tick);
+      api.publish(incremental.snapshot());
+      registry.counter("ripki.ripkid.runs_total").inc();
+      health.set("pipeline", stats.rtr_in_sync,
+                 stats.rtr_in_sync
+                     ? "incremental generation " +
+                           std::to_string(stats.generation)
+                     : "rtr serial sync diverged");
+
+      bool oracle_checked = false;
+      delta::IncrementalPipeline::OracleReport oracle;
+      if (oracle_every != 0 && tick.number % oracle_every == 0) {
+        oracle = incremental.check_against(*incremental.full_rebuild());
+        oracle_checked = true;
+      }
+
+      {
+        const auto now = std::chrono::steady_clock::now();
+        varz.record(registry.collect(),
+                    std::chrono::duration<double>(now - varz_tick).count());
+        varz_tick = now;
+      }
+
+      {
+        char line[640];
+        std::snprintf(
+            line, sizeof line,
+            "tick %llu (incremental, generation %llu from %llu%s)\n"
+            "events: %zu (dns dirty names %zu, dirty rows %zu, changed %zu)\n"
+            "rib: -%zu +%zu; vrps: +%zu -%zu; rtr serial %u %s\n"
+            "apply: %.3f ms; snapshot overlay %zu rows; compactions %llu\n"
+            "oracle: %s\n"
+            "tick scheduling: absolute deadlines; jitter last %.2f ms, "
+            "max %.2f ms\n",
+            static_cast<unsigned long long>(tick.number),
+            static_cast<unsigned long long>(stats.generation),
+            static_cast<unsigned long long>(stats.generation - 1),
+            stats.compacted ? ", compacted" : ", delta",
+            stats.events, stats.dns_dirty_names, stats.dirty_rows,
+            stats.changed_rows, stats.rib_withdrawn, stats.rib_announced,
+            stats.vrp_added, stats.vrp_removed, stats.rtr_serial,
+            stats.rtr_in_sync ? "in sync" : "DIVERGED",
+            stats.apply_ms, stats.overlay_size,
+            static_cast<unsigned long long>(incremental.compactions()),
+            !oracle_checked ? "not checked this tick"
+                            : (oracle.identical ? "identical to full rebuild"
+                                                : oracle.divergence.c_str()),
+            jitter_last_ms, jitter_max_ms);
+        std::lock_guard lock(runz_mutex);
+        runz = std::string(line) +
+               "serve_shards: " + api.shards_json() + "\n";
+      }
+      {
+        std::lock_guard lock(deltaz_mutex);
+        deltaz = incremental.deltaz_json();
+      }
+      std::cout << "ripkid: tick " << tick.number << " done — generation "
+                << stats.generation << ", " << stats.events << " events, "
+                << stats.dirty_rows << " rows re-swept in "
+                << stats.apply_ms << " ms"
+                << (oracle_checked
+                        ? (oracle.identical ? " (oracle: identical)"
+                                            : " (ORACLE DIVERGED)")
+                        : "")
+                << "\n";
+      if (oracle_checked && !oracle.identical) {
+        std::cerr << "ripkid: oracle divergence: " << oracle.divergence
+                  << "\n";
+        api.stop();
+        server.stop();
+        obs::Logger::global().attach_ring(nullptr);
+        return 1;
+      }
+    }
+
+    std::cout << "ripkid: shutting down after " << server.requests_served()
+              << " telemetry requests, " << api.requests_served()
+              << " api requests\n";
+    api.stop();
+    server.stop();
+    obs::Logger::global().attach_ring(nullptr);
+    return 0;
+  }
+
   for (std::uint64_t run = 0; iterations == 0 || run < iterations; ++run) {
     if (g_stop) break;
     RIPKI_LOG_INFO("ripkid", "pipeline run starting",
@@ -286,7 +464,8 @@ int main(int argc, char** argv) {
     // requests finish on the previous generation).
     api.publish(serve::Snapshot::build(dataset, pipeline.rib(),
                                        pipeline.validation_report().vrps,
-                                       /*generation=*/run + 1));
+                                       /*generation=*/run + 1,
+                                       /*parent_generation=*/run));
 
     {
       const auto& caches = pipeline.cache_stats();
@@ -356,20 +535,28 @@ int main(int argc, char** argv) {
                     "ROA validation %.1f ms (%.0f ROAs/s)\n",
                     setup.rib_prepare_ms, setup.mrt_records_per_sec,
                     setup.vrp_prepare_ms, setup.roas_per_sec);
-      char serving_line[224];
+      char serving_line[256];
       std::snprintf(serving_line, sizeof serving_line,
-                    "serving: generation %llu, %llu domains, %u reactor "
+                    "serving: generation %llu (parent %llu, full rebuild), "
+                    "%llu domains, %u reactor "
                     "shard(s) [%s], response cache %.1f%% hit, "
                     "%llu rate-limited\n",
                     static_cast<unsigned long long>(run + 1),
+                    static_cast<unsigned long long>(run),
                     static_cast<unsigned long long>(dataset.domains.size()),
                     api.server().shard_count(), api.server().accept_mode(),
                     api.cache_hit_rate() * 100.0,
                     static_cast<unsigned long long>(api.limiter().rejected()));
+      char jitter_line[160];
+      std::snprintf(jitter_line, sizeof jitter_line,
+                    "tick scheduling: absolute deadlines; jitter last "
+                    "%.2f ms, max %.2f ms\n",
+                    jitter_last_ms, jitter_max_ms);
       std::lock_guard lock(runz_mutex);
       runz = "run " + std::to_string(run + 1) + " (per-run deltas)\n" +
              cache_line + worker_lines + sched_line + setup_line +
-             serving_line + "serve_shards: " + api.shards_json() + "\n" +
+             serving_line + jitter_line +
+             "serve_shards: " + api.shards_json() + "\n" +
              obs::stage_report(delta);
     }
     std::cout << "ripkid: run " << run + 1 << " done — "
@@ -379,11 +566,7 @@ int main(int argc, char** argv) {
               << " dropped)\n";
 
     if (iterations != 0 && run + 1 >= iterations) break;
-    // Sleep in short slices so SIGINT lands promptly while the telemetry
-    // server keeps answering scrapes in its own thread.
-    for (unsigned slept = 0; slept < interval_sec * 10 && !g_stop; ++slept) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(100));
-    }
+    wait_for_next_tick();
   }
 
   std::cout << "ripkid: shutting down after " << server.requests_served()

@@ -34,6 +34,33 @@ void Rib::freeze() {
   frozen_built_ = true;
 }
 
+std::vector<RibEntry> Rib::withdraw(const net::Prefix& prefix) {
+  auto removed = trie_.erase(prefix);
+  if (!removed.has_value()) return {};
+  entry_count_ -= removed->size();
+  if (frozen_built_) frozen_stale_ = true;
+  return std::move(*removed);
+}
+
+void Rib::announce(std::vector<RibEntry> entries) {
+  for (auto& entry : entries) {
+    if (auto* existing = trie_.find_exact(entry.prefix)) {
+      existing->push_back(std::move(entry));
+    } else {
+      const net::Prefix prefix = entry.prefix;
+      trie_.insert(prefix, std::vector<RibEntry>{std::move(entry)});
+    }
+    ++entry_count_;
+  }
+  if (frozen_built_) frozen_stale_ = true;
+}
+
+void Rib::refreeze() {
+  if (!frozen_built_ || !frozen_stale_) return;
+  frozen_ = trie_.freeze();
+  frozen_stale_ = false;
+}
+
 std::uint32_t Rib::covering_node(const net::IpAddress& addr) const {
   assert(frozen_built_ && "covering_node requires freeze()");
   return frozen_.deepest_covering(addr);

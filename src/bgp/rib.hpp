@@ -61,6 +61,26 @@ class Rib {
   void freeze();
   bool frozen() const { return frozen_built_; }
 
+  // --- Incremental delta application (ripki::delta) ----------------------
+  //
+  // Unlike add(), these are legal on a frozen table: they mark the frozen
+  // image stale and refreeze() rebuilds it. Frozen node indices are NOT
+  // stable across refreeze — any cache keyed on covering_node() results
+  // must be dropped after a delta.
+
+  /// Removes every entry announced for `prefix`, returning the removed
+  /// list (empty when the prefix was not in the table) so a later
+  /// announce() can restore exactly what was withdrawn.
+  std::vector<RibEntry> withdraw(const net::Prefix& prefix);
+
+  /// Re-announces entries (same semantics as add(), but allowed after
+  /// freeze(); the frozen image goes stale until refreeze()).
+  void announce(std::vector<RibEntry> entries);
+
+  /// Rebuilds the frozen image after withdraw()/announce(). No-op when
+  /// the table was never frozen.
+  void refreeze();
+
   /// Sentinel for "no covering node" from covering_node().
   static constexpr std::uint32_t kNoNode = 0xFFFFFFFFu;
 
@@ -96,6 +116,7 @@ class Rib {
   trie::PrefixTrie<std::vector<RibEntry>> trie_;
   trie::PrefixTrie<std::vector<RibEntry>>::Frozen frozen_;
   bool frozen_built_ = false;
+  bool frozen_stale_ = false;  // withdraw/announce since the last (re)freeze
   std::vector<PeerEntry> peers_;
   std::size_t entry_count_ = 0;
 };

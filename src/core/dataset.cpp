@@ -250,6 +250,40 @@ void DomainTable::append(const DomainRecord& record) {
          record.www, record.apex);
 }
 
+void DomainTable::set_variant(VariantColumns& columns, std::size_t index,
+                              const VariantResult& variant) {
+  columns.address_count[index] = variant.address_count;
+  columns.special_excluded[index] = variant.special_purpose_excluded;
+  columns.unrouted[index] = variant.unrouted_addresses;
+  columns.cname_hops[index] = variant.cname_hops;
+  columns.terminal_cname[index] = variant.terminal_cname.empty()
+                                      ? StringInterner::kNotFound
+                                      : names_.intern(variant.terminal_cname);
+  const auto count = static_cast<std::uint32_t>(variant.pairs.size());
+  if (count <= columns.pair_count[index]) {
+    std::copy(variant.pairs.begin(), variant.pairs.end(),
+              pairs_.begin() + columns.pair_begin[index]);
+  } else {
+    columns.pair_begin[index] = static_cast<std::uint32_t>(pairs_.size());
+    pairs_.insert(pairs_.end(), variant.pairs.begin(), variant.pairs.end());
+  }
+  columns.pair_count[index] = count;
+}
+
+void DomainTable::set_row(std::size_t index, bool excluded_dns,
+                          bool dnssec_signed, const VariantResult& www,
+                          const VariantResult& apex) {
+  assert(index < size());
+  std::uint8_t flags = 0;
+  if (www.resolved) flags |= kWwwResolved;
+  if (apex.resolved) flags |= kApexResolved;
+  if (excluded_dns) flags |= kExcludedDns;
+  if (dnssec_signed) flags |= kDnssecSigned;
+  flags_[index] = flags;
+  set_variant(www_, index, www);
+  set_variant(apex_, index, apex);
+}
+
 void DomainTable::append_table(const DomainTable& other) {
   const std::size_t rows = other.size();
   if (rows == 0) return;

@@ -181,6 +181,14 @@ class DomainTable {
   /// a table identical to serial row-by-row appends.
   void append_table(const DomainTable& other);
 
+  /// Rewrites an existing row in place (rank and name are immutable; the
+  /// incremental pipeline's row set is fixed). Pair lists reuse their CSR
+  /// slots when the new list fits, and otherwise relocate to the end of
+  /// the pool — the old slots leak until the next full rebuild, which is
+  /// the compaction trigger the delta path already tracks.
+  void set_row(std::size_t index, bool excluded_dns, bool dnssec_signed,
+               const VariantResult& www, const VariantResult& apex);
+
   RecordView view(std::size_t index) const;
   RecordView operator[](std::size_t index) const { return view(index); }
   DomainRecord record(std::size_t index) const { return view(index).to_record(); }
@@ -246,6 +254,8 @@ class DomainTable {
   static constexpr std::uint8_t kDnssecSigned = 1 << 3;
 
   void append_variant(VariantColumns& columns, const VariantResult& variant);
+  void set_variant(VariantColumns& columns, std::size_t index,
+                   const VariantResult& variant);
   VariantView variant_view(const VariantColumns& columns, std::size_t index,
                            bool resolved) const;
 

@@ -1,0 +1,173 @@
+#include "delta/churn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+namespace ripki::delta {
+
+std::vector<std::uint32_t> initial_inactive_rows(const ChurnConfig& config,
+                                                 std::size_t domain_count) {
+  std::size_t count = static_cast<std::size_t>(
+      std::llround(config.initial_inactive_fraction *
+                   static_cast<double>(domain_count)));
+  count = std::min(count, domain_count);
+  if (count == 0) return {};
+  // A dedicated stream (not the tick stream) so changing the per-tick
+  // event mix cannot move the initial world.
+  util::Prng prng(util::mix64(config.seed ^ 0x1ac71f1edULL));
+  const std::vector<std::size_t> order = prng.permutation(domain_count);
+  std::vector<std::uint32_t> rows;
+  rows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    rows.push_back(static_cast<std::uint32_t>(order[i]));
+  return rows;
+}
+
+TickGenerator::TickGenerator(const ChurnConfig& config, ChurnUniverse universe)
+    : config_(config),
+      prng_(util::mix64(config.seed ^ 0x7e11c0deULL)),
+      announced_pool_(std::move(universe.announced_prefixes)),
+      revocable_(std::move(universe.initial_vrps)),
+      candidates_(std::move(universe.candidate_vrps)) {
+  active_.assign(universe.domain_count, 1);
+  active_count_ = universe.domain_count;
+  for (const std::uint32_t row :
+       initial_inactive_rows(config_, universe.domain_count)) {
+    if (active_[row]) {
+      active_[row] = 0;
+      --active_count_;
+      inactive_pool_.push_back(row);
+    }
+  }
+}
+
+std::uint32_t TickGenerator::pick_active_row() {
+  if (active_count_ == 0) return kNoRow;
+  for (int tries = 0; tries < 64; ++tries) {
+    const auto row = static_cast<std::uint32_t>(prng_.index(active_.size()));
+    if (active_[row]) return row;
+  }
+  // Mostly-inactive population: scan from a random start so we always
+  // make progress (still deterministic).
+  const std::size_t start = prng_.index(active_.size());
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    const std::size_t row = (start + i) % active_.size();
+    if (active_[row]) return static_cast<std::uint32_t>(row);
+  }
+  return kNoRow;
+}
+
+Tick TickGenerator::next() {
+  ++tick_number_;
+  Tick tick;
+  tick.number = tick_number_;
+
+  // ROA decisions from earlier ticks whose publication delay elapsed.
+  if (auto due = pending_.find(tick_number_); due != pending_.end()) {
+    for (PendingRoaEvent& event : due->second) {
+      if (event.publish) {
+        tick.roa_publishes.push_back(event.vrp);
+        revocable_.push_back(event.vrp);  // revocable once actually published
+      } else {
+        tick.roa_revokes.push_back(event.vrp);
+      }
+    }
+    pending_.erase(due);
+  }
+
+  // Domain churn: retarget / add / remove, weighted by the config shares.
+  // A tick's events are grouped by kind, so they must be conflict-free:
+  // no row is touched by two events of the same tick (a retargeted row
+  // removed later in the tick would reorder under grouped application).
+  std::unordered_set<std::uint32_t> touched;
+  const auto pick_untouched_active = [&]() -> std::uint32_t {
+    for (int tries = 0; tries < 8; ++tries) {
+      const std::uint32_t row = pick_active_row();
+      if (row == kNoRow || !touched.contains(row)) return row;
+    }
+    return kNoRow;
+  };
+  const std::size_t domain_events = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(config_.domain_churn_fraction *
+                          static_cast<double>(active_.size()))));
+  for (std::size_t i = 0; i < domain_events; ++i) {
+    const double r = prng_.uniform01();
+    if (r >= config_.retarget_share + config_.add_share) {
+      const std::uint32_t row = pick_untouched_active();
+      if (row == kNoRow) continue;
+      active_[row] = 0;
+      --active_count_;
+      inactive_pool_.push_back(row);
+      touched.insert(row);
+      tick.domain_removes.push_back(row);
+    } else if (r >= config_.retarget_share && !inactive_pool_.empty()) {
+      std::size_t pick = prng_.index(inactive_pool_.size());
+      for (int tries = 0; tries < 8 && touched.contains(inactive_pool_[pick]);
+           ++tries) {
+        pick = prng_.index(inactive_pool_.size());
+      }
+      const std::uint32_t row = inactive_pool_[pick];
+      if (touched.contains(row)) continue;  // pool is all this-tick removes
+      inactive_pool_[pick] = inactive_pool_.back();
+      inactive_pool_.pop_back();
+      active_[row] = 1;
+      ++active_count_;
+      touched.insert(row);
+      tick.domain_adds.push_back(row);
+    } else {  // retarget; also the fallback when the spare pool is empty
+      const std::uint32_t row = pick_untouched_active();
+      if (row == kNoRow) continue;
+      touched.insert(row);
+      tick.cname_retargets.push_back(row);
+    }
+  }
+
+  // BGP churn: withdraws from the announced pool, announces restore
+  // previously withdrawn prefixes.
+  for (std::uint32_t k = 0;
+       k < config_.prefix_withdraws_per_tick && !announced_pool_.empty(); ++k) {
+    const std::size_t pick = prng_.index(announced_pool_.size());
+    withdrawn_pool_.push_back(announced_pool_[pick]);
+    announced_pool_[pick] = announced_pool_.back();
+    announced_pool_.pop_back();
+    tick.prefix_withdraws.push_back(withdrawn_pool_.back());
+  }
+  for (std::uint32_t k = 0;
+       k < config_.prefix_announces_per_tick && !withdrawn_pool_.empty(); ++k) {
+    const std::size_t pick = prng_.index(withdrawn_pool_.size());
+    announced_pool_.push_back(withdrawn_pool_[pick]);
+    withdrawn_pool_[pick] = withdrawn_pool_.back();
+    withdrawn_pool_.pop_back();
+    tick.prefix_announces.push_back(announced_pool_.back());
+  }
+
+  // ROA churn: decisions are made now, emitted 1..(1+max_delay) ticks
+  // later (modeled repository publication delay).
+  const auto delay = [&]() -> std::uint64_t {
+    return 1 + prng_.uniform(
+                   static_cast<std::uint64_t>(config_.max_publication_delay_ticks) + 1);
+  };
+  for (std::uint32_t k = 0;
+       k < config_.roa_publishes_per_tick && !candidates_.empty(); ++k) {
+    const std::size_t pick = prng_.index(candidates_.size());
+    PendingRoaEvent event{true, candidates_[pick]};
+    candidates_[pick] = candidates_.back();
+    candidates_.pop_back();
+    pending_[tick_number_ + delay()].push_back(event);
+  }
+  for (std::uint32_t k = 0;
+       k < config_.roa_revokes_per_tick && !revocable_.empty(); ++k) {
+    const std::size_t pick = prng_.index(revocable_.size());
+    PendingRoaEvent event{false, revocable_[pick]};
+    revocable_[pick] = revocable_.back();
+    revocable_.pop_back();
+    pending_[tick_number_ + delay()].push_back(event);
+  }
+
+  return tick;
+}
+
+}  // namespace ripki::delta

@@ -1,0 +1,127 @@
+// Deterministic churn generator: the event source of the incremental
+// pipeline. Each tick carries the changes one measurement cycle observes
+// against the synthetic ecosystem — domains appearing and disappearing,
+// www records retargeted onto overlay CDN names, BGP prefixes withdrawn
+// and re-announced, ROAs published and revoked. ROA events carry a
+// modeled publication delay (RPKI repositories republish on a schedule,
+// so a signing decision becomes visible to relying parties ticks later).
+//
+// The generator is a pure function of (ChurnConfig, ChurnUniverse): two
+// generators built from equal inputs emit identical tick sequences,
+// which is what lets tests replay a churn trace against both the delta
+// path and the full-rebuild oracle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/prefix.hpp"
+#include "rpki/vrp.hpp"
+#include "util/prng.hpp"
+
+namespace ripki::delta {
+
+struct ChurnConfig {
+  std::uint64_t seed = 1;
+
+  /// Fraction of the domain population mutated per tick (adds + removes +
+  /// retargets together); at least one event per tick.
+  double domain_churn_fraction = 0.01;
+  /// Of the domain events: share that are CNAME retargets and share that
+  /// are domain adds (the remainder are removes).
+  double retarget_share = 0.70;
+  double add_share = 0.15;
+  /// Fraction of rows that start suppressed — the spare pool domain adds
+  /// draw from (the row set is fixed; "new" domains are unsuppressed
+  /// spares).
+  double initial_inactive_fraction = 0.02;
+
+  std::uint32_t prefix_withdraws_per_tick = 1;
+  std::uint32_t prefix_announces_per_tick = 1;
+  std::uint32_t roa_publishes_per_tick = 2;
+  std::uint32_t roa_revokes_per_tick = 1;
+  /// ROA events become visible 1..(1 + max_publication_delay_ticks) ticks
+  /// after the signing decision (modeled repository publication delay).
+  std::uint32_t max_publication_delay_ticks = 3;
+};
+
+/// The rows that start suppressed, as a pure function of (config, count) —
+/// shared by the pipeline's world initialisation and the generator's
+/// shadow state so the two cannot disagree.
+std::vector<std::uint32_t> initial_inactive_rows(const ChurnConfig& config,
+                                                 std::size_t domain_count);
+
+/// One tick's worth of ecosystem change, in application order.
+struct Tick {
+  std::uint64_t number = 0;
+  std::vector<std::uint32_t> domain_adds;      // rows unsuppressed
+  std::vector<std::uint32_t> domain_removes;   // rows suppressed
+  std::vector<std::uint32_t> cname_retargets;  // www.<apex> repointed
+  std::vector<net::Prefix> prefix_withdraws;
+  std::vector<net::Prefix> prefix_announces;   // previously withdrawn
+  std::vector<rpki::Vrp> roa_publishes;
+  std::vector<rpki::Vrp> roa_revokes;
+
+  std::size_t event_count() const {
+    return domain_adds.size() + domain_removes.size() + cname_retargets.size() +
+           prefix_withdraws.size() + prefix_announces.size() +
+           roa_publishes.size() + roa_revokes.size();
+  }
+  bool empty() const { return event_count() == 0; }
+
+  bool operator==(const Tick&) const = default;
+};
+
+/// What the generator is allowed to churn — built by the pipeline after
+/// world initialisation (the generator never sees the ecosystem itself).
+struct ChurnUniverse {
+  std::size_t domain_count = 0;
+  /// Prefixes announced in the initial RIB (withdraw candidates).
+  std::vector<net::Prefix> announced_prefixes;
+  /// VRPs in effect after initial validation (revoke candidates).
+  rpki::VrpSet initial_vrps;
+  /// (prefix, origin) pairs seen in the RIB without a matching VRP —
+  /// publish candidates; each is used at most once.
+  rpki::VrpSet candidate_vrps;
+};
+
+class TickGenerator {
+ public:
+  TickGenerator(const ChurnConfig& config, ChurnUniverse universe);
+
+  /// The next tick of churn. Deterministic in construction inputs.
+  Tick next();
+
+  std::uint64_t ticks_generated() const { return tick_number_; }
+
+ private:
+  static constexpr std::uint32_t kNoRow = 0xFFFFFFFFu;
+
+  struct PendingRoaEvent {
+    bool publish = false;
+    rpki::Vrp vrp;
+  };
+
+  std::uint32_t pick_active_row();
+
+  ChurnConfig config_;
+  util::Prng prng_;
+  std::uint64_t tick_number_ = 0;
+
+  // Shadow of the world the pipeline maintains, updated at decision time
+  // so one tick never emits conflicting events (remove of an inactive
+  // row, double-withdraw of a prefix, double-revoke of a VRP).
+  std::vector<char> active_;
+  std::size_t active_count_ = 0;
+  std::vector<std::uint32_t> inactive_pool_;
+  std::vector<net::Prefix> announced_pool_;
+  std::vector<net::Prefix> withdrawn_pool_;
+  std::vector<rpki::Vrp> revocable_;
+  std::vector<rpki::Vrp> candidates_;
+  /// Signing decisions awaiting publication, keyed by due tick.
+  std::map<std::uint64_t, std::vector<PendingRoaEvent>> pending_;
+};
+
+}  // namespace ripki::delta

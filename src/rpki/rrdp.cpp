@@ -169,6 +169,19 @@ util::Result<void> RrdpClient::apply_snapshot(const std::string& xml_text) {
 util::Result<void> RrdpClient::apply_delta(const std::string& xml_text) {
   RIPKI_TRY_ASSIGN(root, encoding::xml_parse(xml_text));
   if (root.name != "delta") return util::Err("rrdp: expected delta document");
+  // A delta is only meaningful relative to the state it was computed
+  // against: enforce the serial chain at the document level, so a delta
+  // applied out of order (or before any snapshot) is rejected instead of
+  // silently corrupting the mirror.
+  const std::string* serial_attr = root.attribute("serial");
+  std::uint64_t delta_serial = 0;
+  if (serial_attr == nullptr || !util::parse_u64(*serial_attr, delta_serial))
+    return util::Err("rrdp: delta missing serial");
+  if (!synchronized_)
+    return util::Err("rrdp: delta before snapshot bootstrap");
+  if (delta_serial != serial_ + 1)
+    return util::Err("rrdp: out-of-order delta " + *serial_attr +
+                     " (have serial " + std::to_string(serial_) + ")");
   for (const auto& child : root.children) {
     if (child.name == "publish") {
       const std::string* uri = child.attribute("uri");
@@ -194,6 +207,7 @@ util::Result<void> RrdpClient::apply_delta(const std::string& xml_text) {
     }
   }
   ++stats_.deltas_applied;
+  serial_ = delta_serial;
   return {};
 }
 

@@ -87,6 +87,14 @@ class RrdpClient {
   /// Reassembles the mirrored objects into a Repository for validation.
   util::Result<Repository> assemble() const;
 
+  /// Applies one raw delta document against the current mirror state —
+  /// the document-level entry point sync() drives, exposed so tests can
+  /// exercise chain enforcement (serial must be exactly serial()+1) and
+  /// withdraw/publish ordering without a server round-trip.
+  util::Result<void> apply_delta_xml(const std::string& xml_text) {
+    return apply_delta(xml_text);
+  }
+
  private:
   util::Result<void> apply_snapshot(const std::string& xml_text);
   util::Result<void> apply_delta(const std::string& xml_text);

@@ -5,8 +5,10 @@
 namespace ripki::rtr {
 
 CacheServer::CacheServer(std::uint16_t session_id, rpki::VrpSet initial,
-                         std::size_t history_limit, std::uint8_t max_version)
+                         std::size_t history_limit, std::uint8_t max_version,
+                         std::uint32_t initial_serial)
     : session_id_(session_id),
+      serial_(initial_serial),
       current_(initial.begin(), initial.end()),
       history_limit_(history_limit),
       max_version_(max_version) {}
@@ -48,14 +50,16 @@ std::vector<Pdu> CacheServer::delta_response(std::uint32_t from_serial) const {
     return {Pdu{CacheResponse{session_id_}}, Pdu{EndOfData{session_id_, serial_}}};
   }
   // Collect deltas (from_serial, serial_]; if any is missing, the router
-  // is too far behind: answer Cache Reset (RFC 6810 §6.3).
+  // is too far behind: answer Cache Reset (RFC 6810 §6.3). All serial
+  // arithmetic is RFC 1982 circular: `serial_ - from_serial` wraps
+  // correctly through 2^32, and a "future" serial is one strictly ahead
+  // of ours in the half-space ordering.
   std::vector<const Delta*> needed;
   for (const auto& delta : history_) {
-    if (delta.serial > from_serial) needed.push_back(&delta);
+    if (serial_gt(delta.serial, from_serial)) needed.push_back(&delta);
   }
-  const std::uint64_t expected =
-      static_cast<std::uint64_t>(serial_) - from_serial;
-  if (from_serial > serial_ || needed.size() != expected) {
+  const std::uint32_t expected = serial_ - from_serial;
+  if (serial_gt(from_serial, serial_) || needed.size() != expected) {
     return {Pdu{CacheReset{}}};
   }
 

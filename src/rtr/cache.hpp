@@ -16,15 +16,26 @@
 
 namespace ripki::rtr {
 
+/// RFC 1982 serial-number comparison: true when `a` is later than `b` in
+/// the 32-bit circular serial space. Serial numbers wrap, so plain
+/// unsigned `>` misbehaves around 2^32 — the RFCs require this signed
+/// half-space comparison (RFC 6810 inherits it from DNS serials).
+constexpr bool serial_gt(std::uint32_t a, std::uint32_t b) {
+  return a != b && static_cast<std::int32_t>(a - b) > 0;
+}
+
 class CacheServer {
  public:
   /// `history_limit`: number of serial deltas retained for incremental
   /// sync; `max_version`: highest RTR protocol version served (RFC 8210 §7
   /// negotiation: the cache answers at the router's version when it can,
-  /// and with an Unsupported-Version error otherwise).
+  /// and with an Unsupported-Version error otherwise); `initial_serial`:
+  /// starting serial — caches restart at arbitrary points of the circular
+  /// serial space, and wraparound is only testable from near 2^32.
   CacheServer(std::uint16_t session_id, rpki::VrpSet initial,
               std::size_t history_limit = 16,
-              std::uint8_t max_version = kMaxSupportedVersion);
+              std::uint8_t max_version = kMaxSupportedVersion,
+              std::uint32_t initial_serial = 0);
 
   std::uint16_t session_id() const { return session_id_; }
   std::uint32_t serial() const { return serial_; }

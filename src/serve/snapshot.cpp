@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <set>
 #include <span>
+#include <utility>
 
 #include "core/reports.hpp"
 
@@ -81,54 +82,26 @@ void append_variant_json(std::string& out, const char* label,
   out += '}';
 }
 
-}  // namespace
-
-std::shared_ptr<const Snapshot> Snapshot::build(const core::Dataset& dataset,
-                                                const bgp::Rib& rib,
-                                                const rpki::VrpSet& vrps,
-                                                std::uint64_t generation) {
-  auto snapshot = std::shared_ptr<Snapshot>(new Snapshot());
-  snapshot->generation_ = generation;
-  snapshot->rank_space_ = dataset.rank_space;
-  snapshot->domains_.append_table(dataset.domains);
-
-  snapshot->by_name_.resize(snapshot->domains_.size());
-  for (std::uint32_t i = 0; i < snapshot->by_name_.size(); ++i) {
-    snapshot->by_name_[i] = i;
-  }
-  std::sort(snapshot->by_name_.begin(), snapshot->by_name_.end(),
-            [&](std::uint32_t a, std::uint32_t b) {
-              return snapshot->domains_.name(a) < snapshot->domains_.name(b);
-            });
-
-  // Re-index the RIB as prefix -> sorted distinct origins. AS_SET
-  // terminated paths carry no usable origin (RFC 6472) and are skipped,
-  // exactly as the measurement's step 3 does.
-  rib.visit([&](const net::Prefix& prefix,
-                const std::vector<bgp::RibEntry>& entries) {
-    std::set<net::Asn> origins;
-    for (const auto& entry : entries) {
-      if (const auto origin = entry.origin()) origins.insert(*origin);
-    }
-    snapshot->routes_.insert(
-        prefix, std::vector<net::Asn>(origins.begin(), origins.end()));
-  });
-
-  snapshot->vrps_ = rpki::VrpIndex(vrps);
-
-  // /v1/summary is identical for every request against one snapshot, so
-  // render it once here.
+/// The /v1/summary body: always rendered in full from the dataset rows —
+/// its %.6f fractions are not reconstructible from a previous rendering
+/// plus a delta, so both construction paths re-derive it identically.
+std::string render_summary_json(const core::Dataset& dataset,
+                                std::size_t vrp_count,
+                                std::uint64_t generation,
+                                std::uint64_t parent_generation) {
   const auto bins = core::reports::figure4_rpki_by_rank(dataset);
   const auto summary = core::reports::figure4_summary(dataset);
-  std::string& out = snapshot->summary_json_;
+  std::string out;
   out += "{\"generation\":";
   out += std::to_string(generation);
+  out += ",\"parent_generation\":";
+  out += std::to_string(parent_generation);
   out += ",\"domains\":";
   out += std::to_string(dataset.domains.size());
   out += ",\"rank_space\":";
   out += std::to_string(dataset.rank_space);
   out += ",\"vrps\":";
-  out += std::to_string(snapshot->vrps_.size());
+  out += std::to_string(vrp_count);
   out += ",\"mean_coverage\":";
   out += json_fraction(summary.mean_coverage);
   out += ",\"top_100k_coverage\":";
@@ -155,19 +128,131 @@ std::shared_ptr<const Snapshot> Snapshot::build(const core::Dataset& dataset,
     out += '}';
   }
   out += "]}";
+  return out;
+}
+
+/// Re-indexes the RIB as prefix -> sorted distinct origins. AS_SET
+/// terminated paths carry no usable origin (RFC 6472) and are skipped,
+/// exactly as the measurement's step 3 does.
+std::shared_ptr<const trie::PrefixTrie<std::vector<net::Asn>>> index_routes(
+    const bgp::Rib& rib) {
+  auto routes = std::make_shared<trie::PrefixTrie<std::vector<net::Asn>>>();
+  rib.visit([&](const net::Prefix& prefix,
+                const std::vector<bgp::RibEntry>& entries) {
+    std::set<net::Asn> origins;
+    for (const auto& entry : entries) {
+      if (const auto origin = entry.origin()) origins.insert(*origin);
+    }
+    routes->insert(prefix,
+                   std::vector<net::Asn>(origins.begin(), origins.end()));
+  });
+  return routes;
+}
+
+}  // namespace
+
+std::shared_ptr<const Snapshot> Snapshot::build(const core::Dataset& dataset,
+                                                const bgp::Rib& rib,
+                                                const rpki::VrpSet& vrps,
+                                                std::uint64_t generation,
+                                                std::uint64_t parent_generation) {
+  auto snapshot = std::shared_ptr<Snapshot>(new Snapshot());
+  snapshot->generation_ = generation;
+  snapshot->parent_generation_ = parent_generation;
+  snapshot->rank_space_ = dataset.rank_space;
+  snapshot->domains_.append_table(dataset.domains);
+
+  auto by_name = std::make_shared<std::vector<std::uint32_t>>();
+  by_name->resize(snapshot->domains_.size());
+  for (std::uint32_t i = 0; i < by_name->size(); ++i) (*by_name)[i] = i;
+  std::sort(by_name->begin(), by_name->end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return snapshot->domains_.name(a) < snapshot->domains_.name(b);
+            });
+  snapshot->by_name_ = std::move(by_name);
+
+  snapshot->routes_ = index_routes(rib);
+  snapshot->vrps_ = std::make_shared<const rpki::VrpIndex>(vrps);
+
+  // /v1/summary is identical for every request against one snapshot, so
+  // render it once here.
+  snapshot->summary_json_ = render_summary_json(
+      dataset, snapshot->vrps_->size(), generation, parent_generation);
 
   return snapshot;
 }
 
+std::shared_ptr<const Snapshot> Snapshot::apply_delta(
+    std::shared_ptr<const Snapshot> base, const core::Dataset& dataset,
+    const std::vector<std::uint32_t>& changed_rows,
+    const bgp::Rib* rib_if_changed, const rpki::VrpSet* vrps_if_changed,
+    std::uint64_t generation) {
+  auto snapshot = std::shared_ptr<Snapshot>(new Snapshot());
+  snapshot->generation_ = generation;
+  snapshot->parent_generation_ = base->generation_;
+  snapshot->delta_applied_ = true;
+  snapshot->rank_space_ = base->rank_space_;
+
+  // Flatten: point at the nearest FULL snapshot, and start from the
+  // parent's overlay so earlier re-sweeps stay visible. Dropped
+  // intermediate generations then free as soon as their readers finish.
+  const Snapshot& parent = *base;
+  snapshot->base_ = parent.base_ ? parent.base_ : base;
+  snapshot->overlay_ = parent.overlay_;  // empty when the parent is full
+  snapshot->by_name_ = parent.by_name_;
+
+  for (const std::uint32_t row : changed_rows) {
+    snapshot->overlay_[row] = dataset.domains.record(row);
+  }
+
+  snapshot->routes_ =
+      rib_if_changed ? index_routes(*rib_if_changed) : parent.routes_;
+  snapshot->vrps_ = vrps_if_changed
+                        ? std::make_shared<const rpki::VrpIndex>(*vrps_if_changed)
+                        : parent.vrps_;
+
+  snapshot->summary_json_ =
+      render_summary_json(dataset, snapshot->vrps_->size(), generation,
+                          snapshot->parent_generation_);
+  return snapshot;
+}
+
+core::DomainTable::RecordView Snapshot::record_view(
+    const core::DomainRecord& record) {
+  const auto variant = [](const core::VariantResult& v) {
+    core::DomainTable::VariantView out;
+    out.resolved = v.resolved;
+    out.address_count = v.address_count;
+    out.special_purpose_excluded = v.special_purpose_excluded;
+    out.unrouted_addresses = v.unrouted_addresses;
+    out.cname_hops = v.cname_hops;
+    out.terminal_cname = v.terminal_cname;
+    out.pairs = std::span<const core::PrefixAsPair>(v.pairs);
+    return out;
+  };
+  core::DomainTable::RecordView out;
+  out.rank = record.rank;
+  out.name = record.name;
+  out.excluded_dns = record.excluded_dns;
+  out.dnssec_signed = record.dnssec_signed;
+  out.www = variant(record.www);
+  out.apex = variant(record.apex);
+  return out;
+}
+
 std::optional<core::DomainTable::RecordView> Snapshot::find_domain(
     std::string_view name) const {
+  const core::DomainTable& domains = table();
   const auto it = std::lower_bound(
-      by_name_.begin(), by_name_.end(), name,
+      by_name_->begin(), by_name_->end(), name,
       [&](std::uint32_t index, std::string_view target) {
-        return domains_.name(index) < target;
+        return domains.name(index) < target;
       });
-  if (it == by_name_.end() || domains_.name(*it) != name) return std::nullopt;
-  return domains_.view(*it);
+  if (it == by_name_->end() || domains.name(*it) != name) return std::nullopt;
+  if (const auto overlay = overlay_.find(*it); overlay != overlay_.end()) {
+    return record_view(overlay->second);
+  }
+  return domains.view(*it);
 }
 
 namespace {
@@ -210,7 +295,7 @@ std::string Snapshot::render_domain_json(const core::DomainRecord& record,
 }
 
 std::string Snapshot::ip_json(const net::IpAddress& address) const {
-  const auto covering = routes_.covering(address);
+  const auto covering = routes_->covering(address);
   std::string out;
   out.reserve(256);
   out += "{\"generation\":";
@@ -231,7 +316,7 @@ std::string Snapshot::ip_json(const net::IpAddress& address) const {
       out += "{\"asn\":";
       out += std::to_string(origins[j].value());
       out += ",\"validity\":\"";
-      out += rpki::to_string(vrps_.validate(covering[i].prefix, origins[j]));
+      out += rpki::to_string(vrps_->validate(covering[i].prefix, origins[j]));
       out += "\"}";
     }
     out += "]}";
@@ -242,7 +327,7 @@ std::string Snapshot::ip_json(const net::IpAddress& address) const {
 
 std::string Snapshot::prefix_json(const net::Prefix& prefix,
                                   net::Asn origin) const {
-  const auto validity = vrps_.validate(prefix, origin);
+  const auto validity = vrps_->validate(prefix, origin);
   std::string out;
   out.reserve(128);
   out += "{\"generation\":";
@@ -254,7 +339,7 @@ std::string Snapshot::prefix_json(const net::Prefix& prefix,
   out += ",\"validity\":\"";
   out += rpki::to_string(validity);
   out += "\",\"covered\":";
-  out += vrps_.covered(prefix) ? "true" : "false";
+  out += vrps_->covered(prefix) ? "true" : "false";
   out += '}';
   return out;
 }

@@ -9,9 +9,23 @@
 // request and keep a consistent view for its whole lifetime; the old
 // snapshot is freed when the last in-flight reader drops it.
 //
+// Two construction paths share one rendering contract:
+//
+//   build()        full rebuild from a Dataset + Rib + VrpSet
+//   apply_delta()  generation N+1 derived from N plus a changed-row set:
+//                  unchanged rows, the name index, and (when untouched)
+//                  the route trie and VRP index are structurally shared
+//                  with the parent; only re-swept rows live in a small
+//                  materialized overlay. The chain is flattened to depth
+//                  one — a delta snapshot points at the last full build,
+//                  never at another delta — so dropped generations free
+//                  immediately and lookups cost one overlay probe.
+//
 // All JSON rendering lives here as deterministic pure functions of the
-// snapshot contents, so tests and the load-generator oracle can compute
-// the exact expected bytes from a core::Dataset directly.
+// snapshot contents, so tests, the load-generator oracle, and the delta
+// pipeline's full-rebuild oracle can compute exact expected bytes from a
+// core::Dataset directly. Byte identity between the two construction
+// paths is the delta subsystem's correctness gate.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +33,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "bgp/rib.hpp"
@@ -37,17 +52,44 @@ class Snapshot {
   /// Builds the immutable view: copies `dataset.domains` (compact SoA
   /// table, interned names), re-indexes the RIB's (prefix -> origin ASes)
   /// mapping, and rebuilds a VrpIndex from `vrps`. `generation` stamps
-  /// every response from this snapshot.
+  /// every response from this snapshot; `parent_generation` records the
+  /// lineage (0 for a from-scratch build) and must match between a delta
+  /// application and its full-rebuild oracle for the byte-identity gate.
   static std::shared_ptr<const Snapshot> build(const core::Dataset& dataset,
                                                const bgp::Rib& rib,
                                                const rpki::VrpSet& vrps,
-                                               std::uint64_t generation);
+                                               std::uint64_t generation,
+                                               std::uint64_t parent_generation = 0);
+
+  /// Derives generation N+1 from `base` (which must serve the same fixed
+  /// row set as `dataset`): rows in `changed_rows` are materialized from
+  /// `dataset` into the overlay; everything else is shared with the base
+  /// chain's full snapshot. `rib_if_changed` / `vrps_if_changed` are null
+  /// when that layer is untouched this tick (the trie / VRP index is then
+  /// shared with the parent) and point at the new state otherwise.
+  /// `dataset` must be the master dataset AFTER the tick's re-sweep — the
+  /// summary is re-rendered from it in full, never patched, because its
+  /// %.6f fractions are not incrementally reconstructible byte-for-byte.
+  static std::shared_ptr<const Snapshot> apply_delta(
+      std::shared_ptr<const Snapshot> base, const core::Dataset& dataset,
+      const std::vector<std::uint32_t>& changed_rows,
+      const bgp::Rib* rib_if_changed, const rpki::VrpSet* vrps_if_changed,
+      std::uint64_t generation);
 
   std::uint64_t generation() const { return generation_; }
-  std::size_t domain_count() const { return domains_.size(); }
+  /// Generation this snapshot was derived from (0 = from scratch).
+  std::uint64_t parent_generation() const { return parent_generation_; }
+  /// True when this snapshot came through apply_delta() rather than a
+  /// full build — surfaced in /runz and bench output, not in the JSON.
+  bool delta_applied() const { return delta_applied_; }
+  std::size_t domain_count() const { return table().size(); }
+  /// Rows materialized in this snapshot's overlay (0 for a full build) —
+  /// the delta pipeline's compaction signal.
+  std::size_t overlay_size() const { return overlay_.size(); }
 
   /// O(log n) lookup by apex name; nullopt when absent. The view borrows
-  /// the snapshot's table — valid as long as this snapshot is held.
+  /// the snapshot (table or overlay record) — valid as long as this
+  /// snapshot is held.
   std::optional<core::DomainTable::RecordView> find_domain(
       std::string_view name) const;
 
@@ -76,22 +118,44 @@ class Snapshot {
   /// tests compare service answers against).
   rpki::OriginValidity validate(const net::Prefix& prefix,
                                 net::Asn origin) const {
-    return vrps_.validate(prefix, origin);
+    return vrps_->validate(prefix, origin);
   }
-  std::size_t vrp_count() const { return vrps_.size(); }
+  std::size_t vrp_count() const { return vrps_->size(); }
 
  private:
   Snapshot() = default;
 
+  /// The fixed-row SoA table: owned by a full build, borrowed from the
+  /// parent full build by a delta snapshot.
+  const core::DomainTable& table() const {
+    return base_ ? base_->domains_ : domains_;
+  }
+  /// View over an overlay record, shaped exactly like a table view so
+  /// both render through the same code path.
+  static core::DomainTable::RecordView record_view(const core::DomainRecord& record);
+
   std::uint64_t generation_ = 0;
+  std::uint64_t parent_generation_ = 0;
+  bool delta_applied_ = false;
   std::uint64_t rank_space_ = 0;
+  /// Full-build state; empty for delta snapshots (which use base_).
   core::DomainTable domains_;
-  /// Row indices into domains_, sorted by name for binary search.
-  std::vector<std::uint32_t> by_name_;
+  /// The full snapshot whose table and name index this delta borrows;
+  /// null for full builds. Never another delta (chains are flattened).
+  std::shared_ptr<const Snapshot> base_;
+  /// Re-swept rows materialized from the master dataset, keyed by row
+  /// index. unordered_map nodes are address-stable, so RecordViews can
+  /// borrow the records across rehashes.
+  std::unordered_map<std::uint32_t, core::DomainRecord> overlay_;
+  /// Row indices into the table, sorted by name for binary search.
+  /// Shared across the generation chain (names never change).
+  std::shared_ptr<const std::vector<std::uint32_t>> by_name_;
   /// Announced routes: origin ASes per prefix (AS_SET-terminated paths
-  /// excluded, mirroring methodology step 3).
-  trie::PrefixTrie<std::vector<net::Asn>> routes_;
-  rpki::VrpIndex vrps_;
+  /// excluded, mirroring methodology step 3). Shared with the parent
+  /// when the tick carried no RIB delta.
+  std::shared_ptr<const trie::PrefixTrie<std::vector<net::Asn>>> routes_;
+  /// Shared with the parent when the tick carried no VRP delta.
+  std::shared_ptr<const rpki::VrpIndex> vrps_;
   std::string summary_json_;
 };
 

@@ -89,6 +89,30 @@ class PrefixTrie {
     visit_node(v6_root_.get(), fn);
   }
 
+  /// Removes the value stored exactly at `prefix`, returning it. The node
+  /// itself stays in place as a structural (valueless) split node — every
+  /// traversal already skips valueless nodes, and keeping the shape means
+  /// erase never invalidates sibling subtrees. Callers holding a Frozen
+  /// image must refreeze after any erase/insert.
+  std::optional<V> erase(const net::Prefix& prefix) {
+    Node* node = nullptr;
+    {
+      const Node* found = root_of(prefix.family());
+      while (found != nullptr) {
+        const int cpl = common_prefix_length(found->key, prefix);
+        if (cpl < found->key.length()) return std::nullopt;
+        if (found->key.length() == prefix.length()) break;
+        found = child_of(found, prefix.address().bit(found->key.length()));
+      }
+      if (found == nullptr || !found->value.has_value()) return std::nullopt;
+      node = const_cast<Node*>(found);
+    }
+    std::optional<V> out = std::move(node->value);
+    node->value.reset();
+    --size_;
+    return out;
+  }
+
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 

@@ -5,9 +5,11 @@
 #include <filesystem>
 #include <fstream>
 
+#include "crypto/sha256.hpp"
 #include "encoding/xml.hpp"
 #include "rpki/fs_publication.hpp"
 #include "rpki/rrdp.hpp"
+#include "rpki/tal.hpp"
 #include "rpki/validator.hpp"
 #include "util/prng.hpp"
 
@@ -257,6 +259,148 @@ TEST_F(PublicationFixture, RrdpDocumentsAreRealXml) {
   auto snapshot = encoding::xml_parse(server.snapshot_xml());
   ASSERT_TRUE(snapshot.ok());
   EXPECT_FALSE(snapshot.value().children_named("publish").empty());
+}
+
+// --- Delta-chain enforcement -------------------------------------------------
+//
+// The document-level entry point (apply_delta_xml) lets these exercise the
+// serial chain without a cooperating server: a delta is only applicable to
+// the exact state it was computed against.
+
+namespace {
+
+/// Hand-built RFC 8182 delta document with one publish element.
+std::string delta_doc(const std::string& session, std::uint64_t serial,
+                      const std::vector<XmlElement>& children) {
+  XmlElement root;
+  root.name = "delta";
+  root.attributes.emplace_back("xmlns", "http://www.ripe.net/rpki/rrdp");
+  root.attributes.emplace_back("version", "1");
+  root.attributes.emplace_back("session_id", session);
+  root.attributes.emplace_back("serial", std::to_string(serial));
+  root.children = children;
+  return encoding::xml_encode(root);
+}
+
+XmlElement publish_el(const std::string& uri, const util::Bytes& data) {
+  XmlElement el;
+  el.name = "publish";
+  el.attributes.emplace_back("uri", uri);
+  el.text = rpki::base64_encode(data);
+  return el;
+}
+
+XmlElement withdraw_el(const std::string& uri, const util::Bytes& data) {
+  XmlElement el;
+  el.name = "withdraw";
+  el.attributes.emplace_back("uri", uri);
+  el.attributes.emplace_back("hash",
+                             crypto::digest_hex(crypto::sha256(data)));
+  return el;
+}
+
+}  // namespace
+
+TEST_F(PublicationFixture, RrdpOutOfOrderDeltaRejected) {
+  rpki::RrdpServer server("session-1", build_repo(1));
+  rpki::RrdpClient client;
+  ASSERT_TRUE(client.sync(server).ok());
+  ASSERT_EQ(client.serial(), 1u);
+
+  const auto objects = rpki::publish_repository(build_repo(1));
+  const auto& any = objects.front();
+
+  // Skipping ahead (serial 3 against a serial-1 mirror) must be rejected.
+  auto skipped = client.apply_delta_xml(
+      delta_doc("session-1", 3, {publish_el(any.uri, any.data)}));
+  ASSERT_FALSE(skipped.ok());
+  EXPECT_NE(skipped.error().message.find("out-of-order"), std::string::npos);
+
+  // Replaying an old serial must be rejected too.
+  auto replayed = client.apply_delta_xml(
+      delta_doc("session-1", 1, {publish_el(any.uri, any.data)}));
+  EXPECT_FALSE(replayed.ok());
+
+  // A delta without a serial attribute is malformed.
+  std::string no_serial = delta_doc("session-1", 2, {});
+  const auto pos = no_serial.find(" serial=\"2\"");
+  ASSERT_NE(pos, std::string::npos);
+  no_serial.erase(pos, std::string(" serial=\"2\"").size());
+  EXPECT_FALSE(client.apply_delta_xml(no_serial).ok());
+
+  // The mirror is untouched: the exact-next serial still applies cleanly.
+  auto next = client.apply_delta_xml(
+      delta_doc("session-1", 2, {publish_el(any.uri, any.data)}));
+  ASSERT_TRUE(next.ok()) << next.error().message;
+  EXPECT_EQ(client.serial(), 2u);
+}
+
+TEST_F(PublicationFixture, RrdpDeltaBeforeBootstrapRejected) {
+  rpki::RrdpClient client;
+  const auto objects = rpki::publish_repository(build_repo(1));
+  auto r = client.apply_delta_xml(delta_doc(
+      "session-1", 1, {publish_el(objects.front().uri, objects.front().data)}));
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("before snapshot"), std::string::npos);
+}
+
+TEST_F(PublicationFixture, RrdpWithdrawThenPublishSameUriIsDeterministic) {
+  // One delta that withdraws an object and republishes the same URI with
+  // new bytes: elements apply in document order, so the object must end
+  // up present with the new content — and the reversed order (publish
+  // first, then a withdraw whose hash names the *old* bytes) must fail
+  // the RFC 8182 §3.5 hash check instead of silently dropping the new
+  // object.
+  rpki::RrdpServer server("session-1", build_repo(1));
+  rpki::RrdpClient client;
+  ASSERT_TRUE(client.sync(server).ok());
+
+  auto objects = client.objects();
+  ASSERT_FALSE(objects.empty());
+  const std::string uri = objects.front().uri;
+  const util::Bytes old_bytes = objects.front().data;
+  util::Bytes new_bytes = old_bytes;
+  new_bytes.push_back(0x5a);
+
+  auto applied = client.apply_delta_xml(delta_doc(
+      "session-1", 2,
+      {withdraw_el(uri, old_bytes), publish_el(uri, new_bytes)}));
+  ASSERT_TRUE(applied.ok()) << applied.error().message;
+  EXPECT_EQ(client.serial(), 2u);
+  bool found = false;
+  for (const auto& object : client.objects()) {
+    if (object.uri != uri) continue;
+    found = true;
+    EXPECT_EQ(object.data, new_bytes);
+  }
+  EXPECT_TRUE(found);
+
+  // Publish-then-withdraw with the stale hash: rejected (the withdraw no
+  // longer names the bytes at that URI), not applied half-way silently.
+  auto reversed = client.apply_delta_xml(delta_doc(
+      "session-1", 3,
+      {publish_el(uri, old_bytes), withdraw_el(uri, new_bytes)}));
+  ASSERT_FALSE(reversed.ok());
+  EXPECT_NE(reversed.error().message.find("hash mismatch"), std::string::npos);
+}
+
+TEST_F(PublicationFixture, RrdpGapInDeltaChainForcesSnapshotFallback) {
+  // Same shape as the age-out test but asserting the *chain* property
+  // directly: with the serial-2 delta gone from the window, the client
+  // cannot step 1 -> 3 by deltas and must re-bootstrap from the snapshot,
+  // ending byte-identical to the server's object set.
+  rpki::RrdpServer server("session-1", build_repo(1), /*delta_window=*/1);
+  rpki::RrdpClient client;
+  ASSERT_TRUE(client.sync(server).ok());
+  const auto deltas_before = client.stats().deltas_applied;
+
+  server.update(build_repo(2));
+  server.update(build_repo(3));  // delta for serial 2 aged out: gap
+  ASSERT_TRUE(client.sync(server).ok());
+  EXPECT_EQ(client.serial(), 3u);
+  EXPECT_EQ(client.stats().deltas_applied, deltas_before);  // no delta used
+  EXPECT_EQ(client.stats().snapshots_fetched, 2u);
+  EXPECT_EQ(vrps_of(client.assemble().value()), 4u);
 }
 
 // --- fs publication ---------------------------------------------------------------

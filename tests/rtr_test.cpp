@@ -255,6 +255,83 @@ TEST(RouterClient, BuildsUsableOriginValidationIndex) {
             rpki::OriginValidity::kInvalid);
 }
 
+// --- Serial synchronisation edge cases ----------------------------------------
+
+TEST(SerialArithmetic, Rfc1982HalfSpaceComparison) {
+  EXPECT_TRUE(serial_gt(1, 0));
+  EXPECT_FALSE(serial_gt(0, 1));
+  EXPECT_FALSE(serial_gt(7, 7));
+  // Wraparound: 0 is *later* than 0xFFFFFFFF in the circular space.
+  EXPECT_TRUE(serial_gt(0, 0xFFFFFFFFu));
+  EXPECT_FALSE(serial_gt(0xFFFFFFFFu, 0));
+  EXPECT_TRUE(serial_gt(5, 0xFFFFFFF0u));
+  EXPECT_FALSE(serial_gt(0xFFFFFFF0u, 5));
+}
+
+TEST(RouterClient, SerialSyncSurvivesWraparound) {
+  // A cache that restarted near the top of the circular serial space:
+  // incremental syncs must keep working as the serial crosses 2^32.
+  CacheServer cache(11, {V("10.0.0.0/16", 16, 65001)}, /*history_limit=*/16,
+                    kMaxSupportedVersion, /*initial_serial=*/0xFFFFFFFEu);
+  RouterClient client;
+  ASSERT_TRUE(client.sync(cache).ok());
+  EXPECT_EQ(client.serial(), 0xFFFFFFFEu);
+
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    rpki::VrpSet next{V("10.0.0.0/16", 16, 65001),
+                      V("10.7.0.0/16", 16, 65100 + i)};
+    cache.update(next);
+    ASSERT_TRUE(client.sync(cache).ok()) << "update " << i;
+    EXPECT_EQ(client.vrps(), cache.current()) << "update " << i;
+    EXPECT_EQ(client.serial(), cache.serial()) << "update " << i;
+  }
+  // Serial wrapped 0xFFFFFFFE -> ... -> 2 without a single reset resync.
+  EXPECT_EQ(cache.serial(), 2u);
+  EXPECT_EQ(client.stats().resets, 1u);
+  EXPECT_EQ(client.stats().serial_syncs, 4u);
+  EXPECT_EQ(client.stats().cache_resets_seen, 0u);
+}
+
+TEST(RouterClient, CacheRestartMidSyncForcesResetAndNewSession) {
+  // The cache process restarts between two syncs (new session id, fresh
+  // serial space): the serial query must be answered with Cache Reset and
+  // the client must resync fully under the new session.
+  CacheServer original(11, {V("10.0.0.0/16", 16, 65001)});
+  RouterClient client;
+  ASSERT_TRUE(client.sync(original).ok());
+  ASSERT_EQ(client.session_id(), 11u);
+
+  CacheServer restarted(12, {V("10.1.0.0/16", 16, 65002)},
+                        /*history_limit=*/16, kMaxSupportedVersion,
+                        /*initial_serial=*/500);
+  ASSERT_TRUE(client.sync(restarted).ok());
+  EXPECT_EQ(client.stats().cache_resets_seen, 1u);
+  EXPECT_EQ(client.stats().resets, 2u);
+  EXPECT_EQ(client.session_id(), 12u);
+  EXPECT_EQ(client.serial(), 500u);
+  EXPECT_EQ(client.vrps(), restarted.current());
+}
+
+TEST(RouterClient, EmptyDeltaAdvancesSerialWithoutPrefixPdus) {
+  // A validation run that produced the same VRP set still bumps the cache
+  // serial; the router's incremental sync must advance its serial while
+  // receiving zero prefix PDUs.
+  CacheServer cache(11, {V("10.0.0.0/16", 16, 65001)});
+  RouterClient client;
+  ASSERT_TRUE(client.sync(cache).ok());
+  const auto before = client.stats();
+
+  cache.update({V("10.0.0.0/16", 16, 65001)});  // no-op change
+  ASSERT_TRUE(client.sync(cache).ok());
+  EXPECT_EQ(client.serial(), cache.serial());
+  EXPECT_EQ(client.serial(), 1u);
+  EXPECT_EQ(client.vrps(), cache.current());
+  EXPECT_EQ(client.stats().serial_syncs, before.serial_syncs + 1);
+  EXPECT_EQ(client.stats().announcements, before.announcements);
+  EXPECT_EQ(client.stats().withdrawals, before.withdrawals);
+  EXPECT_EQ(client.stats().resets, before.resets);
+}
+
 // --- Protocol version 1 (RFC 8210) -------------------------------------------
 
 class PduRoundTripV1 : public ::testing::TestWithParam<Pdu> {};

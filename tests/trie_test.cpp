@@ -215,5 +215,70 @@ TEST_P(PrefixTrieProperty, AgreesWithBruteForce) {
 INSTANTIATE_TEST_SUITE_P(RandomSeeds, PrefixTrieProperty,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
 
+// --- erase (withdraw support for the incremental RIB) ------------------------
+
+TEST(PrefixTrie, EraseReturnsValueAndShrinks) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/8"), 8);
+  trie.insert(P("10.1.0.0/16"), 16);
+
+  const auto out = trie.erase(P("10.1.0.0/16"));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, 16);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(trie.find_exact(P("10.1.0.0/16")), nullptr);
+  ASSERT_NE(trie.find_exact(P("10.0.0.0/8")), nullptr);
+}
+
+TEST(PrefixTrie, EraseAbsentPrefixIsNullopt) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/8"), 8);
+  EXPECT_FALSE(trie.erase(P("10.2.0.0/16")).has_value());
+  EXPECT_FALSE(trie.erase(P("11.0.0.0/8")).has_value());
+  EXPECT_EQ(trie.size(), 1u);
+  // Erasing twice: the second call finds a valueless node.
+  EXPECT_TRUE(trie.erase(P("10.0.0.0/8")).has_value());
+  EXPECT_FALSE(trie.erase(P("10.0.0.0/8")).has_value());
+  EXPECT_TRUE(trie.empty());
+}
+
+TEST(PrefixTrie, ErasedNodeIsSkippedByTraversals) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/8"), 8);
+  trie.insert(P("10.1.0.0/16"), 16);
+  trie.insert(P("10.1.2.0/24"), 24);
+
+  trie.erase(P("10.1.0.0/16"));
+
+  const auto matches = trie.covering(A("10.1.2.3"));
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].prefix, P("10.0.0.0/8"));
+  EXPECT_EQ(matches[1].prefix, P("10.1.2.0/24"));
+
+  const auto best = trie.longest_match(A("10.1.200.1"));
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->prefix, P("10.0.0.0/8"));
+
+  std::size_t visited = 0;
+  trie.visit([&](const net::Prefix&, const int&) { ++visited; });
+  EXPECT_EQ(visited, 2u);
+}
+
+TEST(PrefixTrie, ReinsertAfterEraseRevivesNode) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.1.0.0/16"), 1);
+  trie.insert(P("10.2.0.0/16"), 2);  // forces a /15-ish split parent
+  trie.erase(P("10.1.0.0/16"));
+  EXPECT_EQ(trie.size(), 1u);
+
+  trie.insert(P("10.1.0.0/16"), 7);
+  EXPECT_EQ(trie.size(), 2u);
+  ASSERT_NE(trie.find_exact(P("10.1.0.0/16")), nullptr);
+  EXPECT_EQ(*trie.find_exact(P("10.1.0.0/16")), 7);
+  const auto best = trie.longest_match(A("10.1.0.9"));
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->prefix, P("10.1.0.0/16"));
+}
+
 }  // namespace
 }  // namespace ripki::trie
